@@ -1,0 +1,61 @@
+//! Codec throughput: the paper claims ASN.1 DER + gzip "incur minimal
+//! storage and processing time overhead" (§3). These benches quantify
+//! our DER subset and LZSS stand-in on a real live-point payload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spectral_bench::{fixture_benchmark, fixture_library};
+use spectral_codec::{lzss, DerReader, DerWriter};
+
+fn bench_codec(c: &mut Criterion) {
+    let program = fixture_benchmark().build();
+    let library = fixture_library(&program, 6);
+    // Reconstruct the raw DER for a representative point.
+    let lp = library.get(0).expect("decode");
+    let der = lp.to_der();
+    let compressed = lzss::compress(&der);
+
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(der.len() as u64));
+    group.bench_function("lzss_compress_livepoint", |b| {
+        b.iter(|| lzss::compress(&der));
+    });
+    group.bench_function("lzss_decompress_livepoint", |b| {
+        b.iter(|| lzss::decompress(&compressed).expect("roundtrip"));
+    });
+    group.finish();
+
+    let mut g2 = c.benchmark_group("der");
+    g2.sample_size(30);
+    let words: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    g2.bench_function("der_encode_4k_words", |b| {
+        b.iter(|| {
+            let mut w = DerWriter::new();
+            w.seq(|w| {
+                w.u64_array(&words);
+            });
+            w.finish()
+        });
+    });
+    let mut w = DerWriter::new();
+    w.seq(|w| {
+        w.u64_array(&words);
+    });
+    let encoded = w.finish();
+    g2.bench_function("der_decode_4k_words", |b| {
+        b.iter(|| {
+            let mut r = DerReader::new(&encoded);
+            r.seq().expect("seq").u64_array().expect("array")
+        });
+    });
+    g2.bench_function("livepoint_to_der", |b| {
+        b.iter(|| lp.to_der());
+    });
+    g2.bench_function("livepoint_from_der", |b| {
+        b.iter(|| spectral_core::LivePoint::from_der(&der).expect("decode"));
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

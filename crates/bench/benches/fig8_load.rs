@@ -1,0 +1,47 @@
+//! Figure 8 (right): per-live-point processing time — decompress + DER
+//! decode — as the stored maximum cache and predictor grow.
+//!
+//! Paper shape: processing time grows with stored state but remains an
+//! order of magnitude below AW-MRRL's per-window functional warming at
+//! every size (the warming comparator is measured in `methods.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spectral_bench::memory_benchmark;
+use spectral_core::{CreationConfig, LivePointLibrary};
+use spectral_uarch::{BpredConfig, MachineConfig};
+
+fn bench_load(c: &mut Criterion) {
+    let program = memory_benchmark().build();
+    let mut group = c.benchmark_group("fig8_livepoint_load");
+    group.sample_size(20);
+
+    for (l2_mb, bp_entries, hist) in [(1u64, 2048u32, 11u32), (4, 8192, 13), (16, 32768, 15)] {
+        let mut max_h = MachineConfig::eight_way().hierarchy;
+        max_h.l2 = spectral_cache::CacheConfig::new(l2_mb << 20, 8, 128).expect("valid");
+        let cfg = CreationConfig {
+            max_hierarchy: max_h,
+            bpred_configs: vec![BpredConfig {
+                table_entries: bp_entries,
+                history_bits: hist,
+                btb_entries: 512,
+                ras_entries: 8,
+                mispredict_penalty: 7,
+                predictions_per_cycle: 1,
+            }],
+            sample_size: 4,
+            ..CreationConfig::for_machine(&MachineConfig::eight_way())
+        };
+        let lib = LivePointLibrary::create(&program, &cfg).expect("library");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{l2_mb}MB-L2")),
+            &lib,
+            |b, lib| {
+                b.iter(|| lib.get(0).expect("decode"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Table 2's ingredients: the unit costs of each simulation method.
+//!
+//! * functional warming (SMARTS's bottleneck) — cost per 10k committed
+//!   instructions,
+//! * plain architectural emulation (AW-MRRL's fast-forward) — same unit,
+//! * detailed out-of-order simulation — cost per 1k committed
+//!   instructions,
+//! * one full live-point measurement (decode + reconstruct + detailed
+//!   warming + measured window).
+//!
+//! Shape: emulate < warm ≪ detail per instruction; a live-point costs
+//! milliseconds regardless of benchmark length.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spectral_bench::{fixture_benchmark, fixture_library};
+use spectral_core::simulate_live_point;
+use spectral_isa::Emulator;
+use spectral_uarch::{DetailedSim, MachineConfig};
+use spectral_warming::FunctionalWarmer;
+
+fn bench_methods(c: &mut Criterion) {
+    let program = fixture_benchmark().build();
+    let machine = MachineConfig::eight_way();
+    let mut group = c.benchmark_group("table2_method_costs");
+    group.sample_size(20);
+
+    group.bench_function("emulate_10k_inst", |b| {
+        b.iter(|| {
+            let mut emu = Emulator::new(&program);
+            emu.run_n(10_000, |_| {})
+        });
+    });
+
+    group.bench_function("functional_warming_10k_inst", |b| {
+        b.iter(|| {
+            let mut warmer = FunctionalWarmer::new(&machine);
+            let mut emu = Emulator::new(&program);
+            emu.run_n(10_000, |di| warmer.observe(di))
+        });
+    });
+
+    group.bench_function("detailed_sim_1k_inst", |b| {
+        b.iter(|| {
+            let mut sim = DetailedSim::new(&machine, &program, Emulator::new(&program));
+            sim.run(1_000)
+        });
+    });
+
+    let library = fixture_library(&program, 8);
+    let lp = library.get(0).expect("decode");
+    group.bench_function("one_livepoint_measurement", |b| {
+        b.iter(|| simulate_live_point(&lp, &program, &machine).expect("simulate"));
+    });
+    group.bench_function("one_livepoint_decode_and_measure", |b| {
+        b.iter(|| {
+            let lp = library.get(0).expect("decode");
+            simulate_live_point(&lp, &program, &machine).expect("simulate")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Timing-model throughput per workload class, plus branch-predictor
+//! unit costs. These bound every experiment's wall-clock and provide the
+//! per-instruction detailed-simulation rate behind Table 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spectral_isa::{Emulator, ProgramBuilder, Reg};
+use spectral_uarch::{BranchPredictor, BpredConfig, DetailedSim, MachineConfig};
+use spectral_workloads::{Kernel, Predictability};
+
+fn kernel_program(k: Kernel, reps: i64) -> spectral_isa::Program {
+    let mut b = ProgramBuilder::new("bench");
+    let main = b.new_label();
+    b.jump(main);
+    let fn_f = spectral_workloads::emit_call_targets(&mut b);
+    b.bind(main);
+    let base = b.alloc_data(k.data_words().max(1));
+    if let Kernel::PointerChase { nodes, .. } = k {
+        for i in 0..nodes {
+            b.init_word(base + i * 8, base + ((i + 1) % nodes) * 8);
+        }
+        b.li(Reg::R28, base as i64);
+    }
+    b.li(Reg::R29, 0x1234_5679);
+    b.li(Reg::R10, 0);
+    b.li(Reg::R11, reps);
+    let top = b.label();
+    k.emit(&mut b, spectral_workloads::EmitCtx { base, fn_f });
+    b.addi(Reg::R10, Reg::R10, 1);
+    b.blt(Reg::R10, Reg::R11, top);
+    b.halt();
+    b.build()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let machine = MachineConfig::eight_way();
+    let kernels: Vec<(&str, Kernel)> = vec![
+        ("alu_loop", Kernel::StreamSum { words: 256 }),
+        ("branchy", Kernel::Branchy { count: 200, predictability: Predictability::Random }),
+        ("pointer_chase", Kernel::PointerChase { nodes: 1 << 12, hops: 200 }),
+        ("fp_stencil", Kernel::Stencil { words: 256 }),
+    ];
+    let mut group = c.benchmark_group("pipeline_5k_inst");
+    group.sample_size(15);
+    for (name, k) in kernels {
+        let program = kernel_program(k, 1000);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
+            b.iter(|| {
+                let mut sim = DetailedSim::new(&machine, p, Emulator::new(p));
+                sim.run(5_000)
+            });
+        });
+    }
+    group.finish();
+
+    let mut g2 = c.benchmark_group("bpred");
+    g2.sample_size(30);
+    let mut bp = BranchPredictor::new(BpredConfig::paper_2k());
+    let info = spectral_isa::BranchInfo {
+        taken: true,
+        target: 0x40_0100,
+        conditional: true,
+        indirect: false,
+        is_call: false,
+        is_return: false,
+    };
+    g2.bench_function("predict_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1000u64 {
+                acc += bp.predict_direction(0x40_0000 + i * 4) as u32;
+            }
+            acc
+        });
+    });
+    g2.bench_function("update_1k", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                bp.update(0x40_0000 + i * 4, 0x40_0004 + i * 4, &info);
+            }
+        });
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

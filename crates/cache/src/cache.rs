@@ -1,0 +1,277 @@
+//! Set-associative, LRU, tag-only cache model.
+
+use crate::config::CacheConfig;
+
+/// A line evicted by an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Block number (address / line size) of the victim.
+    pub block: u64,
+    /// Whether the victim was dirty (would cause a writeback).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    block: u64,
+    dirty: bool,
+}
+
+/// Serializable warm state of a cache: per-set lines in MRU-first order.
+///
+/// This is the representation embedded in live-points for structures
+/// stored at a fixed configuration, and the output of
+/// [`Csr::reconstruct`](crate::Csr::reconstruct).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheState {
+    /// For each set, `(block_number, dirty)` in MRU-first order.
+    pub sets: Vec<Vec<(u64, bool)>>,
+}
+
+impl CacheState {
+    /// Total number of valid lines across all sets.
+    pub fn line_count(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+/// A set-associative cache with true-LRU replacement, modelling tags and
+/// recency only (no data array — warming and timing never need values).
+///
+/// Statistics (hits/misses) accumulate until [`reset_stats`](Self::reset_stats).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// MRU-first per-set recency lists.
+    sets: Vec<Vec<Line>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Create an empty (cold) cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let n = config.num_sets() as usize;
+        Cache { config, sets: vec![Vec::new(); n], hits: 0, misses: 0 }
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Access the line containing `addr`; returns `true` on hit.
+    ///
+    /// Misses allocate (any victim is silently dropped); use
+    /// [`access_full`](Self::access_full) when the eviction matters.
+    #[inline]
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.access_full(addr, write).0
+    }
+
+    /// Access the line containing `addr`; returns `(hit, eviction)`.
+    pub fn access_full(&mut self, addr: u64, write: bool) -> (bool, Option<Eviction>) {
+        let block = self.config.block_of(addr);
+        let set_idx = (block % self.config.num_sets()) as usize;
+        let assoc = self.config.assoc() as usize;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(pos) = set.iter().position(|l| l.block == block) {
+            let mut line = set.remove(pos);
+            line.dirty |= write;
+            set.insert(0, line);
+            self.hits += 1;
+            return (true, None);
+        }
+
+        self.misses += 1;
+        let evicted = if set.len() == assoc {
+            set.pop().map(|l| Eviction { block: l.block, dirty: l.dirty })
+        } else {
+            None
+        };
+        set.insert(0, Line { block, dirty: write });
+        (false, evicted)
+    }
+
+    /// Probe without updating recency or allocating; `true` if resident.
+    ///
+    /// Used by the timing model's wrong-path approximation, which must
+    /// consult tags without perturbing state it does not own, and by
+    /// tests.
+    pub fn probe(&self, addr: u64) -> bool {
+        let block = self.config.block_of(addr);
+        let set_idx = (block % self.config.num_sets()) as usize;
+        self.sets[set_idx].iter().any(|l| l.block == block)
+    }
+
+    /// Invalidate the line containing `addr` if resident; returns whether
+    /// a line was removed.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let block = self.config.block_of(addr);
+        let set_idx = (block % self.config.num_sets()) as usize;
+        let set = &mut self.sets[set_idx];
+        match set.iter().position(|l| l.block == block) {
+            Some(pos) => {
+                set.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Zero the hit/miss counters (state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Drop all lines (cold cache) and keep statistics.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+
+    /// Export the warm state (tags + recency + dirty bits).
+    pub fn to_state(&self) -> CacheState {
+        CacheState {
+            sets: self
+                .sets
+                .iter()
+                .map(|s| s.iter().map(|l| (l.block, l.dirty)).collect())
+                .collect(),
+        }
+    }
+
+    /// Build a cache with geometry `config` holding exactly `state`.
+    ///
+    /// Entries beyond the associativity and sets beyond the geometry are
+    /// truncated; this makes loading a state saved from the same geometry
+    /// lossless while remaining total on malformed input.
+    pub fn from_state(config: CacheConfig, state: &CacheState) -> Self {
+        let n = config.num_sets() as usize;
+        let assoc = config.assoc() as usize;
+        let mut sets = vec![Vec::new(); n];
+        for (i, src) in state.sets.iter().enumerate().take(n) {
+            sets[i] = src
+                .iter()
+                .take(assoc)
+                .map(|&(block, dirty)| Line { block, dirty })
+                .collect();
+        }
+        Cache { config, sets, hits: 0, misses: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(size: u64, assoc: u32, line: u64) -> CacheConfig {
+        CacheConfig::new(size, assoc, line).unwrap()
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(cfg(1024, 2, 32));
+        assert!(!c.access(0x100, false));
+        assert!(c.access(0x100, false));
+        assert!(c.access(0x104, false), "same line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2-way, everything maps to one set: use stride = sets*line.
+        let c_cfg = cfg(1024, 2, 32); // 16 sets
+        let stride = 16 * 32;
+        let mut c = Cache::new(c_cfg);
+        c.access(0, false); // A
+        c.access(stride, false); // B  (set now B,A)
+        c.access(0, false); // A hit (A,B)
+        let (hit, ev) = c.access_full(2 * stride, false); // C evicts B
+        assert!(!hit);
+        assert_eq!(ev, Some(Eviction { block: c_cfg.block_of(stride), dirty: false }));
+        assert!(c.probe(0));
+        assert!(!c.probe(stride));
+    }
+
+    #[test]
+    fn dirty_tracked_through_eviction() {
+        let c_cfg = cfg(64, 1, 32); // 2 sets, direct mapped
+        let mut c = Cache::new(c_cfg);
+        c.access(0, true); // dirty write
+        let (_, ev) = c.access_full(64, false); // same set (2 sets * 32B = 64)
+        assert!(ev.unwrap().dirty);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = Cache::new(cfg(64, 1, 32));
+        c.access(0, false);
+        c.access(0, true); // hit, marks dirty
+        let (_, ev) = c.access_full(64, false);
+        assert!(ev.unwrap().dirty);
+    }
+
+    #[test]
+    fn probe_does_not_perturb() {
+        let mut c = Cache::new(cfg(1024, 2, 32));
+        let stride = 16 * 32;
+        c.access(0, false);
+        c.access(stride, false);
+        // Probing A must not refresh it:
+        assert!(c.probe(0));
+        let (_, ev) = c.access_full(2 * stride, false);
+        // LRU victim is A (block 0) because probe didn't touch recency.
+        assert_eq!(ev.unwrap().block, 0);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = Cache::new(cfg(1024, 2, 32));
+        c.access(0x40, false);
+        assert!(c.invalidate(0x40));
+        assert!(!c.probe(0x40));
+        assert!(!c.invalidate(0x40));
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_recency_and_dirty() {
+        let c_cfg = cfg(2048, 4, 32);
+        let mut c = Cache::new(c_cfg);
+        for i in 0..200u64 {
+            c.access(i * 40, i % 3 == 0);
+        }
+        let state = c.to_state();
+        let restored = Cache::from_state(c_cfg, &state);
+        assert_eq!(restored.to_state(), state);
+        assert_eq!(restored.occupancy(), c.occupancy());
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = Cache::new(cfg(1024, 2, 32));
+        c.access(0, false);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.probe(0));
+    }
+}

@@ -1,0 +1,257 @@
+//! Cache Set Record (CSR) — adaptable warm cache state bounded by a
+//! maximum configuration (Barr et al., ISPASS 2005; paper §4.3).
+
+use crate::cache::CacheState;
+use crate::config::CacheConfig;
+use crate::error::CacheError;
+
+/// One recorded line: block number, last-access time, dirty flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrEntry {
+    /// Block number (address / line size).
+    pub block: u64,
+    /// Logical time (access counter) of the most recent access.
+    pub last_access: u64,
+    /// Whether the block has been written while resident.
+    pub dirty: bool,
+}
+
+/// A *Cache Set Record*: a timestamp-annotated tag array for a
+/// user-selected **maximum** cache configuration, recorded during
+/// functional warming.
+///
+/// From a CSR one can exactly reconstruct the contents and LRU order of
+/// any cache whose geometry the maximum [covers](CacheConfig::covers)
+/// (same line size, sets dividing the recorded sets, associativity no
+/// larger). This is the mechanism that lets a single live-point library
+/// serve many cache configurations while costing only the *tag-array*
+/// storage of the maximum configuration — the key storage-vs-reusability
+/// trade of checkpointed warming.
+///
+/// Dirty flags are carried through reconstruction as an approximation:
+/// the target cache's fill times are unknowable from recency alone, so a
+/// block is marked dirty in the target if it was dirty under the maximum
+/// configuration. Contents and LRU order are exact.
+///
+/// # Example
+///
+/// ```
+/// use spectral_cache::{Csr, Cache, CacheConfig};
+///
+/// let max = CacheConfig::new(1 << 20, 4, 32)?;   // record up to 1MB/4-way
+/// let mut csr = Csr::new(max);
+/// for addr in (0..10_000u64).map(|i| i * 64) {
+///     csr.record(addr, false);
+/// }
+/// let small = CacheConfig::new(32 << 10, 2, 32)?; // simulate 32KB/2-way
+/// let state = csr.reconstruct(&small)?;
+/// let cache = Cache::from_state(small, &state);
+/// assert!(cache.occupancy() > 0);
+/// # Ok::<(), spectral_cache::CacheError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Csr {
+    max: CacheConfig,
+    clock: u64,
+    sets: Vec<Vec<CsrEntry>>, // MRU-first, bounded by max assoc
+}
+
+impl Csr {
+    /// Create an empty record bounded by `max`.
+    pub fn new(max: CacheConfig) -> Self {
+        let n = max.num_sets() as usize;
+        Csr { max, clock: 0, sets: vec![Vec::new(); n] }
+    }
+
+    /// The maximum configuration this record can reconstruct up to.
+    pub fn max_config(&self) -> &CacheConfig {
+        &self.max
+    }
+
+    /// Record an access to the line containing `addr`, exactly as the
+    /// maximum-configuration cache would process it.
+    pub fn record(&mut self, addr: u64, write: bool) {
+        self.clock += 1;
+        let block = self.max.block_of(addr);
+        let set_idx = (block % self.max.num_sets()) as usize;
+        let assoc = self.max.assoc() as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.block == block) {
+            let mut e = set.remove(pos);
+            e.last_access = self.clock;
+            e.dirty |= write;
+            set.insert(0, e);
+        } else {
+            if set.len() == assoc {
+                set.pop();
+            }
+            set.insert(0, CsrEntry { block, last_access: self.clock, dirty: write });
+        }
+    }
+
+    /// Number of recorded lines.
+    pub fn entry_count(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Logical time of the most recent recorded access.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Reconstruct the warm state of a cache with geometry `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::LineMismatch`] for a different line size and
+    /// [`CacheError::TargetExceedsBounds`] when the target is larger or
+    /// more associative than the recorded maximum (or its set count does
+    /// not divide the maximum's).
+    pub fn reconstruct(&self, target: &CacheConfig) -> Result<CacheState, CacheError> {
+        if target.line_bytes() != self.max.line_bytes() {
+            return Err(CacheError::LineMismatch {
+                recorded: self.max.line_bytes(),
+                requested: target.line_bytes(),
+            });
+        }
+        if !self.max.covers(target) {
+            return Err(CacheError::TargetExceedsBounds { what: "size or associativity" });
+        }
+        let t_sets = target.num_sets();
+        let t_assoc = target.assoc() as usize;
+        let mut out = vec![Vec::new(); t_sets as usize];
+        // Fold: max-set s contributes to target set s % t_sets.
+        for (s, set) in self.sets.iter().enumerate() {
+            let t = (s as u64 % t_sets) as usize;
+            out[t].extend(set.iter().copied());
+        }
+        let sets = out
+            .into_iter()
+            .map(|mut entries| {
+                entries.sort_by_key(|e| std::cmp::Reverse(e.last_access));
+                entries.truncate(t_assoc);
+                entries.into_iter().map(|e| (e.block, e.dirty)).collect()
+            })
+            .collect();
+        Ok(CacheState { sets })
+    }
+
+    /// Export the raw per-set entries (MRU-first) for serialization.
+    pub fn to_entries(&self) -> Vec<Vec<CsrEntry>> {
+        self.sets.clone()
+    }
+
+    /// Rebuild a record from serialized entries.
+    ///
+    /// Entries beyond the maximum associativity are truncated; the clock
+    /// resumes past the largest recorded timestamp.
+    pub fn from_entries(max: CacheConfig, entries: Vec<Vec<CsrEntry>>) -> Self {
+        let n = max.num_sets() as usize;
+        let assoc = max.assoc() as usize;
+        let mut sets = vec![Vec::new(); n];
+        let mut clock = 0;
+        for (i, mut src) in entries.into_iter().enumerate().take(n) {
+            src.truncate(assoc);
+            for e in &src {
+                clock = clock.max(e.last_access);
+            }
+            sets[i] = src;
+        }
+        Csr { max, clock, sets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Cache;
+
+    fn cfg(size: u64, assoc: u32, line: u64) -> CacheConfig {
+        CacheConfig::new(size, assoc, line).unwrap()
+    }
+
+    /// Drive a CSR and a directly-simulated cache with the same stream;
+    /// reconstruction must match content and LRU order exactly.
+    fn check_equivalence(max: CacheConfig, target: CacheConfig, stream: &[(u64, bool)]) {
+        let mut csr = Csr::new(max);
+        let mut direct = Cache::new(target);
+        for &(addr, write) in stream {
+            csr.record(addr, write);
+            direct.access(addr, write);
+        }
+        let reconstructed = csr.reconstruct(&target).unwrap();
+        let direct_state = direct.to_state();
+        let blocks = |s: &CacheState| -> Vec<Vec<u64>> {
+            s.sets.iter().map(|v| v.iter().map(|&(b, _)| b).collect()).collect()
+        };
+        assert_eq!(blocks(&reconstructed), blocks(&direct_state));
+    }
+
+    #[test]
+    fn reconstruct_same_config_is_identity() {
+        let max = cfg(4096, 4, 32);
+        let stream: Vec<(u64, bool)> =
+            (0..500u64).map(|i| (i.wrapping_mul(2654435761) % 65536, i % 4 == 0)).collect();
+        check_equivalence(max, max, &stream);
+    }
+
+    #[test]
+    fn reconstruct_smaller_and_less_associative() {
+        let max = cfg(1 << 16, 4, 32);
+        let stream: Vec<(u64, bool)> =
+            (0..3000u64).map(|i| (i.wrapping_mul(0x9E3779B9) % (1 << 18), i % 5 == 0)).collect();
+        check_equivalence(max, cfg(1 << 13, 2, 32), &stream);
+        check_equivalence(max, cfg(1 << 12, 1, 32), &stream);
+        // Same set count as max (1<<15 / 2-way = 512 sets), lower assoc.
+        check_equivalence(max, cfg(1 << 15, 2, 32), &stream);
+    }
+
+    #[test]
+    fn rejects_larger_target() {
+        let csr = Csr::new(cfg(4096, 2, 32));
+        assert!(matches!(
+            csr.reconstruct(&cfg(8192, 2, 32)),
+            Err(CacheError::TargetExceedsBounds { .. })
+        ));
+        assert!(matches!(
+            csr.reconstruct(&cfg(4096, 4, 32)),
+            Err(CacheError::TargetExceedsBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_line_mismatch() {
+        let csr = Csr::new(cfg(4096, 2, 32));
+        assert!(matches!(
+            csr.reconstruct(&cfg(2048, 2, 64)),
+            Err(CacheError::LineMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let max = cfg(4096, 2, 32);
+        let mut csr = Csr::new(max);
+        for i in 0..100u64 {
+            csr.record(i * 96, i % 2 == 0);
+        }
+        let entries = csr.to_entries();
+        let restored = Csr::from_entries(max, entries.clone());
+        assert_eq!(restored.to_entries(), entries);
+        assert_eq!(restored.clock(), csr.clock());
+        assert_eq!(
+            restored.reconstruct(&max).unwrap(),
+            csr.reconstruct(&max).unwrap()
+        );
+    }
+
+    #[test]
+    fn bounded_storage() {
+        let max = cfg(4096, 2, 32); // 128 lines max
+        let mut csr = Csr::new(max);
+        for i in 0..10_000u64 {
+            csr.record(i * 32, false);
+        }
+        assert!(csr.entry_count() <= 128);
+    }
+}

@@ -1,0 +1,371 @@
+//! The paper's memory hierarchy: split L1 I/D, unified L2, split TLBs.
+
+use crate::cache::{Cache, CacheState};
+use crate::config::CacheConfig;
+use crate::error::CacheError;
+use crate::tlb::{Tlb, TlbConfig, TlbState};
+
+/// What kind of access is being performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch (L1I + ITLB path).
+    Fetch,
+    /// Data read (L1D + DTLB path).
+    Read,
+    /// Data write (L1D + DTLB path).
+    Write,
+}
+
+/// Which level of the hierarchy served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HitLevel {
+    /// Served by the first-level cache.
+    L1,
+    /// Missed L1, served by the unified L2.
+    L2,
+    /// Missed both caches; served by main memory.
+    Memory,
+}
+
+/// Result of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Deepest level consulted.
+    pub level: HitLevel,
+    /// Whether the TLB missed (adds a fixed penalty in the timing model).
+    pub tlb_miss: bool,
+    /// Whether a dirty line was evicted somewhere along the fill path.
+    pub writeback: bool,
+}
+
+/// Geometry of the full hierarchy (one column of the paper's Table 1
+/// memory system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Instruction TLB geometry.
+    pub itlb: TlbConfig,
+    /// Data TLB geometry.
+    pub dtlb: TlbConfig,
+}
+
+impl HierarchyConfig {
+    /// The paper's 8-way baseline memory system (Table 1): 32KB 2-way
+    /// L1I/D with 32-byte lines, 1MB 4-way L2 with 128-byte lines,
+    /// 4-way 128-entry ITLB and 4-way 256-entry DTLB.
+    pub fn baseline_8way() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::new(32 << 10, 2, 32).expect("valid"),
+            l1d: CacheConfig::new(32 << 10, 2, 32).expect("valid"),
+            l2: CacheConfig::new(1 << 20, 4, 128).expect("valid"),
+            itlb: TlbConfig::new(128, 4, 4096).expect("valid"),
+            dtlb: TlbConfig::new(256, 4, 4096).expect("valid"),
+        }
+    }
+
+    /// The paper's aggressive 16-way memory system (Table 1): 64KB 2-way
+    /// L1I/D, 4MB 8-way L2, same TLBs.
+    pub fn aggressive_16way() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::new(64 << 10, 2, 32).expect("valid"),
+            l1d: CacheConfig::new(64 << 10, 2, 32).expect("valid"),
+            l2: CacheConfig::new(4 << 20, 8, 128).expect("valid"),
+            itlb: TlbConfig::new(128, 4, 4096).expect("valid"),
+            dtlb: TlbConfig::new(256, 4, 4096).expect("valid"),
+        }
+    }
+}
+
+/// Warm state of the whole hierarchy, as stored in live-points when a
+/// fixed configuration snapshot (rather than a CSR) is used.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HierarchySnapshot {
+    /// L1I warm state.
+    pub l1i: CacheState,
+    /// L1D warm state.
+    pub l1d: CacheState,
+    /// L2 warm state.
+    pub l2: CacheState,
+    /// ITLB warm state.
+    pub itlb: TlbState,
+    /// DTLB warm state.
+    pub dtlb: TlbState,
+}
+
+/// A functional model of the two-level hierarchy with split TLBs.
+///
+/// The same model serves functional warming (driven by the committed
+/// stream) and the timing model (which adds latencies, ports, and MSHRs
+/// on top of the [`AccessOutcome`]s reported here).
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    config: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+}
+
+impl CacheHierarchy {
+    /// Create a cold hierarchy.
+    pub fn new(config: HierarchyConfig) -> Self {
+        CacheHierarchy {
+            config,
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            itlb: Tlb::new(config.itlb),
+            dtlb: Tlb::new(config.dtlb),
+        }
+    }
+
+    /// The hierarchy's geometry.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Perform one access, updating all levels (allocate-on-miss in both
+    /// caches; dirty L1 victims mark the corresponding L2 line dirty).
+    pub fn access(&mut self, kind: AccessKind, addr: u64) -> AccessOutcome {
+        let (l1, tlb) = match kind {
+            AccessKind::Fetch => (&mut self.l1i, &mut self.itlb),
+            AccessKind::Read | AccessKind::Write => (&mut self.l1d, &mut self.dtlb),
+        };
+        let write = kind == AccessKind::Write;
+        let tlb_miss = !tlb.access(addr);
+        let (l1_hit, l1_evict) = l1.access_full(addr, write);
+        let mut writeback = false;
+        let level = if l1_hit {
+            HitLevel::L1
+        } else {
+            // Dirty L1 victim writes through to L2 (mark dirty if present).
+            if let Some(ev) = l1_evict {
+                if ev.dirty {
+                    writeback = true;
+                    let victim_addr = ev.block * self.config_line(kind);
+                    if self.l2.probe(victim_addr) {
+                        self.l2.access(victim_addr, true);
+                    }
+                }
+            }
+            let (l2_hit, l2_evict) = self.l2.access_full(addr, false);
+            if let Some(ev) = l2_evict {
+                writeback |= ev.dirty;
+            }
+            if l2_hit {
+                HitLevel::L2
+            } else {
+                HitLevel::Memory
+            }
+        };
+        AccessOutcome { level, tlb_miss, writeback }
+    }
+
+    fn config_line(&self, kind: AccessKind) -> u64 {
+        match kind {
+            AccessKind::Fetch => self.config.l1i.line_bytes(),
+            _ => self.config.l1d.line_bytes(),
+        }
+    }
+
+    /// Probe without perturbing state: returns the level that *would*
+    /// serve an access to `addr`, or `None` for an unknown TLB/cache path.
+    ///
+    /// Used by the wrong-path approximation (paper §5: wrong-path load
+    /// latency comes from cache *tag* state).
+    pub fn probe(&self, kind: AccessKind, addr: u64) -> HitLevel {
+        let l1 = match kind {
+            AccessKind::Fetch => &self.l1i,
+            _ => &self.l1d,
+        };
+        if l1.probe(addr) {
+            HitLevel::L1
+        } else if self.l2.probe(addr) {
+            HitLevel::L2
+        } else {
+            HitLevel::Memory
+        }
+    }
+
+    /// Shared view of the L1 instruction cache.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// Shared view of the L1 data cache.
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// Shared view of the unified L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Shared view of the instruction TLB.
+    pub fn itlb(&self) -> &Tlb {
+        &self.itlb
+    }
+
+    /// Shared view of the data TLB.
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// Zero all statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+        self.itlb.reset_stats();
+        self.dtlb.reset_stats();
+    }
+
+    /// Export the warm state of every structure.
+    pub fn snapshot(&self) -> HierarchySnapshot {
+        HierarchySnapshot {
+            l1i: self.l1i.to_state(),
+            l1d: self.l1d.to_state(),
+            l2: self.l2.to_state(),
+            itlb: self.itlb.to_state(),
+            dtlb: self.dtlb.to_state(),
+        }
+    }
+
+    /// Build a warm hierarchy from a snapshot.
+    pub fn from_snapshot(config: HierarchyConfig, snap: &HierarchySnapshot) -> Self {
+        CacheHierarchy {
+            config,
+            l1i: Cache::from_state(config.l1i, &snap.l1i),
+            l1d: Cache::from_state(config.l1d, &snap.l1d),
+            l2: Cache::from_state(config.l2, &snap.l2),
+            itlb: Tlb::from_state(config.itlb, &snap.itlb),
+            dtlb: Tlb::from_state(config.dtlb, &snap.dtlb),
+        }
+    }
+
+    /// Validate that this hierarchy's geometry fits under `max` bounds
+    /// (each cache covered by the corresponding maximum geometry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::TargetExceedsBounds`] naming the offending
+    /// structure.
+    pub fn check_within(config: &HierarchyConfig, max: &HierarchyConfig) -> Result<(), CacheError> {
+        if !max.l1i.covers(&config.l1i) {
+            return Err(CacheError::TargetExceedsBounds { what: "l1i" });
+        }
+        if !max.l1d.covers(&config.l1d) {
+            return Err(CacheError::TargetExceedsBounds { what: "l1d" });
+        }
+        if !max.l2.covers(&config.l2) {
+            return Err(CacheError::TargetExceedsBounds { what: "l2" });
+        }
+        if max.itlb.entries() < config.itlb.entries() || max.itlb.assoc() < config.itlb.assoc() {
+            return Err(CacheError::TargetExceedsBounds { what: "itlb" });
+        }
+        if max.dtlb.entries() < config.dtlb.entries() || max.dtlb.assoc() < config.dtlb.assoc() {
+            return Err(CacheError::TargetExceedsBounds { what: "dtlb" });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_configs() {
+        let b = HierarchyConfig::baseline_8way();
+        assert_eq!(b.l1d.size_bytes(), 32 << 10);
+        assert_eq!(b.l2.size_bytes(), 1 << 20);
+        assert_eq!(b.l2.assoc(), 4);
+        assert_eq!(b.l2.line_bytes(), 128);
+        assert_eq!(b.dtlb.entries(), 256);
+        let a = HierarchyConfig::aggressive_16way();
+        assert_eq!(a.l2.size_bytes(), 4 << 20);
+        assert_eq!(a.l2.assoc(), 8);
+        assert_eq!(a.l1i.size_bytes(), 64 << 10);
+    }
+
+    #[test]
+    fn miss_fills_both_levels() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::baseline_8way());
+        let out = h.access(AccessKind::Read, 0x1_0000);
+        assert_eq!(out.level, HitLevel::Memory);
+        assert!(out.tlb_miss);
+        let out = h.access(AccessKind::Read, 0x1_0000);
+        assert_eq!(out.level, HitLevel::L1);
+        assert!(!out.tlb_miss);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::baseline_8way());
+        // Fill one L1D set (2-way, 512 sets, 32B lines): stride 512*32.
+        let stride = 512 * 32;
+        h.access(AccessKind::Read, 0);
+        h.access(AccessKind::Read, stride);
+        h.access(AccessKind::Read, 2 * stride); // evicts block 0 from L1
+        let out = h.access(AccessKind::Read, 0);
+        assert_eq!(out.level, HitLevel::L2, "L2 retains what L1 evicted");
+    }
+
+    #[test]
+    fn fetch_and_data_paths_are_split() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::baseline_8way());
+        h.access(AccessKind::Fetch, 0x40_0000);
+        assert_eq!(h.l1i().occupancy(), 1);
+        assert_eq!(h.l1d().occupancy(), 0);
+        h.access(AccessKind::Read, 0x40_0000);
+        assert_eq!(h.l1d().occupancy(), 1);
+    }
+
+    #[test]
+    fn probe_is_side_effect_free() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::baseline_8way());
+        h.access(AccessKind::Read, 0x2000);
+        let snap = h.snapshot();
+        assert_eq!(h.probe(AccessKind::Read, 0x2000), HitLevel::L1);
+        assert_eq!(h.probe(AccessKind::Read, 0x9_9999), HitLevel::Memory);
+        assert_eq!(h.snapshot(), snap);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let cfg = HierarchyConfig::baseline_8way();
+        let mut h = CacheHierarchy::new(cfg);
+        for i in 0..5000u64 {
+            h.access(AccessKind::Read, i.wrapping_mul(0x9E3779B9) % (1 << 22));
+            h.access(AccessKind::Fetch, 0x40_0000 + (i % 4096) * 4);
+        }
+        let snap = h.snapshot();
+        let restored = CacheHierarchy::from_snapshot(cfg, &snap);
+        assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn check_within_bounds() {
+        let small = HierarchyConfig::baseline_8way();
+        let big = HierarchyConfig::aggressive_16way();
+        assert!(CacheHierarchy::check_within(&small, &big).is_ok());
+        assert!(CacheHierarchy::check_within(&big, &small).is_err());
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::baseline_8way());
+        let stride = 512 * 32;
+        h.access(AccessKind::Write, 0); // dirty in L1
+        h.access(AccessKind::Read, stride);
+        let out = h.access(AccessKind::Read, 2 * stride); // evicts dirty block 0
+        assert!(out.writeback);
+    }
+}

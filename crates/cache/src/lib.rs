@@ -1,0 +1,52 @@
+//! # spectral-cache — cache/TLB models and reconstructable warm state
+//!
+//! Substrate crate for the Spectral live-points framework (reproduction of
+//! *Simulation Sampling with Live-points*, ISPASS 2006). It provides:
+//!
+//! * [`Cache`] — a set-associative, LRU, tag-only cache model (functional
+//!   warming and timing need tags and recency, never data),
+//! * [`Tlb`] — the same structure at page granularity,
+//! * [`CacheHierarchy`] — the paper's L1I/L1D/unified-L2 + ITLB/DTLB
+//!   arrangement (Table 1), reporting which level served each access,
+//! * [`Csr`] — Barr et al.'s *Cache Set Record*: warmed state for a
+//!   user-selected **maximum** cache configuration from which any smaller
+//!   and/or less-associative cache can be reconstructed exactly
+//!   (the paper's "storing adaptable warmed state", §4.3),
+//! * [`Mtr`] — Barr et al.'s *Memory Timestamp Record*: per-block access
+//!   timestamps supporting reconstruction of **arbitrary** geometries at
+//!   a storage cost proportional to the touched footprint.
+//!
+//! The CSR is what live-points store; the MTR is retained for comparison
+//! and ablation (its footprint-proportional cost is the reason the paper
+//! bounds the maximum cache size instead).
+//!
+//! ## Example
+//!
+//! ```
+//! use spectral_cache::{Cache, CacheConfig};
+//!
+//! let cfg = CacheConfig::new(32 * 1024, 2, 32)?;
+//! let mut l1 = Cache::new(cfg);
+//! assert!(!l1.access(0x1000, false)); // cold miss
+//! assert!(l1.access(0x1000, false));  // now a hit
+//! # Ok::<(), spectral_cache::CacheError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod csr;
+mod error;
+mod hierarchy;
+mod mtr;
+mod tlb;
+
+pub use cache::{Cache, CacheState, Eviction};
+pub use config::CacheConfig;
+pub use csr::{Csr, CsrEntry};
+pub use error::CacheError;
+pub use hierarchy::{AccessKind, AccessOutcome, CacheHierarchy, HierarchyConfig, HierarchySnapshot, HitLevel};
+pub use mtr::Mtr;
+pub use tlb::{Tlb, TlbConfig, TlbState};

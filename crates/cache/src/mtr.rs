@@ -1,0 +1,212 @@
+//! Memory Timestamp Record (MTR) — unbounded adaptable warm state
+//! (Barr et al., ISPASS 2005; paper §4.3).
+
+use crate::cache::CacheState;
+use crate::config::CacheConfig;
+use crate::error::CacheError;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MtrEntry {
+    last_access: u64,
+    dirty: bool,
+}
+
+/// A *Memory Timestamp Record*: the last-access time of every touched
+/// block at a minimum granularity.
+///
+/// Unlike the [`Csr`](crate::Csr), an MTR can reconstruct caches of
+/// **arbitrary** size and associativity (line size any multiple of the
+/// recorded granularity), but its storage grows with the application's
+/// memory footprint — the reason the paper prefers the bounded CSR inside
+/// live-points and reports MTR only as the unbounded alternative.
+///
+/// Reconstruction is exact for contents and LRU order under true-LRU
+/// replacement: a line's recency in any cache equals the most recent
+/// access to any of its sub-blocks.
+#[derive(Debug, Clone)]
+pub struct Mtr {
+    granule_bytes: u64,
+    clock: u64,
+    map: HashMap<u64, MtrEntry>,
+}
+
+impl Mtr {
+    /// Create an empty record at `granule_bytes` granularity (the lower
+    /// bound on reconstructable line sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::BadGeometry`] if `granule_bytes` is zero or
+    /// not a power of two.
+    pub fn new(granule_bytes: u64) -> Result<Self, CacheError> {
+        if granule_bytes == 0 || !granule_bytes.is_power_of_two() {
+            return Err(CacheError::BadGeometry { what: "granule_bytes" });
+        }
+        Ok(Mtr { granule_bytes, clock: 0, map: HashMap::new() })
+    }
+
+    /// The recorded granularity in bytes.
+    pub fn granule_bytes(&self) -> u64 {
+        self.granule_bytes
+    }
+
+    /// Record an access to the granule containing `addr`.
+    pub fn record(&mut self, addr: u64, write: bool) {
+        self.clock += 1;
+        let g = addr / self.granule_bytes;
+        let e = self.map.entry(g).or_insert(MtrEntry { last_access: 0, dirty: false });
+        e.last_access = self.clock;
+        e.dirty |= write;
+    }
+
+    /// Number of touched granules (storage is proportional to this).
+    pub fn entry_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Logical time of the most recent recorded access.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Reconstruct warm state for any cache whose line size is a multiple
+    /// of the recorded granularity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::LineMismatch`] if `target.line_bytes()` is
+    /// smaller than, or not a multiple of, the recorded granularity.
+    pub fn reconstruct(&self, target: &CacheConfig) -> Result<CacheState, CacheError> {
+        if target.line_bytes() < self.granule_bytes
+            || !target.line_bytes().is_multiple_of(self.granule_bytes)
+        {
+            return Err(CacheError::LineMismatch {
+                recorded: self.granule_bytes,
+                requested: target.line_bytes(),
+            });
+        }
+        let per_line = target.line_bytes() / self.granule_bytes;
+        // Merge granules into target blocks: recency = max over sub-blocks.
+        let mut blocks: HashMap<u64, MtrEntry> = HashMap::new();
+        for (&g, &e) in &self.map {
+            let block = g / per_line;
+            let slot = blocks.entry(block).or_insert(MtrEntry { last_access: 0, dirty: false });
+            slot.last_access = slot.last_access.max(e.last_access);
+            slot.dirty |= e.dirty;
+        }
+        let t_sets = target.num_sets();
+        let t_assoc = target.assoc() as usize;
+        let mut sets: Vec<Vec<(u64, MtrEntry)>> = vec![Vec::new(); t_sets as usize];
+        for (block, e) in blocks {
+            sets[(block % t_sets) as usize].push((block, e));
+        }
+        let sets = sets
+            .into_iter()
+            .map(|mut v| {
+                v.sort_by_key(|e| std::cmp::Reverse(e.1.last_access));
+                v.truncate(t_assoc);
+                v.into_iter().map(|(b, e)| (b, e.dirty)).collect()
+            })
+            .collect();
+        Ok(CacheState { sets })
+    }
+
+    /// Export `(granule, last_access, dirty)` triples for serialization,
+    /// sorted by granule for determinism.
+    pub fn to_entries(&self) -> Vec<(u64, u64, bool)> {
+        let mut v: Vec<_> =
+            self.map.iter().map(|(&g, &e)| (g, e.last_access, e.dirty)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rebuild a record from serialized entries.
+    pub fn from_entries(
+        granule_bytes: u64,
+        entries: impl IntoIterator<Item = (u64, u64, bool)>,
+    ) -> Result<Self, CacheError> {
+        let mut mtr = Mtr::new(granule_bytes)?;
+        for (g, ts, dirty) in entries {
+            mtr.map.insert(g, MtrEntry { last_access: ts, dirty });
+            mtr.clock = mtr.clock.max(ts);
+        }
+        Ok(mtr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Cache;
+
+    fn cfg(size: u64, assoc: u32, line: u64) -> CacheConfig {
+        CacheConfig::new(size, assoc, line).unwrap()
+    }
+
+    fn check_equivalence(granule: u64, target: CacheConfig, stream: &[(u64, bool)]) {
+        let mut mtr = Mtr::new(granule).unwrap();
+        let mut direct = Cache::new(target);
+        for &(addr, write) in stream {
+            mtr.record(addr, write);
+            direct.access(addr, write);
+        }
+        let rec = mtr.reconstruct(&target).unwrap();
+        let blocks = |s: &CacheState| -> Vec<Vec<u64>> {
+            s.sets.iter().map(|v| v.iter().map(|&(b, _)| b).collect()).collect()
+        };
+        assert_eq!(blocks(&rec), blocks(&direct.to_state()));
+    }
+
+    #[test]
+    fn exact_for_same_granularity() {
+        let stream: Vec<(u64, bool)> =
+            (0..2000u64).map(|i| (i.wrapping_mul(0x9E3779B9) % (1 << 16), i % 7 == 0)).collect();
+        check_equivalence(32, cfg(4096, 2, 32), &stream);
+        check_equivalence(32, cfg(1 << 14, 8, 32), &stream);
+    }
+
+    #[test]
+    fn exact_for_larger_lines() {
+        let stream: Vec<(u64, bool)> =
+            (0..2000u64).map(|i| (i.wrapping_mul(2654435761) % (1 << 16), false)).collect();
+        check_equivalence(32, cfg(8192, 4, 128), &stream);
+    }
+
+    #[test]
+    fn arbitrary_geometry_unlike_csr() {
+        // MTR can go *bigger* than anything pre-declared.
+        let mut mtr = Mtr::new(32).unwrap();
+        for i in 0..1000u64 {
+            mtr.record(i * 64, false);
+        }
+        assert!(mtr.reconstruct(&cfg(1 << 24, 16, 64)).is_ok());
+    }
+
+    #[test]
+    fn rejects_smaller_line() {
+        let mtr = Mtr::new(64).unwrap();
+        assert!(matches!(mtr.reconstruct(&cfg(4096, 2, 32)), Err(CacheError::LineMismatch { .. })));
+    }
+
+    #[test]
+    fn storage_grows_with_footprint() {
+        let mut mtr = Mtr::new(32).unwrap();
+        for i in 0..5000u64 {
+            mtr.record(i * 32, false);
+        }
+        assert_eq!(mtr.entry_count(), 5000);
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let mut mtr = Mtr::new(32).unwrap();
+        for i in 0..50u64 {
+            mtr.record(i * 40, i % 2 == 0);
+        }
+        let entries = mtr.to_entries();
+        let restored = Mtr::from_entries(32, entries.clone()).unwrap();
+        assert_eq!(restored.to_entries(), entries);
+        assert_eq!(restored.clock(), mtr.clock());
+    }
+}

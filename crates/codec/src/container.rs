@@ -1,0 +1,275 @@
+//! The live-point library container format.
+//!
+//! A container is a single byte stream holding an ordered sequence of
+//! compressed, CRC-protected records — the "single compressed file"
+//! arrangement the paper recommends for shuffled live-point libraries
+//! (§6.1). Layout:
+//!
+//! ```text
+//! magic "SPLP" | version u16 LE | count u32 LE
+//! then per record:
+//!   compressed_len u32 LE | crc32(compressed) u32 LE | compressed bytes
+//! ```
+//!
+//! Records are individually LZSS-compressed so they remain independently
+//! loadable — the property that makes random-order and parallel
+//! processing possible.
+
+use crate::crc32;
+use crate::error::CodecError;
+use crate::lzss;
+
+const MAGIC: &[u8; 4] = b"SPLP";
+const VERSION: u16 = 1;
+
+/// Build a container in memory, one record at a time.
+#[derive(Debug, Clone, Default)]
+pub struct ContainerWriter {
+    records: Vec<Vec<u8>>,
+}
+
+impl ContainerWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one record (uncompressed payload; compression happens
+    /// here).
+    pub fn push(&mut self, payload: &[u8]) {
+        self.records.push(lzss::compress(payload));
+    }
+
+    /// Append a record that is already LZSS-compressed (as produced by
+    /// [`lzss::compress`]) — avoids a decompress/recompress round trip
+    /// when archiving records held compressed in memory.
+    pub fn push_compressed(&mut self, compressed: Vec<u8>) {
+        self.records.push(compressed);
+    }
+
+    /// Number of records appended.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serialize the container.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        for rec in &self.records {
+            out.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+            out.extend_from_slice(&crc32::checksum(rec).to_le_bytes());
+            out.extend_from_slice(rec);
+        }
+        out
+    }
+}
+
+/// Decode a container, iterating records in stored order.
+#[derive(Debug, Clone)]
+pub struct ContainerReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    remaining: u32,
+    index: usize,
+}
+
+impl<'a> ContainerReader<'a> {
+    /// Open a container over `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::BadContainer`] on a bad magic or version and
+    /// [`CodecError::Truncated`] on short input.
+    pub fn new(data: &'a [u8]) -> Result<Self, CodecError> {
+        if data.len() < 10 {
+            return Err(CodecError::Truncated);
+        }
+        if &data[..4] != MAGIC {
+            return Err(CodecError::BadContainer);
+        }
+        let version = u16::from_le_bytes([data[4], data[5]]);
+        if version != VERSION {
+            return Err(CodecError::BadContainer);
+        }
+        let count = u32::from_le_bytes([data[6], data[7], data[8], data[9]]);
+        Ok(ContainerReader { data, pos: 10, remaining: count, index: 0 })
+    }
+
+    /// Number of records left to read.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+
+    /// Read the next record (decompressed), or `None` at the end.
+    ///
+    /// # Errors
+    ///
+    /// CRC mismatches, truncation, and decompression faults are
+    /// reported per frame.
+    pub fn next_record(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        if self.data.len() - self.pos < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let len = u32::from_le_bytes(
+            self.data[self.pos..self.pos + 4].try_into().expect("4 bytes"),
+        ) as usize;
+        let crc = u32::from_le_bytes(
+            self.data[self.pos + 4..self.pos + 8].try_into().expect("4 bytes"),
+        );
+        self.pos += 8;
+        if self.data.len() - self.pos < len {
+            return Err(CodecError::Truncated);
+        }
+        let body = &self.data[self.pos..self.pos + len];
+        if crc32::checksum(body) != crc {
+            return Err(CodecError::CrcMismatch { frame: self.index });
+        }
+        self.pos += len;
+        self.remaining -= 1;
+        self.index += 1;
+        lzss::decompress(body).map(Some)
+    }
+
+    /// Read the next record *without* decompressing (CRC still checked),
+    /// or `None` at the end.
+    ///
+    /// # Errors
+    ///
+    /// CRC mismatches and truncation are reported per frame.
+    pub fn next_record_compressed(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        if self.data.len() - self.pos < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let len = u32::from_le_bytes(
+            self.data[self.pos..self.pos + 4].try_into().expect("4 bytes"),
+        ) as usize;
+        let crc = u32::from_le_bytes(
+            self.data[self.pos + 4..self.pos + 8].try_into().expect("4 bytes"),
+        );
+        self.pos += 8;
+        if self.data.len() - self.pos < len {
+            return Err(CodecError::Truncated);
+        }
+        let body = &self.data[self.pos..self.pos + len];
+        if crc32::checksum(body) != crc {
+            return Err(CodecError::CrcMismatch { frame: self.index });
+        }
+        self.pos += len;
+        self.remaining -= 1;
+        self.index += 1;
+        Ok(Some(body.to_vec()))
+    }
+}
+
+/// Convenience façade: build or parse a whole container at once.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Container {
+    /// The decompressed records, in stored order.
+    pub records: Vec<Vec<u8>>,
+}
+
+impl Container {
+    /// Serialize all records into container bytes.
+    pub fn encode(records: impl IntoIterator<Item = Vec<u8>>) -> Vec<u8> {
+        let mut w = ContainerWriter::new();
+        for r in records {
+            w.push(&r);
+        }
+        w.finish()
+    }
+
+    /// Parse container bytes into records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any frame-level error from [`ContainerReader`].
+    pub fn decode(data: &[u8]) -> Result<Self, CodecError> {
+        let mut reader = ContainerReader::new(data)?;
+        let mut records = Vec::new();
+        while let Some(rec) = reader.next_record()? {
+            records.push(rec);
+        }
+        Ok(Container { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_records() {
+        let recs: Vec<Vec<u8>> = (0..10)
+            .map(|i| format!("live-point number {i} with warm state").into_bytes())
+            .collect();
+        let bytes = Container::encode(recs.clone());
+        let decoded = Container::decode(&bytes).unwrap();
+        assert_eq!(decoded.records, recs);
+    }
+
+    #[test]
+    fn empty_container() {
+        let bytes = Container::encode(Vec::<Vec<u8>>::new());
+        assert_eq!(Container::decode(&bytes).unwrap().records.len(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = Container::encode(vec![b"x".to_vec()]);
+        bytes[0] = b'X';
+        assert_eq!(Container::decode(&bytes).unwrap_err(), CodecError::BadContainer);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = Container::encode(vec![b"x".to_vec()]);
+        bytes[4] = 99;
+        assert_eq!(Container::decode(&bytes).unwrap_err(), CodecError::BadContainer);
+    }
+
+    #[test]
+    fn detects_payload_corruption() {
+        let bytes = Container::encode(vec![vec![7u8; 200]]);
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        assert!(matches!(
+            Container::decode(&corrupt),
+            Err(CodecError::CrcMismatch { frame: 0 })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = Container::encode(vec![vec![7u8; 200]]);
+        assert!(matches!(
+            Container::decode(&bytes[..bytes.len() - 4]),
+            Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn streaming_reader_counts_down() {
+        let bytes = Container::encode(vec![b"a".to_vec(), b"b".to_vec()]);
+        let mut r = ContainerReader::new(&bytes).unwrap();
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.next_record().unwrap().unwrap(), b"a");
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.next_record().unwrap().unwrap(), b"b");
+        assert_eq!(r.next_record().unwrap(), None);
+    }
+}

@@ -1,0 +1,91 @@
+//! IEEE CRC-32 (the gzip/zlib polynomial), table-driven.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Lazily-built lookup table (const-evaluated at compile time).
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Compute the CRC-32 of `data`.
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// An incremental CRC-32 hasher for streamed frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Hasher { state: !0 }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state = TABLE[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Finish, returning the checksum.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vector: "123456789" → 0xCBF43926.
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(checksum(b""), 0);
+        assert_eq!(checksum(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Hasher::new();
+        h.update(&data[..10]);
+        h.update(&data[10..]);
+        assert_eq!(h.finalize(), checksum(data));
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut data = vec![7u8; 100];
+        let ok = checksum(&data);
+        data[50] ^= 1;
+        assert_ne!(checksum(&data), ok);
+    }
+}

@@ -1,0 +1,414 @@
+//! A subset of X.690 Distinguished Encoding Rules (DER).
+//!
+//! Supported universal types: `BOOLEAN` (0x01), `INTEGER` (0x02),
+//! `OCTET STRING` (0x04), `UTF8String` (0x0C), and constructed
+//! `SEQUENCE` (0x30). All lengths are definite and minimally encoded,
+//! and integers are minimally encoded two's complement, as DER requires.
+
+use crate::error::CodecError;
+
+const TAG_BOOLEAN: u8 = 0x01;
+const TAG_INTEGER: u8 = 0x02;
+const TAG_OCTET_STRING: u8 = 0x04;
+const TAG_UTF8_STRING: u8 = 0x0C;
+const TAG_SEQUENCE: u8 = 0x30;
+
+/// Append a DER definite length.
+fn write_len(buf: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        buf.push(len as u8);
+    } else {
+        let bytes = len.to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        let sig = &bytes[skip..];
+        buf.push(0x80 | sig.len() as u8);
+        buf.extend_from_slice(sig);
+    }
+}
+
+/// Minimal two's-complement big-endian encoding of `v`.
+fn int_bytes(v: i128) -> Vec<u8> {
+    let raw = v.to_be_bytes();
+    let mut i = 0;
+    // Strip redundant leading bytes while preserving the sign bit.
+    while i + 1 < raw.len() {
+        let cur = raw[i];
+        let next_msb = raw[i + 1] & 0x80;
+        if (cur == 0x00 && next_msb == 0) || (cur == 0xFF && next_msb != 0) {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    raw[i..].to_vec()
+}
+
+/// Streaming DER encoder.
+///
+/// Values are appended in order; nested [`seq`](Self::seq) closures build
+/// constructed `SEQUENCE`s with correct definite lengths.
+#[derive(Debug, Clone, Default)]
+pub struct DerWriter {
+    buf: Vec<u8>,
+}
+
+impl DerWriter {
+    /// Create an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode an unsigned 64-bit `INTEGER`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.int(v as i128)
+    }
+
+    /// Encode a signed 64-bit `INTEGER`.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.int(v as i128)
+    }
+
+    fn int(&mut self, v: i128) -> &mut Self {
+        let body = int_bytes(v);
+        self.buf.push(TAG_INTEGER);
+        write_len(&mut self.buf, body.len());
+        self.buf.extend_from_slice(&body);
+        self
+    }
+
+    /// Encode a `BOOLEAN` (DER: `0xFF` for true, `0x00` for false).
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.buf.push(TAG_BOOLEAN);
+        self.buf.push(1);
+        self.buf.push(if v { 0xFF } else { 0x00 });
+        self
+    }
+
+    /// Encode an `OCTET STRING`.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.buf.push(TAG_OCTET_STRING);
+        write_len(&mut self.buf, b.len());
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Encode a `UTF8String`.
+    pub fn utf8(&mut self, s: &str) -> &mut Self {
+        self.buf.push(TAG_UTF8_STRING);
+        write_len(&mut self.buf, s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Encode a constructed `SEQUENCE` whose contents are produced by
+    /// `f` on a fresh writer.
+    pub fn seq(&mut self, f: impl FnOnce(&mut DerWriter)) -> &mut Self {
+        let mut inner = DerWriter::new();
+        f(&mut inner);
+        self.buf.push(TAG_SEQUENCE);
+        write_len(&mut self.buf, inner.buf.len());
+        self.buf.extend_from_slice(&inner.buf);
+        self
+    }
+
+    /// Convenience: encode a slice of `u64`s as an `OCTET STRING` of
+    /// little-endian words (bulk state such as tag arrays is far more
+    /// compact this way than as one `INTEGER` per word).
+    pub fn u64_array(&mut self, words: &[u64]) -> &mut Self {
+        let mut body = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            body.extend_from_slice(&w.to_le_bytes());
+        }
+        self.bytes(&body)
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Streaming DER decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct DerReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> DerReader<'a> {
+    /// Create a decoder over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        DerReader { data, pos: 0 }
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn read_len(&mut self) -> Result<usize, CodecError> {
+        let first = self.take(1)?[0];
+        if first < 0x80 {
+            return Ok(first as usize);
+        }
+        let n = (first & 0x7F) as usize;
+        if n == 0 || n > 8 {
+            return Err(CodecError::BadLength);
+        }
+        let bytes = self.take(n)?;
+        if bytes[0] == 0 {
+            return Err(CodecError::BadLength); // non-minimal
+        }
+        let mut len = 0usize;
+        for &b in bytes {
+            len = len.checked_shl(8).ok_or(CodecError::BadLength)? | b as usize;
+        }
+        if len < 0x80 {
+            return Err(CodecError::BadLength); // should have used short form
+        }
+        Ok(len)
+    }
+
+    fn element(&mut self, expected: u8) -> Result<&'a [u8], CodecError> {
+        let tag = self.take(1)?[0];
+        if tag != expected {
+            self.pos -= 1;
+            return Err(CodecError::UnexpectedTag { found: tag, expected });
+        }
+        let len = self.read_len()?;
+        self.take(len)
+    }
+
+    /// Decode an unsigned 64-bit `INTEGER`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::IntegerOverflow`] if the value is negative or does
+    /// not fit `u64`; tag/length errors as usual.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let v = self.int()?;
+        u64::try_from(v).map_err(|_| CodecError::IntegerOverflow)
+    }
+
+    /// Decode a signed 64-bit `INTEGER`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::IntegerOverflow`] if out of range for `i64`.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        let v = self.int()?;
+        i64::try_from(v).map_err(|_| CodecError::IntegerOverflow)
+    }
+
+    fn int(&mut self) -> Result<i128, CodecError> {
+        let body = self.element(TAG_INTEGER)?;
+        if body.is_empty() || body.len() > 16 {
+            return Err(CodecError::BadLength);
+        }
+        let negative = body[0] & 0x80 != 0;
+        let mut v: i128 = if negative { -1 } else { 0 };
+        for &b in body {
+            v = (v << 8) | b as i128;
+        }
+        Ok(v)
+    }
+
+    /// Decode a `BOOLEAN`.
+    ///
+    /// # Errors
+    ///
+    /// Standard tag/length errors; any nonzero content byte reads `true`.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        let body = self.element(TAG_BOOLEAN)?;
+        if body.len() != 1 {
+            return Err(CodecError::BadLength);
+        }
+        Ok(body[0] != 0)
+    }
+
+    /// Decode an `OCTET STRING`, borrowing from the input.
+    ///
+    /// # Errors
+    ///
+    /// Standard tag/length errors.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        self.element(TAG_OCTET_STRING)
+    }
+
+    /// Decode a `UTF8String`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadUtf8`] on invalid UTF-8.
+    pub fn utf8(&mut self) -> Result<&'a str, CodecError> {
+        let body = self.element(TAG_UTF8_STRING)?;
+        std::str::from_utf8(body).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Enter a `SEQUENCE`, returning a sub-reader over its contents.
+    ///
+    /// # Errors
+    ///
+    /// Standard tag/length errors.
+    pub fn seq(&mut self) -> Result<DerReader<'a>, CodecError> {
+        let body = self.element(TAG_SEQUENCE)?;
+        Ok(DerReader::new(body))
+    }
+
+    /// Decode an `OCTET STRING` of little-endian `u64` words (the
+    /// counterpart of [`DerWriter::u64_array`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadLength`] when the payload is not a multiple of 8.
+    pub fn u64_array(&mut self) -> Result<Vec<u64>, CodecError> {
+        let body = self.bytes()?;
+        if body.len() % 8 != 0 {
+            return Err(CodecError::BadLength);
+        }
+        Ok(body
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u64(v: u64) {
+        let mut w = DerWriter::new();
+        w.u64(v);
+        let data = w.finish();
+        let mut r = DerReader::new(&data);
+        assert_eq!(r.u64().unwrap(), v);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        for v in [0u64, 1, 127, 128, 255, 256, u32::MAX as u64, u64::MAX] {
+            roundtrip_u64(v);
+        }
+        for v in [-1i64, i64::MIN, i64::MAX, -128, 128] {
+            let mut w = DerWriter::new();
+            w.i64(v);
+            let data = w.finish();
+            assert_eq!(DerReader::new(&data).i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn canonical_integer_encodings() {
+        // DER: 127 encodes as 02 01 7F; 128 needs a leading zero.
+        let mut w = DerWriter::new();
+        w.u64(127);
+        assert_eq!(w.clone().finish(), vec![0x02, 0x01, 0x7F]);
+        let mut w = DerWriter::new();
+        w.u64(128);
+        assert_eq!(w.finish(), vec![0x02, 0x02, 0x00, 0x80]);
+        let mut w = DerWriter::new();
+        w.i64(-1);
+        assert_eq!(w.finish(), vec![0x02, 0x01, 0xFF]);
+    }
+
+    #[test]
+    fn long_form_length() {
+        let payload = vec![0xABu8; 300];
+        let mut w = DerWriter::new();
+        w.bytes(&payload);
+        let data = w.finish();
+        assert_eq!(&data[..4], &[0x04, 0x82, 0x01, 0x2C]); // 300 = 0x012C
+        assert_eq!(DerReader::new(&data).bytes().unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn nested_sequences() {
+        let mut w = DerWriter::new();
+        w.seq(|w| {
+            w.u64(7);
+            w.seq(|w| {
+                w.utf8("inner");
+                w.bool(true);
+            });
+            w.bytes(b"tail");
+        });
+        let data = w.finish();
+        let mut r = DerReader::new(&data);
+        let mut s = r.seq().unwrap();
+        assert_eq!(s.u64().unwrap(), 7);
+        let mut inner = s.seq().unwrap();
+        assert_eq!(inner.utf8().unwrap(), "inner");
+        assert!(inner.bool().unwrap());
+        assert!(inner.is_empty());
+        assert_eq!(s.bytes().unwrap(), b"tail");
+        assert!(s.is_empty() && r.is_empty());
+    }
+
+    #[test]
+    fn u64_array_roundtrip() {
+        let words = vec![0u64, 5, u64::MAX, 42];
+        let mut w = DerWriter::new();
+        w.u64_array(&words);
+        let data = w.finish();
+        assert_eq!(DerReader::new(&data).u64_array().unwrap(), words);
+    }
+
+    #[test]
+    fn wrong_tag_reports_both() {
+        let mut w = DerWriter::new();
+        w.u64(5);
+        let data = w.finish();
+        let err = DerReader::new(&data).bytes().unwrap_err();
+        assert_eq!(err, CodecError::UnexpectedTag { found: 0x02, expected: 0x04 });
+    }
+
+    #[test]
+    fn truncated_input() {
+        let mut w = DerWriter::new();
+        w.bytes(&[1, 2, 3, 4]);
+        let data = w.finish();
+        let mut r = DerReader::new(&data[..data.len() - 1]);
+        assert_eq!(r.bytes().unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn rejects_non_minimal_length() {
+        // 0x81 0x05 is long-form for 5, which must use short form.
+        let data = [0x04, 0x81, 0x05, 1, 2, 3, 4, 5];
+        assert_eq!(DerReader::new(&data).bytes().unwrap_err(), CodecError::BadLength);
+    }
+
+    #[test]
+    fn negative_into_u64_overflows() {
+        let mut w = DerWriter::new();
+        w.i64(-5);
+        let data = w.finish();
+        assert_eq!(DerReader::new(&data).u64().unwrap_err(), CodecError::IntegerOverflow);
+    }
+}

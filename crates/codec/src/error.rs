@@ -1,0 +1,78 @@
+//! Error type for encoding, decoding, and container parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from DER decoding, LZSS decompression, or container parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before a complete element was read.
+    Truncated,
+    /// An element carried an unexpected ASN.1 tag.
+    UnexpectedTag {
+        /// Tag found in the input.
+        found: u8,
+        /// Tag the caller asked for.
+        expected: u8,
+    },
+    /// A length field was non-canonical or exceeded the input.
+    BadLength,
+    /// An `INTEGER` did not fit the requested Rust type.
+    IntegerOverflow,
+    /// A `UTF8String` held invalid UTF-8.
+    BadUtf8,
+    /// A compressed stream referenced data before the window start.
+    BadBackReference,
+    /// A container frame failed its CRC check.
+    CrcMismatch {
+        /// Zero-based frame index.
+        frame: usize,
+    },
+    /// The container magic/version was not recognized.
+    BadContainer,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input ended before a complete element"),
+            CodecError::UnexpectedTag { found, expected } => {
+                write!(f, "unexpected DER tag {found:#04x} (expected {expected:#04x})")
+            }
+            CodecError::BadLength => write!(f, "non-canonical or out-of-range DER length"),
+            CodecError::IntegerOverflow => write!(f, "integer does not fit the requested type"),
+            CodecError::BadUtf8 => write!(f, "utf8string held invalid utf-8"),
+            CodecError::BadBackReference => {
+                write!(f, "compressed stream references data before window start")
+            }
+            CodecError::CrcMismatch { frame } => {
+                write!(f, "container frame {frame} failed its crc check")
+            }
+            CodecError::BadContainer => write!(f, "unrecognized container magic or version"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        let variants = [
+            CodecError::Truncated,
+            CodecError::UnexpectedTag { found: 1, expected: 2 },
+            CodecError::BadLength,
+            CodecError::IntegerOverflow,
+            CodecError::BadUtf8,
+            CodecError::BadBackReference,
+            CodecError::CrcMismatch { frame: 3 },
+            CodecError::BadContainer,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests: the codecs must round-trip arbitrary inputs.
+
+use proptest::prelude::*;
+use spectral_codec::{lzss, Container, DerReader, DerWriter};
+
+proptest! {
+    #[test]
+    fn lzss_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lzss::compress(&data);
+        prop_assert_eq!(lzss::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_roundtrips_repetitive_bytes(
+        unit in proptest::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..512,
+    ) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let c = lzss::compress(&data);
+        prop_assert_eq!(lzss::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn der_u64_roundtrips(v in any::<u64>()) {
+        let mut w = DerWriter::new();
+        w.u64(v);
+        let data = w.finish();
+        prop_assert_eq!(DerReader::new(&data).u64().unwrap(), v);
+    }
+
+    #[test]
+    fn der_i64_roundtrips(v in any::<i64>()) {
+        let mut w = DerWriter::new();
+        w.i64(v);
+        let data = w.finish();
+        prop_assert_eq!(DerReader::new(&data).i64().unwrap(), v);
+    }
+
+    #[test]
+    fn der_mixed_sequence_roundtrips(
+        a in any::<u64>(),
+        b in any::<i64>(),
+        s in "[a-zA-Z0-9 ]{0,64}",
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        flag in any::<bool>(),
+    ) {
+        let mut w = DerWriter::new();
+        w.seq(|w| {
+            w.u64(a);
+            w.i64(b);
+            w.utf8(&s);
+            w.bytes(&bytes);
+            w.bool(flag);
+        });
+        let data = w.finish();
+        let mut r = DerReader::new(&data);
+        let mut q = r.seq().unwrap();
+        prop_assert_eq!(q.u64().unwrap(), a);
+        prop_assert_eq!(q.i64().unwrap(), b);
+        prop_assert_eq!(q.utf8().unwrap(), s.as_str());
+        prop_assert_eq!(q.bytes().unwrap(), &bytes[..]);
+        prop_assert_eq!(q.bool().unwrap(), flag);
+        prop_assert!(q.is_empty());
+    }
+
+    #[test]
+    fn der_u64_array_roundtrips(words in proptest::collection::vec(any::<u64>(), 0..512)) {
+        let mut w = DerWriter::new();
+        w.u64_array(&words);
+        let data = w.finish();
+        prop_assert_eq!(DerReader::new(&data).u64_array().unwrap(), words);
+    }
+
+    #[test]
+    fn container_roundtrips(
+        recs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..512), 0..16),
+    ) {
+        let bytes = Container::encode(recs.clone());
+        prop_assert_eq!(Container::decode(&bytes).unwrap().records, recs);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = lzss::decompress(&data); // must return, never panic
+    }
+
+    #[test]
+    fn der_reader_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut r = DerReader::new(&data);
+        let _ = r.u64();
+        let _ = r.bytes();
+        let _ = r.seq();
+        let _ = r.bool();
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for live-point creation, encoding, and simulation.
+
+use spectral_cache::CacheError;
+use spectral_codec::CodecError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors from the live-point framework.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A wire-format (DER/LZSS/container) fault.
+    Codec(CodecError),
+    /// A cache-geometry fault (reconstruction target not covered, etc.).
+    Cache(CacheError),
+    /// File I/O while saving or loading a library.
+    Io(io::Error),
+    /// The requested branch-predictor configuration has no stored
+    /// snapshot in the live-point.
+    BpredNotStored,
+    /// The live-point belongs to a different benchmark than the program
+    /// supplied for simulation.
+    BenchmarkMismatch {
+        /// Benchmark recorded in the live-point.
+        expected: String,
+        /// Benchmark of the supplied program.
+        found: String,
+    },
+    /// The benchmark is too short for the requested sample design.
+    BenchmarkTooShort,
+    /// A live-point record index was out of range.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// The library's record count.
+        len: usize,
+    },
+    /// The library holds no live-points.
+    EmptyLibrary,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Codec(e) => write!(f, "codec fault: {e}"),
+            CoreError::Cache(e) => write!(f, "cache geometry fault: {e}"),
+            CoreError::Io(e) => write!(f, "i/o fault: {e}"),
+            CoreError::BpredNotStored => {
+                write!(f, "no stored snapshot for the requested branch-predictor configuration")
+            }
+            CoreError::BenchmarkMismatch { expected, found } => {
+                write!(f, "live-point is for benchmark '{expected}', got program '{found}'")
+            }
+            CoreError::BenchmarkTooShort => {
+                write!(f, "benchmark too short for the requested sample design")
+            }
+            CoreError::IndexOutOfRange { index, len } => {
+                write!(f, "live-point index {index} out of range (library holds {len})")
+            }
+            CoreError::EmptyLibrary => write!(f, "live-point library is empty"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Codec(e) => Some(e),
+            CoreError::Cache(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        CoreError::Codec(e)
+    }
+}
+
+impl From<CacheError> for CoreError {
+    fn from(e: CacheError) -> Self {
+        CoreError::Cache(e)
+    }
+}
+
+impl From<io::Error> for CoreError {
+    fn from(e: io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(CodecError::Truncated);
+        assert!(e.to_string().contains("codec"));
+        assert!(e.source().is_some());
+        assert!(CoreError::BpredNotStored.source().is_none());
+        assert!(!CoreError::EmptyLibrary.to_string().is_empty());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,72 @@
+//! # spectral-core — simulation sampling with live-points
+//!
+//! The primary contribution of the reproduced paper (*Simulation
+//! Sampling with Live-points*, ISPASS 2006): checkpoints that store the
+//! bare minimum of functionally-warmed state needed to simulate one
+//! pre-selected execution window accurately, plus the sampling framework
+//! that exploits their independence.
+//!
+//! * [`LivePoint`] — one checkpoint: architectural registers, the
+//!   **live-state** memory subset (only words the window actually
+//!   reads), timestamped Cache Set Records for every cache/TLB bounded
+//!   by a user-selected maximum geometry, and one branch-predictor
+//!   snapshot per selected predictor configuration,
+//! * [`LivePointLibrary`] — creation (one functional pass per
+//!   benchmark), shuffling, and the single-compressed-stream container
+//!   the paper recommends (§6.1),
+//! * [`OnlineRunner`] — random-order processing with online confidence:
+//!   results and their confidence are available *while the simulation
+//!   runs*, and the run stops as soon as the target confidence is met
+//!   (with the n ≥ 30 central-limit floor),
+//! * [`MatchedRunner`] — matched-pair comparative experiments (§6.2):
+//!   the same live-points measured under two machine configurations,
+//!   building the confidence interval directly on the CPI delta,
+//! * parallel processing over [`crossbeam`] scoped threads — live-point
+//!   independence makes this embarrassingly parallel.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use spectral_core::{CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy};
+//! use spectral_uarch::MachineConfig;
+//! use spectral_workloads::by_name;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = by_name("gzip-like").expect("in suite");
+//! let program = bench.build();
+//! let library = LivePointLibrary::create(&program, &CreationConfig::default())?;
+//! let estimate = OnlineRunner::new(&library, MachineConfig::eight_way())
+//!     .run(&program, &RunPolicy::default())?;
+//! println!(
+//!     "CPI {:.3} ± {:.3} after {} live-points",
+//!     estimate.mean(),
+//!     estimate.half_width(),
+//!     estimate.processed()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod creation;
+mod encode;
+mod error;
+mod library;
+mod livepoint;
+mod livestate;
+mod matched;
+mod plan;
+mod runner;
+mod stratified;
+
+pub use creation::{benchmark_length, CreationConfig, L2StreamPolicy};
+pub use error::CoreError;
+pub use library::LivePointLibrary;
+pub use livepoint::{LivePoint, SizeBreakdown, WarmPayload};
+pub use livestate::{collect_live_state, LiveState, StateScope};
+pub use matched::{MatchedOutcome, MatchedRunner};
+pub use plan::{plan_library, LibraryPlan};
+pub use runner::{simulate_live_point, Estimate, OnlineRunner, RunPolicy};
+pub use stratified::{StratifiedEstimate, StratifiedRunner};

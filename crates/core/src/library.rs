@@ -1,0 +1,531 @@
+//! Live-point libraries: creation, shuffling, and on-disk containers.
+
+use std::path::Path;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use spectral_cache::HierarchyConfig;
+use spectral_codec::{lzss, ContainerReader, ContainerWriter, DerReader, DerWriter};
+use spectral_isa::{Emulator, Program};
+use spectral_stats::{SampleDesign, SystematicDesign, WindowSpec};
+
+use crate::creation::{benchmark_length, CreationConfig, CreationWarmers, TouchedState};
+use crate::encode::{decode_livepoint, encode_livepoint};
+use crate::error::CoreError;
+use crate::livepoint::{LivePoint, SizeBreakdown, WarmPayload};
+use crate::livestate::{LiveStateCollector, StateScope};
+
+/// A benchmark's live-point library: independently-loadable compressed
+/// records, pre-shuffled into random order (paper §6.1: "we recommend
+/// shuffling live-points on disk, prior to simulation").
+#[derive(Debug, Clone)]
+pub struct LivePointLibrary {
+    benchmark: String,
+    scope: StateScope,
+    max_hierarchy: HierarchyConfig,
+    /// LZSS-compressed DER live-points, in shuffled order.
+    records: Vec<Vec<u8>>,
+}
+
+impl LivePointLibrary {
+    /// Create a library with the paper's periodic sample design: one
+    /// functional pass to measure the benchmark, one creation pass to
+    /// collect the points, then a seeded shuffle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BenchmarkTooShort`] when the benchmark
+    /// cannot host a single window.
+    pub fn create(program: &Program, cfg: &CreationConfig) -> Result<Self, CoreError> {
+        let n = benchmark_length(program);
+        let design = SystematicDesign::new(cfg.unit_len, cfg.warm_len);
+        let windows = design.windows(n, cfg.sample_size, cfg.seed);
+        Self::create_with_windows(program, cfg, &windows)
+    }
+
+    /// Create a library for caller-chosen windows (sorted,
+    /// non-overlapping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BenchmarkTooShort`] for an empty window list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is unsorted.
+    pub fn create_with_windows(
+        program: &Program,
+        cfg: &CreationConfig,
+        windows: &[WindowSpec],
+    ) -> Result<Self, CoreError> {
+        if windows.is_empty() {
+            return Err(CoreError::BenchmarkTooShort);
+        }
+        assert!(
+            windows.windows(2).all(|w| w[0].end() <= w[1].detail_start),
+            "windows must be sorted and non-overlapping"
+        );
+
+        let mut warmers = CreationWarmers::new(cfg);
+        let mut emu = Emulator::new(program);
+        let mut records = Vec::with_capacity(windows.len());
+
+        for (i, w) in windows.iter().enumerate() {
+            // Functional warming up to the window.
+            while emu.seq() < w.detail_start && !emu.is_halted() {
+                if let Some(di) = emu.step() {
+                    warmers.observe(&di);
+                }
+            }
+            if emu.is_halted() {
+                break;
+            }
+            let payload = warmers.snapshot();
+            let mut collector = LiveStateCollector::begin(&emu);
+            let mut touched = TouchedState::default();
+            let hard_end = windows
+                .get(i + 1)
+                .map(|next| next.detail_start)
+                .unwrap_or(u64::MAX);
+            let limit = (w.end() + cfg.read_slack).min(hard_end);
+            while emu.seq() < limit && !emu.is_halted() {
+                let Some(di) = emu.step() else { break };
+                warmers.observe(&di);
+                if di.seq < w.end() && cfg.scope == StateScope::Restricted {
+                    touched.observe(&di, &cfg.max_hierarchy);
+                }
+                if let Some((op, addr)) = di.mem {
+                    collector.observe(op, addr, emu.memory().read_u64(addr));
+                }
+            }
+            let live_state = collector.finish();
+            let warm = match cfg.scope {
+                StateScope::Full => payload,
+                StateScope::Restricted => restrict_payload(payload, &touched, cfg),
+            };
+            let lp = LivePoint {
+                benchmark: program.name().to_owned(),
+                window: *w,
+                scope: cfg.scope,
+                live_state,
+                warm,
+                max_hierarchy: cfg.max_hierarchy,
+            };
+            records.push(lzss::compress(&encode_livepoint(&lp)));
+        }
+
+        if records.is_empty() {
+            return Err(CoreError::BenchmarkTooShort);
+        }
+        let mut lib = LivePointLibrary {
+            benchmark: program.name().to_owned(),
+            scope: cfg.scope,
+            max_hierarchy: cfg.max_hierarchy,
+            records,
+        };
+        lib.shuffle(cfg.seed ^ 0x0F1E_2D3C);
+        Ok(lib)
+    }
+
+    /// The benchmark this library samples.
+    pub fn benchmark(&self) -> &str {
+        &self.benchmark
+    }
+
+    /// The warm-state scope the library was created with.
+    pub fn scope(&self) -> StateScope {
+        self.scope
+    }
+
+    /// The maximum hierarchy geometry the library supports.
+    pub fn max_hierarchy(&self) -> &HierarchyConfig {
+        &self.max_hierarchy
+    }
+
+    /// Number of live-points.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the library holds no live-points.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Decode live-point `index` (decompression + DER decode — the cost
+    /// the paper charts as "checkpoint processing time" in Fig 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IndexOutOfRange`] or a codec fault.
+    pub fn get(&self, index: usize) -> Result<LivePoint, CoreError> {
+        let rec = self
+            .records
+            .get(index)
+            .ok_or(CoreError::IndexOutOfRange { index, len: self.records.len() })?;
+        let der = lzss::decompress(rec)?;
+        decode_livepoint(&der)
+    }
+
+    /// Iterate decoded live-points in (shuffled) processing order.
+    ///
+    /// ```no_run
+    /// # use spectral_core::{CreationConfig, LivePointLibrary};
+    /// # fn demo(library: &LivePointLibrary) -> Result<(), spectral_core::CoreError> {
+    /// for lp in library.iter() {
+    ///     let lp = lp?;
+    ///     println!("window at {}", lp.window.measure_start);
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { library: self, index: 0 }
+    }
+
+    /// Compressed size of record `index` in bytes.
+    pub fn record_bytes(&self, index: usize) -> Option<usize> {
+        self.records.get(index).map(Vec::len)
+    }
+
+    /// Total compressed library size in bytes (the paper's "12 GB for
+    /// SPEC2K" quantity, at this repo's scale).
+    pub fn total_compressed_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Mean compressed bytes per live-point.
+    pub fn mean_point_bytes(&self) -> u64 {
+        if self.records.is_empty() {
+            0
+        } else {
+            self.total_compressed_bytes() / self.records.len() as u64
+        }
+    }
+
+    /// Mean uncompressed (DER) bytes per live-point, with the Figure 7
+    /// component breakdown averaged over up to `sample` points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode faults.
+    pub fn mean_breakdown(&self, sample: usize) -> Result<SizeBreakdown, CoreError> {
+        let n = sample.min(self.records.len()).max(1);
+        let mut acc = SizeBreakdown::default();
+        for i in 0..n {
+            let b = self.get(i)?.size_breakdown();
+            acc.regs_tlb += b.regs_tlb;
+            acc.bpred += b.bpred;
+            acc.l1i_tags += b.l1i_tags;
+            acc.l1d_tags += b.l1d_tags;
+            acc.l2_tags += b.l2_tags;
+            acc.memory_data += b.memory_data;
+        }
+        let n = n as u64;
+        Ok(SizeBreakdown {
+            regs_tlb: acc.regs_tlb / n,
+            bpred: acc.bpred / n,
+            l1i_tags: acc.l1i_tags / n,
+            l1d_tags: acc.l1d_tags / n,
+            l2_tags: acc.l2_tags / n,
+            memory_data: acc.memory_data / n,
+        })
+    }
+
+    /// Re-shuffle the processing order (deterministic in `seed`).
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.records.shuffle(&mut rng);
+    }
+
+    /// Serialize the library to container bytes (meta record followed by
+    /// the compressed live-points).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = DerWriter::new();
+        meta.seq(|w| {
+            w.utf8(&self.benchmark);
+            w.u64(match self.scope {
+                StateScope::Full => 0,
+                StateScope::Restricted => 1,
+            });
+            for c in [&self.max_hierarchy.l1i, &self.max_hierarchy.l1d, &self.max_hierarchy.l2] {
+                w.seq(|w| {
+                    w.u64(c.size_bytes());
+                    w.u64(c.assoc() as u64);
+                    w.u64(c.line_bytes());
+                });
+            }
+            for t in [&self.max_hierarchy.itlb, &self.max_hierarchy.dtlb] {
+                w.seq(|w| {
+                    w.u64(t.entries() as u64);
+                    w.u64(t.assoc() as u64);
+                    w.u64(t.page_bytes());
+                });
+            }
+        });
+        let mut writer = ContainerWriter::new();
+        writer.push(&meta.finish());
+        for rec in &self.records {
+            writer.push_compressed(rec.clone());
+        }
+        writer.finish()
+    }
+
+    /// Parse a library from container bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates container/DER faults; an empty container is
+    /// [`CoreError::EmptyLibrary`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CoreError> {
+        let mut reader = ContainerReader::new(data)?;
+        let meta_bytes = reader.next_record()?.ok_or(CoreError::EmptyLibrary)?;
+        let mut r = DerReader::new(&meta_bytes);
+        let mut s = r.seq()?;
+        let benchmark = s.utf8()?.to_owned();
+        let scope = match s.u64()? {
+            0 => StateScope::Full,
+            _ => StateScope::Restricted,
+        };
+        let mut cache_cfg = || -> Result<spectral_cache::CacheConfig, CoreError> {
+            let mut q = s.seq()?;
+            Ok(spectral_cache::CacheConfig::new(q.u64()?, q.u64()? as u32, q.u64()?)?)
+        };
+        let l1i = cache_cfg()?;
+        let l1d = cache_cfg()?;
+        let l2 = cache_cfg()?;
+        let mut tlb_cfg = || -> Result<spectral_cache::TlbConfig, CoreError> {
+            let mut q = s.seq()?;
+            Ok(spectral_cache::TlbConfig::new(q.u64()? as u32, q.u64()? as u32, q.u64()?)?)
+        };
+        let itlb = tlb_cfg()?;
+        let dtlb = tlb_cfg()?;
+        let mut records = Vec::new();
+        while let Some(rec) = reader.next_record_compressed()? {
+            records.push(rec);
+        }
+        Ok(LivePointLibrary {
+            benchmark,
+            scope,
+            max_hierarchy: HierarchyConfig { l1i, l1d, l2, itlb, dtlb },
+            records,
+        })
+    }
+
+    /// Save to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Load from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and container errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Merge another library of the same benchmark into this one
+    /// (growing the sample-size upper bound, e.g. when a comparative
+    /// study needs more points than originally planned — the risk §6.2
+    /// discusses). The merged records are re-shuffled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BenchmarkMismatch`] when the benchmark or
+    /// creation bounds differ (points from mismatched bounds cannot be
+    /// processed interchangeably).
+    pub fn merge(&mut self, other: LivePointLibrary, shuffle_seed: u64) -> Result<(), CoreError> {
+        if other.benchmark != self.benchmark
+            || other.max_hierarchy != self.max_hierarchy
+            || other.scope != self.scope
+        {
+            return Err(CoreError::BenchmarkMismatch {
+                expected: self.benchmark.clone(),
+                found: other.benchmark,
+            });
+        }
+        self.records.extend(other.records);
+        self.shuffle(shuffle_seed);
+        Ok(())
+    }
+}
+
+/// Iterator over a library's decoded live-points; created by
+/// [`LivePointLibrary::iter`].
+#[derive(Debug)]
+pub struct Iter<'l> {
+    library: &'l LivePointLibrary,
+    index: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Result<LivePoint, CoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.index >= self.library.len() {
+            return None;
+        }
+        let item = self.library.get(self.index);
+        self.index += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.library.len() - self.index;
+        (left, Some(left))
+    }
+}
+
+fn restrict_payload(
+    payload: WarmPayload,
+    touched: &TouchedState,
+    cfg: &CreationConfig,
+) -> WarmPayload {
+    use crate::creation::filter_csr;
+    use crate::livepoint::tlb_as_cache;
+    let h = &cfg.max_hierarchy;
+    WarmPayload {
+        l1i: filter_csr(&payload.l1i, &touched.l1i, &h.l1i),
+        l1d: filter_csr(&payload.l1d, &touched.l1d, &h.l1d),
+        l2: filter_csr(&payload.l2, &touched.l2, &h.l2),
+        itlb: filter_csr(&payload.itlb, &touched.itlb, &tlb_as_cache(&h.itlb)),
+        dtlb: filter_csr(&payload.dtlb, &touched.dtlb, &tlb_as_cache(&h.dtlb)),
+        bpreds: payload.bpreds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectral_uarch::MachineConfig;
+    use spectral_workloads::tiny;
+
+    fn small_cfg() -> CreationConfig {
+        CreationConfig::for_machine(&MachineConfig::eight_way()).with_sample_size(12)
+    }
+
+    #[test]
+    fn create_and_decode() {
+        let p = tiny().build();
+        let lib = LivePointLibrary::create(&p, &small_cfg()).unwrap();
+        assert!(lib.len() >= 10, "got {} points", lib.len());
+        let lp = lib.get(0).unwrap();
+        assert_eq!(lp.benchmark, "tiny");
+        assert!(lp.live_state.word_count() > 0);
+        assert!(lp.warm.l2.entry_count() > 0);
+    }
+
+    #[test]
+    fn shuffled_but_deterministic() {
+        let p = tiny().build();
+        let a = LivePointLibrary::create(&p, &small_cfg()).unwrap();
+        let b = LivePointLibrary::create(&p, &small_cfg()).unwrap();
+        // Same seed → same order.
+        let seqs = |l: &LivePointLibrary| -> Vec<u64> {
+            (0..l.len()).map(|i| l.get(i).unwrap().window.measure_start).collect()
+        };
+        assert_eq!(seqs(&a), seqs(&b));
+        // Shuffled: not in program order.
+        let s = seqs(&a);
+        assert!(s.windows(2).any(|w| w[0] > w[1]), "library should be shuffled: {s:?}");
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let p = tiny().build();
+        let lib = LivePointLibrary::create(&p, &small_cfg()).unwrap();
+        let bytes = lib.to_bytes();
+        let back = LivePointLibrary::from_bytes(&bytes).unwrap();
+        assert_eq!(back.benchmark(), lib.benchmark());
+        assert_eq!(back.len(), lib.len());
+        assert_eq!(back.max_hierarchy(), lib.max_hierarchy());
+        assert_eq!(
+            back.get(3).unwrap().window,
+            lib.get(3).unwrap().window
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let p = tiny().build();
+        let lib = LivePointLibrary::create(&p, &small_cfg()).unwrap();
+        let path = std::env::temp_dir().join("spectral_test_library.splp");
+        lib.save(&path).unwrap();
+        let back = LivePointLibrary::load(&path).unwrap();
+        assert_eq!(back.len(), lib.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restricted_is_smaller_than_full() {
+        let p = tiny().build();
+        let full = LivePointLibrary::create(&p, &small_cfg()).unwrap();
+        let restricted = LivePointLibrary::create(
+            &p,
+            &small_cfg().with_scope(StateScope::Restricted),
+        )
+        .unwrap();
+        assert!(
+            restricted.total_compressed_bytes() < full.total_compressed_bytes(),
+            "restricted {} vs full {}",
+            restricted.total_compressed_bytes(),
+            full.total_compressed_bytes()
+        );
+        assert_eq!(restricted.scope(), StateScope::Restricted);
+    }
+
+    #[test]
+    fn merge_grows_library() {
+        let p = tiny().build();
+        let mut a = LivePointLibrary::create(&p, &small_cfg()).unwrap();
+        let b = LivePointLibrary::create(&p, &small_cfg().with_seed(991)).unwrap();
+        let total = a.len() + b.len();
+        a.merge(b, 5).unwrap();
+        assert_eq!(a.len(), total);
+        // Every merged record still decodes.
+        for i in 0..a.len() {
+            a.get(i).unwrap();
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_bounds() {
+        let p = tiny().build();
+        let mut a = LivePointLibrary::create(&p, &small_cfg()).unwrap();
+        let bigger = CreationConfig::default().with_sample_size(12);
+        let b = LivePointLibrary::create(&p, &bigger).unwrap();
+        assert!(a.merge(b, 5).is_err());
+    }
+
+    #[test]
+    fn out_of_range_get() {
+        let p = tiny().build();
+        let lib = LivePointLibrary::create(&p, &small_cfg()).unwrap();
+        assert!(matches!(
+            lib.get(99_999),
+            Err(CoreError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn live_points_far_smaller_than_conventional() {
+        // §5's headline: live-state shrinks checkpoints by orders of
+        // magnitude relative to the process footprint.
+        let p = tiny().build();
+        let lib = LivePointLibrary::create(&p, &small_cfg()).unwrap();
+        let lp = lib.get(0).unwrap();
+        let conventional = lp.live_state.conventional_bytes;
+        let live = lib.mean_point_bytes();
+        assert!(
+            live * 4 < conventional,
+            "live-point {live} B should be far below conventional {conventional} B"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! The live-point: one self-contained, independently-simulatable
+//! checkpoint.
+
+use spectral_cache::{
+    CacheConfig, CacheHierarchy, Csr, HierarchyConfig, HierarchySnapshot, TlbConfig,
+};
+use spectral_stats::WindowSpec;
+use spectral_uarch::{BpredConfig, BpredSnapshot, BranchPredictor};
+
+use crate::error::CoreError;
+use crate::livestate::{LiveState, StateScope};
+
+/// The functionally-warmed microarchitectural payload of a live-point.
+///
+/// Caches and TLBs are stored as timestamped [`Csr`]s bounded by the
+/// library's maximum geometry, so one payload serves every covered
+/// configuration (the paper's *adaptable warmed state*). Branch
+/// predictors cannot be adapted, so one [`BpredSnapshot`] is stored per
+/// user-selected configuration (the paper's *multiple configurations*
+/// approach).
+#[derive(Debug, Clone)]
+pub struct WarmPayload {
+    /// L1 instruction-cache record (fed by the line-deduplicated fetch
+    /// stream).
+    pub l1i: Csr,
+    /// L1 data-cache record (fed by the data reference stream).
+    pub l1d: Csr,
+    /// Unified L2 record (fed by the combined reference stream,
+    /// Barr-style; see DESIGN.md for the filtered-vs-unfiltered
+    /// discussion).
+    pub l2: Csr,
+    /// Instruction-TLB record (page granularity).
+    pub itlb: Csr,
+    /// Data-TLB record (page granularity).
+    pub dtlb: Csr,
+    /// One warm predictor snapshot per stored configuration.
+    pub bpreds: Vec<BpredSnapshot>,
+}
+
+/// One live-point: everything needed to simulate one sample window in
+/// isolation, for any machine configuration within the library bounds.
+#[derive(Debug, Clone)]
+pub struct LivePoint {
+    /// Benchmark this live-point belongs to.
+    pub benchmark: String,
+    /// The window's position and extent in the committed stream.
+    pub window: WindowSpec,
+    /// How much warm state was retained at creation.
+    pub scope: StateScope,
+    /// Architectural live-state (registers + touched memory words).
+    pub live_state: LiveState,
+    /// Warm microarchitectural state.
+    pub warm: WarmPayload,
+    /// The maximum hierarchy geometry this live-point supports.
+    pub max_hierarchy: HierarchyConfig,
+}
+
+impl LivePoint {
+    /// Reconstruct a warm [`CacheHierarchy`] for `target`, which must be
+    /// covered by the live-point's maximum geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cache`] when any target structure exceeds
+    /// the recorded bounds.
+    pub fn reconstruct_hierarchy(
+        &self,
+        target: &HierarchyConfig,
+    ) -> Result<CacheHierarchy, CoreError> {
+        let snap = HierarchySnapshot {
+            l1i: self.warm.l1i.reconstruct(&target.l1i)?,
+            l1d: self.warm.l1d.reconstruct(&target.l1d)?,
+            l2: self.warm.l2.reconstruct(&target.l2)?,
+            itlb: self.warm.itlb.reconstruct(&tlb_as_cache(&target.itlb))?,
+            dtlb: self.warm.dtlb.reconstruct(&tlb_as_cache(&target.dtlb))?,
+        };
+        Ok(CacheHierarchy::from_snapshot(*target, &snap))
+    }
+
+    /// Find and restore the stored predictor snapshot for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BpredNotStored`] when no snapshot with the
+    /// exact configuration exists (predictors are stored per
+    /// configuration; they cannot be adapted like caches).
+    pub fn predictor_for(&self, config: &BpredConfig) -> Result<BranchPredictor, CoreError> {
+        self.warm
+            .bpreds
+            .iter()
+            .find(|s| &s.config == config)
+            .map(BranchPredictor::from_snapshot)
+            .ok_or(CoreError::BpredNotStored)
+    }
+
+    /// Compute the encoded (uncompressed) size of each component — the
+    /// paper's Figure 7 breakdown.
+    pub fn size_breakdown(&self) -> SizeBreakdown {
+        crate::encode::breakdown(self)
+    }
+
+    /// Encode to the DER wire format (uncompressed; libraries store the
+    /// LZSS-compressed form).
+    pub fn to_der(&self) -> Vec<u8> {
+        crate::encode::encode_livepoint(self)
+    }
+
+    /// Decode from the DER wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Codec`] or [`CoreError::Cache`] on malformed
+    /// input.
+    pub fn from_der(data: &[u8]) -> Result<LivePoint, CoreError> {
+        crate::encode::decode_livepoint(data)
+    }
+}
+
+/// View a TLB geometry as the cache geometry its CSR was recorded under.
+pub(crate) fn tlb_as_cache(t: &TlbConfig) -> CacheConfig {
+    CacheConfig::new(t.entries() as u64 * t.page_bytes(), t.assoc(), t.page_bytes())
+        .expect("valid TLB geometry maps to a valid cache geometry")
+}
+
+/// Per-component encoded sizes of a live-point (uncompressed DER), in
+/// bytes — the quantities charted in the paper's Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SizeBreakdown {
+    /// Register files, window/meta header, and TLB records.
+    pub regs_tlb: u64,
+    /// Branch-predictor snapshots (all stored configurations).
+    pub bpred: u64,
+    /// L1I tag records.
+    pub l1i_tags: u64,
+    /// L1D tag records.
+    pub l1d_tags: u64,
+    /// L2 tag records.
+    pub l2_tags: u64,
+    /// Live-state memory words (addresses + values).
+    pub memory_data: u64,
+}
+
+impl SizeBreakdown {
+    /// Total uncompressed live-point size.
+    pub fn total(&self) -> u64 {
+        self.regs_tlb
+            + self.bpred
+            + self.l1i_tags
+            + self.l1d_tags
+            + self.l2_tags
+            + self.memory_data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tlb_as_cache_geometry() {
+        let t = TlbConfig::new(256, 4, 4096).unwrap();
+        let c = tlb_as_cache(&t);
+        assert_eq!(c.num_sets(), 64);
+        assert_eq!(c.assoc(), 4);
+        assert_eq!(c.line_bytes(), 4096);
+    }
+
+    #[test]
+    fn breakdown_total_sums() {
+        let b = SizeBreakdown {
+            regs_tlb: 1,
+            bpred: 2,
+            l1i_tags: 3,
+            l1d_tags: 4,
+            l2_tags: 5,
+            memory_data: 6,
+        };
+        assert_eq!(b.total(), 21);
+    }
+}

@@ -1,0 +1,211 @@
+//! Live-state: the minimal architectural-state subset for one window.
+
+use std::collections::HashSet;
+
+use spectral_isa::{ArchState, Emulator, MemOp, Program, SparseMemory};
+
+/// How much warm microarchitectural state a live-point retains
+/// (the paper's §5 ablation, Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateScope {
+    /// Store complete warm cache-tag/TLB state under the maximum
+    /// geometry (plus predictor snapshots): wrong-path instructions are
+    /// scheduled accurately. The paper's chosen design (<0.1% added
+    /// bias).
+    Full,
+    /// Store only the warm state for blocks the *correct path* touches
+    /// inside the window. Smallest possible live-point that still
+    /// executes the correct path exactly, but wrong-path accesses hit
+    /// effectively-uninitialized state (the paper measures 0.1% average
+    /// and 3.3% worst-case added bias).
+    Restricted,
+}
+
+/// The live-state payload: architectural registers plus exactly the
+/// memory words the window's correct path reads before writing.
+///
+/// Words the window writes before reading need no stored value, and
+/// words never referenced are omitted entirely — this is the three-
+/// orders-of-magnitude saving over conventional checkpoints (§5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveState {
+    /// Architectural register state at the window's warming start.
+    pub arch: ArchState,
+    /// Sorted `(word_address, value)` pairs read before being written.
+    pub memory: Vec<(u64, u64)>,
+    /// Memory footprint (bytes) of the full process image at collection
+    /// time — what a *conventional* checkpoint would have stored.
+    pub conventional_bytes: u64,
+}
+
+impl LiveState {
+    /// Build the partial memory image for simulation.
+    pub fn build_memory(&self) -> SparseMemory {
+        let mut mem = SparseMemory::new();
+        for &(addr, value) in &self.memory {
+            mem.write_u64(addr, value);
+        }
+        mem
+    }
+
+    /// Number of stored memory words.
+    pub fn word_count(&self) -> usize {
+        self.memory.len()
+    }
+}
+
+/// Incremental live-state collector driven by the creation pass.
+///
+/// Feed every committed instruction between the window's warming start
+/// and its end (plus lookahead slack); the collector records each word
+/// that is read before any in-window write.
+#[derive(Debug)]
+pub(crate) struct LiveStateCollector {
+    arch: ArchState,
+    conventional_bytes: u64,
+    written: HashSet<u64>,
+    recorded: HashSet<u64>,
+    memory: Vec<(u64, u64)>,
+}
+
+impl LiveStateCollector {
+    /// Begin collection at the emulator's current position.
+    pub fn begin(emu: &Emulator<'_>) -> Self {
+        LiveStateCollector {
+            arch: emu.arch_state(),
+            conventional_bytes: emu.memory().footprint_bytes(),
+            written: HashSet::new(),
+            recorded: HashSet::new(),
+            memory: Vec::new(),
+        }
+    }
+
+    /// Observe one committed instruction (after the emulator executed
+    /// it; `mem_value` must be the value at the accessed address).
+    pub fn observe(&mut self, op: MemOp, addr: u64, value_after: u64) {
+        let word = addr & !7;
+        match op {
+            MemOp::Read => {
+                if !self.written.contains(&word) && self.recorded.insert(word) {
+                    self.memory.push((word, value_after));
+                }
+            }
+            MemOp::Write => {
+                self.written.insert(word);
+            }
+        }
+    }
+
+    /// Finish, producing the immutable live-state.
+    pub fn finish(mut self) -> LiveState {
+        self.memory.sort_unstable_by_key(|&(a, _)| a);
+        LiveState {
+            arch: self.arch,
+            memory: self.memory,
+            conventional_bytes: self.conventional_bytes,
+        }
+    }
+}
+
+/// Collect the live-state for an arbitrary `[from_seq, to_seq)` span of
+/// `program` (used both by live-point creation and to model the
+/// checkpoint sizes of other strategies, e.g. AW-MRRL's larger windows
+/// in Figures 7/8).
+///
+/// # Panics
+///
+/// Panics if `from_seq > to_seq`.
+pub fn collect_live_state(program: &Program, from_seq: u64, to_seq: u64) -> LiveState {
+    assert!(from_seq <= to_seq, "window must be non-empty");
+    let mut emu = Emulator::new(program);
+    emu.run_to_seq(from_seq, |_| {});
+    let mut collector = LiveStateCollector::begin(&emu);
+    while emu.seq() < to_seq {
+        let Some(di) = emu.step() else { break };
+        if let Some((op, addr)) = di.mem {
+            let value = emu.memory().read_u64(addr);
+            collector.observe(op, addr, value);
+        }
+    }
+    collector.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectral_isa::{ProgramBuilder, Reg};
+
+    fn rw_program() -> Program {
+        let mut b = ProgramBuilder::new("rw");
+        let data = b.alloc_data(16);
+        for i in 0..16 {
+            b.init_word(data + i * 8, 100 + i);
+        }
+        b.li(Reg::R1, data as i64);
+        // Read [0], write [1], read [1] (post-write), read [2].
+        b.load(Reg::R2, Reg::R1, 0);
+        b.li(Reg::R3, 55);
+        b.store(Reg::R1, Reg::R3, 8);
+        b.load(Reg::R4, Reg::R1, 8);
+        b.load(Reg::R5, Reg::R1, 16);
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn records_only_read_before_write() {
+        let p = rw_program();
+        let ls = collect_live_state(&p, 0, 100);
+        let addrs: Vec<u64> = ls.memory.iter().map(|&(a, _)| a).collect();
+        let data = 0x1000_0000u64;
+        assert!(addrs.contains(&data), "word read first must be stored");
+        assert!(addrs.contains(&(data + 16)), "word only read must be stored");
+        assert!(
+            !addrs.contains(&(data + 8)),
+            "word written before its read needs no stored value"
+        );
+        // Values are the pre-window contents.
+        let v0 = ls.memory.iter().find(|&&(a, _)| a == data).unwrap().1;
+        assert_eq!(v0, 100);
+    }
+
+    #[test]
+    fn partial_memory_reproduces_execution() {
+        // Resuming from live-state must execute the window identically.
+        let p = rw_program();
+        let ls = collect_live_state(&p, 0, 100);
+        let mem = ls.build_memory();
+        let mut emu = Emulator::from_state(&p, ls.arch.clone(), mem);
+        while emu.step().is_some() {}
+        assert_eq!(emu.regs().read(Reg::R2), 100);
+        assert_eq!(emu.regs().read(Reg::R4), 55);
+        assert_eq!(emu.regs().read(Reg::R5), 102);
+    }
+
+    #[test]
+    fn windowed_collection_skips_outside_accesses() {
+        let p = rw_program();
+        // Start collection after the first load: word 0 not recorded.
+        let ls = collect_live_state(&p, 3, 100);
+        let addrs: Vec<u64> = ls.memory.iter().map(|&(a, _)| a).collect();
+        assert!(!addrs.contains(&0x1000_0000));
+    }
+
+    #[test]
+    fn conventional_footprint_recorded() {
+        let p = rw_program();
+        let ls = collect_live_state(&p, 0, 100);
+        assert!(ls.conventional_bytes >= 4096, "at least one touched page");
+        assert!(
+            (ls.word_count() as u64) * 8 < ls.conventional_bytes,
+            "live-state must be smaller than the conventional image"
+        );
+    }
+
+    #[test]
+    fn memory_sorted_for_deterministic_encoding() {
+        let p = rw_program();
+        let ls = collect_live_state(&p, 0, 100);
+        assert!(ls.memory.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

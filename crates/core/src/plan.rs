@@ -1,0 +1,122 @@
+//! Library planning: the paper's experiment procedure step 1
+//! ("measure the target metric variance for the baseline configuration
+//! to determine an appropriate live-point library size", §6.3 / Fig 6).
+
+use spectral_isa::Program;
+use spectral_stats::{
+    required_sample_size, Confidence, SampleDesign, SystematicDesign,
+};
+use spectral_uarch::MachineConfig;
+use spectral_warming::smarts_run;
+
+use crate::error::CoreError;
+
+/// The outcome of a pilot variance measurement: how large a live-point
+/// library should be for a given precision target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LibraryPlan {
+    /// Pilot-measured mean CPI.
+    pub pilot_cpi: f64,
+    /// Pilot-measured coefficient of variation of per-window CPI.
+    pub cv: f64,
+    /// Pilot windows measured.
+    pub pilot_windows: u64,
+    /// Live-points required for the requested precision.
+    pub required_points: u64,
+    /// Maximum windows the benchmark can host under this design
+    /// (`required_points` above this means the precision target is not
+    /// reachable at this benchmark length).
+    pub max_points: u64,
+}
+
+impl LibraryPlan {
+    /// Whether the benchmark can host the required sample.
+    pub fn feasible(&self) -> bool {
+        self.required_points <= self.max_points
+    }
+
+    /// The sample size to actually create: the requirement, clamped to
+    /// what the benchmark can host.
+    pub fn recommended_points(&self) -> u64 {
+        self.required_points.min(self.max_points)
+    }
+}
+
+/// Run a pilot full-warming measurement of `pilot_windows` windows and
+/// size a library for `rel_err` at `confidence`.
+///
+/// The paper performs this step with "prior simulation sampling
+/// approaches" — i.e., one SMARTS-style run — which is what this does.
+/// The pilot costs one functional-warming pass over the benchmark.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BenchmarkTooShort`] when the benchmark cannot
+/// host a pilot of at least 30 windows.
+pub fn plan_library(
+    program: &Program,
+    machine: &MachineConfig,
+    pilot_windows: u64,
+    rel_err: f64,
+    confidence: Confidence,
+    seed: u64,
+) -> Result<LibraryPlan, CoreError> {
+    let design = SystematicDesign::new(1000, machine.detailed_warming);
+    let n = crate::creation::benchmark_length(program);
+    let windows = design.windows(n, pilot_windows, seed);
+    if (windows.len() as u64) < 30 {
+        return Err(CoreError::BenchmarkTooShort);
+    }
+    let pilot = smarts_run(machine, program, &windows);
+    let cv = pilot.estimator.coefficient_of_variation();
+    let required = required_sample_size(cv, rel_err, confidence);
+    let max_points = n / (1000 + machine.detailed_warming);
+    Ok(LibraryPlan {
+        pilot_cpi: pilot.estimator.mean(),
+        cv,
+        pilot_windows: pilot.estimator.count(),
+        required_points: required,
+        max_points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectral_workloads::tiny;
+
+    #[test]
+    fn plan_for_tiny_benchmark() {
+        let p = tiny().build();
+        let machine = MachineConfig::eight_way();
+        let plan =
+            plan_library(&p, &machine, 40, 0.03, Confidence::C99_7, 7).expect("plan");
+        assert!(plan.pilot_cpi > 0.1);
+        assert!(plan.cv >= 0.0);
+        assert!(plan.required_points >= 30);
+        assert!(plan.max_points > 0);
+        assert!(plan.recommended_points() <= plan.max_points);
+    }
+
+    #[test]
+    fn looser_target_needs_fewer_points() {
+        let p = tiny().build();
+        let machine = MachineConfig::eight_way();
+        let tight = plan_library(&p, &machine, 40, 0.01, Confidence::C99_7, 7).unwrap();
+        let loose = plan_library(&p, &machine, 40, 0.10, Confidence::C99_7, 7).unwrap();
+        assert!(loose.required_points <= tight.required_points);
+    }
+
+    #[test]
+    fn too_short_benchmark_rejected() {
+        use spectral_isa::{ProgramBuilder, Reg};
+        let mut b = ProgramBuilder::new("shorty");
+        b.li(Reg::R1, 1);
+        b.halt();
+        let p = b.build();
+        assert!(matches!(
+            plan_library(&p, &MachineConfig::eight_way(), 40, 0.03, Confidence::C99_7, 1),
+            Err(CoreError::BenchmarkTooShort)
+        ));
+    }
+}

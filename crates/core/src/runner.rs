@@ -1,0 +1,384 @@
+//! Live-point simulation: single points, and the random-order online
+//! runner (serial and parallel).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use spectral_isa::{Emulator, Program};
+use spectral_stats::{Confidence, OnlineEstimator, MIN_SAMPLE_SIZE};
+use spectral_uarch::{DetailedSim, MachineConfig, WindowStats};
+
+use crate::error::CoreError;
+use crate::library::LivePointLibrary;
+use crate::livepoint::LivePoint;
+
+/// Shared parallel-run state: merged estimator, trajectory samples, and
+/// the reached-target flag.
+type SharedProgress = (OnlineEstimator, Vec<(u64, f64, f64)>, bool);
+
+/// Simulate one live-point under `machine`: reconstruct the warm
+/// hierarchy and predictor, install the live-state memory image, run
+/// detailed warming, and measure the window.
+///
+/// # Errors
+///
+/// * [`CoreError::BenchmarkMismatch`] when `program` is not the
+///   benchmark the live-point was created from,
+/// * [`CoreError::Cache`] when the machine's hierarchy exceeds the
+///   live-point's recorded bounds,
+/// * [`CoreError::BpredNotStored`] when no snapshot matches the
+///   machine's predictor configuration.
+pub fn simulate_live_point(
+    lp: &LivePoint,
+    program: &Program,
+    machine: &MachineConfig,
+) -> Result<WindowStats, CoreError> {
+    if lp.benchmark != program.name() {
+        return Err(CoreError::BenchmarkMismatch {
+            expected: lp.benchmark.clone(),
+            found: program.name().to_owned(),
+        });
+    }
+    let hierarchy = lp.reconstruct_hierarchy(&machine.hierarchy)?;
+    let bpred = lp.predictor_for(&machine.bpred)?;
+    let memory = lp.live_state.build_memory();
+    let oracle = Emulator::from_state(program, lp.live_state.arch.clone(), memory);
+    let mut sim = DetailedSim::with_state(machine, program, oracle, hierarchy, bpred);
+    sim.run(lp.window.warm_len()); // detailed warming (discarded)
+    Ok(sim.run(lp.window.measure_len))
+}
+
+/// Termination policy for online runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunPolicy {
+    /// Stop once the confidence interval's relative half-width falls to
+    /// this value (the paper's ±3% is `0.03`).
+    pub target_rel_err: f64,
+    /// Confidence level (the paper's 99.7% is z = 3).
+    pub confidence: Confidence,
+    /// Hard cap on processed live-points (`None` = whole library).
+    pub max_points: Option<usize>,
+    /// Record a trajectory sample every this many points (for
+    /// convergence plots; 0 disables the trajectory).
+    pub trajectory_stride: usize,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy {
+            target_rel_err: 0.03,
+            confidence: Confidence::C99_7,
+            max_points: None,
+            trajectory_stride: 10,
+        }
+    }
+}
+
+/// The running (or final) result of an online estimation.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    estimator: OnlineEstimator,
+    confidence: Confidence,
+    processed: usize,
+    reached_target: bool,
+    trajectory: Vec<(u64, f64, f64)>,
+}
+
+impl Estimate {
+    /// Estimated CPI (mean over processed live-points).
+    pub fn mean(&self) -> f64 {
+        self.estimator.mean()
+    }
+
+    /// Confidence-interval half-width at the policy's confidence.
+    pub fn half_width(&self) -> f64 {
+        self.estimator.half_width(self.confidence)
+    }
+
+    /// Half-width relative to the mean.
+    pub fn relative_half_width(&self) -> f64 {
+        self.estimator.relative_half_width(self.confidence)
+    }
+
+    /// Live-points processed.
+    pub fn processed(&self) -> usize {
+        self.processed
+    }
+
+    /// Whether the run stopped because the confidence target was met
+    /// (`false`: the library or the cap was exhausted first — the §6.2
+    /// motivation for matched-pair comparison).
+    pub fn reached_target(&self) -> bool {
+        self.reached_target
+    }
+
+    /// The underlying estimator.
+    pub fn estimator(&self) -> &OnlineEstimator {
+        &self.estimator
+    }
+
+    /// Convergence trajectory: `(points_processed, mean, half_width)`
+    /// samples taken every `trajectory_stride` points.
+    pub fn trajectory(&self) -> &[(u64, f64, f64)] {
+        &self.trajectory
+    }
+}
+
+/// Random-order online runner (paper §6.1): processes the (already
+/// shuffled) library in order, maintaining a running estimate whose
+/// confidence improves as points accumulate, and stops as soon as the
+/// target confidence is reached (never before 30 points).
+#[derive(Debug)]
+pub struct OnlineRunner<'l> {
+    library: &'l LivePointLibrary,
+    machine: MachineConfig,
+}
+
+impl<'l> OnlineRunner<'l> {
+    /// Create a runner over `library` for `machine`.
+    pub fn new(library: &'l LivePointLibrary, machine: MachineConfig) -> Self {
+        OnlineRunner { library, machine }
+    }
+
+    /// The machine configuration being estimated.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    fn limit(&self, policy: &RunPolicy) -> usize {
+        policy.max_points.unwrap_or(usize::MAX).min(self.library.len())
+    }
+
+    /// Serial run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode and simulation faults; an empty library is
+    /// [`CoreError::EmptyLibrary`].
+    pub fn run(&self, program: &Program, policy: &RunPolicy) -> Result<Estimate, CoreError> {
+        if self.library.is_empty() {
+            return Err(CoreError::EmptyLibrary);
+        }
+        let mut estimator = OnlineEstimator::new();
+        let mut trajectory = Vec::new();
+        let mut reached = false;
+        let limit = self.limit(policy);
+        let mut processed = 0;
+        for i in 0..limit {
+            let lp = self.library.get(i)?;
+            let stats = simulate_live_point(&lp, program, &self.machine)?;
+            estimator.push(stats.cpi());
+            processed += 1;
+            if policy.trajectory_stride > 0 && processed % policy.trajectory_stride == 0 {
+                trajectory.push((
+                    processed as u64,
+                    estimator.mean(),
+                    estimator.half_width(policy.confidence),
+                ));
+            }
+            if estimator.count() >= MIN_SAMPLE_SIZE
+                && estimator.relative_half_width(policy.confidence) <= policy.target_rel_err
+            {
+                reached = true;
+                break;
+            }
+        }
+        Ok(Estimate {
+            estimator,
+            confidence: policy.confidence,
+            processed,
+            reached_target: reached,
+            trajectory,
+        })
+    }
+
+    /// Parallel run over `threads` workers (live-point independence
+    /// makes this embarrassingly parallel; parallelism up to the sample
+    /// size, §6).
+    ///
+    /// The estimate is order-insensitive: workers merge observations
+    /// into one shared estimator, and the early-termination check uses
+    /// the merged state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first worker fault; an empty library is
+    /// [`CoreError::EmptyLibrary`].
+    pub fn run_parallel(
+        &self,
+        program: &Program,
+        policy: &RunPolicy,
+        threads: usize,
+    ) -> Result<Estimate, CoreError> {
+        if self.library.is_empty() {
+            return Err(CoreError::EmptyLibrary);
+        }
+        let threads = threads.max(1);
+        let limit = self.limit(policy);
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let shared: Mutex<SharedProgress> =
+            Mutex::new((OnlineEstimator::new(), Vec::new(), false));
+        let fault: Mutex<Option<CoreError>> = Mutex::new(None);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= limit {
+                        break;
+                    }
+                    let outcome = self
+                        .library
+                        .get(i)
+                        .and_then(|lp| simulate_live_point(&lp, program, &self.machine));
+                    match outcome {
+                        Ok(stats) => {
+                            let mut guard = shared.lock();
+                            guard.0.push(stats.cpi());
+                            let n = guard.0.count();
+                            if policy.trajectory_stride > 0
+                                && n.is_multiple_of(policy.trajectory_stride as u64)
+                            {
+                                let mean = guard.0.mean();
+                                let hw = guard.0.half_width(policy.confidence);
+                                guard.1.push((n, mean, hw));
+                            }
+                            if n >= MIN_SAMPLE_SIZE
+                                && guard.0.relative_half_width(policy.confidence)
+                                    <= policy.target_rel_err
+                            {
+                                guard.2 = true;
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => {
+                            *fault.lock() = Some(e);
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+
+        if let Some(e) = fault.into_inner() {
+            return Err(e);
+        }
+        let (estimator, trajectory, reached) = shared.into_inner();
+        Ok(Estimate {
+            estimator,
+            confidence: policy.confidence,
+            processed: estimator.count() as usize,
+            reached_target: reached,
+            trajectory,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::creation::CreationConfig;
+    use spectral_workloads::tiny;
+
+    fn setup() -> (spectral_isa::Program, LivePointLibrary) {
+        let p = tiny().build();
+        let cfg = CreationConfig::for_machine(&MachineConfig::eight_way()).with_sample_size(35);
+        let lib = LivePointLibrary::create(&p, &cfg).unwrap();
+        (p, lib)
+    }
+
+    #[test]
+    fn single_point_simulates() {
+        let (p, lib) = setup();
+        let lp = lib.get(0).unwrap();
+        let stats = simulate_live_point(&lp, &p, &MachineConfig::eight_way()).unwrap();
+        assert_eq!(stats.committed, lp.window.measure_len);
+        assert!(stats.cpi() > 0.1 && stats.cpi() < 50.0, "cpi {}", stats.cpi());
+    }
+
+    #[test]
+    fn wrong_program_rejected() {
+        let (_, lib) = setup();
+        let other = spectral_workloads::by_name("gzip-like").unwrap().build();
+        let lp = lib.get(0).unwrap();
+        assert!(matches!(
+            simulate_live_point(&lp, &other, &MachineConfig::eight_way()),
+            Err(CoreError::BenchmarkMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_hierarchy_rejected() {
+        let (p, lib) = setup();
+        let lp = lib.get(0).unwrap();
+        let big = MachineConfig::sixteen_way(); // exceeds 8-way-only library
+        assert!(simulate_live_point(&lp, &p, &big).is_err());
+    }
+
+    #[test]
+    fn online_run_produces_estimate() {
+        let (p, lib) = setup();
+        let runner = OnlineRunner::new(&lib, MachineConfig::eight_way());
+        let est = runner
+            .run(&p, &RunPolicy { target_rel_err: 0.5, ..RunPolicy::default() })
+            .unwrap();
+        assert!(est.processed() >= MIN_SAMPLE_SIZE as usize);
+        assert!(est.mean() > 0.0);
+        assert!(est.reached_target(), "a 50% target should be reached quickly");
+    }
+
+    #[test]
+    fn exhausting_library_reports_not_reached() {
+        let (p, lib) = setup();
+        let runner = OnlineRunner::new(&lib, MachineConfig::eight_way());
+        let est = runner
+            .run(&p, &RunPolicy { target_rel_err: 1e-9, ..RunPolicy::default() })
+            .unwrap();
+        assert_eq!(est.processed(), lib.len());
+        assert!(!est.reached_target());
+    }
+
+    #[test]
+    fn parallel_matches_serial_when_exhaustive() {
+        let (p, lib) = setup();
+        let runner = OnlineRunner::new(&lib, MachineConfig::eight_way());
+        let policy = RunPolicy { target_rel_err: 1e-9, trajectory_stride: 0, ..RunPolicy::default() };
+        let serial = runner.run(&p, &policy).unwrap();
+        let parallel = runner.run_parallel(&p, &policy, 4).unwrap();
+        assert_eq!(serial.processed(), parallel.processed());
+        // Worker interleaving reorders the floating-point summation;
+        // means agree up to that rounding, not bit-exactly.
+        assert!(
+            (serial.mean() - parallel.mean()).abs() / serial.mean() < 1e-6,
+            "serial {} vs parallel {}",
+            serial.mean(),
+            parallel.mean()
+        );
+    }
+
+    #[test]
+    fn trajectory_converges() {
+        let (p, lib) = setup();
+        let runner = OnlineRunner::new(&lib, MachineConfig::eight_way());
+        let policy = RunPolicy {
+            target_rel_err: 1e-9,
+            trajectory_stride: 5,
+            ..RunPolicy::default()
+        };
+        let est = runner.run(&p, &policy).unwrap();
+        let traj = est.trajectory();
+        assert!(traj.len() >= 3);
+        // Half-widths should broadly shrink as n grows.
+        let first_hw = traj[1].2; // skip the n=5 noise point
+        let last_hw = traj.last().unwrap().2;
+        assert!(
+            last_hw <= first_hw,
+            "confidence should tighten: first {first_hw}, last {last_hw}"
+        );
+    }
+}

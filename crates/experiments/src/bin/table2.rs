@@ -1,0 +1,170 @@
+//! **Table 2** — Runtimes of the four simulation methods per benchmark:
+//! complete detailed simulation (`sim-outorder`), full warming
+//! (SMARTSim), adaptive warming (AW-MRRL), and live-points.
+//!
+//! Paper shape (8-way): live-points (91 s avg) ≫ faster than AW-MRRL
+//! (1.5 h) ≫ faster than SMARTSim (7 h) ≫ faster than complete detailed
+//! simulation (5.5 days); live-point runtime depends on sample size
+//! (CPI variance), not benchmark length.
+//!
+//! Notes on this reproduction: benchmarks are ~10⁴× shorter than SPEC
+//! reference runs, which compresses every ratio; `--scale` stretches
+//! them back (default 6× here). AW-MRRL is reported two ways: measured
+//! wall-clock, and a modelled time that excludes the architectural
+//! fast-forward the paper assumes is a free checkpoint jump.
+
+use spectral_core::{benchmark_length, CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy};
+use spectral_experiments::{fmt_secs, print_table, Args, Timer};
+use spectral_stats::{SampleDesign, SystematicDesign};
+use spectral_warming::{adaptive_run, complete_detailed, mrrl_analyze, smarts_run};
+
+fn main() {
+    let mut args = Args::parse();
+    if args.scale.is_none() {
+        args.scale = Some(if args.quick { 2 } else { 6 });
+    }
+    let machine = args.machine_config();
+    let design = SystematicDesign::new(1000, machine.detailed_warming);
+    let library_cap = args.window_count(500);
+    let cases = spectral_experiments::load_cases(&args);
+
+    println!(
+        "== Table 2: runtimes per benchmark ({}, scale {}x) ==\n",
+        machine.name,
+        args.scale.unwrap()
+    );
+
+    struct Row {
+        name: String,
+        n_inst: u64,
+        t_full: f64,
+        t_smarts: f64,
+        t_aw_meas: f64,
+        t_aw_model: f64,
+        t_lp: f64,
+        t_create: f64,
+        n_used: usize,
+        rel_err: f64,
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for case in &cases {
+        // Plain functional emulation rate: models the constant-time
+        // checkpoint jump AW-MRRL assumes for the skipped spans.
+        let t = Timer::start();
+        let n_inst = benchmark_length(&case.program);
+        let emu_rate = n_inst as f64 / t.secs();
+
+        // 1. Complete detailed simulation.
+        let t = Timer::start();
+        let reference = complete_detailed(&machine, &case.program);
+        let t_full = t.secs();
+
+        // 2. Live-point library (creation reported separately, as the
+        //    paper reports its 8.5 h creation pass separately).
+        let cfg = CreationConfig::for_machine(&machine).with_sample_size(library_cap);
+        let t = Timer::start();
+        let library = LivePointLibrary::create(&case.program, &cfg).expect("library creation");
+        let t_create = t.secs();
+
+        // 3. Live-point run to +-3% @ 99.7% (or library exhaustion).
+        let runner = OnlineRunner::new(&library, machine.clone());
+        let t = Timer::start();
+        let estimate = runner.run(&case.program, &RunPolicy::default()).expect("run");
+        let t_lp = t.secs();
+
+        // 4. SMARTS over the same number of windows the live-point run
+        //    needed.
+        let windows = design.windows(n_inst, estimate.processed() as u64, 4242);
+        let t = Timer::start();
+        let smarts = smarts_run(&machine, &case.program, &windows);
+        let t_smarts = t.secs();
+        let _ = smarts.cpi(); // estimate retained for spot checks
+
+        // 5. AW-MRRL over the same windows (analysis pass excluded, as
+        //    the paper treats it as a separate offline pass).
+        let analysis = mrrl_analyze(&case.program, &windows, 32, 0.999);
+        let t = Timer::start();
+        let adaptive = adaptive_run(&machine, &case.program, &windows, &analysis, true);
+        let t_aw_meas = t.secs();
+        let t_aw_model = t_aw_meas - adaptive.sampled.skipped_insts as f64 / emu_rate;
+
+        eprintln!(
+            "  {:14} ref CPI {:.3}  est {:.3}  n={}  lp {}  smarts {}",
+            case.name(),
+            reference.cpi(),
+            estimate.mean(),
+            estimate.processed(),
+            fmt_secs(t_lp),
+            fmt_secs(t_smarts),
+        );
+        rows.push(Row {
+            name: case.name().to_owned(),
+            n_inst,
+            t_full,
+            t_smarts,
+            t_aw_meas,
+            t_aw_model,
+            t_lp,
+            t_create,
+            n_used: estimate.processed(),
+            rel_err: estimate.relative_half_width() * 100.0,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.1}M", r.n_inst as f64 / 1e6),
+                fmt_secs(r.t_full),
+                fmt_secs(r.t_smarts),
+                fmt_secs(r.t_aw_model),
+                fmt_secs(r.t_lp),
+                r.n_used.to_string(),
+                format!("±{:.1}%", r.rel_err),
+                fmt_secs(r.t_create),
+            ]
+        })
+        .collect();
+    println!();
+    print_table(
+        &[
+            "benchmark", "length", "sim-outorder", "SMARTSim", "AW-MRRL*", "live-points", "n",
+            "achieved", "creation",
+        ],
+        &table,
+    );
+    println!("  *AW-MRRL modelled: measured wall minus the fast-forward the paper's checkpoints skip");
+
+    let agg = |f: &dyn Fn(&Row) -> f64| -> (f64, f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let mut sum = 0.0;
+        for r in &rows {
+            let v = f(r);
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        (min, sum / rows.len() as f64, max)
+    };
+    let (fmin, favg, fmax) = agg(&|r| r.t_full);
+    let (smin, savg, smax) = agg(&|r| r.t_smarts);
+    let (amin, aavg, amax) = agg(&|r| r.t_aw_model);
+    let (mmin, mavg, mmax) = agg(&|r| r.t_aw_meas);
+    let (lmin, lavg, lmax) = agg(&|r| r.t_lp);
+    println!();
+    println!("min / avg / max across benchmarks (paper row order):");
+    println!("  sim-outorder : {} / {} / {}", fmt_secs(fmin), fmt_secs(favg), fmt_secs(fmax));
+    println!("  SMARTSim     : {} / {} / {}", fmt_secs(smin), fmt_secs(savg), fmt_secs(smax));
+    println!("  AW-MRRL mod. : {} / {} / {}", fmt_secs(amin), fmt_secs(aavg), fmt_secs(amax));
+    println!("  AW-MRRL meas : {} / {} / {}", fmt_secs(mmin), fmt_secs(mavg), fmt_secs(mmax));
+    println!("  live-points  : {} / {} / {}", fmt_secs(lmin), fmt_secs(lavg), fmt_secs(lmax));
+    println!();
+    println!("speedups (avg): live-points vs sim-outorder {:.0}x, vs SMARTSim {:.1}x, vs AW-MRRL {:.1}x",
+        favg / lavg, savg / lavg, aavg / lavg);
+    println!("(paper: 250x+ vs SMARTSim at SPEC2K lengths; ratios compress at 10^4-shorter benchmarks,");
+    println!(" and grow with --scale: live-point time is O(sample), every other method is O(benchmark))");
+}

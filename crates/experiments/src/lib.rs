@@ -1,0 +1,275 @@
+//! # spectral-experiments — regenerating the paper's tables and figures
+//!
+//! One binary per table/figure of the evaluation (see DESIGN.md's
+//! experiment index):
+//!
+//! | binary         | paper artifact |
+//! |----------------|----------------|
+//! | `fig4`         | Fig 4 — adaptive-warming (AW-MRRL) additional CPI bias |
+//! | `fig5`         | Fig 5 — restricted live-state additional CPI bias |
+//! | `fig7`         | Fig 7 — live-point size breakdown vs AW-MRRL checkpoints |
+//! | `fig8`         | Fig 8 — checkpoint size & processing time vs max cache size |
+//! | `table2`       | Table 2 — runtimes of all four methods |
+//! | `table3`       | Table 3 — summary of warming approaches |
+//! | `matched_pair` | §6.2 — matched-pair sample-size reduction factors |
+//! | `online`       | §6.1 — random-order online convergence |
+//!
+//! All binaries accept:
+//!
+//! * `--benchmarks a,b,c` — run a named subset of the suite
+//! * `--limit K` — first K suite benchmarks
+//! * `--quick` — small preset (few benchmarks, fewer windows)
+//! * `--windows N`, `--seeds S`, `--scale F` where meaningful
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use spectral_isa::Program;
+use spectral_workloads::{dynamic_length, suite, Benchmark};
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Explicit benchmark names (`--benchmarks`).
+    pub benchmarks: Option<Vec<String>>,
+    /// First-K limit (`--limit`).
+    pub limit: Option<usize>,
+    /// Quick preset (`--quick`).
+    pub quick: bool,
+    /// Windows per sample (`--windows`).
+    pub windows: Option<u64>,
+    /// Sample seeds / repetitions (`--seeds`).
+    pub seeds: Option<u64>,
+    /// Benchmark length scale factor (`--scale`).
+    pub scale: Option<u64>,
+    /// Machine selection: "8" (default) or "16" (`--machine`).
+    pub machine: Option<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Args {
+        let mut args = Args {
+            benchmarks: None,
+            limit: None,
+            quick: false,
+            windows: None,
+            seeds: None,
+            scale: None,
+            machine: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            let mut value = |what: &str| -> String {
+                it.next().unwrap_or_else(|| panic!("{what} needs a value"))
+            };
+            match a.as_str() {
+                "--benchmarks" => {
+                    args.benchmarks =
+                        Some(value("--benchmarks").split(',').map(str::to_owned).collect())
+                }
+                "--limit" => args.limit = Some(value("--limit").parse().expect("--limit: integer")),
+                "--quick" => args.quick = true,
+                "--windows" => {
+                    args.windows = Some(value("--windows").parse().expect("--windows: integer"))
+                }
+                "--seeds" => args.seeds = Some(value("--seeds").parse().expect("--seeds: integer")),
+                "--scale" => args.scale = Some(value("--scale").parse().expect("--scale: integer")),
+                "--machine" => args.machine = Some(value("--machine")),
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        args
+    }
+
+    /// Effective repetition count (paper methodology: 5 samples;
+    /// default here 3, quick 1).
+    pub fn seed_count(&self, default: u64) -> u64 {
+        self.seeds.unwrap_or(if self.quick { 1 } else { default })
+    }
+
+    /// Effective windows-per-sample.
+    pub fn window_count(&self, default: u64) -> u64 {
+        self.windows.unwrap_or(if self.quick { default / 3 } else { default })
+    }
+}
+
+impl Args {
+    /// Resolve the selected machine configuration ("8" default, "16").
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown machine name.
+    pub fn machine_config(&self) -> spectral_uarch::MachineConfig {
+        match self.machine.as_deref() {
+            None | Some("8") => spectral_uarch::MachineConfig::eight_way(),
+            Some("16") => spectral_uarch::MachineConfig::sixteen_way(),
+            Some(other) => panic!("unknown machine {other} (use 8 or 16)"),
+        }
+    }
+}
+
+/// A benchmark with its built program and measured dynamic length.
+#[derive(Debug)]
+pub struct BenchCase {
+    /// The benchmark definition.
+    pub bench: Benchmark,
+    /// The built program image.
+    pub program: Program,
+    /// Committed-instruction count.
+    pub len: u64,
+}
+
+impl BenchCase {
+    /// Build and measure one benchmark.
+    pub fn new(bench: Benchmark) -> BenchCase {
+        let program = bench.build();
+        let len = dynamic_length(&program);
+        BenchCase { bench, program, len }
+    }
+
+    /// The benchmark name.
+    pub fn name(&self) -> &str {
+        self.bench.name()
+    }
+}
+
+/// Load the benchmark set selected by `args`, optionally scaled.
+pub fn load_cases(args: &Args) -> Vec<BenchCase> {
+    let scale = args.scale.unwrap_or(1);
+    let all = suite();
+    let chosen: Vec<Benchmark> = match (&args.benchmarks, args.limit, args.quick) {
+        (Some(names), _, _) => names
+            .iter()
+            .map(|n| {
+                all.iter()
+                    .find(|b| b.name() == n)
+                    .unwrap_or_else(|| panic!("unknown benchmark {n}"))
+                    .clone()
+            })
+            .collect(),
+        (None, Some(k), _) => all.into_iter().take(k).collect(),
+        (None, None, true) => {
+            // Representative quick set: one memory-bound, one branchy,
+            // one FP, one call-heavy, one streaming.
+            let names = ["mcf-like", "gcc-like", "swim-like", "perlbmk-like", "gzip-like"];
+            all.into_iter().filter(|b| names.contains(&b.name())).collect()
+        }
+        (None, None, false) => all,
+    };
+    chosen
+        .into_iter()
+        .map(|b| BenchCase::new(if scale > 1 { b.scaled(scale) } else { b }))
+        .collect()
+}
+
+/// Wall-clock timing helper.
+#[derive(Debug)]
+pub struct Timer(Instant);
+
+impl Timer {
+    /// Start timing.
+    pub fn start() -> Timer {
+        Timer(Instant::now())
+    }
+
+    /// Elapsed seconds.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Render a fixed-width text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Human-readable byte count.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1} GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Human-readable seconds.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{:.1} h", s / 3600.0)
+    } else if s >= 60.0 {
+        format!("{:.1} m", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1000.0)
+    }
+}
+
+/// Relative bias in percent.
+pub fn bias_pct(estimate: f64, reference: f64) -> f64 {
+    ((estimate - reference) / reference).abs() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MB");
+        assert_eq!(fmt_bytes(5 << 30), "5.0 GB");
+    }
+
+    #[test]
+    fn fmt_secs_units() {
+        assert_eq!(fmt_secs(0.005), "5.0 ms");
+        assert_eq!(fmt_secs(2.0), "2.00 s");
+        assert_eq!(fmt_secs(90.0), "1.5 m");
+        assert_eq!(fmt_secs(7200.0), "2.0 h");
+    }
+
+    #[test]
+    fn bias_pct_symmetric() {
+        assert!((bias_pct(1.03, 1.0) - 3.0).abs() < 1e-9);
+        assert!((bias_pct(0.97, 1.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_case_builds() {
+        let c = BenchCase::new(spectral_workloads::tiny());
+        assert!(c.len > 10_000);
+        assert_eq!(c.name(), "tiny");
+    }
+}

@@ -1,0 +1,186 @@
+//! Disassembly: human-readable rendering of instructions and programs,
+//! for debugging workloads and inspecting live-point windows.
+
+use crate::inst::{AluOp, BranchCond, FpOp, Inst};
+use crate::program::Program;
+use crate::{inst_addr, DynInst};
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", alu_name(op))
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm:#x}", alu_name(op))
+            }
+            Inst::Mul { rd, rs1, rs2 } => write!(f, "mul {rd}, {rs1}, {rs2}"),
+            Inst::Div { rd, rs1, rs2 } => write!(f, "div {rd}, {rs1}, {rs2}"),
+            Inst::Fp { op, fd, fs1, fs2 } => {
+                let name = match op {
+                    FpOp::Add => "fadd",
+                    FpOp::Sub => "fsub",
+                    FpOp::Max => "fmax",
+                };
+                write!(f, "{name} f{fd}, f{fs1}, f{fs2}")
+            }
+            Inst::FpMul { fd, fs1, fs2 } => write!(f, "fmul f{fd}, f{fs1}, f{fs2}"),
+            Inst::FpDiv { fd, fs1, fs2 } => write!(f, "fdiv f{fd}, f{fs1}, f{fs2}"),
+            Inst::Load { rd, rs1, imm } => write!(f, "ld {rd}, {imm}({rs1})"),
+            Inst::FpLoad { fd, rs1, imm } => write!(f, "fld f{fd}, {imm}({rs1})"),
+            Inst::Store { rs1, rs2, imm } => write!(f, "st {rs2}, {imm}({rs1})"),
+            Inst::FpStore { rs1, fs2, imm } => write!(f, "fst f{fs2}, {imm}({rs1})"),
+            Inst::Branch { cond, rs1, rs2, target } => {
+                let name = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                };
+                write!(f, "{name} {rs1}, {rs2}, {:#x}", inst_addr(target as usize))
+            }
+            Inst::Jump { rd, target } => {
+                if rd == crate::Reg::R0 {
+                    write!(f, "j {:#x}", inst_addr(target as usize))
+                } else {
+                    write!(f, "call {rd}, {:#x}", inst_addr(target as usize))
+                }
+            }
+            Inst::JumpReg { rs1 } => {
+                if rs1 == crate::Reg::R31 {
+                    write!(f, "ret")
+                } else {
+                    write!(f, "jr {rs1}")
+                }
+            }
+            Inst::Halt => write!(f, "halt"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Slt => "slt",
+    }
+}
+
+impl Program {
+    /// Disassemble the instruction range `[from, to)` (indices clamped
+    /// to the program), one `address: instruction` line per entry.
+    pub fn disassemble(&self, from: usize, to: usize) -> String {
+        use std::fmt::Write;
+        let to = to.min(self.len());
+        let mut out = String::new();
+        for (i, inst) in self.insts().iter().enumerate().take(to).skip(from) {
+            writeln!(out, "{:#010x}: {inst}", inst_addr(i)).expect("string write");
+        }
+        out
+    }
+}
+
+impl fmt::Display for DynInst {
+    /// Trace-line rendering: sequence, pc, class, and the effective
+    /// address or branch outcome where applicable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] {:#010x} {:9}", self.seq, self.pc, self.op.to_string())?;
+        if let Some((op, addr)) = self.mem {
+            let arrow = match op {
+                crate::MemOp::Read => "<-",
+                crate::MemOp::Write => "->",
+            };
+            write!(f, " {arrow} {addr:#x}")?;
+        }
+        if let Some(b) = self.branch {
+            write!(f, " {}{:#x}", if b.taken { "T:" } else { "NT:" }, b.target)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::program::ProgramBuilder;
+    use crate::{Emulator, Reg};
+
+    #[test]
+    fn renders_every_class() {
+        let mut b = ProgramBuilder::new("d");
+        let lbl = b.new_label();
+        b.li(Reg::R1, 16);
+        b.add(Reg::R2, Reg::R1, Reg::R1);
+        b.mul(Reg::R3, Reg::R2, Reg::R1);
+        b.div(Reg::R4, Reg::R3, Reg::R1);
+        b.fadd(1, 2, 3);
+        b.fmul(4, 5, 6);
+        b.fdiv(7, 8, 9);
+        b.load(Reg::R5, Reg::R1, 8);
+        b.fload(2, Reg::R1, 16);
+        b.store(Reg::R1, Reg::R5, 24);
+        b.fstore(Reg::R1, 2, 32);
+        b.beq(Reg::R1, Reg::R2, lbl);
+        b.jump(lbl);
+        b.call(Reg::R31, lbl);
+        b.jump_reg(Reg::R31);
+        b.jump_reg(Reg::R5);
+        b.nop();
+        b.bind(lbl);
+        b.halt();
+        let p = b.build();
+        let text = p.disassemble(0, p.len());
+        for needle in [
+            "addi r1, r0, 0x10",
+            "add r2, r1, r1",
+            "mul r3",
+            "div r4",
+            "fadd f1, f2, f3",
+            "fmul f4",
+            "fdiv f7",
+            "ld r5, 8(r1)",
+            "fld f2, 16(r1)",
+            "st r5, 24(r1)",
+            "fst f2, 32(r1)",
+            "beq r1, r2,",
+            "call r31,",
+            "ret",
+            "jr r5",
+            "nop",
+            "halt",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn disassemble_clamps_range() {
+        let mut b = ProgramBuilder::new("d");
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.disassemble(0, 100).lines().count(), 1);
+        assert_eq!(p.disassemble(5, 100), "");
+    }
+
+    #[test]
+    fn dyninst_trace_line() {
+        let mut b = ProgramBuilder::new("d");
+        let buf = b.alloc_data(1);
+        b.li(Reg::R1, buf as i64);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.halt();
+        let p = b.build();
+        let mut emu = Emulator::new(&p);
+        emu.step();
+        let d = emu.step().unwrap();
+        let line = d.to_string();
+        assert!(line.contains("load"), "{line}");
+        assert!(line.contains("<- 0x"), "{line}");
+    }
+}

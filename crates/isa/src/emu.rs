@@ -1,0 +1,510 @@
+//! The SRISC functional emulator.
+
+use crate::inst::{AluOp, FpOp, Inst, Reg};
+use crate::mem::SparseMemory;
+use crate::program::Program;
+use crate::regs::RegFile;
+use crate::trace::{BranchInfo, DynInst, MemOp};
+use crate::{inst_addr, inst_index, STACK_BASE};
+
+/// A snapshot of architectural register state, sufficient (together with
+/// a memory image) to resume functional execution at an arbitrary point.
+///
+/// This is the "architectural state" component of a checkpoint in the
+/// paper's terminology; memory contents are captured separately because
+/// live-state stores only the *touched subset* of memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchState {
+    /// Register file contents.
+    pub regs: RegFile,
+    /// Code address of the next instruction to execute.
+    pub pc: u64,
+    /// Commit sequence number of the next instruction.
+    pub seq: u64,
+}
+
+/// The functional emulator: executes a [`Program`] one committed
+/// instruction at a time, yielding a [`DynInst`] record per step.
+///
+/// The emulator is strictly architectural — no timing. Warming models
+/// (caches, TLBs, branch predictors) consume the emitted records; the
+/// out-of-order timing model uses an emulator as its correct-path oracle.
+#[derive(Debug, Clone)]
+pub struct Emulator<'p> {
+    program: &'p Program,
+    regs: RegFile,
+    mem: SparseMemory,
+    pc: u64,
+    seq: u64,
+    halted: bool,
+}
+
+impl<'p> Emulator<'p> {
+    /// Create an emulator at the program entry with a fresh memory image
+    /// (data segment initialized, stack pointer in `r30`).
+    pub fn new(program: &'p Program) -> Self {
+        let mut mem = SparseMemory::new();
+        for &(addr, value) in program.data_init() {
+            mem.write_u64(addr, value);
+        }
+        let mut regs = RegFile::new();
+        regs.write(Reg::R30, STACK_BASE);
+        Emulator {
+            program,
+            regs,
+            mem,
+            pc: inst_addr(program.entry() as usize),
+            seq: 0,
+            halted: false,
+        }
+    }
+
+    /// Create an emulator resuming from `state` over a caller-provided
+    /// memory image (checkpoint load path).
+    pub fn from_state(program: &'p Program, state: ArchState, mem: SparseMemory) -> Self {
+        Emulator {
+            program,
+            regs: state.regs,
+            mem,
+            pc: state.pc,
+            seq: state.seq,
+            halted: false,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Current architectural snapshot (registers, pc, sequence number).
+    pub fn arch_state(&self) -> ArchState {
+        ArchState { regs: self.regs.clone(), pc: self.pc, seq: self.seq }
+    }
+
+    /// Shared view of the memory image.
+    pub fn memory(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// Exclusive view of the memory image (used to install live-state).
+    pub fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    /// Shared view of the register file.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Commit sequence number of the next instruction to execute.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Code address of the next instruction to execute.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Whether the program has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Execute one instruction, returning its dynamic record, or `None`
+    /// once the program has halted (the `Halt` instruction itself *is*
+    /// recorded; subsequent calls return `None`).
+    ///
+    /// Leaving the code segment (a wild indirect jump) also halts the
+    /// program; the workload suite never does this, but the emulator must
+    /// be total.
+    pub fn step(&mut self) -> Option<DynInst> {
+        if self.halted {
+            return None;
+        }
+        let index = match inst_index(self.pc, self.program.len()) {
+            Some(i) => i,
+            None => {
+                self.halted = true;
+                return None;
+            }
+        };
+        let inst = self.program.insts()[index];
+        let pc = self.pc;
+        let fall_through = inst_addr(index + 1);
+        let mut next_pc = fall_through;
+        let mut mem_access: Option<(MemOp, u64)> = None;
+        let mut branch: Option<BranchInfo> = None;
+        let mut int_result: u64 = 0;
+
+        match inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                let v = alu(op, self.regs.read(rs1), self.regs.read(rs2));
+                self.regs.write(rd, v);
+                int_result = v;
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                let v = alu(op, self.regs.read(rs1), imm as u64);
+                self.regs.write(rd, v);
+                int_result = v;
+            }
+            Inst::Mul { rd, rs1, rs2 } => {
+                let v = self.regs.read(rs1).wrapping_mul(self.regs.read(rs2));
+                self.regs.write(rd, v);
+                int_result = v;
+            }
+            Inst::Div { rd, rs1, rs2 } => {
+                let a = self.regs.read(rs1);
+                let b = self.regs.read(rs2);
+                // ISA-defined: a zero divisor yields the dividend.
+                let v = a.checked_div(b).unwrap_or(a);
+                self.regs.write(rd, v);
+                int_result = v;
+            }
+            Inst::Fp { op, fd, fs1, fs2 } => {
+                let a = self.regs.read_fp(fs1);
+                let b = self.regs.read_fp(fs2);
+                let v = match op {
+                    FpOp::Add => a + b,
+                    FpOp::Sub => a - b,
+                    FpOp::Max => a.max(b),
+                };
+                self.regs.write_fp(fd, v);
+            }
+            Inst::FpMul { fd, fs1, fs2 } => {
+                let v = self.regs.read_fp(fs1) * self.regs.read_fp(fs2);
+                self.regs.write_fp(fd, v);
+            }
+            Inst::FpDiv { fd, fs1, fs2 } => {
+                let a = self.regs.read_fp(fs1);
+                let b = self.regs.read_fp(fs2);
+                self.regs.write_fp(fd, if b == 0.0 { a } else { a / b });
+            }
+            Inst::Load { rd, rs1, imm } => {
+                let addr = self.regs.read(rs1).wrapping_add(imm as u64);
+                let v = self.mem.read_u64(addr);
+                self.regs.write(rd, v);
+                int_result = v;
+                mem_access = Some((MemOp::Read, addr));
+            }
+            Inst::FpLoad { fd, rs1, imm } => {
+                let addr = self.regs.read(rs1).wrapping_add(imm as u64);
+                self.regs.write_fp(fd, self.mem.read_f64(addr));
+                mem_access = Some((MemOp::Read, addr));
+            }
+            Inst::Store { rs1, rs2, imm } => {
+                let addr = self.regs.read(rs1).wrapping_add(imm as u64);
+                self.mem.write_u64(addr, self.regs.read(rs2));
+                mem_access = Some((MemOp::Write, addr));
+            }
+            Inst::FpStore { rs1, fs2, imm } => {
+                let addr = self.regs.read(rs1).wrapping_add(imm as u64);
+                self.mem.write_f64(addr, self.regs.read_fp(fs2));
+                mem_access = Some((MemOp::Write, addr));
+            }
+            Inst::Branch { cond, rs1, rs2, target } => {
+                let taken = cond.eval(self.regs.read(rs1), self.regs.read(rs2));
+                let target_addr = inst_addr(target as usize);
+                if taken {
+                    next_pc = target_addr;
+                }
+                branch = Some(BranchInfo {
+                    taken,
+                    target: target_addr,
+                    conditional: true,
+                    indirect: false,
+                    is_call: false,
+                    is_return: false,
+                });
+            }
+            Inst::Jump { rd, target } => {
+                let target_addr = inst_addr(target as usize);
+                let is_call = rd != Reg::R0;
+                if is_call {
+                    self.regs.write(rd, fall_through);
+                    int_result = fall_through;
+                }
+                next_pc = target_addr;
+                branch = Some(BranchInfo {
+                    taken: true,
+                    target: target_addr,
+                    conditional: false,
+                    indirect: false,
+                    is_call,
+                    is_return: false,
+                });
+            }
+            Inst::JumpReg { rs1 } => {
+                let target_addr = self.regs.read(rs1);
+                next_pc = target_addr;
+                branch = Some(BranchInfo {
+                    taken: true,
+                    target: target_addr,
+                    conditional: false,
+                    indirect: true,
+                    is_call: false,
+                    is_return: rs1 == Reg::R31,
+                });
+            }
+            Inst::Halt => {
+                self.halted = true;
+                next_pc = pc;
+            }
+            Inst::Nop => {}
+        }
+
+        let record = DynInst {
+            seq: self.seq,
+            pc,
+            index: index as u32,
+            op: inst.op_class(),
+            int_srcs: inst.int_sources(),
+            int_dst: inst.int_dest(),
+            fp_srcs: inst.fp_sources(),
+            fp_dst: inst.fp_dest(),
+            mem: mem_access,
+            branch,
+            next_pc,
+            int_result,
+        };
+        self.seq += 1;
+        self.pc = next_pc;
+        Some(record)
+    }
+
+    /// Execute up to `n` instructions, invoking `sink` on each record.
+    /// Returns the number actually executed (less than `n` only if the
+    /// program halts first).
+    pub fn run_n(&mut self, n: u64, mut sink: impl FnMut(&DynInst)) -> u64 {
+        let mut executed = 0;
+        while executed < n {
+            match self.step() {
+                Some(di) => {
+                    sink(&di);
+                    executed += 1;
+                }
+                None => break,
+            }
+        }
+        executed
+    }
+
+    /// Run until the commit sequence number reaches `seq` (exclusive),
+    /// invoking `sink` on each record. Returns `false` if the program
+    /// halted first.
+    pub fn run_to_seq(&mut self, seq: u64, sink: impl FnMut(&DynInst)) -> bool {
+        if self.seq >= seq {
+            return true;
+        }
+        let n = seq - self.seq;
+        self.run_n(n, sink) == n
+    }
+
+    /// Borrowing iterator over the remaining committed instructions.
+    ///
+    /// ```
+    /// use spectral_isa::{Emulator, ProgramBuilder, Reg};
+    /// let mut b = ProgramBuilder::new("t");
+    /// b.li(Reg::R1, 1);
+    /// b.halt();
+    /// let p = b.build();
+    /// let mut emu = Emulator::new(&p);
+    /// assert_eq!(emu.trace().count(), 2);
+    /// ```
+    pub fn trace(&mut self) -> Trace<'_, 'p> {
+        Trace { emu: self }
+    }
+}
+
+/// Iterator over an [`Emulator`]'s remaining committed instructions;
+/// created by [`Emulator::trace`].
+#[derive(Debug)]
+pub struct Trace<'e, 'p> {
+    emu: &'e mut Emulator<'p>,
+}
+
+impl Iterator for Trace<'_, '_> {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        self.emu.step()
+    }
+}
+
+#[inline]
+fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+        AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn run_all(p: &Program) -> (Vec<DynInst>, Emulator<'_>) {
+        let mut emu = Emulator::new(p);
+        let mut v = Vec::new();
+        while let Some(d) = emu.step() {
+            v.push(d);
+        }
+        (v, emu)
+    }
+
+    #[test]
+    fn straightline_arithmetic() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 6);
+        b.li(Reg::R2, 7);
+        b.mul(Reg::R3, Reg::R1, Reg::R2);
+        b.halt();
+        let p = b.build();
+        let (trace, emu) = run_all(&p);
+        assert_eq!(emu.regs().read(Reg::R3), 42);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace[2].int_result, 42);
+        assert!(emu.is_halted());
+    }
+
+    #[test]
+    fn loop_commits_expected_count() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 100);
+        let top = b.label();
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        let p = b.build();
+        let (trace, emu) = run_all(&p);
+        // 2 setup + 100*(add+branch) + halt
+        assert_eq!(trace.len(), 2 + 200 + 1);
+        assert_eq!(emu.regs().read(Reg::R1), 100);
+        // Branch records: 99 taken, 1 not-taken.
+        let taken = trace
+            .iter()
+            .filter(|d| d.branch.map(|bi| bi.conditional && bi.taken).unwrap_or(false))
+            .count();
+        assert_eq!(taken, 99);
+    }
+
+    #[test]
+    fn memory_trace_records_addresses() {
+        let mut b = ProgramBuilder::new("t");
+        let buf = b.alloc_data(4);
+        b.li(Reg::R1, buf as i64);
+        b.li(Reg::R2, 55);
+        b.store(Reg::R1, Reg::R2, 8);
+        b.load(Reg::R3, Reg::R1, 8);
+        b.halt();
+        let p = b.build();
+        let (trace, emu) = run_all(&p);
+        assert_eq!(emu.regs().read(Reg::R3), 55);
+        assert_eq!(trace[2].mem, Some((MemOp::Write, buf + 8)));
+        assert_eq!(trace[3].mem, Some((MemOp::Read, buf + 8)));
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut b = ProgramBuilder::new("t");
+        let f = b.new_label();
+        let after = b.new_label();
+        b.call(Reg::R31, f);
+        b.bind(after);
+        b.li(Reg::R2, 9);
+        b.halt();
+        b.bind(f);
+        b.li(Reg::R1, 4);
+        b.jump_reg(Reg::R31);
+        let p = b.build();
+        let (trace, emu) = run_all(&p);
+        assert_eq!(emu.regs().read(Reg::R1), 4);
+        assert_eq!(emu.regs().read(Reg::R2), 9);
+        let call = trace[0].branch.unwrap();
+        assert!(call.is_call && !call.is_return);
+        let ret = trace[2].branch.unwrap();
+        assert!(ret.is_return && ret.indirect);
+    }
+
+    #[test]
+    fn data_init_visible_before_execution() {
+        let mut b = ProgramBuilder::new("t");
+        let buf = b.alloc_data(1);
+        b.init_word(buf, 1234);
+        b.li(Reg::R1, buf as i64);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.halt();
+        let p = b.build();
+        let (_, emu) = run_all(&p);
+        assert_eq!(emu.regs().read(Reg::R2), 1234);
+    }
+
+    #[test]
+    fn snapshot_resume_is_deterministic() {
+        // Run 50 insts, snapshot, run rest; compare to uninterrupted run.
+        let mut b = ProgramBuilder::new("t");
+        let buf = b.alloc_data(64);
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 64);
+        b.li(Reg::R3, buf as i64);
+        let top = b.label();
+        b.store(Reg::R3, Reg::R1, 0);
+        b.addi(Reg::R3, Reg::R3, 8);
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        let p = b.build();
+
+        let (full, _) = run_all(&p);
+
+        let mut emu = Emulator::new(&p);
+        for _ in 0..50 {
+            emu.step();
+        }
+        let state = emu.arch_state();
+        let mem = emu.memory().clone();
+        let mut resumed = Emulator::from_state(&p, state, mem);
+        let mut tail = Vec::new();
+        while let Some(d) = resumed.step() {
+            tail.push(d);
+        }
+        assert_eq!(&full[50..], &tail[..]);
+    }
+
+    #[test]
+    fn run_to_seq_counts() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 1000);
+        let top = b.label();
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        let p = b.build();
+        let mut emu = Emulator::new(&p);
+        assert!(emu.run_to_seq(500, |_| {}));
+        assert_eq!(emu.seq(), 500);
+        assert!(!emu.run_to_seq(1_000_000, |_| {}), "halts before a million");
+    }
+
+    #[test]
+    fn wild_jump_halts() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 0x10); // not a code address
+        b.jump_reg(Reg::R1);
+        b.halt();
+        let p = b.build();
+        let (trace, emu) = run_all(&p);
+        assert!(emu.is_halted());
+        assert_eq!(trace.len(), 2, "li + jump_reg, then halt without record");
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the ISA crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from program construction or emulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A control-flow target referenced an unbound label.
+    UnboundLabel {
+        /// The label's identifier.
+        label: usize,
+    },
+    /// The program counter left the code segment.
+    PcOutOfRange {
+        /// The offending code address.
+        pc: u64,
+    },
+    /// An emulation step limit was exceeded without reaching `Halt`.
+    StepLimitExceeded {
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnboundLabel { label } => {
+                write!(f, "control-flow target references unbound label {label}")
+            }
+            IsaError::PcOutOfRange { pc } => {
+                write!(f, "program counter {pc:#x} left the code segment")
+            }
+            IsaError::StepLimitExceeded { limit } => {
+                write!(f, "emulation exceeded {limit} steps without halting")
+            }
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = IsaError::PcOutOfRange { pc: 0x10 };
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(IsaError::StepLimitExceeded { limit: 5 });
+    }
+}

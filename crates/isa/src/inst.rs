@@ -1,0 +1,426 @@
+//! Instruction definitions for the SRISC ISA.
+
+use std::fmt;
+
+/// An architectural integer register name (`r0`–`r31`).
+///
+/// `r0` reads as zero and ignores writes, following the usual RISC
+/// convention. The enum form (rather than a raw `u8`) rules out
+/// out-of-range register numbers statically (C-NEWTYPE / C-CUSTOM-TYPE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum Reg {
+    R0 = 0, R1, R2, R3, R4, R5, R6, R7,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    R16, R17, R18, R19, R20, R21, R22, R23,
+    R24, R25, R26, R27, R28, R29, R30, R31,
+}
+
+impl Reg {
+    /// All 32 register names in order.
+    pub const ALL: [Reg; 32] = [
+        Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7,
+        Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15,
+        Reg::R16, Reg::R17, Reg::R18, Reg::R19, Reg::R20, Reg::R21, Reg::R22, Reg::R23,
+        Reg::R24, Reg::R25, Reg::R26, Reg::R27, Reg::R28, Reg::R29, Reg::R30, Reg::R31,
+    ];
+
+    /// The register's index in `0..32`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Construct from an index in `0..32`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Reg {
+        Reg::ALL[i]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// Integer ALU operation selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    /// Set-less-than (signed): `rd = (rs1 < rs2) as u64`.
+    Slt,
+}
+
+/// Floating-point operation selector for the `FpAlu` class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FpOp {
+    Add,
+    Sub,
+    /// Maximum of the two operands; cheap way to build reductions.
+    Max,
+}
+
+/// Branch condition codes (compare two integer registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+}
+
+impl BranchCond {
+    /// Evaluate the condition on two signed 64-bit operands.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        let (a, b) = (a as i64, b as i64);
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+            BranchCond::Ge => a >= b,
+        }
+    }
+}
+
+/// Coarse instruction class, used by the timing model to pick a functional
+/// unit and latency, and by warming code to classify the dynamic stream.
+///
+/// The classes mirror SimpleScalar's functional-unit classes as configured
+/// in the paper's Table 1 (I-ALU, I-MUL/DIV, FP-ALU, FP-MUL/DIV, plus
+/// memory and control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum OpClass {
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    Load,
+    Store,
+    Branch,
+    Jump,
+    Halt,
+    Nop,
+}
+
+impl OpClass {
+    /// Whether instructions of this class reference data memory.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether instructions of this class can redirect control flow.
+    #[inline]
+    pub fn is_ctrl(self) -> bool {
+        matches!(self, OpClass::Branch | OpClass::Jump)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::IntDiv => "int-div",
+            OpClass::FpAlu => "fp-alu",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Jump => "jump",
+            OpClass::Halt => "halt",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single static SRISC instruction.
+///
+/// Targets of control instructions are *instruction indices* into the
+/// owning [`Program`](crate::Program), not byte addresses; helpers in the
+/// crate root convert between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// `rd = rs1 <op> rs2`
+    Alu {
+        /// Operation selector.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// `rd = rs1 <op> imm`
+    AluImm {
+        /// Operation selector.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Sign-extended immediate operand.
+        imm: i64,
+    },
+    /// `rd = rs1 * rs2` (integer multiply; long latency).
+    Mul {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// `rd = rs1 / max(rs2,1)` (integer divide; long latency, unpipelined).
+    Div {
+        /// Destination register.
+        rd: Reg,
+        /// Dividend register.
+        rs1: Reg,
+        /// Divisor register (a zero divisor yields `rs1`).
+        rs2: Reg,
+    },
+    /// `fd = fs1 <op> fs2` over the FP register file.
+    Fp {
+        /// Operation selector.
+        op: FpOp,
+        /// Destination FP register index (`0..32`).
+        fd: u8,
+        /// First source FP register index.
+        fs1: u8,
+        /// Second source FP register index.
+        fs2: u8,
+    },
+    /// `fd = fs1 * fs2`.
+    FpMul {
+        /// Destination FP register index.
+        fd: u8,
+        /// First source FP register index.
+        fs1: u8,
+        /// Second source FP register index.
+        fs2: u8,
+    },
+    /// `fd = fs1 / fs2` (division by zero yields `fs1`).
+    FpDiv {
+        /// Destination FP register index.
+        fd: u8,
+        /// Dividend FP register index.
+        fs1: u8,
+        /// Divisor FP register index.
+        fs2: u8,
+    },
+    /// `rd = mem[rs1 + imm]` (64-bit load).
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Byte displacement.
+        imm: i64,
+    },
+    /// `fd = mem[rs1 + imm]` reinterpreted as an IEEE-754 double.
+    FpLoad {
+        /// Destination FP register index.
+        fd: u8,
+        /// Base address register.
+        rs1: Reg,
+        /// Byte displacement.
+        imm: i64,
+    },
+    /// `mem[rs1 + imm] = rs2` (64-bit store).
+    Store {
+        /// Base address register.
+        rs1: Reg,
+        /// Value register.
+        rs2: Reg,
+        /// Byte displacement.
+        imm: i64,
+    },
+    /// `mem[rs1 + imm] = fs2` (FP store).
+    FpStore {
+        /// Base address register.
+        rs1: Reg,
+        /// Source FP register index.
+        fs2: u8,
+        /// Byte displacement.
+        imm: i64,
+    },
+    /// Conditional branch to instruction index `target` when
+    /// `cond(rs1, rs2)` holds.
+    Branch {
+        /// Condition code.
+        cond: BranchCond,
+        /// First comparison register.
+        rs1: Reg,
+        /// Second comparison register.
+        rs2: Reg,
+        /// Taken-path instruction index.
+        target: u32,
+    },
+    /// Unconditional direct jump to instruction index `target`,
+    /// writing the return index into `rd` (use `r0` to discard — this
+    /// doubles as `call`).
+    Jump {
+        /// Link register (receives the fall-through instruction index
+        /// encoded as a code address).
+        rd: Reg,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Indirect jump to the code address held in `rs1` (doubles as
+    /// `ret` and as the vehicle for data-dependent control flow).
+    JumpReg {
+        /// Register holding the target code address.
+        rs1: Reg,
+    },
+    /// Stop the program.
+    Halt,
+    /// Do nothing for one slot.
+    Nop,
+}
+
+impl Inst {
+    /// The coarse class of this instruction.
+    pub fn op_class(&self) -> OpClass {
+        match self {
+            Inst::Alu { .. } | Inst::AluImm { .. } => OpClass::IntAlu,
+            Inst::Mul { .. } => OpClass::IntMul,
+            Inst::Div { .. } => OpClass::IntDiv,
+            Inst::Fp { .. } => OpClass::FpAlu,
+            Inst::FpMul { .. } => OpClass::FpMul,
+            Inst::FpDiv { .. } => OpClass::FpDiv,
+            Inst::Load { .. } | Inst::FpLoad { .. } => OpClass::Load,
+            Inst::Store { .. } | Inst::FpStore { .. } => OpClass::Store,
+            Inst::Branch { .. } => OpClass::Branch,
+            Inst::Jump { .. } | Inst::JumpReg { .. } => OpClass::Jump,
+            Inst::Halt => OpClass::Halt,
+            Inst::Nop => OpClass::Nop,
+        }
+    }
+
+    /// Integer source registers read by this instruction (up to two).
+    pub fn int_sources(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Inst::Alu { rs1, rs2, .. }
+            | Inst::Mul { rs1, rs2, .. }
+            | Inst::Div { rs1, rs2, .. }
+            | Inst::Store { rs1, rs2, .. }
+            | Inst::Branch { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::AluImm { rs1, .. }
+            | Inst::Load { rs1, .. }
+            | Inst::FpLoad { rs1, .. }
+            | Inst::FpStore { rs1, .. }
+            | Inst::JumpReg { rs1 } => [Some(rs1), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Integer destination register written by this instruction, if any.
+    pub fn int_dest(&self) -> Option<Reg> {
+        match *self {
+            Inst::Alu { rd, .. }
+            | Inst::AluImm { rd, .. }
+            | Inst::Mul { rd, .. }
+            | Inst::Div { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::Jump { rd, .. } => (rd != Reg::R0).then_some(rd),
+            _ => None,
+        }
+    }
+
+    /// FP source register indices read by this instruction (up to two).
+    pub fn fp_sources(&self) -> [Option<u8>; 2] {
+        match *self {
+            Inst::Fp { fs1, fs2, .. }
+            | Inst::FpMul { fs1, fs2, .. }
+            | Inst::FpDiv { fs1, fs2, .. } => [Some(fs1), Some(fs2)],
+            Inst::FpStore { fs2, .. } => [Some(fs2), None],
+            _ => [None, None],
+        }
+    }
+
+    /// FP destination register index written by this instruction, if any.
+    pub fn fp_dest(&self) -> Option<u8> {
+        match *self {
+            Inst::Fp { fd, .. }
+            | Inst::FpMul { fd, .. }
+            | Inst::FpDiv { fd, .. }
+            | Inst::FpLoad { fd, .. } => Some(fd),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for i in 0..32 {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R31.to_string(), "r31");
+    }
+
+    #[test]
+    fn branch_cond_eval() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(!BranchCond::Eq.eval(3, 4));
+        assert!(BranchCond::Ne.eval(3, 4));
+        assert!(BranchCond::Lt.eval(u64::MAX, 0), "-1 < 0 signed");
+        assert!(BranchCond::Ge.eval(0, u64::MAX), "0 >= -1 signed");
+    }
+
+    #[test]
+    fn op_class_of_insts() {
+        let ld = Inst::Load { rd: Reg::R1, rs1: Reg::R2, imm: 0 };
+        assert_eq!(ld.op_class(), OpClass::Load);
+        assert!(ld.op_class().is_mem());
+        let br = Inst::Branch { cond: BranchCond::Eq, rs1: Reg::R1, rs2: Reg::R2, target: 0 };
+        assert!(br.op_class().is_ctrl());
+        assert!(!Inst::Nop.op_class().is_mem());
+    }
+
+    #[test]
+    fn sources_and_dests() {
+        let add = Inst::Alu { op: AluOp::Add, rd: Reg::R3, rs1: Reg::R1, rs2: Reg::R2 };
+        assert_eq!(add.int_sources(), [Some(Reg::R1), Some(Reg::R2)]);
+        assert_eq!(add.int_dest(), Some(Reg::R3));
+
+        // Writes to r0 are discarded, so r0 is never a dest.
+        let addz = Inst::AluImm { op: AluOp::Add, rd: Reg::R0, rs1: Reg::R1, imm: 1 };
+        assert_eq!(addz.int_dest(), None);
+
+        let fp = Inst::FpMul { fd: 1, fs1: 2, fs2: 3 };
+        assert_eq!(fp.fp_sources(), [Some(2), Some(3)]);
+        assert_eq!(fp.fp_dest(), Some(1));
+        assert_eq!(fp.int_dest(), None);
+    }
+}

@@ -1,0 +1,118 @@
+//! # spectral-isa — the SRISC ISA and functional emulator
+//!
+//! This crate provides the instruction-set substrate for the Spectral
+//! simulation-sampling framework (a reproduction of *Simulation Sampling
+//! with Live-points*, ISPASS 2006). The paper evaluates on Alpha binaries
+//! running under SimpleScalar's functional simulator; neither is available
+//! here, so SRISC is a compact 64-bit load/store RISC ISA with:
+//!
+//! * 32 integer registers ([`Reg`], `r0` hard-wired to zero) and
+//!   32 floating-point registers,
+//! * ALU / multiply / divide / FP / load / store / branch / jump
+//!   instruction classes matching the functional-unit classes of the
+//!   paper's Table 1 configurations,
+//! * a sparse paged memory ([`SparseMemory`]) whose footprint can be
+//!   measured (the paper's checkpoint-size arguments hinge on footprint),
+//! * a deterministic functional emulator ([`Emulator`]) that yields one
+//!   [`DynInst`] record per committed instruction — the dynamic stream
+//!   consumed by functional warming, live-point creation, and the
+//!   out-of-order timing model's correct-path oracle.
+//!
+//! ## Example
+//!
+//! ```
+//! use spectral_isa::{ProgramBuilder, Emulator, Reg, OpClass};
+//!
+//! // A loop that stores r1 = 0..10 to memory.
+//! let mut b = ProgramBuilder::new("demo");
+//! b.li(Reg::R1, 0);
+//! b.li(Reg::R2, 10);
+//! b.li(Reg::R3, 0x1000_0000);
+//! let top = b.label();
+//! b.store(Reg::R3, Reg::R1, 0);
+//! b.addi(Reg::R1, Reg::R1, 1);
+//! b.addi(Reg::R3, Reg::R3, 8);
+//! b.blt(Reg::R1, Reg::R2, top);
+//! b.halt();
+//! let program = b.build();
+//!
+//! let mut emu = Emulator::new(&program);
+//! let mut stores = 0;
+//! while let Some(di) = emu.step() {
+//!     if di.op == OpClass::Store { stores += 1; }
+//! }
+//! assert_eq!(stores, 10);
+//! assert_eq!(emu.memory().read_u64(0x1000_0000 + 9 * 8), 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disasm;
+mod emu;
+mod error;
+mod inst;
+mod mem;
+mod program;
+mod regs;
+mod trace;
+
+pub use emu::{ArchState, Emulator, Trace};
+pub use error::IsaError;
+pub use inst::{AluOp, BranchCond, FpOp, Inst, OpClass, Reg};
+pub use mem::{SparseMemory, PAGE_BYTES, PAGE_WORDS};
+pub use program::{Label, Program, ProgramBuilder};
+pub use regs::RegFile;
+pub use trace::{BranchInfo, DynInst, MemOp};
+
+/// Byte size of one SRISC instruction in the simulated address space.
+///
+/// Instruction `i` of a [`Program`] occupies addresses
+/// `[CODE_BASE + 4*i, CODE_BASE + 4*i + 4)`; instruction-cache and ITLB
+/// models index on these addresses.
+pub const INST_BYTES: u64 = 4;
+
+/// Base virtual address of the code segment.
+pub const CODE_BASE: u64 = 0x0040_0000;
+
+/// Base virtual address of the statically-initialized data segment.
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// Initial stack pointer (stack grows down).
+pub const STACK_BASE: u64 = 0x7FFF_FF00;
+
+/// Translate an instruction index into its simulated virtual address.
+#[inline]
+pub fn inst_addr(index: usize) -> u64 {
+    CODE_BASE + index as u64 * INST_BYTES
+}
+
+/// Translate a code virtual address back into an instruction index, if it
+/// lies within the code segment of a program with `len` instructions.
+#[inline]
+pub fn inst_index(addr: u64, len: usize) -> Option<usize> {
+    if addr < CODE_BASE || !(addr - CODE_BASE).is_multiple_of(INST_BYTES) {
+        return None;
+    }
+    let idx = ((addr - CODE_BASE) / INST_BYTES) as usize;
+    (idx < len).then_some(idx)
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn inst_addr_roundtrip() {
+        for i in [0usize, 1, 7, 1000] {
+            assert_eq!(inst_index(inst_addr(i), 2000), Some(i));
+        }
+    }
+
+    #[test]
+    fn inst_index_rejects_out_of_range() {
+        assert_eq!(inst_index(inst_addr(10), 10), None);
+        assert_eq!(inst_index(CODE_BASE + 2, 10), None, "misaligned");
+        assert_eq!(inst_index(0, 10), None, "below code base");
+    }
+}

@@ -1,0 +1,396 @@
+//! Static program images and the assembler-style builder.
+
+use crate::error::IsaError;
+use crate::inst::{AluOp, BranchCond, FpOp, Inst, Reg};
+use crate::DATA_BASE;
+
+/// An opaque forward-referenceable code label issued by
+/// [`ProgramBuilder::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An immutable static program image: the instruction sequence plus the
+/// statically-initialized data segment.
+///
+/// A `Program` plays the role of the benchmark *binary* in the paper's
+/// setup: it is an input shared by every simulation of the benchmark and
+/// is therefore **not** stored inside live-points (only dynamically
+/// written data is).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    /// `(word_address, value)` pairs initialized before execution.
+    data_init: Vec<(u64, u64)>,
+    entry: u32,
+}
+
+impl Program {
+    /// The benchmark's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The static instruction sequence.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Index of the entry instruction.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Fetch the static instruction at `index`, if in range.
+    #[inline]
+    pub fn fetch(&self, index: usize) -> Option<&Inst> {
+        self.insts.get(index)
+    }
+
+    /// The statically-initialized data words.
+    pub fn data_init(&self) -> &[(u64, u64)] {
+        &self.data_init
+    }
+}
+
+/// Incremental builder for [`Program`] images, in the style of a tiny
+/// assembler: emit instructions, bind labels, and resolve branches at
+/// [`build`](ProgramBuilder::build) time.
+///
+/// # Example
+///
+/// ```
+/// use spectral_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new("count");
+/// b.li(Reg::R1, 3);
+/// let top = b.label();
+/// b.subi(Reg::R1, Reg::R1, 1);
+/// b.bne(Reg::R1, Reg::R0, top);
+/// b.halt();
+/// let p = b.build();
+/// assert_eq!(p.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    labels: Vec<Option<u32>>,
+    /// Instruction slots whose `target` field holds a label id to patch.
+    fixups: Vec<(usize, Label)>,
+    data_init: Vec<(u64, u64)>,
+    data_cursor: u64,
+}
+
+impl ProgramBuilder {
+    /// Start building a program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            insts: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            data_init: Vec::new(),
+            data_cursor: DATA_BASE,
+        }
+    }
+
+    /// Current instruction index (where the next emitted instruction will
+    /// land).
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Issue a fresh, not-yet-bound label for forward references.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Issue a label already bound to the current position (back-edges).
+    pub fn label(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Reserve `words` 64-bit words of data-segment space, returning the
+    /// base address of the reservation.
+    pub fn alloc_data(&mut self, words: u64) -> u64 {
+        let base = self.data_cursor;
+        self.data_cursor += words * 8;
+        base
+    }
+
+    /// Statically initialize the word at `addr`.
+    pub fn init_word(&mut self, addr: u64, value: u64) {
+        self.data_init.push((addr, value));
+    }
+
+    /// Statically initialize the word at `addr` with a double.
+    pub fn init_f64(&mut self, addr: u64, value: f64) {
+        self.data_init.push((addr, value.to_bits()));
+    }
+
+    /// Emit a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    // --- ergonomic emitters -------------------------------------------
+
+    /// `rd = imm` (via `addi rd, r0, imm`).
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Add, rd, rs1: Reg::R0, imm })
+    }
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Add, rd, rs1, imm })
+    }
+
+    /// `rd = rs1 - imm`.
+    pub fn subi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Sub, rd, rs1, imm })
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::And, rd, rs1, imm })
+    }
+
+    /// `rd = rs1 ^ imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Xor, rd, rs1, imm })
+    }
+
+    /// `rd = rs1 << imm`.
+    pub fn shli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Shl, rd, rs1, imm })
+    }
+
+    /// `rd = rs1 >> imm` (logical).
+    pub fn shri(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Shr, rd, rs1, imm })
+    }
+
+    /// `rd = (rs1 < imm) as u64` (signed set-less-than).
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Slt, rd, rs1, imm })
+    }
+
+    /// `rd = rs1 * rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Mul { rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 / max(rs2,1)`.
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Div { rd, rs1, rs2 })
+    }
+
+    /// `fd = fs1 + fs2`.
+    pub fn fadd(&mut self, fd: u8, fs1: u8, fs2: u8) -> &mut Self {
+        self.push(Inst::Fp { op: FpOp::Add, fd, fs1, fs2 })
+    }
+
+    /// `fd = fs1 - fs2`.
+    pub fn fsub(&mut self, fd: u8, fs1: u8, fs2: u8) -> &mut Self {
+        self.push(Inst::Fp { op: FpOp::Sub, fd, fs1, fs2 })
+    }
+
+    /// `fd = fs1 * fs2`.
+    pub fn fmul(&mut self, fd: u8, fs1: u8, fs2: u8) -> &mut Self {
+        self.push(Inst::FpMul { fd, fs1, fs2 })
+    }
+
+    /// `fd = fs1 / fs2`.
+    pub fn fdiv(&mut self, fd: u8, fs1: u8, fs2: u8) -> &mut Self {
+        self.push(Inst::FpDiv { fd, fs1, fs2 })
+    }
+
+    /// `rd = mem[rs1 + imm]`.
+    pub fn load(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::Load { rd, rs1, imm })
+    }
+
+    /// `fd = mem[rs1 + imm]` (FP load).
+    pub fn fload(&mut self, fd: u8, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::FpLoad { fd, rs1, imm })
+    }
+
+    /// `mem[rs1 + imm] = rs2`.
+    pub fn store(&mut self, rs1: Reg, rs2: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::Store { rs1, rs2, imm })
+    }
+
+    /// `mem[rs1 + imm] = fs2` (FP store).
+    pub fn fstore(&mut self, rs1: Reg, fs2: u8, imm: i64) -> &mut Self {
+        self.push(Inst::FpStore { rs1, fs2, imm })
+    }
+
+    fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        let slot = self.insts.len();
+        self.fixups.push((slot, label));
+        self.push(Inst::Branch { cond, rs1, rs2, target: 0 })
+    }
+
+    /// Branch to `label` if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch(BranchCond::Eq, rs1, rs2, label)
+    }
+
+    /// Branch to `label` if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch(BranchCond::Ne, rs1, rs2, label)
+    }
+
+    /// Branch to `label` if `rs1 < rs2` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch(BranchCond::Lt, rs1, rs2, label)
+    }
+
+    /// Branch to `label` if `rs1 >= rs2` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch(BranchCond::Ge, rs1, rs2, label)
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        let slot = self.insts.len();
+        self.fixups.push((slot, label));
+        self.push(Inst::Jump { rd: Reg::R0, target: 0 })
+    }
+
+    /// Call `label`, writing the return address into `rd` (conventionally
+    /// `r31`).
+    pub fn call(&mut self, rd: Reg, label: Label) -> &mut Self {
+        let slot = self.insts.len();
+        self.fixups.push((slot, label));
+        self.push(Inst::Jump { rd, target: 0 })
+    }
+
+    /// Indirect jump through `rs1` (conventionally `ret` via `r31`).
+    pub fn jump_reg(&mut self, rs1: Reg) -> &mut Self {
+        self.push(Inst::JumpReg { rs1 })
+    }
+
+    /// Emit `Halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Emit `Nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    /// Resolve all label fixups and produce the immutable [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UnboundLabel`] if any referenced label was
+    /// never bound.
+    pub fn try_build(mut self) -> Result<Program, IsaError> {
+        for (slot, label) in &self.fixups {
+            let target = self.labels[label.0].ok_or(IsaError::UnboundLabel { label: label.0 })?;
+            match &mut self.insts[*slot] {
+                Inst::Branch { target: t, .. } | Inst::Jump { target: t, .. } => *t = target,
+                other => unreachable!("fixup on non-control instruction {other:?}"),
+            }
+        }
+        Ok(Program {
+            name: self.name,
+            insts: self.insts,
+            data_init: self.data_init,
+            entry: 0,
+        })
+    }
+
+    /// Resolve fixups and produce the [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound; use
+    /// [`try_build`](Self::try_build) to handle that as an error.
+    pub fn build(self) -> Program {
+        self.try_build().expect("all labels bound")
+    }
+
+    /// Byte address just past the data reserved so far.
+    pub fn data_end(&self) -> u64 {
+        self.data_cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn forward_label_resolution() {
+        let mut b = ProgramBuilder::new("t");
+        let end = b.new_label();
+        b.li(Reg::R1, 1);
+        b.beq(Reg::R0, Reg::R0, end);
+        b.li(Reg::R1, 2); // skipped
+        b.bind(end);
+        b.halt();
+        let p = b.build();
+        match p.insts()[1] {
+            Inst::Branch { target, .. } => assert_eq!(target, 3),
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_error() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.new_label();
+        b.jump(l);
+        assert!(matches!(b.try_build(), Err(IsaError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn data_allocation_is_disjoint() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.alloc_data(10);
+        let c = b.alloc_data(5);
+        assert_eq!(c, a + 80);
+        assert_eq!(b.data_end(), c + 40);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 5).addi(Reg::R1, Reg::R1, 1).halt();
+        assert_eq!(b.here(), 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Architectural register file.
+
+use crate::inst::Reg;
+
+/// The architectural register state: 32 integer and 32 FP registers.
+///
+/// Integer register `r0` is hard-wired to zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegFile {
+    int: [u64; 32],
+    fp: [f64; 32],
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegFile {
+    /// Create a register file with all registers zeroed.
+    pub fn new() -> Self {
+        RegFile { int: [0; 32], fp: [0.0; 32] }
+    }
+
+    /// Read an integer register.
+    #[inline]
+    pub fn read(&self, r: Reg) -> u64 {
+        self.int[r.index()]
+    }
+
+    /// Write an integer register; writes to `r0` are discarded.
+    #[inline]
+    pub fn write(&mut self, r: Reg, v: u64) {
+        if r != Reg::R0 {
+            self.int[r.index()] = v;
+        }
+    }
+
+    /// Read an FP register by index (`0..32`).
+    ///
+    /// # Panics
+    /// Panics if `f >= 32`.
+    #[inline]
+    pub fn read_fp(&self, f: u8) -> f64 {
+        self.fp[f as usize]
+    }
+
+    /// Write an FP register by index (`0..32`).
+    ///
+    /// # Panics
+    /// Panics if `f >= 32`.
+    #[inline]
+    pub fn write_fp(&mut self, f: u8, v: f64) {
+        self.fp[f as usize] = v;
+    }
+
+    /// Raw view of the integer registers (for checkpoint encoding).
+    pub fn int_regs(&self) -> &[u64; 32] {
+        &self.int
+    }
+
+    /// Raw view of the FP registers (for checkpoint encoding).
+    pub fn fp_regs(&self) -> &[f64; 32] {
+        &self.fp
+    }
+
+    /// Restore integer registers from a raw array (checkpoint load).
+    pub fn set_int_regs(&mut self, regs: [u64; 32]) {
+        self.int = regs;
+        self.int[0] = 0;
+    }
+
+    /// Restore FP registers from a raw array (checkpoint load).
+    pub fn set_fp_regs(&mut self, regs: [f64; 32]) {
+        self.fp = regs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r0_is_zero() {
+        let mut r = RegFile::new();
+        r.write(Reg::R0, 99);
+        assert_eq!(r.read(Reg::R0), 0);
+    }
+
+    #[test]
+    fn int_write_read() {
+        let mut r = RegFile::new();
+        r.write(Reg::R5, 123);
+        assert_eq!(r.read(Reg::R5), 123);
+    }
+
+    #[test]
+    fn fp_write_read() {
+        let mut r = RegFile::new();
+        r.write_fp(7, 1.5);
+        assert_eq!(r.read_fp(7), 1.5);
+    }
+
+    #[test]
+    fn restore_forces_r0_zero() {
+        let mut r = RegFile::new();
+        let mut raw = [1u64; 32];
+        raw[0] = 77;
+        r.set_int_regs(raw);
+        assert_eq!(r.read(Reg::R0), 0);
+        assert_eq!(r.read(Reg::R1), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Dynamic-instruction trace records produced by the functional emulator.
+
+use crate::inst::{OpClass, Reg};
+
+/// Direction of a data-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// A data read.
+    Read,
+    /// A data write.
+    Write,
+}
+
+/// Control-flow outcome of a committed branch or jump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// Whether the control transfer was taken (always `true` for jumps).
+    pub taken: bool,
+    /// The taken-path code address (branch target).
+    pub target: u64,
+    /// Whether the transfer was a conditional branch (eligible for
+    /// direction prediction) as opposed to an unconditional jump.
+    pub conditional: bool,
+    /// Whether this was an indirect transfer (target from a register).
+    pub indirect: bool,
+    /// Whether this transfer is a call (writes a link register).
+    pub is_call: bool,
+    /// Whether this transfer is a return (indirect jump through the
+    /// conventional link register).
+    pub is_return: bool,
+}
+
+/// One committed dynamic instruction, as observed on the correct path.
+///
+/// This is the record consumed by functional warming (cache, TLB and
+/// branch-predictor updates), by live-point creation (live-state
+/// collection), and by the out-of-order timing model's correct-path
+/// oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynInst {
+    /// Zero-based commit sequence number.
+    pub seq: u64,
+    /// Code virtual address of this instruction.
+    pub pc: u64,
+    /// Index of the static instruction within the program image.
+    pub index: u32,
+    /// Coarse class (selects functional unit and latency in the timing
+    /// model).
+    pub op: OpClass,
+    /// Integer source registers (up to two).
+    pub int_srcs: [Option<Reg>; 2],
+    /// Integer destination register, if any.
+    pub int_dst: Option<Reg>,
+    /// FP source register indices (up to two).
+    pub fp_srcs: [Option<u8>; 2],
+    /// FP destination register index, if any.
+    pub fp_dst: Option<u8>,
+    /// Effective data-memory access performed, if any.
+    pub mem: Option<(MemOp, u64)>,
+    /// Control-flow outcome, if this is a branch or jump.
+    pub branch: Option<BranchInfo>,
+    /// Address of the next committed instruction.
+    pub next_pc: u64,
+    /// Value written to the integer destination register (zero when the
+    /// instruction has no integer destination). The timing model's
+    /// wrong-path approximation uses these committed values to estimate
+    /// speculative load addresses.
+    pub int_result: u64,
+}
+
+impl DynInst {
+    /// Whether this instruction redirected control away from the
+    /// fall-through path.
+    #[inline]
+    pub fn redirects(&self) -> bool {
+        self.branch.map(|b| b.taken).unwrap_or(false)
+    }
+
+    /// The effective data address, if this instruction accesses memory.
+    #[inline]
+    pub fn data_addr(&self) -> Option<u64> {
+        self.mem.map(|(_, a)| a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> DynInst {
+        DynInst {
+            seq: 0,
+            pc: 0x40_0000,
+            index: 0,
+            op: OpClass::IntAlu,
+            int_srcs: [None, None],
+            int_dst: None,
+            fp_srcs: [None, None],
+            fp_dst: None,
+            mem: None,
+            branch: None,
+            next_pc: 0x40_0004,
+            int_result: 0,
+        }
+    }
+
+    #[test]
+    fn non_branch_does_not_redirect() {
+        assert!(!blank().redirects());
+    }
+
+    #[test]
+    fn taken_branch_redirects() {
+        let mut d = blank();
+        d.op = OpClass::Branch;
+        d.branch = Some(BranchInfo {
+            taken: true,
+            target: 0x40_0100,
+            conditional: true,
+            indirect: false,
+            is_call: false,
+            is_return: false,
+        });
+        assert!(d.redirects());
+    }
+
+    #[test]
+    fn data_addr_passthrough() {
+        let mut d = blank();
+        assert_eq!(d.data_addr(), None);
+        d.mem = Some((MemOp::Read, 0x1234));
+        assert_eq!(d.data_addr(), Some(0x1234));
+    }
+}

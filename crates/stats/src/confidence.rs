@@ -1,0 +1,114 @@
+//! Confidence levels and sample-size planning.
+
+use std::fmt;
+
+/// A two-sided normal confidence level, carried as its z-score.
+///
+/// The paper's experiments all target [`Confidence::C99_7`]
+/// ("three sigma") with a ±3% relative error bound.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Confidence {
+    z: f64,
+}
+
+impl Confidence {
+    /// 90% confidence (z ≈ 1.645).
+    pub const C90: Confidence = Confidence { z: 1.6448536 };
+    /// 95% confidence (z ≈ 1.960).
+    pub const C95: Confidence = Confidence { z: 1.9599640 };
+    /// 99% confidence (z ≈ 2.576).
+    pub const C99: Confidence = Confidence { z: 2.5758293 };
+    /// 99.7% confidence (z = 3), the paper's standard target.
+    pub const C99_7: Confidence = Confidence { z: 3.0 };
+
+    /// A custom confidence level from a z-score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is not finite and positive.
+    pub fn from_z(z: f64) -> Confidence {
+        assert!(z.is_finite() && z > 0.0, "z-score must be finite and positive");
+        Confidence { z }
+    }
+
+    /// The z-score.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "z={:.3}", self.z)
+    }
+}
+
+/// Minimum sample size floor imposed so the central limit theorem is
+/// trustworthy (paper §6.1: "a minimum sample size of 30 live-points").
+pub const MIN_SAMPLE_SIZE: u64 = 30;
+
+/// Sample size required to bound the relative confidence-interval
+/// half-width by `relative_error` at `confidence`, given the target
+/// metric's coefficient of variation `cv`.
+///
+/// Uses `n ≥ (z · cv / ε)²`, the standard formula the SMARTS/live-points
+/// line of work plans samples with, floored at [`MIN_SAMPLE_SIZE`].
+///
+/// # Panics
+///
+/// Panics if `relative_error` is not positive or `cv` is negative.
+pub fn required_sample_size(cv: f64, relative_error: f64, confidence: Confidence) -> u64 {
+    assert!(relative_error > 0.0, "relative error target must be positive");
+    assert!(cv >= 0.0, "coefficient of variation cannot be negative");
+    let n = (confidence.z() * cv / relative_error).powi(2).ceil() as u64;
+    n.max(MIN_SAMPLE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_target_is_three_sigma() {
+        assert_eq!(Confidence::C99_7.z(), 3.0);
+    }
+
+    #[test]
+    fn sample_size_formula() {
+        // cv = 0.3, ±3% at z=3 → (3*0.3/0.03)^2 = 900.
+        assert_eq!(required_sample_size(0.3, 0.03, Confidence::C99_7), 900);
+    }
+
+    #[test]
+    fn min_sample_floor() {
+        assert_eq!(required_sample_size(0.0, 0.03, Confidence::C99_7), MIN_SAMPLE_SIZE);
+        assert_eq!(required_sample_size(0.001, 0.5, Confidence::C90), MIN_SAMPLE_SIZE);
+    }
+
+    #[test]
+    fn tighter_error_needs_more_samples() {
+        let loose = required_sample_size(0.5, 0.05, Confidence::C99_7);
+        let tight = required_sample_size(0.5, 0.01, Confidence::C99_7);
+        assert!(tight > loose);
+        assert_eq!(tight, loose * 25, "quadratic in 1/ε");
+    }
+
+    #[test]
+    #[should_panic(expected = "relative error")]
+    fn rejects_zero_error() {
+        required_sample_size(0.3, 0.0, Confidence::C95);
+    }
+
+    #[test]
+    fn custom_z() {
+        let c = Confidence::from_z(2.0);
+        assert_eq!(c.z(), 2.0);
+        assert!(c < Confidence::C99_7);
+    }
+
+    #[test]
+    #[should_panic(expected = "z-score")]
+    fn rejects_bad_z() {
+        Confidence::from_z(-1.0);
+    }
+}

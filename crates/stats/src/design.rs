@@ -1,0 +1,313 @@
+//! Sample designs: where in the dynamic instruction stream to measure.
+
+/// One measurement window: a detailed-warming prefix followed by the
+/// measured interval, both positioned by committed-instruction sequence
+/// numbers.
+///
+/// This is the paper's "detailed window": `warm_len` instructions of
+/// detailed warming (Table 1: 2000 for the 8-way, 4000 for the 16-way)
+/// immediately followed by a `measure_len`-instruction measurement
+/// (1000 in all experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowSpec {
+    /// Sequence number where detailed warming begins.
+    pub detail_start: u64,
+    /// Sequence number where measurement begins.
+    pub measure_start: u64,
+    /// Measured instruction count.
+    pub measure_len: u64,
+}
+
+impl WindowSpec {
+    /// Sequence number one past the last measured instruction.
+    pub fn end(&self) -> u64 {
+        self.measure_start + self.measure_len
+    }
+
+    /// Detailed-warming length in instructions.
+    pub fn warm_len(&self) -> u64 {
+        self.measure_start - self.detail_start
+    }
+
+    /// Total window length (warming + measurement).
+    pub fn total_len(&self) -> u64 {
+        self.end() - self.detail_start
+    }
+}
+
+/// A strategy for choosing measurement windows over a benchmark.
+///
+/// Implementations must produce windows sorted by position and
+/// non-overlapping, so that a single forward pass (live-point creation
+/// or full warming) can service all of them.
+pub trait SampleDesign {
+    /// Choose up to `n` windows over a benchmark of `benchmark_len`
+    /// committed instructions, deterministically from `seed`.
+    fn windows(&self, benchmark_len: u64, n: u64, seed: u64) -> Vec<WindowSpec>;
+}
+
+/// Splitmix64 — a tiny deterministic generator so designs are
+/// reproducible without external dependencies.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The paper's periodic sample design: measurement units of `unit_len`
+/// instructions at a fixed period with a random phase, each preceded by
+/// `warm_len` instructions of detailed warming.
+///
+/// Periodic (systematic) sampling with a random phase is unbiased for
+/// the population mean and was shown by SMARTS to minimize detailed
+/// simulation for a given confidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystematicDesign {
+    unit_len: u64,
+    warm_len: u64,
+}
+
+impl SystematicDesign {
+    /// Create a design with `unit_len`-instruction measurement units and
+    /// `warm_len`-instruction detailed warming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_len` is zero.
+    pub fn new(unit_len: u64, warm_len: u64) -> Self {
+        assert!(unit_len > 0, "measurement unit length must be positive");
+        SystematicDesign { unit_len, warm_len }
+    }
+
+    /// The paper's standard 8-way design: U = 1000, W = 2000.
+    pub fn paper_8way() -> Self {
+        SystematicDesign::new(1000, 2000)
+    }
+
+    /// The paper's 16-way design: U = 1000, W = 4000 (larger structures
+    /// need longer detailed warming; Table 1).
+    pub fn paper_16way() -> Self {
+        SystematicDesign::new(1000, 4000)
+    }
+
+    /// Measurement unit length.
+    pub fn unit_len(&self) -> u64 {
+        self.unit_len
+    }
+
+    /// Detailed-warming length.
+    pub fn warm_len(&self) -> u64 {
+        self.warm_len
+    }
+}
+
+impl SampleDesign for SystematicDesign {
+    fn windows(&self, benchmark_len: u64, n: u64, seed: u64) -> Vec<WindowSpec> {
+        if n == 0 || benchmark_len < self.unit_len + self.warm_len {
+            return Vec::new();
+        }
+        let n = n.min(benchmark_len / (self.unit_len + self.warm_len)).max(1);
+        let period = benchmark_len / n;
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        // One measurement per period. When the period has room, each
+        // window gets its own random phase within the period's middle
+        // half ("systematic random" placement): strictly periodic
+        // placement aliases with periodic program structure — on
+        // loop-regular workloads every window can land at the same
+        // offset of the same kernel loop, yielding degenerate
+        // zero-variance samples and false confidence. Jitter bounded to
+        // the middle half keeps windows sorted and non-overlapping.
+        let span = self.unit_len + self.warm_len;
+        let jitter_room = (period / 2).saturating_sub(self.unit_len);
+        let jittered = period >= 2 * span && jitter_room > 0;
+        let global_slack = period.saturating_sub(self.unit_len);
+        let global_phase =
+            if global_slack == 0 { 0 } else { splitmix64(&mut state) % global_slack };
+        let mut windows = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let phase = if jittered {
+                period / 4 + splitmix64(&mut state) % jitter_room
+            } else {
+                global_phase
+            };
+            let measure_start = i * period + phase;
+            if measure_start + self.unit_len > benchmark_len {
+                break;
+            }
+            let detail_start = measure_start.saturating_sub(self.warm_len);
+            windows.push(WindowSpec {
+                detail_start,
+                measure_start,
+                measure_len: self.unit_len,
+            });
+        }
+        windows
+    }
+}
+
+/// Uniform random sampling: `n` unit starts drawn without overlap.
+///
+/// Included because the paper notes live-points "can also be applied to
+/// other sample designs (e.g., random sampling)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomDesign {
+    unit_len: u64,
+    warm_len: u64,
+}
+
+impl RandomDesign {
+    /// Create a random design with the given unit and warming lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_len` is zero.
+    pub fn new(unit_len: u64, warm_len: u64) -> Self {
+        assert!(unit_len > 0, "measurement unit length must be positive");
+        RandomDesign { unit_len, warm_len }
+    }
+}
+
+impl SampleDesign for RandomDesign {
+    fn windows(&self, benchmark_len: u64, n: u64, seed: u64) -> Vec<WindowSpec> {
+        let span = self.unit_len + self.warm_len;
+        if n == 0 || benchmark_len < span {
+            return Vec::new();
+        }
+        // Draw starts on a unit-length grid, then de-overlap by keeping
+        // sorted unique slots.
+        let slots = benchmark_len / self.unit_len;
+        let mut state = seed ^ 0x243F_6A88_85A3_08D3;
+        let mut picks: Vec<u64> = (0..n * 2)
+            .map(|_| splitmix64(&mut state) % slots)
+            .collect();
+        picks.sort_unstable();
+        picks.dedup();
+        let mut windows = Vec::new();
+        let mut last_end = 0u64;
+        for slot in picks {
+            if windows.len() as u64 == n {
+                break;
+            }
+            let measure_start = slot * self.unit_len;
+            let detail_start = measure_start.saturating_sub(self.warm_len);
+            if detail_start < last_end || measure_start + self.unit_len > benchmark_len {
+                continue;
+            }
+            let w = WindowSpec { detail_start, measure_start, measure_len: self.unit_len };
+            last_end = w.end();
+            windows.push(w);
+        }
+        windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid(windows: &[WindowSpec], benchmark_len: u64) {
+        let mut prev_end = 0;
+        for w in windows {
+            assert!(w.detail_start <= w.measure_start);
+            assert!(w.end() <= benchmark_len);
+            assert!(w.measure_start >= prev_end, "measurements must not overlap");
+            prev_end = w.measure_start + w.measure_len;
+        }
+    }
+
+    #[test]
+    fn systematic_produces_n_windows() {
+        let d = SystematicDesign::paper_8way();
+        let ws = d.windows(10_000_000, 100, 42);
+        assert_eq!(ws.len(), 100);
+        assert_valid(&ws, 10_000_000);
+        assert!(ws.iter().all(|w| w.measure_len == 1000));
+        // All but possibly the first have full warming.
+        assert!(ws[1..].iter().all(|w| w.warm_len() == 2000));
+    }
+
+    #[test]
+    fn systematic_one_window_per_period() {
+        let d = SystematicDesign::paper_8way();
+        let ws = d.windows(1_000_000, 10, 7);
+        let period = 1_000_000 / 10;
+        for (i, w) in ws.iter().enumerate() {
+            let lo = i as u64 * period;
+            assert!(
+                w.measure_start >= lo && w.measure_start + w.measure_len <= lo + period,
+                "window {i} at {} escapes its period [{lo}, {})",
+                w.measure_start,
+                lo + period
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_breaks_phase_alignment() {
+        // With room to jitter, consecutive gaps must not all be equal —
+        // the anti-aliasing property.
+        let d = SystematicDesign::paper_8way();
+        let ws = d.windows(10_000_000, 50, 3);
+        let gaps: Vec<u64> =
+            ws.windows(2).map(|p| p[1].measure_start - p[0].measure_start).collect();
+        let first = gaps[0];
+        assert!(gaps.iter().any(|&g| g != first), "gaps all equal: aliasing risk");
+    }
+
+    #[test]
+    fn tight_benchmark_falls_back_to_strict_periodic() {
+        // Period < 2*(unit+warm): no room to jitter; strict placement.
+        let d = SystematicDesign::new(1000, 2000);
+        let ws = d.windows(40_000, 10, 3);
+        assert!(!ws.is_empty());
+        let gaps: Vec<u64> =
+            ws.windows(2).map(|p| p[1].measure_start - p[0].measure_start).collect();
+        assert!(gaps.iter().all(|&g| g == gaps[0]), "fallback must be periodic");
+    }
+
+    #[test]
+    fn systematic_deterministic_in_seed() {
+        let d = SystematicDesign::paper_8way();
+        assert_eq!(d.windows(1_000_000, 10, 7), d.windows(1_000_000, 10, 7));
+        assert_ne!(
+            d.windows(10_000_000, 10, 7)[0],
+            d.windows(10_000_000, 10, 8)[0],
+            "different phases"
+        );
+    }
+
+    #[test]
+    fn short_benchmark_yields_fewer_windows() {
+        let d = SystematicDesign::paper_8way();
+        let ws = d.windows(30_000, 100, 1);
+        assert!(ws.len() <= 10);
+        assert!(!ws.is_empty());
+        assert_valid(&ws, 30_000);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let d = SystematicDesign::paper_8way();
+        assert!(d.windows(100, 10, 1).is_empty(), "benchmark shorter than one window");
+        assert!(d.windows(1_000_000, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn random_design_valid_and_seeded() {
+        let d = RandomDesign::new(1000, 2000);
+        let ws = d.windows(10_000_000, 50, 9);
+        assert!(!ws.is_empty());
+        assert_valid(&ws, 10_000_000);
+        assert_eq!(ws, d.windows(10_000_000, 50, 9));
+    }
+
+    #[test]
+    fn window_spec_arithmetic() {
+        let w = WindowSpec { detail_start: 100, measure_start: 2100, measure_len: 1000 };
+        assert_eq!(w.warm_len(), 2000);
+        assert_eq!(w.end(), 3100);
+        assert_eq!(w.total_len(), 3000);
+    }
+}

@@ -1,0 +1,200 @@
+//! Single-pass (Welford) mean/variance estimation with merging.
+
+use crate::confidence::Confidence;
+
+/// A numerically-stable online estimator of mean and variance.
+///
+/// Supports [`merge`](Self::merge) (Chan et al. parallel combination) so
+/// per-thread partial estimates from parallel live-point processing can
+/// be combined without loss.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineEstimator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineEstimator {
+    /// Create an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (0 when empty).
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation `σ/μ` (0 when the mean is 0).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean.abs()
+        }
+    }
+
+    /// Two-sided confidence-interval half-width at `confidence`.
+    pub fn half_width(&self, confidence: Confidence) -> f64 {
+        confidence.z() * self.std_error()
+    }
+
+    /// Half-width relative to the mean, the paper's "±X% error" measure
+    /// (`f64::INFINITY` when the mean is 0).
+    pub fn relative_half_width(&self, confidence: Confidence) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width(confidence) / self.mean.abs()
+        }
+    }
+
+    /// Combine two partial estimates, as if all observations had been
+    /// pushed into one estimator.
+    pub fn merge(&mut self, other: &OnlineEstimator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+impl FromIterator<f64> for OnlineEstimator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut e = OnlineEstimator::new();
+        for x in iter {
+            e.push(x);
+        }
+        e
+    }
+}
+
+impl Extend<f64> for OnlineEstimator {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_stats(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn matches_two_pass_reference() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 5.0).collect();
+        let est: OnlineEstimator = xs.iter().copied().collect();
+        let (mean, var) = reference_stats(&xs);
+        assert!((est.mean() - mean).abs() < 1e-12);
+        assert!((est.variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut e = OnlineEstimator::new();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.variance(), 0.0);
+        e.push(4.0);
+        assert_eq!(e.mean(), 4.0);
+        assert_eq!(e.variance(), 0.0, "undefined variance reported as 0");
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.7).collect();
+        let ys: Vec<f64> = (0..70).map(|i| (i as f64).cos()).collect();
+        let mut a: OnlineEstimator = xs.iter().copied().collect();
+        let b: OnlineEstimator = ys.iter().copied().collect();
+        a.merge(&b);
+        let all: OnlineEstimator = xs.iter().chain(ys.iter()).copied().collect();
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineEstimator = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineEstimator::new());
+        assert_eq!(a, before);
+        let mut e = OnlineEstimator::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn half_width_shrinks_with_n() {
+        let mut e = OnlineEstimator::new();
+        for i in 0..100 {
+            e.push(if i % 2 == 0 { 1.0 } else { 2.0 });
+        }
+        let hw100 = e.half_width(Confidence::C99_7);
+        for i in 0..900 {
+            e.push(if i % 2 == 0 { 1.0 } else { 2.0 });
+        }
+        assert!(e.half_width(Confidence::C99_7) < hw100 / 2.0);
+    }
+
+    #[test]
+    fn constant_stream_has_zero_cv() {
+        let e: OnlineEstimator = std::iter::repeat_n(2.5, 40).collect();
+        assert_eq!(e.coefficient_of_variation(), 0.0);
+        assert_eq!(e.relative_half_width(Confidence::C95), 0.0);
+    }
+}

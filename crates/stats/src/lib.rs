@@ -1,0 +1,47 @@
+//! # spectral-stats — sampling statistics for simulation sampling
+//!
+//! The statistical machinery behind the Spectral live-points framework
+//! (reproduction of *Simulation Sampling with Live-points*, ISPASS 2006):
+//!
+//! * [`OnlineEstimator`] — Welford single-pass mean/variance with
+//!   mergeable partials (for parallel live-point processing),
+//! * [`Confidence`] — confidence levels as z-scores; the paper's
+//!   "99.7% confidence of ±3% error" is [`Confidence::C99_7`] with a
+//!   relative error target of `0.03`,
+//! * sample-size planning ([`required_sample_size`]) with the paper's
+//!   `n ≥ 30` central-limit floor,
+//! * [`SystematicDesign`] / [`RandomDesign`] — the paper's periodic
+//!   1000-instruction measurement-unit sample design (plus uniform
+//!   random sampling as an alternative),
+//! * [`MatchedPair`] — matched-pair comparison on per-window deltas
+//!   (paper §6.2, after Ekman & Stenström), which shrinks required
+//!   sample sizes by large factors for comparative studies.
+//!
+//! ## Example: plan and evaluate a sample
+//!
+//! ```
+//! use spectral_stats::{Confidence, OnlineEstimator, required_sample_size};
+//!
+//! let mut est = OnlineEstimator::new();
+//! for i in 0..1000u64 {
+//!     est.push(1.0 + 0.25 * ((i % 10) as f64) / 10.0); // fake CPIs
+//! }
+//! let n = required_sample_size(est.coefficient_of_variation(), 0.03, Confidence::C99_7);
+//! assert!(n >= 30);
+//! assert!(est.relative_half_width(Confidence::C99_7) < 0.03);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod confidence;
+mod design;
+mod estimator;
+mod matched;
+mod strata;
+
+pub use confidence::{required_sample_size, Confidence, MIN_SAMPLE_SIZE};
+pub use design::{RandomDesign, SampleDesign, SystematicDesign, WindowSpec};
+pub use estimator::OnlineEstimator;
+pub use matched::MatchedPair;
+pub use strata::StratifiedEstimator;

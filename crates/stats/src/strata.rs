@@ -1,0 +1,224 @@
+//! Stratified sampling (the paper's cited optimization, Wunderlich et
+//! al., "An evaluation of stratified sampling of microarchitecture
+//! simulations").
+//!
+//! When a benchmark has phases, windows within a phase resemble each
+//! other far more than windows across phases. Stratifying the population
+//! (here: by position, which tracks phases for phased programs) and
+//! allocating measurements per stratum reduces the variance of the
+//! combined estimate for the same total sample size.
+
+use crate::confidence::Confidence;
+use crate::estimator::OnlineEstimator;
+
+/// A stratified estimator: one [`OnlineEstimator`] per stratum plus the
+/// strata's population weights.
+///
+/// The combined mean is `Σ wₕ·μₕ` and the combined standard error is
+/// `√(Σ wₕ²·σₕ²/nₕ)` — smaller than simple random sampling whenever
+/// within-stratum variance is below the population variance.
+#[derive(Debug, Clone)]
+pub struct StratifiedEstimator {
+    strata: Vec<OnlineEstimator>,
+    weights: Vec<f64>,
+}
+
+impl StratifiedEstimator {
+    /// Create an estimator over strata with the given population
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, holds non-positive entries, or does
+    /// not sum to ~1.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "at least one stratum required");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        let sum: f64 = weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "weights must sum to 1, got {sum}");
+        StratifiedEstimator {
+            strata: vec![OnlineEstimator::new(); weights.len()],
+            weights,
+        }
+    }
+
+    /// Equal-width position strata (the default for phase tracking).
+    pub fn uniform(num_strata: usize) -> Self {
+        Self::new(vec![1.0 / num_strata as f64; num_strata])
+    }
+
+    /// Number of strata.
+    pub fn num_strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Record an observation in stratum `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn push(&mut self, h: usize, x: f64) {
+        self.strata[h].push(x);
+    }
+
+    /// Per-stratum estimator access.
+    pub fn stratum(&self, h: usize) -> &OnlineEstimator {
+        &self.strata[h]
+    }
+
+    /// Total observations across strata.
+    pub fn count(&self) -> u64 {
+        self.strata.iter().map(OnlineEstimator::count).sum()
+    }
+
+    /// Whether every stratum has at least `n` observations (needed
+    /// before the combined variance is meaningful).
+    pub fn all_strata_have(&self, n: u64) -> bool {
+        self.strata.iter().all(|s| s.count() >= n)
+    }
+
+    /// Combined (weighted) mean.
+    pub fn mean(&self) -> f64 {
+        self.strata
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, w)| w * s.mean())
+            .sum()
+    }
+
+    /// Standard error of the combined mean (0 until every stratum has
+    /// two observations).
+    pub fn std_error(&self) -> f64 {
+        self.strata
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, w)| {
+                if s.count() < 2 {
+                    0.0
+                } else {
+                    w * w * s.variance() / s.count() as f64
+                }
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Confidence-interval half-width on the combined mean.
+    pub fn half_width(&self, confidence: Confidence) -> f64 {
+        confidence.z() * self.std_error()
+    }
+
+    /// Half-width relative to the combined mean.
+    pub fn relative_half_width(&self, confidence: Confidence) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width(confidence) / m.abs()
+        }
+    }
+
+    /// Neyman allocation of `total` further observations: proportional
+    /// to `wₕ·σₕ`, using current per-stratum deviations (each stratum
+    /// needs ≥2 pilot observations first). Every stratum receives at
+    /// least one slot.
+    pub fn neyman_allocation(&self, total: u64) -> Vec<u64> {
+        let scores: Vec<f64> = self
+            .strata
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, w)| w * s.std_dev())
+            .collect();
+        let sum: f64 = scores.iter().sum();
+        if sum <= 0.0 {
+            // Degenerate: equal split.
+            let per = (total / self.strata.len() as u64).max(1);
+            return vec![per; self.strata.len()];
+        }
+        scores
+            .iter()
+            .map(|sc| (((sc / sum) * total as f64).round() as u64).max(1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_mean_is_weighted() {
+        let mut s = StratifiedEstimator::new(vec![0.25, 0.75]);
+        for _ in 0..10 {
+            s.push(0, 1.0);
+            s.push(1, 3.0);
+        }
+        assert!((s.mean() - (0.25 * 1.0 + 0.75 * 3.0)).abs() < 1e-12);
+        assert_eq!(s.count(), 20);
+    }
+
+    #[test]
+    fn stratification_beats_pooling_on_phases() {
+        // Two phases with different means but tiny within-phase noise:
+        // the stratified SE must be far below the pooled SE.
+        let mut strat = StratifiedEstimator::uniform(2);
+        let mut pooled = OnlineEstimator::new();
+        for i in 0..100u64 {
+            let noise = ((i * 2654435761) % 100) as f64 / 1000.0;
+            let a = 1.0 + noise;
+            let b = 3.0 + noise;
+            strat.push(0, a);
+            strat.push(1, b);
+            pooled.push(a);
+            pooled.push(b);
+        }
+        assert!(
+            strat.std_error() * 5.0 < pooled.std_error(),
+            "stratified {} vs pooled {}",
+            strat.std_error(),
+            pooled.std_error()
+        );
+        assert!((strat.mean() - pooled.mean()).abs() < 1e-9, "same mean");
+    }
+
+    #[test]
+    fn neyman_favors_noisy_strata() {
+        let mut s = StratifiedEstimator::uniform(2);
+        for i in 0..30u64 {
+            s.push(0, 1.0); // zero variance
+            s.push(1, if i % 2 == 0 { 1.0 } else { 5.0 }); // high variance
+        }
+        let alloc = s.neyman_allocation(100);
+        assert_eq!(alloc.len(), 2);
+        assert!(alloc[1] > alloc[0] * 10, "noisy stratum gets the budget: {alloc:?}");
+        assert!(alloc[0] >= 1, "every stratum keeps at least one slot");
+    }
+
+    #[test]
+    fn degenerate_allocation_splits_evenly() {
+        let mut s = StratifiedEstimator::uniform(4);
+        for h in 0..4 {
+            s.push(h, 2.0);
+            s.push(h, 2.0);
+        }
+        let alloc = s.neyman_allocation(40);
+        assert_eq!(alloc, vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_weights() {
+        StratifiedEstimator::new(vec![0.5, 0.2]);
+    }
+
+    #[test]
+    fn half_width_tracks_confidence() {
+        let mut s = StratifiedEstimator::uniform(2);
+        for i in 0..50u64 {
+            s.push(0, (i % 3) as f64);
+            s.push(1, (i % 5) as f64);
+        }
+        assert!(s.half_width(Confidence::C99_7) > s.half_width(Confidence::C90));
+        assert!(s.relative_half_width(Confidence::C95).is_finite());
+    }
+}

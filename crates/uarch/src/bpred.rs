@@ -1,0 +1,451 @@
+//! Combined branch predictor: bimodal + gshare + meta chooser, with a
+//! BTB and return-address stack.
+//!
+//! Matches the paper's Table 1 predictors ("Combined 2K tables" /
+//! "Combined 8K tables"). Prediction is **pure** (no state change);
+//! all state updates happen at [`update`](BranchPredictor::update),
+//! driven either by functional warming or by the timing model's commit
+//! stage. This keeps warm predictor state identical across warming
+//! strategies — the property the paper's bias comparisons rely on.
+
+use spectral_isa::BranchInfo;
+
+/// Predictor geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BpredConfig {
+    /// Entries in each of the bimodal, gshare, and meta tables
+    /// (power of two).
+    pub table_entries: u32,
+    /// Global-history bits used by gshare.
+    pub history_bits: u32,
+    /// BTB entries (direct-mapped on the low PC bits).
+    pub btb_entries: u32,
+    /// Return-address stack depth.
+    pub ras_entries: u32,
+    /// Extra fetch-redirect penalty on a mispredict, in cycles
+    /// (Table 1: 7 for 2K tables, 10 for 8K).
+    pub mispredict_penalty: u64,
+    /// Conditional-branch predictions per cycle (Table 1: 1 / 2).
+    pub predictions_per_cycle: u32,
+}
+
+impl BpredConfig {
+    /// Table 1's "Combined 2K tables, 7 cycle mispred., 1 prediction/cycle".
+    pub fn paper_2k() -> Self {
+        BpredConfig {
+            table_entries: 2048,
+            history_bits: 11,
+            btb_entries: 512,
+            ras_entries: 8,
+            mispredict_penalty: 7,
+            predictions_per_cycle: 1,
+        }
+    }
+
+    /// Table 1's "Combined 8K tables, 10 cycle mispred., 2 predictions/cycle".
+    pub fn paper_8k() -> Self {
+        BpredConfig {
+            table_entries: 8192,
+            history_bits: 13,
+            btb_entries: 1024,
+            ras_entries: 16,
+            mispredict_penalty: 10,
+            predictions_per_cycle: 2,
+        }
+    }
+
+    /// Approximate uncompressed state size in bytes (three 2-bit tables
+    /// plus BTB tags+targets plus the RAS) — the quantity charged to the
+    /// branch-predictor slice of Fig 7's live-point breakdown.
+    pub fn state_bytes(&self) -> u64 {
+        let tables = 3 * (self.table_entries as u64 * 2).div_ceil(8);
+        let btb = self.btb_entries as u64 * 12; // packed tag + target
+        let ras = self.ras_entries as u64 * 8;
+        tables + btb + ras + 8 // + history register
+    }
+}
+
+/// One prediction for a fetched control instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction (always `true` for unconditional transfers).
+    pub taken: bool,
+    /// Predicted target address, if one is available (direct targets
+    /// come from decode; indirect targets from BTB/RAS — `None` means
+    /// the front end has no target and must stall until resolution).
+    pub target: Option<u64>,
+}
+
+/// Warm predictor state, as stored in live-points.
+///
+/// The paper stores one snapshot per *user-selected predictor
+/// configuration* (multiple-configuration approach, §4.3); a snapshot
+/// can only be loaded into a predictor with identical geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpredSnapshot {
+    /// Geometry the snapshot was taken under.
+    pub config: BpredConfig,
+    /// Bimodal 2-bit counters.
+    pub bimodal: Vec<u8>,
+    /// Gshare 2-bit counters.
+    pub gshare: Vec<u8>,
+    /// Meta-chooser 2-bit counters.
+    pub meta: Vec<u8>,
+    /// Global history register.
+    pub history: u64,
+    /// BTB entries `(pc, target)`, zero-pc slots empty.
+    pub btb: Vec<(u64, u64)>,
+    /// Return-address stack contents (bottom first) and top pointer.
+    pub ras: Vec<u64>,
+    /// RAS top-of-stack index.
+    pub ras_top: u32,
+}
+
+/// The combined predictor.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    config: BpredConfig,
+    bimodal: Vec<u8>,
+    gshare: Vec<u8>,
+    meta: Vec<u8>,
+    history: u64,
+    btb: Vec<(u64, u64)>,
+    ras: Vec<u64>,
+    ras_top: u32,
+    // statistics
+    lookups: u64,
+    dir_mispredicts: u64,
+}
+
+impl BranchPredictor {
+    /// Create a cold predictor (all counters weakly not-taken).
+    pub fn new(config: BpredConfig) -> Self {
+        BranchPredictor {
+            config,
+            bimodal: vec![1; config.table_entries as usize],
+            gshare: vec![1; config.table_entries as usize],
+            meta: vec![2; config.table_entries as usize], // weakly prefer gshare
+            history: 0,
+            btb: vec![(0, 0); config.btb_entries as usize],
+            ras: vec![0; config.ras_entries as usize],
+            ras_top: 0,
+            lookups: 0,
+            dir_mispredicts: 0,
+        }
+    }
+
+    /// The predictor's geometry.
+    pub fn config(&self) -> &BpredConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn bim_index(&self, pc: u64) -> usize {
+        ((pc >> 2) % self.config.table_entries as u64) as usize
+    }
+
+    #[inline]
+    fn gs_index(&self, pc: u64) -> usize {
+        let mask = (1u64 << self.config.history_bits) - 1;
+        (((pc >> 2) ^ (self.history & mask)) % self.config.table_entries as u64) as usize
+    }
+
+    #[inline]
+    fn btb_index(&self, pc: u64) -> usize {
+        ((pc >> 2) % self.config.btb_entries as u64) as usize
+    }
+
+    /// Predict the direction of a conditional branch at `pc`
+    /// (pure — no state change).
+    pub fn predict_direction(&self, pc: u64) -> bool {
+        let bim = self.bimodal[self.bim_index(pc)] >= 2;
+        let gs = self.gshare[self.gs_index(pc)] >= 2;
+        let use_gshare = self.meta[self.bim_index(pc)] >= 2;
+        if use_gshare {
+            gs
+        } else {
+            bim
+        }
+    }
+
+    /// Look up the BTB target for `pc` (pure).
+    pub fn btb_target(&self, pc: u64) -> Option<u64> {
+        let (tag, target) = self.btb[self.btb_index(pc)];
+        (tag == pc).then_some(target)
+    }
+
+    /// Peek the RAS top (pure); the timing model pops via
+    /// [`ras_pop`](Self::ras_pop) at fetch and repairs on recovery with
+    /// [`ras_restore`](Self::ras_restore).
+    pub fn ras_peek(&self) -> u64 {
+        let idx = (self.ras_top + self.config.ras_entries - 1) % self.config.ras_entries;
+        self.ras[idx as usize]
+    }
+
+    /// Push a return address (speculative, at fetch of a call).
+    pub fn ras_push(&mut self, addr: u64) {
+        self.ras[self.ras_top as usize] = addr;
+        self.ras_top = (self.ras_top + 1) % self.config.ras_entries;
+    }
+
+    /// Pop a return address (speculative, at fetch of a return).
+    pub fn ras_pop(&mut self) -> u64 {
+        self.ras_top = (self.ras_top + self.config.ras_entries - 1) % self.config.ras_entries;
+        self.ras[self.ras_top as usize]
+    }
+
+    /// Current RAS top pointer, checkpointed at predicted branches.
+    pub fn ras_tos(&self) -> u32 {
+        self.ras_top
+    }
+
+    /// Restore the RAS top pointer after a squash.
+    pub fn ras_restore(&mut self, tos: u32) {
+        self.ras_top = tos % self.config.ras_entries;
+    }
+
+    /// Commit-time (or functional-warming) update with the actual
+    /// outcome of the control instruction at `pc`.
+    ///
+    /// Conditional branches train the direction tables and history;
+    /// taken transfers install BTB entries; calls push and returns pop
+    /// the RAS (architectural RAS state — speculative pushes/pops by the
+    /// front end are repaired by the pipeline via
+    /// [`ras_restore`](Self::ras_restore)).
+    pub fn update(&mut self, pc: u64, fall_through: u64, info: &BranchInfo) {
+        self.lookups += 1;
+        if info.conditional {
+            let predicted = self.predict_direction(pc);
+            if predicted != info.taken {
+                self.dir_mispredicts += 1;
+            }
+            let taken = info.taken;
+            let bi = self.bim_index(pc);
+            let gi = self.gs_index(pc);
+            let bim_correct = (self.bimodal[bi] >= 2) == taken;
+            let gs_correct = (self.gshare[gi] >= 2) == taken;
+            bump(&mut self.bimodal[bi], taken);
+            bump(&mut self.gshare[gi], taken);
+            // Meta trains toward whichever component was right.
+            if gs_correct != bim_correct {
+                bump(&mut self.meta[bi], gs_correct);
+            }
+            let mask = (1u64 << self.config.history_bits) - 1;
+            self.history = ((self.history << 1) | taken as u64) & mask;
+        }
+        if info.taken {
+            let idx = self.btb_index(pc);
+            self.btb[idx] = (pc, info.target);
+        }
+        if info.is_call {
+            self.ras_push(fall_through);
+        } else if info.is_return {
+            self.ras_pop();
+        }
+    }
+
+    /// Lifetime conditional-branch lookups seen by `update`.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lifetime direction mispredicts measured at `update`.
+    pub fn dir_mispredicts(&self) -> u64 {
+        self.dir_mispredicts
+    }
+
+    /// Zero the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.lookups = 0;
+        self.dir_mispredicts = 0;
+    }
+
+    /// Export warm state.
+    pub fn snapshot(&self) -> BpredSnapshot {
+        BpredSnapshot {
+            config: self.config,
+            bimodal: self.bimodal.clone(),
+            gshare: self.gshare.clone(),
+            meta: self.meta.clone(),
+            history: self.history,
+            btb: self.btb.clone(),
+            ras: self.ras.clone(),
+            ras_top: self.ras_top,
+        }
+    }
+
+    /// Restore a predictor from warm state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's geometry differs from its table sizes
+    /// (corrupt snapshot).
+    pub fn from_snapshot(snap: &BpredSnapshot) -> Self {
+        let config = snap.config;
+        assert_eq!(snap.bimodal.len(), config.table_entries as usize, "corrupt snapshot");
+        assert_eq!(snap.btb.len(), config.btb_entries as usize, "corrupt snapshot");
+        BranchPredictor {
+            config,
+            bimodal: snap.bimodal.clone(),
+            gshare: snap.gshare.clone(),
+            meta: snap.meta.clone(),
+            history: snap.history,
+            btb: snap.btb.clone(),
+            ras: snap.ras.clone(),
+            ras_top: snap.ras_top,
+            lookups: 0,
+            dir_mispredicts: 0,
+        }
+    }
+}
+
+#[inline]
+fn bump(counter: &mut u8, up: bool) {
+    if up {
+        *counter = (*counter + 1).min(3);
+    } else {
+        *counter = counter.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn taken_branch(target: u64) -> BranchInfo {
+        BranchInfo {
+            taken: true,
+            target,
+            conditional: true,
+            indirect: false,
+            is_call: false,
+            is_return: false,
+        }
+    }
+
+    fn not_taken_branch() -> BranchInfo {
+        BranchInfo {
+            taken: false,
+            target: 0x9999,
+            conditional: true,
+            indirect: false,
+            is_call: false,
+            is_return: false,
+        }
+    }
+
+    #[test]
+    fn learns_always_taken() {
+        let mut p = BranchPredictor::new(BpredConfig::paper_2k());
+        let pc = 0x40_0100;
+        for _ in 0..8 {
+            p.update(pc, pc + 4, &taken_branch(0x40_0200));
+        }
+        assert!(p.predict_direction(pc));
+        assert_eq!(p.btb_target(pc), Some(0x40_0200));
+    }
+
+    #[test]
+    fn learns_always_not_taken() {
+        let mut p = BranchPredictor::new(BpredConfig::paper_2k());
+        let pc = 0x40_0104;
+        for _ in 0..8 {
+            p.update(pc, pc + 4, &not_taken_branch());
+        }
+        assert!(!p.predict_direction(pc));
+    }
+
+    #[test]
+    fn gshare_learns_alternation() {
+        // A strict T/NT alternation defeats bimodal but gshare + meta
+        // should converge on it.
+        let mut p = BranchPredictor::new(BpredConfig::paper_2k());
+        let pc = 0x40_0108;
+        let mut correct = 0;
+        let trials = 600;
+        for i in 0..trials {
+            let taken = i % 2 == 0;
+            if p.predict_direction(pc) == taken {
+                correct += 1;
+            }
+            let mut info = taken_branch(0x40_0300);
+            info.taken = taken;
+            p.update(pc, pc + 4, &info);
+        }
+        assert!(
+            correct * 10 > trials * 8,
+            "alternating branch should be >80% predictable, got {correct}/{trials}"
+        );
+    }
+
+    #[test]
+    fn prediction_is_pure() {
+        let mut p = BranchPredictor::new(BpredConfig::paper_2k());
+        p.update(0x40_0100, 0x40_0104, &taken_branch(0x40_0200));
+        let snap = p.snapshot();
+        let _ = p.predict_direction(0x40_0100);
+        let _ = p.btb_target(0x40_0100);
+        let _ = p.ras_peek();
+        assert_eq!(p.snapshot(), snap, "lookups must not mutate state");
+    }
+
+    #[test]
+    fn ras_push_pop_lifo() {
+        let mut p = BranchPredictor::new(BpredConfig::paper_2k());
+        p.ras_push(0x1000);
+        p.ras_push(0x2000);
+        assert_eq!(p.ras_pop(), 0x2000);
+        assert_eq!(p.ras_pop(), 0x1000);
+    }
+
+    #[test]
+    fn ras_restore_repairs_speculation() {
+        let mut p = BranchPredictor::new(BpredConfig::paper_2k());
+        p.ras_push(0x1000);
+        let tos = p.ras_tos();
+        p.ras_push(0xBAD); // wrong-path push
+        p.ras_restore(tos);
+        assert_eq!(p.ras_pop(), 0x1000);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut p = BranchPredictor::new(BpredConfig::paper_2k());
+        for i in 0..500u64 {
+            let pc = 0x40_0000 + (i % 37) * 4;
+            let mut info = taken_branch(pc + 400);
+            info.taken = i % 3 != 0;
+            p.update(pc, pc + 4, &info);
+        }
+        let snap = p.snapshot();
+        let q = BranchPredictor::from_snapshot(&snap);
+        assert_eq!(q.snapshot(), snap);
+        // Same predictions everywhere.
+        for i in 0..37u64 {
+            let pc = 0x40_0000 + i * 4;
+            assert_eq!(p.predict_direction(pc), q.predict_direction(pc));
+            assert_eq!(p.btb_target(pc), q.btb_target(pc));
+        }
+    }
+
+    #[test]
+    fn mispredict_stats_track() {
+        let mut p = BranchPredictor::new(BpredConfig::paper_2k());
+        let pc = 0x40_0100;
+        for _ in 0..20 {
+            p.update(pc, pc + 4, &taken_branch(0x40_0200));
+        }
+        let before = p.dir_mispredicts();
+        p.update(pc, pc + 4, &not_taken_branch()); // surprise
+        assert_eq!(p.dir_mispredicts(), before + 1);
+        assert_eq!(p.lookups(), 21);
+    }
+
+    #[test]
+    fn state_bytes_sane() {
+        // 2K tables: 3 * 512B + BTB 512*12 + RAS 64 + 8 ≈ 7.7 KB.
+        let b = BpredConfig::paper_2k().state_bytes();
+        assert!(b > 4_000 && b < 16_000, "{b}");
+        assert!(BpredConfig::paper_8k().state_bytes() > b);
+    }
+}

@@ -1,0 +1,248 @@
+//! Machine configurations (the paper's Table 1).
+
+use crate::bpred::BpredConfig;
+use spectral_cache::HierarchyConfig;
+
+/// Functional-unit pool sizes per class (Table 1's "Functional units").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuPools {
+    /// Integer ALUs (1-cycle, pipelined).
+    pub int_alu: u32,
+    /// Integer multiply/divide units (divide is unpipelined).
+    pub int_muldiv: u32,
+    /// FP adders (pipelined).
+    pub fp_alu: u32,
+    /// FP multiply/divide units (divide is unpipelined).
+    pub fp_muldiv: u32,
+    /// L1D ports (loads issuing + store-buffer drains per cycle).
+    pub mem_ports: u32,
+}
+
+/// Operation and memory latencies in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// L1 hit latency.
+    pub l1: u64,
+    /// L2 hit latency (load-use).
+    pub l2: u64,
+    /// Main-memory latency (load-use).
+    pub mem: u64,
+    /// TLB miss penalty (Table 1: 200 cycles).
+    pub tlb_miss: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide (unpipelined).
+    pub int_div: u64,
+    /// FP add/sub/compare.
+    pub fp_alu: u64,
+    /// FP multiply.
+    pub fp_mul: u64,
+    /// FP divide (unpipelined).
+    pub fp_div: u64,
+}
+
+/// A complete machine configuration: pipeline widths, queue sizes,
+/// functional units, memory hierarchy, latencies, and branch predictor.
+///
+/// [`eight_way`](Self::eight_way) and [`sixteen_way`](Self::sixteen_way)
+/// reproduce the paper's Table 1 columns; builder-style `with_*` methods
+/// derive sensitivity-study variants (the paper's §6.2 experiments vary
+/// latencies, queue sizes, and FU mixes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Fetch/decode/issue/commit width.
+    pub width: u32,
+    /// RUU (unified ROB + issue window) entries.
+    pub ruu_size: u32,
+    /// Load/store queue entries.
+    pub lsq_size: u32,
+    /// Post-commit store buffer entries.
+    pub store_buffer: u32,
+    /// Miss status holding registers (outstanding misses).
+    pub mshrs: u32,
+    /// Functional-unit pools.
+    pub fu: FuPools,
+    /// Cache/TLB geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Latencies.
+    pub lat: LatencyConfig,
+    /// Branch predictor configuration.
+    pub bpred: BpredConfig,
+    /// Detailed-warming length the sample design should use with this
+    /// machine (Table 1: 2000 for 8-way, 4000 for 16-way).
+    pub detailed_warming: u64,
+    /// Whether the timing model fetches and approximately executes
+    /// wrong-path instructions (default `true`). Disabling this is the
+    /// DESIGN.md ablation for the paper's §5 argument that wrong-path
+    /// effects "cannot be ignored given our tight bias goals": with it
+    /// off, the front end idles from a mispredicted fetch until the
+    /// branch resolves.
+    pub model_wrong_path: bool,
+    /// Human-readable configuration name.
+    pub name: &'static str,
+}
+
+impl MachineConfig {
+    /// The paper's baseline 8-way out-of-order superscalar (Table 1).
+    pub fn eight_way() -> Self {
+        MachineConfig {
+            width: 8,
+            ruu_size: 128,
+            lsq_size: 64,
+            store_buffer: 16,
+            mshrs: 8,
+            fu: FuPools { int_alu: 4, int_muldiv: 2, fp_alu: 2, fp_muldiv: 1, mem_ports: 2 },
+            hierarchy: HierarchyConfig::baseline_8way(),
+            lat: LatencyConfig {
+                l1: 1,
+                l2: 12,
+                mem: 100,
+                tlb_miss: 200,
+                int_mul: 3,
+                int_div: 20,
+                fp_alu: 2,
+                fp_mul: 4,
+                fp_div: 12,
+            },
+            bpred: BpredConfig::paper_2k(),
+            detailed_warming: 2000,
+            model_wrong_path: true,
+            name: "8-way",
+        }
+    }
+
+    /// The paper's aggressive 16-way configuration (Table 1).
+    pub fn sixteen_way() -> Self {
+        MachineConfig {
+            width: 16,
+            ruu_size: 256,
+            lsq_size: 128,
+            store_buffer: 32,
+            mshrs: 16,
+            fu: FuPools { int_alu: 16, int_muldiv: 8, fp_alu: 8, fp_muldiv: 4, mem_ports: 4 },
+            hierarchy: HierarchyConfig::aggressive_16way(),
+            lat: LatencyConfig {
+                l1: 2,
+                l2: 16,
+                mem: 100,
+                tlb_miss: 200,
+                int_mul: 3,
+                int_div: 20,
+                fp_alu: 2,
+                fp_mul: 4,
+                fp_div: 12,
+            },
+            bpred: BpredConfig::paper_8k(),
+            detailed_warming: 4000,
+            model_wrong_path: true,
+            name: "16-way",
+        }
+    }
+
+    /// Variant with a different main-memory latency (sensitivity studies).
+    pub fn with_mem_latency(mut self, cycles: u64) -> Self {
+        self.lat.mem = cycles;
+        self.name = "custom";
+        self
+    }
+
+    /// Variant with different RUU/LSQ sizes (sensitivity studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn with_queues(mut self, ruu: u32, lsq: u32) -> Self {
+        assert!(ruu > 0 && lsq > 0, "queue sizes must be positive");
+        self.ruu_size = ruu;
+        self.lsq_size = lsq;
+        self.name = "custom";
+        self
+    }
+
+    /// Variant with a different functional-unit mix (sensitivity studies).
+    pub fn with_fu(mut self, fu: FuPools) -> Self {
+        self.fu = fu;
+        self.name = "custom";
+        self
+    }
+
+    /// Variant with a different cache hierarchy (must respect any
+    /// live-point library bounds; see `spectral-core`).
+    pub fn with_hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
+        self.hierarchy = hierarchy;
+        self.name = "custom";
+        self
+    }
+
+    /// Ablation variant that does not model wrong-path execution: the
+    /// front end idles from a mispredicted fetch until resolution.
+    pub fn without_wrong_path(mut self) -> Self {
+        self.model_wrong_path = false;
+        self.name = "custom";
+        self
+    }
+
+    /// Latency for a cache access outcome, in cycles.
+    pub fn access_latency(&self, level: spectral_cache::HitLevel, tlb_miss: bool) -> u64 {
+        let base = match level {
+            spectral_cache::HitLevel::L1 => self.lat.l1,
+            spectral_cache::HitLevel::L2 => self.lat.l2,
+            spectral_cache::HitLevel::Memory => self.lat.mem,
+        };
+        base + if tlb_miss { self.lat.tlb_miss } else { 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectral_cache::HitLevel;
+
+    #[test]
+    fn table1_eight_way() {
+        let c = MachineConfig::eight_way();
+        assert_eq!(c.width, 8);
+        assert_eq!((c.ruu_size, c.lsq_size), (128, 64));
+        assert_eq!(c.store_buffer, 16);
+        assert_eq!(c.mshrs, 8);
+        assert_eq!(c.fu.int_alu, 4);
+        assert_eq!(c.fu.fp_muldiv, 1);
+        assert_eq!((c.lat.l1, c.lat.l2, c.lat.mem), (1, 12, 100));
+        assert_eq!(c.lat.tlb_miss, 200);
+        assert_eq!(c.detailed_warming, 2000);
+    }
+
+    #[test]
+    fn table1_sixteen_way() {
+        let c = MachineConfig::sixteen_way();
+        assert_eq!(c.width, 16);
+        assert_eq!((c.ruu_size, c.lsq_size), (256, 128));
+        assert_eq!(c.store_buffer, 32);
+        assert_eq!(c.mshrs, 16);
+        assert_eq!(c.fu.int_alu, 16);
+        assert_eq!((c.lat.l1, c.lat.l2), (2, 16));
+        assert_eq!(c.detailed_warming, 4000);
+    }
+
+    #[test]
+    fn access_latency_composes_tlb() {
+        let c = MachineConfig::eight_way();
+        assert_eq!(c.access_latency(HitLevel::L1, false), 1);
+        assert_eq!(c.access_latency(HitLevel::L2, false), 12);
+        assert_eq!(c.access_latency(HitLevel::Memory, true), 300);
+    }
+
+    #[test]
+    fn builder_variants() {
+        let c = MachineConfig::eight_way().with_mem_latency(200).with_queues(64, 32);
+        assert_eq!(c.lat.mem, 200);
+        assert_eq!(c.ruu_size, 64);
+        assert_eq!(c.name, "custom");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_queue_rejected() {
+        MachineConfig::eight_way().with_queues(0, 8);
+    }
+}

@@ -1,0 +1,59 @@
+//! # spectral-uarch — cycle-level out-of-order superscalar timing model
+//!
+//! The detailed performance model of the Spectral framework (reproduction
+//! of *Simulation Sampling with Live-points*, ISPASS 2006). It stands in
+//! for the paper's modified SimpleScalar 3.0 `sim-outorder`:
+//!
+//! * a unified RUU (reorder buffer + issue window) with an LSQ, a store
+//!   buffer, MSHRs, limited cache ports, and per-class functional units —
+//!   the paper's Table 1 resources ([`MachineConfig::eight_way`] and
+//!   [`MachineConfig::sixteen_way`] reproduce the two columns verbatim),
+//! * a combined branch predictor (bimodal + gshare + meta chooser) with
+//!   BTB and return-address stack ([`BranchPredictor`]),
+//! * **wrong-path fetch and approximate wrong-path execution**: after a
+//!   mispredicted branch is fetched, the model keeps fetching down the
+//!   predicted path, executing speculative instructions against a shadow
+//!   register file and the cache *tag* state — exactly the approximation
+//!   live-points rely on (paper §5: wrong-path operand values are not
+//!   stored; predictor outcomes identify the wrong-path sequence and tag
+//!   state identifies wrong-path load latency),
+//! * a correct-path oracle: the [`Emulator`](spectral_isa::Emulator)
+//!   executes architecturally at fetch, so the timing model needs no
+//!   duplicate functional logic.
+//!
+//! ## Example: measure CPI over a window
+//!
+//! ```
+//! use spectral_uarch::{DetailedSim, MachineConfig};
+//! use spectral_isa::{ProgramBuilder, Reg, Emulator};
+//!
+//! let mut b = ProgramBuilder::new("loop");
+//! b.li(Reg::R1, 0);
+//! b.li(Reg::R2, 10_000);
+//! let top = b.label();
+//! b.addi(Reg::R1, Reg::R1, 1);
+//! b.blt(Reg::R1, Reg::R2, top);
+//! b.halt();
+//! let p = b.build();
+//!
+//! let cfg = MachineConfig::eight_way();
+//! let mut sim = DetailedSim::new(&cfg, &p, Emulator::new(&p));
+//! let stats = sim.run(5_000);
+//! assert!(stats.committed > 0);
+//! assert!(stats.cpi() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bpred;
+mod config;
+mod pipeline;
+mod stats;
+mod wrongpath;
+
+pub use bpred::{BpredConfig, BpredSnapshot, BranchPredictor, Prediction};
+pub use config::{FuPools, LatencyConfig, MachineConfig};
+pub use pipeline::DetailedSim;
+pub use stats::WindowStats;
+pub use wrongpath::ShadowRegs;

@@ -1,0 +1,1002 @@
+//! The out-of-order pipeline: fetch/dispatch, issue, writeback, commit.
+//!
+//! Structure follows SimpleScalar's `sim-outorder`: a unified RUU
+//! (reorder buffer + issue window), an LSQ, a post-commit store buffer,
+//! MSHR-limited cache misses, per-class functional-unit pools, and a
+//! front end that runs down predicted paths — including *wrong* paths
+//! after a mispredict, executed approximately against shadow register
+//! state and cache tags (see [`crate::wrongpath`]).
+//!
+//! The correct-path oracle is a functional [`Emulator`] advanced at
+//! fetch; wrong-path instructions are synthesized from the static
+//! program image at the speculative fetch PC.
+
+use std::collections::VecDeque;
+
+use spectral_cache::{AccessKind, CacheHierarchy, HitLevel};
+use spectral_isa::{inst_index, BranchInfo, Emulator, Inst, OpClass, Program, Reg};
+
+use crate::bpred::BranchPredictor;
+use crate::config::MachineConfig;
+use crate::stats::WindowStats;
+use crate::wrongpath::ShadowRegs;
+
+const INVALID_UID: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemClass {
+    Load { forwarded: bool },
+    Store,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    uid: u64,
+    wrong_path: bool,
+    op: OpClass,
+    pc: u64,
+    fall_through: u64,
+    /// Producer uids this entry waits on (deduplicated, INVALID if none).
+    deps: [u64; 3],
+    dst_int: Option<Reg>,
+    dst_fp: Option<u8>,
+    mem: Option<(MemClass, u64)>,
+    issued: bool,
+    complete: bool,
+    complete_cycle: u64,
+    /// Mispredicted correct-path branch: actual next PC to recover to.
+    recover_to: Option<u64>,
+    /// Branch outcome for commit-time predictor training.
+    train: Option<BranchInfo>,
+}
+
+#[derive(Debug, Clone)]
+struct Recovery {
+    resolver_uid: u64,
+    shadow: ShadowRegs,
+    ras_tos: u32,
+}
+
+/// The cycle-level out-of-order timing simulator.
+///
+/// Construct with a cold ([`new`](Self::new)) or warmed
+/// ([`with_state`](Self::with_state)) memory system and branch
+/// predictor, then call [`run`](Self::run) to simulate a given number of
+/// committed instructions. Accessors expose the warm structures so
+/// warming strategies and live-point creation can snapshot or install
+/// state.
+#[derive(Debug)]
+pub struct DetailedSim<'p> {
+    cfg: MachineConfig,
+    program: &'p Program,
+    oracle: Emulator<'p>,
+    hierarchy: CacheHierarchy,
+    bpred: BranchPredictor,
+    shadow: ShadowRegs,
+
+    cycle: u64,
+    ruu: VecDeque<Entry>,
+    next_uid: u64,
+    lsq_count: u32,
+    sbuf: VecDeque<u64>,
+    mshr_busy_until: Vec<u64>,
+    int_muldiv_busy: Vec<u64>,
+    fp_muldiv_busy: Vec<u64>,
+
+    int_producer: [u64; 32],
+    fp_producer: [u64; 32],
+
+    fetch_pc: u64,
+    fetch_resume: u64,
+    line_ready: (u64, u64), // (line number, ready cycle); line u64::MAX = none
+    wrong_path: bool,
+    recovery: Option<Recovery>,
+    oracle_done: bool,
+    commit_stop: u64,
+
+    stats: WindowStats,
+}
+
+impl<'p> DetailedSim<'p> {
+    /// Create a simulator with cold caches and predictor, with the
+    /// correct-path oracle positioned wherever `oracle` currently is.
+    pub fn new(cfg: &MachineConfig, program: &'p Program, oracle: Emulator<'p>) -> Self {
+        let hierarchy = CacheHierarchy::new(cfg.hierarchy);
+        let bpred = BranchPredictor::new(cfg.bpred);
+        Self::with_state(cfg, program, oracle, hierarchy, bpred)
+    }
+
+    /// Create a simulator over pre-warmed memory-system and predictor
+    /// state (the checkpointed-warming path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hierarchy`'s geometry differs from `cfg.hierarchy`.
+    pub fn with_state(
+        cfg: &MachineConfig,
+        program: &'p Program,
+        oracle: Emulator<'p>,
+        hierarchy: CacheHierarchy,
+        bpred: BranchPredictor,
+    ) -> Self {
+        assert_eq!(
+            hierarchy.config(),
+            &cfg.hierarchy,
+            "warm hierarchy geometry must match the machine configuration"
+        );
+        let fetch_pc = oracle.pc();
+        DetailedSim {
+            cfg: cfg.clone(),
+            program,
+            oracle,
+            hierarchy,
+            bpred,
+            shadow: ShadowRegs::new(),
+            cycle: 0,
+            ruu: VecDeque::new(),
+            next_uid: 0,
+            lsq_count: 0,
+            sbuf: VecDeque::new(),
+            mshr_busy_until: vec![0; cfg.mshrs as usize],
+            int_muldiv_busy: vec![0; cfg.fu.int_muldiv as usize],
+            fp_muldiv_busy: vec![0; cfg.fu.fp_muldiv as usize],
+            int_producer: [INVALID_UID; 32],
+            fp_producer: [INVALID_UID; 32],
+            fetch_pc,
+            fetch_resume: 0,
+            line_ready: (u64::MAX, 0),
+            wrong_path: false,
+            recovery: None,
+            oracle_done: false,
+            commit_stop: u64::MAX,
+            stats: WindowStats::default(),
+        }
+    }
+
+    /// The machine configuration being simulated.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Shared view of the memory hierarchy (warm-state snapshotting).
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.hierarchy
+    }
+
+    /// Shared view of the branch predictor.
+    pub fn bpred(&self) -> &BranchPredictor {
+        &self.bpred
+    }
+
+    /// Shared view of the correct-path oracle.
+    pub fn oracle(&self) -> &Emulator<'p> {
+        &self.oracle
+    }
+
+    /// Cumulative statistics since construction.
+    pub fn stats(&self) -> WindowStats {
+        self.stats
+    }
+
+    /// Whether the oracle has exhausted the program and the pipeline has
+    /// drained.
+    pub fn is_done(&self) -> bool {
+        self.oracle_done && self.ruu.is_empty()
+    }
+
+    /// Simulate until exactly `n` more instructions commit (or the
+    /// program ends); returns the statistics delta for the interval.
+    ///
+    /// Commit is capped at the boundary so measurement intervals contain
+    /// exactly the instructions the sample design specified.
+    pub fn run(&mut self, n: u64) -> WindowStats {
+        let start = self.stats;
+        self.commit_stop = start.committed + n;
+        while self.stats.committed < self.commit_stop && !self.is_done() {
+            self.step_cycle();
+        }
+        self.commit_stop = u64::MAX;
+        self.stats.since(&start)
+    }
+
+    /// Simulate until the program ends and the pipeline drains; returns
+    /// the statistics delta.
+    pub fn run_to_completion(&mut self) -> WindowStats {
+        let start = self.stats;
+        while !self.is_done() {
+            self.step_cycle();
+        }
+        self.stats.since(&start)
+    }
+
+    fn step_cycle(&mut self) {
+        self.cycle += 1;
+        // Stage order models same-cycle flow back-to-front.
+        self.commit_stage();
+        let ports_left = self.drain_store_buffer();
+        self.writeback_stage();
+        self.issue_stage(ports_left);
+        self.fetch_stage();
+        self.stats.cycles = self.cycle;
+    }
+
+    // --- commit --------------------------------------------------------
+
+    fn commit_stage(&mut self) {
+        let mut committed = 0;
+        while committed < self.cfg.width && self.stats.committed < self.commit_stop {
+            let Some(head) = self.ruu.front() else { break };
+            if !head.complete || head.complete_cycle > self.cycle {
+                break;
+            }
+            debug_assert!(!head.wrong_path, "wrong-path entry reached commit");
+            if let Some((MemClass::Store, _)) = head.mem {
+                if self.sbuf.len() >= self.cfg.store_buffer as usize {
+                    break; // store buffer full: stall commit
+                }
+            }
+            let head = self.ruu.pop_front().expect("checked above");
+            match head.mem {
+                Some((MemClass::Store, addr)) => {
+                    self.sbuf.push_back(addr);
+                    self.lsq_count -= 1;
+                    self.stats.stores += 1;
+                }
+                Some((MemClass::Load { .. }, _)) => {
+                    self.lsq_count -= 1;
+                    self.stats.loads += 1;
+                }
+                None => {}
+            }
+            if let Some(info) = head.train {
+                self.bpred.update(head.pc, head.fall_through, &info);
+            }
+            // Clear producer entries that still point at this uid.
+            if let Some(r) = head.dst_int {
+                if self.int_producer[r.index()] == head.uid {
+                    self.int_producer[r.index()] = INVALID_UID;
+                }
+            }
+            if let Some(f) = head.dst_fp {
+                if self.fp_producer[f as usize] == head.uid {
+                    self.fp_producer[f as usize] = INVALID_UID;
+                }
+            }
+            self.stats.committed += 1;
+            committed += 1;
+        }
+    }
+
+    // --- store buffer drain ---------------------------------------------
+
+    /// Drain committed stores to the memory system; returns the memory
+    /// ports left for loads this cycle.
+    fn drain_store_buffer(&mut self) -> u32 {
+        let mut ports = self.cfg.fu.mem_ports;
+        while ports > 0 {
+            let Some(&addr) = self.sbuf.front() else { break };
+            let Some(mshr) = self.free_mshr() else { break };
+            let out = self.hierarchy.access(AccessKind::Write, addr);
+            if out.level != HitLevel::L1 {
+                self.stats.l1d_misses += 1;
+                let lat = self.cfg.access_latency(out.level, out.tlb_miss);
+                self.mshr_busy_until[mshr] = self.cycle + lat;
+                if out.level == HitLevel::Memory {
+                    self.stats.l2_misses += 1;
+                }
+            }
+            if out.tlb_miss {
+                self.stats.dtlb_misses += 1;
+            }
+            self.sbuf.pop_front();
+            ports -= 1;
+        }
+        ports
+    }
+
+    fn free_mshr(&self) -> Option<usize> {
+        self.mshr_busy_until.iter().position(|&b| b <= self.cycle)
+    }
+
+    // --- writeback -------------------------------------------------------
+
+    fn writeback_stage(&mut self) {
+        let mut recover: Option<(u64, u64)> = None; // (resolver uid, target pc)
+        for e in self.ruu.iter_mut() {
+            if e.issued && !e.complete && e.complete_cycle <= self.cycle {
+                e.complete = true;
+                if let Some(target) = e.recover_to {
+                    recover = Some((e.uid, target));
+                    e.recover_to = None;
+                }
+            }
+        }
+        if let Some((uid, target)) = recover {
+            self.squash_younger(uid);
+            self.fetch_pc = target;
+            self.wrong_path = false;
+            self.fetch_resume = self.cycle + 1 + self.cfg.bpred.mispredict_penalty;
+            self.line_ready = (u64::MAX, 0);
+            if let Some(rec) = self.recovery.take() {
+                debug_assert_eq!(rec.resolver_uid, uid);
+                self.shadow = rec.shadow;
+                self.bpred.ras_restore(rec.ras_tos);
+            }
+        }
+    }
+
+    fn squash_younger(&mut self, uid: u64) {
+        while let Some(back) = self.ruu.back() {
+            if back.uid <= uid {
+                break;
+            }
+            let e = self.ruu.pop_back().expect("non-empty");
+            if e.mem.is_some() {
+                self.lsq_count -= 1;
+            }
+        }
+        self.next_uid = uid + 1;
+        // Rebuild rename maps from surviving entries.
+        self.int_producer = [INVALID_UID; 32];
+        self.fp_producer = [INVALID_UID; 32];
+        for e in &self.ruu {
+            if let Some(r) = e.dst_int {
+                self.int_producer[r.index()] = e.uid;
+            }
+            if let Some(f) = e.dst_fp {
+                self.fp_producer[f as usize] = e.uid;
+            }
+        }
+    }
+
+    // --- issue -----------------------------------------------------------
+
+    fn dep_complete(&self, uid: u64) -> bool {
+        if uid == INVALID_UID {
+            return true;
+        }
+        match self.ruu.front() {
+            None => true,
+            Some(front) => {
+                if uid < front.uid {
+                    true
+                } else {
+                    let idx = (uid - front.uid) as usize;
+                    match self.ruu.get(idx) {
+                        Some(e) => e.complete && e.complete_cycle <= self.cycle,
+                        None => true, // squashed producer
+                    }
+                }
+            }
+        }
+    }
+
+    fn issue_stage(&mut self, mut mem_ports: u32) {
+        let mut int_alu_left = self.cfg.fu.int_alu;
+        let mut fp_alu_left = self.cfg.fu.fp_alu;
+        let mut issued_total = 0u32;
+        let issue_width = self.cfg.width * 2; // generous issue bandwidth
+
+        for idx in 0..self.ruu.len() {
+            if issued_total >= issue_width {
+                break;
+            }
+            let e = &self.ruu[idx];
+            if e.issued {
+                continue;
+            }
+            if !(self.dep_complete(e.deps[0])
+                && self.dep_complete(e.deps[1])
+                && self.dep_complete(e.deps[2]))
+            {
+                continue;
+            }
+            let op = e.op;
+            let mem = e.mem;
+            let wrong_path = e.wrong_path;
+
+            // Resource checks + latency determination.
+            let latency: u64 = match op {
+                OpClass::IntAlu | OpClass::Branch | OpClass::Jump | OpClass::Nop
+                | OpClass::Halt => {
+                    if int_alu_left == 0 {
+                        continue;
+                    }
+                    int_alu_left -= 1;
+                    1
+                }
+                OpClass::IntMul | OpClass::IntDiv => {
+                    let Some(unit) =
+                        self.int_muldiv_busy.iter().position(|&b| b <= self.cycle)
+                    else {
+                        continue;
+                    };
+                    let lat = if op == OpClass::IntMul {
+                        self.cfg.lat.int_mul
+                    } else {
+                        self.cfg.lat.int_div
+                    };
+                    // Divide is unpipelined: the unit stays busy.
+                    self.int_muldiv_busy[unit] =
+                        if op == OpClass::IntDiv { self.cycle + lat } else { self.cycle + 1 };
+                    lat
+                }
+                OpClass::FpAlu => {
+                    if fp_alu_left == 0 {
+                        continue;
+                    }
+                    fp_alu_left -= 1;
+                    self.cfg.lat.fp_alu
+                }
+                OpClass::FpMul | OpClass::FpDiv => {
+                    let Some(unit) = self.fp_muldiv_busy.iter().position(|&b| b <= self.cycle)
+                    else {
+                        continue;
+                    };
+                    let lat = if op == OpClass::FpMul {
+                        self.cfg.lat.fp_mul
+                    } else {
+                        self.cfg.lat.fp_div
+                    };
+                    self.fp_muldiv_busy[unit] =
+                        if op == OpClass::FpDiv { self.cycle + lat } else { self.cycle + 1 };
+                    lat
+                }
+                OpClass::Load => {
+                    let (class, addr) = mem.expect("load has a memory access");
+                    let forwarded = matches!(class, MemClass::Load { forwarded: true });
+                    if forwarded {
+                        self.cfg.lat.l1
+                    } else {
+                        if mem_ports == 0 {
+                            continue;
+                        }
+                        // Probe first so we only consume an MSHR on miss.
+                        let would_hit =
+                            self.hierarchy.probe(AccessKind::Read, addr) == HitLevel::L1;
+                        let mshr = if would_hit { None } else { self.free_mshr() };
+                        if !would_hit && mshr.is_none() {
+                            continue; // no MSHR: retry next cycle
+                        }
+                        mem_ports -= 1;
+                        let out = self.hierarchy.access(AccessKind::Read, addr);
+                        let lat = self.cfg.access_latency(out.level, out.tlb_miss);
+                        if out.level != HitLevel::L1 {
+                            self.stats.l1d_misses += 1;
+                            if out.level == HitLevel::Memory {
+                                self.stats.l2_misses += 1;
+                            }
+                            if let Some(m) = mshr {
+                                self.mshr_busy_until[m] = self.cycle + lat;
+                            }
+                        }
+                        if out.tlb_miss {
+                            self.stats.dtlb_misses += 1;
+                        }
+                        let _ = wrong_path; // wrong-path loads really do perturb tags
+                        lat
+                    }
+                }
+                OpClass::Store => 1, // address generation; cache access at drain
+            };
+
+            let e = &mut self.ruu[idx];
+            e.issued = true;
+            e.complete_cycle = self.cycle + latency;
+            issued_total += 1;
+        }
+    }
+
+    // --- fetch / dispatch --------------------------------------------------
+
+    fn fetch_stage(&mut self) {
+        if self.cycle < self.fetch_resume {
+            return;
+        }
+        let mut fetched = 0u32;
+        let mut cond_predictions = 0u32;
+        let line_bytes = self.cfg.hierarchy.l1i.line_bytes();
+
+        while fetched < self.cfg.width {
+            if self.ruu.len() >= self.cfg.ruu_size as usize {
+                break;
+            }
+            if self.oracle_done && !self.wrong_path {
+                break;
+            }
+
+            // Instruction-cache lookup, one access per new line.
+            let line = self.fetch_pc / line_bytes;
+            if self.line_ready.0 != line {
+                let out = self.hierarchy.access(AccessKind::Fetch, self.fetch_pc);
+                let mut ready = self.cycle;
+                if out.level != HitLevel::L1 {
+                    self.stats.l1i_misses += 1;
+                    ready = self.cycle + self.cfg.access_latency(out.level, false);
+                }
+                if out.tlb_miss {
+                    ready += self.cfg.lat.tlb_miss;
+                }
+                self.line_ready = (line, ready);
+            }
+            if self.line_ready.1 > self.cycle {
+                self.fetch_resume = self.line_ready.1;
+                break;
+            }
+
+            if self.wrong_path {
+                if !self.cfg.model_wrong_path {
+                    break; // ablation: front end idles until recovery
+                }
+                // Synthesize from the static image at the speculative PC.
+                let Some(idx) = inst_index(self.fetch_pc, self.program.len()) else {
+                    break; // ran off the code segment: front end idles
+                };
+                let inst = self.program.insts()[idx];
+                if inst.op_class() == OpClass::Branch
+                    && cond_predictions >= self.cfg.bpred.predictions_per_cycle
+                {
+                    break;
+                }
+                let ok = self.fetch_wrong_path(inst);
+                if inst.op_class() == OpClass::Branch {
+                    cond_predictions += 1;
+                }
+                if !ok {
+                    break;
+                }
+            } else {
+                // Peek the next correct-path instruction class before
+                // consuming, to respect the prediction-rate limit.
+                if self.oracle.is_halted() {
+                    self.oracle_done = true;
+                    break;
+                }
+                let next_is_branch = inst_index(self.oracle.pc(), self.program.len())
+                    .map(|i| self.program.insts()[i].op_class() == OpClass::Branch)
+                    .unwrap_or(false);
+                if next_is_branch && cond_predictions >= self.cfg.bpred.predictions_per_cycle {
+                    break;
+                }
+                let Some(di) = self.oracle.step() else {
+                    self.oracle_done = true;
+                    break;
+                };
+                if next_is_branch {
+                    cond_predictions += 1;
+                }
+                self.fetch_correct_path(di);
+            }
+            fetched += 1;
+            // A predicted-taken transfer ends the fetch group.
+            if self.line_ready.0 != self.fetch_pc / line_bytes {
+                // Redirected to a different line: stop this cycle.
+                break;
+            }
+        }
+    }
+
+    /// Dispatch one correct-path instruction; updates fetch_pc along the
+    /// *predicted* path and flips into wrong-path mode on a mispredict.
+    fn fetch_correct_path(&mut self, di: spectral_isa::DynInst) {
+        let inst = self.program.insts()[di.index as usize];
+        let fall_through = di.pc + spectral_isa::INST_BYTES;
+
+        // Predict.
+        let mut recover_to = None;
+        match di.branch {
+            Some(info) => {
+                let predicted_next = self.predict_next(di.pc, fall_through, &inst, &info);
+                if predicted_next != di.next_pc {
+                    // Mispredicted: checkpoint recovery state, go wrong-path.
+                    self.stats.mispredicts += 1;
+                    recover_to = Some(di.next_pc);
+                    self.recovery = Some(Recovery {
+                        resolver_uid: self.next_uid,
+                        shadow: self.shadow.clone(),
+                        ras_tos: self.bpred.ras_tos(),
+                    });
+                    self.wrong_path = true;
+                }
+                self.fetch_pc = predicted_next;
+            }
+            None => {
+                self.fetch_pc = di.next_pc;
+            }
+        }
+
+        // Keep the shadow registers in sync with committed values.
+        self.shadow.observe_commit(di.int_dst, di.int_result);
+
+        let mem = di.mem.map(|(op, addr)| match op {
+            spectral_isa::MemOp::Read => {
+                (MemClass::Load { forwarded: self.forwards_from_store(addr) }, addr)
+            }
+            spectral_isa::MemOp::Write => (MemClass::Store, addr),
+        });
+        let deps = self.collect_deps(&inst, mem);
+        self.push_entry(Entry {
+            uid: self.next_uid,
+            wrong_path: false,
+            op: di.op,
+            pc: di.pc,
+            fall_through,
+            deps,
+            dst_int: di.int_dst,
+            dst_fp: di.fp_dst,
+            mem,
+            issued: false,
+            complete: false,
+            complete_cycle: 0,
+            recover_to,
+            train: di.branch,
+        });
+    }
+
+    /// Dispatch one wrong-path instruction; returns `false` when the
+    /// front end should stop (LSQ full).
+    fn fetch_wrong_path(&mut self, inst: Inst) -> bool {
+        let op = inst.op_class();
+        let pc = self.fetch_pc;
+        let fall_through = pc + spectral_isa::INST_BYTES;
+        if op.is_mem() && self.lsq_count >= self.cfg.lsq_size {
+            return false;
+        }
+        if op == OpClass::Halt {
+            return false; // speculative halt: idle until recovery
+        }
+        self.stats.wrong_path_fetched += 1;
+
+        // Approximate execution for addresses and shadow updates.
+        let addr = self.shadow.exec_approx(&inst);
+        let mem = match op {
+            OpClass::Load => {
+                addr.map(|a| (MemClass::Load { forwarded: self.forwards_from_store(a) }, a))
+            }
+            OpClass::Store => addr.map(|a| (MemClass::Store, a)),
+            _ => None,
+        };
+
+        // Follow the predicted direction for speculative control flow.
+        match inst {
+            Inst::Branch { target, .. } => {
+                let taken = self.bpred.predict_direction(pc);
+                self.fetch_pc = if taken {
+                    spectral_isa::inst_addr(target as usize)
+                } else {
+                    fall_through
+                };
+            }
+            Inst::Jump { rd, target } => {
+                if rd != Reg::R0 {
+                    self.bpred.ras_push(fall_through);
+                }
+                self.fetch_pc = spectral_isa::inst_addr(target as usize);
+            }
+            Inst::JumpReg { rs1 } => {
+                self.fetch_pc = if rs1 == Reg::R31 {
+                    self.bpred.ras_pop()
+                } else {
+                    self.bpred.btb_target(pc).unwrap_or(fall_through)
+                };
+            }
+            _ => self.fetch_pc = fall_through,
+        }
+
+        let deps = self.collect_deps(&inst, mem);
+        self.push_entry(Entry {
+            uid: self.next_uid,
+            wrong_path: true,
+            op,
+            pc,
+            fall_through,
+            deps,
+            dst_int: inst.int_dest(),
+            dst_fp: inst.fp_dest(),
+            mem,
+            issued: false,
+            complete: false,
+            complete_cycle: 0,
+            recover_to: None,
+            train: None,
+        });
+        true
+    }
+
+    /// Compute the front end's predicted next PC for a control transfer,
+    /// performing speculative RAS actions.
+    fn predict_next(
+        &mut self,
+        pc: u64,
+        fall_through: u64,
+        inst: &Inst,
+        info: &BranchInfo,
+    ) -> u64 {
+        match *inst {
+            Inst::Branch { target, .. } => {
+                if self.bpred.predict_direction(pc) {
+                    spectral_isa::inst_addr(target as usize)
+                } else {
+                    fall_through
+                }
+            }
+            Inst::Jump { rd, target } => {
+                if rd != Reg::R0 {
+                    self.bpred.ras_push(fall_through);
+                }
+                spectral_isa::inst_addr(target as usize)
+            }
+            Inst::JumpReg { rs1 } => {
+                if rs1 == Reg::R31 {
+                    self.bpred.ras_pop()
+                } else {
+                    self.bpred.btb_target(pc).unwrap_or(fall_through)
+                }
+            }
+            _ => {
+                debug_assert!(false, "predict_next on non-control {info:?}");
+                fall_through
+            }
+        }
+    }
+
+    /// Gather producer uids for an instruction's register sources and,
+    /// for loads, the youngest older in-flight store to the same word.
+    fn collect_deps(&self, inst: &Inst, mem: Option<(MemClass, u64)>) -> [u64; 3] {
+        let mut deps = [INVALID_UID; 3];
+        let mut n = 0;
+        for r in inst.int_sources().into_iter().flatten() {
+            let p = self.int_producer[r.index()];
+            if p != INVALID_UID && !deps.contains(&p) {
+                deps[n] = p;
+                n += 1;
+            }
+        }
+        for f in inst.fp_sources().into_iter().flatten() {
+            let p = self.fp_producer[f as usize];
+            if p != INVALID_UID && !deps.contains(&p) && n < 3 {
+                deps[n] = p;
+                n += 1;
+            }
+        }
+        if let Some((MemClass::Load { .. }, addr)) = mem {
+            if let Some(uid) = self.youngest_store_to(addr) {
+                if n < 3 && !deps.contains(&uid) {
+                    deps[n] = uid;
+                }
+            }
+        }
+        deps
+    }
+
+    fn youngest_store_to(&self, addr: u64) -> Option<u64> {
+        let word = addr >> 3;
+        self.ruu
+            .iter()
+            .rev()
+            .find(|e| matches!(e.mem, Some((MemClass::Store, a)) if a >> 3 == word))
+            .map(|e| e.uid)
+    }
+
+    fn forwards_from_store(&self, addr: u64) -> bool {
+        self.youngest_store_to(addr).is_some()
+    }
+
+    fn push_entry(&mut self, e: Entry) {
+        debug_assert!(self.ruu.len() < self.cfg.ruu_size as usize);
+        if e.mem.is_some() {
+            debug_assert!(self.lsq_count < self.cfg.lsq_size);
+            self.lsq_count += 1;
+        }
+        if let Some(r) = e.dst_int {
+            self.int_producer[r.index()] = e.uid;
+        }
+        if let Some(f) = e.dst_fp {
+            self.fp_producer[f as usize] = e.uid;
+        }
+        self.next_uid = e.uid + 1;
+        self.ruu.push_back(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectral_isa::ProgramBuilder;
+
+    fn counted_loop(n: i64) -> Program {
+        let mut b = ProgramBuilder::new("loop");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, n);
+        let top = b.label();
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn runs_simple_loop_to_completion() {
+        let p = counted_loop(5_000);
+        let cfg = MachineConfig::eight_way();
+        let mut sim = DetailedSim::new(&cfg, &p, Emulator::new(&p));
+        let stats = sim.run_to_completion();
+        assert!(sim.is_done());
+        // 2 setup + 2*5000 loop + halt.
+        assert_eq!(stats.committed, 2 + 10_000 + 1);
+        assert!(stats.cycles > 0);
+        // A tight dependent loop on an 8-way machine: CPI below 2.
+        assert!(stats.cpi() < 2.0, "cpi {}", stats.cpi());
+    }
+
+    #[test]
+    fn run_n_stops_at_target() {
+        let p = counted_loop(100_000);
+        let cfg = MachineConfig::eight_way();
+        let mut sim = DetailedSim::new(&cfg, &p, Emulator::new(&p));
+        let w = sim.run(1000);
+        assert_eq!(w.committed, 1000);
+        let w2 = sim.run(500);
+        assert_eq!(w2.committed, 500);
+        assert_eq!(sim.stats().committed, 1500);
+    }
+
+    #[test]
+    fn cold_caches_cost_cycles() {
+        // Loads over a large array: cold run should take far more cycles
+        // than a warm rerun of the same window.
+        let mut b = ProgramBuilder::new("mem");
+        let base = b.alloc_data(4096);
+        b.li(Reg::R1, base as i64);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 4096);
+        let top = b.label();
+        b.load(Reg::R4, Reg::R1, 0);
+        b.addi(Reg::R1, Reg::R1, 8);
+        b.addi(Reg::R2, Reg::R2, 1);
+        b.blt(Reg::R2, Reg::R3, top);
+        b.halt();
+        let p = b.build();
+        let cfg = MachineConfig::eight_way();
+
+        let mut cold = DetailedSim::new(&cfg, &p, Emulator::new(&p));
+        let cold_stats = cold.run_to_completion();
+
+        // Warm: reuse the hierarchy the cold run built.
+        let warm_h = cold.hierarchy().clone();
+        let warm_b = BranchPredictor::from_snapshot(&cold.bpred().snapshot());
+        let mut warm = DetailedSim::with_state(&cfg, &p, Emulator::new(&p), warm_h, warm_b);
+        let warm_stats = warm.run_to_completion();
+
+        assert_eq!(cold_stats.committed, warm_stats.committed);
+        assert!(
+            warm_stats.cycles * 3 < cold_stats.cycles * 2,
+            "warm {} vs cold {} cycles",
+            warm_stats.cycles,
+            cold_stats.cycles
+        );
+        assert!(warm_stats.l1d_misses < cold_stats.l1d_misses / 4);
+    }
+
+    #[test]
+    fn mispredicts_generate_wrong_path_work() {
+        // Data-dependent branches (LCG parity) are hard to predict;
+        // wrong-path instructions must appear.
+        let mut b = ProgramBuilder::new("br");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 3000);
+        b.li(Reg::R29, 12345);
+        let top = b.label();
+        b.li(Reg::R9, 0x5851_F42D_4C95_7F2D_u64 as i64);
+        b.mul(Reg::R29, Reg::R29, Reg::R9);
+        b.addi(Reg::R29, Reg::R29, 0x14057B7E);
+        b.shri(Reg::R4, Reg::R29, 33);
+        b.andi(Reg::R4, Reg::R4, 1);
+        let skip = b.new_label();
+        b.bne(Reg::R4, Reg::R0, skip);
+        b.addi(Reg::R5, Reg::R5, 1);
+        b.xori(Reg::R6, Reg::R5, 0x2A);
+        b.bind(skip);
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        let p = b.build();
+        let cfg = MachineConfig::eight_way();
+        let mut sim = DetailedSim::new(&cfg, &p, Emulator::new(&p));
+        let stats = sim.run_to_completion();
+        assert!(stats.mispredicts > 300, "mispredicts {}", stats.mispredicts);
+        assert!(stats.wrong_path_fetched > 300, "wrong path {}", stats.wrong_path_fetched);
+        // Mispredicts must cost cycles: CPI noticeably above the
+        // no-mispredict ideal.
+        assert!(stats.cpi() > 0.8, "cpi {}", stats.cpi());
+    }
+
+    #[test]
+    fn correctness_unaffected_by_speculation() {
+        // Timing-model execution must commit exactly the functional
+        // instruction stream regardless of speculation.
+        let p = counted_loop(2_000);
+        let mut emu = Emulator::new(&p);
+        let mut functional = 0u64;
+        while emu.step().is_some() {
+            functional += 1;
+        }
+        let cfg = MachineConfig::eight_way();
+        let mut sim = DetailedSim::new(&cfg, &p, Emulator::new(&p));
+        let stats = sim.run_to_completion();
+        assert_eq!(stats.committed, functional);
+    }
+
+    #[test]
+    fn store_load_forwarding() {
+        // store then immediately load the same address, repeatedly: must
+        // not pay cache-miss latency on the loads after the first line fill.
+        let mut b = ProgramBuilder::new("fw");
+        let base = b.alloc_data(1);
+        b.li(Reg::R1, base as i64);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 2000);
+        let top = b.label();
+        b.store(Reg::R1, Reg::R2, 0);
+        b.load(Reg::R4, Reg::R1, 0);
+        b.addi(Reg::R2, Reg::R2, 1);
+        b.blt(Reg::R2, Reg::R3, top);
+        b.halt();
+        let p = b.build();
+        let cfg = MachineConfig::eight_way();
+        let mut sim = DetailedSim::new(&cfg, &p, Emulator::new(&p));
+        let stats = sim.run_to_completion();
+        assert!(stats.cpi() < 3.0, "forwarding should keep cpi low, got {}", stats.cpi());
+    }
+
+    #[test]
+    fn sixteen_way_beats_eight_way_on_ilp() {
+        // Independent ALU work: the wider machine should need fewer cycles.
+        let mut b = ProgramBuilder::new("ilp");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 2000);
+        let top = b.label();
+        for r in [Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R9, Reg::R13] {
+            b.addi(r, r, 1);
+        }
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        let p = b.build();
+        let cfg8 = MachineConfig::eight_way();
+        let cfg16 = MachineConfig::sixteen_way();
+        let s8 = DetailedSim::new(&cfg8, &p, Emulator::new(&p)).run_to_completion();
+        let s16 = DetailedSim::new(&cfg16, &p, Emulator::new(&p)).run_to_completion();
+        assert_eq!(s8.committed, s16.committed);
+        assert!(s16.cycles < s8.cycles, "16-way {} vs 8-way {}", s16.cycles, s8.cycles);
+    }
+
+    #[test]
+    fn div_chain_is_slow() {
+        let mut b = ProgramBuilder::new("div");
+        b.li(Reg::R1, i64::MAX);
+        b.li(Reg::R2, 3);
+        b.li(Reg::R3, 0);
+        b.li(Reg::R4, 500);
+        let top = b.label();
+        b.div(Reg::R1, Reg::R1, Reg::R2);
+        b.addi(Reg::R1, Reg::R1, 1_000_003);
+        b.addi(Reg::R3, Reg::R3, 1);
+        b.blt(Reg::R3, Reg::R4, top);
+        b.halt();
+        let p = b.build();
+        let cfg = MachineConfig::eight_way();
+        let stats = DetailedSim::new(&cfg, &p, Emulator::new(&p)).run_to_completion();
+        // Each iteration is serialized behind a 20-cycle divide.
+        assert!(stats.cpi() > 3.0, "div chain cpi {}", stats.cpi());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = counted_loop(3_000);
+        let cfg = MachineConfig::eight_way();
+        let a = DetailedSim::new(&cfg, &p, Emulator::new(&p)).run_to_completion();
+        let b2 = DetailedSim::new(&cfg, &p, Emulator::new(&p)).run_to_completion();
+        assert_eq!(a, b2);
+    }
+}

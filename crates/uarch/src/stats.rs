@@ -1,0 +1,97 @@
+//! Timing-simulation statistics.
+
+/// Statistics accumulated over a simulated interval.
+///
+/// Produced by [`DetailedSim::run`](crate::DetailedSim::run); subtract
+/// two snapshots (or call `run` twice) to separate detailed-warming from
+/// measurement intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowStats {
+    /// Committed (correct-path) instructions.
+    pub committed: u64,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Wrong-path instructions fetched.
+    pub wrong_path_fetched: u64,
+    /// Conditional-branch direction mispredicts discovered at fetch.
+    pub mispredicts: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// L1D accesses that missed (from the timing model's path).
+    pub l1d_misses: u64,
+    /// Unified-L2 misses.
+    pub l2_misses: u64,
+    /// Instruction-fetch L1I misses.
+    pub l1i_misses: u64,
+    /// Data-TLB misses.
+    pub dtlb_misses: u64,
+}
+
+impl WindowStats {
+    /// Cycles per committed instruction (`f64::INFINITY` when nothing
+    /// committed).
+    pub fn cpi(&self) -> f64 {
+        if self.committed == 0 {
+            f64::INFINITY
+        } else {
+            self.cycles as f64 / self.committed as f64
+        }
+    }
+
+    /// Instructions per cycle (0 when no cycles elapsed).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// The component-wise difference `self − earlier` (for isolating a
+    /// measurement interval from cumulative counters).
+    pub fn since(&self, earlier: &WindowStats) -> WindowStats {
+        WindowStats {
+            committed: self.committed - earlier.committed,
+            cycles: self.cycles - earlier.cycles,
+            wrong_path_fetched: self.wrong_path_fetched - earlier.wrong_path_fetched,
+            mispredicts: self.mispredicts - earlier.mispredicts,
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+            l1d_misses: self.l1d_misses - earlier.l1d_misses,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            l1i_misses: self.l1i_misses - earlier.l1i_misses,
+            dtlb_misses: self.dtlb_misses - earlier.dtlb_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_and_ipc() {
+        let s = WindowStats { committed: 1000, cycles: 1500, ..Default::default() };
+        assert!((s.cpi() - 1.5).abs() < 1e-12);
+        assert!((s.ipc() - 1000.0 / 1500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_edge_cases() {
+        let s = WindowStats::default();
+        assert_eq!(s.cpi(), f64::INFINITY);
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = WindowStats { committed: 100, cycles: 200, loads: 10, ..Default::default() };
+        let b = WindowStats { committed: 350, cycles: 700, loads: 25, ..Default::default() };
+        let d = b.since(&a);
+        assert_eq!(d.committed, 250);
+        assert_eq!(d.cycles, 500);
+        assert_eq!(d.loads, 15);
+    }
+}

@@ -1,0 +1,52 @@
+//! # spectral-warming — warming strategies for simulation sampling
+//!
+//! Implements the warming design space of the paper's §4 (Figure 2):
+//!
+//! * [`FunctionalWarmer`] — continuous functional warming of
+//!   long-history structures (caches, TLBs, branch predictor) from the
+//!   committed instruction stream,
+//! * [`smarts_run`] — **full warming** (the SMARTS baseline): functional
+//!   warming across the entire benchmark, detailed warming + measurement
+//!   at each sample window,
+//! * [`mrrl_analyze`] / [`adaptive_run`] — **adaptive warming** using
+//!   Memory Reference Reuse Latency (Haskins & Skadron): a per-window
+//!   warming length covering a target fraction (99.9%) of observed reuse
+//!   distances, with or without state *stitching* between windows,
+//! * [`complete_detailed`] — the non-sampled full-detail reference run
+//!   (the `sim-outorder` row of Table 2, and the ground truth all bias
+//!   numbers are measured against).
+//!
+//! **Checkpointed warming** — the third strategy, where the warm state
+//! produced by a [`FunctionalWarmer`] is stored in live-points — lives in
+//! `spectral-core`, built on the primitives here.
+//!
+//! ## Example: full-warming estimate vs reference
+//!
+//! ```no_run
+//! use spectral_stats::{SampleDesign, SystematicDesign};
+//! use spectral_uarch::MachineConfig;
+//! use spectral_warming::{complete_detailed, smarts_run};
+//! use spectral_workloads::{dynamic_length, tiny};
+//!
+//! let program = tiny().build();
+//! let cfg = MachineConfig::eight_way();
+//! let n = dynamic_length(&program);
+//! let windows = SystematicDesign::paper_8way().windows(n, 30, 1);
+//! let smarts = smarts_run(&cfg, &program, &windows);
+//! let reference = complete_detailed(&cfg, &program);
+//! let bias = (smarts.estimator.mean() - reference.cpi()).abs() / reference.cpi();
+//! println!("CPI bias {:.2}%", bias * 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod functional;
+mod mrrl;
+mod smarts;
+
+pub use adaptive::{adaptive_run, AdaptiveResult};
+pub use functional::{FunctionalWarmer, WarmState};
+pub use mrrl::{mrrl_analyze, MrrlAnalysis};
+pub use smarts::{complete_detailed, smarts_run, SampledResult};

@@ -1,0 +1,162 @@
+//! Full warming (the SMARTS baseline) and the non-sampled reference.
+
+use crate::functional::FunctionalWarmer;
+use spectral_isa::{Emulator, Program};
+use spectral_stats::{OnlineEstimator, WindowSpec};
+use spectral_uarch::{DetailedSim, MachineConfig, WindowStats};
+
+/// Result of a sampled simulation run (full or adaptive warming).
+#[derive(Debug, Clone)]
+pub struct SampledResult {
+    /// Per-window measured CPI, in program order.
+    pub per_window: Vec<f64>,
+    /// Aggregate estimator over the window CPIs.
+    pub estimator: OnlineEstimator,
+    /// Instructions processed by functional warming (the paper's
+    /// dominant cost for SMARTS; reduced for adaptive warming).
+    pub warming_insts: u64,
+    /// Instructions simulated in detail (warming + measurement).
+    pub detailed_insts: u64,
+    /// Instructions functionally *skipped* without warming (adaptive
+    /// warming's saving; zero for full warming).
+    pub skipped_insts: u64,
+}
+
+impl SampledResult {
+    /// Estimated CPI (mean over windows).
+    pub fn cpi(&self) -> f64 {
+        self.estimator.mean()
+    }
+}
+
+/// Run the complete benchmark through the detailed timing model — the
+/// `sim-outorder` row of Table 2 and the ground truth for bias
+/// measurements.
+pub fn complete_detailed(cfg: &MachineConfig, program: &Program) -> WindowStats {
+    let mut sim = DetailedSim::new(cfg, program, Emulator::new(program));
+    sim.run_to_completion()
+}
+
+/// Full-warming (SMARTS) sampled simulation.
+///
+/// Functionally warms every instruction of the benchmark; at each
+/// sample window, clones the warm state into a detailed simulation that
+/// performs `warm_len` instructions of detailed warming followed by the
+/// measured interval. Windows must be sorted and non-overlapping (as
+/// produced by the [`SampleDesign`](spectral_stats::SampleDesign) impls).
+///
+/// # Panics
+///
+/// Panics if `windows` is not sorted by position.
+pub fn smarts_run(cfg: &MachineConfig, program: &Program, windows: &[WindowSpec]) -> SampledResult {
+    assert!(
+        windows.windows(2).all(|w| w[0].measure_start <= w[1].measure_start),
+        "windows must be sorted"
+    );
+    let mut warmer = FunctionalWarmer::new(cfg);
+    let mut emu = Emulator::new(program);
+    let mut per_window = Vec::with_capacity(windows.len());
+    let mut estimator = OnlineEstimator::new();
+    let mut detailed_insts = 0u64;
+
+    for w in windows {
+        // Functional warming up to the start of detailed warming.
+        while emu.seq() < w.detail_start && !emu.is_halted() {
+            if let Some(di) = emu.step() {
+                warmer.observe(&di);
+            }
+        }
+        if emu.is_halted() {
+            break;
+        }
+        // Detailed window on cloned state; the warmer continues past it
+        // afterwards (functional warming is continuous in SMARTS).
+        let state = warmer.clone_state();
+        let mut sim =
+            DetailedSim::with_state(cfg, program, emu.clone(), state.hierarchy, state.bpred);
+        let warm = w.warm_len();
+        sim.run(warm);
+        let measured = sim.run(w.measure_len);
+        detailed_insts += warm + measured.committed;
+        if measured.committed > 0 {
+            per_window.push(measured.cpi());
+            estimator.push(measured.cpi());
+        }
+    }
+    // Finish warming the tail so warming_insts reflects the whole
+    // benchmark (the paper's point: cost scales with benchmark length).
+    while !emu.is_halted() {
+        match emu.step() {
+            Some(di) => warmer.observe(&di),
+            None => break,
+        }
+    }
+
+    SampledResult {
+        per_window,
+        estimator,
+        warming_insts: warmer.observed(),
+        detailed_insts,
+        skipped_insts: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectral_stats::{Confidence, SampleDesign, SystematicDesign};
+    use spectral_workloads::{dynamic_length, tiny};
+
+    #[test]
+    fn smarts_tracks_reference_cpi() {
+        let p = tiny().build();
+        let cfg = MachineConfig::eight_way();
+        let n = dynamic_length(&p);
+        let windows = SystematicDesign::new(1000, 2000).windows(n, 40, 3);
+        let result = smarts_run(&cfg, &p, &windows);
+        let reference = complete_detailed(&cfg, &p);
+        assert!(result.per_window.len() >= 30, "got {} windows", result.per_window.len());
+        let bias = (result.cpi() - reference.cpi()).abs() / reference.cpi();
+        // Full warming should land near the true CPI; the sample itself
+        // carries sampling error, so accept a loose bound here (bias
+        // experiments use more windows and tighter checks).
+        assert!(
+            bias < 0.25,
+            "full-warming estimate {:.3} too far from reference {:.3} (bias {:.1}%)",
+            result.cpi(),
+            reference.cpi(),
+            bias * 100.0
+        );
+        assert_eq!(result.warming_insts, n, "functional warming covers the whole benchmark");
+        assert_eq!(result.skipped_insts, 0);
+        // With the tiny test benchmark windows cover much of the run;
+        // the detail-is-tiny property is asserted on full-size
+        // benchmarks in the experiment suite.
+        assert!(result.detailed_insts <= n);
+    }
+
+    #[test]
+    fn estimator_matches_per_window() {
+        let p = tiny().build();
+        let cfg = MachineConfig::eight_way();
+        let n = dynamic_length(&p);
+        let windows = SystematicDesign::new(1000, 2000).windows(n, 35, 9);
+        let r = smarts_run(&cfg, &p, &windows);
+        let manual: OnlineEstimator = r.per_window.iter().copied().collect();
+        assert_eq!(r.estimator.count(), manual.count());
+        assert!((r.estimator.mean() - manual.mean()).abs() < 1e-12);
+        let _ = r.estimator.half_width(Confidence::C99_7);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_windows_rejected() {
+        let p = tiny().build();
+        let cfg = MachineConfig::eight_way();
+        let windows = vec![
+            WindowSpec { detail_start: 5000, measure_start: 7000, measure_len: 1000 },
+            WindowSpec { detail_start: 0, measure_start: 2000, measure_len: 1000 },
+        ];
+        smarts_run(&cfg, &p, &windows);
+    }
+}

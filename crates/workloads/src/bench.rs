@@ -1,0 +1,579 @@
+//! Named synthetic benchmarks and the suite catalogue.
+
+use crate::kernel::{emit_call_targets, EmitCtx, Kernel, Predictability};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use spectral_isa::{Program, ProgramBuilder, Reg};
+
+/// How a benchmark schedules its kernels over outer iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// Contiguous program phases: the first `1/k` of iterations run
+    /// kernel 0, the next `1/k` kernel 1, and so on — SPEC-like phase
+    /// behaviour that gives benchmarks CPI variance across their run.
+    Phased,
+    /// Kernel chosen per iteration from LCG bits — fine-grained mixing.
+    Interleaved,
+}
+
+/// A named synthetic benchmark: a kernel mix, a schedule, and a target
+/// dynamic length.
+///
+/// Build the executable [`Program`] with [`build`](Self::build); the
+/// construction is fully deterministic in the benchmark's seed.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    name: &'static str,
+    description: &'static str,
+    kernels: Vec<Kernel>,
+    schedule: Schedule,
+    target_len: u64,
+    seed: u64,
+}
+
+impl Benchmark {
+    /// Create a custom benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty or `target_len` is zero.
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        kernels: Vec<Kernel>,
+        schedule: Schedule,
+        target_len: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(!kernels.is_empty(), "benchmark needs at least one kernel");
+        assert!(target_len > 0, "target length must be positive");
+        Benchmark { name, description, kernels, schedule, target_len, seed }
+    }
+
+    /// The benchmark's name (e.g. `"mcf-like"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description of what the benchmark models.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// The kernel mix.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// The kernel schedule.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Approximate committed-instruction target the outer iteration
+    /// count was derived from.
+    pub fn target_len(&self) -> u64 {
+        self.target_len
+    }
+
+    /// A variant of this benchmark scaled to `factor ×` its dynamic
+    /// length (same kernels, schedule, and data footprints — only the
+    /// outer iteration count grows). Used by runtime experiments, where
+    /// the paper's cost ratios depend on benchmark length dominating
+    /// sample size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn scaled(&self, factor: u64) -> Benchmark {
+        assert!(factor > 0, "scale factor must be positive");
+        let mut b = self.clone();
+        b.target_len *= factor;
+        b
+    }
+
+    /// Per-kernel iteration counts. Kernels differ in per-invocation
+    /// cost by orders of magnitude, so a phased benchmark must give each
+    /// phase an (approximately) equal share of *instructions*, not of
+    /// iterations — otherwise one kernel dominates the dynamic stream
+    /// and the benchmark loses its intended phase structure.
+    fn phase_iters(&self) -> Vec<u64> {
+        let share = self.target_len / self.kernels.len() as u64;
+        self.kernels
+            .iter()
+            .map(|k| (share / k.approx_dyn_len().max(1)).max(1))
+            .collect()
+    }
+
+    fn outer_iters(&self) -> u64 {
+        match self.schedule {
+            Schedule::Phased => self.phase_iters().iter().sum(),
+            Schedule::Interleaved => {
+                let mean: u64 = self.kernels.iter().map(Kernel::approx_dyn_len).sum::<u64>()
+                    / self.kernels.len() as u64;
+                (self.target_len / mean.max(1)).max(self.kernels.len() as u64)
+            }
+        }
+    }
+
+    /// Generate the SRISC program image.
+    pub fn build(&self) -> Program {
+        let mut b = ProgramBuilder::new(self.name);
+        let main = b.new_label();
+        b.jump(main);
+        let fn_f = emit_call_targets(&mut b);
+        b.bind(main);
+
+        // Allocate and initialize data per kernel instance.
+        let mut ctxs = Vec::with_capacity(self.kernels.len());
+        let mut chase_base = None;
+        for k in &self.kernels {
+            let base = b.alloc_data(k.data_words().max(1));
+            if let Kernel::PointerChase { nodes, .. } = *k {
+                init_chase_cycle(&mut b, base, nodes, self.seed);
+                chase_base.get_or_insert(base);
+            }
+            ctxs.push(EmitCtx { base, fn_f });
+        }
+
+        // Prologue: LCG seed, chase cursor, outer loop bounds.
+        let iters = self.outer_iters();
+        b.li(Reg::R29, (self.seed | 1) as i64);
+        b.li(Reg::R28, chase_base.unwrap_or(0) as i64);
+        b.li(Reg::R10, 0);
+        b.li(Reg::R11, iters as i64);
+
+        let outer_top = b.label();
+        let tail = b.new_label();
+        let n = self.kernels.len();
+
+        // Dispatch to one kernel block per iteration.
+        let blocks: Vec<_> = (0..n).map(|_| b.new_label()).collect();
+        match self.schedule {
+            Schedule::Phased => {
+                // Cumulative iteration thresholds sized so every phase
+                // executes a similar number of instructions.
+                let phase_iters = self.phase_iters();
+                let mut cum = 0u64;
+                for (k, block) in blocks.iter().enumerate().take(n - 1) {
+                    cum += phase_iters[k];
+                    b.slti(Reg::R12, Reg::R10, cum as i64);
+                    b.bne(Reg::R12, Reg::R0, *block);
+                }
+                b.jump(blocks[n - 1]);
+            }
+            Schedule::Interleaved => {
+                let npow2 = n.next_power_of_two() as i64;
+                // High LCG bits: the low bits cycle with tiny periods.
+                b.shri(Reg::R12, Reg::R29, 27);
+                b.andi(Reg::R12, Reg::R12, npow2 - 1);
+                for (k, block) in blocks.iter().enumerate().take(n - 1) {
+                    b.slti(Reg::R13, Reg::R12, k as i64 + 1);
+                    b.bne(Reg::R13, Reg::R0, *block);
+                }
+                b.jump(blocks[n - 1]);
+            }
+        }
+
+        for ((kernel, block), ctx) in self.kernels.iter().zip(&blocks).zip(&ctxs) {
+            b.bind(*block);
+            kernel.emit(&mut b, *ctx);
+            b.jump(tail);
+        }
+
+        b.bind(tail);
+        // Mix the LCG once per iteration so interleaved selection varies.
+        b.li(Reg::R9, 0x5851_F42D_4C95_7F2D_u64 as i64);
+        b.mul(Reg::R29, Reg::R29, Reg::R9);
+        b.addi(Reg::R29, Reg::R29, 0x14057B7E);
+        b.addi(Reg::R10, Reg::R10, 1);
+        b.blt(Reg::R10, Reg::R11, outer_top);
+        b.halt();
+        b.build()
+    }
+}
+
+/// Initialize a shuffled pointer cycle over `nodes` nodes at `base`.
+fn init_chase_cycle(b: &mut ProgramBuilder, base: u64, nodes: u64, seed: u64) {
+    let mut order: Vec<u64> = (0..nodes).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    order.shuffle(&mut rng);
+    for w in 0..nodes {
+        let cur = order[w as usize];
+        let next = order[((w + 1) % nodes) as usize];
+        b.init_word(base + cur * 8, base + next * 8);
+    }
+}
+
+/// The full synthetic suite: twenty-two benchmarks spanning the memory-,
+/// branch-, FP-, and call-bound corners SPEC CPU2000 covers, in roughly
+/// the proportions the paper's figures single out (gcc-, mcf-, and
+/// gzip-like entries appear in Figs 4/5; ammp-/parser-like entries are
+/// the slow outliers of Table 2).
+pub fn suite() -> Vec<Benchmark> {
+    use Kernel::*;
+    use Predictability::*;
+    vec![
+        Benchmark::new(
+            "gzip-like",
+            "streaming compression: sequential walks + biased branches over a small table",
+            vec![
+                StreamSum { words: 1 << 14 },
+                Branchy { count: 1500, predictability: Biased },
+                HashWrite { slots: 1 << 12, count: 600 },
+            ],
+            Schedule::Phased,
+            2_500_000,
+            11,
+        ),
+        Benchmark::new(
+            "gcc-like",
+            "compiler: hard branches, hashing, calls, strided IR walks; strong phases",
+            vec![
+                Branchy { count: 1200, predictability: Random },
+                CallChain { calls: 500 },
+                HashWrite { slots: 1 << 16, count: 700 },
+                StrideWalk { words: 1 << 15, stride: 17, count: 800 },
+            ],
+            Schedule::Phased,
+            4_000_000,
+            12,
+        ),
+        Benchmark::new(
+            "mcf-like",
+            "network simplex: large pointer chases with random access; memory bound",
+            vec![
+                PointerChase { nodes: 1 << 18, hops: 900 },
+                RandomAccess { words: 1 << 18, count: 800 },
+                PointerChase { nodes: 1 << 18, hops: 900 },
+                StreamSum { words: 1 << 13 },
+            ],
+            Schedule::Interleaved,
+            5_000_000,
+            13,
+        ),
+        Benchmark::new(
+            "parser-like",
+            "dictionary parsing: pointer chasing + unpredictable branches + calls",
+            vec![
+                PointerChase { nodes: 1 << 18, hops: 2000 },
+                Branchy { count: 900, predictability: Random },
+                CallChain { calls: 400 },
+            ],
+            Schedule::Interleaved,
+            5_000_000,
+            14,
+        ),
+        Benchmark::new(
+            "perlbmk-like",
+            "interpreter: call-dominated with biased dispatch branches (shortest run)",
+            vec![
+                CallChain { calls: 900 },
+                Branchy { count: 800, predictability: Biased },
+                HashWrite { slots: 1 << 14, count: 500 },
+            ],
+            Schedule::Interleaved,
+            1_500_000,
+            15,
+        ),
+        Benchmark::new(
+            "vpr-like",
+            "place & route: random access over a netlist + simulated-annealing branches",
+            vec![
+                RandomAccess { words: 1 << 18, count: 900 },
+                Branchy { count: 900, predictability: Random },
+                Stencil { words: 1 << 10 },
+            ],
+            Schedule::Interleaved,
+            3_500_000,
+            16,
+        ),
+        Benchmark::new(
+            "crafty-like",
+            "chess: branch storms over hash tables with small hot data",
+            vec![
+                Branchy { count: 1400, predictability: Random },
+                HashWrite { slots: 1 << 15, count: 800 },
+                StreamSum { words: 1 << 11 },
+            ],
+            Schedule::Interleaved,
+            3_500_000,
+            17,
+        ),
+        Benchmark::new(
+            "eon-like",
+            "ray tracing: call-heavy FP with predictable control",
+            vec![
+                CallChain { calls: 700 },
+                MatmulBlocked { n: 10 },
+                Branchy { count: 600, predictability: Biased },
+            ],
+            Schedule::Interleaved,
+            2_000_000,
+            18,
+        ),
+        Benchmark::new(
+            "bzip2-like",
+            "block sorting: large streaming buffers + data-dependent branches",
+            vec![
+                StreamSum { words: 1 << 17 },
+                Branchy { count: 1100, predictability: Random },
+                HashWrite { slots: 1 << 13, count: 700 },
+            ],
+            Schedule::Phased,
+            4_000_000,
+            19,
+        ),
+        Benchmark::new(
+            "twolf-like",
+            "standard-cell placement: random access + branchy cost evaluation",
+            vec![
+                RandomAccess { words: 1 << 17, count: 1000 },
+                Branchy { count: 1000, predictability: Random },
+            ],
+            Schedule::Interleaved,
+            3_500_000,
+            20,
+        ),
+        Benchmark::new(
+            "swim-like",
+            "shallow-water FP: long stencil sweeps, near-perfect branches (fastest to sample)",
+            vec![Stencil { words: 1 << 17 }, StreamSum { words: 1 << 16 }],
+            Schedule::Phased,
+            5_000_000,
+            21,
+        ),
+        Benchmark::new(
+            "mgrid-like",
+            "multigrid FP: stencils at mixed working sets + dense kernels (longest benchmark)",
+            vec![
+                Stencil { words: 1 << 16 },
+                MatmulBlocked { n: 12 },
+                Stencil { words: 1 << 12 },
+            ],
+            Schedule::Phased,
+            6_000_000,
+            22,
+        ),
+        Benchmark::new(
+            "applu-like",
+            "LU solver: dense FP with long-latency divide stretches",
+            vec![
+                MatmulBlocked { n: 10 },
+                Stencil { words: 1 << 14 },
+                DivChain { count: 400 },
+            ],
+            Schedule::Phased,
+            4_500_000,
+            23,
+        ),
+        Benchmark::new(
+            "art-like",
+            "neural net: random access over weights + streaming activation sweeps",
+            vec![
+                RandomAccess { words: 1 << 19, count: 900 },
+                StreamSum { words: 1 << 15 },
+            ],
+            Schedule::Interleaved,
+            3_500_000,
+            24,
+        ),
+        Benchmark::new(
+            "equake-like",
+            "FEM: pointer-based mesh walks + element stencils",
+            vec![
+                PointerChase { nodes: 1 << 17, hops: 1500 },
+                Stencil { words: 1 << 14 },
+            ],
+            Schedule::Interleaved,
+            3_500_000,
+            25,
+        ),
+        Benchmark::new(
+            "facerec-like",
+            "face recognition: FP correlation kernels over image windows with strided reads",
+            vec![
+                MatmulBlocked { n: 12 },
+                StrideWalk { words: 1 << 16, stride: 33, count: 900 },
+                Stencil { words: 1 << 13 },
+            ],
+            Schedule::Phased,
+            4_000_000,
+            27,
+        ),
+        Benchmark::new(
+            "mesa-like",
+            "software rasterizer: FP transforms with biased span branches and table writes",
+            vec![
+                MatmulBlocked { n: 8 },
+                Branchy { count: 900, predictability: Biased },
+                HashWrite { slots: 1 << 14, count: 700 },
+                StreamSum { words: 1 << 13 },
+            ],
+            Schedule::Interleaved,
+            3_500_000,
+            28,
+        ),
+        Benchmark::new(
+            "vortex-like",
+            "object database: pointer-linked records, hashed lookups, call-heavy transactions",
+            vec![
+                PointerChase { nodes: 1 << 16, hops: 800 },
+                HashWrite { slots: 1 << 15, count: 600 },
+                CallChain { calls: 500 },
+            ],
+            Schedule::Interleaved,
+            4_000_000,
+            29,
+        ),
+        Benchmark::new(
+            "gap-like",
+            "computational group theory: multiply/divide-heavy integer kernels with hashing",
+            vec![
+                DivChain { count: 300 },
+                HashWrite { slots: 1 << 13, count: 800 },
+                Branchy { count: 800, predictability: Random },
+            ],
+            Schedule::Interleaved,
+            3_000_000,
+            30,
+        ),
+        Benchmark::new(
+            "lucas-like",
+            "Lucas-Lehmer FFT: strided FP sweeps over large arrays, highly regular control",
+            vec![
+                StrideWalk { words: 1 << 17, stride: 511, count: 1000 },
+                Stencil { words: 1 << 15 },
+            ],
+            Schedule::Phased,
+            4_500_000,
+            31,
+        ),
+        Benchmark::new(
+            "sixtrack-like",
+            "particle tracking: dense FP with predictable loops and periodic checkpooint writes",
+            vec![
+                MatmulBlocked { n: 10 },
+                Stencil { words: 1 << 12 },
+                HashWrite { slots: 1 << 10, count: 400 },
+            ],
+            Schedule::Phased,
+            3_500_000,
+            32,
+        ),
+        Benchmark::new(
+            "ammp-like",
+            "molecular dynamics: chases, divides, and stencils in strong phases (highest CPI variance)",
+            vec![
+                PointerChase { nodes: 1 << 19, hops: 2200 },
+                DivChain { count: 500 },
+                Stencil { words: 1 << 15 },
+            ],
+            Schedule::Phased,
+            5_000_000,
+            26,
+        ),
+    ]
+}
+
+/// Look up a suite benchmark by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.name() == name)
+}
+
+/// A fast, small benchmark (~10⁵ instructions) for tests and examples.
+pub fn tiny() -> Benchmark {
+    use Kernel::*;
+    Benchmark::new(
+        "tiny",
+        "small mixed benchmark for tests: one of each behaviour class",
+        vec![
+            StreamSum { words: 1 << 8 },
+            Branchy { count: 120, predictability: Predictability::Random },
+            HashWrite { slots: 1 << 8, count: 100 },
+            PointerChase { nodes: 1 << 10, hops: 300 },
+        ],
+        Schedule::Phased,
+        120_000,
+        7,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic_length;
+
+    #[test]
+    fn suite_has_twenty_two_unique_names() {
+        let s = suite();
+        assert_eq!(s.len(), 22);
+        let mut names: Vec<_> = s.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 22);
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("mcf-like").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn all_programs_build() {
+        for b in suite() {
+            let p = b.build();
+            assert!(p.len() > 10, "{} produced a trivial program", b.name());
+            assert_eq!(p.name(), b.name());
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let b = by_name("gcc-like").unwrap();
+        assert_eq!(b.build(), b.build());
+    }
+
+    #[test]
+    fn tiny_length_near_target() {
+        let b = tiny();
+        let n = dynamic_length(&b.build());
+        let t = b.target_len();
+        assert!(
+            n as f64 / t as f64 > 0.4 && (n as f64 / t as f64) < 2.5,
+            "dynamic length {n} far from target {t}"
+        );
+    }
+
+    #[test]
+    fn phased_schedule_changes_behaviour_over_time() {
+        // In a phased benchmark, the memory-access mix of the first and
+        // last quarters should differ (different kernels).
+        use spectral_isa::{Emulator, OpClass};
+        let p = tiny().build();
+        let total = dynamic_length(&p);
+        let mut emu = Emulator::new(&p);
+        let mut first_quarter_mem = 0u64;
+        let mut last_quarter_mem = 0u64;
+        while let Some(d) = emu.step() {
+            let q = d.seq * 4 / total;
+            if matches!(d.op, OpClass::Load | OpClass::Store) {
+                if q == 0 {
+                    first_quarter_mem += 1;
+                } else if q == 3 {
+                    last_quarter_mem += 1;
+                }
+            }
+        }
+        let lo = first_quarter_mem.min(last_quarter_mem) as f64;
+        let hi = first_quarter_mem.max(last_quarter_mem) as f64;
+        assert!(hi / lo.max(1.0) > 1.1, "phases look identical: {first_quarter_mem} vs {last_quarter_mem}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kernel")]
+    fn empty_mix_rejected() {
+        Benchmark::new("x", "", vec![], Schedule::Phased, 1000, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Design-space exploration with matched pairs: the workflow the paper's
+//! conclusion promises ("parametric studies that cover a wide range of
+//! microarchitectural options … with reasonable computational
+//! requirements").
+//!
+//! ```text
+//! cargo run --release --example design_space [benchmark-name]
+//! ```
+//!
+//! One live-point library answers every design question: each candidate
+//! change is compared to the 8-way baseline with matched pairs, which
+//! need only a handful of points to separate real effects from noise.
+
+use std::error::Error;
+
+use spectral::core::{CreationConfig, LivePointLibrary, MatchedRunner, RunPolicy};
+use spectral::uarch::{FuPools, MachineConfig};
+use spectral::workloads::by_name;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gcc-like".into());
+    let bench = by_name(&name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let program = bench.build();
+    let base = MachineConfig::eight_way();
+
+    println!("exploring the design space around the 8-way baseline on {}", bench.name());
+    let config = CreationConfig::for_machine(&base).with_sample_size(300);
+    let library = LivePointLibrary::create(&program, &config)?;
+    println!("library: {} live-points\n", library.len());
+
+    let candidates: Vec<(&str, MachineConfig)> = vec![
+        ("halve RUU/LSQ (128/64 → 64/32)", base.clone().with_queues(64, 32)),
+        ("double memory latency (100 → 200)", base.clone().with_mem_latency(200)),
+        ("drop to 2 integer ALUs", base.clone().with_fu(FuPools { int_alu: 2, ..base.fu })),
+        ("slower L2 (12 → 16 cycles)", {
+            let mut m = base.clone();
+            m.lat.l2 = 16;
+            m
+        }),
+        ("smaller store buffer (16 → 8)", {
+            let mut m = base.clone();
+            m.store_buffer = 8;
+            m
+        }),
+        ("wider divide (20 → 12 cycles)", {
+            let mut m = base.clone();
+            m.lat.int_div = 12;
+            m
+        }),
+    ];
+
+    println!(
+        "{:<38} {:>9} {:>12} {:>7} {:>7}",
+        "design change", "ΔCPI", "95%-of-base?", "pairs", "verdict"
+    );
+    let policy = RunPolicy::default();
+    let mut results = Vec::new();
+    for (label, machine) in candidates {
+        let outcome = MatchedRunner::new(&library, base.clone(), machine).run(&program, &policy)?;
+        results.push((label, outcome));
+    }
+    // Rank by impact, as a design-space search would.
+    results.sort_by(|a, b| {
+        b.1.relative_change()
+            .abs()
+            .partial_cmp(&a.1.relative_change().abs())
+            .expect("finite")
+    });
+    for (label, outcome) in &results {
+        println!(
+            "{:<38} {:>+8.2}% {:>12} {:>7} {:>7}",
+            label,
+            outcome.relative_change() * 100.0,
+            format!("±{:.2}%", outcome.delta_half_width() / outcome.pair().base().mean() * 100.0),
+            outcome.processed(),
+            if outcome.significant() { "real" } else { "noise" },
+        );
+    }
+    println!();
+    println!("matched pairs distinguish real effects from no-ops after ~30 points each —");
+    println!("the whole sweep reuses one library and runs in seconds (paper §6.2).");
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Quickstart: estimate a benchmark's CPI with live-points.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark-name]
+//! ```
+//!
+//! Builds a synthetic benchmark, creates a live-point library for the
+//! paper's 8-way baseline, and produces a CPI estimate with 99.7%
+//! confidence intervals — then verifies it against a full-detail
+//! reference simulation.
+
+use std::error::Error;
+
+use spectral::core::{plan_library, CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy};
+use spectral::stats::Confidence;
+use spectral::uarch::MachineConfig;
+use spectral::warming::complete_detailed;
+use spectral::workloads::by_name;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gzip-like".into());
+    let bench = by_name(&name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let program = bench.build();
+    let machine = MachineConfig::eight_way();
+
+    println!("benchmark : {} — {}", bench.name(), bench.description());
+
+    // Step 1 of the paper's procedure (Fig 6): measure variance with a
+    // pilot and size the library accordingly.
+    let plan = plan_library(&program, &machine, 60, 0.03, Confidence::C99_7, 7)?;
+    println!(
+        "plan      : pilot CPI {:.3}, cv {:.2} -> {} live-points needed for ±3% (max {}{})",
+        plan.pilot_cpi,
+        plan.cv,
+        plan.required_points,
+        plan.max_points,
+        if plan.feasible() { "" } else { "; benchmark too short, clamping" },
+    );
+
+    // Step 2: the creation pass — one-time cost, amortized over every
+    // later experiment (paper §6.3).
+    println!("creating live-point library…");
+    let config = CreationConfig::for_machine(&machine)
+        .with_sample_size(plan.recommended_points().min(500));
+    let library = LivePointLibrary::create(&program, &config)?;
+    println!(
+        "library   : {} live-points, {} compressed ({} / point)",
+        library.len(),
+        human(library.total_compressed_bytes()),
+        human(library.mean_point_bytes()),
+    );
+
+    // The actual experiment: seconds, not hours.
+    let estimate = OnlineRunner::new(&library, machine.clone()).run(&program, &RunPolicy::default())?;
+    println!(
+        "estimate  : CPI {:.4} ± {:.4} (99.7% CI) from {} live-points{}",
+        estimate.mean(),
+        estimate.half_width(),
+        estimate.processed(),
+        if estimate.reached_target() { "" } else { " (library exhausted)" },
+    );
+
+    // Ground truth, for the skeptical.
+    let reference = complete_detailed(&machine, &program);
+    println!(
+        "reference : CPI {:.4} (complete detailed simulation; bias {:.2}%)",
+        reference.cpi(),
+        ((estimate.mean() - reference.cpi()) / reference.cpi()).abs() * 100.0
+    );
+    Ok(())
+}
+
+fn human(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.1} KB", b as f64 / 1024.0)
+    }
+}

@@ -1,0 +1,60 @@
+//! Cross-crate accuracy validation: the paper's central claim is that
+//! checkpointed warming (live-points) matches full warming (SMARTS)
+//! because the stored state *is* the functionally-warmed state.
+
+use spectral::core::{CreationConfig, LivePointLibrary, simulate_live_point};
+use spectral::stats::{SampleDesign, SystematicDesign};
+use spectral::uarch::MachineConfig;
+use spectral::warming::smarts_run;
+use spectral::workloads::{dynamic_length, tiny};
+
+/// Per-window CPI from live-points must track per-window CPI from full
+/// warming closely: same windows, same machine, state reconstructed
+/// from the library instead of carried by continuous warming.
+#[test]
+fn livepoints_match_full_warming_per_window() {
+    let program = tiny().build();
+    let machine = MachineConfig::eight_way();
+    let n = dynamic_length(&program);
+    let windows = SystematicDesign::new(1000, 2000).windows(n, 30, 11);
+
+    let smarts = smarts_run(&machine, &program, &windows);
+
+    let cfg = CreationConfig::for_machine(&machine);
+    let library = LivePointLibrary::create_with_windows(&program, &cfg, &windows).unwrap();
+
+    // Match live-points to SMARTS windows by measure_start.
+    let mut pairs = Vec::new();
+    for i in 0..library.len() {
+        let lp = library.get(i).unwrap();
+        let pos = windows
+            .iter()
+            .position(|w| w.measure_start == lp.window.measure_start)
+            .expect("live-point window must come from the design");
+        let stats = simulate_live_point(&lp, &program, &machine).unwrap();
+        pairs.push((pos, stats.cpi()));
+    }
+    assert!(pairs.len() >= smarts.per_window.len() - 1, "almost all windows present");
+
+    let mut worst: f64 = 0.0;
+    let mut sum = 0.0;
+    for &(pos, lp_cpi) in &pairs {
+        let smarts_cpi = smarts.per_window[pos];
+        let rel = (lp_cpi - smarts_cpi).abs() / smarts_cpi;
+        worst = worst.max(rel);
+        sum += rel;
+    }
+    let avg = sum / pairs.len() as f64;
+    eprintln!("live-point vs SMARTS per-window: avg {:.3}% worst {:.3}%", avg * 100.0, worst * 100.0);
+    assert!(
+        avg < 0.02,
+        "average per-window discrepancy too high: {:.3}% (worst {:.3}%)",
+        avg * 100.0,
+        worst * 100.0
+    );
+    assert!(
+        worst < 0.10,
+        "worst per-window discrepancy too high: {:.3}%",
+        worst * 100.0
+    );
+}

@@ -1,0 +1,167 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! programs and access streams.
+
+use proptest::prelude::*;
+use spectral::cache::{Cache, CacheConfig, CacheHierarchy, Csr, HierarchyConfig, Mtr};
+use spectral::isa::{Emulator, ProgramBuilder, Reg};
+use spectral::stats::OnlineEstimator;
+use spectral::uarch::{DetailedSim, MachineConfig};
+
+/// A tiny random-but-valid program: arithmetic, memory traffic over a
+/// small buffer, and a bounded loop.
+fn arb_program() -> impl Strategy<Value = spectral::isa::Program> {
+    (
+        1u8..20,                                       // loop trips
+        proptest::collection::vec((0u8..6, 0i64..64), 1..24), // body ops
+    )
+        .prop_map(|(trips, ops)| {
+            let mut b = ProgramBuilder::new("prop");
+            let buf = b.alloc_data(64);
+            b.li(Reg::R1, buf as i64);
+            b.li(Reg::R2, 0);
+            b.li(Reg::R3, trips as i64);
+            let top = b.label();
+            for (kind, imm) in &ops {
+                match kind {
+                    0 => {
+                        b.addi(Reg::R4, Reg::R4, *imm);
+                    }
+                    1 => {
+                        b.mul(Reg::R5, Reg::R4, Reg::R2);
+                    }
+                    2 => {
+                        b.load(Reg::R6, Reg::R1, (imm % 64) * 8);
+                    }
+                    3 => {
+                        b.store(Reg::R1, Reg::R4, (imm % 64) * 8);
+                    }
+                    4 => {
+                        b.fadd(1, 2, 3);
+                    }
+                    _ => {
+                        b.xori(Reg::R7, Reg::R4, *imm);
+                    }
+                }
+            }
+            b.addi(Reg::R2, Reg::R2, 1);
+            b.blt(Reg::R2, Reg::R3, top);
+            b.halt();
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The timing model must commit exactly the functional stream.
+    #[test]
+    fn timing_commits_functional_stream(program in arb_program()) {
+        let mut emu = Emulator::new(&program);
+        let mut n = 0u64;
+        while emu.step().is_some() {
+            n += 1;
+        }
+        let cfg = MachineConfig::eight_way();
+        let stats = DetailedSim::new(&cfg, &program, Emulator::new(&program)).run_to_completion();
+        prop_assert_eq!(stats.committed, n);
+        // CPI must be sane: bounded below by 1/width and above by the
+        // worst serialized latency.
+        prop_assert!(stats.cpi() >= 1.0 / cfg.width as f64);
+        prop_assert!(stats.cpi() < 400.0);
+    }
+
+    /// Detailed simulation is deterministic.
+    #[test]
+    fn timing_is_deterministic(program in arb_program()) {
+        let cfg = MachineConfig::eight_way();
+        let a = DetailedSim::new(&cfg, &program, Emulator::new(&program)).run_to_completion();
+        let b = DetailedSim::new(&cfg, &program, Emulator::new(&program)).run_to_completion();
+        prop_assert_eq!(a, b);
+    }
+
+    /// CSR reconstruction equals direct simulation for arbitrary streams
+    /// and covered geometries (contents + LRU order).
+    #[test]
+    fn csr_matches_direct_cache(
+        addrs in proptest::collection::vec((0u64..1u64 << 20, any::<bool>()), 1..800),
+        shift in 0u32..3,
+    ) {
+        let max = CacheConfig::new(1 << 16, 4, 32).expect("valid");
+        let target = CacheConfig::new((1 << 16) >> shift, 4 >> shift.min(2), 32);
+        prop_assume!(target.is_ok());
+        let target = target.expect("checked");
+        prop_assume!(max.covers(&target));
+        let mut csr = Csr::new(max);
+        let mut direct = Cache::new(target);
+        for &(a, w) in &addrs {
+            csr.record(a, w);
+            direct.access(a, w);
+        }
+        let rec = csr.reconstruct(&target).expect("covered");
+        let blocks = |s: &spectral::cache::CacheState| -> Vec<Vec<u64>> {
+            s.sets.iter().map(|v| v.iter().map(|&(b, _)| b).collect()).collect()
+        };
+        prop_assert_eq!(blocks(&rec), blocks(&direct.to_state()));
+    }
+
+    /// MTR reconstruction equals direct simulation for arbitrary
+    /// geometries at or above its granule.
+    #[test]
+    fn mtr_matches_direct_cache(
+        addrs in proptest::collection::vec(0u64..1u64 << 18, 1..600),
+        size_log in 10u32..16,
+        assoc_log in 0u32..3,
+    ) {
+        let target = CacheConfig::new(1 << size_log, 1 << assoc_log, 64);
+        prop_assume!(target.is_ok());
+        let target = target.expect("checked");
+        let mut mtr = Mtr::new(32).expect("valid");
+        let mut direct = Cache::new(target);
+        for &a in &addrs {
+            mtr.record(a, false);
+            direct.access(a, false);
+        }
+        let rec = mtr.reconstruct(&target).expect("covered");
+        let blocks = |s: &spectral::cache::CacheState| -> Vec<Vec<u64>> {
+            s.sets.iter().map(|v| v.iter().map(|&(b, _)| b).collect()).collect()
+        };
+        prop_assert_eq!(blocks(&rec), blocks(&direct.to_state()));
+    }
+
+    /// Hierarchy snapshot/restore is lossless under arbitrary traffic.
+    #[test]
+    fn hierarchy_snapshot_roundtrip(
+        addrs in proptest::collection::vec((0u64..1u64 << 22, 0u8..3), 1..500),
+    ) {
+        use spectral::cache::AccessKind;
+        let cfg = HierarchyConfig::baseline_8way();
+        let mut h = CacheHierarchy::new(cfg);
+        for &(a, k) in &addrs {
+            let kind = match k {
+                0 => AccessKind::Fetch,
+                1 => AccessKind::Read,
+                _ => AccessKind::Write,
+            };
+            h.access(kind, a);
+        }
+        let snap = h.snapshot();
+        let restored = CacheHierarchy::from_snapshot(cfg, &snap);
+        prop_assert_eq!(restored.snapshot(), snap);
+    }
+
+    /// Merged estimators equal sequential estimators for any partition.
+    #[test]
+    fn estimator_merge_associative(
+        xs in proptest::collection::vec(-100.0f64..100.0, 1..200),
+        cut in 0usize..200,
+    ) {
+        let cut = cut.min(xs.len());
+        let mut left: OnlineEstimator = xs[..cut].iter().copied().collect();
+        let right: OnlineEstimator = xs[cut..].iter().copied().collect();
+        left.merge(&right);
+        let all: OnlineEstimator = xs.iter().copied().collect();
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-6);
+    }
+}

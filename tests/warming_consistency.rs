@@ -1,0 +1,90 @@
+//! The invariant behind the paper's central accuracy claim: the warm
+//! state a live-point stores must equal the warm state functional
+//! warming would have produced, structure by structure.
+
+use spectral::core::{CreationConfig, LivePointLibrary};
+use spectral::stats::{SampleDesign, SystematicDesign};
+use spectral::uarch::MachineConfig;
+use spectral::warming::FunctionalWarmer;
+use spectral::workloads::{dynamic_length, tiny};
+
+/// Reconstructed cache/TLB/predictor state from a live-point must match
+/// the FunctionalWarmer's state at the same instant, exactly.
+#[test]
+fn livepoint_state_equals_functional_warming_state() {
+    let program = tiny().build();
+    let machine = MachineConfig::eight_way();
+    let n = dynamic_length(&program);
+    let windows = SystematicDesign::new(1000, 2000).windows(n, 8, 21);
+    let cfg = CreationConfig::for_machine(&machine);
+    let library =
+        LivePointLibrary::create_with_windows(&program, &cfg, &windows).expect("library");
+
+    // Walk the functional warmer to each window start and compare.
+    let mut warmer = FunctionalWarmer::new(&machine);
+    let mut emu = spectral::isa::Emulator::new(&program);
+    for w in &windows {
+        while emu.seq() < w.detail_start {
+            let di = emu.step().expect("within benchmark");
+            warmer.observe(&di);
+        }
+        // Find the live-point for this window (library is shuffled).
+        let lp = (0..library.len())
+            .map(|i| library.get(i).expect("decode"))
+            .find(|lp| lp.window.measure_start == w.measure_start)
+            .expect("window present");
+
+        let reconstructed = lp
+            .reconstruct_hierarchy(&machine.hierarchy)
+            .expect("covered configuration");
+        let warm = warmer.hierarchy();
+
+        let blocks = |s: &spectral::cache::CacheState| -> Vec<Vec<u64>> {
+            s.sets.iter().map(|v| v.iter().map(|&(b, _)| b).collect()).collect()
+        };
+        assert_eq!(
+            blocks(&reconstructed.l1i().to_state()),
+            blocks(&warm.l1i().to_state()),
+            "L1I state mismatch at window {}",
+            w.measure_start
+        );
+        assert_eq!(
+            blocks(&reconstructed.l1d().to_state()),
+            blocks(&warm.l1d().to_state()),
+            "L1D state mismatch at window {}",
+            w.measure_start
+        );
+        assert_eq!(
+            blocks(&reconstructed.l2().to_state()),
+            blocks(&warm.l2().to_state()),
+            "L2 state mismatch at window {}",
+            w.measure_start
+        );
+        assert_eq!(
+            blocks(&reconstructed.itlb().to_state()),
+            blocks(&warm.itlb().to_state()),
+            "ITLB state mismatch at window {}",
+            w.measure_start
+        );
+        assert_eq!(
+            blocks(&reconstructed.dtlb().to_state()),
+            blocks(&warm.dtlb().to_state()),
+            "DTLB state mismatch at window {}",
+            w.measure_start
+        );
+
+        // Predictor snapshots must match bit for bit.
+        let bp = lp.predictor_for(&machine.bpred).expect("stored predictor");
+        assert_eq!(
+            bp.snapshot(),
+            warmer.bpred().snapshot(),
+            "predictor state mismatch at window {}",
+            w.measure_start
+        );
+
+        // Architectural state: same registers and pc.
+        assert_eq!(lp.live_state.arch.pc, emu.pc());
+        assert_eq!(lp.live_state.arch.seq, emu.seq());
+        assert_eq!(&lp.live_state.arch.regs, emu.regs());
+    }
+}
