@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spectral_isa::{Emulator, ProgramBuilder, Reg};
-use spectral_uarch::{BranchPredictor, BpredConfig, DetailedSim, MachineConfig};
+use spectral_uarch::{BpredConfig, BranchPredictor, DetailedSim, MachineConfig};
 use spectral_workloads::{Kernel, Predictability};
 
 fn kernel_program(k: Kernel, reps: i64) -> spectral_isa::Program {

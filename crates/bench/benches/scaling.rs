@@ -1,0 +1,100 @@
+//! Worker-scaling benchmark for the parallel live-point pipeline:
+//! library creation, sharded online runs, and decode-once design-space
+//! sweeps at 1/2/4/8 workers.
+//!
+//! Besides the usual console report, this target writes
+//! `BENCH_parallel.json` at the workspace root with the measured
+//! throughput (live-points per second) at each worker count, plus the
+//! host parallelism the numbers were collected under — wall-clock
+//! speedup over the 1-worker row requires a host that actually exposes
+//! multiple cores.
+
+use std::fmt::Write as _;
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use spectral_bench::fixture_benchmark;
+use spectral_core::{CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy, SweepRunner};
+use spectral_uarch::MachineConfig;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const POINTS: u64 = 24;
+
+fn bench_scaling(c: &mut Criterion) {
+    let program = fixture_benchmark().build();
+    let machine = MachineConfig::eight_way();
+    let cfg = CreationConfig::for_machine(&machine).with_sample_size(POINTS);
+    let library = LivePointLibrary::create(&program, &cfg).expect("fixture library");
+    let points = library.len() as u64;
+    let exhaustive =
+        RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
+
+    let mut group = c.benchmark_group("create");
+    group.sample_size(10).throughput(Throughput::Elements(points));
+    for threads in WORKERS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| LivePointLibrary::create_parallel(&program, &cfg, t).expect("create"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("run");
+    group.sample_size(10).throughput(Throughput::Elements(points));
+    let runner = OnlineRunner::new(&library, machine.clone());
+    for threads in WORKERS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| runner.run_parallel(&program, &exhaustive, t).expect("run"));
+        });
+    }
+    group.finish();
+
+    let machines = vec![
+        machine.clone(),
+        machine.clone().with_mem_latency(200),
+        machine.clone().with_queues(64, 32),
+    ];
+    let sweep = SweepRunner::new(&library, machines);
+    let mut group = c.benchmark_group("sweep3");
+    group.sample_size(10).throughput(Throughput::Elements(points));
+    for threads in WORKERS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| sweep.run_parallel(&program, &exhaustive, t).expect("sweep"));
+        });
+    }
+    group.finish();
+}
+
+/// Render the collected results as a small JSON document: per-stage
+/// points-per-second at each worker count.
+fn emit_json(c: &Criterion) -> String {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_parallelism\": {host},");
+    let _ = writeln!(json, "  \"points\": {POINTS},");
+    json.push_str("  \"throughput_points_per_s\": {\n");
+    let mut first = true;
+    for r in c.results() {
+        let rate = match r.throughput {
+            Some(Throughput::Elements(n)) => n as f64 / r.median_s,
+            Some(Throughput::Bytes(n)) => n as f64 / r.median_s,
+            None => 1.0 / r.median_s,
+        };
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(json, "    \"{}\": {rate:.1}", r.id);
+    }
+    json.push_str("\n  }\n}\n");
+    json
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_scaling(&mut criterion);
+    let json = emit_json(&criterion);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

@@ -13,7 +13,10 @@
 //! * `warmstate` — CSR vs MTR record/reconstruct costs (the DESIGN.md
 //!   ablation for adaptable warm state),
 //! * `pipeline` — out-of-order timing-model throughput per workload
-//!   class.
+//!   class,
+//! * `scaling` — parallel-pipeline worker scaling (creation, sharded
+//!   runs, decode-once sweeps at 1/2/4/8 workers); also emits
+//!   `BENCH_parallel.json` at the workspace root.
 //!
 //! This library crate only exposes shared fixtures for those targets.
 

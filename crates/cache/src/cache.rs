@@ -169,11 +169,7 @@ impl Cache {
         let assoc = config.assoc() as usize;
         let mut sets = vec![Vec::new(); n];
         for (i, src) in state.sets.iter().enumerate().take(n) {
-            sets[i] = src
-                .iter()
-                .take(assoc)
-                .map(|&(block, dirty)| Line { block, dirty })
-                .collect();
+            sets[i] = src.iter().take(assoc).map(|&(block, dirty)| Line { block, dirty }).collect();
         }
         Cache { config, sets, hits: 0, misses: 0 }
     }

@@ -222,10 +222,7 @@ mod tests {
     #[test]
     fn rejects_line_mismatch() {
         let csr = Csr::new(cfg(4096, 2, 32));
-        assert!(matches!(
-            csr.reconstruct(&cfg(2048, 2, 64)),
-            Err(CacheError::LineMismatch { .. })
-        ));
+        assert!(matches!(csr.reconstruct(&cfg(2048, 2, 64)), Err(CacheError::LineMismatch { .. })));
     }
 
     #[test]
@@ -239,10 +236,7 @@ mod tests {
         let restored = Csr::from_entries(max, entries.clone());
         assert_eq!(restored.to_entries(), entries);
         assert_eq!(restored.clock(), csr.clock());
-        assert_eq!(
-            restored.reconstruct(&max).unwrap(),
-            csr.reconstruct(&max).unwrap()
-        );
+        assert_eq!(restored.reconstruct(&max).unwrap(), csr.reconstruct(&max).unwrap());
     }
 
     #[test]

@@ -40,10 +40,7 @@ impl fmt::Display for CacheError {
                 write!(f, "reconstruction target exceeds recorded bound: {what}")
             }
             CacheError::LineMismatch { recorded, requested } => {
-                write!(
-                    f,
-                    "reconstruction line size {requested} differs from recorded {recorded}"
-                )
+                write!(f, "reconstruction line size {requested} differs from recorded {recorded}")
             }
         }
     }

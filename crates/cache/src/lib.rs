@@ -47,6 +47,8 @@ pub use cache::{Cache, CacheState, Eviction};
 pub use config::CacheConfig;
 pub use csr::{Csr, CsrEntry};
 pub use error::CacheError;
-pub use hierarchy::{AccessKind, AccessOutcome, CacheHierarchy, HierarchyConfig, HierarchySnapshot, HitLevel};
+pub use hierarchy::{
+    AccessKind, AccessOutcome, CacheHierarchy, HierarchyConfig, HierarchySnapshot, HitLevel,
+};
 pub use mtr::Mtr;
 pub use tlb::{Tlb, TlbConfig, TlbState};

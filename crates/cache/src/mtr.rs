@@ -115,8 +115,7 @@ impl Mtr {
     /// Export `(granule, last_access, dirty)` triples for serialization,
     /// sorted by granule for determinism.
     pub fn to_entries(&self) -> Vec<(u64, u64, bool)> {
-        let mut v: Vec<_> =
-            self.map.iter().map(|(&g, &e)| (g, e.last_access, e.dirty)).collect();
+        let mut v: Vec<_> = self.map.iter().map(|(&g, &e)| (g, e.last_access, e.dirty)).collect();
         v.sort_unstable();
         v
     }

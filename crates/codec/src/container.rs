@@ -23,51 +23,65 @@ const MAGIC: &[u8; 4] = b"SPLP";
 const VERSION: u16 = 1;
 
 /// Build a container in memory, one record at a time.
-#[derive(Debug, Clone, Default)]
+///
+/// Frames stream straight into the output buffer as they are pushed —
+/// no per-record copies are retained; [`finish`](Self::finish) only
+/// patches the record count into the header.
+#[derive(Debug, Clone)]
 pub struct ContainerWriter {
-    records: Vec<Vec<u8>>,
+    out: Vec<u8>,
+    count: u32,
+}
+
+impl Default for ContainerWriter {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ContainerWriter {
     /// Create an empty writer.
     pub fn new() -> Self {
-        Self::default()
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // count, patched in finish()
+        ContainerWriter { out, count: 0 }
     }
 
     /// Append one record (uncompressed payload; compression happens
     /// here).
     pub fn push(&mut self, payload: &[u8]) {
-        self.records.push(lzss::compress(payload));
+        let compressed = lzss::compress(payload);
+        self.push_compressed(&compressed);
     }
 
     /// Append a record that is already LZSS-compressed (as produced by
     /// [`lzss::compress`]) — avoids a decompress/recompress round trip
-    /// when archiving records held compressed in memory.
-    pub fn push_compressed(&mut self, compressed: Vec<u8>) {
-        self.records.push(compressed);
+    /// when archiving records held compressed in memory. The bytes are
+    /// framed directly into the output stream; the caller keeps
+    /// ownership of its buffer.
+    pub fn push_compressed(&mut self, compressed: &[u8]) {
+        self.out.extend_from_slice(&(compressed.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(&crc32::checksum(compressed).to_le_bytes());
+        self.out.extend_from_slice(compressed);
+        self.count += 1;
     }
 
     /// Number of records appended.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.count as usize
     }
 
     /// Whether no records have been appended.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.count == 0
     }
 
     /// Serialize the container.
     pub fn finish(self) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
-        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
-        for rec in &self.records {
-            out.extend_from_slice(&(rec.len() as u32).to_le_bytes());
-            out.extend_from_slice(&crc32::checksum(rec).to_le_bytes());
-            out.extend_from_slice(rec);
-        }
+        let mut out = self.out;
+        out[6..10].copy_from_slice(&self.count.to_le_bytes());
         out
     }
 }
@@ -121,12 +135,10 @@ impl<'a> ContainerReader<'a> {
         if self.data.len() - self.pos < 8 {
             return Err(CodecError::Truncated);
         }
-        let len = u32::from_le_bytes(
-            self.data[self.pos..self.pos + 4].try_into().expect("4 bytes"),
-        ) as usize;
-        let crc = u32::from_le_bytes(
-            self.data[self.pos + 4..self.pos + 8].try_into().expect("4 bytes"),
-        );
+        let len = u32::from_le_bytes(self.data[self.pos..self.pos + 4].try_into().expect("4 bytes"))
+            as usize;
+        let crc =
+            u32::from_le_bytes(self.data[self.pos + 4..self.pos + 8].try_into().expect("4 bytes"));
         self.pos += 8;
         if self.data.len() - self.pos < len {
             return Err(CodecError::Truncated);
@@ -154,12 +166,10 @@ impl<'a> ContainerReader<'a> {
         if self.data.len() - self.pos < 8 {
             return Err(CodecError::Truncated);
         }
-        let len = u32::from_le_bytes(
-            self.data[self.pos..self.pos + 4].try_into().expect("4 bytes"),
-        ) as usize;
-        let crc = u32::from_le_bytes(
-            self.data[self.pos + 4..self.pos + 8].try_into().expect("4 bytes"),
-        );
+        let len = u32::from_le_bytes(self.data[self.pos..self.pos + 4].try_into().expect("4 bytes"))
+            as usize;
+        let crc =
+            u32::from_le_bytes(self.data[self.pos + 4..self.pos + 8].try_into().expect("4 bytes"));
         self.pos += 8;
         if self.data.len() - self.pos < len {
             return Err(CodecError::Truncated);
@@ -247,19 +257,28 @@ mod tests {
         let mut corrupt = bytes.clone();
         let last = corrupt.len() - 1;
         corrupt[last] ^= 0xFF;
-        assert!(matches!(
-            Container::decode(&corrupt),
-            Err(CodecError::CrcMismatch { frame: 0 })
-        ));
+        assert!(matches!(Container::decode(&corrupt), Err(CodecError::CrcMismatch { frame: 0 })));
     }
 
     #[test]
     fn truncation_detected() {
         let bytes = Container::encode(vec![vec![7u8; 200]]);
-        assert!(matches!(
-            Container::decode(&bytes[..bytes.len() - 4]),
-            Err(CodecError::Truncated)
-        ));
+        assert!(matches!(Container::decode(&bytes[..bytes.len() - 4]), Err(CodecError::Truncated)));
+    }
+
+    #[test]
+    fn push_compressed_streams_identical_frames() {
+        let payload = b"records stream straight into the output buffer".to_vec();
+        let mut a = ContainerWriter::new();
+        a.push(&payload);
+        a.push(&payload);
+        let mut b = ContainerWriter::new();
+        assert!(b.is_empty());
+        let compressed = lzss::compress(&payload);
+        b.push_compressed(&compressed);
+        b.push_compressed(&compressed);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.finish(), b.finish());
     }
 
     #[test]

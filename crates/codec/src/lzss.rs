@@ -193,10 +193,13 @@ mod tests {
 
     #[test]
     fn repetitive_compresses_well() {
-        let data: Vec<u8> =
-            b"warm cache state ".iter().copied().cycle().take(500 * 17).collect();
+        let data: Vec<u8> = b"warm cache state ".iter().copied().cycle().take(500 * 17).collect();
         let clen = roundtrip(&data);
-        assert!(clen * 4 < data.len(), "expected >4:1 on repetitive input, got {clen}/{}", data.len());
+        assert!(
+            clen * 4 < data.len(),
+            "expected >4:1 on repetitive input, got {clen}/{}",
+            data.len()
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::HashSet;
 
-use spectral_cache::{Cache, Csr, HierarchyConfig, CacheConfig};
+use spectral_cache::{Cache, CacheConfig, Csr, HierarchyConfig};
 use spectral_isa::{DynInst, Emulator, MemOp, OpClass, Program, INST_BYTES};
 use spectral_uarch::{BpredConfig, BranchPredictor, MachineConfig};
 
@@ -327,10 +327,6 @@ mod tests {
         let touched: HashSet<u64> = (0..10u64).collect(); // blocks 0..10
         let filtered = filter_csr(&csr, &touched, &cfg);
         assert_eq!(filtered.entry_count(), 10);
-        assert!(filtered
-            .to_entries()
-            .iter()
-            .flatten()
-            .all(|e| touched.contains(&e.block)));
+        assert!(filtered.to_entries().iter().flatten().all(|e| touched.contains(&e.block)));
     }
 }

@@ -273,11 +273,8 @@ fn enc_live_state(w: &mut DerWriter, ls: &LiveState, window: &WindowSpec) {
 
 fn dec_live_state(r: &mut DerReader<'_>) -> Result<(LiveState, WindowSpec), CoreError> {
     let mut s = r.seq()?;
-    let window = WindowSpec {
-        detail_start: s.u64()?,
-        measure_start: s.u64()?,
-        measure_len: s.u64()?,
-    };
+    let window =
+        WindowSpec { detail_start: s.u64()?, measure_start: s.u64()?, measure_len: s.u64()? };
     let int_words = s.u64_array()?;
     let fp_words = s.u64_array()?;
     if int_words.len() != 32 || fp_words.len() != 32 {
@@ -302,10 +299,7 @@ fn dec_live_state(r: &mut DerReader<'_>) -> Result<(LiveState, WindowSpec), Core
         word += d;
         memory.push((word << 3, v));
     }
-    Ok((
-        LiveState { arch: ArchState { regs, pc, seq }, memory, conventional_bytes },
-        window,
-    ))
+    Ok((LiveState { arch: ArchState { regs, pc, seq }, memory, conventional_bytes }, window))
 }
 
 // --- top level ------------------------------------------------------------------
@@ -361,13 +355,8 @@ pub fn decode_livepoint(data: &[u8]) -> Result<LivePoint, CoreError> {
     let l2_cfg = dec_cache_config(&mut h)?;
     let itlb_cfg = dec_tlb_config(&mut h)?;
     let dtlb_cfg = dec_tlb_config(&mut h)?;
-    let max_hierarchy = HierarchyConfig {
-        l1i: l1i_cfg,
-        l1d: l1d_cfg,
-        l2: l2_cfg,
-        itlb: itlb_cfg,
-        dtlb: dtlb_cfg,
-    };
+    let max_hierarchy =
+        HierarchyConfig { l1i: l1i_cfg, l1d: l1d_cfg, l2: l2_cfg, itlb: itlb_cfg, dtlb: dtlb_cfg };
     let (live_state, window) = dec_live_state(&mut s)?;
     let l1i = dec_csr(&mut s)?;
     let l1d = dec_csr(&mut s)?;

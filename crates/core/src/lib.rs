@@ -21,8 +21,13 @@
 //! * [`MatchedRunner`] — matched-pair comparative experiments (§6.2):
 //!   the same live-points measured under two machine configurations,
 //!   building the confidence interval directly on the CPI delta,
-//! * parallel processing over [`crossbeam`] scoped threads — live-point
-//!   independence makes this embarrassingly parallel.
+//! * [`SweepRunner`] — decode-once design-space sweeps: each live-point
+//!   is decompressed and decoded once, then simulated under every
+//!   candidate machine, so per-config estimates are matched-pair
+//!   comparable by construction,
+//! * parallel processing over [`std::thread::scope`]d workers with
+//!   sharded, low-contention accumulation — live-point independence
+//!   makes this embarrassingly parallel.
 //!
 //! ## Example
 //!
@@ -60,6 +65,7 @@ mod matched;
 mod plan;
 mod runner;
 mod stratified;
+mod sweep;
 
 pub use creation::{benchmark_length, CreationConfig, L2StreamPolicy};
 pub use error::CoreError;
@@ -70,3 +76,4 @@ pub use matched::{MatchedOutcome, MatchedRunner};
 pub use plan::{plan_library, LibraryPlan};
 pub use runner::{simulate_live_point, Estimate, OnlineRunner, RunPolicy};
 pub use stratified::{StratifiedEstimate, StratifiedRunner};
+pub use sweep::{SweepOutcome, SweepRunner};

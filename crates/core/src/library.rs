@@ -1,6 +1,7 @@
 //! Live-point libraries: creation, shuffling, and on-disk containers.
 
 use std::path::Path;
+use std::sync::Mutex;
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -37,10 +38,29 @@ impl LivePointLibrary {
     /// Returns [`CoreError::BenchmarkTooShort`] when the benchmark
     /// cannot host a single window.
     pub fn create(program: &Program, cfg: &CreationConfig) -> Result<Self, CoreError> {
+        Self::create_parallel(program, cfg, 1)
+    }
+
+    /// Create a library with the paper's periodic sample design, using a
+    /// pipelined creation pass: the inherently sequential
+    /// functional-warming walk stays on the calling thread while
+    /// `threads` workers DER-encode and LZSS-compress each window's
+    /// snapshot concurrently. Record order — and therefore the library's
+    /// bytes — is identical to the serial pass for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BenchmarkTooShort`] when the benchmark
+    /// cannot host a single window.
+    pub fn create_parallel(
+        program: &Program,
+        cfg: &CreationConfig,
+        threads: usize,
+    ) -> Result<Self, CoreError> {
         let n = benchmark_length(program);
         let design = SystematicDesign::new(cfg.unit_len, cfg.warm_len);
         let windows = design.windows(n, cfg.sample_size, cfg.seed);
-        Self::create_with_windows(program, cfg, &windows)
+        Self::create_with_windows_parallel(program, cfg, &windows, threads)
     }
 
     /// Create a library for caller-chosen windows (sorted,
@@ -58,6 +78,27 @@ impl LivePointLibrary {
         cfg: &CreationConfig,
         windows: &[WindowSpec],
     ) -> Result<Self, CoreError> {
+        Self::create_with_windows_parallel(program, cfg, windows, 1)
+    }
+
+    /// [`create_with_windows`](Self::create_with_windows) with the
+    /// encode/compress stage fanned out over `threads` workers (see
+    /// [`create_parallel`](Self::create_parallel)); `threads <= 1` runs
+    /// fully inline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BenchmarkTooShort`] for an empty window list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is unsorted.
+    pub fn create_with_windows_parallel(
+        program: &Program,
+        cfg: &CreationConfig,
+        windows: &[WindowSpec],
+        threads: usize,
+    ) -> Result<Self, CoreError> {
         if windows.is_empty() {
             return Err(CoreError::BenchmarkTooShort);
         }
@@ -66,53 +107,15 @@ impl LivePointLibrary {
             "windows must be sorted and non-overlapping"
         );
 
-        let mut warmers = CreationWarmers::new(cfg);
-        let mut emu = Emulator::new(program);
-        let mut records = Vec::with_capacity(windows.len());
-
-        for (i, w) in windows.iter().enumerate() {
-            // Functional warming up to the window.
-            while emu.seq() < w.detail_start && !emu.is_halted() {
-                if let Some(di) = emu.step() {
-                    warmers.observe(&di);
-                }
-            }
-            if emu.is_halted() {
-                break;
-            }
-            let payload = warmers.snapshot();
-            let mut collector = LiveStateCollector::begin(&emu);
-            let mut touched = TouchedState::default();
-            let hard_end = windows
-                .get(i + 1)
-                .map(|next| next.detail_start)
-                .unwrap_or(u64::MAX);
-            let limit = (w.end() + cfg.read_slack).min(hard_end);
-            while emu.seq() < limit && !emu.is_halted() {
-                let Some(di) = emu.step() else { break };
-                warmers.observe(&di);
-                if di.seq < w.end() && cfg.scope == StateScope::Restricted {
-                    touched.observe(&di, &cfg.max_hierarchy);
-                }
-                if let Some((op, addr)) = di.mem {
-                    collector.observe(op, addr, emu.memory().read_u64(addr));
-                }
-            }
-            let live_state = collector.finish();
-            let warm = match cfg.scope {
-                StateScope::Full => payload,
-                StateScope::Restricted => restrict_payload(payload, &touched, cfg),
-            };
-            let lp = LivePoint {
-                benchmark: program.name().to_owned(),
-                window: *w,
-                scope: cfg.scope,
-                live_state,
-                warm,
-                max_hierarchy: cfg.max_hierarchy,
-            };
-            records.push(lzss::compress(&encode_livepoint(&lp)));
-        }
+        let records = if threads <= 1 {
+            let mut records = Vec::with_capacity(windows.len());
+            walk_windows(program, cfg, windows, |_, lp| {
+                records.push(lzss::compress(&encode_livepoint(&lp)));
+            });
+            records
+        } else {
+            encode_pipelined(program, cfg, windows, threads)
+        };
 
         if records.is_empty() {
             return Err(CoreError::BenchmarkTooShort);
@@ -266,7 +269,7 @@ impl LivePointLibrary {
         let mut writer = ContainerWriter::new();
         writer.push(&meta.finish());
         for rec in &self.records {
-            writer.push_compressed(rec.clone());
+            writer.push_compressed(rec);
         }
         writer.finish()
     }
@@ -355,6 +358,139 @@ impl LivePointLibrary {
         self.shuffle(shuffle_seed);
         Ok(())
     }
+
+    /// Create one library per program, spreading `threads` workers
+    /// across benchmarks and, within each benchmark, across the
+    /// encode/compress pipeline of
+    /// [`create_parallel`](Self::create_parallel) — the batch shape the
+    /// experiment binaries use ("simulation on clusters", §6.1).
+    /// Results are returned in input order and are identical to
+    /// per-program serial creation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-program creation fault.
+    pub fn create_all(
+        programs: &[Program],
+        cfg: &CreationConfig,
+        threads: usize,
+    ) -> Result<Vec<LivePointLibrary>, CoreError> {
+        if programs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let threads = threads.max(1);
+        let outer = threads.min(programs.len());
+        if outer <= 1 {
+            return programs.iter().map(|p| Self::create_parallel(p, cfg, threads)).collect();
+        }
+        // Remaining parallelism goes to each benchmark's encode stage.
+        let inner = (threads / outer).max(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<LivePointLibrary, CoreError>>>> =
+            programs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..outer {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(program) = programs.get(i) else { break };
+                    let lib = Self::create_parallel(program, cfg, inner);
+                    *results[i].lock().expect("result lock") = Some(lib);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("result lock").expect("worker filled slot"))
+            .collect()
+    }
+}
+
+/// Run the sequential functional-warming walk over `windows`, handing
+/// each completed window's [`LivePoint`] to `sink` in window order.
+/// Stops early when the benchmark halts before the remaining windows.
+fn walk_windows(
+    program: &Program,
+    cfg: &CreationConfig,
+    windows: &[WindowSpec],
+    mut sink: impl FnMut(usize, LivePoint),
+) {
+    let mut warmers = CreationWarmers::new(cfg);
+    let mut emu = Emulator::new(program);
+    for (i, w) in windows.iter().enumerate() {
+        // Functional warming up to the window.
+        while emu.seq() < w.detail_start && !emu.is_halted() {
+            if let Some(di) = emu.step() {
+                warmers.observe(&di);
+            }
+        }
+        if emu.is_halted() {
+            break;
+        }
+        let payload = warmers.snapshot();
+        let mut collector = LiveStateCollector::begin(&emu);
+        let mut touched = TouchedState::default();
+        let hard_end = windows.get(i + 1).map(|next| next.detail_start).unwrap_or(u64::MAX);
+        let limit = (w.end() + cfg.read_slack).min(hard_end);
+        while emu.seq() < limit && !emu.is_halted() {
+            let Some(di) = emu.step() else { break };
+            warmers.observe(&di);
+            if di.seq < w.end() && cfg.scope == StateScope::Restricted {
+                touched.observe(&di, &cfg.max_hierarchy);
+            }
+            if let Some((op, addr)) = di.mem {
+                collector.observe(op, addr, emu.memory().read_u64(addr));
+            }
+        }
+        let live_state = collector.finish();
+        let warm = match cfg.scope {
+            StateScope::Full => payload,
+            StateScope::Restricted => restrict_payload(payload, &touched, cfg),
+        };
+        sink(
+            i,
+            LivePoint {
+                benchmark: program.name().to_owned(),
+                window: *w,
+                scope: cfg.scope,
+                live_state,
+                warm,
+                max_hierarchy: cfg.max_hierarchy,
+            },
+        );
+    }
+}
+
+/// Pipelined creation: the warming walk runs on the calling thread,
+/// feeding snapshots through a channel to `threads` encode/compress
+/// workers. Indexed result slots preserve record order, so the output is
+/// byte-identical to the serial pass.
+fn encode_pipelined(
+    program: &Program,
+    cfg: &CreationConfig,
+    windows: &[WindowSpec],
+    threads: usize,
+) -> Vec<Vec<u8>> {
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, LivePoint)>();
+    let rx = Mutex::new(rx);
+    let slots: Vec<Mutex<Option<Vec<u8>>>> = windows.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Take the receiver lock only to pull the next job;
+                // encoding runs unlocked.
+                let job = rx.lock().expect("receiver lock").recv();
+                let Ok((i, lp)) = job else { break };
+                let bytes = lzss::compress(&encode_livepoint(&lp));
+                *slots[i].lock().expect("slot lock") = Some(bytes);
+            });
+        }
+        walk_windows(program, cfg, windows, |i, lp| {
+            tx.send((i, lp)).expect("encode workers outlive the walk");
+        });
+        drop(tx);
+    });
+    // The walk may halt early; completed records are a prefix.
+    slots.into_iter().map_while(|slot| slot.into_inner().expect("slot lock")).collect()
 }
 
 /// Iterator over a library's decoded live-points; created by
@@ -446,10 +582,7 @@ mod tests {
         assert_eq!(back.benchmark(), lib.benchmark());
         assert_eq!(back.len(), lib.len());
         assert_eq!(back.max_hierarchy(), lib.max_hierarchy());
-        assert_eq!(
-            back.get(3).unwrap().window,
-            lib.get(3).unwrap().window
-        );
+        assert_eq!(back.get(3).unwrap().window, lib.get(3).unwrap().window);
     }
 
     #[test]
@@ -467,11 +600,8 @@ mod tests {
     fn restricted_is_smaller_than_full() {
         let p = tiny().build();
         let full = LivePointLibrary::create(&p, &small_cfg()).unwrap();
-        let restricted = LivePointLibrary::create(
-            &p,
-            &small_cfg().with_scope(StateScope::Restricted),
-        )
-        .unwrap();
+        let restricted =
+            LivePointLibrary::create(&p, &small_cfg().with_scope(StateScope::Restricted)).unwrap();
         assert!(
             restricted.total_compressed_bytes() < full.total_compressed_bytes(),
             "restricted {} vs full {}",
@@ -479,6 +609,33 @@ mod tests {
             full.total_compressed_bytes()
         );
         assert_eq!(restricted.scope(), StateScope::Restricted);
+    }
+
+    #[test]
+    fn pipelined_creation_is_byte_identical() {
+        let p = tiny().build();
+        let cfg = small_cfg();
+        let serial = LivePointLibrary::create_parallel(&p, &cfg, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let piped = LivePointLibrary::create_parallel(&p, &cfg, threads).unwrap();
+            assert_eq!(
+                serial.to_bytes(),
+                piped.to_bytes(),
+                "pipelined creation with {threads} workers must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn create_all_matches_individual_creation() {
+        let programs = vec![tiny().build(), tiny().scaled(2).build()];
+        let cfg = small_cfg();
+        let batch = LivePointLibrary::create_all(&programs, &cfg, 4).unwrap();
+        assert_eq!(batch.len(), 2);
+        for (program, lib) in programs.iter().zip(&batch) {
+            let solo = LivePointLibrary::create(program, &cfg).unwrap();
+            assert_eq!(lib.to_bytes(), solo.to_bytes());
+        }
     }
 
     #[test]
@@ -508,10 +665,7 @@ mod tests {
     fn out_of_range_get() {
         let p = tiny().build();
         let lib = LivePointLibrary::create(&p, &small_cfg()).unwrap();
-        assert!(matches!(
-            lib.get(99_999),
-            Err(CoreError::IndexOutOfRange { .. })
-        ));
+        assert!(matches!(lib.get(99_999), Err(CoreError::IndexOutOfRange { .. })));
     }
 
     #[test]

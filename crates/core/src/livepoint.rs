@@ -143,12 +143,7 @@ pub struct SizeBreakdown {
 impl SizeBreakdown {
     /// Total uncompressed live-point size.
     pub fn total(&self) -> u64 {
-        self.regs_tlb
-            + self.bpred
-            + self.l1i_tags
-            + self.l1d_tags
-            + self.l2_tags
-            + self.memory_data
+        self.regs_tlb + self.bpred + self.l1i_tags + self.l1d_tags + self.l2_tags + self.memory_data
     }
 }
 

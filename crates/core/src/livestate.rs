@@ -160,10 +160,7 @@ mod tests {
         let data = 0x1000_0000u64;
         assert!(addrs.contains(&data), "word read first must be stored");
         assert!(addrs.contains(&(data + 16)), "word only read must be stored");
-        assert!(
-            !addrs.contains(&(data + 8)),
-            "word written before its read needs no stored value"
-        );
+        assert!(!addrs.contains(&(data + 8)), "word written before its read needs no stored value");
         // Values are the pre-window contents.
         let v0 = ls.memory.iter().find(|&&(a, _)| a == data).unwrap().1;
         assert_eq!(v0, 100);

@@ -1,13 +1,15 @@
 //! Matched-pair comparative experiments over a live-point library
 //! (paper §6.2).
 
+use std::sync::atomic::Ordering;
+
 use spectral_isa::Program;
 use spectral_stats::{MatchedPair, MIN_SAMPLE_SIZE};
 use spectral_uarch::MachineConfig;
 
 use crate::error::CoreError;
 use crate::library::LivePointLibrary;
-use crate::runner::{simulate_live_point, RunPolicy};
+use crate::runner::{simulate_live_point, RunPolicy, ShardCoordinator};
 
 /// Result of a matched-pair comparison between two machines.
 #[derive(Debug, Clone)]
@@ -76,7 +78,11 @@ pub struct MatchedRunner<'l> {
 impl<'l> MatchedRunner<'l> {
     /// Create a matched runner; both machines must be within the
     /// library's bounds.
-    pub fn new(library: &'l LivePointLibrary, base: MachineConfig, experiment: MachineConfig) -> Self {
+    pub fn new(
+        library: &'l LivePointLibrary,
+        base: MachineConfig,
+        experiment: MachineConfig,
+    ) -> Self {
         MatchedRunner { library, base, experiment }
     }
 
@@ -105,8 +111,7 @@ impl<'l> MatchedRunner<'l> {
             let base_mean = pair.base().mean();
             if pair.count() >= MIN_SAMPLE_SIZE
                 && base_mean > 0.0
-                && pair.delta_half_width(policy.confidence)
-                    <= policy.target_rel_err * base_mean
+                && pair.delta_half_width(policy.confidence) <= policy.target_rel_err * base_mean
             {
                 reached = true;
                 break;
@@ -116,6 +121,106 @@ impl<'l> MatchedRunner<'l> {
             pair,
             confidence: policy.confidence,
             processed,
+            reached_target: reached,
+        })
+    }
+
+    /// Parallel matched-pair run on the sharded machinery of
+    /// [`OnlineRunner::run_parallel`](crate::OnlineRunner::run_parallel):
+    /// worker `w` owns the index stride `w, w+T, …`, simulates each
+    /// live-point under both machines, accumulates into a thread-local
+    /// [`MatchedPair`], and merges into the shared state every
+    /// [`RunPolicy::merge_stride`] pairs; the early-termination check
+    /// runs on the merged delta interval. The final outcome merges the
+    /// per-worker shards in worker order, so an exhaustive run is
+    /// deterministic run-to-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first worker fault; an empty library is
+    /// [`CoreError::EmptyLibrary`].
+    pub fn run_parallel(
+        &self,
+        program: &Program,
+        policy: &RunPolicy,
+        threads: usize,
+    ) -> Result<MatchedOutcome, CoreError> {
+        if self.library.is_empty() {
+            return Err(CoreError::EmptyLibrary);
+        }
+        let limit = policy.max_points.unwrap_or(usize::MAX).min(self.library.len());
+        let threads = threads.clamp(1, limit);
+        let merge_stride = policy.merge_stride.max(1) as u64;
+        let coord: ShardCoordinator<MatchedPair> = ShardCoordinator::new();
+
+        let flush = |batch: &mut MatchedPair| {
+            let snapshot = {
+                let mut merged = coord.progress.lock().expect("progress lock");
+                merged.merge(batch);
+                *merged
+            };
+            *batch = MatchedPair::new();
+            let base_mean = snapshot.base().mean();
+            if snapshot.count() >= MIN_SAMPLE_SIZE
+                && base_mean > 0.0
+                && snapshot.delta_half_width(policy.confidence) <= policy.target_rel_err * base_mean
+            {
+                coord.reached.store(true, Ordering::Relaxed);
+                coord.stop.store(true, Ordering::Relaxed);
+            }
+        };
+
+        let shards: Vec<MatchedPair> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for worker in 0..threads {
+                let coord = &coord;
+                let flush = &flush;
+                handles.push(scope.spawn(move || {
+                    let mut shard = MatchedPair::new();
+                    let mut batch = MatchedPair::new();
+                    let mut index = worker;
+                    while index < limit && !coord.stop.load(Ordering::Relaxed) {
+                        let outcome = self.library.get(index).and_then(|lp| {
+                            let base = simulate_live_point(&lp, program, &self.base)?;
+                            let exp = simulate_live_point(&lp, program, &self.experiment)?;
+                            Ok((base.cpi(), exp.cpi()))
+                        });
+                        match outcome {
+                            Ok((base, exp)) => {
+                                shard.push(base, exp);
+                                batch.push(base, exp);
+                                if batch.count() >= merge_stride {
+                                    flush(&mut batch);
+                                }
+                            }
+                            Err(e) => {
+                                coord.fail(e);
+                                break;
+                            }
+                        }
+                        index += threads;
+                    }
+                    if batch.count() > 0 {
+                        flush(&mut batch);
+                    }
+                    shard
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker threads do not panic")).collect()
+        });
+
+        let (_, reached, fault) = coord.sorted_trajectory();
+        if let Some(e) = fault {
+            return Err(e);
+        }
+        let mut pair = MatchedPair::new();
+        for shard in &shards {
+            pair.merge(shard);
+        }
+        Ok(MatchedOutcome {
+            pair,
+            confidence: policy.confidence,
+            processed: pair.count() as usize,
             reached_target: reached,
         })
     }
@@ -186,9 +291,8 @@ mod tests {
         let mut exp = MachineConfig::eight_way();
         exp.lat.l2 = 14;
         let runner = MatchedRunner::new(&lib, base, exp);
-        let out = runner
-            .run(&p, &RunPolicy { target_rel_err: 0.01, ..RunPolicy::default() })
-            .unwrap();
+        let out =
+            runner.run(&p, &RunPolicy { target_rel_err: 0.01, ..RunPolicy::default() }).unwrap();
         // The reduction factor vs an absolute estimate should exceed 1
         // for a uniform-effect change (the paper reports 3.5–150x).
         let f = out.reduction_factor(0.01);
@@ -200,9 +304,8 @@ mod tests {
         let (p, lib) = setup();
         let runner =
             MatchedRunner::new(&lib, MachineConfig::eight_way(), MachineConfig::sixteen_way());
-        let out = runner
-            .run(&p, &RunPolicy { max_points: Some(32), ..RunPolicy::default() })
-            .unwrap();
+        let out =
+            runner.run(&p, &RunPolicy { max_points: Some(32), ..RunPolicy::default() }).unwrap();
         assert!(out.processed() >= 30);
         // The 16-way machine should not be slower on average.
         assert!(out.relative_change() < 0.25, "relative change {}", out.relative_change());

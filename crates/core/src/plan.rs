@@ -3,9 +3,7 @@
 //! to determine an appropriate live-point library size", §6.3 / Fig 6).
 
 use spectral_isa::Program;
-use spectral_stats::{
-    required_sample_size, Confidence, SampleDesign, SystematicDesign,
-};
+use spectral_stats::{required_sample_size, Confidence, SampleDesign, SystematicDesign};
 use spectral_uarch::MachineConfig;
 use spectral_warming::smarts_run;
 
@@ -89,8 +87,7 @@ mod tests {
     fn plan_for_tiny_benchmark() {
         let p = tiny().build();
         let machine = MachineConfig::eight_way();
-        let plan =
-            plan_library(&p, &machine, 40, 0.03, Confidence::C99_7, 7).expect("plan");
+        let plan = plan_library(&p, &machine, 40, 0.03, Confidence::C99_7, 7).expect("plan");
         assert!(plan.pilot_cpi > 0.1);
         assert!(plan.cv >= 0.0);
         assert!(plan.required_points >= 30);

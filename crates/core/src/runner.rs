@@ -1,9 +1,9 @@
 //! Live-point simulation: single points, and the random-order online
 //! runner (serial and parallel).
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
 use spectral_isa::{Emulator, Program};
 use spectral_stats::{Confidence, OnlineEstimator, MIN_SAMPLE_SIZE};
 use spectral_uarch::{DetailedSim, MachineConfig, WindowStats};
@@ -12,9 +12,56 @@ use crate::error::CoreError;
 use crate::library::LivePointLibrary;
 use crate::livepoint::LivePoint;
 
-/// Shared parallel-run state: merged estimator, trajectory samples, and
-/// the reached-target flag.
-type SharedProgress = (OnlineEstimator, Vec<(u64, f64, f64)>, bool);
+/// Cross-worker coordination for sharded parallel runs: the merged
+/// progress estimator (early termination + trajectory), the trajectory
+/// samples recorded at merge points, the stop/reached flags, and the
+/// first worker fault.
+pub(crate) struct ShardCoordinator<P> {
+    pub progress: Mutex<P>,
+    pub trajectory: Mutex<Vec<(u64, f64, f64)>>,
+    pub stop: AtomicBool,
+    pub reached: AtomicBool,
+    pub fault: Mutex<Option<CoreError>>,
+}
+
+impl<P: Default> ShardCoordinator<P> {
+    pub fn new() -> Self {
+        Self::with_progress(P::default())
+    }
+}
+
+impl<P> ShardCoordinator<P> {
+    pub fn with_progress(progress: P) -> Self {
+        ShardCoordinator {
+            progress: Mutex::new(progress),
+            trajectory: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            reached: AtomicBool::new(false),
+            fault: Mutex::new(None),
+        }
+    }
+
+    /// Record a worker fault and halt all shards.
+    pub fn fail(&self, e: CoreError) {
+        let mut guard = self.fault.lock().expect("fault lock");
+        if guard.is_none() {
+            *guard = Some(e);
+        }
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Trajectory samples sorted by merged count, so the trajectory is
+    /// monotone in `n` regardless of worker completion order.
+    pub fn sorted_trajectory(self) -> (Vec<(u64, f64, f64)>, bool, Option<CoreError>) {
+        let mut trajectory = self.trajectory.into_inner().expect("trajectory lock");
+        trajectory.sort_by_key(|&(n, _, _)| n);
+        (
+            trajectory,
+            self.reached.load(Ordering::Relaxed),
+            self.fault.into_inner().expect("fault lock"),
+        )
+    }
+}
 
 /// Simulate one live-point under `machine`: reconstruct the warm
 /// hierarchy and predictor, install the live-state memory image, run
@@ -59,8 +106,16 @@ pub struct RunPolicy {
     /// Hard cap on processed live-points (`None` = whole library).
     pub max_points: Option<usize>,
     /// Record a trajectory sample every this many points (for
-    /// convergence plots; 0 disables the trajectory).
+    /// convergence plots; 0 disables the trajectory). Parallel runs
+    /// record the trajectory at shard-merge points instead (every
+    /// [`merge_stride`](Self::merge_stride) points per worker), keeping
+    /// it monotone in `n` without per-point synchronization.
     pub trajectory_stride: usize,
+    /// Parallel-run merge cadence K: each worker accumulates this many
+    /// points into a thread-local estimator before merging into the
+    /// shared state, so the global lock is taken once per K simulated
+    /// points instead of once per point.
+    pub merge_stride: usize,
 }
 
 impl Default for RunPolicy {
@@ -70,6 +125,7 @@ impl Default for RunPolicy {
             confidence: Confidence::C99_7,
             max_points: None,
             trajectory_stride: 10,
+            merge_stride: 8,
         }
     }
 }
@@ -85,6 +141,18 @@ pub struct Estimate {
 }
 
 impl Estimate {
+    /// Assemble an estimate from runner internals (used by the sweep
+    /// runner, which builds several estimates per pass).
+    pub(crate) fn from_parts(
+        estimator: OnlineEstimator,
+        confidence: Confidence,
+        processed: usize,
+        reached_target: bool,
+        trajectory: Vec<(u64, f64, f64)>,
+    ) -> Self {
+        Estimate { estimator, confidence, processed, reached_target, trajectory }
+    }
+
     /// Estimated CPI (mean over processed live-points).
     pub fn mean(&self) -> f64 {
         self.estimator.mean()
@@ -196,9 +264,15 @@ impl<'l> OnlineRunner<'l> {
     /// makes this embarrassingly parallel; parallelism up to the sample
     /// size, §6).
     ///
-    /// The estimate is order-insensitive: workers merge observations
-    /// into one shared estimator, and the early-termination check uses
-    /// the merged state.
+    /// Sharded, low-contention design: worker `w` owns the static index
+    /// stride `w, w+T, w+2T, …` and accumulates observations into a
+    /// thread-local [`OnlineEstimator`], merging into the shared
+    /// progress state only every [`RunPolicy::merge_stride`] points.
+    /// Half-width and trajectory computation happen *outside* the lock
+    /// on a copied snapshot; the early-termination check runs on the
+    /// merged state at each merge point. The final estimate merges the
+    /// per-worker shard estimators in worker order, so an exhaustive run
+    /// is deterministic run-to-run.
     ///
     /// # Errors
     ///
@@ -213,62 +287,58 @@ impl<'l> OnlineRunner<'l> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
-        let threads = threads.max(1);
         let limit = self.limit(policy);
-        let next = AtomicUsize::new(0);
-        let stop = AtomicBool::new(false);
-        let shared: Mutex<SharedProgress> =
-            Mutex::new((OnlineEstimator::new(), Vec::new(), false));
-        let fault: Mutex<Option<CoreError>> = Mutex::new(None);
+        let threads = threads.clamp(1, limit);
+        let merge_stride = policy.merge_stride.max(1) as u64;
+        let coord: ShardCoordinator<OnlineEstimator> = ShardCoordinator::new();
 
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= limit {
-                        break;
-                    }
-                    let outcome = self
-                        .library
-                        .get(i)
-                        .and_then(|lp| simulate_live_point(&lp, program, &self.machine));
-                    match outcome {
-                        Ok(stats) => {
-                            let mut guard = shared.lock();
-                            guard.0.push(stats.cpi());
-                            let n = guard.0.count();
-                            if policy.trajectory_stride > 0
-                                && n.is_multiple_of(policy.trajectory_stride as u64)
-                            {
-                                let mean = guard.0.mean();
-                                let hw = guard.0.half_width(policy.confidence);
-                                guard.1.push((n, mean, hw));
+        let shards: Vec<OnlineEstimator> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for worker in 0..threads {
+                let coord = &coord;
+                handles.push(scope.spawn(move || {
+                    let mut shard = OnlineEstimator::new();
+                    let mut batch = OnlineEstimator::new();
+                    let mut index = worker;
+                    while index < limit && !coord.stop.load(Ordering::Relaxed) {
+                        let outcome = self
+                            .library
+                            .get(index)
+                            .and_then(|lp| simulate_live_point(&lp, program, &self.machine));
+                        match outcome {
+                            Ok(stats) => {
+                                shard.push(stats.cpi());
+                                batch.push(stats.cpi());
+                                if batch.count() >= merge_stride {
+                                    self.flush_batch(&mut batch, policy, coord);
+                                }
                             }
-                            if n >= MIN_SAMPLE_SIZE
-                                && guard.0.relative_half_width(policy.confidence)
-                                    <= policy.target_rel_err
-                            {
-                                guard.2 = true;
-                                stop.store(true, Ordering::Relaxed);
+                            Err(e) => {
+                                coord.fail(e);
+                                break;
                             }
                         }
-                        Err(e) => {
-                            *fault.lock() = Some(e);
-                            stop.store(true, Ordering::Relaxed);
-                        }
+                        index += threads;
                     }
-                });
+                    if batch.count() > 0 {
+                        self.flush_batch(&mut batch, policy, coord);
+                    }
+                    shard
+                }));
             }
-        })
-        .expect("worker threads do not panic");
+            handles.into_iter().map(|h| h.join().expect("worker threads do not panic")).collect()
+        });
 
-        if let Some(e) = fault.into_inner() {
+        let (trajectory, reached, fault) = coord.sorted_trajectory();
+        if let Some(e) = fault {
             return Err(e);
         }
-        let (estimator, trajectory, reached) = shared.into_inner();
+        // Deterministic final combine: worker order, not completion
+        // order.
+        let mut estimator = OnlineEstimator::new();
+        for shard in &shards {
+            estimator.merge(shard);
+        }
         Ok(Estimate {
             estimator,
             confidence: policy.confidence,
@@ -276,6 +346,34 @@ impl<'l> OnlineRunner<'l> {
             reached_target: reached,
             trajectory,
         })
+    }
+
+    /// Merge a worker's local batch into the shared progress estimator,
+    /// record a trajectory sample, and run the early-termination check —
+    /// everything but the merge itself on a lock-free snapshot.
+    fn flush_batch(
+        &self,
+        batch: &mut OnlineEstimator,
+        policy: &RunPolicy,
+        coord: &ShardCoordinator<OnlineEstimator>,
+    ) {
+        let snapshot = {
+            let mut merged = coord.progress.lock().expect("progress lock");
+            merged.merge(batch);
+            *merged
+        };
+        *batch = OnlineEstimator::new();
+        if policy.trajectory_stride > 0 {
+            let sample =
+                (snapshot.count(), snapshot.mean(), snapshot.half_width(policy.confidence));
+            coord.trajectory.lock().expect("trajectory lock").push(sample);
+        }
+        if snapshot.count() >= MIN_SAMPLE_SIZE
+            && snapshot.relative_half_width(policy.confidence) <= policy.target_rel_err
+        {
+            coord.reached.store(true, Ordering::Relaxed);
+            coord.stop.store(true, Ordering::Relaxed);
+        }
     }
 }
 
@@ -324,9 +422,8 @@ mod tests {
     fn online_run_produces_estimate() {
         let (p, lib) = setup();
         let runner = OnlineRunner::new(&lib, MachineConfig::eight_way());
-        let est = runner
-            .run(&p, &RunPolicy { target_rel_err: 0.5, ..RunPolicy::default() })
-            .unwrap();
+        let est =
+            runner.run(&p, &RunPolicy { target_rel_err: 0.5, ..RunPolicy::default() }).unwrap();
         assert!(est.processed() >= MIN_SAMPLE_SIZE as usize);
         assert!(est.mean() > 0.0);
         assert!(est.reached_target(), "a 50% target should be reached quickly");
@@ -336,9 +433,8 @@ mod tests {
     fn exhausting_library_reports_not_reached() {
         let (p, lib) = setup();
         let runner = OnlineRunner::new(&lib, MachineConfig::eight_way());
-        let est = runner
-            .run(&p, &RunPolicy { target_rel_err: 1e-9, ..RunPolicy::default() })
-            .unwrap();
+        let est =
+            runner.run(&p, &RunPolicy { target_rel_err: 1e-9, ..RunPolicy::default() }).unwrap();
         assert_eq!(est.processed(), lib.len());
         assert!(!est.reached_target());
     }
@@ -347,38 +443,54 @@ mod tests {
     fn parallel_matches_serial_when_exhaustive() {
         let (p, lib) = setup();
         let runner = OnlineRunner::new(&lib, MachineConfig::eight_way());
-        let policy = RunPolicy { target_rel_err: 1e-9, trajectory_stride: 0, ..RunPolicy::default() };
+        let policy =
+            RunPolicy { target_rel_err: 1e-9, trajectory_stride: 5, ..RunPolicy::default() };
         let serial = runner.run(&p, &policy).unwrap();
         let parallel = runner.run_parallel(&p, &policy, 4).unwrap();
         assert_eq!(serial.processed(), parallel.processed());
-        // Worker interleaving reorders the floating-point summation;
-        // means agree up to that rounding, not bit-exactly.
+        // Shard merging reorders the floating-point summation; means and
+        // variances agree up to that rounding, not bit-exactly.
         assert!(
-            (serial.mean() - parallel.mean()).abs() / serial.mean() < 1e-6,
+            (serial.mean() - parallel.mean()).abs() / serial.mean() < 1e-9,
             "serial {} vs parallel {}",
             serial.mean(),
             parallel.mean()
         );
+        assert!(
+            (serial.estimator().variance() - parallel.estimator().variance()).abs()
+                / serial.estimator().variance().max(f64::MIN_POSITIVE)
+                < 1e-6,
+            "serial var {} vs parallel var {}",
+            serial.estimator().variance(),
+            parallel.estimator().variance()
+        );
+        // Trajectory samples are recorded at merge points and sorted, so
+        // `n` must be strictly increasing.
+        assert!(!parallel.trajectory().is_empty());
+        assert!(
+            parallel.trajectory().windows(2).all(|w| w[0].0 < w[1].0),
+            "trajectory must be monotone in n: {:?}",
+            parallel.trajectory()
+        );
+        // Static shards + ordered final merge: exhaustive parallel runs
+        // are deterministic run-to-run.
+        let again = runner.run_parallel(&p, &policy, 4).unwrap();
+        assert_eq!(parallel.mean(), again.mean());
+        assert_eq!(parallel.estimator().variance(), again.estimator().variance());
     }
 
     #[test]
     fn trajectory_converges() {
         let (p, lib) = setup();
         let runner = OnlineRunner::new(&lib, MachineConfig::eight_way());
-        let policy = RunPolicy {
-            target_rel_err: 1e-9,
-            trajectory_stride: 5,
-            ..RunPolicy::default()
-        };
+        let policy =
+            RunPolicy { target_rel_err: 1e-9, trajectory_stride: 5, ..RunPolicy::default() };
         let est = runner.run(&p, &policy).unwrap();
         let traj = est.trajectory();
         assert!(traj.len() >= 3);
         // Half-widths should broadly shrink as n grows.
         let first_hw = traj[1].2; // skip the n=5 noise point
         let last_hw = traj.last().unwrap().2;
-        assert!(
-            last_hw <= first_hw,
-            "confidence should tighten: first {first_hw}, last {last_hw}"
-        );
+        assert!(last_hw <= first_hw, "confidence should tighten: first {first_hw}, last {last_hw}");
     }
 }

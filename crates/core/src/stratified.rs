@@ -89,7 +89,11 @@ impl<'l> StratifiedRunner<'l> {
     ///
     /// Propagates decode/simulation faults; an empty library is
     /// [`CoreError::EmptyLibrary`].
-    pub fn run(&self, program: &Program, policy: &RunPolicy) -> Result<StratifiedEstimate, CoreError> {
+    pub fn run(
+        &self,
+        program: &Program,
+        policy: &RunPolicy,
+    ) -> Result<StratifiedEstimate, CoreError> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
@@ -134,8 +138,7 @@ mod tests {
 
     fn setup() -> (Program, LivePointLibrary) {
         let p = tiny().build();
-        let mut cfg = CreationConfig::for_machine(&MachineConfig::eight_way())
-            .with_sample_size(60);
+        let mut cfg = CreationConfig::for_machine(&MachineConfig::eight_way()).with_sample_size(60);
         cfg.unit_len = 500;
         cfg.warm_len = 1000;
         let lib = LivePointLibrary::create(&p, &cfg).unwrap();
@@ -145,13 +148,11 @@ mod tests {
     #[test]
     fn stratified_estimate_matches_uniform_mean() {
         let (p, lib) = setup();
-        let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
-        let uniform = OnlineRunner::new(&lib, MachineConfig::eight_way())
-            .run(&p, &policy)
-            .unwrap();
-        let strat = StratifiedRunner::new(&lib, MachineConfig::eight_way(), 4)
-            .run(&p, &policy)
-            .unwrap();
+        let policy =
+            RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
+        let uniform = OnlineRunner::new(&lib, MachineConfig::eight_way()).run(&p, &policy).unwrap();
+        let strat =
+            StratifiedRunner::new(&lib, MachineConfig::eight_way(), 4).run(&p, &policy).unwrap();
         // Equal-weight position strata with systematic sampling put
         // nearly equal counts in each band, so the means agree closely.
         let rel = (uniform.mean() - strat.mean()).abs() / uniform.mean();
@@ -164,13 +165,11 @@ mod tests {
         // tiny() is phased: position strata should capture the phase
         // structure and tighten (or at least match) the interval.
         let (p, lib) = setup();
-        let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
-        let uniform = OnlineRunner::new(&lib, MachineConfig::eight_way())
-            .run(&p, &policy)
-            .unwrap();
-        let strat = StratifiedRunner::new(&lib, MachineConfig::eight_way(), 4)
-            .run(&p, &policy)
-            .unwrap();
+        let policy =
+            RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
+        let uniform = OnlineRunner::new(&lib, MachineConfig::eight_way()).run(&p, &policy).unwrap();
+        let strat =
+            StratifiedRunner::new(&lib, MachineConfig::eight_way(), 4).run(&p, &policy).unwrap();
         assert!(
             strat.half_width() <= uniform.half_width() * 1.10,
             "stratified CI {} should not exceed uniform CI {} meaningfully",

@@ -1,0 +1,418 @@
+//! Decode-once design-space sweeps: simulate each live-point under many
+//! machine configurations per decode.
+//!
+//! The paper charts decompress + DER decode as the per-point
+//! "checkpoint processing" cost (Fig 8); a design-space study that runs
+//! one [`OnlineRunner`](crate::OnlineRunner) per candidate pays that
+//! cost once *per configuration*. [`SweepRunner`] pays it once per
+//! point: every decoded live-point is simulated under all N candidate
+//! machines before the next record is touched, so the decode cost is
+//! amortized N ways and — because every configuration sees exactly the
+//! same points — the per-config estimates are matched-pair-comparable
+//! by construction (§6.2).
+
+use std::sync::atomic::Ordering;
+
+use spectral_isa::Program;
+use spectral_stats::{MatchedPair, OnlineEstimator, MIN_SAMPLE_SIZE};
+use spectral_uarch::MachineConfig;
+
+use crate::error::CoreError;
+use crate::library::LivePointLibrary;
+use crate::runner::{simulate_live_point, Estimate, RunPolicy, ShardCoordinator};
+
+/// Accumulated sweep state: one estimator per configuration, one
+/// matched pair per non-baseline configuration (vs configuration 0),
+/// and per-config trajectories.
+#[derive(Debug, Clone)]
+struct SweepProgress {
+    estimators: Vec<OnlineEstimator>,
+    pairs: Vec<MatchedPair>,
+    trajectories: Vec<Vec<(u64, f64, f64)>>,
+}
+
+impl SweepProgress {
+    fn new(configs: usize) -> Self {
+        SweepProgress {
+            estimators: vec![OnlineEstimator::new(); configs],
+            pairs: vec![MatchedPair::new(); configs.saturating_sub(1)],
+            trajectories: vec![Vec::new(); configs],
+        }
+    }
+
+    /// Record one live-point's CPI under every configuration.
+    fn push(&mut self, cpis: &[f64]) {
+        for (est, &cpi) in self.estimators.iter_mut().zip(cpis) {
+            est.push(cpi);
+        }
+        for (pair, &cpi) in self.pairs.iter_mut().zip(&cpis[1..]) {
+            pair.push(cpis[0], cpi);
+        }
+    }
+
+    /// Merge another partial (parallel shards); trajectories are not
+    /// merged — the shared progress copy owns them.
+    fn merge(&mut self, other: &SweepProgress) {
+        for (est, o) in self.estimators.iter_mut().zip(&other.estimators) {
+            est.merge(o);
+        }
+        for (pair, o) in self.pairs.iter_mut().zip(&other.pairs) {
+            pair.merge(o);
+        }
+    }
+
+    fn record_trajectory(&mut self, policy: &RunPolicy) {
+        for (est, traj) in self.estimators.iter().zip(self.trajectories.iter_mut()) {
+            traj.push((est.count(), est.mean(), est.half_width(policy.confidence)));
+        }
+    }
+
+    /// Whether every configuration's interval meets the policy target.
+    fn all_reached(&self, policy: &RunPolicy) -> bool {
+        self.estimators.iter().all(|est| {
+            est.count() >= MIN_SAMPLE_SIZE
+                && est.relative_half_width(policy.confidence) <= policy.target_rel_err
+        })
+    }
+}
+
+/// Result of a design-space sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    estimates: Vec<Estimate>,
+    pairs: Vec<MatchedPair>,
+    confidence: spectral_stats::Confidence,
+    processed: usize,
+    reached_target: bool,
+}
+
+impl SweepOutcome {
+    /// Per-configuration estimates, in the order the configurations were
+    /// given.
+    pub fn estimates(&self) -> &[Estimate] {
+        &self.estimates
+    }
+
+    /// The estimate for configuration `index`.
+    pub fn estimate(&self, index: usize) -> &Estimate {
+        &self.estimates[index]
+    }
+
+    /// Matched-pair comparison of configuration `index` (≥ 1) against
+    /// the baseline (configuration 0) — exact pairing, because the sweep
+    /// runs every configuration on the same points.
+    pub fn pair_vs_baseline(&self, index: usize) -> Option<&MatchedPair> {
+        index.checked_sub(1).and_then(|i| self.pairs.get(i))
+    }
+
+    /// Whether configuration `index`'s CPI change vs the baseline is
+    /// statistically distinguishable from zero.
+    pub fn significant_vs_baseline(&self, index: usize) -> bool {
+        self.pair_vs_baseline(index).is_some_and(|p| p.significant(self.confidence))
+    }
+
+    /// Live-points processed (each decoded once and simulated under
+    /// every configuration).
+    pub fn processed(&self) -> usize {
+        self.processed
+    }
+
+    /// Whether every configuration reached the confidence target before
+    /// the library (or the cap) was exhausted.
+    pub fn reached_target(&self) -> bool {
+        self.reached_target
+    }
+}
+
+/// Decode-once design-space runner: processes the (shuffled) library in
+/// order, simulating each decoded live-point under every candidate
+/// machine before moving on.
+#[derive(Debug)]
+pub struct SweepRunner<'l> {
+    library: &'l LivePointLibrary,
+    machines: Vec<MachineConfig>,
+}
+
+impl<'l> SweepRunner<'l> {
+    /// Create a sweep over `machines` (configuration 0 is the baseline
+    /// for matched-pair comparisons). All machines must be within the
+    /// library's creation bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `machines` is empty.
+    pub fn new(library: &'l LivePointLibrary, machines: Vec<MachineConfig>) -> Self {
+        assert!(!machines.is_empty(), "a sweep needs at least one machine");
+        SweepRunner { library, machines }
+    }
+
+    /// The candidate machine configurations.
+    pub fn machines(&self) -> &[MachineConfig] {
+        &self.machines
+    }
+
+    fn limit(&self, policy: &RunPolicy) -> usize {
+        policy.max_points.unwrap_or(usize::MAX).min(self.library.len())
+    }
+
+    /// Simulate one decoded live-point under every configuration.
+    fn measure_point(&self, index: usize, program: &Program) -> Result<Vec<f64>, CoreError> {
+        let lp = self.library.get(index)?; // the one decode
+        self.machines
+            .iter()
+            .map(|m| simulate_live_point(&lp, program, m).map(|stats| stats.cpi()))
+            .collect()
+    }
+
+    fn outcome(&self, progress: SweepProgress, policy: &RunPolicy, reached: bool) -> SweepOutcome {
+        let processed = progress.estimators[0].count() as usize;
+        let estimates = progress
+            .estimators
+            .into_iter()
+            .zip(progress.trajectories)
+            .map(|(est, traj)| {
+                let conf_reached = est.count() >= MIN_SAMPLE_SIZE
+                    && est.relative_half_width(policy.confidence) <= policy.target_rel_err;
+                Estimate::from_parts(
+                    est,
+                    policy.confidence,
+                    est.count() as usize,
+                    conf_reached,
+                    traj,
+                )
+            })
+            .collect();
+        SweepOutcome {
+            estimates,
+            pairs: progress.pairs,
+            confidence: policy.confidence,
+            processed,
+            reached_target: reached,
+        }
+    }
+
+    /// Serial sweep: runs until every configuration's interval meets the
+    /// policy target, the cap is hit, or the library is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode and simulation faults; an empty library is
+    /// [`CoreError::EmptyLibrary`].
+    pub fn run(&self, program: &Program, policy: &RunPolicy) -> Result<SweepOutcome, CoreError> {
+        if self.library.is_empty() {
+            return Err(CoreError::EmptyLibrary);
+        }
+        let limit = self.limit(policy);
+        let mut progress = SweepProgress::new(self.machines.len());
+        let mut reached = false;
+        for i in 0..limit {
+            let cpis = self.measure_point(i, program)?;
+            progress.push(&cpis);
+            let n = progress.estimators[0].count();
+            if policy.trajectory_stride > 0 && n.is_multiple_of(policy.trajectory_stride as u64) {
+                progress.record_trajectory(policy);
+            }
+            if progress.all_reached(policy) {
+                reached = true;
+                break;
+            }
+        }
+        Ok(self.outcome(progress, policy, reached))
+    }
+
+    /// Sharded parallel sweep on the same machinery as
+    /// [`OnlineRunner::run_parallel`](crate::OnlineRunner::run_parallel):
+    /// worker `w` owns the index stride `w, w+T, …`, decodes each of its
+    /// points once, simulates all configurations, and merges
+    /// thread-local partials into the shared state every
+    /// [`RunPolicy::merge_stride`] points; termination requires every
+    /// configuration to meet the target on the merged state. The final
+    /// outcome merges per-worker shards in worker order, so an
+    /// exhaustive run is deterministic run-to-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first worker fault; an empty library is
+    /// [`CoreError::EmptyLibrary`].
+    pub fn run_parallel(
+        &self,
+        program: &Program,
+        policy: &RunPolicy,
+        threads: usize,
+    ) -> Result<SweepOutcome, CoreError> {
+        if self.library.is_empty() {
+            return Err(CoreError::EmptyLibrary);
+        }
+        let limit = self.limit(policy);
+        let threads = threads.clamp(1, limit);
+        let merge_stride = policy.merge_stride.max(1) as u64;
+        let configs = self.machines.len();
+        let coord: ShardCoordinator<SweepProgress> =
+            ShardCoordinator::with_progress(SweepProgress::new(configs));
+
+        let flush = |batch: &mut SweepProgress| {
+            let mut merged = coord.progress.lock().expect("progress lock");
+            merged.merge(batch);
+            if policy.trajectory_stride > 0 {
+                merged.record_trajectory(policy);
+            }
+            let done = merged.all_reached(policy);
+            drop(merged);
+            *batch = SweepProgress::new(configs);
+            if done {
+                coord.reached.store(true, Ordering::Relaxed);
+                coord.stop.store(true, Ordering::Relaxed);
+            }
+        };
+
+        let shards: Vec<SweepProgress> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for worker in 0..threads {
+                let coord = &coord;
+                let flush = &flush;
+                handles.push(scope.spawn(move || {
+                    let mut shard = SweepProgress::new(configs);
+                    let mut batch = SweepProgress::new(configs);
+                    let mut index = worker;
+                    while index < limit && !coord.stop.load(Ordering::Relaxed) {
+                        match self.measure_point(index, program) {
+                            Ok(cpis) => {
+                                shard.push(&cpis);
+                                batch.push(&cpis);
+                                if batch.estimators[0].count() >= merge_stride {
+                                    flush(&mut batch);
+                                }
+                            }
+                            Err(e) => {
+                                coord.fail(e);
+                                break;
+                            }
+                        }
+                        index += threads;
+                    }
+                    if batch.estimators[0].count() > 0 {
+                        flush(&mut batch);
+                    }
+                    shard
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker threads do not panic")).collect()
+        });
+
+        let shared = coord.progress.lock().expect("progress lock").trajectories.clone();
+        let (_, reached, fault) = coord.sorted_trajectory();
+        if let Some(e) = fault {
+            return Err(e);
+        }
+        // Deterministic final combine: worker order, not completion
+        // order; trajectories come from the shared merge history.
+        let mut progress = SweepProgress::new(configs);
+        for shard in &shards {
+            progress.merge(shard);
+        }
+        progress.trajectories = shared;
+        Ok(self.outcome(progress, policy, reached))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::creation::CreationConfig;
+    use crate::runner::OnlineRunner;
+    use spectral_workloads::tiny;
+
+    fn setup() -> (Program, LivePointLibrary) {
+        let p = tiny().build();
+        let cfg = CreationConfig::for_machine(&spectral_uarch::MachineConfig::eight_way())
+            .with_sample_size(35);
+        let lib = LivePointLibrary::create(&p, &cfg).unwrap();
+        (p, lib)
+    }
+
+    fn candidates() -> Vec<MachineConfig> {
+        let base = MachineConfig::eight_way();
+        let slow_l2 = {
+            let mut m = base.clone();
+            m.lat.l2 = 16;
+            m
+        };
+        vec![base, slow_l2, MachineConfig::eight_way().with_mem_latency(200)]
+    }
+
+    fn exhaustive() -> RunPolicy {
+        RunPolicy { target_rel_err: 1e-12, ..RunPolicy::default() }
+    }
+
+    #[test]
+    fn sweep_matches_independent_online_runs() {
+        let (p, lib) = setup();
+        let machines = candidates();
+        let sweep = SweepRunner::new(&lib, machines.clone()).run(&p, &exhaustive()).unwrap();
+        assert_eq!(sweep.processed(), lib.len());
+        assert!(!sweep.reached_target());
+        for (j, machine) in machines.iter().enumerate() {
+            let solo = OnlineRunner::new(&lib, machine.clone()).run(&p, &exhaustive()).unwrap();
+            // Same points in the same order: estimators agree exactly.
+            assert_eq!(sweep.estimate(j).estimator(), solo.estimator(), "config {j}");
+        }
+    }
+
+    #[test]
+    fn sweep_pairs_match_matched_runner() {
+        let (p, lib) = setup();
+        let machines = candidates();
+        let sweep = SweepRunner::new(&lib, machines.clone()).run(&p, &exhaustive()).unwrap();
+        let mp = crate::MatchedRunner::new(&lib, machines[0].clone(), machines[2].clone())
+            .run(&p, &exhaustive())
+            .unwrap();
+        let pair = sweep.pair_vs_baseline(2).unwrap();
+        assert_eq!(pair.count(), mp.pair().count());
+        assert_eq!(pair.delta_mean(), mp.pair().delta_mean());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let (p, lib) = setup();
+        let machines = candidates();
+        let serial = SweepRunner::new(&lib, machines.clone()).run(&p, &exhaustive()).unwrap();
+        let parallel = SweepRunner::new(&lib, machines).run_parallel(&p, &exhaustive(), 4).unwrap();
+        assert_eq!(serial.processed(), parallel.processed());
+        for j in 0..serial.estimates().len() {
+            let (s, q) = (serial.estimate(j), parallel.estimate(j));
+            assert!(
+                (s.mean() - q.mean()).abs() / s.mean() < 1e-9,
+                "config {j}: serial {} vs parallel {}",
+                s.mean(),
+                q.mean()
+            );
+        }
+        // Matched pairs see identical point sets in both modes.
+        for j in 1..serial.estimates().len() {
+            let (s, q) =
+                (serial.pair_vs_baseline(j).unwrap(), parallel.pair_vs_baseline(j).unwrap());
+            assert_eq!(s.count(), q.count());
+            assert!((s.delta_mean() - q.delta_mean()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn early_termination_requires_all_configs() {
+        let (p, lib) = setup();
+        let out = SweepRunner::new(&lib, candidates())
+            .run(&p, &RunPolicy { target_rel_err: 0.5, ..RunPolicy::default() })
+            .unwrap();
+        assert!(out.reached_target(), "a 50% target should be reached quickly");
+        assert!(out.processed() >= MIN_SAMPLE_SIZE as usize);
+        for est in out.estimates() {
+            assert!(est.reached_target());
+        }
+    }
+
+    #[test]
+    fn empty_machine_list_panics() {
+        let (_, lib) = setup();
+        let result = std::panic::catch_unwind(|| SweepRunner::new(&lib, Vec::new()));
+        assert!(result.is_err());
+    }
+}

@@ -8,9 +8,7 @@
 //!    max-L1-filtered misses (default) vs the raw reference stream
 //!    (Barr-style) — checkpointed-warming bias under each.
 
-use spectral_core::{
-    CreationConfig, L2StreamPolicy, LivePointLibrary, OnlineRunner, RunPolicy,
-};
+use spectral_core::{CreationConfig, L2StreamPolicy, LivePointLibrary, OnlineRunner, RunPolicy};
 use spectral_experiments::{load_cases, print_table, Args};
 use spectral_stats::{SampleDesign, SystematicDesign};
 use spectral_uarch::MachineConfig;
@@ -29,6 +27,7 @@ fn main() {
     let machine = MachineConfig::eight_way();
     let design = SystematicDesign::paper_8way();
     let n_windows = args.window_count(100);
+    let threads = args.thread_count();
     let cases = load_cases(&args);
 
     println!("== Ablation 1: wrong-path modeling (complete detailed runs) ==\n");
@@ -61,10 +60,15 @@ fn main() {
         for l2_policy in [L2StreamPolicy::FilteredByMaxL1, L2StreamPolicy::Unfiltered] {
             let mut cfg = CreationConfig::for_machine(&machine);
             cfg.l2_policy = l2_policy;
-            let lib = LivePointLibrary::create_with_windows(&case.program, &cfg, &windows)
-                .expect("library creation");
+            let lib = LivePointLibrary::create_with_windows_parallel(
+                &case.program,
+                &cfg,
+                &windows,
+                threads,
+            )
+            .expect("library creation");
             let est = OnlineRunner::new(&lib, machine.clone())
-                .run(&case.program, &policy)
+                .run_parallel(&case.program, &policy, threads)
                 .expect("run");
             bias.push((est.mean() - smarts.cpi()).abs() / smarts.cpi() * 100.0);
         }
@@ -74,10 +78,7 @@ fn main() {
             format!("{:.3}%", bias[1]),
         ]);
     }
-    print_table(
-        &["benchmark", "filtered-by-max-L1 (default)", "unfiltered (Barr-style)"],
-        &rows,
-    );
+    print_table(&["benchmark", "filtered-by-max-L1 (default)", "unfiltered (Barr-style)"], &rows);
     println!("bias vs full warming on identical windows; the filtered default is exact when");
     println!("the simulated L1s equal the library maxima (DESIGN.md decision #6).");
 }

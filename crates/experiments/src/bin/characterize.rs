@@ -3,9 +3,9 @@
 //! miss rates, memory footprint, and per-window CPI variability — the
 //! quantity that determines each benchmark's required sample size).
 
-use spectral_experiments::{fmt_bytes, load_cases, print_table, Args};
+use spectral_experiments::{fmt_bytes, load_cases, par_map, print_table, Args};
 use spectral_isa::Emulator;
-use spectral_stats::{Confidence, required_sample_size, SampleDesign, SystematicDesign};
+use spectral_stats::{required_sample_size, Confidence, SampleDesign, SystematicDesign};
 use spectral_uarch::MachineConfig;
 use spectral_warming::{complete_detailed, smarts_run};
 
@@ -17,8 +17,8 @@ fn main() {
     let cases = load_cases(&args);
 
     println!("== Synthetic suite characterization (8-way baseline) ==\n");
-    let mut rows = Vec::new();
-    for case in &cases {
+    // Benchmarks are independent: characterize them in parallel.
+    let rows = par_map(&cases, args.thread_count(), |case| {
         let stats = complete_detailed(&machine, &case.program);
         // Footprint from a functional pass.
         let mut emu = Emulator::new(&case.program);
@@ -30,7 +30,7 @@ fn main() {
         let cv = sampled.estimator.coefficient_of_variation();
         let needed = required_sample_size(cv, 0.03, Confidence::C99_7);
 
-        rows.push(vec![
+        vec![
             case.name().to_owned(),
             format!("{:.1}M", case.len as f64 / 1e6),
             format!("{:.3}", stats.cpi()),
@@ -44,12 +44,19 @@ fn main() {
             fmt_bytes(footprint),
             format!("{cv:.2}"),
             needed.to_string(),
-        ]);
-    }
+        ]
+    });
     print_table(
         &[
-            "benchmark", "length", "CPI", "mispred/kinst", "L1D miss*", "L2 miss",
-            "footprint", "window CV", "n for ±3%",
+            "benchmark",
+            "length",
+            "CPI",
+            "mispred/kinst",
+            "L1D miss*",
+            "L2 miss",
+            "footprint",
+            "window CV",
+            "n for ±3%",
         ],
         &rows,
     );

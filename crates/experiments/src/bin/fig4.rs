@@ -7,7 +7,7 @@
 //! worse than full warming, with a heavy tail on phase-heavy benchmarks,
 //! and the unstitched variant is worse still.
 
-use spectral_experiments::{load_cases, print_table, Args};
+use spectral_experiments::{load_cases, par_map, print_table, Args};
 use spectral_stats::{SampleDesign, SystematicDesign};
 use spectral_uarch::MachineConfig;
 use spectral_warming::{adaptive_run, mrrl_analyze, smarts_run};
@@ -27,24 +27,27 @@ fn main() {
     let cases = load_cases(&args);
 
     println!("== Figure 4: AW-MRRL additional CPI bias vs full warming (8-way) ==");
-    println!(
-        "benchmarks={} windows/sample={} samples={}\n",
-        cases.len(),
-        n_windows,
-        seeds
-    );
+    println!("benchmarks={} windows/sample={} samples={}\n", cases.len(), n_windows, seeds);
 
-    let mut rows: Vec<(String, f64, f64)> = Vec::new(); // (name, stitched@99.9, unstitched@99.9)
-    let mut cheap_rows: Vec<f64> = Vec::new(); // stitched @ 95%
-    let mut half_rows: Vec<f64> = Vec::new(); // stitched @ 50%
-    let mut warm_fraction = 0.0;
-    let mut warm_fraction_cheap = 0.0;
-    let mut warm_fraction_half = 0.0;
-    for case in &cases {
+    // Per-case bias runs are independent: fan out over benchmarks.
+    struct CaseResult {
+        name: String,
+        st: f64,
+        un: f64,
+        ch: f64,
+        hf: f64,
+        warm: f64,
+        warm_cheap: f64,
+        warm_half: f64,
+    }
+    let results = par_map(&cases, args.thread_count(), |case| {
         let mut st_acc = 0.0;
         let mut un_acc = 0.0;
         let mut cheap_acc = 0.0;
         let mut half_acc = 0.0;
+        let mut warm = 0.0;
+        let mut warm_cheap = 0.0;
+        let mut warm_half = 0.0;
         for seed in 0..seeds {
             let windows = design.windows(case.len, n_windows, 1000 + seed);
             let full = smarts_run(&machine, &case.program, &windows);
@@ -53,30 +56,48 @@ fn main() {
             let un = adaptive_run(&machine, &case.program, &windows, &analysis, false);
             st_acc += (st.sampled.cpi() - full.cpi()).abs() / full.cpi();
             un_acc += (un.sampled.cpi() - full.cpi()).abs() / full.cpi();
-            warm_fraction += st.sampled.warming_insts as f64
+            warm += st.sampled.warming_insts as f64
                 / (st.sampled.warming_insts + st.sampled.skipped_insts) as f64;
             let cheap = mrrl_analyze(&case.program, &windows, 32, REUSE_POINTS[1]);
             let stc = adaptive_run(&machine, &case.program, &windows, &cheap, true);
             cheap_acc += (stc.sampled.cpi() - full.cpi()).abs() / full.cpi();
-            warm_fraction_cheap += stc.sampled.warming_insts as f64
+            warm_cheap += stc.sampled.warming_insts as f64
                 / (stc.sampled.warming_insts + stc.sampled.skipped_insts) as f64;
             let half = mrrl_analyze(&case.program, &windows, 32, REUSE_POINTS[2]);
             let sth = adaptive_run(&machine, &case.program, &windows, &half, true);
             half_acc += (sth.sampled.cpi() - full.cpi()).abs() / full.cpi();
-            warm_fraction_half += sth.sampled.warming_insts as f64
+            warm_half += sth.sampled.warming_insts as f64
                 / (sth.sampled.warming_insts + sth.sampled.skipped_insts) as f64;
         }
-        let st = st_acc / seeds as f64 * 100.0;
-        let un = un_acc / seeds as f64 * 100.0;
-        let ch = cheap_acc / seeds as f64 * 100.0;
-        let hf = half_acc / seeds as f64 * 100.0;
+        CaseResult {
+            name: case.name().to_owned(),
+            st: st_acc / seeds as f64 * 100.0,
+            un: un_acc / seeds as f64 * 100.0,
+            ch: cheap_acc / seeds as f64 * 100.0,
+            hf: half_acc / seeds as f64 * 100.0,
+            warm,
+            warm_cheap,
+            warm_half,
+        }
+    });
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new(); // (name, stitched@99.9, unstitched@99.9)
+    let mut cheap_rows: Vec<f64> = Vec::new(); // stitched @ 95%
+    let mut half_rows: Vec<f64> = Vec::new(); // stitched @ 50%
+    let mut warm_fraction = 0.0;
+    let mut warm_fraction_cheap = 0.0;
+    let mut warm_fraction_half = 0.0;
+    for r in results {
         eprintln!(
-            "  {:14} stitched {st:.2}%  unstitched {un:.2}%  @95% {ch:.2}%  @50% {hf:.2}%",
-            case.name()
+            "  {:14} stitched {:.2}%  unstitched {:.2}%  @95% {:.2}%  @50% {:.2}%",
+            r.name, r.st, r.un, r.ch, r.hf
         );
-        rows.push((case.name().to_owned(), st, un));
-        cheap_rows.push(ch);
-        half_rows.push(hf);
+        rows.push((r.name, r.st, r.un));
+        cheap_rows.push(r.ch);
+        half_rows.push(r.hf);
+        warm_fraction += r.warm;
+        warm_fraction_cheap += r.warm_cheap;
+        warm_fraction_half += r.warm_half;
     }
     let runs = (cases.len() as u64 * seeds) as f64;
     warm_fraction = warm_fraction / runs * 100.0;
@@ -102,10 +123,7 @@ fn main() {
         ]);
     }
     println!();
-    print_table(
-        &["benchmark", "AW-MRRL stitched (add'l bias)", "AW-MRRL unstitched"],
-        &table,
-    );
+    print_table(&["benchmark", "AW-MRRL stitched (add'l bias)", "AW-MRRL unstitched"], &table);
 
     let avg_st = rows.iter().map(|r| r.1).sum::<f64>() / rows.len() as f64;
     let worst_st = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
@@ -116,7 +134,9 @@ fn main() {
     let avg_hf = half_rows.iter().sum::<f64>() / half_rows.len() as f64;
     let worst_hf = half_rows.iter().fold(0.0f64, |a, &b| a.max(b));
     println!();
-    println!("summary (paper: stitched 1.1% avg / 5.4% worst at 20% warming; unstitched 1.9% / 11%):");
+    println!(
+        "summary (paper: stitched 1.1% avg / 5.4% worst at 20% warming; unstitched 1.9% / 11%):"
+    );
     println!("  stitched @99.9% : avg {avg_st:.2}%  worst {worst_st:.2}%  (warming {warm_fraction:.0}% of gaps)");
     println!("  stitched @95%   : avg {avg_ch:.2}%  worst {worst_ch:.2}%  (warming {warm_fraction_cheap:.0}% of gaps)");
     println!("  stitched @50%   : avg {avg_hf:.2}%  worst {worst_hf:.2}%  (warming {warm_fraction_half:.0}% of gaps)");

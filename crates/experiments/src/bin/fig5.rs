@@ -17,15 +17,11 @@ fn main() {
     let design = SystematicDesign::paper_8way();
     let n_windows = args.window_count(120);
     let seeds = args.seed_count(2);
+    let threads = args.thread_count();
     let cases = load_cases(&args);
 
     println!("== Figure 5: restricted live-state additional CPI bias (8-way) ==");
-    println!(
-        "benchmarks={} windows/sample={} samples={}\n",
-        cases.len(),
-        n_windows,
-        seeds
-    );
+    println!("benchmarks={} windows/sample={} samples={}\n", cases.len(), n_windows, seeds);
 
     // Exhaustive policy: process every live-point so the comparison is
     // matched (same windows, zero sampling noise).
@@ -37,21 +33,26 @@ fn main() {
         for seed in 0..seeds {
             let windows = design.windows(case.len, n_windows, 2000 + seed);
             let base_cfg = CreationConfig::for_machine(&machine).with_seed(9 + seed);
-            let full_lib =
-                LivePointLibrary::create_with_windows(&case.program, &base_cfg, &windows)
-                    .expect("library creation");
-            let restricted_lib = LivePointLibrary::create_with_windows(
+            let full_lib = LivePointLibrary::create_with_windows_parallel(
+                &case.program,
+                &base_cfg,
+                &windows,
+                threads,
+            )
+            .expect("library creation");
+            let restricted_lib = LivePointLibrary::create_with_windows_parallel(
                 &case.program,
                 &base_cfg.clone().with_scope(StateScope::Restricted),
                 &windows,
+                threads,
             )
             .expect("library creation");
 
             let full = OnlineRunner::new(&full_lib, machine.clone())
-                .run(&case.program, &policy)
+                .run_parallel(&case.program, &policy, threads)
                 .expect("full-scope run");
             let restricted = OnlineRunner::new(&restricted_lib, machine.clone())
-                .run(&case.program, &policy)
+                .run_parallel(&case.program, &policy, threads)
                 .expect("restricted run");
             acc += (restricted.mean() - full.mean()).abs() / full.mean();
         }

@@ -20,6 +20,7 @@ fn main() {
     let machine = MachineConfig::eight_way();
     let design = SystematicDesign::paper_8way();
     let n_points = args.window_count(16);
+    let threads = args.thread_count();
     let cases = load_cases(&args);
 
     println!("== Figure 7: live-point size breakdown (uncompressed DER) ==");
@@ -34,8 +35,9 @@ fn main() {
     for case in &cases {
         let windows = design.windows(case.len, n_points, 77);
         let cfg = CreationConfig::for_machine(&machine).with_sample_size(n_points);
-        let lib = LivePointLibrary::create_with_windows(&case.program, &cfg, &windows)
-            .expect("library creation");
+        let lib =
+            LivePointLibrary::create_with_windows_parallel(&case.program, &cfg, &windows, threads)
+                .expect("library creation");
         let b = lib.mean_breakdown(8).expect("breakdown");
 
         // AW-MRRL checkpoint model: architectural registers plus the
@@ -79,8 +81,17 @@ fn main() {
 
     print_table(
         &[
-            "benchmark", "regs+TLB", "bpred", "L1I tags", "L1D tags", "L2 tags", "mem data",
-            "total", "compressed", "AW-MRRL ckpt", "conventional",
+            "benchmark",
+            "regs+TLB",
+            "bpred",
+            "L1I tags",
+            "L1D tags",
+            "L2 tags",
+            "mem data",
+            "total",
+            "compressed",
+            "AW-MRRL ckpt",
+            "conventional",
         ],
         &rows,
     );

@@ -20,6 +20,7 @@ use spectral_warming::{mrrl_analyze, FunctionalWarmer};
 fn main() {
     let args = Args::parse();
     let n_points = args.window_count(12);
+    let threads = args.thread_count();
     // The sweep needs a footprint larger than the largest stored cache
     // (16 MB), as SPEC2K's ~105 MB footprints are in the paper; the
     // suite's benchmarks stay laptop-sized, so fig8 brings its own.
@@ -91,13 +92,8 @@ fn main() {
     let aw_ms = mean_warm / rate * 1000.0;
 
     // --- live-point sweep ---------------------------------------------
-    let sweep: [(u64, u32, u32); 5] = [
-        (1, 2048, 11),
-        (2, 4096, 12),
-        (4, 8192, 13),
-        (8, 16384, 14),
-        (16, 32768, 15),
-    ];
+    let sweep: [(u64, u32, u32); 5] =
+        [(1, 2048, 11), (2, 4096, 12), (4, 8192, 13), (8, 16384, 14), (16, 32768, 15)];
     let mut rows = Vec::new();
     for &(l2_mb, bp_entries, hist) in &sweep {
         let mut max_h = MachineConfig::eight_way().hierarchy;
@@ -116,8 +112,9 @@ fn main() {
             sample_size: n_points,
             ..CreationConfig::for_machine(&MachineConfig::eight_way())
         };
-        let lib = LivePointLibrary::create_with_windows(&case.program, &cfg, &windows)
-            .expect("library creation");
+        let lib =
+            LivePointLibrary::create_with_windows_parallel(&case.program, &cfg, &windows, threads)
+                .expect("library creation");
         // Load (decompress + decode) time per point.
         let t = Timer::start();
         for i in 0..lib.len() {

@@ -17,6 +17,7 @@ fn main() {
     }
     let cases = load_cases(&args);
     let library_cap = args.window_count(400);
+    let threads = args.thread_count();
     let base = MachineConfig::eight_way();
 
     // The sensitivity suite (paper: "varying latencies, queue sizes,
@@ -49,17 +50,15 @@ fn main() {
     let mut rows = Vec::new();
     for case in &cases {
         let cfg = CreationConfig::for_machine(&base).with_sample_size(library_cap);
-        let library = LivePointLibrary::create(&case.program, &cfg).expect("library creation");
+        let library = LivePointLibrary::create_parallel(&case.program, &cfg, threads)
+            .expect("library creation");
         for (label, variant) in &variants {
             let runner = MatchedRunner::new(&library, base.clone(), variant.clone());
-            let out = runner.run(&case.program, &policy).expect("matched run");
-            let absolute = out.pair().required_absolute_sample(
-                policy.target_rel_err,
-                policy.confidence,
-            );
-            let matched = out
-                .pair()
-                .required_delta_sample(policy.target_rel_err, policy.confidence);
+            let out = runner.run_parallel(&case.program, &policy, threads).expect("matched run");
+            let absolute =
+                out.pair().required_absolute_sample(policy.target_rel_err, policy.confidence);
+            let matched =
+                out.pair().required_delta_sample(policy.target_rel_err, policy.confidence);
             let factor = out.reduction_factor(policy.target_rel_err);
             all_factors.push(factor);
             rows.push(vec![
@@ -77,8 +76,14 @@ fn main() {
 
     print_table(
         &[
-            "benchmark", "design change", "dCPI", "signif", "pairs run", "n matched",
-            "n absolute", "reduction",
+            "benchmark",
+            "design change",
+            "dCPI",
+            "signif",
+            "pairs run",
+            "n matched",
+            "n absolute",
+            "reduction",
         ],
         &rows,
     );

@@ -23,7 +23,8 @@ fn main() {
     println!("benchmark={} library cap={}\n", case.name(), library_cap);
 
     let cfg = CreationConfig::for_machine(&machine).with_sample_size(library_cap);
-    let library = LivePointLibrary::create(&case.program, &cfg).expect("library creation");
+    let library = LivePointLibrary::create_parallel(&case.program, &cfg, args.thread_count())
+        .expect("library creation");
     let runner = OnlineRunner::new(&library, machine.clone());
 
     // Exhaustive run with a fine trajectory: the convergence picture.
@@ -66,7 +67,13 @@ fn main() {
 
     // Parallel farm: same estimate, more workers (wall-clock gains
     // require a multi-core host; correctness holds regardless).
-    for threads in [1usize, 2, 4, 8] {
+    let mut farm = vec![1usize, 2, 4, 8];
+    if let Some(t) = args.threads {
+        if !farm.contains(&t) {
+            farm.push(t);
+        }
+    }
+    for threads in farm {
         let t = Timer::start();
         let est = runner
             .run_parallel(

@@ -5,9 +5,7 @@
 //! point that sampling optimizations finally pay off once functional
 //! warming is gone).
 
-use spectral_core::{
-    CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy, StratifiedRunner,
-};
+use spectral_core::{CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy, StratifiedRunner};
 use spectral_experiments::{load_cases, print_table, Args};
 use spectral_uarch::MachineConfig;
 
@@ -25,6 +23,7 @@ fn main() {
     }
     let machine = MachineConfig::eight_way();
     let library_cap = args.window_count(400);
+    let threads = args.thread_count();
     let cases = load_cases(&args);
 
     println!("== Stratified vs uniform estimation (position-band strata) ==");
@@ -35,10 +34,13 @@ fn main() {
     let mut rows = Vec::new();
     for case in &cases {
         let cfg = CreationConfig::for_machine(&machine).with_sample_size(library_cap);
-        let lib = LivePointLibrary::create(&case.program, &cfg).expect("library creation");
+        let lib = LivePointLibrary::create_parallel(&case.program, &cfg, threads)
+            .expect("library creation");
 
+        // The uniform comparator runs sharded-parallel; the stratified
+        // runner is serial (per-stratum accumulation).
         let uniform = OnlineRunner::new(&lib, machine.clone())
-            .run(&case.program, &exhaustive)
+            .run_parallel(&case.program, &exhaustive, threads)
             .expect("uniform run");
         let strat = StratifiedRunner::new(&lib, machine.clone(), 4)
             .run(&case.program, &exhaustive)
@@ -59,22 +61,19 @@ fn main() {
             format!("{:.4}", strat.mean()),
             format!("±{:.2}%", uniform.relative_half_width() * 100.0),
             format!("±{:.2}%", strat.relative_half_width() * 100.0),
-            format!(
-                "{}{}",
-                u_early.processed(),
-                if u_early.reached_target() { "" } else { "*" }
-            ),
-            format!(
-                "{}{}",
-                s_early.processed(),
-                if s_early.reached_target() { "" } else { "*" }
-            ),
+            format!("{}{}", u_early.processed(), if u_early.reached_target() { "" } else { "*" }),
+            format!("{}{}", s_early.processed(), if s_early.reached_target() { "" } else { "*" }),
         ]);
     }
     print_table(
         &[
-            "benchmark", "uniform CPI", "strat CPI", "uniform CI", "strat CI",
-            "n uniform @3%", "n strat @3%",
+            "benchmark",
+            "uniform CPI",
+            "strat CPI",
+            "uniform CI",
+            "strat CI",
+            "n uniform @3%",
+            "n strat @3%",
         ],
         &rows,
     );

@@ -26,6 +26,7 @@ fn main() {
     let machine = args.machine_config();
     let design = SystematicDesign::new(1000, machine.detailed_warming);
     let library_cap = args.window_count(500);
+    let threads = args.thread_count();
     let cases = spectral_experiments::load_cases(&args);
 
     println!(
@@ -64,13 +65,15 @@ fn main() {
         //    paper reports its 8.5 h creation pass separately).
         let cfg = CreationConfig::for_machine(&machine).with_sample_size(library_cap);
         let t = Timer::start();
-        let library = LivePointLibrary::create(&case.program, &cfg).expect("library creation");
+        let library = LivePointLibrary::create_parallel(&case.program, &cfg, threads)
+            .expect("library creation");
         let t_create = t.secs();
 
         // 3. Live-point run to +-3% @ 99.7% (or library exhaustion).
         let runner = OnlineRunner::new(&library, machine.clone());
         let t = Timer::start();
-        let estimate = runner.run(&case.program, &RunPolicy::default()).expect("run");
+        let estimate =
+            runner.run_parallel(&case.program, &RunPolicy::default(), threads).expect("run");
         let t_lp = t.secs();
 
         // 4. SMARTS over the same number of windows the live-point run
@@ -131,12 +134,21 @@ fn main() {
     println!();
     print_table(
         &[
-            "benchmark", "length", "sim-outorder", "SMARTSim", "AW-MRRL*", "live-points", "n",
-            "achieved", "creation",
+            "benchmark",
+            "length",
+            "sim-outorder",
+            "SMARTSim",
+            "AW-MRRL*",
+            "live-points",
+            "n",
+            "achieved",
+            "creation",
         ],
         &table,
     );
-    println!("  *AW-MRRL modelled: measured wall minus the fast-forward the paper's checkpoints skip");
+    println!(
+        "  *AW-MRRL modelled: measured wall minus the fast-forward the paper's checkpoints skip"
+    );
 
     let agg = |f: &dyn Fn(&Row) -> f64| -> (f64, f64, f64) {
         let mut min = f64::INFINITY;
@@ -163,8 +175,16 @@ fn main() {
     println!("  AW-MRRL meas : {} / {} / {}", fmt_secs(mmin), fmt_secs(mavg), fmt_secs(mmax));
     println!("  live-points  : {} / {} / {}", fmt_secs(lmin), fmt_secs(lavg), fmt_secs(lmax));
     println!();
-    println!("speedups (avg): live-points vs sim-outorder {:.0}x, vs SMARTSim {:.1}x, vs AW-MRRL {:.1}x",
-        favg / lavg, savg / lavg, aavg / lavg);
-    println!("(paper: 250x+ vs SMARTSim at SPEC2K lengths; ratios compress at 10^4-shorter benchmarks,");
-    println!(" and grow with --scale: live-point time is O(sample), every other method is O(benchmark))");
+    println!(
+        "speedups (avg): live-points vs sim-outorder {:.0}x, vs SMARTSim {:.1}x, vs AW-MRRL {:.1}x",
+        favg / lavg,
+        savg / lavg,
+        aavg / lavg
+    );
+    println!(
+        "(paper: 250x+ vs SMARTSim at SPEC2K lengths; ratios compress at 10^4-shorter benchmarks,"
+    );
+    println!(
+        " and grow with --scale: live-point time is O(sample), every other method is O(benchmark))"
+    );
 }

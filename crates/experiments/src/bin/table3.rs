@@ -19,6 +19,7 @@ fn main() {
     let machine = MachineConfig::eight_way();
     let design = SystematicDesign::paper_8way();
     let n_windows = args.window_count(150);
+    let threads = args.thread_count();
     let cases = load_cases(&args);
 
     println!("== Table 3: summary of warming methods (8-way) ==");
@@ -57,12 +58,13 @@ fn main() {
         aw_bias.push((adaptive.sampled.cpi() - smarts.cpi()).abs() / smarts.cpi() * 100.0);
 
         let cfg = CreationConfig::for_machine(&machine).with_sample_size(n_windows);
-        let library = LivePointLibrary::create_with_windows(&case.program, &cfg, &windows)
-            .expect("library creation");
+        let library =
+            LivePointLibrary::create_with_windows_parallel(&case.program, &cfg, &windows, threads)
+                .expect("library creation");
         lib_bytes += library.total_compressed_bytes();
         let t = Timer::start();
         let estimate = OnlineRunner::new(&library, machine.clone())
-            .run(&case.program, &policy)
+            .run_parallel(&case.program, &policy, threads)
             .expect("run");
         t_lp += t.secs();
         lp_bias.push((estimate.mean() - smarts.cpi()).abs() / smarts.cpi() * 100.0);
@@ -141,9 +143,15 @@ fn main() {
         &["", "complete (sim-outorder)", "full warming (SMARTS)", "AW-MRRL", "live-points"],
         &rows,
     );
-    println!("  *includes sampling error at this sample size (the paper's samples are ~10,000 windows);");
-    println!("   the additional-bias row is matched on identical windows, so sampling error cancels.");
-    println!("  *unstitched AW-MRRL checkpoints are independent, at considerably higher bias (fig4)");
+    println!(
+        "  *includes sampling error at this sample size (the paper's samples are ~10,000 windows);"
+    );
+    println!(
+        "   the additional-bias row is matched on identical windows, so sampling error cancels."
+    );
+    println!(
+        "  *unstitched AW-MRRL checkpoints are independent, at considerably higher bias (fig4)"
+    );
     println!();
     println!("paper targets: full warming 0.6% (1.6%) vs reference; AW-MRRL +1.1% (5.4%);");
     println!("live-points +0.0% — identical to full warming, the paper's central accuracy claim.");

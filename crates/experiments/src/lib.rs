@@ -20,6 +20,8 @@
 //! * `--limit K` — first K suite benchmarks
 //! * `--quick` — small preset (few benchmarks, fewer windows)
 //! * `--windows N`, `--seeds S`, `--scale F` where meaningful
+//! * `--threads T` — worker threads for library creation and runs
+//!   (default: the host's available parallelism)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +48,9 @@ pub struct Args {
     pub scale: Option<u64>,
     /// Machine selection: "8" (default) or "16" (`--machine`).
     pub machine: Option<String>,
+    /// Worker-thread count for creation and runs (`--threads`; default
+    /// = available parallelism).
+    pub threads: Option<usize>,
 }
 
 impl Args {
@@ -63,6 +68,7 @@ impl Args {
             seeds: None,
             scale: None,
             machine: None,
+            threads: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -82,6 +88,9 @@ impl Args {
                 "--seeds" => args.seeds = Some(value("--seeds").parse().expect("--seeds: integer")),
                 "--scale" => args.scale = Some(value("--scale").parse().expect("--scale: integer")),
                 "--machine" => args.machine = Some(value("--machine")),
+                "--threads" => {
+                    args.threads = Some(value("--threads").parse().expect("--threads: integer"))
+                }
                 other => panic!("unknown argument {other}"),
             }
         }
@@ -97,6 +106,13 @@ impl Args {
     /// Effective windows-per-sample.
     pub fn window_count(&self, default: u64) -> u64 {
         self.windows.unwrap_or(if self.quick { default / 3 } else { default })
+    }
+
+    /// Effective worker-thread count: `--threads` when given, otherwise
+    /// the host's available parallelism.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
     }
 }
 
@@ -166,6 +182,41 @@ pub fn load_cases(args: &Args) -> Vec<BenchCase> {
     chosen
         .into_iter()
         .map(|b| BenchCase::new(if scale > 1 { b.scaled(scale) } else { b }))
+        .collect()
+}
+
+/// Order-preserving parallel map: applies `f` to every item with up to
+/// `threads` scoped workers (static stride sharding) and returns the
+/// results in input order. Used by experiment binaries whose outer
+/// per-benchmark loops are independent.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let (f, slots) = (&f, &slots);
+            scope.spawn(move || {
+                let mut i = worker;
+                while i < items.len() {
+                    let r = f(&items[i]);
+                    *slots[i].lock().expect("slot lock") = Some(r);
+                    i += threads;
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot lock").expect("worker filled slot"))
         .collect()
 }
 
@@ -264,6 +315,16 @@ mod tests {
     fn bias_pct_symmetric() {
         assert!((bias_pct(1.03, 1.0) - 3.0).abs() < 1e-9);
         assert!((bias_pct(0.97, 1.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 2).collect();
+        assert_eq!(par_map(&items, 4, |&x| x * 2), expect);
+        assert_eq!(par_map(&items, 1, |&x| x * 2), expect);
+        assert_eq!(par_map(&items, 64, |&x| x * 2), expect);
+        assert!(par_map(&[] as &[u64], 4, |&x| x).is_empty());
     }
 
     #[test]

@@ -62,14 +62,7 @@ impl<'p> Emulator<'p> {
     /// Create an emulator resuming from `state` over a caller-provided
     /// memory image (checkpoint load path).
     pub fn from_state(program: &'p Program, state: ArchState, mem: SparseMemory) -> Self {
-        Emulator {
-            program,
-            regs: state.regs,
-            mem,
-            pc: state.pc,
-            seq: state.seq,
-            halted: false,
-        }
+        Emulator { program, regs: state.regs, mem, pc: state.pc, seq: state.seq, halted: false }
     }
 
     /// The program being executed.

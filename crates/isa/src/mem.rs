@@ -55,9 +55,7 @@ impl SparseMemory {
     pub fn write_u64(&mut self, addr: u64, value: u64) {
         let (pno, widx) = Self::split(addr);
         self.last_page = Some(pno);
-        self.pages
-            .entry(pno)
-            .or_insert_with(|| Box::new([0u64; PAGE_WORDS]))[widx] = value;
+        self.pages.entry(pno).or_insert_with(|| Box::new([0u64; PAGE_WORDS]))[widx] = value;
     }
 
     /// Read an IEEE-754 double stored at `addr`.

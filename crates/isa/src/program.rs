@@ -325,12 +325,7 @@ impl ProgramBuilder {
                 other => unreachable!("fixup on non-control instruction {other:?}"),
             }
         }
-        Ok(Program {
-            name: self.name,
-            insts: self.insts,
-            data_init: self.data_init,
-            entry: 0,
-        })
+        Ok(Program { name: self.name, insts: self.insts, data_init: self.data_init, entry: 0 })
     }
 
     /// Resolve fixups and produce the [`Program`].

@@ -137,11 +137,7 @@ impl SampleDesign for SystematicDesign {
                 break;
             }
             let detail_start = measure_start.saturating_sub(self.warm_len);
-            windows.push(WindowSpec {
-                detail_start,
-                measure_start,
-                measure_len: self.unit_len,
-            });
+            windows.push(WindowSpec { detail_start, measure_start, measure_len: self.unit_len });
         }
         windows
     }
@@ -179,9 +175,7 @@ impl SampleDesign for RandomDesign {
         // sorted unique slots.
         let slots = benchmark_len / self.unit_len;
         let mut state = seed ^ 0x243F_6A88_85A3_08D3;
-        let mut picks: Vec<u64> = (0..n * 2)
-            .map(|_| splitmix64(&mut state) % slots)
-            .collect();
+        let mut picks: Vec<u64> = (0..n * 2).map(|_| splitmix64(&mut state) % slots).collect();
         picks.sort_unstable();
         picks.dedup();
         let mut windows = Vec::new();

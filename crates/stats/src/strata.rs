@@ -36,10 +36,7 @@ impl StratifiedEstimator {
         assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
         let sum: f64 = weights.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "weights must sum to 1, got {sum}");
-        StratifiedEstimator {
-            strata: vec![OnlineEstimator::new(); weights.len()],
-            weights,
-        }
+        StratifiedEstimator { strata: vec![OnlineEstimator::new(); weights.len()], weights }
     }
 
     /// Equal-width position strata (the default for phase tracking).
@@ -79,11 +76,7 @@ impl StratifiedEstimator {
 
     /// Combined (weighted) mean.
     pub fn mean(&self) -> f64 {
-        self.strata
-            .iter()
-            .zip(&self.weights)
-            .map(|(s, w)| w * s.mean())
-            .sum()
+        self.strata.iter().zip(&self.weights).map(|(s, w)| w * s.mean()).sum()
     }
 
     /// Standard error of the combined mean (0 until every stratum has
@@ -92,13 +85,7 @@ impl StratifiedEstimator {
         self.strata
             .iter()
             .zip(&self.weights)
-            .map(|(s, w)| {
-                if s.count() < 2 {
-                    0.0
-                } else {
-                    w * w * s.variance() / s.count() as f64
-                }
-            })
+            .map(|(s, w)| if s.count() < 2 { 0.0 } else { w * w * s.variance() / s.count() as f64 })
             .sum::<f64>()
             .sqrt()
     }
@@ -123,22 +110,15 @@ impl StratifiedEstimator {
     /// needs ≥2 pilot observations first). Every stratum receives at
     /// least one slot.
     pub fn neyman_allocation(&self, total: u64) -> Vec<u64> {
-        let scores: Vec<f64> = self
-            .strata
-            .iter()
-            .zip(&self.weights)
-            .map(|(s, w)| w * s.std_dev())
-            .collect();
+        let scores: Vec<f64> =
+            self.strata.iter().zip(&self.weights).map(|(s, w)| w * s.std_dev()).collect();
         let sum: f64 = scores.iter().sum();
         if sum <= 0.0 {
             // Degenerate: equal split.
             let per = (total / self.strata.len() as u64).max(1);
             return vec![per; self.strata.len()];
         }
-        scores
-            .iter()
-            .map(|sc| (((sc / sum) * total as f64).round() as u64).max(1))
-            .collect()
+        scores.iter().map(|sc| (((sc / sum) * total as f64).round() as u64).max(1)).collect()
     }
 }
 

@@ -397,7 +397,10 @@ impl<'p> DetailedSim<'p> {
 
             // Resource checks + latency determination.
             let latency: u64 = match op {
-                OpClass::IntAlu | OpClass::Branch | OpClass::Jump | OpClass::Nop
+                OpClass::IntAlu
+                | OpClass::Branch
+                | OpClass::Jump
+                | OpClass::Nop
                 | OpClass::Halt => {
                     if int_alu_left == 0 {
                         continue;
@@ -406,8 +409,7 @@ impl<'p> DetailedSim<'p> {
                     1
                 }
                 OpClass::IntMul | OpClass::IntDiv => {
-                    let Some(unit) =
-                        self.int_muldiv_busy.iter().position(|&b| b <= self.cycle)
+                    let Some(unit) = self.int_muldiv_busy.iter().position(|&b| b <= self.cycle)
                     else {
                         continue;
                     };
@@ -552,10 +554,15 @@ impl<'p> DetailedSim<'p> {
                     self.oracle_done = true;
                     break;
                 }
-                let next_is_branch = inst_index(self.oracle.pc(), self.program.len())
-                    .map(|i| self.program.insts()[i].op_class() == OpClass::Branch)
-                    .unwrap_or(false);
+                let next_class = inst_index(self.oracle.pc(), self.program.len())
+                    .map(|i| self.program.insts()[i].op_class());
+                let next_is_branch = next_class == Some(OpClass::Branch);
                 if next_is_branch && cond_predictions >= self.cfg.bpred.predictions_per_cycle {
+                    break;
+                }
+                // A memory op needs an LSQ slot; stall fetch until one
+                // frees up (the wrong-path fetch applies the same check).
+                if next_class.is_some_and(|c| c.is_mem()) && self.lsq_count >= self.cfg.lsq_size {
                     break;
                 }
                 let Some(di) = self.oracle.step() else {
@@ -661,11 +668,8 @@ impl<'p> DetailedSim<'p> {
         match inst {
             Inst::Branch { target, .. } => {
                 let taken = self.bpred.predict_direction(pc);
-                self.fetch_pc = if taken {
-                    spectral_isa::inst_addr(target as usize)
-                } else {
-                    fall_through
-                };
+                self.fetch_pc =
+                    if taken { spectral_isa::inst_addr(target as usize) } else { fall_through };
             }
             Inst::Jump { rd, target } => {
                 if rd != Reg::R0 {
@@ -705,13 +709,7 @@ impl<'p> DetailedSim<'p> {
 
     /// Compute the front end's predicted next PC for a control transfer,
     /// performing speculative RAS actions.
-    fn predict_next(
-        &mut self,
-        pc: u64,
-        fall_through: u64,
-        inst: &Inst,
-        info: &BranchInfo,
-    ) -> u64 {
+    fn predict_next(&mut self, pc: u64, fall_through: u64, inst: &Inst, info: &BranchInfo) -> u64 {
         match *inst {
             Inst::Branch { target, .. } => {
                 if self.bpred.predict_direction(pc) {

@@ -205,11 +205,7 @@ mod tests {
         let stitched = adaptive_run(&cfg, &p, &windows, &analysis, true);
         let unstitched = adaptive_run(&cfg, &p, &windows, &analysis, false);
         let err = |r: &SampledResult| -> f64 {
-            r.per_window
-                .iter()
-                .zip(&full.per_window)
-                .map(|(a, b)| (a - b).abs() / b)
-                .sum::<f64>()
+            r.per_window.iter().zip(&full.per_window).map(|(a, b)| (a - b).abs() / b).sum::<f64>()
                 / r.per_window.len() as f64
         };
         let e_st = err(&stitched.sampled);
@@ -224,11 +220,8 @@ mod tests {
     #[should_panic(expected = "one warming length per window")]
     fn mismatched_analysis_rejected() {
         let (p, windows, cfg) = setup();
-        let analysis = MrrlAnalysis {
-            warming_lens: vec![100],
-            reuse_prob: 0.999,
-            granule_bytes: 32,
-        };
+        let analysis =
+            MrrlAnalysis { warming_lens: vec![100], reuse_prob: 0.999, granule_bytes: 32 };
         adaptive_run(&cfg, &p, &windows, &analysis, true);
     }
 }

@@ -99,10 +99,7 @@ impl Benchmark {
     /// and the benchmark loses its intended phase structure.
     fn phase_iters(&self) -> Vec<u64> {
         let share = self.target_len / self.kernels.len() as u64;
-        self.kernels
-            .iter()
-            .map(|k| (share / k.approx_dyn_len().max(1)).max(1))
-            .collect()
+        self.kernels.iter().map(|k| (share / k.approx_dyn_len().max(1)).max(1)).collect()
     }
 
     fn outer_iters(&self) -> u64 {
@@ -568,7 +565,10 @@ mod tests {
         }
         let lo = first_quarter_mem.min(last_quarter_mem) as f64;
         let hi = first_quarter_mem.max(last_quarter_mem) as f64;
-        assert!(hi / lo.max(1.0) > 1.1, "phases look identical: {first_quarter_mem} vs {last_quarter_mem}");
+        assert!(
+            hi / lo.max(1.0) > 1.1,
+            "phases look identical: {first_quarter_mem} vs {last_quarter_mem}"
+        );
     }
 
     #[test]

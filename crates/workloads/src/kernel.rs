@@ -269,7 +269,7 @@ impl Kernel {
                 let j_top = b.label();
                 b.fsub(1, 1, 1); // f1 = 0
                 b.li(Reg::R4, 0); // k
-                // row base of A: a + i*n*8 — hoisted
+                                  // row base of A: a + i*n*8 — hoisted
                 b.li(Reg::R5, (8 * n) as i64);
                 b.mul(Reg::R6, Reg::R1, Reg::R5); // i*n*8
                 b.li(Reg::R7, a as i64);
@@ -442,8 +442,10 @@ mod tests {
     fn branchy_bias_differs() {
         // Taken skips the work path. Biased takes ~7/8 (skips often),
         // Random ~1/2, so the biased variant commits fewer instructions.
-        let biased = run_kernel(Kernel::Branchy { count: 1000, predictability: Predictability::Biased });
-        let random = run_kernel(Kernel::Branchy { count: 1000, predictability: Predictability::Random });
+        let biased =
+            run_kernel(Kernel::Branchy { count: 1000, predictability: Predictability::Biased });
+        let random =
+            run_kernel(Kernel::Branchy { count: 1000, predictability: Predictability::Random });
         assert!(biased < random, "biased {biased} vs random {random}");
     }
 
@@ -451,6 +453,9 @@ mod tests {
     fn data_words_cover_matmul() {
         assert_eq!(Kernel::MatmulBlocked { n: 4 }.data_words(), 48);
         assert_eq!(Kernel::Stencil { words: 100 }.data_words(), 200);
-        assert_eq!(Kernel::Branchy { count: 1, predictability: Predictability::Biased }.data_words(), 0);
+        assert_eq!(
+            Kernel::Branchy { count: 1, predictability: Predictability::Biased }.data_words(),
+            0
+        );
     }
 }

@@ -3,12 +3,15 @@
 //! the sample size" (paper §6).
 //!
 //! ```text
-//! cargo run --release --example parallel_farm [benchmark-name]
+//! cargo run --release --example parallel_farm [benchmark-name] [--threads T]
 //! ```
 //!
 //! The same shuffled library is processed serially and with 2–8 worker
-//! threads; every run merges per-worker observations into one estimator,
-//! so the exhaustive estimates agree exactly while wall-clock drops.
+//! threads (plus `--threads T` when given); every run merges per-worker
+//! shards into one estimator, so the exhaustive estimates agree exactly
+//! while wall-clock drops on multi-core hosts. Library creation itself
+//! runs on the pipelined multi-core path and stays byte-identical to a
+//! serial build.
 
 use std::error::Error;
 use std::time::Instant;
@@ -18,17 +21,29 @@ use spectral::uarch::MachineConfig;
 use spectral::workloads::by_name;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "bzip2-like".into());
+    let mut name = "bzip2-like".to_owned();
+    let mut threads: Option<usize> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            threads = Some(it.next().ok_or("--threads needs a value")?.parse()?);
+        } else {
+            name = a;
+        }
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = threads.unwrap_or(cores);
+
     let bench = by_name(&name).ok_or_else(|| format!("unknown benchmark {name}"))?;
     let program = bench.build();
     let machine = MachineConfig::eight_way();
 
-    println!("building library for {}…", bench.name());
+    println!("building library for {} with {threads} worker(s)…", bench.name());
     let config = CreationConfig::for_machine(&machine).with_sample_size(320);
-    let library = LivePointLibrary::create(&program, &config)?;
-    println!("library: {} live-points\n", library.len());
+    let t = Instant::now();
+    let library = LivePointLibrary::create_parallel(&program, &config, threads)?;
+    println!("library: {} live-points in {:.2?}\n", library.len(), t.elapsed());
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("host exposes {cores} core(s) — wall-clock speedups need more than one.\n");
     let runner = OnlineRunner::new(&library, machine);
     // Exhaustive policy: identical work in every configuration.
@@ -45,7 +60,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         t.elapsed()
     );
 
-    for threads in [2usize, 4, 8] {
+    let mut farm = vec![2usize, 4, 8];
+    if !farm.contains(&threads) && threads > 1 {
+        farm.push(threads);
+        farm.sort_unstable();
+    }
+    for threads in farm {
         let t = Instant::now();
         let est = runner.run_parallel(&program, &policy, threads)?;
         let wall = t.elapsed().as_secs_f64();
@@ -57,8 +77,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             t.elapsed(),
             t_serial / wall,
         );
-        // Workers merge observations in nondeterministic order, so the
-        // mean can differ by floating-point summation order only.
+        // Workers merge observations in shard order, so the mean can
+        // differ from the serial pass by summation order only.
         assert!(
             (est.mean() - serial.mean()).abs() / serial.mean() < 1e-6,
             "estimates must agree up to summation order"

@@ -40,8 +40,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Step 2: the creation pass — one-time cost, amortized over every
     // later experiment (paper §6.3).
     println!("creating live-point library…");
-    let config = CreationConfig::for_machine(&machine)
-        .with_sample_size(plan.recommended_points().min(500));
+    let config =
+        CreationConfig::for_machine(&machine).with_sample_size(plan.recommended_points().min(500));
     let library = LivePointLibrary::create(&program, &config)?;
     println!(
         "library   : {} live-points, {} compressed ({} / point)",
@@ -51,7 +51,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // The actual experiment: seconds, not hours.
-    let estimate = OnlineRunner::new(&library, machine.clone()).run(&program, &RunPolicy::default())?;
+    let estimate =
+        OnlineRunner::new(&library, machine.clone()).run(&program, &RunPolicy::default())?;
     println!(
         "estimate  : CPI {:.4} ± {:.4} (99.7% CI) from {} live-points{}",
         estimate.mean(),

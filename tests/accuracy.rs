@@ -2,7 +2,7 @@
 //! checkpointed warming (live-points) matches full warming (SMARTS)
 //! because the stored state *is* the functionally-warmed state.
 
-use spectral::core::{CreationConfig, LivePointLibrary, simulate_live_point};
+use spectral::core::{simulate_live_point, CreationConfig, LivePointLibrary};
 use spectral::stats::{SampleDesign, SystematicDesign};
 use spectral::uarch::MachineConfig;
 use spectral::warming::smarts_run;
@@ -45,16 +45,16 @@ fn livepoints_match_full_warming_per_window() {
         sum += rel;
     }
     let avg = sum / pairs.len() as f64;
-    eprintln!("live-point vs SMARTS per-window: avg {:.3}% worst {:.3}%", avg * 100.0, worst * 100.0);
+    eprintln!(
+        "live-point vs SMARTS per-window: avg {:.3}% worst {:.3}%",
+        avg * 100.0,
+        worst * 100.0
+    );
     assert!(
         avg < 0.02,
         "average per-window discrepancy too high: {:.3}% (worst {:.3}%)",
         avg * 100.0,
         worst * 100.0
     );
-    assert!(
-        worst < 0.10,
-        "worst per-window discrepancy too high: {:.3}%",
-        worst * 100.0
-    );
+    assert!(worst < 0.10, "worst per-window discrepancy too high: {:.3}%", worst * 100.0);
 }

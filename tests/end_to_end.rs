@@ -37,13 +37,10 @@ fn full_experiment_procedure() {
 
     // Step 5: a comparative study against the 16-way machine from the
     // same library (the default creation bounds cover both).
-    let outcome = MatchedRunner::new(
-        &library,
-        MachineConfig::eight_way(),
-        MachineConfig::sixteen_way(),
-    )
-    .run(&program, &RunPolicy::default())
-    .expect("matched run");
+    let outcome =
+        MatchedRunner::new(&library, MachineConfig::eight_way(), MachineConfig::sixteen_way())
+            .run(&program, &RunPolicy::default())
+            .expect("matched run");
     assert!(outcome.processed() >= 30);
 }
 
@@ -99,12 +96,9 @@ fn restricted_scope_changes_wrong_path_only() {
     .unwrap();
 
     let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
-    let ef = OnlineRunner::new(&full, MachineConfig::eight_way())
-        .run(&program, &policy)
-        .unwrap();
-    let er = OnlineRunner::new(&restricted, MachineConfig::eight_way())
-        .run(&program, &policy)
-        .unwrap();
+    let ef = OnlineRunner::new(&full, MachineConfig::eight_way()).run(&program, &policy).unwrap();
+    let er =
+        OnlineRunner::new(&restricted, MachineConfig::eight_way()).run(&program, &policy).unwrap();
     assert_eq!(ef.processed(), er.processed());
     let rel = (ef.mean() - er.mean()).abs() / ef.mean();
     assert!(rel < 0.10, "restricted scope shifted CPI by {:.1}%", rel * 100.0);
@@ -131,13 +125,9 @@ fn estimate_means_are_order_independent() {
     let program = tiny().build();
     let mut library = small_library(&program);
     let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
-    let a = OnlineRunner::new(&library, MachineConfig::eight_way())
-        .run(&program, &policy)
-        .unwrap();
+    let a = OnlineRunner::new(&library, MachineConfig::eight_way()).run(&program, &policy).unwrap();
     library.shuffle(12345);
-    let b = OnlineRunner::new(&library, MachineConfig::eight_way())
-        .run(&program, &policy)
-        .unwrap();
+    let b = OnlineRunner::new(&library, MachineConfig::eight_way()).run(&program, &policy).unwrap();
     assert!((a.mean() - b.mean()).abs() < 1e-12);
 }
 
@@ -148,15 +138,13 @@ fn persistence_does_not_change_results() {
     let program = tiny().build();
     let library = small_library(&program);
     let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
-    let before = OnlineRunner::new(&library, MachineConfig::eight_way())
-        .run(&program, &policy)
-        .unwrap();
+    let before =
+        OnlineRunner::new(&library, MachineConfig::eight_way()).run(&program, &policy).unwrap();
 
     let bytes = library.to_bytes();
     let reloaded = LivePointLibrary::from_bytes(&bytes).unwrap();
-    let after = OnlineRunner::new(&reloaded, MachineConfig::eight_way())
-        .run(&program, &policy)
-        .unwrap();
+    let after =
+        OnlineRunner::new(&reloaded, MachineConfig::eight_way()).run(&program, &policy).unwrap();
 
     assert_eq!(before.processed(), after.processed());
     assert_eq!(before.mean(), after.mean(), "byte-identical records, identical results");

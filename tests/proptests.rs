@@ -11,7 +11,7 @@ use spectral::uarch::{DetailedSim, MachineConfig};
 /// small buffer, and a bounded loop.
 fn arb_program() -> impl Strategy<Value = spectral::isa::Program> {
     (
-        1u8..20,                                       // loop trips
+        1u8..20,                                              // loop trips
         proptest::collection::vec((0u8..6, 0i64..64), 1..24), // body ops
     )
         .prop_map(|(trips, ops)| {

@@ -17,8 +17,7 @@ fn livepoint_state_equals_functional_warming_state() {
     let n = dynamic_length(&program);
     let windows = SystematicDesign::new(1000, 2000).windows(n, 8, 21);
     let cfg = CreationConfig::for_machine(&machine);
-    let library =
-        LivePointLibrary::create_with_windows(&program, &cfg, &windows).expect("library");
+    let library = LivePointLibrary::create_with_windows(&program, &cfg, &windows).expect("library");
 
     // Walk the functional warmer to each window start and compare.
     let mut warmer = FunctionalWarmer::new(&machine);
@@ -34,9 +33,8 @@ fn livepoint_state_equals_functional_warming_state() {
             .find(|lp| lp.window.measure_start == w.measure_start)
             .expect("window present");
 
-        let reconstructed = lp
-            .reconstruct_hierarchy(&machine.hierarchy)
-            .expect("covered configuration");
+        let reconstructed =
+            lp.reconstruct_hierarchy(&machine.hierarchy).expect("covered configuration");
         let warm = warmer.hierarchy();
 
         let blocks = |s: &spectral::cache::CacheState| -> Vec<Vec<u64>> {
