@@ -7,7 +7,11 @@
 //! throughput (live-points per second) at each worker count, plus the
 //! host parallelism the numbers were collected under — wall-clock
 //! speedup over the 1-worker row requires a host that actually exposes
-//! multiple cores.
+//! multiple cores. It also writes `BENCH_telemetry.json`: the same
+//! throughput table wrapped with the full telemetry metrics snapshot
+//! accumulated over the benchmark runs (decode vs simulate time,
+//! compression ratios, merge lock waits, …) — empty when built with
+//! telemetry disabled, which is itself the no-overhead check.
 
 use std::fmt::Write as _;
 
@@ -88,6 +92,18 @@ fn emit_json(c: &Criterion) -> String {
     json
 }
 
+/// Wrap the throughput table with the telemetry snapshot accumulated
+/// over the runs: where the benchmarked wall-clock actually went.
+fn emit_telemetry_json(throughput: &str) -> String {
+    let snap = spectral_telemetry::snapshot();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"telemetry_compiled_in\": {},", spectral_telemetry::compiled_in());
+    let _ = writeln!(json, "  \"throughput\": {},", throughput.trim_end());
+    let _ = writeln!(json, "  \"metrics\": {}", snap.to_json());
+    json.push_str("}\n");
+    json
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     bench_scaling(&mut criterion);
@@ -96,5 +112,11 @@ fn main() {
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+    let tlm = emit_telemetry_json(&json);
+    let tlm_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    match std::fs::write(tlm_path, &tlm) {
+        Ok(()) => println!("wrote {tlm_path}"),
+        Err(e) => eprintln!("could not write {tlm_path}: {e}"),
     }
 }

@@ -14,6 +14,18 @@
 //! at most 12.5% plus a constant.
 
 use crate::error::CodecError;
+use spectral_telemetry::{Counter, Histogram, Stopwatch};
+
+static COMPRESS_CALLS: Counter = Counter::new("codec.lzss.compress_calls");
+static COMPRESS_IN_BYTES: Counter = Counter::new("codec.lzss.compress_in_bytes");
+static COMPRESS_OUT_BYTES: Counter = Counter::new("codec.lzss.compress_out_bytes");
+static COMPRESS_NS: Counter = Counter::new("codec.lzss.compress_ns");
+static DECOMPRESS_CALLS: Counter = Counter::new("codec.lzss.decompress_calls");
+static DECOMPRESS_OUT_BYTES: Counter = Counter::new("codec.lzss.decompress_out_bytes");
+static DECOMPRESS_NS: Counter = Counter::new("codec.lzss.decompress_ns");
+// Compression ratio in percent (uncompressed*100/compressed), log2-bucketed:
+// bucket [256,512) ⇒ between 2.56:1 and 5.12:1, the paper's gzip band.
+static RATIO_PCT: Histogram = Histogram::new("codec.lzss.ratio_pct");
 
 const WINDOW: usize = 1 << 16;
 const MIN_MATCH: usize = 3;
@@ -32,6 +44,7 @@ fn hash3(data: &[u8], i: usize) -> usize {
 /// The output begins with the uncompressed length as a little-endian
 /// `u64`, so [`decompress`] can pre-allocate exactly.
 pub fn compress(data: &[u8]) -> Vec<u8> {
+    let sw = Stopwatch::start();
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
     out.extend_from_slice(&(data.len() as u64).to_le_bytes());
 
@@ -110,6 +123,13 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             i += 1;
         }
     }
+    COMPRESS_CALLS.inc();
+    COMPRESS_IN_BYTES.add(data.len() as u64);
+    COMPRESS_OUT_BYTES.add(out.len() as u64);
+    COMPRESS_NS.add(sw.ns());
+    if !out.is_empty() {
+        RATIO_PCT.record((data.len() as u64 * 100) / out.len() as u64);
+    }
     out
 }
 
@@ -122,6 +142,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// output start, and [`CodecError::BadLength`] when the stream does not
 /// reproduce exactly the declared length.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let sw = Stopwatch::start();
     if data.len() < 8 {
         return Err(CodecError::Truncated);
     }
@@ -170,6 +191,9 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     if out.len() != expect {
         return Err(CodecError::BadLength);
     }
+    DECOMPRESS_CALLS.inc();
+    DECOMPRESS_OUT_BYTES.add(out.len() as u64);
+    DECOMPRESS_NS.add(sw.ns());
     Ok(out)
 }
 

@@ -9,12 +9,40 @@ use spectral_cache::HierarchyConfig;
 use spectral_codec::{lzss, ContainerReader, ContainerWriter, DerReader, DerWriter};
 use spectral_isa::{Emulator, Program};
 use spectral_stats::{SampleDesign, SystematicDesign, WindowSpec};
+use spectral_telemetry::{Counter, Histogram, Stopwatch};
 
 use crate::creation::{benchmark_length, CreationConfig, CreationWarmers, TouchedState};
 use crate::encode::{decode_livepoint, encode_livepoint};
 use crate::error::CoreError;
 use crate::livepoint::{LivePoint, SizeBreakdown, WarmPayload};
 use crate::livestate::{LiveStateCollector, StateScope};
+
+// Library-creation metrics: where creation time goes (functional
+// warming vs. state snapshot vs. DER encode vs. LZSS compress) and how
+// big each record is before/after compression. All no-ops without the
+// `telemetry` feature.
+static TLM_WINDOWS: Counter = Counter::new("core.create.windows");
+static TLM_WARM_NS: Counter = Counter::new("core.create.warm_ns");
+static TLM_SNAPSHOT_NS: Counter = Counter::new("core.create.snapshot_ns");
+static TLM_ENCODE_NS: Counter = Counter::new("core.create.der_encode_ns");
+static TLM_COMPRESS_NS: Counter = Counter::new("core.create.compress_ns");
+static TLM_DER_BYTES: Histogram = Histogram::new("core.create.record_der_bytes");
+static TLM_RECORD_BYTES: Histogram = Histogram::new("core.create.record_bytes");
+
+/// DER-encode and LZSS-compress one live-point, feeding the per-record
+/// telemetry — the single compression site for both the serial and the
+/// pipelined creation paths.
+fn compress_record(lp: &LivePoint) -> Vec<u8> {
+    let sw = Stopwatch::start();
+    let der = encode_livepoint(lp);
+    TLM_ENCODE_NS.add(sw.ns());
+    TLM_DER_BYTES.record(der.len() as u64);
+    let sw = Stopwatch::start();
+    let bytes = lzss::compress(&der);
+    TLM_COMPRESS_NS.add(sw.ns());
+    TLM_RECORD_BYTES.record(bytes.len() as u64);
+    bytes
+}
 
 /// A benchmark's live-point library: independently-loadable compressed
 /// records, pre-shuffled into random order (paper §6.1: "we recommend
@@ -107,10 +135,11 @@ impl LivePointLibrary {
             "windows must be sorted and non-overlapping"
         );
 
+        let _span = spectral_telemetry::span("create.library");
         let records = if threads <= 1 {
             let mut records = Vec::with_capacity(windows.len());
             walk_windows(program, cfg, windows, |_, lp| {
-                records.push(lzss::compress(&encode_livepoint(&lp)));
+                records.push(compress_record(&lp));
             });
             records
         } else {
@@ -195,6 +224,18 @@ impl LivePointLibrary {
     /// SPEC2K" quantity, at this repo's scale).
     pub fn total_compressed_bytes(&self) -> u64 {
         self.records.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// CRC32 content hash over the compressed records in processing
+    /// order — the library identity stamped into run manifests (two
+    /// libraries with equal hashes process identical points in
+    /// identical order).
+    pub fn content_hash(&self) -> u32 {
+        let mut h = spectral_codec::crc32::Hasher::new();
+        for rec in &self.records {
+            h.update(rec);
+        }
+        h.finalize()
     }
 
     /// Mean compressed bytes per live-point.
@@ -418,14 +459,17 @@ fn walk_windows(
     let mut emu = Emulator::new(program);
     for (i, w) in windows.iter().enumerate() {
         // Functional warming up to the window.
+        let sw = Stopwatch::start();
         while emu.seq() < w.detail_start && !emu.is_halted() {
             if let Some(di) = emu.step() {
                 warmers.observe(&di);
             }
         }
+        TLM_WARM_NS.add(sw.ns());
         if emu.is_halted() {
             break;
         }
+        let sw = Stopwatch::start();
         let payload = warmers.snapshot();
         let mut collector = LiveStateCollector::begin(&emu);
         let mut touched = TouchedState::default();
@@ -446,6 +490,8 @@ fn walk_windows(
             StateScope::Full => payload,
             StateScope::Restricted => restrict_payload(payload, &touched, cfg),
         };
+        TLM_SNAPSHOT_NS.add(sw.ns());
+        TLM_WINDOWS.inc();
         sink(
             i,
             LivePoint {
@@ -480,7 +526,7 @@ fn encode_pipelined(
                 // encoding runs unlocked.
                 let job = rx.lock().expect("receiver lock").recv();
                 let Ok((i, lp)) = job else { break };
-                let bytes = lzss::compress(&encode_livepoint(&lp));
+                let bytes = compress_record(&lp);
                 *slots[i].lock().expect("slot lock") = Some(bytes);
             });
         }

@@ -9,7 +9,7 @@ use spectral_uarch::MachineConfig;
 
 use crate::error::CoreError;
 use crate::library::LivePointLibrary;
-use crate::runner::{simulate_live_point, RunPolicy, ShardCoordinator};
+use crate::runner::{decode_point, note_early_stop, simulate_point, RunPolicy, ShardCoordinator};
 
 /// Result of a matched-pair comparison between two machines.
 #[derive(Debug, Clone)]
@@ -98,14 +98,15 @@ impl<'l> MatchedRunner<'l> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
+        let _span = spectral_telemetry::span("run.matched");
         let limit = policy.max_points.unwrap_or(usize::MAX).min(self.library.len());
         let mut pair = MatchedPair::new();
         let mut reached = false;
         let mut processed = 0;
         for i in 0..limit {
-            let lp = self.library.get(i)?;
-            let base = simulate_live_point(&lp, program, &self.base)?;
-            let exp = simulate_live_point(&lp, program, &self.experiment)?;
+            let lp = decode_point(self.library, i)?;
+            let base = simulate_point(&lp, program, &self.base)?;
+            let exp = simulate_point(&lp, program, &self.experiment)?;
             pair.push(base.cpi(), exp.cpi());
             processed += 1;
             let base_mean = pair.base().mean();
@@ -114,6 +115,7 @@ impl<'l> MatchedRunner<'l> {
                 && pair.delta_half_width(policy.confidence) <= policy.target_rel_err * base_mean
             {
                 reached = true;
+                note_early_stop(pair.count());
                 break;
             }
         }
@@ -148,6 +150,7 @@ impl<'l> MatchedRunner<'l> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
+        let _span = spectral_telemetry::span("run.matched_parallel");
         let limit = policy.max_points.unwrap_or(usize::MAX).min(self.library.len());
         let threads = threads.clamp(1, limit);
         let merge_stride = policy.merge_stride.max(1) as u64;
@@ -155,7 +158,7 @@ impl<'l> MatchedRunner<'l> {
 
         let flush = |batch: &mut MatchedPair| {
             let snapshot = {
-                let mut merged = coord.progress.lock().expect("progress lock");
+                let mut merged = coord.lock_progress();
                 merged.merge(batch);
                 *merged
             };
@@ -165,6 +168,7 @@ impl<'l> MatchedRunner<'l> {
                 && base_mean > 0.0
                 && snapshot.delta_half_width(policy.confidence) <= policy.target_rel_err * base_mean
             {
+                note_early_stop(snapshot.count());
                 coord.reached.store(true, Ordering::Relaxed);
                 coord.stop.store(true, Ordering::Relaxed);
             }
@@ -180,9 +184,9 @@ impl<'l> MatchedRunner<'l> {
                     let mut batch = MatchedPair::new();
                     let mut index = worker;
                     while index < limit && !coord.stop.load(Ordering::Relaxed) {
-                        let outcome = self.library.get(index).and_then(|lp| {
-                            let base = simulate_live_point(&lp, program, &self.base)?;
-                            let exp = simulate_live_point(&lp, program, &self.experiment)?;
+                        let outcome = decode_point(self.library, index).and_then(|lp| {
+                            let base = simulate_point(&lp, program, &self.base)?;
+                            let exp = simulate_point(&lp, program, &self.experiment)?;
                             Ok((base.cpi(), exp.cpi()))
                         });
                         match outcome {

@@ -6,11 +6,66 @@ use std::sync::Mutex;
 
 use spectral_isa::{Emulator, Program};
 use spectral_stats::{Confidence, OnlineEstimator, MIN_SAMPLE_SIZE};
+use spectral_telemetry::{Counter, Gauge, Stopwatch};
 use spectral_uarch::{DetailedSim, MachineConfig, WindowStats};
 
 use crate::error::CoreError;
 use crate::library::LivePointLibrary;
 use crate::livepoint::LivePoint;
+
+// Runner metrics, shared by the online, matched-pair, and sweep
+// runners: where each processed point's time goes (record decode +
+// state reconstruction vs. detailed simulation), how long workers wait
+// on the shared progress lock at merge points, and where early
+// termination landed. All no-ops without the `telemetry` feature.
+static TLM_POINTS: Counter = Counter::new("core.run.points");
+static TLM_DECODE_NS: Counter = Counter::new("core.run.decode_ns");
+static TLM_SIMULATE_NS: Counter = Counter::new("core.run.simulate_ns");
+static TLM_MERGES: Counter = Counter::new("core.run.merges");
+static TLM_LOCK_WAIT_NS: Counter = Counter::new("core.run.lock_wait_ns");
+static TLM_EARLY_STOP_POINT: Gauge = Gauge::new("core.run.early_stop_point");
+
+/// Decode live-point `index`, feeding the decode-time counter.
+pub(crate) fn decode_point(
+    library: &LivePointLibrary,
+    index: usize,
+) -> Result<LivePoint, CoreError> {
+    let sw = Stopwatch::start();
+    let lp = library.get(index)?;
+    TLM_DECODE_NS.add(sw.ns());
+    Ok(lp)
+}
+
+/// Simulate a decoded live-point, feeding the simulate-time counter
+/// and the processed-points count (one per simulation — a matched pair
+/// counts twice).
+pub(crate) fn simulate_point(
+    lp: &LivePoint,
+    program: &Program,
+    machine: &MachineConfig,
+) -> Result<WindowStats, CoreError> {
+    let sw = Stopwatch::start();
+    let stats = simulate_live_point(lp, program, machine)?;
+    TLM_SIMULATE_NS.add(sw.ns());
+    TLM_POINTS.inc();
+    Ok(stats)
+}
+
+/// Decode live-point `index` and simulate it — the instrumented
+/// point-processing site shared by the runners.
+pub(crate) fn process_point(
+    library: &LivePointLibrary,
+    index: usize,
+    program: &Program,
+    machine: &MachineConfig,
+) -> Result<WindowStats, CoreError> {
+    simulate_point(&decode_point(library, index)?, program, machine)
+}
+
+/// Record that early termination fired with `count` points merged.
+pub(crate) fn note_early_stop(count: u64) {
+    TLM_EARLY_STOP_POINT.set(count as i64);
+}
 
 /// Cross-worker coordination for sharded parallel runs: the merged
 /// progress estimator (early termination + trajectory), the trajectory
@@ -39,6 +94,16 @@ impl<P> ShardCoordinator<P> {
             reached: AtomicBool::new(false),
             fault: Mutex::new(None),
         }
+    }
+
+    /// Acquire the shared progress estimator for a merge, timing how
+    /// long the worker waited on the lock (`core.run.lock_wait_ns`).
+    pub fn lock_progress(&self) -> std::sync::MutexGuard<'_, P> {
+        let sw = Stopwatch::start();
+        let guard = self.progress.lock().expect("progress lock");
+        TLM_LOCK_WAIT_NS.add(sw.ns());
+        TLM_MERGES.inc();
+        guard
     }
 
     /// Record a worker fault and halt all shards.
@@ -227,14 +292,14 @@ impl<'l> OnlineRunner<'l> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
+        let _span = spectral_telemetry::span("run.online");
         let mut estimator = OnlineEstimator::new();
         let mut trajectory = Vec::new();
         let mut reached = false;
         let limit = self.limit(policy);
         let mut processed = 0;
         for i in 0..limit {
-            let lp = self.library.get(i)?;
-            let stats = simulate_live_point(&lp, program, &self.machine)?;
+            let stats = process_point(self.library, i, program, &self.machine)?;
             estimator.push(stats.cpi());
             processed += 1;
             if policy.trajectory_stride > 0 && processed % policy.trajectory_stride == 0 {
@@ -248,6 +313,7 @@ impl<'l> OnlineRunner<'l> {
                 && estimator.relative_half_width(policy.confidence) <= policy.target_rel_err
             {
                 reached = true;
+                note_early_stop(estimator.count());
                 break;
             }
         }
@@ -287,6 +353,7 @@ impl<'l> OnlineRunner<'l> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
+        let _span = spectral_telemetry::span("run.online_parallel");
         let limit = self.limit(policy);
         let threads = threads.clamp(1, limit);
         let merge_stride = policy.merge_stride.max(1) as u64;
@@ -301,10 +368,7 @@ impl<'l> OnlineRunner<'l> {
                     let mut batch = OnlineEstimator::new();
                     let mut index = worker;
                     while index < limit && !coord.stop.load(Ordering::Relaxed) {
-                        let outcome = self
-                            .library
-                            .get(index)
-                            .and_then(|lp| simulate_live_point(&lp, program, &self.machine));
+                        let outcome = process_point(self.library, index, program, &self.machine);
                         match outcome {
                             Ok(stats) => {
                                 shard.push(stats.cpi());
@@ -358,7 +422,7 @@ impl<'l> OnlineRunner<'l> {
         coord: &ShardCoordinator<OnlineEstimator>,
     ) {
         let snapshot = {
-            let mut merged = coord.progress.lock().expect("progress lock");
+            let mut merged = coord.lock_progress();
             merged.merge(batch);
             *merged
         };
@@ -371,6 +435,7 @@ impl<'l> OnlineRunner<'l> {
         if snapshot.count() >= MIN_SAMPLE_SIZE
             && snapshot.relative_half_width(policy.confidence) <= policy.target_rel_err
         {
+            note_early_stop(snapshot.count());
             coord.reached.store(true, Ordering::Relaxed);
             coord.stop.store(true, Ordering::Relaxed);
         }

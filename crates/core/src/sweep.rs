@@ -19,7 +19,9 @@ use spectral_uarch::MachineConfig;
 
 use crate::error::CoreError;
 use crate::library::LivePointLibrary;
-use crate::runner::{simulate_live_point, Estimate, RunPolicy, ShardCoordinator};
+use crate::runner::{
+    decode_point, note_early_stop, simulate_point, Estimate, RunPolicy, ShardCoordinator,
+};
 
 /// Accumulated sweep state: one estimator per configuration, one
 /// matched pair per non-baseline configuration (vs configuration 0),
@@ -157,10 +159,10 @@ impl<'l> SweepRunner<'l> {
 
     /// Simulate one decoded live-point under every configuration.
     fn measure_point(&self, index: usize, program: &Program) -> Result<Vec<f64>, CoreError> {
-        let lp = self.library.get(index)?; // the one decode
+        let lp = decode_point(self.library, index)?; // the one decode
         self.machines
             .iter()
-            .map(|m| simulate_live_point(&lp, program, m).map(|stats| stats.cpi()))
+            .map(|m| simulate_point(&lp, program, m).map(|stats| stats.cpi()))
             .collect()
     }
 
@@ -202,6 +204,7 @@ impl<'l> SweepRunner<'l> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
+        let _span = spectral_telemetry::span("run.sweep");
         let limit = self.limit(policy);
         let mut progress = SweepProgress::new(self.machines.len());
         let mut reached = false;
@@ -214,6 +217,7 @@ impl<'l> SweepRunner<'l> {
             }
             if progress.all_reached(policy) {
                 reached = true;
+                note_early_stop(n);
                 break;
             }
         }
@@ -243,6 +247,7 @@ impl<'l> SweepRunner<'l> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
+        let _span = spectral_telemetry::span("run.sweep_parallel");
         let limit = self.limit(policy);
         let threads = threads.clamp(1, limit);
         let merge_stride = policy.merge_stride.max(1) as u64;
@@ -251,15 +256,17 @@ impl<'l> SweepRunner<'l> {
             ShardCoordinator::with_progress(SweepProgress::new(configs));
 
         let flush = |batch: &mut SweepProgress| {
-            let mut merged = coord.progress.lock().expect("progress lock");
+            let mut merged = coord.lock_progress();
             merged.merge(batch);
             if policy.trajectory_stride > 0 {
                 merged.record_trajectory(policy);
             }
             let done = merged.all_reached(policy);
+            let count = merged.estimators[0].count();
             drop(merged);
             *batch = SweepProgress::new(configs);
             if done {
+                note_early_stop(count);
                 coord.reached.store(true, Ordering::Relaxed);
                 coord.stop.store(true, Ordering::Relaxed);
             }

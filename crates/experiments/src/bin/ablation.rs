@@ -9,13 +9,16 @@
 //!    (Barr-style) — checkpointed-warming bias under each.
 
 use spectral_core::{CreationConfig, L2StreamPolicy, LivePointLibrary, OnlineRunner, RunPolicy};
-use spectral_experiments::{load_cases, print_table, Args};
+use spectral_experiments::{load_cases, run_main, Args, ExpError, Report, Timer};
 use spectral_stats::{SampleDesign, SystematicDesign};
 use spectral_uarch::MachineConfig;
 use spectral_warming::{complete_detailed, smarts_run};
 
-fn main() {
-    let mut args = Args::parse();
+fn main() -> std::process::ExitCode {
+    run_main("ablation", run)
+}
+
+fn run(mut args: Args) -> Result<(), ExpError> {
     if args.benchmarks.is_none() && args.limit.is_none() && !args.quick {
         args.benchmarks = Some(vec![
             "gcc-like".into(),
@@ -28,9 +31,13 @@ fn main() {
     let design = SystematicDesign::paper_8way();
     let n_windows = args.window_count(100);
     let threads = args.thread_count();
-    let cases = load_cases(&args);
+    let cases = load_cases(&args)?;
+    let benchmarks: Vec<&str> = cases.iter().map(|c| c.name()).collect();
+    let mut report = Report::new("ablation");
+    let mut manifest = args.manifest("ablation", &benchmarks.join(","));
 
-    println!("== Ablation 1: wrong-path modeling (complete detailed runs) ==\n");
+    report.line("== Ablation 1: wrong-path modeling (complete detailed runs) ==\n");
+    let t = Timer::start();
     let mut rows = Vec::new();
     for case in &cases {
         let with_wp = complete_detailed(&machine, &case.program);
@@ -43,15 +50,19 @@ fn main() {
             with_wp.wrong_path_fetched.to_string(),
         ]);
     }
-    print_table(
+    manifest.phase("ablate_wrong_path", t.secs());
+    report.table(
+        "",
         &["benchmark", "CPI (modeled)", "CPI (no wrong path)", "delta", "wp insts fetched"],
-        &rows,
+        rows,
     );
-    println!("wrong-path work perturbs cache tags and contends for resources; removing the");
-    println!("mechanism shifts CPI, which is why restricted live-state (fig5) carries bias.\n");
+    report.line("wrong-path work perturbs cache tags and contends for resources; removing the");
+    report.line("mechanism shifts CPI, which is why restricted live-state (fig5) carries bias.\n");
 
-    println!("== Ablation 2: L2 record stream policy (checkpointed-warming bias) ==\n");
+    report.line("== Ablation 2: L2 record stream policy (checkpointed-warming bias) ==\n");
+    let t = Timer::start();
     let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
+    let mut points = 0u64;
     let mut rows = Vec::new();
     for case in &cases {
         let windows = design.windows(case.len, n_windows, 555);
@@ -65,11 +76,13 @@ fn main() {
                 &cfg,
                 &windows,
                 threads,
-            )
-            .expect("library creation");
-            let est = OnlineRunner::new(&lib, machine.clone())
-                .run_parallel(&case.program, &policy, threads)
-                .expect("run");
+            )?;
+            let est = OnlineRunner::new(&lib, machine.clone()).run_parallel(
+                &case.program,
+                &policy,
+                threads,
+            )?;
+            points += est.processed() as u64;
             bias.push((est.mean() - smarts.cpi()).abs() / smarts.cpi() * 100.0);
         }
         rows.push(vec![
@@ -78,7 +91,16 @@ fn main() {
             format!("{:.3}%", bias[1]),
         ]);
     }
-    print_table(&["benchmark", "filtered-by-max-L1 (default)", "unfiltered (Barr-style)"], &rows);
-    println!("bias vs full warming on identical windows; the filtered default is exact when");
-    println!("the simulated L1s equal the library maxima (DESIGN.md decision #6).");
+    manifest.phase("ablate_l2_policy", t.secs());
+    manifest.points_processed = Some(points);
+    report.table(
+        "",
+        &["benchmark", "filtered-by-max-L1 (default)", "unfiltered (Barr-style)"],
+        rows,
+    );
+    report.line("bias vs full warming on identical windows; the filtered default is exact when");
+    report.line("the simulated L1s equal the library maxima (DESIGN.md decision #6).");
+
+    report.finish(&args)?;
+    args.finish_run(&manifest)
 }

@@ -3,21 +3,30 @@
 //! miss rates, memory footprint, and per-window CPI variability — the
 //! quantity that determines each benchmark's required sample size).
 
-use spectral_experiments::{fmt_bytes, load_cases, par_map, print_table, Args};
+use spectral_experiments::{
+    fmt_bytes, load_cases, par_map, run_main, Args, ExpError, Report, Timer,
+};
 use spectral_isa::Emulator;
 use spectral_stats::{required_sample_size, Confidence, SampleDesign, SystematicDesign};
 use spectral_uarch::MachineConfig;
 use spectral_warming::{complete_detailed, smarts_run};
 
-fn main() {
-    let args = Args::parse();
+fn main() -> std::process::ExitCode {
+    run_main("characterize", run)
+}
+
+fn run(args: Args) -> Result<(), ExpError> {
     let machine = MachineConfig::eight_way();
     let design = SystematicDesign::paper_8way();
     let n_windows = args.window_count(120);
-    let cases = load_cases(&args);
+    let cases = load_cases(&args)?;
+    let benchmarks: Vec<&str> = cases.iter().map(|c| c.name()).collect();
+    let mut report = Report::new("characterize");
+    let mut manifest = args.manifest("characterize", &benchmarks.join(","));
 
-    println!("== Synthetic suite characterization (8-way baseline) ==\n");
+    report.line("== Synthetic suite characterization (8-way baseline) ==\n");
     // Benchmarks are independent: characterize them in parallel.
+    let t = Timer::start();
     let rows = par_map(&cases, args.thread_count(), |case| {
         let stats = complete_detailed(&machine, &case.program);
         // Footprint from a functional pass.
@@ -46,7 +55,9 @@ fn main() {
             needed.to_string(),
         ]
     });
-    print_table(
+    manifest.phase("characterize_suite", t.secs());
+    report.table(
+        "",
         &[
             "benchmark",
             "length",
@@ -58,10 +69,13 @@ fn main() {
             "window CV",
             "n for ±3%",
         ],
-        &rows,
+        rows,
     );
-    println!();
-    println!("  *misses per data access (loads + committed stores)");
-    println!("window CV drives sample size (n ≈ (3·cv/0.03)²) — the paper's Table 2 runtime");
-    println!("spread (1 s … 12 min per benchmark) is exactly this variation.");
+    report.blank();
+    report.line("  *misses per data access (loads + committed stores)");
+    report.line("window CV drives sample size (n ≈ (3·cv/0.03)²) — the paper's Table 2 runtime");
+    report.line("spread (1 s … 12 min per benchmark) is exactly this variation.");
+
+    report.finish(&args)?;
+    args.finish_run(&manifest)
 }

@@ -7,7 +7,7 @@
 //! worse than full warming, with a heavy tail on phase-heavy benchmarks,
 //! and the unstitched variant is worse still.
 
-use spectral_experiments::{load_cases, par_map, print_table, Args};
+use spectral_experiments::{load_cases, par_map, run_main, Args, ExpError, Report, Timer};
 use spectral_stats::{SampleDesign, SystematicDesign};
 use spectral_uarch::MachineConfig;
 use spectral_warming::{adaptive_run, mrrl_analyze, smarts_run};
@@ -18,16 +18,27 @@ use spectral_warming::{adaptive_run, mrrl_analyze, smarts_run};
 /// the speed of adaptive warming", §4.2).
 const REUSE_POINTS: [f64; 3] = [0.999, 0.95, 0.5];
 
-fn main() {
-    let args = Args::parse();
+fn main() -> std::process::ExitCode {
+    run_main("fig4", run)
+}
+
+fn run(args: Args) -> Result<(), ExpError> {
     let machine = MachineConfig::eight_way();
     let design = SystematicDesign::paper_8way();
     let n_windows = args.window_count(150);
     let seeds = args.seed_count(3);
-    let cases = load_cases(&args);
+    let cases = load_cases(&args)?;
+    let benchmarks: Vec<&str> = cases.iter().map(|c| c.name()).collect();
+    let mut report = Report::new("fig4");
+    let mut manifest = args.manifest("fig4", &benchmarks.join(","));
 
-    println!("== Figure 4: AW-MRRL additional CPI bias vs full warming (8-way) ==");
-    println!("benchmarks={} windows/sample={} samples={}\n", cases.len(), n_windows, seeds);
+    report.line("== Figure 4: AW-MRRL additional CPI bias vs full warming (8-way) ==");
+    report.line(format!(
+        "benchmarks={} windows/sample={} samples={}\n",
+        cases.len(),
+        n_windows,
+        seeds
+    ));
 
     // Per-case bias runs are independent: fan out over benchmarks.
     struct CaseResult {
@@ -40,6 +51,7 @@ fn main() {
         warm_cheap: f64,
         warm_half: f64,
     }
+    let t = Timer::start();
     let results = par_map(&cases, args.thread_count(), |case| {
         let mut st_acc = 0.0;
         let mut un_acc = 0.0;
@@ -80,6 +92,7 @@ fn main() {
             warm_half,
         }
     });
+    manifest.phase("bias_sweep", t.secs());
 
     let mut rows: Vec<(String, f64, f64)> = Vec::new(); // (name, stitched@99.9, unstitched@99.9)
     let mut cheap_rows: Vec<f64> = Vec::new(); // stitched @ 95%
@@ -122,8 +135,8 @@ fn main() {
             format!("{:.2}%", avg(&|r| r.2)),
         ]);
     }
-    println!();
-    print_table(&["benchmark", "AW-MRRL stitched (add'l bias)", "AW-MRRL unstitched"], &table);
+    report.blank();
+    report.table("", &["benchmark", "AW-MRRL stitched (add'l bias)", "AW-MRRL unstitched"], table);
 
     let avg_st = rows.iter().map(|r| r.1).sum::<f64>() / rows.len() as f64;
     let worst_st = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
@@ -133,13 +146,24 @@ fn main() {
     let worst_ch = cheap_rows.iter().fold(0.0f64, |a, &b| a.max(b));
     let avg_hf = half_rows.iter().sum::<f64>() / half_rows.len() as f64;
     let worst_hf = half_rows.iter().fold(0.0f64, |a, &b| a.max(b));
-    println!();
-    println!(
-        "summary (paper: stitched 1.1% avg / 5.4% worst at 20% warming; unstitched 1.9% / 11%):"
+    manifest.note("stitched_avg_bias_pct", format!("{avg_st:.3}"));
+    manifest.note("stitched_worst_bias_pct", format!("{worst_st:.3}"));
+    report.blank();
+    report.line(
+        "summary (paper: stitched 1.1% avg / 5.4% worst at 20% warming; unstitched 1.9% / 11%):",
     );
-    println!("  stitched @99.9% : avg {avg_st:.2}%  worst {worst_st:.2}%  (warming {warm_fraction:.0}% of gaps)");
-    println!("  stitched @95%   : avg {avg_ch:.2}%  worst {worst_ch:.2}%  (warming {warm_fraction_cheap:.0}% of gaps)");
-    println!("  stitched @50%   : avg {avg_hf:.2}%  worst {worst_hf:.2}%  (warming {warm_fraction_half:.0}% of gaps)");
-    println!("  unstitched      : avg {avg_un:.2}%  worst {worst_un:.2}%");
-    println!("the accuracy-vs-warming Pareto: less warming -> more bias, as the paper argues.");
+    report.line(format!(
+        "  stitched @99.9% : avg {avg_st:.2}%  worst {worst_st:.2}%  (warming {warm_fraction:.0}% of gaps)"
+    ));
+    report.line(format!(
+        "  stitched @95%   : avg {avg_ch:.2}%  worst {worst_ch:.2}%  (warming {warm_fraction_cheap:.0}% of gaps)"
+    ));
+    report.line(format!(
+        "  stitched @50%   : avg {avg_hf:.2}%  worst {worst_hf:.2}%  (warming {warm_fraction_half:.0}% of gaps)"
+    ));
+    report.line(format!("  unstitched      : avg {avg_un:.2}%  worst {worst_un:.2}%"));
+    report.line("the accuracy-vs-warming Pareto: less warming -> more bias, as the paper argues.");
+
+    report.finish(&args)?;
+    args.finish_run(&manifest)
 }

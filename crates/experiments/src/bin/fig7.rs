@@ -10,21 +10,27 @@
 //! image dwarfs both by orders of magnitude.
 
 use spectral_core::{collect_live_state, CreationConfig, LivePointLibrary, SizeBreakdown};
-use spectral_experiments::{fmt_bytes, load_cases, print_table, Args};
+use spectral_experiments::{fmt_bytes, load_cases, run_main, Args, ExpError, Report, Timer};
 use spectral_stats::{SampleDesign, SystematicDesign};
 use spectral_uarch::MachineConfig;
 use spectral_warming::mrrl_analyze;
 
-fn main() {
-    let args = Args::parse();
+fn main() -> std::process::ExitCode {
+    run_main("fig7", run)
+}
+
+fn run(args: Args) -> Result<(), ExpError> {
     let machine = MachineConfig::eight_way();
     let design = SystematicDesign::paper_8way();
     let n_points = args.window_count(16);
     let threads = args.thread_count();
-    let cases = load_cases(&args);
+    let cases = load_cases(&args)?;
+    let benchmarks: Vec<&str> = cases.iter().map(|c| c.name()).collect();
+    let mut report = Report::new("fig7");
+    let mut manifest = args.manifest("fig7", &benchmarks.join(","));
 
-    println!("== Figure 7: live-point size breakdown (uncompressed DER) ==");
-    println!("benchmarks={} points/benchmark={}\n", cases.len(), n_points);
+    report.line("== Figure 7: live-point size breakdown (uncompressed DER) ==");
+    report.line(format!("benchmarks={} points/benchmark={}\n", cases.len(), n_points));
 
     let mut acc = SizeBreakdown::default();
     let mut aw_mem_acc = 0u64;
@@ -32,13 +38,13 @@ fn main() {
     let mut compressed_acc = 0u64;
     let mut rows = Vec::new();
 
+    let t = Timer::start();
     for case in &cases {
         let windows = design.windows(case.len, n_points, 77);
         let cfg = CreationConfig::for_machine(&machine).with_sample_size(n_points);
         let lib =
-            LivePointLibrary::create_with_windows_parallel(&case.program, &cfg, &windows, threads)
-                .expect("library creation");
-        let b = lib.mean_breakdown(8).expect("breakdown");
+            LivePointLibrary::create_with_windows_parallel(&case.program, &cfg, &windows, threads)?;
+        let b = lib.mean_breakdown(8)?;
 
         // AW-MRRL checkpoint model: architectural registers plus the
         // live-state of the (much longer) warming+detailed window.
@@ -53,7 +59,7 @@ fn main() {
         }
         aw_mem /= sample as u64;
 
-        let conventional = lib.get(0).expect("decode").live_state.conventional_bytes;
+        let conventional = lib.get(0)?.live_state.conventional_bytes;
 
         rows.push(vec![
             case.name().to_owned(),
@@ -78,8 +84,10 @@ fn main() {
         conventional_acc += conventional;
         compressed_acc += lib.mean_point_bytes();
     }
+    manifest.phase("size_breakdown", t.secs());
 
-    print_table(
+    report.table(
+        "",
         &[
             "benchmark",
             "regs+TLB",
@@ -93,13 +101,15 @@ fn main() {
             "AW-MRRL ckpt",
             "conventional",
         ],
-        &rows,
+        rows,
     );
 
     let n = cases.len() as u64;
-    println!();
-    println!("suite averages (paper: 3K / 4K / 8K / 16K / 46K / 16K = ~142 KB; AW ~363 KB; conventional ~105 MB):");
-    println!(
+    manifest.note("mean_live_point_bytes", (acc.total() / n).to_string());
+    manifest.note("mean_compressed_bytes", (compressed_acc / n).to_string());
+    report.blank();
+    report.line("suite averages (paper: 3K / 4K / 8K / 16K / 46K / 16K = ~142 KB; AW ~363 KB; conventional ~105 MB):");
+    report.line(format!(
         "  regs+TLB {}  bpred {}  L1I {}  L1D {}  L2 {}  mem {}  | total {}  compressed {}",
         fmt_bytes(acc.regs_tlb / n),
         fmt_bytes(acc.bpred / n),
@@ -109,14 +119,17 @@ fn main() {
         fmt_bytes(acc.memory_data / n),
         fmt_bytes(acc.total() / n),
         fmt_bytes(compressed_acc / n),
-    );
-    println!(
+    ));
+    report.line(format!(
         "  AW-MRRL checkpoint {}   conventional checkpoint {}",
         fmt_bytes(aw_mem_acc / n),
         fmt_bytes(conventional_acc / n)
-    );
-    println!(
+    ));
+    report.line(format!(
         "  live-point : conventional ratio = 1 : {:.0}",
         conventional_acc as f64 / acc.total().max(1) as f64
-    );
+    ));
+
+    report.finish(&args)?;
+    args.finish_run(&manifest)
 }

@@ -11,14 +11,17 @@
 
 use spectral_codec::{lzss, varint};
 use spectral_core::{collect_live_state, CreationConfig, LivePointLibrary};
-use spectral_experiments::{fmt_bytes, load_cases, print_table, Args, Timer};
+use spectral_experiments::{fmt_bytes, load_cases, run_main, Args, ExpError, Report, Timer};
 use spectral_isa::Emulator;
 use spectral_stats::{SampleDesign, SystematicDesign};
 use spectral_uarch::{BpredConfig, MachineConfig};
 use spectral_warming::{mrrl_analyze, FunctionalWarmer};
 
-fn main() {
-    let args = Args::parse();
+fn main() -> std::process::ExitCode {
+    run_main("fig8", run)
+}
+
+fn run(args: Args) -> Result<(), ExpError> {
     let n_points = args.window_count(12);
     let threads = args.thread_count();
     // The sweep needs a footprint larger than the largest stored cache
@@ -26,7 +29,7 @@ fn main() {
     // suite's benchmarks stay laptop-sized, so fig8 brings its own.
     let cases;
     let case = if args.benchmarks.is_some() || args.limit.is_some() {
-        cases = load_cases(&args);
+        cases = load_cases(&args)?;
         &cases[0]
     } else {
         use spectral_workloads::{Benchmark, Kernel, Schedule};
@@ -46,11 +49,14 @@ fn main() {
     };
     let design = SystematicDesign::paper_8way();
     let windows = design.windows(case.len, n_points, 88);
+    let mut report = Report::new("fig8");
+    let mut manifest = args.manifest("fig8", case.name());
 
-    println!("== Figure 8: checkpoint size & processing time vs max cache size ==");
-    println!("benchmark={} points={}\n", case.name(), windows.len());
+    report.line("== Figure 8: checkpoint size & processing time vs max cache size ==");
+    report.line(format!("benchmark={} points={}\n", case.name(), windows.len()));
 
     // --- AW-MRRL comparator (independent of max cache size) -----------
+    let t = Timer::start();
     let analysis = mrrl_analyze(&case.program, &windows, 32, 0.999);
     let mean_warm = analysis.mean_warming();
     // Checkpoint: architectural registers + live-state of the warming
@@ -90,14 +96,17 @@ fn main() {
         n as f64 / t.secs()
     };
     let aw_ms = mean_warm / rate * 1000.0;
+    manifest.phase("aw_mrrl_comparator", t.secs());
 
     // --- live-point sweep ---------------------------------------------
+    let t = Timer::start();
     let sweep: [(u64, u32, u32); 5] =
         [(1, 2048, 11), (2, 4096, 12), (4, 8192, 13), (8, 16384, 14), (16, 32768, 15)];
     let mut rows = Vec::new();
     for &(l2_mb, bp_entries, hist) in &sweep {
         let mut max_h = MachineConfig::eight_way().hierarchy;
-        max_h.l2 = spectral_cache::CacheConfig::new(l2_mb << 20, 8, 128).expect("valid");
+        max_h.l2 = spectral_cache::CacheConfig::new(l2_mb << 20, 8, 128)
+            .map_err(|e| ExpError::msg(format!("cache config: {e}")))?;
         let bp = BpredConfig {
             table_entries: bp_entries,
             history_bits: hist,
@@ -113,12 +122,11 @@ fn main() {
             ..CreationConfig::for_machine(&MachineConfig::eight_way())
         };
         let lib =
-            LivePointLibrary::create_with_windows_parallel(&case.program, &cfg, &windows, threads)
-                .expect("library creation");
+            LivePointLibrary::create_with_windows_parallel(&case.program, &cfg, &windows, threads)?;
         // Load (decompress + decode) time per point.
         let t = Timer::start();
         for i in 0..lib.len() {
-            let _ = lib.get(i).expect("decode");
+            let _ = lib.get(i)?;
         }
         let lp_ms = t.secs() / lib.len() as f64 * 1000.0;
         rows.push(vec![
@@ -129,18 +137,23 @@ fn main() {
             format!("{aw_ms:.2} ms"),
         ]);
     }
+    manifest.phase("max_cache_sweep", t.secs());
 
-    print_table(
+    report.table(
+        "",
         &["max config", "live-point (compressed)", "AW-MRRL ckpt", "LP load time", "AW warm time"],
-        &rows,
+        rows,
     );
-    println!();
-    println!(
+    report.blank();
+    report.line(format!(
         "AW-MRRL mean warming span: {:.0} instructions ({:.1}% of the mean inter-window gap)",
         mean_warm,
         mean_warm / (case.len as f64 / windows.len() as f64) * 100.0
-    );
-    println!("shape: LP size grows with the stored max cache toward the flat AW-MRRL size");
-    println!("       (crossover position depends on the workload's warming spans);");
-    println!("       LP load stays 1-2 orders of magnitude below AW per-window warming.");
+    ));
+    report.line("shape: LP size grows with the stored max cache toward the flat AW-MRRL size");
+    report.line("       (crossover position depends on the workload's warming spans);");
+    report.line("       LP load stays 1-2 orders of magnitude below AW per-window warming.");
+
+    report.finish(&args)?;
+    args.finish_run(&manifest)
 }

@@ -7,18 +7,24 @@
 //! that have little effect.
 
 use spectral_core::{CreationConfig, LivePointLibrary, MatchedRunner, RunPolicy};
-use spectral_experiments::{load_cases, print_table, Args};
+use spectral_experiments::{load_cases, run_main, Args, ExpError, Report, Timer};
 use spectral_uarch::{FuPools, MachineConfig};
 
-fn main() {
-    let mut args = Args::parse();
+fn main() -> std::process::ExitCode {
+    run_main("matched_pair", run)
+}
+
+fn run(mut args: Args) -> Result<(), ExpError> {
     if args.benchmarks.is_none() && args.limit.is_none() && !args.quick {
         args.benchmarks = Some(vec!["gcc-like".into(), "mcf-like".into(), "swim-like".into()]);
     }
-    let cases = load_cases(&args);
+    let cases = load_cases(&args)?;
     let library_cap = args.window_count(400);
     let threads = args.thread_count();
     let base = MachineConfig::eight_way();
+    let mut report = Report::new("matched_pair");
+    let benchmarks: Vec<&str> = cases.iter().map(|c| c.name()).collect();
+    let mut manifest = args.manifest("matched_pair", &benchmarks.join(","));
 
     // The sensitivity suite (paper: "varying latencies, queue sizes,
     // functional unit mix, etc.").
@@ -42,25 +48,29 @@ fn main() {
         ("no change (control)", base.clone()),
     ];
 
-    println!("== Matched-pair comparison (paper SS6.2): sample-size reduction ==");
-    println!("benchmarks={} library cap={}\n", cases.len(), library_cap);
+    report.line("== Matched-pair comparison (paper SS6.2): sample-size reduction ==");
+    report.line(format!("benchmarks={} library cap={}\n", cases.len(), library_cap));
 
     let policy = RunPolicy::default();
     let mut all_factors: Vec<f64> = Vec::new();
     let mut rows = Vec::new();
+    let mut pairs_total = 0u64;
     for case in &cases {
+        let t = Timer::start();
         let cfg = CreationConfig::for_machine(&base).with_sample_size(library_cap);
-        let library = LivePointLibrary::create_parallel(&case.program, &cfg, threads)
-            .expect("library creation");
+        let library = LivePointLibrary::create_parallel(&case.program, &cfg, threads)?;
+        manifest.phase(format!("create_library.{}", case.name()), t.secs());
+        let t = Timer::start();
         for (label, variant) in &variants {
             let runner = MatchedRunner::new(&library, base.clone(), variant.clone());
-            let out = runner.run_parallel(&case.program, &policy, threads).expect("matched run");
+            let out = runner.run_parallel(&case.program, &policy, threads)?;
             let absolute =
                 out.pair().required_absolute_sample(policy.target_rel_err, policy.confidence);
             let matched =
                 out.pair().required_delta_sample(policy.target_rel_err, policy.confidence);
             let factor = out.reduction_factor(policy.target_rel_err);
             all_factors.push(factor);
+            pairs_total += out.processed() as u64;
             rows.push(vec![
                 case.name().to_owned(),
                 (*label).to_owned(),
@@ -72,9 +82,12 @@ fn main() {
                 format!("{factor:.1}x"),
             ]);
         }
+        manifest.phase(format!("run_variants.{}", case.name()), t.secs());
     }
+    manifest.points_processed = Some(pairs_total);
 
-    print_table(
+    report.table(
+        "",
         &[
             "benchmark",
             "design change",
@@ -85,15 +98,19 @@ fn main() {
             "n absolute",
             "reduction",
         ],
-        &rows,
+        rows,
     );
 
     let min = all_factors.iter().fold(f64::INFINITY, |a, &b| a.min(b));
     let max = all_factors.iter().fold(0.0f64, |a, &b| a.max(b));
     let gm = (all_factors.iter().map(|f| f.ln()).sum::<f64>() / all_factors.len() as f64).exp();
-    println!();
-    println!(
+    manifest.note("reduction_geo_mean", format!("{gm:.2}"));
+    report.blank();
+    report.line(format!(
         "reduction factors: min {min:.1}x  geo-mean {gm:.1}x  max {max:.1}x   (paper: 3.5x - 150x)"
-    );
-    println!("largest factors on no-effect changes, as the paper observes.");
+    ));
+    report.line("largest factors on no-effect changes, as the paper observes.");
+
+    report.finish(&args)?;
+    args.finish_run(&manifest)
 }

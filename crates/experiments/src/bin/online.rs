@@ -5,31 +5,42 @@
 //! processing (window independence).
 
 use spectral_core::{CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy};
-use spectral_experiments::{fmt_secs, load_cases, print_table, Args, Timer};
+use spectral_experiments::{fmt_secs, load_cases, run_main, Args, ExpError, Report, Timer};
 use spectral_uarch::MachineConfig;
 use spectral_warming::complete_detailed;
 
-fn main() {
-    let mut args = Args::parse();
+fn main() -> std::process::ExitCode {
+    run_main("online", run)
+}
+
+fn run(mut args: Args) -> Result<(), ExpError> {
     if args.benchmarks.is_none() && args.limit.is_none() {
         args.benchmarks = Some(vec!["gcc-like".into()]);
     }
-    let cases = load_cases(&args);
+    let cases = load_cases(&args)?;
     let case = &cases[0];
     let machine = MachineConfig::eight_way();
     let library_cap = args.window_count(400);
+    let mut report = Report::new("online");
+    let mut manifest = args.manifest("online", case.name());
+    manifest.seed = Some(CreationConfig::for_machine(&machine).seed);
 
-    println!("== Online results (paper SS6.1): random-order convergence ==");
-    println!("benchmark={} library cap={}\n", case.name(), library_cap);
+    report.line("== Online results (paper SS6.1): random-order convergence ==");
+    report.line(format!("benchmark={} library cap={}\n", case.name(), library_cap));
 
+    let t = Timer::start();
     let cfg = CreationConfig::for_machine(&machine).with_sample_size(library_cap);
-    let library = LivePointLibrary::create_parallel(&case.program, &cfg, args.thread_count())
-        .expect("library creation");
+    let library = LivePointLibrary::create_parallel(&case.program, &cfg, args.thread_count())?;
+    manifest.phase("create_library", t.secs());
+    manifest.library_id = Some(format!("crc32:{:08x}", library.content_hash()));
+    manifest.library_points = Some(library.len() as u64);
     let runner = OnlineRunner::new(&library, machine.clone());
 
     // Exhaustive run with a fine trajectory: the convergence picture.
+    let t = Timer::start();
     let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 20, ..RunPolicy::default() };
-    let estimate = runner.run(&case.program, &policy).expect("run");
+    let estimate = runner.run(&case.program, &policy)?;
+    manifest.phase("run_exhaustive", t.secs());
     let reference = complete_detailed(&machine, &case.program);
 
     let rows: Vec<Vec<String>> = estimate
@@ -44,26 +55,29 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["live-points", "CPI estimate", "99.7% CI", "relative"], &rows);
-    println!();
-    println!(
+    report.table("", &["live-points", "CPI estimate", "99.7% CI", "relative"], rows);
+    report.blank();
+    report.line(format!(
         "final estimate {:.4} ± {:.4}  |  complete-detailed reference {:.4}  (bias {:.2}%)",
         estimate.mean(),
         estimate.half_width(),
         reference.cpi(),
         (estimate.mean() - reference.cpi()).abs() / reference.cpi() * 100.0
-    );
+    ));
 
     // Early termination at the paper's target.
     let t = Timer::start();
-    let early = runner.run(&case.program, &RunPolicy::default()).expect("run");
-    println!();
-    println!(
+    let early = runner.run(&case.program, &RunPolicy::default())?;
+    manifest.phase("run_early_termination", t.secs());
+    manifest.points_processed = Some(early.processed() as u64);
+    manifest.set_estimate(early.mean(), early.half_width(), early.reached_target());
+    report.blank();
+    report.line(format!(
         "early termination at ±3% @ 99.7%: {} live-points in {} (reached: {})",
         early.processed(),
         fmt_secs(t.secs()),
         early.reached_target()
-    );
+    ));
 
     // Parallel farm: same estimate, more workers (wall-clock gains
     // require a multi-core host; correctness holds regardless).
@@ -73,23 +87,26 @@ fn main() {
             farm.push(t);
         }
     }
+    let t = Timer::start();
     for threads in farm {
         let t = Timer::start();
-        let est = runner
-            .run_parallel(
-                &case.program,
-                &RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() },
-                threads,
-            )
-            .expect("parallel run");
-        println!(
+        let est = runner.run_parallel(
+            &case.program,
+            &RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() },
+            threads,
+        )?;
+        report.line(format!(
             "parallel x{threads}: {} points, CPI {:.4}, {}",
             est.processed(),
             est.mean(),
             fmt_secs(t.secs())
-        );
+        ));
     }
-    println!();
-    println!("shape: CI tightens as points accumulate; estimates are unbiased at any cut;");
-    println!("parallel runs return the same estimate faster (independence, SS6).");
+    manifest.phase("run_parallel_farm", t.secs());
+    report.blank();
+    report.line("shape: CI tightens as points accumulate; estimates are unbiased at any cut;");
+    report.line("parallel runs return the same estimate faster (independence, SS6).");
+
+    report.finish(&args)?;
+    args.finish_run(&manifest)
 }

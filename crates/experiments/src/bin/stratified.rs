@@ -6,11 +6,14 @@
 //! warming is gone).
 
 use spectral_core::{CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy, StratifiedRunner};
-use spectral_experiments::{load_cases, print_table, Args};
+use spectral_experiments::{load_cases, run_main, Args, ExpError, Report, Timer};
 use spectral_uarch::MachineConfig;
 
-fn main() {
-    let mut args = Args::parse();
+fn main() -> std::process::ExitCode {
+    run_main("stratified", run)
+}
+
+fn run(mut args: Args) -> Result<(), ExpError> {
     if args.benchmarks.is_none() && args.limit.is_none() && !args.quick {
         // Phased benchmarks, where position tracks phase.
         args.benchmarks = Some(vec![
@@ -24,36 +27,41 @@ fn main() {
     let machine = MachineConfig::eight_way();
     let library_cap = args.window_count(400);
     let threads = args.thread_count();
-    let cases = load_cases(&args);
+    let cases = load_cases(&args)?;
+    let benchmarks: Vec<&str> = cases.iter().map(|c| c.name()).collect();
+    let mut report = Report::new("stratified");
+    let mut manifest = args.manifest("stratified", &benchmarks.join(","));
 
-    println!("== Stratified vs uniform estimation (position-band strata) ==");
-    println!("benchmarks={} library cap={}\n", cases.len(), library_cap);
+    report.line("== Stratified vs uniform estimation (position-band strata) ==");
+    report.line(format!("benchmarks={} library cap={}\n", cases.len(), library_cap));
 
     let exhaustive =
         RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
+    let t = Timer::start();
+    let mut points = 0u64;
     let mut rows = Vec::new();
     for case in &cases {
         let cfg = CreationConfig::for_machine(&machine).with_sample_size(library_cap);
-        let lib = LivePointLibrary::create_parallel(&case.program, &cfg, threads)
-            .expect("library creation");
+        let lib = LivePointLibrary::create_parallel(&case.program, &cfg, threads)?;
 
         // The uniform comparator runs sharded-parallel; the stratified
         // runner is serial (per-stratum accumulation).
-        let uniform = OnlineRunner::new(&lib, machine.clone())
-            .run_parallel(&case.program, &exhaustive, threads)
-            .expect("uniform run");
-        let strat = StratifiedRunner::new(&lib, machine.clone(), 4)
-            .run(&case.program, &exhaustive)
-            .expect("stratified run");
+        let uniform = OnlineRunner::new(&lib, machine.clone()).run_parallel(
+            &case.program,
+            &exhaustive,
+            threads,
+        )?;
+        let strat =
+            StratifiedRunner::new(&lib, machine.clone(), 4).run(&case.program, &exhaustive)?;
 
         // Early-termination comparison at the paper's ±3% target.
         let target = RunPolicy::default();
-        let u_early = OnlineRunner::new(&lib, machine.clone())
-            .run(&case.program, &target)
-            .expect("uniform early");
-        let s_early = StratifiedRunner::new(&lib, machine.clone(), 4)
-            .run(&case.program, &target)
-            .expect("stratified early");
+        let u_early = OnlineRunner::new(&lib, machine.clone()).run(&case.program, &target)?;
+        let s_early =
+            StratifiedRunner::new(&lib, machine.clone(), 4).run(&case.program, &target)?;
+        points +=
+            (uniform.processed() + strat.processed() + u_early.processed() + s_early.processed())
+                as u64;
 
         rows.push(vec![
             case.name().to_owned(),
@@ -65,7 +73,10 @@ fn main() {
             format!("{}{}", s_early.processed(), if s_early.reached_target() { "" } else { "*" }),
         ]);
     }
-    print_table(
+    manifest.phase("stratified_vs_uniform", t.secs());
+    manifest.points_processed = Some(points);
+    report.table(
+        "",
         &[
             "benchmark",
             "uniform CPI",
@@ -75,10 +86,13 @@ fn main() {
             "n uniform @3%",
             "n strat @3%",
         ],
-        &rows,
+        rows,
     );
-    println!("  * library exhausted before the ±3% target");
-    println!();
-    println!("shape: same means; stratified intervals no wider, usually tighter on phased");
-    println!("benchmarks — fewer live-points for the same confidence.");
+    report.line("  * library exhausted before the ±3% target");
+    report.blank();
+    report.line("shape: same means; stratified intervals no wider, usually tighter on phased");
+    report.line("benchmarks — fewer live-points for the same confidence.");
+
+    report.finish(&args)?;
+    args.finish_run(&manifest)
 }

@@ -14,26 +14,32 @@
 //! fast-forward the paper assumes is a free checkpoint jump.
 
 use spectral_core::{benchmark_length, CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy};
-use spectral_experiments::{fmt_secs, print_table, Args, Timer};
+use spectral_experiments::{fmt_secs, run_main, Args, ExpError, Report, Timer};
 use spectral_stats::{SampleDesign, SystematicDesign};
 use spectral_warming::{adaptive_run, complete_detailed, mrrl_analyze, smarts_run};
 
-fn main() {
-    let mut args = Args::parse();
+fn main() -> std::process::ExitCode {
+    run_main("table2", run)
+}
+
+fn run(mut args: Args) -> Result<(), ExpError> {
     if args.scale.is_none() {
         args.scale = Some(if args.quick { 2 } else { 6 });
     }
-    let machine = args.machine_config();
+    let machine = args.machine_config()?;
     let design = SystematicDesign::new(1000, machine.detailed_warming);
     let library_cap = args.window_count(500);
     let threads = args.thread_count();
-    let cases = spectral_experiments::load_cases(&args);
+    let cases = spectral_experiments::load_cases(&args)?;
+    let benchmarks: Vec<&str> = cases.iter().map(|c| c.name()).collect();
+    let mut report = Report::new("table2");
+    let mut manifest = args.manifest("table2", &benchmarks.join(","));
 
-    println!(
+    report.line(format!(
         "== Table 2: runtimes per benchmark ({}, scale {}x) ==\n",
         machine.name,
-        args.scale.unwrap()
-    );
+        args.scale.unwrap_or(1)
+    ));
 
     struct Row {
         name: String,
@@ -48,6 +54,7 @@ fn main() {
         rel_err: f64,
     }
 
+    let mut points = 0u64;
     let mut rows: Vec<Row> = Vec::new();
     for case in &cases {
         // Plain functional emulation rate: models the constant-time
@@ -65,16 +72,17 @@ fn main() {
         //    paper reports its 8.5 h creation pass separately).
         let cfg = CreationConfig::for_machine(&machine).with_sample_size(library_cap);
         let t = Timer::start();
-        let library = LivePointLibrary::create_parallel(&case.program, &cfg, threads)
-            .expect("library creation");
+        let library = LivePointLibrary::create_parallel(&case.program, &cfg, threads)?;
         let t_create = t.secs();
+        manifest.phase(format!("create_library.{}", case.name()), t_create);
 
         // 3. Live-point run to +-3% @ 99.7% (or library exhaustion).
         let runner = OnlineRunner::new(&library, machine.clone());
         let t = Timer::start();
-        let estimate =
-            runner.run_parallel(&case.program, &RunPolicy::default(), threads).expect("run");
+        let estimate = runner.run_parallel(&case.program, &RunPolicy::default(), threads)?;
         let t_lp = t.secs();
+        manifest.phase(format!("run_live_points.{}", case.name()), t_lp);
+        points += estimate.processed() as u64;
 
         // 4. SMARTS over the same number of windows the live-point run
         //    needed.
@@ -91,6 +99,7 @@ fn main() {
         let adaptive = adaptive_run(&machine, &case.program, &windows, &analysis, true);
         let t_aw_meas = t.secs();
         let t_aw_model = t_aw_meas - adaptive.sampled.skipped_insts as f64 / emu_rate;
+        manifest.phase(format!("run_comparators.{}", case.name()), t_full + t_smarts + t_aw_meas);
 
         eprintln!(
             "  {:14} ref CPI {:.3}  est {:.3}  n={}  lp {}  smarts {}",
@@ -114,6 +123,7 @@ fn main() {
             rel_err: estimate.relative_half_width() * 100.0,
         });
     }
+    manifest.points_processed = Some(points);
 
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -131,8 +141,9 @@ fn main() {
             ]
         })
         .collect();
-    println!();
-    print_table(
+    report.blank();
+    report.table(
+        "",
         &[
             "benchmark",
             "length",
@@ -144,10 +155,10 @@ fn main() {
             "achieved",
             "creation",
         ],
-        &table,
+        table,
     );
-    println!(
-        "  *AW-MRRL modelled: measured wall minus the fast-forward the paper's checkpoints skip"
+    report.line(
+        "  *AW-MRRL modelled: measured wall minus the fast-forward the paper's checkpoints skip",
     );
 
     let agg = |f: &dyn Fn(&Row) -> f64| -> (f64, f64, f64) {
@@ -167,24 +178,54 @@ fn main() {
     let (amin, aavg, amax) = agg(&|r| r.t_aw_model);
     let (mmin, mavg, mmax) = agg(&|r| r.t_aw_meas);
     let (lmin, lavg, lmax) = agg(&|r| r.t_lp);
-    println!();
-    println!("min / avg / max across benchmarks (paper row order):");
-    println!("  sim-outorder : {} / {} / {}", fmt_secs(fmin), fmt_secs(favg), fmt_secs(fmax));
-    println!("  SMARTSim     : {} / {} / {}", fmt_secs(smin), fmt_secs(savg), fmt_secs(smax));
-    println!("  AW-MRRL mod. : {} / {} / {}", fmt_secs(amin), fmt_secs(aavg), fmt_secs(amax));
-    println!("  AW-MRRL meas : {} / {} / {}", fmt_secs(mmin), fmt_secs(mavg), fmt_secs(mmax));
-    println!("  live-points  : {} / {} / {}", fmt_secs(lmin), fmt_secs(lavg), fmt_secs(lmax));
-    println!();
-    println!(
+    report.blank();
+    report.line("min / avg / max across benchmarks (paper row order):");
+    report.line(format!(
+        "  sim-outorder : {} / {} / {}",
+        fmt_secs(fmin),
+        fmt_secs(favg),
+        fmt_secs(fmax)
+    ));
+    report.line(format!(
+        "  SMARTSim     : {} / {} / {}",
+        fmt_secs(smin),
+        fmt_secs(savg),
+        fmt_secs(smax)
+    ));
+    report.line(format!(
+        "  AW-MRRL mod. : {} / {} / {}",
+        fmt_secs(amin),
+        fmt_secs(aavg),
+        fmt_secs(amax)
+    ));
+    report.line(format!(
+        "  AW-MRRL meas : {} / {} / {}",
+        fmt_secs(mmin),
+        fmt_secs(mavg),
+        fmt_secs(mmax)
+    ));
+    report.line(format!(
+        "  live-points  : {} / {} / {}",
+        fmt_secs(lmin),
+        fmt_secs(lavg),
+        fmt_secs(lmax)
+    ));
+    manifest.note("speedup_vs_sim_outorder", format!("{:.1}", favg / lavg));
+    manifest.note("speedup_vs_smarts", format!("{:.2}", savg / lavg));
+    report.blank();
+    report.line(format!(
         "speedups (avg): live-points vs sim-outorder {:.0}x, vs SMARTSim {:.1}x, vs AW-MRRL {:.1}x",
         favg / lavg,
         savg / lavg,
         aavg / lavg
+    ));
+    report.line(
+        "(paper: 250x+ vs SMARTSim at SPEC2K lengths; ratios compress at 10^4-shorter benchmarks,",
     );
-    println!(
-        "(paper: 250x+ vs SMARTSim at SPEC2K lengths; ratios compress at 10^4-shorter benchmarks,"
+    report.line(
+        " and grow with --scale: live-point time is O(sample), every other method is O(benchmark))",
     );
-    println!(
-        " and grow with --scale: live-point time is O(sample), every other method is O(benchmark))"
-    );
+
+    report.finish(&args)?;
+    args.finish_run(&manifest)
 }

@@ -9,21 +9,29 @@
 //! cache/TLB geometry plus the stored predictor set.
 
 use spectral_core::{CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy};
-use spectral_experiments::{fmt_bytes, fmt_secs, load_cases, print_table, Args, Timer};
+use spectral_experiments::{
+    fmt_bytes, fmt_secs, load_cases, run_main, Args, ExpError, Report, Timer,
+};
 use spectral_stats::{SampleDesign, SystematicDesign};
 use spectral_uarch::MachineConfig;
 use spectral_warming::{adaptive_run, complete_detailed, mrrl_analyze, smarts_run};
 
-fn main() {
-    let args = Args::parse();
+fn main() -> std::process::ExitCode {
+    run_main("table3", run)
+}
+
+fn run(args: Args) -> Result<(), ExpError> {
     let machine = MachineConfig::eight_way();
     let design = SystematicDesign::paper_8way();
     let n_windows = args.window_count(150);
     let threads = args.thread_count();
-    let cases = load_cases(&args);
+    let cases = load_cases(&args)?;
+    let benchmarks: Vec<&str> = cases.iter().map(|c| c.name()).collect();
+    let mut report = Report::new("table3");
+    let mut manifest = args.manifest("table3", &benchmarks.join(","));
 
-    println!("== Table 3: summary of warming methods (8-way) ==");
-    println!("benchmarks={} windows/sample={}\n", cases.len(), n_windows);
+    report.line("== Table 3: summary of warming methods (8-way) ==");
+    report.line(format!("benchmarks={} windows/sample={}\n", cases.len(), n_windows));
 
     let mut full_bias = Vec::new(); // vs reference: includes sampling error
     let mut aw_bias = Vec::new(); // additional, matched vs full warming
@@ -33,9 +41,11 @@ fn main() {
     let mut t_aw = 0.0;
     let mut t_lp = 0.0;
     let mut lib_bytes = 0u64;
+    let mut points = 0u64;
 
     let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
 
+    let t_all = Timer::start();
     for case in &cases {
         let windows = design.windows(case.len, n_windows, 31337);
 
@@ -59,14 +69,16 @@ fn main() {
 
         let cfg = CreationConfig::for_machine(&machine).with_sample_size(n_windows);
         let library =
-            LivePointLibrary::create_with_windows_parallel(&case.program, &cfg, &windows, threads)
-                .expect("library creation");
+            LivePointLibrary::create_with_windows_parallel(&case.program, &cfg, &windows, threads)?;
         lib_bytes += library.total_compressed_bytes();
         let t = Timer::start();
-        let estimate = OnlineRunner::new(&library, machine.clone())
-            .run_parallel(&case.program, &policy, threads)
-            .expect("run");
+        let estimate = OnlineRunner::new(&library, machine.clone()).run_parallel(
+            &case.program,
+            &policy,
+            threads,
+        )?;
         t_lp += t.secs();
+        points += estimate.processed() as u64;
         lp_bias.push((estimate.mean() - smarts.cpi()).abs() / smarts.cpi() * 100.0);
 
         eprintln!(
@@ -78,6 +90,8 @@ fn main() {
             lp_bias.last().unwrap()
         );
     }
+    manifest.phase("method_comparison", t_all.secs());
+    manifest.points_processed = Some(points);
 
     let n = cases.len() as f64;
     let stat = |v: &[f64]| -> (f64, f64) {
@@ -86,6 +100,8 @@ fn main() {
     let (fb_avg, fb_worst) = stat(&full_bias);
     let (ab_avg, ab_worst) = stat(&aw_bias);
     let (lb_avg, lb_worst) = stat(&lp_bias);
+    manifest.note("lp_addl_bias_avg_pct", format!("{lb_avg:.4}"));
+    manifest.note("lp_addl_bias_worst_pct", format!("{lb_worst:.4}"));
 
     let rows = vec![
         vec![
@@ -138,21 +154,26 @@ fn main() {
             "max cache/TLB, bpred set".into(),
         ],
     ];
-    println!();
-    print_table(
+    report.blank();
+    report.table(
+        "",
         &["", "complete (sim-outorder)", "full warming (SMARTS)", "AW-MRRL", "live-points"],
-        &rows,
+        rows,
     );
-    println!(
-        "  *includes sampling error at this sample size (the paper's samples are ~10,000 windows);"
+    report.line(
+        "  *includes sampling error at this sample size (the paper's samples are ~10,000 windows);",
     );
-    println!(
-        "   the additional-bias row is matched on identical windows, so sampling error cancels."
+    report.line(
+        "   the additional-bias row is matched on identical windows, so sampling error cancels.",
     );
-    println!(
-        "  *unstitched AW-MRRL checkpoints are independent, at considerably higher bias (fig4)"
+    report.line(
+        "  *unstitched AW-MRRL checkpoints are independent, at considerably higher bias (fig4)",
     );
-    println!();
-    println!("paper targets: full warming 0.6% (1.6%) vs reference; AW-MRRL +1.1% (5.4%);");
-    println!("live-points +0.0% — identical to full warming, the paper's central accuracy claim.");
+    report.blank();
+    report.line("paper targets: full warming 0.6% (1.6%) vs reference; AW-MRRL +1.1% (5.4%);");
+    report
+        .line("live-points +0.0% — identical to full warming, the paper's central accuracy claim.");
+
+    report.finish(&args)?;
+    args.finish_run(&manifest)
 }

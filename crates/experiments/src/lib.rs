@@ -22,14 +22,86 @@
 //! * `--windows N`, `--seeds S`, `--scale F` where meaningful
 //! * `--threads T` — worker threads for library creation and runs
 //!   (default: the host's available parallelism)
+//! * `--metrics-out PATH` — write a JSON run manifest (with the full
+//!   metrics snapshot embedded) on exit
+//! * `--trace PATH` — append JSONL span events to PATH as the run
+//!   executes (also enabled by the `TELEMETRY` env var)
+//! * `--report-out PATH` — copy the report (tables and lines) to a
+//!   text file
+//! * `--report-json PATH` — write the report as structured JSON
+//!
+//! Binaries exit non-zero with a one-line `binary: error: …`
+//! diagnostic on malformed arguments or I/O faults.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use spectral_isa::Program;
+use spectral_telemetry::RunManifest;
 use spectral_workloads::{dynamic_length, suite, Benchmark};
+
+/// An experiment-binary failure: a one-line diagnostic for stderr.
+#[derive(Debug)]
+pub struct ExpError(String);
+
+impl ExpError {
+    /// Build an error from any displayable message.
+    pub fn msg(m: impl Into<String>) -> ExpError {
+        ExpError(m.into())
+    }
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+impl From<spectral_core::CoreError> for ExpError {
+    fn from(e: spectral_core::CoreError) -> ExpError {
+        ExpError(format!("simulation fault: {e}"))
+    }
+}
+
+impl From<std::io::Error> for ExpError {
+    fn from(e: std::io::Error) -> ExpError {
+        ExpError(format!("i/o error: {e}"))
+    }
+}
+
+/// Attach file-path context to fallible I/O.
+pub trait IoContext<T> {
+    /// Wrap an error with `what` and the offending path.
+    fn context(self, what: &str, path: &std::path::Path) -> Result<T, ExpError>;
+}
+
+impl<T, E: fmt::Display> IoContext<T> for Result<T, E> {
+    fn context(self, what: &str, path: &std::path::Path) -> Result<T, ExpError> {
+        self.map_err(|e| ExpError(format!("{what} {}: {e}", path.display())))
+    }
+}
+
+/// Run an experiment binary body, mapping any failure to a one-line
+/// stderr diagnostic and a non-zero exit code.
+pub fn run_main(
+    binary: &str,
+    body: impl FnOnce(Args) -> Result<(), ExpError>,
+) -> std::process::ExitCode {
+    match Args::try_parse().and_then(body) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{binary}: error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
 
 /// Parsed common command-line options.
 #[derive(Debug, Clone)]
@@ -51,16 +123,19 @@ pub struct Args {
     /// Worker-thread count for creation and runs (`--threads`; default
     /// = available parallelism).
     pub threads: Option<usize>,
+    /// Run-manifest output path (`--metrics-out`).
+    pub metrics_out: Option<PathBuf>,
+    /// JSONL span-trace output path (`--trace`).
+    pub trace: Option<PathBuf>,
+    /// Text report copy (`--report-out`).
+    pub report_out: Option<PathBuf>,
+    /// JSON report output (`--report-json`).
+    pub report_json: Option<PathBuf>,
 }
 
 impl Args {
-    /// Parse from `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn parse() -> Args {
-        let mut args = Args {
+    fn empty() -> Args {
+        Args {
             benchmarks: None,
             limit: None,
             quick: false,
@@ -69,32 +144,78 @@ impl Args {
             scale: None,
             machine: None,
             threads: None,
-        };
-        let mut it = std::env::args().skip(1);
+            metrics_out: None,
+            trace: None,
+            report_out: None,
+            report_json: None,
+        }
+    }
+
+    /// Parse from `std::env::args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage diagnostic on unknown flags, missing values, or
+    /// malformed integers. Also installs the span-trace sink when
+    /// `--trace` (or the `TELEMETRY` env var) is present.
+    pub fn try_parse() -> Result<Args, ExpError> {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let args = Self::try_parse_from(&argv)?;
+        match &args.trace {
+            Some(path) => {
+                spectral_telemetry::set_trace_path(path).context("cannot open trace file", path)?;
+            }
+            None => {
+                spectral_telemetry::trace_from_env()
+                    .map_err(|e| ExpError::msg(format!("cannot open TELEMETRY trace file: {e}")))?;
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parse from an explicit argument list (testable core of
+    /// [`try_parse`](Self::try_parse); no side effects).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage diagnostic on unknown flags, missing values, or
+    /// malformed integers.
+    pub fn try_parse_from(argv: &[String]) -> Result<Args, ExpError> {
+        let mut args = Args::empty();
+        let mut it = argv.iter();
         while let Some(a) = it.next() {
-            let mut value = |what: &str| -> String {
-                it.next().unwrap_or_else(|| panic!("{what} needs a value"))
+            let mut value = |what: &str| -> Result<&String, ExpError> {
+                it.next().ok_or_else(|| ExpError(format!("{what} needs a value")))
             };
+            fn int<T: std::str::FromStr>(what: &str, v: &str) -> Result<T, ExpError> {
+                v.parse().map_err(|_| ExpError(format!("{what}: expected an integer, got '{v}'")))
+            }
             match a.as_str() {
                 "--benchmarks" => {
                     args.benchmarks =
-                        Some(value("--benchmarks").split(',').map(str::to_owned).collect())
+                        Some(value("--benchmarks")?.split(',').map(str::to_owned).collect())
                 }
-                "--limit" => args.limit = Some(value("--limit").parse().expect("--limit: integer")),
+                "--limit" => args.limit = Some(int("--limit", value("--limit")?)?),
                 "--quick" => args.quick = true,
-                "--windows" => {
-                    args.windows = Some(value("--windows").parse().expect("--windows: integer"))
+                "--windows" => args.windows = Some(int("--windows", value("--windows")?)?),
+                "--seeds" => args.seeds = Some(int("--seeds", value("--seeds")?)?),
+                "--scale" => args.scale = Some(int("--scale", value("--scale")?)?),
+                "--machine" => args.machine = Some(value("--machine")?.clone()),
+                "--threads" => args.threads = Some(int("--threads", value("--threads")?)?),
+                "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+                "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
+                "--report-out" => args.report_out = Some(PathBuf::from(value("--report-out")?)),
+                "--report-json" => args.report_json = Some(PathBuf::from(value("--report-json")?)),
+                other => {
+                    return Err(ExpError(format!(
+                        "unknown argument {other} (flags: --benchmarks --limit --quick \
+                         --windows --seeds --scale --machine --threads --metrics-out \
+                         --trace --report-out --report-json)"
+                    )))
                 }
-                "--seeds" => args.seeds = Some(value("--seeds").parse().expect("--seeds: integer")),
-                "--scale" => args.scale = Some(value("--scale").parse().expect("--scale: integer")),
-                "--machine" => args.machine = Some(value("--machine")),
-                "--threads" => {
-                    args.threads = Some(value("--threads").parse().expect("--threads: integer"))
-                }
-                other => panic!("unknown argument {other}"),
             }
         }
-        args
+        Ok(args)
     }
 
     /// Effective repetition count (paper methodology: 5 samples;
@@ -119,15 +240,55 @@ impl Args {
 impl Args {
     /// Resolve the selected machine configuration ("8" default, "16").
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unknown machine name.
-    pub fn machine_config(&self) -> spectral_uarch::MachineConfig {
+    /// Returns a diagnostic on an unknown machine name.
+    pub fn machine_config(&self) -> Result<spectral_uarch::MachineConfig, ExpError> {
         match self.machine.as_deref() {
-            None | Some("8") => spectral_uarch::MachineConfig::eight_way(),
-            Some("16") => spectral_uarch::MachineConfig::sixteen_way(),
-            Some(other) => panic!("unknown machine {other} (use 8 or 16)"),
+            None | Some("8") => Ok(spectral_uarch::MachineConfig::eight_way()),
+            Some("16") => Ok(spectral_uarch::MachineConfig::sixteen_way()),
+            Some(other) => Err(ExpError(format!("unknown machine '{other}' (use 8 or 16)"))),
         }
+    }
+
+    /// The machine label for manifests ("8" or "16").
+    pub fn machine_label(&self) -> &str {
+        self.machine.as_deref().unwrap_or("8")
+    }
+
+    /// Start a run manifest for `binary` under these arguments,
+    /// pre-filled with the machine label, thread count, and the quick /
+    /// scale / windows / seeds settings as notes.
+    pub fn manifest(&self, binary: &str, benchmark: &str) -> RunManifest {
+        let mut m = RunManifest::new(binary, benchmark, self.machine_label(), self.thread_count());
+        if self.quick {
+            m.note("quick", "true");
+        }
+        if let Some(s) = self.scale {
+            m.note("scale", s.to_string());
+        }
+        if let Some(w) = self.windows {
+            m.note("windows", w.to_string());
+        }
+        if let Some(s) = self.seeds {
+            m.note("seeds", s.to_string());
+        }
+        m
+    }
+
+    /// Finish a run: embed the metrics snapshot and write the manifest
+    /// to `--metrics-out` (when given), and flush the span trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic when the manifest cannot be written.
+    pub fn finish_run(&self, manifest: &RunManifest) -> Result<(), ExpError> {
+        if let Some(path) = &self.metrics_out {
+            let snapshot = spectral_telemetry::snapshot();
+            manifest.write(path, Some(&snapshot)).context("cannot write manifest", path)?;
+        }
+        spectral_telemetry::flush_trace();
+        Ok(())
     }
 }
 
@@ -157,19 +318,23 @@ impl BenchCase {
 }
 
 /// Load the benchmark set selected by `args`, optionally scaled.
-pub fn load_cases(args: &Args) -> Vec<BenchCase> {
+///
+/// # Errors
+///
+/// Returns a diagnostic naming the first unknown `--benchmarks` entry.
+pub fn load_cases(args: &Args) -> Result<Vec<BenchCase>, ExpError> {
     let scale = args.scale.unwrap_or(1);
     let all = suite();
     let chosen: Vec<Benchmark> = match (&args.benchmarks, args.limit, args.quick) {
         (Some(names), _, _) => names
             .iter()
             .map(|n| {
-                all.iter()
-                    .find(|b| b.name() == n)
-                    .unwrap_or_else(|| panic!("unknown benchmark {n}"))
-                    .clone()
+                all.iter().find(|b| b.name() == n).cloned().ok_or_else(|| {
+                    let known: Vec<&str> = all.iter().map(|b| b.name()).collect();
+                    ExpError(format!("unknown benchmark '{n}' (known: {})", known.join(", ")))
+                })
             })
-            .collect(),
+            .collect::<Result<_, _>>()?,
         (None, Some(k), _) => all.into_iter().take(k).collect(),
         (None, None, true) => {
             // Representative quick set: one memory-bound, one branchy,
@@ -179,10 +344,10 @@ pub fn load_cases(args: &Args) -> Vec<BenchCase> {
         }
         (None, None, false) => all,
     };
-    chosen
+    Ok(chosen
         .into_iter()
         .map(|b| BenchCase::new(if scale > 1 { b.scaled(scale) } else { b }))
-        .collect()
+        .collect())
 }
 
 /// Order-preserving parallel map: applies `f` to every item with up to
@@ -236,8 +401,9 @@ impl Timer {
     }
 }
 
-/// Render a fixed-width text table.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+/// Render a fixed-width text table to a string (one trailing newline
+/// per line, none at the end).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -246,17 +412,171 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let line = |cells: Vec<String>| {
+    let mut out = String::new();
+    let mut line = |cells: Vec<String>| {
         let mut s = String::new();
         for (i, cell) in cells.iter().enumerate() {
             s.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
         }
-        println!("{}", s.trim_end());
+        out.push_str(s.trim_end());
+        out.push('\n');
     };
     line(headers.iter().map(|s| s.to_string()).collect());
     line(widths.iter().map(|w| "-".repeat(*w)).collect());
     for row in rows {
         line(row.clone());
+    }
+    out.pop();
+    out
+}
+
+/// Render a fixed-width text table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("{}", render_table(headers, rows));
+}
+
+/// One item of a [`Report`].
+#[derive(Debug, Clone)]
+pub enum ReportItem {
+    /// A free-form text line.
+    Line(String),
+    /// A titled table.
+    Table {
+        /// Table caption ("" for none).
+        title: String,
+        /// Column headers.
+        headers: Vec<String>,
+        /// Row cells (ragged rows are padded in text rendering).
+        rows: Vec<Vec<String>>,
+    },
+}
+
+/// Buffered experiment output: every line and table is echoed to
+/// stdout as it is added (preserving interactive behavior) and kept so
+/// [`finish`](Report::finish) can also write the whole report to a
+/// text file (`--report-out`) and/or structured JSON (`--report-json`)
+/// — the shared emission path for all experiment binaries.
+#[derive(Debug)]
+pub struct Report {
+    binary: String,
+    items: Vec<ReportItem>,
+}
+
+impl Report {
+    /// Start a report for `binary`.
+    pub fn new(binary: impl Into<String>) -> Report {
+        Report { binary: binary.into(), items: Vec::new() }
+    }
+
+    /// Emit a text line (echoed to stdout immediately).
+    pub fn line(&mut self, text: impl Into<String>) {
+        let text = text.into();
+        println!("{text}");
+        self.items.push(ReportItem::Line(text));
+    }
+
+    /// Emit a blank separator line.
+    pub fn blank(&mut self) {
+        self.line("");
+    }
+
+    /// Emit a titled table (echoed to stdout immediately; empty `title`
+    /// prints no caption line).
+    pub fn table(&mut self, title: impl Into<String>, headers: &[&str], rows: Vec<Vec<String>>) {
+        let title = title.into();
+        if !title.is_empty() {
+            println!("{title}");
+        }
+        println!("{}", render_table(headers, &rows));
+        self.items.push(ReportItem::Table {
+            title,
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows,
+        });
+    }
+
+    /// The report rendered as plain text (what stdout saw).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            match item {
+                ReportItem::Line(l) => {
+                    out.push_str(l);
+                    out.push('\n');
+                }
+                ReportItem::Table { title, headers, rows } => {
+                    if !title.is_empty() {
+                        out.push_str(title);
+                        out.push('\n');
+                    }
+                    let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+                    out.push_str(&render_table(&headers, rows));
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// The report as structured JSON.
+    pub fn to_json(&self) -> String {
+        let q = spectral_telemetry::json_quote;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"binary\": {},\n", q(&self.binary)));
+        out.push_str("  \"items\": [");
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match item {
+                ReportItem::Line(l) => {
+                    out.push_str(&format!("\n    {{\"type\": \"line\", \"text\": {}}}", q(l)));
+                }
+                ReportItem::Table { title, headers, rows } => {
+                    let hs: Vec<String> = headers.iter().map(|h| q(h)).collect();
+                    out.push_str(&format!(
+                        "\n    {{\"type\": \"table\", \"title\": {}, \"headers\": [{}], \"rows\": [",
+                        q(title),
+                        hs.join(", ")
+                    ));
+                    for (j, row) in rows.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let cells: Vec<String> = row.iter().map(|c| q(c)).collect();
+                        out.push_str(&format!("\n      [{}]", cells.join(", ")));
+                    }
+                    if !rows.is_empty() {
+                        out.push_str("\n    ");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        if !self.items.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+
+    /// Write the report to the `--report-out` / `--report-json` targets
+    /// selected by `args` (stdout already received everything).
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the unwritable path.
+    pub fn finish(&self, args: &Args) -> Result<(), ExpError> {
+        if let Some(path) = &args.report_out {
+            let mut f = std::fs::File::create(path).context("cannot write report", path)?;
+            f.write_all(self.to_text().as_bytes()).context("cannot write report", path)?;
+        }
+        if let Some(path) = &args.report_json {
+            let mut f = std::fs::File::create(path).context("cannot write report", path)?;
+            f.write_all(self.to_json().as_bytes()).context("cannot write report", path)?;
+            f.write_all(b"\n").context("cannot write report", path)?;
+        }
+        Ok(())
     }
 }
 
@@ -332,5 +652,109 @@ mod tests {
         let c = BenchCase::new(spectral_workloads::tiny());
         assert!(c.len > 10_000);
         assert_eq!(c.name(), "tiny");
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn try_parse_from_accepts_all_flags() {
+        let a = Args::try_parse_from(&argv(&[
+            "--benchmarks",
+            "gcc-like,mcf-like",
+            "--limit",
+            "3",
+            "--quick",
+            "--windows",
+            "50",
+            "--seeds",
+            "2",
+            "--scale",
+            "4",
+            "--machine",
+            "16",
+            "--threads",
+            "6",
+            "--metrics-out",
+            "m.json",
+            "--trace",
+            "t.jsonl",
+            "--report-out",
+            "r.txt",
+            "--report-json",
+            "r.json",
+        ]))
+        .expect("valid argv");
+        assert_eq!(a.benchmarks.as_deref(), Some(&["gcc-like".to_owned(), "mcf-like".into()][..]));
+        assert_eq!(a.limit, Some(3));
+        assert!(a.quick);
+        assert_eq!(a.windows, Some(50));
+        assert_eq!(a.seeds, Some(2));
+        assert_eq!(a.scale, Some(4));
+        assert_eq!(a.machine.as_deref(), Some("16"));
+        assert_eq!(a.threads, Some(6));
+        assert_eq!(a.metrics_out.as_deref(), Some(std::path::Path::new("m.json")));
+        assert_eq!(a.trace.as_deref(), Some(std::path::Path::new("t.jsonl")));
+        assert_eq!(a.report_out.as_deref(), Some(std::path::Path::new("r.txt")));
+        assert_eq!(a.report_json.as_deref(), Some(std::path::Path::new("r.json")));
+        assert!(a.machine_config().is_ok());
+    }
+
+    #[test]
+    fn try_parse_from_diagnoses_bad_input() {
+        let e = Args::try_parse_from(&argv(&["--threads", "abc"])).unwrap_err();
+        assert!(e.to_string().contains("--threads"), "{e}");
+        assert!(e.to_string().contains("abc"), "{e}");
+        let e = Args::try_parse_from(&argv(&["--windows"])).unwrap_err();
+        assert!(e.to_string().contains("needs a value"), "{e}");
+        let e = Args::try_parse_from(&argv(&["--bogus"])).unwrap_err();
+        assert!(e.to_string().contains("unknown argument --bogus"), "{e}");
+        let mut a = Args::empty();
+        a.machine = Some("32".into());
+        assert!(a.machine_config().is_err());
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let rows = vec![vec!["a".to_owned(), "10".into()], vec!["longer-name".into(), "3".into()]];
+        let text = render_table(&["name", "n"], &rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("-----------"));
+        assert_eq!(lines[2], "a            10");
+        assert_eq!(lines[3], "longer-name  3");
+    }
+
+    #[test]
+    fn report_json_is_parseable() {
+        let mut r = Report::new("unit-test");
+        r.line("header \"quoted\" line");
+        r.table("caption", &["x", "y"], vec![vec!["1".to_owned(), "2".into()]]);
+        let v = spectral_telemetry::JsonValue::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(v.get("binary").and_then(|b| b.as_str()), Some("unit-test"));
+        let items = v.get("items").and_then(|i| i.as_arr()).expect("items array");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("type").and_then(|t| t.as_str()), Some("line"));
+        assert_eq!(items[1].get("type").and_then(|t| t.as_str()), Some("table"));
+        assert_eq!(items[1].get("title").and_then(|t| t.as_str()), Some("caption"));
+        assert!(r.to_text().contains("caption\n"));
+    }
+
+    #[test]
+    fn manifest_carries_arg_notes() {
+        let mut a = Args::empty();
+        a.quick = true;
+        a.scale = Some(6);
+        a.threads = Some(2);
+        let m = a.manifest("unit", "tiny");
+        let json = m.to_json();
+        let v = spectral_telemetry::JsonValue::parse(&json).expect("valid JSON");
+        assert_eq!(v.get("binary").and_then(|b| b.as_str()), Some("unit"));
+        assert_eq!(v.get("threads").and_then(|t| t.as_u64()), Some(2));
+        let notes = v.get("notes").expect("notes object");
+        assert_eq!(notes.get("quick").and_then(|q| q.as_str()), Some("true"));
+        assert_eq!(notes.get("scale").and_then(|s| s.as_str()), Some("6"));
     }
 }

@@ -1,0 +1,60 @@
+//! # spectral-telemetry — observability for the live-point pipeline
+//!
+//! The paper's headline claims are throughput numbers: live-point
+//! processing rate, checkpoint bytes, warming cost, CPI confidence
+//! trajectories. This crate gives every run an auditable account of
+//! where time and bytes go, in three layers:
+//!
+//! * **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) — process-wide,
+//!   lock-free, sharded over cache-line-padded atomic cells so
+//!   `run_parallel`'s workers never contend on a counter line. Metrics
+//!   register themselves on first touch; [`snapshot`] collects every
+//!   registered metric into a mergeable, JSON-serializable
+//!   [`MetricsSnapshot`].
+//! * **Spans** ([`span`]) — RAII wall-clock timing with a thread-local
+//!   depth stack. Every span aggregates into per-name totals (visible in
+//!   snapshots); when a trace sink is installed ([`set_trace_path`] or
+//!   the `TELEMETRY` environment variable) each span close also appends
+//!   one JSONL event to the sink.
+//! * **Run manifests** ([`RunManifest`]) — a structured record of one
+//!   run: binary, benchmark, machine, thread count, library id/hash,
+//!   seed, per-phase wall-clock, points processed, and the final
+//!   estimate ± half-width, serialized to JSON (with the full metrics
+//!   snapshot embedded) for `BENCH_*.json`-style comparison.
+//!
+//! ## Zero cost when disabled
+//!
+//! Everything is behind the `enabled` feature (on by default). Built
+//! with `--no-default-features`, every metric and span operation is an
+//! inlined empty function on unit types: instrumented hot paths carry
+//! no atomics, no clock reads, and no branches. The manifest and JSON
+//! layers remain available in both modes (they are never hot).
+//!
+//! ## Naming scheme
+//!
+//! Metric names are dot-separated `crate.subsystem.quantity[_unit]`:
+//! `core.run.decode_ns`, `codec.lzss.compress_in_bytes`,
+//! `uarch.commit.insts`. Span names are `subsystem.phase`:
+//! `create.library`, `run.online`, `run.point`. See DESIGN.md's
+//! Observability section for the full taxonomy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod manifest;
+mod metrics;
+mod span;
+
+pub use json::{number as json_number, quote as json_quote, JsonError, JsonValue};
+pub use manifest::{EstimateSummary, Phase, RunManifest};
+pub use metrics::{
+    reset, snapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Stopwatch,
+    HISTOGRAM_BUCKETS,
+};
+pub use span::{flush_trace, set_trace_path, span, trace_from_env, tracing, Span};
+
+/// Whether telemetry was compiled in (the `enabled` feature).
+pub const fn compiled_in() -> bool {
+    cfg!(feature = "enabled")
+}

@@ -1,0 +1,565 @@
+//! Lock-free metrics: sharded counters, gauges, and log₂ histograms.
+//!
+//! Each metric is declared as a `static` at its instrumentation site and
+//! registers itself with the process-wide registry on first touch, so
+//! [`snapshot`] sees exactly the metrics the run exercised. Counter and
+//! histogram cells are sharded across cache-line-padded atomics indexed
+//! by a per-thread id, so concurrent workers (e.g. `run_parallel`
+//! shards) increment disjoint lines; a snapshot sums the shards.
+
+use std::fmt::Write as _;
+
+/// Number of log₂ buckets in a [`Histogram`]: bucket 0 holds zeros,
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, bucket 64 holds
+/// `[2^63, u64::MAX]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The log₂ bucket a value falls into.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// An immutable, mergeable histogram snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (wrapping on overflow).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        HistogramSnapshot { buckets: vec![0; HISTOGRAM_BUCKETS], count: 0, sum: 0 }
+    }
+
+    /// The bucket a value would land in (exposed for tests and
+    /// summarization).
+    pub fn bucket_of(value: u64) -> usize {
+        bucket_index(value)
+    }
+
+    /// The inclusive value range `[lo, hi]` of bucket `i`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Record one observation (snapshots are plain data; this supports
+    /// building expected values in tests and offline aggregation).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+    }
+
+    /// Element-wise merge: `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` and
+    /// `a ⊕ b == b ⊕ a` — shard aggregation is order-independent.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`) of the recorded distribution; `None` when empty.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_range(i).1);
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Span aggregates: `(name, close_count, total_ns)`.
+    pub spans: Vec<(String, u64, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Serialize as a JSON object: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {name: {count, sum, mean, p50, p99, buckets}},
+    /// "spans": {name: {count, total_ns}}}`. Histogram `buckets` is a
+    /// sparse `{"<index>": count}` map of non-empty buckets.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str("\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}:{v}", crate::json::quote(name));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}:{v}", crate::json::quote(name));
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{}:{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":{{",
+                crate::json::quote(name),
+                h.count,
+                h.sum,
+                crate::json::number(h.mean()),
+                h.quantile_bound(0.50).unwrap_or(0),
+                h.quantile_bound(0.99).unwrap_or(0),
+            );
+            let mut first = true;
+            for (b, &c) in h.buckets.iter().enumerate() {
+                if c > 0 {
+                    if !first {
+                        s.push(',');
+                    }
+                    first = false;
+                    let _ = write!(s, "\"{b}\":{c}");
+                }
+            }
+            s.push_str("}}");
+        }
+        s.push_str("},\"spans\":{");
+        for (i, (name, count, ns)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ =
+                write!(s, "{}:{{\"count\":{count},\"total_ns\":{ns}}}", crate::json::quote(name));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{bucket_index, HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+    use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Mutex, Once};
+    use std::time::Instant;
+
+    /// Shards per metric: enough to keep an 8–16-worker run off shared
+    /// cache lines without bloating every counter.
+    const SHARDS: usize = 16;
+
+    /// One cache line per cell so two workers' increments never share a
+    /// line.
+    #[repr(align(64))]
+    #[derive(Debug)]
+    struct Cell(AtomicU64);
+
+    impl Cell {
+        const fn new() -> Self {
+            Cell(AtomicU64::new(0))
+        }
+    }
+
+    static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static THREAD_SHARD: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+
+    fn shard() -> usize {
+        THREAD_SHARD.with(|s| *s)
+    }
+
+    struct Registry {
+        counters: Mutex<Vec<&'static Counter>>,
+        gauges: Mutex<Vec<&'static Gauge>>,
+        histograms: Mutex<Vec<&'static Histogram>>,
+    }
+
+    static REGISTRY: Registry = Registry {
+        counters: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
+        histograms: Mutex::new(Vec::new()),
+    };
+
+    /// A monotone event counter, sharded across padded atomic cells.
+    #[derive(Debug)]
+    pub struct Counter {
+        name: &'static str,
+        registered: Once,
+        cells: [Cell; SHARDS],
+    }
+
+    impl Counter {
+        /// Declare a counter (use in a `static`).
+        pub const fn new(name: &'static str) -> Self {
+            Counter { name, registered: Once::new(), cells: [const { Cell::new() }; SHARDS] }
+        }
+
+        /// Add `n` to the calling thread's shard.
+        #[inline]
+        pub fn add(&'static self, n: u64) {
+            self.registered.call_once(|| {
+                REGISTRY.counters.lock().expect("registry lock").push(self);
+            });
+            self.cells[shard()].0.fetch_add(n, Ordering::Relaxed);
+        }
+
+        /// Increment by one.
+        #[inline]
+        pub fn inc(&'static self) {
+            self.add(1);
+        }
+
+        /// Sum over all shards.
+        pub fn get(&self) -> u64 {
+            self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+        }
+
+        fn reset(&self) {
+            for c in &self.cells {
+                c.0.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A last-value-wins instantaneous value.
+    #[derive(Debug)]
+    pub struct Gauge {
+        name: &'static str,
+        registered: Once,
+        value: AtomicI64,
+    }
+
+    impl Gauge {
+        /// Declare a gauge (use in a `static`).
+        pub const fn new(name: &'static str) -> Self {
+            Gauge { name, registered: Once::new(), value: AtomicI64::new(0) }
+        }
+
+        /// Set the value.
+        #[inline]
+        pub fn set(&'static self, v: i64) {
+            self.registered.call_once(|| {
+                REGISTRY.gauges.lock().expect("registry lock").push(self);
+            });
+            self.value.store(v, Ordering::Relaxed);
+        }
+
+        /// Current value.
+        pub fn get(&self) -> i64 {
+            self.value.load(Ordering::Relaxed)
+        }
+    }
+
+    /// A log₂-bucketed histogram with sharded count/sum accumulators.
+    #[derive(Debug)]
+    pub struct Histogram {
+        name: &'static str,
+        registered: Once,
+        buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+        count: [Cell; SHARDS],
+        sum: [Cell; SHARDS],
+    }
+
+    impl Histogram {
+        /// Declare a histogram (use in a `static`).
+        pub const fn new(name: &'static str) -> Self {
+            Histogram {
+                name,
+                registered: Once::new(),
+                buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+                count: [const { Cell::new() }; SHARDS],
+                sum: [const { Cell::new() }; SHARDS],
+            }
+        }
+
+        /// Record one observation.
+        #[inline]
+        pub fn record(&'static self, value: u64) {
+            self.registered.call_once(|| {
+                REGISTRY.histograms.lock().expect("registry lock").push(self);
+            });
+            self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            let s = shard();
+            self.count[s].0.fetch_add(1, Ordering::Relaxed);
+            self.sum[s].0.fetch_add(value, Ordering::Relaxed);
+        }
+
+        /// Copy out a mergeable snapshot.
+        pub fn snapshot(&self) -> HistogramSnapshot {
+            HistogramSnapshot {
+                buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                count: self.count.iter().map(|c| c.0.load(Ordering::Relaxed)).sum(),
+                sum: self.sum.iter().fold(0u64, |a, c| a.wrapping_add(c.0.load(Ordering::Relaxed))),
+            }
+        }
+
+        fn reset(&self) {
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            for c in self.count.iter().chain(&self.sum) {
+                c.0.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A wall-clock stopwatch; pairs with counter `_ns` metrics.
+    #[derive(Debug)]
+    pub struct Stopwatch(Instant);
+
+    impl Stopwatch {
+        /// Start timing.
+        #[inline]
+        pub fn start() -> Self {
+            Stopwatch(Instant::now())
+        }
+
+        /// Elapsed nanoseconds (saturating at `u64::MAX`).
+        #[inline]
+        pub fn ns(&self) -> u64 {
+            u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        }
+    }
+
+    /// Snapshot every registered metric, sorted by name.
+    pub fn snapshot() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
+            counters: REGISTRY
+                .counters
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|c| (c.name.to_owned(), c.get()))
+                .collect(),
+            gauges: REGISTRY
+                .gauges
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|g| (g.name.to_owned(), g.get()))
+                .collect(),
+            histograms: REGISTRY
+                .histograms
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|h| (h.name.to_owned(), h.snapshot()))
+                .collect(),
+            spans: crate::span::aggregates(),
+        };
+        snap.counters.sort();
+        snap.gauges.sort();
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.spans.sort();
+        snap
+    }
+
+    /// Zero every registered metric and span aggregate (benchmark /
+    /// test isolation; concurrent recorders may land increments after
+    /// the reset).
+    pub fn reset() {
+        for c in REGISTRY.counters.lock().expect("registry lock").iter() {
+            c.reset();
+        }
+        for g in REGISTRY.gauges.lock().expect("registry lock").iter() {
+            g.value.store(0, Ordering::Relaxed);
+        }
+        for h in REGISTRY.histograms.lock().expect("registry lock").iter() {
+            h.reset();
+        }
+        crate::span::reset_aggregates();
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::{HistogramSnapshot, MetricsSnapshot};
+
+    /// Disabled-build counter: every operation is an inlined no-op.
+    #[derive(Debug)]
+    pub struct Counter;
+
+    impl Counter {
+        /// No-op.
+        pub const fn new(_name: &'static str) -> Self {
+            Counter
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&self, _n: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn inc(&self) {}
+
+        /// Always zero.
+        #[inline(always)]
+        pub fn get(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Disabled-build gauge.
+    #[derive(Debug)]
+    pub struct Gauge;
+
+    impl Gauge {
+        /// No-op.
+        pub const fn new(_name: &'static str) -> Self {
+            Gauge
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn set(&self, _v: i64) {}
+
+        /// Always zero.
+        #[inline(always)]
+        pub fn get(&self) -> i64 {
+            0
+        }
+    }
+
+    /// Disabled-build histogram.
+    #[derive(Debug)]
+    pub struct Histogram;
+
+    impl Histogram {
+        /// No-op.
+        pub const fn new(_name: &'static str) -> Self {
+            Histogram
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record(&self, _value: u64) {}
+
+        /// Always empty.
+        pub fn snapshot(&self) -> HistogramSnapshot {
+            HistogramSnapshot::new()
+        }
+    }
+
+    /// Disabled-build stopwatch: no clock read.
+    #[derive(Debug)]
+    pub struct Stopwatch;
+
+    impl Stopwatch {
+        /// No-op.
+        #[inline(always)]
+        pub fn start() -> Self {
+            Stopwatch
+        }
+
+        /// Always zero.
+        #[inline(always)]
+        pub fn ns(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Always empty.
+    pub fn snapshot() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// No-op.
+    pub fn reset() {}
+}
+
+pub use imp::{reset, snapshot, Counter, Gauge, Histogram, Stopwatch};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_ranges_cover() {
+        assert_eq!(HistogramSnapshot::bucket_of(0), 0);
+        assert_eq!(HistogramSnapshot::bucket_of(1), 1);
+        assert_eq!(HistogramSnapshot::bucket_of(2), 2);
+        assert_eq!(HistogramSnapshot::bucket_of(3), 2);
+        assert_eq!(HistogramSnapshot::bucket_of(4), 3);
+        assert_eq!(HistogramSnapshot::bucket_of(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = HistogramSnapshot::bucket_range(i);
+            assert_eq!(HistogramSnapshot::bucket_of(lo), i);
+            assert_eq!(HistogramSnapshot::bucket_of(hi), i);
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn counter_shards_sum() {
+        static C: Counter = Counter::new("test.metrics.counter_shards_sum");
+        C.add(3);
+        C.add(4);
+        assert_eq!(C.get(), 7);
+        assert!(snapshot().counter("test.metrics.counter_shards_sum").unwrap() >= 7);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_ops_are_noops() {
+        static C: Counter = Counter::new("noop");
+        static H: Histogram = Histogram::new("noop");
+        static G: Gauge = Gauge::new("noop");
+        C.add(10);
+        H.record(10);
+        G.set(10);
+        assert_eq!(C.get(), 0);
+        assert_eq!(H.snapshot().count, 0);
+        assert_eq!(G.get(), 0);
+        assert_eq!(Stopwatch::start().ns(), 0);
+        assert!(snapshot().counters.is_empty());
+    }
+}

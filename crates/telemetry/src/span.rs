@@ -1,0 +1,198 @@
+//! RAII span timing with a thread-local depth stack and an optional
+//! JSONL structured-event sink.
+//!
+//! Every closed span aggregates `(count, total_ns)` under its name —
+//! surfaced in [`MetricsSnapshot`](crate::MetricsSnapshot) — and, when a
+//! trace sink is installed, appends one JSON line:
+//!
+//! ```json
+//! {"type":"span","name":"run.online","tid":2,"depth":1,"t_us":1234,"dur_us":56}
+//! ```
+//!
+//! `t_us` is the span-open offset from the first telemetry event in the
+//! process; `tid` is a small per-thread ordinal. The sink is enabled by
+//! [`set_trace_path`] (the experiment binaries' `--trace` flag) or the
+//! `TELEMETRY` environment variable holding a path.
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::cell::Cell;
+    use std::collections::BTreeMap;
+    use std::fs::File;
+    use std::io::{BufWriter, Write};
+    use std::path::Path;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    static TRACE_ON: AtomicBool = AtomicBool::new(false);
+    static TRACE_SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+    static AGGREGATES: Mutex<BTreeMap<&'static str, (u64, u64)>> = Mutex::new(BTreeMap::new());
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
+
+    thread_local! {
+        static TID: usize = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        static DEPTH: Cell<u32> = const { Cell::new(0) };
+    }
+
+    fn epoch() -> Instant {
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    /// Whether a JSONL trace sink is installed.
+    #[inline]
+    pub fn tracing() -> bool {
+        TRACE_ON.load(Ordering::Relaxed)
+    }
+
+    /// Install (or replace) the JSONL trace sink at `path`.
+    pub fn set_trace_path(path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        *TRACE_SINK.lock().expect("trace sink lock") = Some(BufWriter::new(file));
+        TRACE_ON.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Install the trace sink from the `TELEMETRY` environment variable
+    /// (a file path) if set; returns whether tracing is now on.
+    pub fn trace_from_env() -> std::io::Result<bool> {
+        if tracing() {
+            return Ok(true);
+        }
+        match std::env::var_os("TELEMETRY") {
+            Some(path) if !path.is_empty() => {
+                set_trace_path(path)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Flush buffered trace events to the sink.
+    pub fn flush_trace() {
+        if let Some(w) = TRACE_SINK.lock().expect("trace sink lock").as_mut() {
+            let _ = w.flush();
+        }
+    }
+
+    /// An open span; closes (and records) on drop.
+    #[derive(Debug)]
+    pub struct Span {
+        name: &'static str,
+        open_us: u64,
+        started: Instant,
+        depth: u32,
+    }
+
+    /// Open a span named `name`.
+    pub fn span(name: &'static str) -> Span {
+        let started = Instant::now();
+        let open_us =
+            u64::try_from(started.duration_since(epoch()).as_micros()).unwrap_or(u64::MAX);
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Span { name, open_us, started, depth }
+    }
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            {
+                let mut agg = AGGREGATES.lock().expect("span aggregates lock");
+                let e = agg.entry(self.name).or_insert((0, 0));
+                e.0 += 1;
+                e.1 = e.1.wrapping_add(ns);
+            }
+            if tracing() {
+                if let Some(w) = TRACE_SINK.lock().expect("trace sink lock").as_mut() {
+                    let tid = TID.with(|t| *t);
+                    let _ = writeln!(
+                        w,
+                        "{{\"type\":\"span\",\"name\":{},\"tid\":{tid},\"depth\":{},\
+                         \"t_us\":{},\"dur_us\":{}}}",
+                        crate::json::quote(self.name),
+                        self.depth,
+                        self.open_us,
+                        ns / 1000,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Span aggregates as `(name, count, total_ns)` rows.
+    pub(crate) fn aggregates() -> Vec<(String, u64, u64)> {
+        AGGREGATES
+            .lock()
+            .expect("span aggregates lock")
+            .iter()
+            .map(|(name, &(count, ns))| ((*name).to_owned(), count, ns))
+            .collect()
+    }
+
+    pub(crate) fn reset_aggregates() {
+        AGGREGATES.lock().expect("span aggregates lock").clear();
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use std::path::Path;
+
+    /// Disabled-build span: zero-sized, drop does nothing.
+    #[derive(Debug)]
+    pub struct Span;
+
+    /// No-op.
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> Span {
+        Span
+    }
+
+    /// Always false.
+    #[inline(always)]
+    pub fn tracing() -> bool {
+        false
+    }
+
+    /// No-op (telemetry compiled out).
+    pub fn set_trace_path(_path: impl AsRef<Path>) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Always `Ok(false)`.
+    pub fn trace_from_env() -> std::io::Result<bool> {
+        Ok(false)
+    }
+
+    /// No-op.
+    pub fn flush_trace() {}
+}
+
+pub use imp::{flush_trace, set_trace_path, span, trace_from_env, tracing, Span};
+
+#[cfg(feature = "enabled")]
+pub(crate) use imp::{aggregates, reset_aggregates};
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_aggregate_and_nest() {
+        {
+            let _outer = span("test.span.outer");
+            let _inner = span("test.span.inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let agg = imp::aggregates();
+        let outer = agg.iter().find(|(n, _, _)| n == "test.span.outer").unwrap();
+        assert!(outer.1 >= 1);
+        assert!(outer.2 >= 1_000_000, "outer span slept ≥1ms, got {} ns", outer.2);
+    }
+}

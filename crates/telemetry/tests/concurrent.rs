@@ -1,0 +1,107 @@
+//! Concurrency and merge-order guarantees: sharded counters lose no
+//! increments under thread contention, histogram snapshots merge
+//! associatively, and a snapshot taken mid-run is a valid partial view.
+
+#![cfg(feature = "enabled")]
+
+use std::thread;
+
+use spectral_telemetry::{snapshot, Counter, Histogram, HistogramSnapshot};
+
+static HAMMERED: Counter = Counter::new("test.concurrent.hammered");
+static DIST: Histogram = Histogram::new("test.concurrent.dist");
+
+#[test]
+fn counter_exact_under_contention() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+    let before = HAMMERED.get();
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    HAMMERED.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(HAMMERED.get() - before, THREADS * PER_THREAD);
+    assert_eq!(snapshot().counter("test.concurrent.hammered"), Some(HAMMERED.get()));
+}
+
+#[test]
+fn histogram_complete_under_contention() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 20_000;
+    let before = DIST.snapshot().count;
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    DIST.record((t * PER_THREAD + i) as u64);
+                }
+            });
+        }
+    });
+    let snap = DIST.snapshot();
+    assert_eq!(snap.count - before, (THREADS * PER_THREAD) as u64);
+    // Every recorded value also landed in a bucket.
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    let mut a = HistogramSnapshot::new();
+    let mut b = HistogramSnapshot::new();
+    let mut c = HistogramSnapshot::new();
+    for v in [0u64, 1, 2, 3, 100, 1 << 20] {
+        a.record(v);
+    }
+    for v in [5u64, 5, 5, u64::MAX] {
+        b.record(v);
+    }
+    for v in [7u64, 1 << 40, 1 << 63] {
+        c.record(v);
+    }
+
+    // (a + b) + c
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    // a + (b + c)
+    let mut right_inner = b.clone();
+    right_inner.merge(&c);
+    let mut right = a.clone();
+    right.merge(&right_inner);
+    // (c + b) + a
+    let mut swapped = c.clone();
+    swapped.merge(&b);
+    swapped.merge(&a);
+
+    assert_eq!(left.count, right.count);
+    assert_eq!(left.sum, right.sum);
+    assert_eq!(left.buckets, right.buckets);
+    assert_eq!(left.buckets, swapped.buckets);
+    assert_eq!(left.count, 13);
+}
+
+#[test]
+fn snapshot_while_writers_run_is_consistent() {
+    static LIVE: Counter = Counter::new("test.concurrent.live");
+    thread::scope(|s| {
+        let writer = s.spawn(|| {
+            for _ in 0..100_000 {
+                LIVE.inc();
+            }
+        });
+        // Snapshots taken mid-run must never exceed the final total and
+        // must be monotonically readable.
+        let mut last = 0;
+        while !writer.is_finished() {
+            let now = snapshot().counter("test.concurrent.live").unwrap_or(0);
+            assert!(now >= last, "snapshot went backwards: {last} -> {now}");
+            last = now;
+        }
+    });
+    assert!(LIVE.get() >= 100_000);
+}

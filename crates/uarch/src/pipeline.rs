@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 
 use spectral_cache::{AccessKind, CacheHierarchy, HitLevel};
 use spectral_isa::{inst_index, BranchInfo, Emulator, Inst, OpClass, Program, Reg};
+use spectral_telemetry::Counter;
 
 use crate::bpred::BranchPredictor;
 use crate::config::MachineConfig;
@@ -22,6 +23,18 @@ use crate::stats::WindowStats;
 use crate::wrongpath::ShadowRegs;
 
 const INVALID_UID: u64 = u64::MAX;
+
+// Process-wide pipeline counters, flushed once per `run`/
+// `run_to_completion` (never per instruction) so the hot loop stays
+// untouched. All compile to no-ops without the `telemetry` feature.
+static TLM_FETCH_INSTS: Counter = Counter::new("uarch.fetch.insts");
+static TLM_WRONG_PATH_INSTS: Counter = Counter::new("uarch.fetch.wrong_path_insts");
+static TLM_ISSUE_INSTS: Counter = Counter::new("uarch.issue.insts");
+static TLM_COMMIT_INSTS: Counter = Counter::new("uarch.commit.insts");
+static TLM_CYCLES: Counter = Counter::new("uarch.commit.cycles");
+static TLM_MISPREDICTS: Counter = Counter::new("uarch.bpred.mispredicts");
+static TLM_L1D_MISSES: Counter = Counter::new("uarch.cache.l1d_misses");
+static TLM_L2_MISSES: Counter = Counter::new("uarch.cache.l2_misses");
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum MemClass {
@@ -95,6 +108,8 @@ pub struct DetailedSim<'p> {
     commit_stop: u64,
 
     stats: WindowStats,
+    fetched_insts: u64,
+    issued_insts: u64,
 }
 
 impl<'p> DetailedSim<'p> {
@@ -150,6 +165,8 @@ impl<'p> DetailedSim<'p> {
             oracle_done: false,
             commit_stop: u64::MAX,
             stats: WindowStats::default(),
+            fetched_insts: 0,
+            issued_insts: 0,
         }
     }
 
@@ -191,22 +208,42 @@ impl<'p> DetailedSim<'p> {
     /// exactly the instructions the sample design specified.
     pub fn run(&mut self, n: u64) -> WindowStats {
         let start = self.stats;
+        let (fetched0, issued0) = (self.fetched_insts, self.issued_insts);
         self.commit_stop = start.committed + n;
         while self.stats.committed < self.commit_stop && !self.is_done() {
             self.step_cycle();
         }
         self.commit_stop = u64::MAX;
-        self.stats.since(&start)
+        let delta = self.stats.since(&start);
+        self.flush_telemetry(&delta, fetched0, issued0);
+        delta
     }
 
     /// Simulate until the program ends and the pipeline drains; returns
     /// the statistics delta.
     pub fn run_to_completion(&mut self) -> WindowStats {
         let start = self.stats;
+        let (fetched0, issued0) = (self.fetched_insts, self.issued_insts);
         while !self.is_done() {
             self.step_cycle();
         }
-        self.stats.since(&start)
+        let delta = self.stats.since(&start);
+        self.flush_telemetry(&delta, fetched0, issued0);
+        delta
+    }
+
+    /// Flush this interval's counter deltas to the process-wide
+    /// telemetry registry (one call per simulated interval, not per
+    /// instruction; a no-op without the `telemetry` feature).
+    fn flush_telemetry(&self, delta: &WindowStats, fetched0: u64, issued0: u64) {
+        TLM_FETCH_INSTS.add(self.fetched_insts - fetched0);
+        TLM_WRONG_PATH_INSTS.add(delta.wrong_path_fetched);
+        TLM_ISSUE_INSTS.add(self.issued_insts - issued0);
+        TLM_COMMIT_INSTS.add(delta.committed);
+        TLM_CYCLES.add(delta.cycles);
+        TLM_MISPREDICTS.add(delta.mispredicts);
+        TLM_L1D_MISSES.add(delta.l1d_misses);
+        TLM_L2_MISSES.add(delta.l2_misses);
     }
 
     fn step_cycle(&mut self) {
@@ -486,6 +523,7 @@ impl<'p> DetailedSim<'p> {
             e.issued = true;
             e.complete_cycle = self.cycle + latency;
             issued_total += 1;
+            self.issued_insts += 1;
         }
     }
 
@@ -581,6 +619,7 @@ impl<'p> DetailedSim<'p> {
                 break;
             }
         }
+        self.fetched_insts += u64::from(fetched);
     }
 
     /// Dispatch one correct-path instruction; updates fetch_pc along the

@@ -5,42 +5,60 @@
 //!
 //! ```text
 //! cargo run --release --example design_space [benchmark-name] [--threads T]
+//!     [--metrics-out PATH] [--trace PATH]
 //! ```
 //!
 //! One live-point library answers every design question in a single
 //! pass: [`SweepRunner`] decompresses and DER-decodes each record once,
 //! simulates it under the baseline and every candidate, and — because
 //! all configurations see exactly the same points — yields matched-pair
-//! comparisons against the baseline by construction.
+//! comparisons against the baseline by construction. `--metrics-out`
+//! writes a run manifest; `--trace` appends span events as JSONL.
 
 use std::error::Error;
 use std::time::Instant;
 
 use spectral::core::{CreationConfig, LivePointLibrary, RunPolicy, SweepRunner};
+use spectral::telemetry::{self, RunManifest};
 use spectral::uarch::{FuPools, MachineConfig};
 use spectral::workloads::by_name;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let mut name = "gcc-like".to_owned();
     let mut threads: Option<usize> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        if a == "--threads" {
-            threads = Some(it.next().ok_or("--threads needs a value")?.parse()?);
-        } else {
-            name = a;
+        match a.as_str() {
+            "--threads" => {
+                threads = Some(it.next().ok_or("--threads needs a value")?.parse()?);
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
+            }
+            "--trace" => {
+                telemetry::set_trace_path(it.next().ok_or("--trace needs a path")?)?;
+            }
+            _ => name = a,
         }
     }
+    telemetry::trace_from_env()?;
     let threads = threads
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
 
     let bench = by_name(&name).ok_or_else(|| format!("unknown benchmark {name}"))?;
     let program = bench.build();
     let base = MachineConfig::eight_way();
+    let mut manifest = RunManifest::new("design_space", bench.name(), base.name, threads);
 
     println!("exploring the design space around the 8-way baseline on {}", bench.name());
     let config = CreationConfig::for_machine(&base).with_sample_size(300);
+    manifest.seed = Some(config.seed);
+    let t = Instant::now();
     let library = LivePointLibrary::create_parallel(&program, &config, threads)?;
+    manifest.phase("create_library", t.elapsed().as_secs_f64());
+    manifest.library_id = Some(format!("crc32:{:08x}", library.content_hash()));
+    manifest.library_points = Some(library.len() as u64);
     println!("library: {} live-points\n", library.len());
 
     let candidates: Vec<(&str, MachineConfig)> = vec![
@@ -72,6 +90,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let policy = RunPolicy::default();
     let t = Instant::now();
     let outcome = sweep.run_parallel(&program, &policy, threads)?;
+    manifest.phase("run_sweep", t.elapsed().as_secs_f64());
+    manifest.points_processed = Some(outcome.processed() as u64);
     println!(
         "swept {} configurations over {} decoded points in {:.2?} ({} worker(s))\n",
         sweep.machines().len(),
@@ -84,7 +104,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         "{:<38} {:>9} {:>12} {:>7} {:>7}",
         "design change", "ΔCPI", "95%-of-base?", "pairs", "verdict"
     );
-    let base_mean = outcome.estimate(0).mean();
+    let baseline = outcome.estimate(0);
+    let base_mean = baseline.mean();
+    manifest.set_estimate(baseline.mean(), baseline.half_width(), baseline.reached_target());
     let mut results: Vec<(usize, &str)> =
         candidates.iter().enumerate().map(|(i, (label, _))| (i + 1, *label)).collect();
     // Rank by impact, as a design-space search would.
@@ -107,5 +129,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!();
     println!("every candidate was measured on the same decoded points — matched pairs by");
     println!("construction, and each record's decompress+decode cost paid once (§6.2).");
+
+    if let Some(path) = metrics_out {
+        manifest.write(&path, Some(&telemetry::snapshot()))?;
+        println!("run manifest written to {path}");
+    }
+    telemetry::flush_trace();
     Ok(())
 }

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! cargo run --release --example parallel_farm [benchmark-name] [--threads T]
+//!     [--metrics-out PATH] [--trace PATH]
 //! ```
 //!
 //! The same shuffled library is processed serially and with 2–8 worker
@@ -11,37 +12,54 @@
 //! shards into one estimator, so the exhaustive estimates agree exactly
 //! while wall-clock drops on multi-core hosts. Library creation itself
 //! runs on the pipelined multi-core path and stays byte-identical to a
-//! serial build.
+//! serial build. `--metrics-out` writes a run manifest (phases, points,
+//! estimate, embedded metrics snapshot); `--trace` appends span events
+//! as JSONL.
 
 use std::error::Error;
 use std::time::Instant;
 
 use spectral::core::{CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy};
+use spectral::telemetry::{self, RunManifest};
 use spectral::uarch::MachineConfig;
 use spectral::workloads::by_name;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let mut name = "bzip2-like".to_owned();
     let mut threads: Option<usize> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        if a == "--threads" {
-            threads = Some(it.next().ok_or("--threads needs a value")?.parse()?);
-        } else {
-            name = a;
+        match a.as_str() {
+            "--threads" => {
+                threads = Some(it.next().ok_or("--threads needs a value")?.parse()?);
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
+            }
+            "--trace" => {
+                telemetry::set_trace_path(it.next().ok_or("--trace needs a path")?)?;
+            }
+            _ => name = a,
         }
     }
+    telemetry::trace_from_env()?;
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let threads = threads.unwrap_or(cores);
 
     let bench = by_name(&name).ok_or_else(|| format!("unknown benchmark {name}"))?;
     let program = bench.build();
     let machine = MachineConfig::eight_way();
+    let mut manifest = RunManifest::new("parallel_farm", bench.name(), machine.name, threads);
 
     println!("building library for {} with {threads} worker(s)…", bench.name());
     let config = CreationConfig::for_machine(&machine).with_sample_size(320);
+    manifest.seed = Some(config.seed);
     let t = Instant::now();
     let library = LivePointLibrary::create_parallel(&program, &config, threads)?;
+    manifest.phase("create_library", t.elapsed().as_secs_f64());
+    manifest.library_id = Some(format!("crc32:{:08x}", library.content_hash()));
+    manifest.library_points = Some(library.len() as u64);
     println!("library: {} live-points in {:.2?}\n", library.len(), t.elapsed());
 
     println!("host exposes {cores} core(s) — wall-clock speedups need more than one.\n");
@@ -52,6 +70,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let t = Instant::now();
     let serial = runner.run(&program, &policy)?;
     let t_serial = t.elapsed().as_secs_f64();
+    manifest.phase("run_serial", t_serial);
     println!(
         "serial     : {:>3} points  CPI {:.4} ± {:.4}  {:>7.2?}",
         serial.processed(),
@@ -65,6 +84,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         farm.push(threads);
         farm.sort_unstable();
     }
+    let t_farm = Instant::now();
     for threads in farm {
         let t = Instant::now();
         let est = runner.run_parallel(&program, &policy, threads)?;
@@ -84,7 +104,16 @@ fn main() -> Result<(), Box<dyn Error>> {
             "estimates must agree up to summation order"
         );
     }
+    manifest.phase("run_parallel_farm", t_farm.elapsed().as_secs_f64());
+    manifest.points_processed = Some(serial.processed() as u64);
+    manifest.set_estimate(serial.mean(), serial.half_width(), serial.reached_target());
     println!("\nestimates agree to floating-point summation order — order independence");
     println!("is what lets a cluster split one library across hosts (paper §6.1).");
+
+    if let Some(path) = metrics_out {
+        manifest.write(&path, Some(&telemetry::snapshot()))?;
+        println!("run manifest written to {path}");
+    }
+    telemetry::flush_trace();
     Ok(())
 }

@@ -17,6 +17,7 @@
 //! * [`codec`] — DER subset + LZSS compression for live-point storage
 //! * [`warming`] — full (SMARTS), detailed, and adaptive (MRRL) warming
 //! * [`core`] — live-points: creation, libraries, runners, matched pairs
+//! * [`telemetry`] — metrics, span tracing, and run manifests
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use spectral_codec as codec;
 pub use spectral_core as core;
 pub use spectral_isa as isa;
 pub use spectral_stats as stats;
+pub use spectral_telemetry as telemetry;
 pub use spectral_uarch as uarch;
 pub use spectral_warming as warming;
 pub use spectral_workloads as workloads;
