@@ -1,6 +1,8 @@
 //! Worker-scaling benchmark for the parallel live-point pipeline:
 //! library creation, sharded online runs, and decode-once design-space
-//! sweeps at 1/2/4/8 workers.
+//! sweeps at 1/2/4/8 workers. Worker counts exceeding the host's actual
+//! core count are skipped (with a logged note and a JSON record) —
+//! oversubscribed numbers measure scheduler interleaving, not scaling.
 //!
 //! Besides the usual console report, this target writes
 //! `BENCH_parallel.json` at the workspace root with the measured
@@ -23,7 +25,23 @@ use spectral_uarch::MachineConfig;
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
 const POINTS: u64 = 24;
 
+/// Worker counts the host can actually run concurrently. Benchmarking
+/// more workers than cores only measures scheduler interleaving, so
+/// oversubscribed counts are skipped with a note rather than reported
+/// as if they were real scaling data.
+fn honest_workers() -> Vec<usize> {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (run, skipped): (Vec<usize>, Vec<usize>) = WORKERS.iter().partition(|&&w| w <= host);
+    if !skipped.is_empty() {
+        println!(
+            "note: host exposes {host} core(s); skipping oversubscribed worker counts {skipped:?}"
+        );
+    }
+    run
+}
+
 fn bench_scaling(c: &mut Criterion) {
+    let workers = honest_workers();
     let program = fixture_benchmark().build();
     let machine = MachineConfig::eight_way();
     let cfg = CreationConfig::for_machine(&machine).with_sample_size(POINTS);
@@ -34,7 +52,7 @@ fn bench_scaling(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("create");
     group.sample_size(10).throughput(Throughput::Elements(points));
-    for threads in WORKERS {
+    for &threads in &workers {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             b.iter(|| LivePointLibrary::create_parallel(&program, &cfg, t).expect("create"));
         });
@@ -44,7 +62,7 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("run");
     group.sample_size(10).throughput(Throughput::Elements(points));
     let runner = OnlineRunner::new(&library, machine.clone());
-    for threads in WORKERS {
+    for &threads in &workers {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             b.iter(|| runner.run_parallel(&program, &exhaustive, t).expect("run"));
         });
@@ -59,7 +77,7 @@ fn bench_scaling(c: &mut Criterion) {
     let sweep = SweepRunner::new(&library, machines);
     let mut group = c.benchmark_group("sweep3");
     group.sample_size(10).throughput(Throughput::Elements(points));
-    for threads in WORKERS {
+    for &threads in &workers {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             b.iter(|| sweep.run_parallel(&program, &exhaustive, t).expect("sweep"));
         });
@@ -71,8 +89,14 @@ fn bench_scaling(c: &mut Criterion) {
 /// points-per-second at each worker count.
 fn emit_json(c: &Criterion) -> String {
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let skipped: Vec<usize> = WORKERS.iter().copied().filter(|&w| w > host).collect();
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"host_parallelism\": {host},");
+    let _ = writeln!(
+        json,
+        "  \"workers_skipped_oversubscribed\": [{}],",
+        skipped.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(", ")
+    );
     let _ = writeln!(json, "  \"points\": {POINTS},");
     json.push_str("  \"throughput_points_per_s\": {\n");
     let mut first = true;

@@ -15,8 +15,12 @@
 //! * `pipeline` — out-of-order timing-model throughput per workload
 //!   class,
 //! * `scaling` — parallel-pipeline worker scaling (creation, sharded
-//!   runs, decode-once sweeps at 1/2/4/8 workers); also emits
-//!   `BENCH_parallel.json` at the workspace root.
+//!   runs, decode-once sweeps at 1/2/4/8 workers, capped at the host's
+//!   core count); also emits `BENCH_parallel.json` at the workspace
+//!   root,
+//! * `kernel` — per-point kernel layers bare (functional emulation,
+//!   detailed pipeline, decode, single-thread end-to-end run); emits
+//!   `BENCH_kernel.json`, which CI's perf-smoke job gates on.
 //!
 //! This library crate only exposes shared fixtures for those targets.
 

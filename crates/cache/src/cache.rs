@@ -12,9 +12,9 @@ pub struct Eviction {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    block: u64,
-    dirty: bool,
+pub(crate) struct Line {
+    pub(crate) block: u64,
+    pub(crate) dirty: bool,
 }
 
 /// Serializable warm state of a cache: per-set lines in MRU-first order.
@@ -171,6 +171,15 @@ impl Cache {
         for (i, src) in state.sets.iter().enumerate().take(n) {
             sets[i] = src.iter().take(assoc).map(|&(block, dirty)| Line { block, dirty }).collect();
         }
+        Cache { config, sets, hits: 0, misses: 0 }
+    }
+
+    /// Assemble a cache directly from per-set MRU-first line lists (the
+    /// allocation-lean path used by [`Csr::reconstruct_cache`]
+    /// (crate::Csr::reconstruct_cache)). `sets` must already be sized to
+    /// the geometry and truncated to the associativity.
+    pub(crate) fn from_line_sets(config: CacheConfig, sets: Vec<Vec<Line>>) -> Self {
+        debug_assert_eq!(sets.len(), config.num_sets() as usize);
         Cache { config, sets, hits: 0, misses: 0 }
     }
 }

@@ -1,7 +1,7 @@
 //! Cache Set Record (CSR) — adaptable warm cache state bounded by a
 //! maximum configuration (Barr et al., ISPASS 2005; paper §4.3).
 
-use crate::cache::CacheState;
+use crate::cache::{Cache, CacheState, Line};
 use crate::config::CacheConfig;
 use crate::error::CacheError;
 
@@ -108,15 +108,7 @@ impl Csr {
     /// more associative than the recorded maximum (or its set count does
     /// not divide the maximum's).
     pub fn reconstruct(&self, target: &CacheConfig) -> Result<CacheState, CacheError> {
-        if target.line_bytes() != self.max.line_bytes() {
-            return Err(CacheError::LineMismatch {
-                recorded: self.max.line_bytes(),
-                requested: target.line_bytes(),
-            });
-        }
-        if !self.max.covers(target) {
-            return Err(CacheError::TargetExceedsBounds { what: "size or associativity" });
-        }
+        self.check_target(target)?;
         let t_sets = target.num_sets();
         let t_assoc = target.assoc() as usize;
         let mut out = vec![Vec::new(); t_sets as usize];
@@ -134,6 +126,65 @@ impl Csr {
             })
             .collect();
         Ok(CacheState { sets })
+    }
+
+    /// Reconstruct a warm [`Cache`] with geometry `target` directly —
+    /// contents, LRU order, and dirty flags identical to
+    /// `Cache::from_state(target, &self.reconstruct(target)?)`, without
+    /// materializing the intermediate [`CacheState`]. When the target
+    /// set count equals the recorded maximum's (no folding), per-set
+    /// work runs through one reused scratch buffer, so reconstruction
+    /// allocates only the final per-set line lists. This is the hot path
+    /// of per-point hierarchy reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`reconstruct`](Self::reconstruct).
+    pub fn reconstruct_cache(&self, target: &CacheConfig) -> Result<Cache, CacheError> {
+        self.check_target(target)?;
+        let t_sets = target.num_sets();
+        let t_assoc = target.assoc() as usize;
+        let mut sets: Vec<Vec<Line>> = Vec::with_capacity(t_sets as usize);
+        if t_sets as usize == self.sets.len() {
+            // Identity fold: each recorded set maps to exactly one
+            // target set.
+            let mut scratch: Vec<CsrEntry> = Vec::new();
+            for set in &self.sets {
+                scratch.clear();
+                scratch.extend_from_slice(set);
+                scratch.sort_by_key(|e| std::cmp::Reverse(e.last_access));
+                scratch.truncate(t_assoc);
+                sets.push(
+                    scratch.iter().map(|e| Line { block: e.block, dirty: e.dirty }).collect(),
+                );
+            }
+        } else {
+            let mut out = vec![Vec::new(); t_sets as usize];
+            for (s, set) in self.sets.iter().enumerate() {
+                out[(s as u64 % t_sets) as usize].extend(set.iter().copied());
+            }
+            for mut entries in out {
+                entries.sort_by_key(|e| std::cmp::Reverse(e.last_access));
+                entries.truncate(t_assoc);
+                sets.push(
+                    entries.iter().map(|e| Line { block: e.block, dirty: e.dirty }).collect(),
+                );
+            }
+        }
+        Ok(Cache::from_line_sets(*target, sets))
+    }
+
+    fn check_target(&self, target: &CacheConfig) -> Result<(), CacheError> {
+        if target.line_bytes() != self.max.line_bytes() {
+            return Err(CacheError::LineMismatch {
+                recorded: self.max.line_bytes(),
+                requested: target.line_bytes(),
+            });
+        }
+        if !self.max.covers(target) {
+            return Err(CacheError::TargetExceedsBounds { what: "size or associativity" });
+        }
+        Ok(())
     }
 
     /// Export the raw per-set entries (MRU-first) for serialization.

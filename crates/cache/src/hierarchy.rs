@@ -238,6 +238,23 @@ impl CacheHierarchy {
         }
     }
 
+    /// Assemble a hierarchy from already-warm structures (the direct
+    /// CSR-reconstruction path; each structure's geometry must match
+    /// `config`).
+    pub fn from_parts(
+        config: HierarchyConfig,
+        l1i: Cache,
+        l1d: Cache,
+        l2: Cache,
+        itlb: Tlb,
+        dtlb: Tlb,
+    ) -> Self {
+        debug_assert_eq!(*l1i.config(), config.l1i);
+        debug_assert_eq!(*l1d.config(), config.l1d);
+        debug_assert_eq!(*l2.config(), config.l2);
+        CacheHierarchy { config, l1i, l1d, l2, itlb, dtlb }
+    }
+
     /// Build a warm hierarchy from a snapshot.
     pub fn from_snapshot(config: HierarchyConfig, snap: &HierarchySnapshot) -> Self {
         CacheHierarchy {

@@ -124,6 +124,21 @@ impl Tlb {
     pub fn from_state(config: TlbConfig, state: &TlbState) -> Self {
         Tlb { config, inner: Cache::from_state(config.as_cache_config(), state) }
     }
+
+    /// Wrap an already-warm page-granularity cache as a TLB (the direct
+    /// CSR-reconstruction path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inner`'s geometry is not `config`'s cache view.
+    pub fn from_warm_cache(config: TlbConfig, inner: Cache) -> Self {
+        assert_eq!(
+            *inner.config(),
+            config.as_cache_config(),
+            "warm cache geometry must match the TLB's cache view"
+        );
+        Tlb { config, inner }
+    }
 }
 
 #[cfg(test)]

@@ -39,17 +39,50 @@ fn hash3(data: &[u8], i: usize) -> usize {
     (h.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
+/// Reusable match-finder state for [`compress_with`]: the hash-head
+/// table and the previous-position chain. Compressing allocates these
+/// afresh on every call otherwise (a 32 K-entry table plus one `usize`
+/// per input byte), which dominates steady-state allocation in
+/// pipelined library creation. Keep one per worker and reuse it.
+#[derive(Debug, Default)]
+pub struct CompressScratch {
+    head: Vec<usize>,
+    prev: Vec<usize>,
+}
+
+impl CompressScratch {
+    /// Create empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, data_len: usize) {
+        self.head.clear();
+        self.head.resize(1 << HASH_BITS, usize::MAX);
+        self.prev.clear();
+        self.prev.resize(data_len.max(1), usize::MAX);
+    }
+}
+
 /// Compress `data`.
 ///
 /// The output begins with the uncompressed length as a little-endian
 /// `u64`, so [`decompress`] can pre-allocate exactly.
 pub fn compress(data: &[u8]) -> Vec<u8> {
+    compress_with(&mut CompressScratch::new(), data)
+}
+
+/// Compress `data`, reusing `scratch`'s match-finder buffers.
+///
+/// Output is byte-identical to [`compress`] — the scratch only recycles
+/// allocations, never state (it is fully reset per call).
+pub fn compress_with(scratch: &mut CompressScratch, data: &[u8]) -> Vec<u8> {
     let sw = Stopwatch::start();
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
     out.extend_from_slice(&(data.len() as u64).to_le_bytes());
 
-    let mut head = vec![usize::MAX; 1 << HASH_BITS];
-    let mut prev = vec![usize::MAX; data.len().max(1)];
+    scratch.reset(data.len());
+    let (head, prev) = (&mut scratch.head, &mut scratch.prev);
 
     let mut i = 0;
     // Token accumulation: one flag byte per 8 tokens.
@@ -142,7 +175,22 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// output start, and [`CodecError::BadLength`] when the stream does not
 /// reproduce exactly the declared length.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Decompress data produced by [`compress`] into a caller-provided
+/// buffer, reusing its allocation — the zero-steady-state-allocation
+/// variant of [`decompress`]. `out` is cleared first; on error its
+/// contents are unspecified (but valid).
+///
+/// # Errors
+///
+/// Same conditions as [`decompress`].
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
     let sw = Stopwatch::start();
+    out.clear();
     if data.len() < 8 {
         return Err(CodecError::Truncated);
     }
@@ -152,7 +200,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     if expect > (data.len() - 8).saturating_mul(MAX_MATCH) {
         return Err(CodecError::BadLength);
     }
-    let mut out = Vec::with_capacity(expect);
+    out.reserve(expect);
     let mut i = 8;
     while out.len() < expect {
         if i >= data.len() {
@@ -194,7 +242,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     DECOMPRESS_CALLS.inc();
     DECOMPRESS_OUT_BYTES.add(out.len() as u64);
     DECOMPRESS_NS.add(sw.ns());
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

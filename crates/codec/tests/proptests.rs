@@ -85,6 +85,61 @@ proptest! {
     }
 
     #[test]
+    fn compress_with_matches_compress(
+        a in proptest::collection::vec(any::<u8>(), 0..4096),
+        b in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        // One scratch reused across differently-sized inputs must be
+        // byte-identical to fresh-allocation compression every time.
+        let mut scratch = lzss::CompressScratch::new();
+        prop_assert_eq!(lzss::compress_with(&mut scratch, &a), lzss::compress(&a));
+        prop_assert_eq!(lzss::compress_with(&mut scratch, &b), lzss::compress(&b));
+        prop_assert_eq!(lzss::compress_with(&mut scratch, &a), lzss::compress(&a));
+    }
+
+    #[test]
+    fn decompress_into_roundtrips_with_reused_buffer(
+        a in proptest::collection::vec(any::<u8>(), 0..4096),
+        b in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        // A dirty reused output buffer must not leak into the result.
+        let mut out = Vec::new();
+        lzss::decompress_into(&lzss::compress(&a), &mut out).unwrap();
+        prop_assert_eq!(&out, &a);
+        lzss::decompress_into(&lzss::compress(&b), &mut out).unwrap();
+        prop_assert_eq!(&out, &b);
+    }
+
+    #[test]
+    fn decompress_into_agrees_with_decompress_on_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut out = Vec::new();
+        match (lzss::decompress(&data), lzss::decompress_into(&data, &mut out)) {
+            (Ok(v), Ok(())) => prop_assert_eq!(v, out),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "divergent outcomes: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn decompress_into_agrees_with_decompress_on_truncations(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        cut in any::<usize>(),
+    ) {
+        // Every proper prefix of a valid stream must produce the same
+        // outcome (usually Truncated) from both decompressors.
+        let c = lzss::compress(&data);
+        let prefix = &c[..cut % c.len()];
+        let mut out = Vec::new();
+        match (lzss::decompress(prefix), lzss::decompress_into(prefix, &mut out)) {
+            (Ok(v), Ok(())) => prop_assert_eq!(v, out),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "divergent outcomes: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
     fn der_reader_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
         let mut r = DerReader::new(&data);
         let _ = r.u64();

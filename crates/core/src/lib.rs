@@ -69,7 +69,7 @@ mod sweep;
 
 pub use creation::{benchmark_length, CreationConfig, L2StreamPolicy};
 pub use error::CoreError;
-pub use library::LivePointLibrary;
+pub use library::{DecodeScratch, LivePointLibrary};
 pub use livepoint::{LivePoint, SizeBreakdown, WarmPayload};
 pub use livestate::{collect_live_state, LiveState, StateScope};
 pub use matched::{MatchedOutcome, MatchedRunner};

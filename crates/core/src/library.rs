@@ -31,17 +31,36 @@ static TLM_RECORD_BYTES: Histogram = Histogram::new("core.create.record_bytes");
 
 /// DER-encode and LZSS-compress one live-point, feeding the per-record
 /// telemetry — the single compression site for both the serial and the
-/// pipelined creation paths.
-fn compress_record(lp: &LivePoint) -> Vec<u8> {
+/// pipelined creation paths. The caller keeps one [`CompressScratch`]
+/// per thread so the match-finder tables are allocated once, not per
+/// record.
+fn compress_record(scratch: &mut lzss::CompressScratch, lp: &LivePoint) -> Vec<u8> {
     let sw = Stopwatch::start();
     let der = encode_livepoint(lp);
     TLM_ENCODE_NS.add(sw.ns());
     TLM_DER_BYTES.record(der.len() as u64);
     let sw = Stopwatch::start();
-    let bytes = lzss::compress(&der);
+    let bytes = lzss::compress_with(scratch, &der);
     TLM_COMPRESS_NS.add(sw.ns());
     TLM_RECORD_BYTES.record(bytes.len() as u64);
     bytes
+}
+
+/// Reusable decode buffers for [`LivePointLibrary::get_with`]: holds
+/// the decompressed DER image between decodes so steady-state point
+/// processing performs no decompression-side heap allocation. Keep one
+/// per runner thread.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    der: Vec<u8>,
+}
+
+impl DecodeScratch {
+    /// Create empty scratch; the buffer grows to the largest record
+    /// decoded through it and is then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// A benchmark's live-point library: independently-loadable compressed
@@ -138,8 +157,9 @@ impl LivePointLibrary {
         let _span = spectral_telemetry::span("create.library");
         let records = if threads <= 1 {
             let mut records = Vec::with_capacity(windows.len());
+            let mut scratch = lzss::CompressScratch::new();
             walk_windows(program, cfg, windows, |_, lp| {
-                records.push(compress_record(&lp));
+                records.push(compress_record(&mut scratch, &lp));
             });
             records
         } else {
@@ -191,12 +211,27 @@ impl LivePointLibrary {
     ///
     /// Returns [`CoreError::IndexOutOfRange`] or a codec fault.
     pub fn get(&self, index: usize) -> Result<LivePoint, CoreError> {
+        self.get_with(&mut DecodeScratch::new(), index)
+    }
+
+    /// Decode live-point `index` reusing `scratch`'s buffers — the
+    /// hot-path variant of [`get`](Self::get) used by the runners so
+    /// repeated decodes allocate nothing for decompression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IndexOutOfRange`] or a codec fault.
+    pub fn get_with(
+        &self,
+        scratch: &mut DecodeScratch,
+        index: usize,
+    ) -> Result<LivePoint, CoreError> {
         let rec = self
             .records
             .get(index)
             .ok_or(CoreError::IndexOutOfRange { index, len: self.records.len() })?;
-        let der = lzss::decompress(rec)?;
-        decode_livepoint(&der)
+        lzss::decompress_into(rec, &mut scratch.der)?;
+        decode_livepoint(&scratch.der)
     }
 
     /// Iterate decoded live-points in (shuffled) processing order.
@@ -212,7 +247,7 @@ impl LivePointLibrary {
     /// # }
     /// ```
     pub fn iter(&self) -> Iter<'_> {
-        Iter { library: self, index: 0 }
+        Iter { library: self, index: 0, scratch: DecodeScratch::new() }
     }
 
     /// Compressed size of record `index` in bytes.
@@ -521,13 +556,16 @@ fn encode_pipelined(
     let slots: Vec<Mutex<Option<Vec<u8>>>> = windows.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                // Take the receiver lock only to pull the next job;
-                // encoding runs unlocked.
-                let job = rx.lock().expect("receiver lock").recv();
-                let Ok((i, lp)) = job else { break };
-                let bytes = compress_record(&lp);
-                *slots[i].lock().expect("slot lock") = Some(bytes);
+            scope.spawn(|| {
+                let mut scratch = lzss::CompressScratch::new();
+                loop {
+                    // Take the receiver lock only to pull the next job;
+                    // encoding runs unlocked.
+                    let job = rx.lock().expect("receiver lock").recv();
+                    let Ok((i, lp)) = job else { break };
+                    let bytes = compress_record(&mut scratch, &lp);
+                    *slots[i].lock().expect("slot lock") = Some(bytes);
+                }
             });
         }
         walk_windows(program, cfg, windows, |i, lp| {
@@ -540,11 +578,13 @@ fn encode_pipelined(
 }
 
 /// Iterator over a library's decoded live-points; created by
-/// [`LivePointLibrary::iter`].
+/// [`LivePointLibrary::iter`]. Carries its own [`DecodeScratch`] so a
+/// full-library sweep reuses one decompression buffer.
 #[derive(Debug)]
 pub struct Iter<'l> {
     library: &'l LivePointLibrary,
     index: usize,
+    scratch: DecodeScratch,
 }
 
 impl Iterator for Iter<'_> {
@@ -554,7 +594,7 @@ impl Iterator for Iter<'_> {
         if self.index >= self.library.len() {
             return None;
         }
-        let item = self.library.get(self.index);
+        let item = self.library.get_with(&mut self.scratch, self.index);
         self.index += 1;
         Some(item)
     }

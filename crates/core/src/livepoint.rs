@@ -1,9 +1,7 @@
 //! The live-point: one self-contained, independently-simulatable
 //! checkpoint.
 
-use spectral_cache::{
-    CacheConfig, CacheHierarchy, Csr, HierarchyConfig, HierarchySnapshot, TlbConfig,
-};
+use spectral_cache::{CacheConfig, CacheHierarchy, Csr, HierarchyConfig, Tlb, TlbConfig};
 use spectral_stats::WindowSpec;
 use spectral_uarch::{BpredConfig, BpredSnapshot, BranchPredictor};
 
@@ -67,14 +65,16 @@ impl LivePoint {
         &self,
         target: &HierarchyConfig,
     ) -> Result<CacheHierarchy, CoreError> {
-        let snap = HierarchySnapshot {
-            l1i: self.warm.l1i.reconstruct(&target.l1i)?,
-            l1d: self.warm.l1d.reconstruct(&target.l1d)?,
-            l2: self.warm.l2.reconstruct(&target.l2)?,
-            itlb: self.warm.itlb.reconstruct(&tlb_as_cache(&target.itlb))?,
-            dtlb: self.warm.dtlb.reconstruct(&tlb_as_cache(&target.dtlb))?,
-        };
-        Ok(CacheHierarchy::from_snapshot(*target, &snap))
+        let itlb = self.warm.itlb.reconstruct_cache(&tlb_as_cache(&target.itlb))?;
+        let dtlb = self.warm.dtlb.reconstruct_cache(&tlb_as_cache(&target.dtlb))?;
+        Ok(CacheHierarchy::from_parts(
+            *target,
+            self.warm.l1i.reconstruct_cache(&target.l1i)?,
+            self.warm.l1d.reconstruct_cache(&target.l1d)?,
+            self.warm.l2.reconstruct_cache(&target.l2)?,
+            Tlb::from_warm_cache(target.itlb, itlb),
+            Tlb::from_warm_cache(target.dtlb, dtlb),
+        ))
     }
 
     /// Find and restore the stored predictor snapshot for `config`.

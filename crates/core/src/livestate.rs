@@ -42,9 +42,9 @@ impl LiveState {
     /// Build the partial memory image for simulation.
     pub fn build_memory(&self) -> SparseMemory {
         let mut mem = SparseMemory::new();
-        for &(addr, value) in &self.memory {
-            mem.write_u64(addr, value);
-        }
+        // `memory` is sorted by address, so the bulk installer resolves
+        // each page once per run of same-page words.
+        mem.install_words(&self.memory);
         mem
     }
 

@@ -8,7 +8,7 @@ use spectral_stats::{MatchedPair, MIN_SAMPLE_SIZE};
 use spectral_uarch::MachineConfig;
 
 use crate::error::CoreError;
-use crate::library::LivePointLibrary;
+use crate::library::{DecodeScratch, LivePointLibrary};
 use crate::runner::{decode_point, note_early_stop, simulate_point, RunPolicy, ShardCoordinator};
 
 /// Result of a matched-pair comparison between two machines.
@@ -103,8 +103,9 @@ impl<'l> MatchedRunner<'l> {
         let mut pair = MatchedPair::new();
         let mut reached = false;
         let mut processed = 0;
+        let mut scratch = DecodeScratch::new();
         for i in 0..limit {
-            let lp = decode_point(self.library, i)?;
+            let lp = decode_point(self.library, i, &mut scratch)?;
             let base = simulate_point(&lp, program, &self.base)?;
             let exp = simulate_point(&lp, program, &self.experiment)?;
             pair.push(base.cpi(), exp.cpi());
@@ -182,13 +183,15 @@ impl<'l> MatchedRunner<'l> {
                 handles.push(scope.spawn(move || {
                     let mut shard = MatchedPair::new();
                     let mut batch = MatchedPair::new();
+                    let mut scratch = DecodeScratch::new();
                     let mut index = worker;
                     while index < limit && !coord.stop.load(Ordering::Relaxed) {
-                        let outcome = decode_point(self.library, index).and_then(|lp| {
-                            let base = simulate_point(&lp, program, &self.base)?;
-                            let exp = simulate_point(&lp, program, &self.experiment)?;
-                            Ok((base.cpi(), exp.cpi()))
-                        });
+                        let outcome =
+                            decode_point(self.library, index, &mut scratch).and_then(|lp| {
+                                let base = simulate_point(&lp, program, &self.base)?;
+                                let exp = simulate_point(&lp, program, &self.experiment)?;
+                                Ok((base.cpi(), exp.cpi()))
+                            });
                         match outcome {
                             Ok((base, exp)) => {
                                 shard.push(base, exp);

@@ -10,7 +10,7 @@ use spectral_telemetry::{Counter, Gauge, Stopwatch};
 use spectral_uarch::{DetailedSim, MachineConfig, WindowStats};
 
 use crate::error::CoreError;
-use crate::library::LivePointLibrary;
+use crate::library::{DecodeScratch, LivePointLibrary};
 use crate::livepoint::LivePoint;
 
 // Runner metrics, shared by the online, matched-pair, and sweep
@@ -25,13 +25,15 @@ static TLM_MERGES: Counter = Counter::new("core.run.merges");
 static TLM_LOCK_WAIT_NS: Counter = Counter::new("core.run.lock_wait_ns");
 static TLM_EARLY_STOP_POINT: Gauge = Gauge::new("core.run.early_stop_point");
 
-/// Decode live-point `index`, feeding the decode-time counter.
+/// Decode live-point `index` through per-thread scratch buffers,
+/// feeding the decode-time counter.
 pub(crate) fn decode_point(
     library: &LivePointLibrary,
     index: usize,
+    scratch: &mut DecodeScratch,
 ) -> Result<LivePoint, CoreError> {
     let sw = Stopwatch::start();
-    let lp = library.get(index)?;
+    let lp = library.get_with(scratch, index)?;
     TLM_DECODE_NS.add(sw.ns());
     Ok(lp)
 }
@@ -58,8 +60,9 @@ pub(crate) fn process_point(
     index: usize,
     program: &Program,
     machine: &MachineConfig,
+    scratch: &mut DecodeScratch,
 ) -> Result<WindowStats, CoreError> {
-    simulate_point(&decode_point(library, index)?, program, machine)
+    simulate_point(&decode_point(library, index, scratch)?, program, machine)
 }
 
 /// Record that early termination fired with `count` points merged.
@@ -298,8 +301,9 @@ impl<'l> OnlineRunner<'l> {
         let mut reached = false;
         let limit = self.limit(policy);
         let mut processed = 0;
+        let mut scratch = DecodeScratch::new();
         for i in 0..limit {
-            let stats = process_point(self.library, i, program, &self.machine)?;
+            let stats = process_point(self.library, i, program, &self.machine, &mut scratch)?;
             estimator.push(stats.cpi());
             processed += 1;
             if policy.trajectory_stride > 0 && processed % policy.trajectory_stride == 0 {
@@ -366,9 +370,16 @@ impl<'l> OnlineRunner<'l> {
                 handles.push(scope.spawn(move || {
                     let mut shard = OnlineEstimator::new();
                     let mut batch = OnlineEstimator::new();
+                    let mut scratch = DecodeScratch::new();
                     let mut index = worker;
                     while index < limit && !coord.stop.load(Ordering::Relaxed) {
-                        let outcome = process_point(self.library, index, program, &self.machine);
+                        let outcome = process_point(
+                            self.library,
+                            index,
+                            program,
+                            &self.machine,
+                            &mut scratch,
+                        );
                         match outcome {
                             Ok(stats) => {
                                 shard.push(stats.cpi());

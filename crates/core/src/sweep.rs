@@ -18,7 +18,7 @@ use spectral_stats::{MatchedPair, OnlineEstimator, MIN_SAMPLE_SIZE};
 use spectral_uarch::MachineConfig;
 
 use crate::error::CoreError;
-use crate::library::LivePointLibrary;
+use crate::library::{DecodeScratch, LivePointLibrary};
 use crate::runner::{
     decode_point, note_early_stop, simulate_point, Estimate, RunPolicy, ShardCoordinator,
 };
@@ -158,8 +158,13 @@ impl<'l> SweepRunner<'l> {
     }
 
     /// Simulate one decoded live-point under every configuration.
-    fn measure_point(&self, index: usize, program: &Program) -> Result<Vec<f64>, CoreError> {
-        let lp = decode_point(self.library, index)?; // the one decode
+    fn measure_point(
+        &self,
+        index: usize,
+        program: &Program,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Vec<f64>, CoreError> {
+        let lp = decode_point(self.library, index, scratch)?; // the one decode
         self.machines
             .iter()
             .map(|m| simulate_point(&lp, program, m).map(|stats| stats.cpi()))
@@ -208,8 +213,9 @@ impl<'l> SweepRunner<'l> {
         let limit = self.limit(policy);
         let mut progress = SweepProgress::new(self.machines.len());
         let mut reached = false;
+        let mut scratch = DecodeScratch::new();
         for i in 0..limit {
-            let cpis = self.measure_point(i, program)?;
+            let cpis = self.measure_point(i, program, &mut scratch)?;
             progress.push(&cpis);
             let n = progress.estimators[0].count();
             if policy.trajectory_stride > 0 && n.is_multiple_of(policy.trajectory_stride as u64) {
@@ -280,9 +286,10 @@ impl<'l> SweepRunner<'l> {
                 handles.push(scope.spawn(move || {
                     let mut shard = SweepProgress::new(configs);
                     let mut batch = SweepProgress::new(configs);
+                    let mut scratch = DecodeScratch::new();
                     let mut index = worker;
                     while index < limit && !coord.stop.load(Ordering::Relaxed) {
-                        match self.measure_point(index, program) {
+                        match self.measure_point(index, program, &mut scratch) {
                             Ok(cpis) => {
                                 shard.push(&cpis);
                                 batch.push(&cpis);

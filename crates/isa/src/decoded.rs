@@ -1,0 +1,199 @@
+//! Pre-decoded static instruction streams.
+//!
+//! The emulator and the timing model's fetch/oracle paths consume the
+//! same per-instruction metadata — operand class, source/destination
+//! registers, control-transfer targets — on **every dynamic
+//! instruction**. Recomputing that metadata from the [`Inst`] enum on
+//! each step is pure overhead: it depends only on the static program
+//! image. [`DecodedProgram`] computes it once per program into a flat
+//! dense array indexed by instruction index (equivalently, by PC via
+//! [`inst_index`](crate::inst_index)), so steady-state execution is a
+//! single bounds-checked array load per instruction.
+//!
+//! The pre-decode is derived data: it changes no semantics, and every
+//! field is defined as exactly what the corresponding [`Inst`] method
+//! returns (asserted in tests).
+
+use std::sync::OnceLock;
+
+use crate::inst::{Inst, OpClass, Reg};
+use crate::{inst_addr, INST_BYTES};
+
+/// One statically pre-decoded instruction: the raw [`Inst`] plus every
+/// piece of per-instruction metadata the emulator and pipeline would
+/// otherwise recompute per dynamic instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodedInst {
+    /// The decoded instruction itself (execution still matches on it).
+    pub inst: Inst,
+    /// Coarse functional-unit class ([`Inst::op_class`]).
+    pub op: OpClass,
+    /// Integer source registers ([`Inst::int_sources`]).
+    pub int_srcs: [Option<Reg>; 2],
+    /// Integer destination register ([`Inst::int_dest`]).
+    pub int_dst: Option<Reg>,
+    /// FP source register indices ([`Inst::fp_sources`]).
+    pub fp_srcs: [Option<u8>; 2],
+    /// FP destination register index ([`Inst::fp_dest`]).
+    pub fp_dst: Option<u8>,
+    /// This instruction's code virtual address.
+    pub pc: u64,
+    /// Address of the next sequential instruction (`pc + 4`).
+    pub fall_through: u64,
+    /// Pre-translated target address for direct control transfers
+    /// (`Branch`/`Jump`); zero for everything else (indirect targets
+    /// come from registers at run time).
+    pub target_addr: u64,
+}
+
+impl DecodedInst {
+    fn new(index: usize, inst: Inst) -> Self {
+        let pc = inst_addr(index);
+        let target_addr = match inst {
+            Inst::Branch { target, .. } | Inst::Jump { target, .. } => inst_addr(target as usize),
+            _ => 0,
+        };
+        DecodedInst {
+            inst,
+            op: inst.op_class(),
+            int_srcs: inst.int_sources(),
+            int_dst: inst.int_dest(),
+            fp_srcs: inst.fp_sources(),
+            fp_dst: inst.fp_dest(),
+            pc,
+            fall_through: pc + INST_BYTES,
+            target_addr,
+        }
+    }
+}
+
+/// A one-time pre-decode of an entire static program: a flat dense
+/// array of [`DecodedInst`], indexed by static instruction index.
+///
+/// Obtained from [`Program::decoded`](crate::Program::decoded), which
+/// computes it lazily once per program image and shares it across every
+/// emulator and timing model running that program.
+#[derive(Debug)]
+pub struct DecodedProgram {
+    insts: Box<[DecodedInst]>,
+}
+
+impl DecodedProgram {
+    /// Pre-decode `insts` (instruction `i` is assumed to live at
+    /// [`inst_addr`]`(i)`).
+    pub fn new(insts: &[Inst]) -> Self {
+        DecodedProgram {
+            insts: insts.iter().enumerate().map(|(i, &inst)| DecodedInst::new(i, inst)).collect(),
+        }
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The pre-decoded instruction at `index`, if in range.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&DecodedInst> {
+        self.insts.get(index)
+    }
+
+    /// The full flat pre-decoded stream.
+    #[inline]
+    pub fn insts(&self) -> &[DecodedInst] {
+        &self.insts
+    }
+}
+
+/// Lazily-initialised per-program pre-decode cache. Lives in its own
+/// type so [`Program`](crate::Program) can keep deriving nothing
+/// unusual: clones restart with an empty cache, and equality ignores
+/// the cache entirely (it is a pure function of the instruction list).
+#[derive(Default)]
+pub(crate) struct DecodeCache(OnceLock<DecodedProgram>);
+
+impl DecodeCache {
+    pub(crate) fn get_or_decode(&self, insts: &[Inst]) -> &DecodedProgram {
+        self.0.get_or_init(|| DecodedProgram::new(insts))
+    }
+}
+
+impl std::fmt::Debug for DecodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.get().is_some() {
+            "DecodeCache(ready)"
+        } else {
+            "DecodeCache(empty)"
+        })
+    }
+}
+
+impl Clone for DecodeCache {
+    fn clone(&self) -> Self {
+        // Derived data: recompute lazily in the clone rather than deep-
+        // copying the table.
+        DecodeCache(OnceLock::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn predecode_matches_inst_methods() {
+        let mut b = ProgramBuilder::new("t");
+        let buf = b.alloc_data(8);
+        b.li(Reg::R1, buf as i64);
+        b.li(Reg::R2, 3);
+        let top = b.label();
+        b.store(Reg::R1, Reg::R2, 0);
+        b.load(Reg::R3, Reg::R1, 0);
+        b.fadd(1, 2, 3);
+        b.subi(Reg::R2, Reg::R2, 1);
+        b.bne(Reg::R2, Reg::R0, top);
+        b.call(Reg::R31, top);
+        b.jump_reg(Reg::R31);
+        b.halt();
+        let p = b.build();
+        let d = p.decoded();
+        assert_eq!(d.len(), p.len());
+        for (i, &inst) in p.insts().iter().enumerate() {
+            let di = d.get(i).unwrap();
+            assert_eq!(di.inst, inst);
+            assert_eq!(di.op, inst.op_class());
+            assert_eq!(di.int_srcs, inst.int_sources());
+            assert_eq!(di.int_dst, inst.int_dest());
+            assert_eq!(di.fp_srcs, inst.fp_sources());
+            assert_eq!(di.fp_dst, inst.fp_dest());
+            assert_eq!(di.pc, inst_addr(i));
+            assert_eq!(di.fall_through, inst_addr(i) + INST_BYTES);
+            match inst {
+                Inst::Branch { target, .. } | Inst::Jump { target, .. } => {
+                    assert_eq!(di.target_addr, inst_addr(target as usize));
+                }
+                _ => assert_eq!(di.target_addr, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_is_cached_and_survives_clone() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 1);
+        b.halt();
+        let p = b.build();
+        let first = p.decoded() as *const DecodedProgram;
+        let second = p.decoded() as *const DecodedProgram;
+        assert_eq!(first, second, "decode must happen once per program");
+        let q = p.clone();
+        assert_eq!(q.decoded().len(), p.decoded().len());
+        assert_eq!(q, p, "the cache must not affect program equality");
+    }
+}

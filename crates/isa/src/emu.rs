@@ -1,5 +1,6 @@
 //! The SRISC functional emulator.
 
+use crate::decoded::DecodedProgram;
 use crate::inst::{AluOp, FpOp, Inst, Reg};
 use crate::mem::SparseMemory;
 use crate::program::Program;
@@ -32,6 +33,7 @@ pub struct ArchState {
 #[derive(Debug, Clone)]
 pub struct Emulator<'p> {
     program: &'p Program,
+    decoded: &'p DecodedProgram,
     regs: RegFile,
     mem: SparseMemory,
     pc: u64,
@@ -51,6 +53,7 @@ impl<'p> Emulator<'p> {
         regs.write(Reg::R30, STACK_BASE);
         Emulator {
             program,
+            decoded: program.decoded(),
             regs,
             mem,
             pc: inst_addr(program.entry() as usize),
@@ -62,7 +65,15 @@ impl<'p> Emulator<'p> {
     /// Create an emulator resuming from `state` over a caller-provided
     /// memory image (checkpoint load path).
     pub fn from_state(program: &'p Program, state: ArchState, mem: SparseMemory) -> Self {
-        Emulator { program, regs: state.regs, mem, pc: state.pc, seq: state.seq, halted: false }
+        Emulator {
+            program,
+            decoded: program.decoded(),
+            regs: state.regs,
+            mem,
+            pc: state.pc,
+            seq: state.seq,
+            halted: false,
+        }
     }
 
     /// The program being executed.
@@ -123,15 +134,17 @@ impl<'p> Emulator<'p> {
                 return None;
             }
         };
-        let inst = self.program.insts()[index];
+        // Pre-decoded: operand metadata and control-flow targets were
+        // computed once per program image, not per dynamic instruction.
+        let d = &self.decoded.insts()[index];
         let pc = self.pc;
-        let fall_through = inst_addr(index + 1);
+        let fall_through = d.fall_through;
         let mut next_pc = fall_through;
         let mut mem_access: Option<(MemOp, u64)> = None;
         let mut branch: Option<BranchInfo> = None;
         let mut int_result: u64 = 0;
 
-        match inst {
+        match d.inst {
             Inst::Alu { op, rd, rs1, rs2 } => {
                 let v = alu(op, self.regs.read(rs1), self.regs.read(rs2));
                 self.regs.write(rd, v);
@@ -176,14 +189,15 @@ impl<'p> Emulator<'p> {
             }
             Inst::Load { rd, rs1, imm } => {
                 let addr = self.regs.read(rs1).wrapping_add(imm as u64);
-                let v = self.mem.read_u64(addr);
+                let v = self.mem.load_u64(addr);
                 self.regs.write(rd, v);
                 int_result = v;
                 mem_access = Some((MemOp::Read, addr));
             }
             Inst::FpLoad { fd, rs1, imm } => {
                 let addr = self.regs.read(rs1).wrapping_add(imm as u64);
-                self.regs.write_fp(fd, self.mem.read_f64(addr));
+                let v = self.mem.load_f64(addr);
+                self.regs.write_fp(fd, v);
                 mem_access = Some((MemOp::Read, addr));
             }
             Inst::Store { rs1, rs2, imm } => {
@@ -196,9 +210,9 @@ impl<'p> Emulator<'p> {
                 self.mem.write_f64(addr, self.regs.read_fp(fs2));
                 mem_access = Some((MemOp::Write, addr));
             }
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch { cond, rs1, rs2, .. } => {
                 let taken = cond.eval(self.regs.read(rs1), self.regs.read(rs2));
-                let target_addr = inst_addr(target as usize);
+                let target_addr = d.target_addr;
                 if taken {
                     next_pc = target_addr;
                 }
@@ -211,8 +225,8 @@ impl<'p> Emulator<'p> {
                     is_return: false,
                 });
             }
-            Inst::Jump { rd, target } => {
-                let target_addr = inst_addr(target as usize);
+            Inst::Jump { rd, .. } => {
+                let target_addr = d.target_addr;
                 let is_call = rd != Reg::R0;
                 if is_call {
                     self.regs.write(rd, fall_through);
@@ -251,11 +265,11 @@ impl<'p> Emulator<'p> {
             seq: self.seq,
             pc,
             index: index as u32,
-            op: inst.op_class(),
-            int_srcs: inst.int_sources(),
-            int_dst: inst.int_dest(),
-            fp_srcs: inst.fp_sources(),
-            fp_dst: inst.fp_dest(),
+            op: d.op,
+            int_srcs: d.int_srcs,
+            int_dst: d.int_dst,
+            fp_srcs: d.fp_srcs,
+            fp_dst: d.fp_dst,
             mem: mem_access,
             branch,
             next_pc,

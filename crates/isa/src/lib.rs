@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod decoded;
 mod disasm;
 mod emu;
 mod error;
@@ -57,6 +58,7 @@ mod program;
 mod regs;
 mod trace;
 
+pub use decoded::{DecodedInst, DecodedProgram};
 pub use emu::{ArchState, Emulator, Trace};
 pub use error::IsaError;
 pub use inst::{AluOp, BranchCond, FpOp, Inst, OpClass, Reg};

@@ -10,6 +10,20 @@ pub const PAGE_WORDS: usize = (PAGE_BYTES / 8) as usize;
 
 type Page = Box<[u64; PAGE_WORDS]>;
 
+/// Entries in the direct-mapped page-translation cache (power of two).
+const TCACHE_ENTRIES: usize = 64;
+
+/// Marker for an empty translation-cache slot (no real page number maps
+/// here: the simulated address space tops out far below `2^52` pages).
+const NO_PAGE: u64 = u64::MAX;
+
+/// A direct-mapped page-number → page-slot translation cache entry.
+#[derive(Debug, Clone, Copy)]
+struct TransEntry {
+    pno: u64,
+    slot: u32,
+}
+
 /// A sparse, page-granular 64-bit word-addressed memory.
 ///
 /// Pages are allocated on first touch; untouched memory reads as zero.
@@ -18,14 +32,36 @@ type Page = Box<[u64; PAGE_WORDS]>;
 /// ~memory-footprint bytes; live-state costs ~window-touched bytes)
 /// are footprint comparisons.
 ///
+/// Page storage is split into a dense slot vector plus a page-number →
+/// slot index, fronted by a small direct-mapped translation cache
+/// ([`TCACHE_ENTRIES`] entries) so the common same-few-pages access
+/// pattern skips the hash map entirely. Reads through `&self`
+/// ([`read_u64`](Self::read_u64)) consult but cannot fill the cache;
+/// the emulator's hot paths use the `&mut self` accessors
+/// ([`load_u64`](Self::load_u64), [`write_u64`](Self::write_u64)),
+/// which fill it.
+///
 /// All accesses are 64-bit and are silently aligned down to 8 bytes —
 /// the workload generator only emits aligned accesses, and alignment
 /// carries no information for warming studies.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Page>,
-    // One-entry lookaside to short-circuit the common same-page case.
-    last_page: Option<u64>,
+    /// Page-number → index into `slots`.
+    index: HashMap<u64, u32>,
+    /// Dense page storage, in first-touch order.
+    slots: Vec<Page>,
+    /// Direct-mapped translation cache over `index`.
+    tcache: [TransEntry; TCACHE_ENTRIES],
+}
+
+impl Default for SparseMemory {
+    fn default() -> Self {
+        SparseMemory {
+            index: HashMap::new(),
+            slots: Vec::new(),
+            tcache: [TransEntry { pno: NO_PAGE, slot: 0 }; TCACHE_ENTRIES],
+        }
+    }
 }
 
 impl SparseMemory {
@@ -40,12 +76,71 @@ impl SparseMemory {
         (aligned / PAGE_BYTES, ((aligned % PAGE_BYTES) / 8) as usize)
     }
 
-    /// Read the 64-bit word containing `addr` (aligned down).
+    /// Translation-cache set for a page number.
+    #[inline]
+    fn tset(pno: u64) -> usize {
+        (pno as usize) & (TCACHE_ENTRIES - 1)
+    }
+
+    /// Look up a page's slot without touching the translation cache.
+    #[inline]
+    fn slot_of(&self, pno: u64) -> Option<usize> {
+        let t = self.tcache[Self::tset(pno)];
+        if t.pno == pno {
+            return Some(t.slot as usize);
+        }
+        self.index.get(&pno).map(|&s| s as usize)
+    }
+
+    /// Look up a page's slot, filling the translation cache on a hit in
+    /// the backing index.
+    #[inline]
+    fn slot_of_cached(&mut self, pno: u64) -> Option<usize> {
+        let set = Self::tset(pno);
+        let t = self.tcache[set];
+        if t.pno == pno {
+            return Some(t.slot as usize);
+        }
+        let slot = *self.index.get(&pno)?;
+        self.tcache[set] = TransEntry { pno, slot };
+        Some(slot as usize)
+    }
+
+    /// Look up or allocate a page's slot, filling the translation cache.
+    #[inline]
+    fn slot_of_alloc(&mut self, pno: u64) -> usize {
+        let set = Self::tset(pno);
+        let t = self.tcache[set];
+        if t.pno == pno {
+            return t.slot as usize;
+        }
+        let slot = *self.index.entry(pno).or_insert_with(|| {
+            self.slots.push(Box::new([0u64; PAGE_WORDS]));
+            (self.slots.len() - 1) as u32
+        });
+        self.tcache[set] = TransEntry { pno, slot };
+        slot as usize
+    }
+
+    /// Read the 64-bit word containing `addr` (aligned down) through a
+    /// shared reference. Consults the translation cache but cannot fill
+    /// it; prefer [`load_u64`](Self::load_u64) on hot paths.
     #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
         let (pno, widx) = Self::split(addr);
-        match self.pages.get(&pno) {
-            Some(p) => p[widx],
+        match self.slot_of(pno) {
+            Some(s) => self.slots[s][widx],
+            None => 0,
+        }
+    }
+
+    /// Read the 64-bit word containing `addr` (aligned down), filling
+    /// the translation cache — the emulator's load path.
+    #[inline]
+    pub fn load_u64(&mut self, addr: u64) -> u64 {
+        let (pno, widx) = Self::split(addr);
+        match self.slot_of_cached(pno) {
+            Some(s) => self.slots[s][widx],
             None => 0,
         }
     }
@@ -54,14 +149,21 @@ impl SparseMemory {
     #[inline]
     pub fn write_u64(&mut self, addr: u64, value: u64) {
         let (pno, widx) = Self::split(addr);
-        self.last_page = Some(pno);
-        self.pages.entry(pno).or_insert_with(|| Box::new([0u64; PAGE_WORDS]))[widx] = value;
+        let s = self.slot_of_alloc(pno);
+        self.slots[s][widx] = value;
     }
 
     /// Read an IEEE-754 double stored at `addr`.
     #[inline]
     pub fn read_f64(&self, addr: u64) -> f64 {
         f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Read an IEEE-754 double stored at `addr`, filling the translation
+    /// cache — the emulator's FP load path.
+    #[inline]
+    pub fn load_f64(&mut self, addr: u64) -> f64 {
+        f64::from_bits(self.load_u64(addr))
     }
 
     /// Write an IEEE-754 double at `addr`.
@@ -72,12 +174,12 @@ impl SparseMemory {
 
     /// Whether the page containing `addr` has ever been written.
     pub fn is_mapped(&self, addr: u64) -> bool {
-        self.pages.contains_key(&Self::split(addr).0)
+        self.slot_of(Self::split(addr).0).is_some()
     }
 
     /// Number of touched (allocated) pages.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.slots.len()
     }
 
     /// Total footprint in bytes (touched pages × page size).
@@ -86,16 +188,50 @@ impl SparseMemory {
     /// driving conventional-checkpoint storage cost (105 MB average for
     /// SPEC2K).
     pub fn footprint_bytes(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_BYTES
+        self.slots.len() as u64 * PAGE_BYTES
     }
 
-    /// Iterate over `(word_address, value)` pairs of all nonzero words.
+    /// Install sorted `(word_address, value)` pairs in bulk — the
+    /// checkpoint-restore path. Exploits address ordering to translate
+    /// each page once per run of same-page words instead of once per
+    /// word.
+    ///
+    /// Accepts unsorted input too (it merely loses the batching win).
+    pub fn install_words(&mut self, words: &[(u64, u64)]) {
+        let mut current: Option<(u64, usize)> = None;
+        for &(addr, value) in words {
+            let (pno, widx) = Self::split(addr);
+            let slot = match current {
+                Some((p, s)) if p == pno => s,
+                _ => {
+                    let s = self.slot_of_alloc(pno);
+                    current = Some((pno, s));
+                    s
+                }
+            };
+            self.slots[slot][widx] = value;
+        }
+    }
+
+    /// Iterate over touched pages as `(first_byte_address, words)` in
+    /// ascending address order — the bulk snapshot path.
+    ///
+    /// Deterministic: pages are visited sorted by page number, not in
+    /// the backing map's arbitrary order.
+    pub fn pages(&self) -> impl Iterator<Item = (u64, &[u64; PAGE_WORDS])> + '_ {
+        let mut order: Vec<(u64, u32)> = self.index.iter().map(|(&p, &s)| (p, s)).collect();
+        order.sort_unstable_by_key(|&(p, _)| p);
+        order.into_iter().map(move |(pno, slot)| (pno * PAGE_BYTES, &*self.slots[slot as usize]))
+    }
+
+    /// Iterate over `(word_address, value)` pairs of all nonzero words,
+    /// in ascending address order.
     ///
     /// Used by conventional-checkpoint size accounting and tests; not on
-    /// any hot path.
+    /// any hot path. The order is deterministic (see [`pages`](Self::pages)),
+    /// so callers may hash or diff the stream directly.
     pub fn iter_words(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.pages.iter().flat_map(|(pno, page)| {
-            let base = pno * PAGE_BYTES;
+        self.pages().flat_map(|(base, page)| {
             page.iter()
                 .enumerate()
                 .filter(|(_, w)| **w != 0)
@@ -122,6 +258,7 @@ mod tests {
         m.write_u64(0x1008, 43);
         assert_eq!(m.read_u64(0x1000), 42);
         assert_eq!(m.read_u64(0x1008), 43);
+        assert_eq!(m.load_u64(0x1000), 42);
         assert_eq!(m.page_count(), 1);
     }
 
@@ -138,6 +275,7 @@ mod tests {
         let mut m = SparseMemory::new();
         m.write_f64(0x2000, 3.25);
         assert_eq!(m.read_f64(0x2000), 3.25);
+        assert_eq!(m.load_f64(0x2000), 3.25);
     }
 
     #[test]
@@ -156,8 +294,58 @@ mod tests {
         m.write_u64(0x0, 5);
         m.write_u64(0x8, 0); // explicit zero should be skipped
         m.write_u64(0x10, 6);
-        let mut words: Vec<_> = m.iter_words().collect();
-        words.sort_unstable();
+        let words: Vec<_> = m.iter_words().collect();
         assert_eq!(words, vec![(0x0, 5), (0x10, 6)]);
+    }
+
+    #[test]
+    fn iteration_is_address_sorted() {
+        // Touch pages in descending and aliasing order; iteration must
+        // come back ascending regardless of hash-map internals.
+        let mut m = SparseMemory::new();
+        for pno in [900u64, 3, 700, 64 + 3, 1, 128 + 3] {
+            m.write_u64(pno * PAGE_BYTES, pno);
+        }
+        let pages: Vec<u64> = m.pages().map(|(base, _)| base).collect();
+        let mut sorted = pages.clone();
+        sorted.sort_unstable();
+        assert_eq!(pages, sorted);
+        let words: Vec<_> = m.iter_words().collect();
+        let mut ws = words.clone();
+        ws.sort_unstable();
+        assert_eq!(words, ws);
+    }
+
+    #[test]
+    fn translation_cache_aliasing_is_correct() {
+        // Pages 3 and 3+TCACHE_ENTRIES map to the same cache set; the
+        // cache must never serve one page's data for the other.
+        let mut m = SparseMemory::new();
+        let a = 3 * PAGE_BYTES;
+        let b = (3 + TCACHE_ENTRIES as u64) * PAGE_BYTES;
+        m.write_u64(a, 111);
+        m.write_u64(b, 222);
+        for _ in 0..4 {
+            assert_eq!(m.load_u64(a), 111);
+            assert_eq!(m.load_u64(b), 222);
+        }
+    }
+
+    #[test]
+    fn install_words_matches_individual_writes() {
+        let words: Vec<(u64, u64)> = (0..2000u64)
+            .map(|i| (i * 24 % (40 * PAGE_BYTES), i.wrapping_mul(0x9E37_79B9)))
+            .collect();
+        let mut sorted = words.clone();
+        sorted.sort_unstable();
+        sorted.dedup_by_key(|w| w.0);
+
+        let mut bulk = SparseMemory::new();
+        bulk.install_words(&sorted);
+        let mut single = SparseMemory::new();
+        for &(a, v) in &sorted {
+            single.write_u64(a, v);
+        }
+        assert_eq!(bulk.iter_words().collect::<Vec<_>>(), single.iter_words().collect::<Vec<_>>());
     }
 }

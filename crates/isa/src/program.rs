@@ -1,5 +1,6 @@
 //! Static program images and the assembler-style builder.
 
+use crate::decoded::{DecodeCache, DecodedProgram};
 use crate::error::IsaError;
 use crate::inst::{AluOp, BranchCond, FpOp, Inst, Reg};
 use crate::DATA_BASE;
@@ -16,13 +17,25 @@ pub struct Label(usize);
 /// setup: it is an input shared by every simulation of the benchmark and
 /// is therefore **not** stored inside live-points (only dynamically
 /// written data is).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Program {
     name: String,
     insts: Vec<Inst>,
     /// `(word_address, value)` pairs initialized before execution.
     data_init: Vec<(u64, u64)>,
     entry: u32,
+    /// Lazily-computed pre-decode of `insts` (derived data: excluded
+    /// from equality, reset on clone).
+    decoded: DecodeCache,
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.insts == other.insts
+            && self.data_init == other.data_init
+            && self.entry == other.entry
+    }
 }
 
 impl Program {
@@ -60,6 +73,13 @@ impl Program {
     /// The statically-initialized data words.
     pub fn data_init(&self) -> &[(u64, u64)] {
         &self.data_init
+    }
+
+    /// The pre-decoded instruction stream (computed once per program,
+    /// shared by every emulator and timing model running it).
+    #[inline]
+    pub fn decoded(&self) -> &DecodedProgram {
+        self.decoded.get_or_decode(&self.insts)
     }
 }
 
@@ -325,7 +345,13 @@ impl ProgramBuilder {
                 other => unreachable!("fixup on non-control instruction {other:?}"),
             }
         }
-        Ok(Program { name: self.name, insts: self.insts, data_init: self.data_init, entry: 0 })
+        Ok(Program {
+            name: self.name,
+            insts: self.insts,
+            data_init: self.data_init,
+            entry: 0,
+            decoded: DecodeCache::default(),
+        })
     }
 
     /// Resolve fixups and produce the [`Program`].

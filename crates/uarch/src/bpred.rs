@@ -101,6 +101,34 @@ pub struct BpredSnapshot {
     pub ras_top: u32,
 }
 
+/// Precomputed table-index reducer: `x & (n-1)` when `n` is a power of
+/// two (every paper geometry is), `x % n` otherwise. The two are
+/// bit-identical for power-of-two `n`, so warm state and predictions
+/// are unaffected — this only removes an integer divide from the
+/// per-prediction hot path.
+#[derive(Debug, Clone, Copy)]
+struct TableIndex {
+    n: u64,
+    /// `n - 1` when `n` is a power of two, else `u64::MAX` sentinel.
+    mask: u64,
+}
+
+impl TableIndex {
+    fn new(n: u32) -> Self {
+        let n = u64::from(n);
+        TableIndex { n, mask: if n.is_power_of_two() { n - 1 } else { u64::MAX } }
+    }
+
+    #[inline]
+    fn reduce(self, x: u64) -> usize {
+        if self.mask != u64::MAX {
+            (x & self.mask) as usize
+        } else {
+            (x % self.n) as usize
+        }
+    }
+}
+
 /// The combined predictor.
 #[derive(Debug, Clone)]
 pub struct BranchPredictor {
@@ -112,6 +140,11 @@ pub struct BranchPredictor {
     btb: Vec<(u64, u64)>,
     ras: Vec<u64>,
     ras_top: u32,
+    // Derived indexing state (not part of snapshots).
+    table_idx: TableIndex,
+    btb_idx: TableIndex,
+    ras_idx: TableIndex,
+    history_mask: u64,
     // statistics
     lookups: u64,
     dir_mispredicts: u64,
@@ -129,6 +162,10 @@ impl BranchPredictor {
             btb: vec![(0, 0); config.btb_entries as usize],
             ras: vec![0; config.ras_entries as usize],
             ras_top: 0,
+            table_idx: TableIndex::new(config.table_entries),
+            btb_idx: TableIndex::new(config.btb_entries),
+            ras_idx: TableIndex::new(config.ras_entries),
+            history_mask: (1u64 << config.history_bits) - 1,
             lookups: 0,
             dir_mispredicts: 0,
         }
@@ -141,18 +178,17 @@ impl BranchPredictor {
 
     #[inline]
     fn bim_index(&self, pc: u64) -> usize {
-        ((pc >> 2) % self.config.table_entries as u64) as usize
+        self.table_idx.reduce(pc >> 2)
     }
 
     #[inline]
     fn gs_index(&self, pc: u64) -> usize {
-        let mask = (1u64 << self.config.history_bits) - 1;
-        (((pc >> 2) ^ (self.history & mask)) % self.config.table_entries as u64) as usize
+        self.table_idx.reduce((pc >> 2) ^ (self.history & self.history_mask))
     }
 
     #[inline]
     fn btb_index(&self, pc: u64) -> usize {
-        ((pc >> 2) % self.config.btb_entries as u64) as usize
+        self.btb_idx.reduce(pc >> 2)
     }
 
     /// Predict the direction of a conditional branch at `pc`
@@ -178,19 +214,22 @@ impl BranchPredictor {
     /// [`ras_pop`](Self::ras_pop) at fetch and repairs on recovery with
     /// [`ras_restore`](Self::ras_restore).
     pub fn ras_peek(&self) -> u64 {
-        let idx = (self.ras_top + self.config.ras_entries - 1) % self.config.ras_entries;
-        self.ras[idx as usize]
+        let idx =
+            self.ras_idx.reduce(u64::from(self.ras_top) + u64::from(self.config.ras_entries) - 1);
+        self.ras[idx]
     }
 
     /// Push a return address (speculative, at fetch of a call).
     pub fn ras_push(&mut self, addr: u64) {
         self.ras[self.ras_top as usize] = addr;
-        self.ras_top = (self.ras_top + 1) % self.config.ras_entries;
+        self.ras_top = self.ras_idx.reduce(u64::from(self.ras_top) + 1) as u32;
     }
 
     /// Pop a return address (speculative, at fetch of a return).
     pub fn ras_pop(&mut self) -> u64 {
-        self.ras_top = (self.ras_top + self.config.ras_entries - 1) % self.config.ras_entries;
+        self.ras_top =
+            self.ras_idx.reduce(u64::from(self.ras_top) + u64::from(self.config.ras_entries) - 1)
+                as u32;
         self.ras[self.ras_top as usize]
     }
 
@@ -201,7 +240,7 @@ impl BranchPredictor {
 
     /// Restore the RAS top pointer after a squash.
     pub fn ras_restore(&mut self, tos: u32) {
-        self.ras_top = tos % self.config.ras_entries;
+        self.ras_top = self.ras_idx.reduce(u64::from(tos)) as u32;
     }
 
     /// Commit-time (or functional-warming) update with the actual
@@ -230,8 +269,7 @@ impl BranchPredictor {
             if gs_correct != bim_correct {
                 bump(&mut self.meta[bi], gs_correct);
             }
-            let mask = (1u64 << self.config.history_bits) - 1;
-            self.history = ((self.history << 1) | taken as u64) & mask;
+            self.history = ((self.history << 1) | taken as u64) & self.history_mask;
         }
         if info.taken {
             let idx = self.btb_index(pc);
@@ -293,6 +331,10 @@ impl BranchPredictor {
             btb: snap.btb.clone(),
             ras: snap.ras.clone(),
             ras_top: snap.ras_top,
+            table_idx: TableIndex::new(config.table_entries),
+            btb_idx: TableIndex::new(config.btb_entries),
+            ras_idx: TableIndex::new(config.ras_entries),
+            history_mask: (1u64 << config.history_bits) - 1,
             lookups: 0,
             dir_mispredicts: 0,
         }

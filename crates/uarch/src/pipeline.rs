@@ -11,10 +11,13 @@
 //! fetch; wrong-path instructions are synthesized from the static
 //! program image at the speculative fetch PC.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use spectral_cache::{AccessKind, CacheHierarchy, HitLevel};
-use spectral_isa::{inst_index, BranchInfo, Emulator, Inst, OpClass, Program, Reg};
+use spectral_isa::{
+    inst_index, BranchInfo, DecodedInst, DecodedProgram, Emulator, Inst, OpClass, Program, Reg,
+};
 use spectral_telemetry::Counter;
 
 use crate::bpred::BranchPredictor;
@@ -49,8 +52,14 @@ struct Entry {
     op: OpClass,
     pc: u64,
     fall_through: u64,
-    /// Producer uids this entry waits on (deduplicated, INVALID if none).
-    deps: [u64; 3],
+    /// Outstanding (not-yet-complete) producers this entry waits on.
+    /// When it reaches zero the entry enters the ready queue; issue no
+    /// longer scans dependences at all.
+    deps_left: u8,
+    /// Uids of in-flight consumers to wake when this entry completes
+    /// (the backing `Vec` is recycled through `DetailedSim::consumer_pool`
+    /// so steady state allocates nothing).
+    consumers: Vec<u64>,
     dst_int: Option<Reg>,
     dst_fp: Option<u8>,
     mem: Option<(MemClass, u64)>,
@@ -82,6 +91,7 @@ struct Recovery {
 pub struct DetailedSim<'p> {
     cfg: MachineConfig,
     program: &'p Program,
+    decoded: &'p DecodedProgram,
     oracle: Emulator<'p>,
     hierarchy: CacheHierarchy,
     bpred: BranchPredictor,
@@ -98,6 +108,22 @@ pub struct DetailedSim<'p> {
 
     int_producer: [u64; 32],
     fp_producer: [u64; 32],
+
+    /// Unissued entries whose dependences are all satisfied, kept in
+    /// ascending-uid (program) order so issue arbitration matches the
+    /// old full-RUU scan bit for bit.
+    ready: Vec<u64>,
+    /// Entries woken since the last issue pass (by writeback or
+    /// dispatch); merged into `ready` at the top of `issue_stage`.
+    woken: Vec<u64>,
+    /// Pending completion events `(complete_cycle, uid)` for issued
+    /// entries — writeback pops due events instead of scanning the RUU.
+    events: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Youngest in-flight store to each 8-byte word, replacing the
+    /// reverse RUU scan in store-to-load dependence checks.
+    store_by_word: HashMap<u64, u64>,
+    /// Recycled consumer-list allocations.
+    consumer_pool: Vec<Vec<u64>>,
 
     fetch_pc: u64,
     fetch_resume: u64,
@@ -143,6 +169,7 @@ impl<'p> DetailedSim<'p> {
         DetailedSim {
             cfg: cfg.clone(),
             program,
+            decoded: program.decoded(),
             oracle,
             hierarchy,
             bpred,
@@ -157,6 +184,11 @@ impl<'p> DetailedSim<'p> {
             fp_muldiv_busy: vec![0; cfg.fu.fp_muldiv as usize],
             int_producer: [INVALID_UID; 32],
             fp_producer: [INVALID_UID; 32],
+            ready: Vec::new(),
+            woken: Vec::new(),
+            events: BinaryHeap::new(),
+            store_by_word: HashMap::new(),
+            consumer_pool: Vec::new(),
             fetch_pc,
             fetch_resume: 0,
             line_ready: (u64::MAX, 0),
@@ -275,6 +307,11 @@ impl<'p> DetailedSim<'p> {
             let head = self.ruu.pop_front().expect("checked above");
             match head.mem {
                 Some((MemClass::Store, addr)) => {
+                    // The word map tracks RUU residents only; drop the
+                    // mapping unless a younger store superseded it.
+                    if self.store_by_word.get(&(addr >> 3)) == Some(&head.uid) {
+                        self.store_by_word.remove(&(addr >> 3));
+                    }
                     self.sbuf.push_back(addr);
                     self.lsq_count -= 1;
                     self.stats.stores += 1;
@@ -285,6 +322,7 @@ impl<'p> DetailedSim<'p> {
                 }
                 None => {}
             }
+            self.recycle_consumers(head.consumers);
             if let Some(info) = head.train {
                 self.bpred.update(head.pc, head.fall_through, &info);
             }
@@ -337,16 +375,57 @@ impl<'p> DetailedSim<'p> {
 
     // --- writeback -------------------------------------------------------
 
+    /// Locate an in-flight entry by uid. Uids are dense and the RUU is
+    /// contiguous in uid space, so this is a front-offset index, not a
+    /// search.
+    #[inline]
+    fn entry_index(&self, uid: u64) -> Option<usize> {
+        let front = self.ruu.front()?;
+        if uid < front.uid {
+            return None;
+        }
+        let idx = (uid - front.uid) as usize;
+        (idx < self.ruu.len()).then_some(idx)
+    }
+
+    /// Return a consumer list to the allocation pool.
+    fn recycle_consumers(&mut self, mut v: Vec<u64>) {
+        if v.capacity() > 0 {
+            v.clear();
+            self.consumer_pool.push(v);
+        }
+    }
+
     fn writeback_stage(&mut self) {
         let mut recover: Option<(u64, u64)> = None; // (resolver uid, target pc)
-        for e in self.ruu.iter_mut() {
-            if e.issued && !e.complete && e.complete_cycle <= self.cycle {
+                                                    // Pop due completion events instead of scanning the RUU; squash
+                                                    // purges events for squashed uids, so every event here refers to
+                                                    // a live issued entry.
+        while let Some(&Reverse((when, uid))) = self.events.peek() {
+            if when > self.cycle {
+                break;
+            }
+            self.events.pop();
+            let Some(idx) = self.entry_index(uid) else { continue };
+            let (consumers, recover_target) = {
+                let e = &mut self.ruu[idx];
+                debug_assert!(e.issued && !e.complete);
                 e.complete = true;
-                if let Some(target) = e.recover_to {
-                    recover = Some((e.uid, target));
-                    e.recover_to = None;
+                (std::mem::take(&mut e.consumers), e.recover_to.take())
+            };
+            if let Some(target) = recover_target {
+                recover = Some((uid, target));
+            }
+            for &c in &consumers {
+                if let Some(ci) = self.entry_index(c) {
+                    let ce = &mut self.ruu[ci];
+                    ce.deps_left -= 1;
+                    if ce.deps_left == 0 {
+                        self.woken.push(c);
+                    }
                 }
             }
+            self.recycle_consumers(consumers);
         }
         if let Some((uid, target)) = recover {
             self.squash_younger(uid);
@@ -371,160 +450,165 @@ impl<'p> DetailedSim<'p> {
             if e.mem.is_some() {
                 self.lsq_count -= 1;
             }
+            self.recycle_consumers(e.consumers);
         }
         self.next_uid = uid + 1;
-        // Rebuild rename maps from surviving entries.
+        // Squashed uids will be reused by refetched instructions, so
+        // every structure keyed by uid must forget them: the ready and
+        // woken queues, pending completion events, and survivors'
+        // consumer lists.
+        self.ready.retain(|&u| u <= uid);
+        self.woken.retain(|&u| u <= uid);
+        if self.events.iter().any(|&Reverse((_, u))| u > uid) {
+            let mut evs = std::mem::take(&mut self.events).into_vec();
+            evs.retain(|&Reverse((_, u))| u <= uid);
+            self.events = BinaryHeap::from(evs);
+        }
+        // Rebuild rename and store-word maps from surviving entries.
         self.int_producer = [INVALID_UID; 32];
         self.fp_producer = [INVALID_UID; 32];
-        for e in &self.ruu {
+        self.store_by_word.clear();
+        for e in self.ruu.iter_mut() {
+            e.consumers.retain(|&c| c <= uid);
             if let Some(r) = e.dst_int {
                 self.int_producer[r.index()] = e.uid;
             }
             if let Some(f) = e.dst_fp {
                 self.fp_producer[f as usize] = e.uid;
             }
+            if let Some((MemClass::Store, a)) = e.mem {
+                self.store_by_word.insert(a >> 3, e.uid);
+            }
         }
     }
 
     // --- issue -----------------------------------------------------------
 
-    fn dep_complete(&self, uid: u64) -> bool {
-        if uid == INVALID_UID {
-            return true;
-        }
-        match self.ruu.front() {
-            None => true,
-            Some(front) => {
-                if uid < front.uid {
-                    true
+    /// Try to reserve the functional unit (and, for loads, a memory port
+    /// plus cache access) for one ready entry; returns the result latency
+    /// or `None` when the needed resource is busy this cycle.
+    fn fu_latency(
+        &mut self,
+        op: OpClass,
+        mem: Option<(MemClass, u64)>,
+        int_alu_left: &mut u32,
+        fp_alu_left: &mut u32,
+        mem_ports: &mut u32,
+    ) -> Option<u64> {
+        match op {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Jump | OpClass::Nop | OpClass::Halt => {
+                if *int_alu_left == 0 {
+                    return None;
+                }
+                *int_alu_left -= 1;
+                Some(1)
+            }
+            OpClass::IntMul | OpClass::IntDiv => {
+                let unit = self.int_muldiv_busy.iter().position(|&b| b <= self.cycle)?;
+                let lat =
+                    if op == OpClass::IntMul { self.cfg.lat.int_mul } else { self.cfg.lat.int_div };
+                // Divide is unpipelined: the unit stays busy.
+                self.int_muldiv_busy[unit] =
+                    if op == OpClass::IntDiv { self.cycle + lat } else { self.cycle + 1 };
+                Some(lat)
+            }
+            OpClass::FpAlu => {
+                if *fp_alu_left == 0 {
+                    return None;
+                }
+                *fp_alu_left -= 1;
+                Some(self.cfg.lat.fp_alu)
+            }
+            OpClass::FpMul | OpClass::FpDiv => {
+                let unit = self.fp_muldiv_busy.iter().position(|&b| b <= self.cycle)?;
+                let lat =
+                    if op == OpClass::FpMul { self.cfg.lat.fp_mul } else { self.cfg.lat.fp_div };
+                self.fp_muldiv_busy[unit] =
+                    if op == OpClass::FpDiv { self.cycle + lat } else { self.cycle + 1 };
+                Some(lat)
+            }
+            OpClass::Load => {
+                let (class, addr) = mem.expect("load has a memory access");
+                let forwarded = matches!(class, MemClass::Load { forwarded: true });
+                if forwarded {
+                    Some(self.cfg.lat.l1)
                 } else {
-                    let idx = (uid - front.uid) as usize;
-                    match self.ruu.get(idx) {
-                        Some(e) => e.complete && e.complete_cycle <= self.cycle,
-                        None => true, // squashed producer
+                    if *mem_ports == 0 {
+                        return None;
                     }
+                    // Probe first so we only consume an MSHR on miss.
+                    let would_hit = self.hierarchy.probe(AccessKind::Read, addr) == HitLevel::L1;
+                    let mshr = if would_hit { None } else { self.free_mshr() };
+                    if !would_hit && mshr.is_none() {
+                        return None; // no MSHR: retry next cycle
+                    }
+                    *mem_ports -= 1;
+                    // Wrong-path loads reach here too: they really do
+                    // perturb cache tags.
+                    let out = self.hierarchy.access(AccessKind::Read, addr);
+                    let lat = self.cfg.access_latency(out.level, out.tlb_miss);
+                    if out.level != HitLevel::L1 {
+                        self.stats.l1d_misses += 1;
+                        if out.level == HitLevel::Memory {
+                            self.stats.l2_misses += 1;
+                        }
+                        if let Some(m) = mshr {
+                            self.mshr_busy_until[m] = self.cycle + lat;
+                        }
+                    }
+                    if out.tlb_miss {
+                        self.stats.dtlb_misses += 1;
+                    }
+                    Some(lat)
                 }
             }
+            OpClass::Store => Some(1), // address generation; cache access at drain
         }
     }
 
     fn issue_stage(&mut self, mut mem_ports: u32) {
+        // Fold newly-woken entries in and restore program order; issue
+        // then walks only ready entries — the wakeup queues replace the
+        // old every-cycle scan over the whole RUU.
+        if !self.woken.is_empty() {
+            self.ready.append(&mut self.woken);
+            self.ready.sort_unstable();
+        }
         let mut int_alu_left = self.cfg.fu.int_alu;
         let mut fp_alu_left = self.cfg.fu.fp_alu;
         let mut issued_total = 0u32;
         let issue_width = self.cfg.width * 2; // generous issue bandwidth
 
-        for idx in 0..self.ruu.len() {
+        let mut kept = 0usize;
+        for i in 0..self.ready.len() {
+            let uid = self.ready[i];
             if issued_total >= issue_width {
-                break;
+                self.ready[kept] = uid;
+                kept += 1;
+                continue;
             }
+            let idx = self.entry_index(uid).expect("ready entries are in flight");
             let e = &self.ruu[idx];
-            if e.issued {
-                continue;
+            debug_assert!(!e.issued && e.deps_left == 0);
+            let (op, mem) = (e.op, e.mem);
+            match self.fu_latency(op, mem, &mut int_alu_left, &mut fp_alu_left, &mut mem_ports) {
+                Some(latency) => {
+                    let complete_cycle = self.cycle + latency;
+                    let e = &mut self.ruu[idx];
+                    e.issued = true;
+                    e.complete_cycle = complete_cycle;
+                    self.events.push(Reverse((complete_cycle, uid)));
+                    issued_total += 1;
+                    self.issued_insts += 1;
+                }
+                None => {
+                    // Resource-stalled: stays ready for next cycle.
+                    self.ready[kept] = uid;
+                    kept += 1;
+                }
             }
-            if !(self.dep_complete(e.deps[0])
-                && self.dep_complete(e.deps[1])
-                && self.dep_complete(e.deps[2]))
-            {
-                continue;
-            }
-            let op = e.op;
-            let mem = e.mem;
-            let wrong_path = e.wrong_path;
-
-            // Resource checks + latency determination.
-            let latency: u64 = match op {
-                OpClass::IntAlu
-                | OpClass::Branch
-                | OpClass::Jump
-                | OpClass::Nop
-                | OpClass::Halt => {
-                    if int_alu_left == 0 {
-                        continue;
-                    }
-                    int_alu_left -= 1;
-                    1
-                }
-                OpClass::IntMul | OpClass::IntDiv => {
-                    let Some(unit) = self.int_muldiv_busy.iter().position(|&b| b <= self.cycle)
-                    else {
-                        continue;
-                    };
-                    let lat = if op == OpClass::IntMul {
-                        self.cfg.lat.int_mul
-                    } else {
-                        self.cfg.lat.int_div
-                    };
-                    // Divide is unpipelined: the unit stays busy.
-                    self.int_muldiv_busy[unit] =
-                        if op == OpClass::IntDiv { self.cycle + lat } else { self.cycle + 1 };
-                    lat
-                }
-                OpClass::FpAlu => {
-                    if fp_alu_left == 0 {
-                        continue;
-                    }
-                    fp_alu_left -= 1;
-                    self.cfg.lat.fp_alu
-                }
-                OpClass::FpMul | OpClass::FpDiv => {
-                    let Some(unit) = self.fp_muldiv_busy.iter().position(|&b| b <= self.cycle)
-                    else {
-                        continue;
-                    };
-                    let lat = if op == OpClass::FpMul {
-                        self.cfg.lat.fp_mul
-                    } else {
-                        self.cfg.lat.fp_div
-                    };
-                    self.fp_muldiv_busy[unit] =
-                        if op == OpClass::FpDiv { self.cycle + lat } else { self.cycle + 1 };
-                    lat
-                }
-                OpClass::Load => {
-                    let (class, addr) = mem.expect("load has a memory access");
-                    let forwarded = matches!(class, MemClass::Load { forwarded: true });
-                    if forwarded {
-                        self.cfg.lat.l1
-                    } else {
-                        if mem_ports == 0 {
-                            continue;
-                        }
-                        // Probe first so we only consume an MSHR on miss.
-                        let would_hit =
-                            self.hierarchy.probe(AccessKind::Read, addr) == HitLevel::L1;
-                        let mshr = if would_hit { None } else { self.free_mshr() };
-                        if !would_hit && mshr.is_none() {
-                            continue; // no MSHR: retry next cycle
-                        }
-                        mem_ports -= 1;
-                        let out = self.hierarchy.access(AccessKind::Read, addr);
-                        let lat = self.cfg.access_latency(out.level, out.tlb_miss);
-                        if out.level != HitLevel::L1 {
-                            self.stats.l1d_misses += 1;
-                            if out.level == HitLevel::Memory {
-                                self.stats.l2_misses += 1;
-                            }
-                            if let Some(m) = mshr {
-                                self.mshr_busy_until[m] = self.cycle + lat;
-                            }
-                        }
-                        if out.tlb_miss {
-                            self.stats.dtlb_misses += 1;
-                        }
-                        let _ = wrong_path; // wrong-path loads really do perturb tags
-                        lat
-                    }
-                }
-                OpClass::Store => 1, // address generation; cache access at drain
-            };
-
-            let e = &mut self.ruu[idx];
-            e.issued = true;
-            e.complete_cycle = self.cycle + latency;
-            issued_total += 1;
-            self.issued_insts += 1;
         }
+        self.ready.truncate(kept);
     }
 
     // --- fetch / dispatch --------------------------------------------------
@@ -568,18 +652,18 @@ impl<'p> DetailedSim<'p> {
                 if !self.cfg.model_wrong_path {
                     break; // ablation: front end idles until recovery
                 }
-                // Synthesize from the static image at the speculative PC.
+                // Synthesize from the pre-decoded image at the
+                // speculative PC.
                 let Some(idx) = inst_index(self.fetch_pc, self.program.len()) else {
                     break; // ran off the code segment: front end idles
                 };
-                let inst = self.program.insts()[idx];
-                if inst.op_class() == OpClass::Branch
-                    && cond_predictions >= self.cfg.bpred.predictions_per_cycle
-                {
+                let d = &self.decoded.insts()[idx];
+                let is_branch = d.op == OpClass::Branch;
+                if is_branch && cond_predictions >= self.cfg.bpred.predictions_per_cycle {
                     break;
                 }
-                let ok = self.fetch_wrong_path(inst);
-                if inst.op_class() == OpClass::Branch {
+                let ok = self.fetch_wrong_path(d);
+                if is_branch {
                     cond_predictions += 1;
                 }
                 if !ok {
@@ -593,7 +677,7 @@ impl<'p> DetailedSim<'p> {
                     break;
                 }
                 let next_class = inst_index(self.oracle.pc(), self.program.len())
-                    .map(|i| self.program.insts()[i].op_class());
+                    .map(|i| self.decoded.insts()[i].op);
                 let next_is_branch = next_class == Some(OpClass::Branch);
                 if next_is_branch && cond_predictions >= self.cfg.bpred.predictions_per_cycle {
                     break;
@@ -625,14 +709,14 @@ impl<'p> DetailedSim<'p> {
     /// Dispatch one correct-path instruction; updates fetch_pc along the
     /// *predicted* path and flips into wrong-path mode on a mispredict.
     fn fetch_correct_path(&mut self, di: spectral_isa::DynInst) {
-        let inst = self.program.insts()[di.index as usize];
-        let fall_through = di.pc + spectral_isa::INST_BYTES;
+        let d = &self.decoded.insts()[di.index as usize];
+        let fall_through = d.fall_through;
 
         // Predict.
         let mut recover_to = None;
         match di.branch {
             Some(info) => {
-                let predicted_next = self.predict_next(di.pc, fall_through, &inst, &info);
+                let predicted_next = self.predict_next(di.pc, fall_through, d, &info);
                 if predicted_next != di.next_pc {
                     // Mispredicted: checkpoint recovery state, go wrong-path.
                     self.stats.mispredicts += 1;
@@ -660,14 +744,15 @@ impl<'p> DetailedSim<'p> {
             }
             spectral_isa::MemOp::Write => (MemClass::Store, addr),
         });
-        let deps = self.collect_deps(&inst, mem);
+        let deps_left = self.register_deps(d, mem, self.next_uid);
         self.push_entry(Entry {
             uid: self.next_uid,
             wrong_path: false,
             op: di.op,
             pc: di.pc,
             fall_through,
-            deps,
+            deps_left,
+            consumers: Vec::new(),
             dst_int: di.int_dst,
             dst_fp: di.fp_dst,
             mem,
@@ -679,10 +764,11 @@ impl<'p> DetailedSim<'p> {
         });
     }
 
-    /// Dispatch one wrong-path instruction; returns `false` when the
-    /// front end should stop (LSQ full).
-    fn fetch_wrong_path(&mut self, inst: Inst) -> bool {
-        let op = inst.op_class();
+    /// Dispatch one wrong-path instruction (pre-decoded at the
+    /// speculative fetch PC); returns `false` when the front end should
+    /// stop (LSQ full).
+    fn fetch_wrong_path(&mut self, d: &DecodedInst) -> bool {
+        let op = d.op;
         let pc = self.fetch_pc;
         let fall_through = pc + spectral_isa::INST_BYTES;
         if op.is_mem() && self.lsq_count >= self.cfg.lsq_size {
@@ -694,7 +780,7 @@ impl<'p> DetailedSim<'p> {
         self.stats.wrong_path_fetched += 1;
 
         // Approximate execution for addresses and shadow updates.
-        let addr = self.shadow.exec_approx(&inst);
+        let addr = self.shadow.exec_approx(&d.inst);
         let mem = match op {
             OpClass::Load => {
                 addr.map(|a| (MemClass::Load { forwarded: self.forwards_from_store(a) }, a))
@@ -704,17 +790,16 @@ impl<'p> DetailedSim<'p> {
         };
 
         // Follow the predicted direction for speculative control flow.
-        match inst {
-            Inst::Branch { target, .. } => {
+        match d.inst {
+            Inst::Branch { .. } => {
                 let taken = self.bpred.predict_direction(pc);
-                self.fetch_pc =
-                    if taken { spectral_isa::inst_addr(target as usize) } else { fall_through };
+                self.fetch_pc = if taken { d.target_addr } else { fall_through };
             }
-            Inst::Jump { rd, target } => {
+            Inst::Jump { rd, .. } => {
                 if rd != Reg::R0 {
                     self.bpred.ras_push(fall_through);
                 }
-                self.fetch_pc = spectral_isa::inst_addr(target as usize);
+                self.fetch_pc = d.target_addr;
             }
             Inst::JumpReg { rs1 } => {
                 self.fetch_pc = if rs1 == Reg::R31 {
@@ -726,16 +811,17 @@ impl<'p> DetailedSim<'p> {
             _ => self.fetch_pc = fall_through,
         }
 
-        let deps = self.collect_deps(&inst, mem);
+        let deps_left = self.register_deps(d, mem, self.next_uid);
         self.push_entry(Entry {
             uid: self.next_uid,
             wrong_path: true,
             op,
             pc,
             fall_through,
-            deps,
-            dst_int: inst.int_dest(),
-            dst_fp: inst.fp_dest(),
+            deps_left,
+            consumers: Vec::new(),
+            dst_int: d.int_dst,
+            dst_fp: d.fp_dst,
             mem,
             issued: false,
             complete: false,
@@ -748,20 +834,26 @@ impl<'p> DetailedSim<'p> {
 
     /// Compute the front end's predicted next PC for a control transfer,
     /// performing speculative RAS actions.
-    fn predict_next(&mut self, pc: u64, fall_through: u64, inst: &Inst, info: &BranchInfo) -> u64 {
-        match *inst {
-            Inst::Branch { target, .. } => {
+    fn predict_next(
+        &mut self,
+        pc: u64,
+        fall_through: u64,
+        d: &DecodedInst,
+        info: &BranchInfo,
+    ) -> u64 {
+        match d.inst {
+            Inst::Branch { .. } => {
                 if self.bpred.predict_direction(pc) {
-                    spectral_isa::inst_addr(target as usize)
+                    d.target_addr
                 } else {
                     fall_through
                 }
             }
-            Inst::Jump { rd, target } => {
+            Inst::Jump { rd, .. } => {
                 if rd != Reg::R0 {
                     self.bpred.ras_push(fall_through);
                 }
-                spectral_isa::inst_addr(target as usize)
+                d.target_addr
             }
             Inst::JumpReg { rs1 } => {
                 if rs1 == Reg::R31 {
@@ -777,19 +869,26 @@ impl<'p> DetailedSim<'p> {
         }
     }
 
-    /// Gather producer uids for an instruction's register sources and,
-    /// for loads, the youngest older in-flight store to the same word.
-    fn collect_deps(&self, inst: &Inst, mem: Option<(MemClass, u64)>) -> [u64; 3] {
+    /// Resolve producer uids for an instruction's register sources and,
+    /// for loads, the youngest older in-flight store to the same word;
+    /// subscribe `consumer` to every producer that has not yet
+    /// completed. Returns the number of outstanding producers.
+    fn register_deps(
+        &mut self,
+        d: &DecodedInst,
+        mem: Option<(MemClass, u64)>,
+        consumer: u64,
+    ) -> u8 {
         let mut deps = [INVALID_UID; 3];
         let mut n = 0;
-        for r in inst.int_sources().into_iter().flatten() {
+        for r in d.int_srcs.into_iter().flatten() {
             let p = self.int_producer[r.index()];
             if p != INVALID_UID && !deps.contains(&p) {
                 deps[n] = p;
                 n += 1;
             }
         }
-        for f in inst.fp_sources().into_iter().flatten() {
+        for f in d.fp_srcs.into_iter().flatten() {
             let p = self.fp_producer[f as usize];
             if p != INVALID_UID && !deps.contains(&p) && n < 3 {
                 deps[n] = p;
@@ -797,39 +896,50 @@ impl<'p> DetailedSim<'p> {
             }
         }
         if let Some((MemClass::Load { .. }, addr)) = mem {
-            if let Some(uid) = self.youngest_store_to(addr) {
+            if let Some(&uid) = self.store_by_word.get(&(addr >> 3)) {
                 if n < 3 && !deps.contains(&uid) {
                     deps[n] = uid;
+                    n += 1;
                 }
             }
         }
-        deps
-    }
-
-    fn youngest_store_to(&self, addr: u64) -> Option<u64> {
-        let word = addr >> 3;
-        self.ruu
-            .iter()
-            .rev()
-            .find(|e| matches!(e.mem, Some((MemClass::Store, a)) if a >> 3 == word))
-            .map(|e| e.uid)
+        let mut outstanding = 0u8;
+        for &dep in deps.iter().take(n) {
+            if let Some(pi) = self.entry_index(dep) {
+                let pe = &mut self.ruu[pi];
+                if !pe.complete {
+                    pe.consumers.push(consumer);
+                    outstanding += 1;
+                }
+            }
+        }
+        outstanding
     }
 
     fn forwards_from_store(&self, addr: u64) -> bool {
-        self.youngest_store_to(addr).is_some()
+        self.store_by_word.contains_key(&(addr >> 3))
     }
 
-    fn push_entry(&mut self, e: Entry) {
+    fn push_entry(&mut self, mut e: Entry) {
         debug_assert!(self.ruu.len() < self.cfg.ruu_size as usize);
         if e.mem.is_some() {
             debug_assert!(self.lsq_count < self.cfg.lsq_size);
             self.lsq_count += 1;
+        }
+        if let Some((MemClass::Store, a)) = e.mem {
+            self.store_by_word.insert(a >> 3, e.uid);
         }
         if let Some(r) = e.dst_int {
             self.int_producer[r.index()] = e.uid;
         }
         if let Some(f) = e.dst_fp {
             self.fp_producer[f as usize] = e.uid;
+        }
+        if e.deps_left == 0 {
+            self.woken.push(e.uid);
+        }
+        if let Some(pooled) = self.consumer_pool.pop() {
+            e.consumers = pooled;
         }
         self.next_uid = e.uid + 1;
         self.ruu.push_back(e);

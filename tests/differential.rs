@@ -1,0 +1,158 @@
+//! Differential guard for the per-point kernel optimisations.
+//!
+//! The pre-decode / index-wakeup / scratch-buffer work (DecodedProgram,
+//! ready-queue issue, `decompress_into`) must not change any simulated
+//! result. This test pins every experiment-visible statistic for a
+//! fixed seed and configuration to golden values captured from the
+//! unoptimised kernel: the compressed library bytes, each live-point's
+//! full `WindowStats`, and the online/sweep estimates derived from
+//! them. Any behavioural drift in the kernel shows up as a digest
+//! mismatch here before it can silently bias an experiment.
+//!
+//! To regenerate the goldens after an *intentional* behaviour change,
+//! run with `SPECTRAL_DIFF_PRINT=1 cargo test --release --test
+//! differential -- --nocapture` and paste the printed constants.
+
+use spectral_core::{
+    simulate_live_point, CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy, SweepRunner,
+};
+use spectral_uarch::{MachineConfig, WindowStats};
+use spectral_workloads::tiny;
+
+/// Same workload/shape as the scaling bench: tiny benchmark, 8-way
+/// machine, 24-point library, default creation seed.
+const POINTS: u64 = 24;
+
+/// CRC-like FNV-1a fold over 64-bit words: stable, dependency-free, and
+/// sensitive to every bit of every field.
+fn fold(digest: &mut u64, word: u64) {
+    *digest ^= word;
+    *digest = digest.wrapping_mul(0x100_0000_01B3);
+}
+
+fn stats_digest(digest: &mut u64, s: &WindowStats) {
+    for w in [
+        s.committed,
+        s.cycles,
+        s.wrong_path_fetched,
+        s.mispredicts,
+        s.loads,
+        s.stores,
+        s.l1d_misses,
+        s.l2_misses,
+        s.l1i_misses,
+        s.dtlb_misses,
+    ] {
+        fold(digest, w);
+    }
+}
+
+fn setup() -> (spectral_isa::Program, LivePointLibrary) {
+    let program = tiny().build();
+    let cfg = CreationConfig::for_machine(&MachineConfig::eight_way()).with_sample_size(POINTS);
+    let library = LivePointLibrary::create(&program, &cfg).expect("fixture library");
+    (program, library)
+}
+
+fn exhaustive() -> RunPolicy {
+    RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() }
+}
+
+// Golden values captured from the pre-optimisation kernel (seed
+// 0x5EC7, tiny workload, eight-way machine, 24 points).
+const GOLDEN_CONTENT_HASH: u32 = 0x0F52D33F;
+const GOLDEN_STATS_DIGEST: u64 = 0x7E6D2628D2DD13C2;
+const GOLDEN_POINT0: [u64; 10] = [1000, 344, 11, 1, 328, 0, 0, 0, 0, 0];
+const GOLDEN_RUN_MEAN_BITS: u64 = 0x3FE0_DD2F_1A9F_BE77;
+const GOLDEN_RUN_VARIANCE_BITS: u64 = 0x3FC3_97E7_F208_43C1;
+const GOLDEN_RUN_PROCESSED: usize = 24;
+const GOLDEN_SWEEP_MEAN_BITS: [u64; 3] =
+    [0x3FE0_DD2F_1A9F_BE77, 0x3FE2_3078_263A_B597, 0x3FE2_06D3_A06D_3A07];
+
+fn print_mode() -> bool {
+    std::env::var_os("SPECTRAL_DIFF_PRINT").is_some()
+}
+
+#[test]
+fn library_bytes_are_bit_identical() {
+    let (_, library) = setup();
+    let hash = library.content_hash();
+    if print_mode() {
+        println!("const GOLDEN_CONTENT_HASH: u32 = 0x{hash:08X};");
+        return;
+    }
+    assert_eq!(hash, GOLDEN_CONTENT_HASH, "compressed library bytes changed");
+}
+
+#[test]
+fn window_stats_are_bit_identical() {
+    let (program, library) = setup();
+    let machine = MachineConfig::eight_way();
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    let mut point0: Option<WindowStats> = None;
+    for i in 0..library.len() {
+        let lp = library.get(i).expect("decode");
+        let stats = simulate_live_point(&lp, &program, &machine).expect("simulate");
+        stats_digest(&mut digest, &stats);
+        if i == 0 {
+            point0 = Some(stats);
+        }
+    }
+    let p0 = point0.expect("non-empty library");
+    let p0_fields = [
+        p0.committed,
+        p0.cycles,
+        p0.wrong_path_fetched,
+        p0.mispredicts,
+        p0.loads,
+        p0.stores,
+        p0.l1d_misses,
+        p0.l2_misses,
+        p0.l1i_misses,
+        p0.dtlb_misses,
+    ];
+    if print_mode() {
+        println!("const GOLDEN_STATS_DIGEST: u64 = 0x{digest:016X};");
+        println!("const GOLDEN_POINT0: [u64; 10] = {p0_fields:?};");
+        return;
+    }
+    assert_eq!(p0_fields, GOLDEN_POINT0, "point 0 WindowStats changed");
+    assert_eq!(digest, GOLDEN_STATS_DIGEST, "per-point WindowStats changed");
+}
+
+#[test]
+fn online_estimate_is_bit_identical() {
+    let (program, library) = setup();
+    let runner = OnlineRunner::new(&library, MachineConfig::eight_way());
+    let est = runner.run(&program, &exhaustive()).expect("run");
+    let mean = est.mean().to_bits();
+    let var = est.estimator().variance().to_bits();
+    if print_mode() {
+        println!("const GOLDEN_RUN_MEAN_BITS: u64 = 0x{mean:016X};");
+        println!("const GOLDEN_RUN_VARIANCE_BITS: u64 = 0x{var:016X};");
+        println!("const GOLDEN_RUN_PROCESSED: usize = {};", est.processed());
+        return;
+    }
+    assert_eq!(est.processed(), GOLDEN_RUN_PROCESSED);
+    assert_eq!(mean, GOLDEN_RUN_MEAN_BITS, "online mean changed");
+    assert_eq!(var, GOLDEN_RUN_VARIANCE_BITS, "online variance changed");
+}
+
+#[test]
+fn sweep_estimates_are_bit_identical() {
+    let (program, library) = setup();
+    let machine = MachineConfig::eight_way();
+    let machines = vec![
+        machine.clone(),
+        machine.clone().with_mem_latency(200),
+        machine.clone().with_queues(64, 32),
+    ];
+    let sweep = SweepRunner::new(&library, machines);
+    let out = sweep.run(&program, &exhaustive()).expect("sweep");
+    let means: Vec<u64> = out.estimates().iter().map(|e| e.mean().to_bits()).collect();
+    if print_mode() {
+        println!("const GOLDEN_SWEEP_MEAN_BITS: [u64; 3] = {means:#018X?};");
+        return;
+    }
+    assert_eq!(means, GOLDEN_SWEEP_MEAN_BITS, "sweep means changed");
+}
