@@ -33,8 +33,10 @@ fn honest_workers() -> Vec<usize> {
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let (run, skipped): (Vec<usize>, Vec<usize>) = WORKERS.iter().partition(|&&w| w <= host);
     if !skipped.is_empty() {
-        println!(
-            "note: host exposes {host} core(s); skipping oversubscribed worker counts {skipped:?}"
+        eprintln!(
+            "warning: host exposes only {host} core(s); skipping oversubscribed worker counts \
+             {skipped:?} — scaling numbers from this host are DEGRADED (the JSON output carries \
+             \"degraded\": true)"
         );
     }
     run
@@ -92,6 +94,10 @@ fn emit_json(c: &Criterion) -> String {
     let skipped: Vec<usize> = WORKERS.iter().copied().filter(|&w| w > host).collect();
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"host_parallelism\": {host},");
+    // A host too narrow for the full worker ladder produces scaling
+    // numbers that are not comparable with a full run; flag them so
+    // downstream dashboards can segregate (or drop) the record.
+    let _ = writeln!(json, "  \"degraded\": {},", !skipped.is_empty());
     let _ = writeln!(
         json,
         "  \"workers_skipped_oversubscribed\": [{}],",

@@ -58,6 +58,7 @@
 mod creation;
 mod encode;
 mod error;
+mod health;
 mod library;
 mod livepoint;
 mod livestate;

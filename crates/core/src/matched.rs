@@ -4,12 +4,29 @@
 use std::sync::atomic::Ordering;
 
 use spectral_isa::Program;
-use spectral_stats::{MatchedPair, MIN_SAMPLE_SIZE};
+use spectral_stats::{Confidence, MatchedPair, MIN_SAMPLE_SIZE};
 use spectral_uarch::MachineConfig;
 
 use crate::error::CoreError;
+use crate::health::{HealthMonitor, PointMeta};
 use crate::library::{DecodeScratch, LivePointLibrary};
 use crate::runner::{decode_point, note_early_stop, simulate_point, RunPolicy, ShardCoordinator};
+
+/// Emit one matched-run progress record from the merged pair state
+/// (metric `delta_cpi`; relative error is the delta half-width over the
+/// base-machine mean, matching the §6.2 termination rule).
+fn emit_progress(monitor: &HealthMonitor, pair: &MatchedPair, policy: &RunPolicy) {
+    monitor.progress(
+        "delta_cpi",
+        None,
+        pair.count(),
+        pair.delta_mean(),
+        pair.delta_half_width(policy.confidence),
+        pair.delta_half_width(Confidence::C95),
+        pair.base().mean(),
+        policy,
+    );
+}
 
 /// Result of a matched-pair comparison between two machines.
 #[derive(Debug, Clone)]
@@ -104,21 +121,45 @@ impl<'l> MatchedRunner<'l> {
         let mut reached = false;
         let mut processed = 0;
         let mut scratch = DecodeScratch::new();
+        let mut monitor =
+            HealthMonitor::new(spectral_telemetry::next_run_seq(), "matched", 0, policy);
+        let progress_stride = policy.merge_stride.max(1);
         for i in 0..limit {
-            let lp = decode_point(self.library, i, &mut scratch)?;
-            let base = simulate_point(&lp, program, &self.base)?;
-            let exp = simulate_point(&lp, program, &self.experiment)?;
+            let (lp, decode_ns) = decode_point(self.library, i, &mut scratch)?;
+            let (base, base_ns) = simulate_point(&lp, program, &self.base)?;
+            let (exp, exp_ns) = simulate_point(&lp, program, &self.experiment)?;
             pair.push(base.cpi(), exp.cpi());
+            // The anomaly stream watches the base-machine CPI; the
+            // point's simulate cost covers both machines.
+            monitor.observe(
+                i as u64,
+                base.cpi(),
+                &PointMeta {
+                    decode_ns,
+                    simulate_ns: base_ns + exp_ns,
+                    detail_start: lp.window.detail_start,
+                    measure_start: lp.window.measure_start,
+                },
+            );
             processed += 1;
+            if processed % progress_stride == 0 {
+                emit_progress(&monitor, &pair, policy);
+            }
             let base_mean = pair.base().mean();
-            if pair.count() >= MIN_SAMPLE_SIZE
+            if !reached
+                && pair.count() >= MIN_SAMPLE_SIZE
                 && base_mean > 0.0
                 && pair.delta_half_width(policy.confidence) <= policy.target_rel_err * base_mean
             {
                 reached = true;
                 note_early_stop(pair.count());
+            }
+            if reached && policy.stop_at_target {
                 break;
             }
+        }
+        if processed % progress_stride != 0 {
+            emit_progress(&monitor, &pair, policy);
         }
         Ok(MatchedOutcome {
             pair,
@@ -157,24 +198,29 @@ impl<'l> MatchedRunner<'l> {
         let merge_stride = policy.merge_stride.max(1) as u64;
         let coord: ShardCoordinator<MatchedPair> = ShardCoordinator::new();
 
-        let flush = |batch: &mut MatchedPair| {
+        let flush = |batch: &mut MatchedPair, monitor: &HealthMonitor| {
             let snapshot = {
                 let mut merged = coord.lock_progress();
                 merged.merge(batch);
                 *merged
             };
             *batch = MatchedPair::new();
+            emit_progress(monitor, &snapshot, policy);
             let base_mean = snapshot.base().mean();
             if snapshot.count() >= MIN_SAMPLE_SIZE
                 && base_mean > 0.0
                 && snapshot.delta_half_width(policy.confidence) <= policy.target_rel_err * base_mean
             {
-                note_early_stop(snapshot.count());
-                coord.reached.store(true, Ordering::Relaxed);
-                coord.stop.store(true, Ordering::Relaxed);
+                if !coord.reached.swap(true, Ordering::Relaxed) {
+                    note_early_stop(snapshot.count());
+                }
+                if policy.stop_at_target {
+                    coord.stop.store(true, Ordering::Relaxed);
+                }
             }
         };
 
+        let seq = spectral_telemetry::next_run_seq();
         let shards: Vec<MatchedPair> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for worker in 0..threads {
@@ -184,20 +230,29 @@ impl<'l> MatchedRunner<'l> {
                     let mut shard = MatchedPair::new();
                     let mut batch = MatchedPair::new();
                     let mut scratch = DecodeScratch::new();
+                    let mut monitor = HealthMonitor::new(seq, "matched", worker, policy);
                     let mut index = worker;
                     while index < limit && !coord.stop.load(Ordering::Relaxed) {
-                        let outcome =
-                            decode_point(self.library, index, &mut scratch).and_then(|lp| {
-                                let base = simulate_point(&lp, program, &self.base)?;
-                                let exp = simulate_point(&lp, program, &self.experiment)?;
-                                Ok((base.cpi(), exp.cpi()))
-                            });
+                        let outcome = decode_point(self.library, index, &mut scratch).and_then(
+                            |(lp, decode_ns)| {
+                                let (base, base_ns) = simulate_point(&lp, program, &self.base)?;
+                                let (exp, exp_ns) = simulate_point(&lp, program, &self.experiment)?;
+                                let meta = PointMeta {
+                                    decode_ns,
+                                    simulate_ns: base_ns + exp_ns,
+                                    detail_start: lp.window.detail_start,
+                                    measure_start: lp.window.measure_start,
+                                };
+                                Ok((base.cpi(), exp.cpi(), meta))
+                            },
+                        );
                         match outcome {
-                            Ok((base, exp)) => {
+                            Ok((base, exp, meta)) => {
                                 shard.push(base, exp);
                                 batch.push(base, exp);
+                                monitor.observe(index as u64, base, &meta);
                                 if batch.count() >= merge_stride {
-                                    flush(&mut batch);
+                                    flush(&mut batch, &monitor);
                                 }
                             }
                             Err(e) => {
@@ -208,7 +263,7 @@ impl<'l> MatchedRunner<'l> {
                         index += threads;
                     }
                     if batch.count() > 0 {
-                        flush(&mut batch);
+                        flush(&mut batch, &monitor);
                     }
                     shard
                 }));

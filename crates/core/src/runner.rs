@@ -10,6 +10,7 @@ use spectral_telemetry::{Counter, Gauge, Stopwatch};
 use spectral_uarch::{DetailedSim, MachineConfig, WindowStats};
 
 use crate::error::CoreError;
+use crate::health::{HealthMonitor, PointMeta};
 use crate::library::{DecodeScratch, LivePointLibrary};
 use crate::livepoint::LivePoint;
 
@@ -26,43 +27,57 @@ static TLM_LOCK_WAIT_NS: Counter = Counter::new("core.run.lock_wait_ns");
 static TLM_EARLY_STOP_POINT: Gauge = Gauge::new("core.run.early_stop_point");
 
 /// Decode live-point `index` through per-thread scratch buffers,
-/// feeding the decode-time counter.
+/// feeding the decode-time counter; also returns the decode wall-clock
+/// for per-point health accounting.
 pub(crate) fn decode_point(
     library: &LivePointLibrary,
     index: usize,
     scratch: &mut DecodeScratch,
-) -> Result<LivePoint, CoreError> {
+) -> Result<(LivePoint, u64), CoreError> {
     let sw = Stopwatch::start();
     let lp = library.get_with(scratch, index)?;
-    TLM_DECODE_NS.add(sw.ns());
-    Ok(lp)
+    let ns = sw.ns();
+    TLM_DECODE_NS.add(ns);
+    Ok((lp, ns))
 }
 
 /// Simulate a decoded live-point, feeding the simulate-time counter
 /// and the processed-points count (one per simulation — a matched pair
-/// counts twice).
+/// counts twice); also returns the simulate wall-clock for per-point
+/// health accounting.
 pub(crate) fn simulate_point(
     lp: &LivePoint,
     program: &Program,
     machine: &MachineConfig,
-) -> Result<WindowStats, CoreError> {
+) -> Result<(WindowStats, u64), CoreError> {
     let sw = Stopwatch::start();
     let stats = simulate_live_point(lp, program, machine)?;
-    TLM_SIMULATE_NS.add(sw.ns());
+    let ns = sw.ns();
+    TLM_SIMULATE_NS.add(ns);
     TLM_POINTS.inc();
-    Ok(stats)
+    Ok((stats, ns))
 }
 
 /// Decode live-point `index` and simulate it — the instrumented
-/// point-processing site shared by the runners.
+/// point-processing site shared by the runners. Returns the window
+/// stats plus the point's processing metadata (timings and window
+/// provenance) for the health monitor.
 pub(crate) fn process_point(
     library: &LivePointLibrary,
     index: usize,
     program: &Program,
     machine: &MachineConfig,
     scratch: &mut DecodeScratch,
-) -> Result<WindowStats, CoreError> {
-    simulate_point(&decode_point(library, index, scratch)?, program, machine)
+) -> Result<(WindowStats, PointMeta), CoreError> {
+    let (lp, decode_ns) = decode_point(library, index, scratch)?;
+    let (stats, simulate_ns) = simulate_point(&lp, program, machine)?;
+    let meta = PointMeta {
+        decode_ns,
+        simulate_ns,
+        detail_start: lp.window.detail_start,
+        measure_start: lp.window.measure_start,
+    };
+    Ok((stats, meta))
 }
 
 /// Record that early termination fired with `count` points merged.
@@ -182,8 +197,19 @@ pub struct RunPolicy {
     /// Parallel-run merge cadence K: each worker accumulates this many
     /// points into a thread-local estimator before merging into the
     /// shared state, so the global lock is taken once per K simulated
-    /// points instead of once per point.
+    /// points instead of once per point. Serial runs emit their
+    /// sampling-health progress events on the same cadence.
     pub merge_stride: usize,
+    /// kσ threshold for flagging a live-point's CPI as an outlier
+    /// against the running estimate (sampling-health events only; does
+    /// not affect the estimate itself).
+    pub anomaly_sigma: f64,
+    /// Whether reaching the confidence target terminates the run
+    /// (`true`, the paper's online mode). With `false` the run
+    /// processes every point (up to the cap) but still records *when*
+    /// it first became eligible to stop — the doctor's
+    /// wasted-points-past-convergence analysis needs that trajectory.
+    pub stop_at_target: bool,
 }
 
 impl Default for RunPolicy {
@@ -194,6 +220,8 @@ impl Default for RunPolicy {
             max_points: None,
             trajectory_stride: 10,
             merge_stride: 8,
+            anomaly_sigma: 3.0,
+            stop_at_target: true,
         }
     }
 }
@@ -302,9 +330,27 @@ impl<'l> OnlineRunner<'l> {
         let limit = self.limit(policy);
         let mut processed = 0;
         let mut scratch = DecodeScratch::new();
+        let mut monitor =
+            HealthMonitor::new(spectral_telemetry::next_run_seq(), "online", 0, policy);
+        let progress_stride = policy.merge_stride.max(1);
+        let emit = |monitor: &HealthMonitor, est: &OnlineEstimator| {
+            monitor.progress(
+                "cpi",
+                None,
+                est.count(),
+                est.mean(),
+                est.half_width(policy.confidence),
+                est.half_width(Confidence::C95),
+                est.mean(),
+                policy,
+            );
+        };
         for i in 0..limit {
-            let stats = process_point(self.library, i, program, &self.machine, &mut scratch)?;
-            estimator.push(stats.cpi());
+            let (stats, meta) =
+                process_point(self.library, i, program, &self.machine, &mut scratch)?;
+            let cpi = stats.cpi();
+            estimator.push(cpi);
+            monitor.observe(i as u64, cpi, &meta);
             processed += 1;
             if policy.trajectory_stride > 0 && processed % policy.trajectory_stride == 0 {
                 trajectory.push((
@@ -313,13 +359,24 @@ impl<'l> OnlineRunner<'l> {
                     estimator.half_width(policy.confidence),
                 ));
             }
-            if estimator.count() >= MIN_SAMPLE_SIZE
+            if processed % progress_stride == 0 {
+                emit(&monitor, &estimator);
+            }
+            if !reached
+                && estimator.count() >= MIN_SAMPLE_SIZE
                 && estimator.relative_half_width(policy.confidence) <= policy.target_rel_err
             {
                 reached = true;
                 note_early_stop(estimator.count());
+            }
+            if reached && policy.stop_at_target {
                 break;
             }
+        }
+        // Close the event stream on the final state when the run did not
+        // land exactly on a stride boundary.
+        if processed % progress_stride != 0 {
+            emit(&monitor, &estimator);
         }
         Ok(Estimate {
             estimator,
@@ -362,6 +419,9 @@ impl<'l> OnlineRunner<'l> {
         let threads = threads.clamp(1, limit);
         let merge_stride = policy.merge_stride.max(1) as u64;
         let coord: ShardCoordinator<OnlineEstimator> = ShardCoordinator::new();
+        // One run ordinal for the whole parallel run: every worker's
+        // events carry it so a consumer can group them.
+        let seq = spectral_telemetry::next_run_seq();
 
         let shards: Vec<OnlineEstimator> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
@@ -371,6 +431,7 @@ impl<'l> OnlineRunner<'l> {
                     let mut shard = OnlineEstimator::new();
                     let mut batch = OnlineEstimator::new();
                     let mut scratch = DecodeScratch::new();
+                    let mut monitor = HealthMonitor::new(seq, "online", worker, policy);
                     let mut index = worker;
                     while index < limit && !coord.stop.load(Ordering::Relaxed) {
                         let outcome = process_point(
@@ -381,11 +442,13 @@ impl<'l> OnlineRunner<'l> {
                             &mut scratch,
                         );
                         match outcome {
-                            Ok(stats) => {
-                                shard.push(stats.cpi());
-                                batch.push(stats.cpi());
+                            Ok((stats, meta)) => {
+                                let cpi = stats.cpi();
+                                shard.push(cpi);
+                                batch.push(cpi);
+                                monitor.observe(index as u64, cpi, &meta);
                                 if batch.count() >= merge_stride {
-                                    self.flush_batch(&mut batch, policy, coord);
+                                    self.flush_batch(&mut batch, policy, coord, &monitor);
                                 }
                             }
                             Err(e) => {
@@ -396,7 +459,7 @@ impl<'l> OnlineRunner<'l> {
                         index += threads;
                     }
                     if batch.count() > 0 {
-                        self.flush_batch(&mut batch, policy, coord);
+                        self.flush_batch(&mut batch, policy, coord, &monitor);
                     }
                     shard
                 }));
@@ -424,13 +487,15 @@ impl<'l> OnlineRunner<'l> {
     }
 
     /// Merge a worker's local batch into the shared progress estimator,
-    /// record a trajectory sample, and run the early-termination check —
-    /// everything but the merge itself on a lock-free snapshot.
+    /// record a trajectory sample, emit a progress event, and run the
+    /// early-termination check — everything but the merge itself on a
+    /// lock-free snapshot.
     fn flush_batch(
         &self,
         batch: &mut OnlineEstimator,
         policy: &RunPolicy,
         coord: &ShardCoordinator<OnlineEstimator>,
+        monitor: &HealthMonitor,
     ) {
         let snapshot = {
             let mut merged = coord.lock_progress();
@@ -443,12 +508,25 @@ impl<'l> OnlineRunner<'l> {
                 (snapshot.count(), snapshot.mean(), snapshot.half_width(policy.confidence));
             coord.trajectory.lock().expect("trajectory lock").push(sample);
         }
+        monitor.progress(
+            "cpi",
+            None,
+            snapshot.count(),
+            snapshot.mean(),
+            snapshot.half_width(policy.confidence),
+            snapshot.half_width(Confidence::C95),
+            snapshot.mean(),
+            policy,
+        );
         if snapshot.count() >= MIN_SAMPLE_SIZE
             && snapshot.relative_half_width(policy.confidence) <= policy.target_rel_err
         {
-            note_early_stop(snapshot.count());
-            coord.reached.store(true, Ordering::Relaxed);
-            coord.stop.store(true, Ordering::Relaxed);
+            if !coord.reached.swap(true, Ordering::Relaxed) {
+                note_early_stop(snapshot.count());
+            }
+            if policy.stop_at_target {
+                coord.stop.store(true, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -513,6 +591,20 @@ mod tests {
             runner.run(&p, &RunPolicy { target_rel_err: 1e-9, ..RunPolicy::default() }).unwrap();
         assert_eq!(est.processed(), lib.len());
         assert!(!est.reached_target());
+    }
+
+    #[test]
+    fn stop_at_target_false_runs_exhaustively() {
+        let (p, lib) = setup();
+        let runner = OnlineRunner::new(&lib, MachineConfig::eight_way());
+        let policy =
+            RunPolicy { target_rel_err: 0.5, stop_at_target: false, ..RunPolicy::default() };
+        let est = runner.run(&p, &policy).unwrap();
+        assert_eq!(est.processed(), lib.len(), "no early exit");
+        assert!(est.reached_target(), "eligibility is still recorded");
+        let par = runner.run_parallel(&p, &policy, 4).unwrap();
+        assert_eq!(par.processed(), lib.len());
+        assert!(par.reached_target());
     }
 
     #[test]

@@ -14,14 +14,32 @@
 use std::sync::atomic::Ordering;
 
 use spectral_isa::Program;
-use spectral_stats::{MatchedPair, OnlineEstimator, MIN_SAMPLE_SIZE};
+use spectral_stats::{Confidence, MatchedPair, OnlineEstimator, MIN_SAMPLE_SIZE};
 use spectral_uarch::MachineConfig;
 
 use crate::error::CoreError;
+use crate::health::{HealthMonitor, PointMeta};
 use crate::library::{DecodeScratch, LivePointLibrary};
 use crate::runner::{
     decode_point, note_early_stop, simulate_point, Estimate, RunPolicy, ShardCoordinator,
 };
+
+/// Emit one sweep progress record per configuration from the merged
+/// estimators (metric `cpi`, `config: Some(j)`).
+fn emit_progress(monitor: &HealthMonitor, estimators: &[OnlineEstimator], policy: &RunPolicy) {
+    for (j, est) in estimators.iter().enumerate() {
+        monitor.progress(
+            "cpi",
+            Some(j),
+            est.count(),
+            est.mean(),
+            est.half_width(policy.confidence),
+            est.half_width(Confidence::C95),
+            est.mean(),
+            policy,
+        );
+    }
+}
 
 /// Accumulated sweep state: one estimator per configuration, one
 /// matched pair per non-baseline configuration (vs configuration 0),
@@ -158,17 +176,33 @@ impl<'l> SweepRunner<'l> {
     }
 
     /// Simulate one decoded live-point under every configuration.
+    /// Returns the per-config CPIs plus the point's processing metadata
+    /// (one decode; simulate cost summed over all configurations).
     fn measure_point(
         &self,
         index: usize,
         program: &Program,
         scratch: &mut DecodeScratch,
-    ) -> Result<Vec<f64>, CoreError> {
-        let lp = decode_point(self.library, index, scratch)?; // the one decode
-        self.machines
+    ) -> Result<(Vec<f64>, PointMeta), CoreError> {
+        let (lp, decode_ns) = decode_point(self.library, index, scratch)?; // the one decode
+        let mut simulate_ns = 0u64;
+        let cpis = self
+            .machines
             .iter()
-            .map(|m| simulate_point(&lp, program, m).map(|stats| stats.cpi()))
-            .collect()
+            .map(|m| {
+                simulate_point(&lp, program, m).map(|(stats, ns)| {
+                    simulate_ns += ns;
+                    stats.cpi()
+                })
+            })
+            .collect::<Result<Vec<f64>, CoreError>>()?;
+        let meta = PointMeta {
+            decode_ns,
+            simulate_ns,
+            detail_start: lp.window.detail_start,
+            measure_start: lp.window.measure_start,
+        };
+        Ok((cpis, meta))
     }
 
     fn outcome(&self, progress: SweepProgress, policy: &RunPolicy, reached: bool) -> SweepOutcome {
@@ -214,18 +248,33 @@ impl<'l> SweepRunner<'l> {
         let mut progress = SweepProgress::new(self.machines.len());
         let mut reached = false;
         let mut scratch = DecodeScratch::new();
+        let mut monitor =
+            HealthMonitor::new(spectral_telemetry::next_run_seq(), "sweep", 0, policy);
+        let progress_stride = policy.merge_stride.max(1) as u64;
+        let mut n = 0;
         for i in 0..limit {
-            let cpis = self.measure_point(i, program, &mut scratch)?;
+            // The anomaly stream watches the baseline configuration's
+            // CPI; the point's simulate cost covers every configuration.
+            let (cpis, meta) = self.measure_point(i, program, &mut scratch)?;
             progress.push(&cpis);
-            let n = progress.estimators[0].count();
+            monitor.observe(i as u64, cpis[0], &meta);
+            n = progress.estimators[0].count();
             if policy.trajectory_stride > 0 && n.is_multiple_of(policy.trajectory_stride as u64) {
                 progress.record_trajectory(policy);
             }
-            if progress.all_reached(policy) {
+            if n.is_multiple_of(progress_stride) {
+                emit_progress(&monitor, &progress.estimators, policy);
+            }
+            if !reached && progress.all_reached(policy) {
                 reached = true;
                 note_early_stop(n);
+            }
+            if reached && policy.stop_at_target {
                 break;
             }
+        }
+        if !n.is_multiple_of(progress_stride) {
+            emit_progress(&monitor, &progress.estimators, policy);
         }
         Ok(self.outcome(progress, policy, reached))
     }
@@ -261,7 +310,7 @@ impl<'l> SweepRunner<'l> {
         let coord: ShardCoordinator<SweepProgress> =
             ShardCoordinator::with_progress(SweepProgress::new(configs));
 
-        let flush = |batch: &mut SweepProgress| {
+        let flush = |batch: &mut SweepProgress, monitor: &HealthMonitor| {
             let mut merged = coord.lock_progress();
             merged.merge(batch);
             if policy.trajectory_stride > 0 {
@@ -269,15 +318,21 @@ impl<'l> SweepRunner<'l> {
             }
             let done = merged.all_reached(policy);
             let count = merged.estimators[0].count();
+            let estimators = merged.estimators.clone();
             drop(merged);
             *batch = SweepProgress::new(configs);
+            emit_progress(monitor, &estimators, policy);
             if done {
-                note_early_stop(count);
-                coord.reached.store(true, Ordering::Relaxed);
-                coord.stop.store(true, Ordering::Relaxed);
+                if !coord.reached.swap(true, Ordering::Relaxed) {
+                    note_early_stop(count);
+                }
+                if policy.stop_at_target {
+                    coord.stop.store(true, Ordering::Relaxed);
+                }
             }
         };
 
+        let seq = spectral_telemetry::next_run_seq();
         let shards: Vec<SweepProgress> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for worker in 0..threads {
@@ -287,14 +342,16 @@ impl<'l> SweepRunner<'l> {
                     let mut shard = SweepProgress::new(configs);
                     let mut batch = SweepProgress::new(configs);
                     let mut scratch = DecodeScratch::new();
+                    let mut monitor = HealthMonitor::new(seq, "sweep", worker, policy);
                     let mut index = worker;
                     while index < limit && !coord.stop.load(Ordering::Relaxed) {
                         match self.measure_point(index, program, &mut scratch) {
-                            Ok(cpis) => {
+                            Ok((cpis, meta)) => {
                                 shard.push(&cpis);
                                 batch.push(&cpis);
+                                monitor.observe(index as u64, cpis[0], &meta);
                                 if batch.estimators[0].count() >= merge_stride {
-                                    flush(&mut batch);
+                                    flush(&mut batch, &monitor);
                                 }
                             }
                             Err(e) => {
@@ -305,7 +362,7 @@ impl<'l> SweepRunner<'l> {
                         index += threads;
                     }
                     if batch.estimators[0].count() > 0 {
-                        flush(&mut batch);
+                        flush(&mut batch, &monitor);
                     }
                     shard
                 }));

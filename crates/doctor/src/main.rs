@@ -1,0 +1,146 @@
+//! `spectral-doctor` — diagnose a run from its telemetry artifacts.
+//!
+//! ```text
+//! spectral-doctor --events run.events.jsonl [--manifest run.json]
+//!                 [--trace run.trace.jsonl]
+//!                 [--baseline-events old.events.jsonl]
+//!                 [--baseline-manifest old.json]
+//!                 [--json report.json] [--perfetto trace.chrome.json]
+//!                 [--top N] [--check]
+//! ```
+//!
+//! Prints the text diagnosis to stdout. `--json` additionally writes
+//! the machine-readable report; `--perfetto` converts the trace and
+//! event streams into a Chrome `trace_event` document for
+//! <https://ui.perfetto.dev>. `--check` exits non-zero when the run
+//! exhausted its library without reaching the confidence target (the
+//! CI gate); it requires `--manifest`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spectral_doctor::{
+    analyze, diff_runs, exhausted_without_convergence, render_json, render_text, DoctorError,
+    RunArtifacts,
+};
+
+#[derive(Debug, Default)]
+struct Cli {
+    events: Option<PathBuf>,
+    manifest: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    baseline_events: Option<PathBuf>,
+    baseline_manifest: Option<PathBuf>,
+    json: Option<PathBuf>,
+    perfetto: Option<PathBuf>,
+    top: usize,
+    check: bool,
+}
+
+const USAGE: &str = "spectral-doctor --events PATH [--manifest PATH] [--trace PATH] \
+                     [--baseline-events PATH] [--baseline-manifest PATH] [--json PATH] \
+                     [--perfetto PATH] [--top N] [--check]";
+
+fn parse_cli(argv: &[String]) -> Result<Cli, DoctorError> {
+    let mut cli = Cli { top: 3, ..Cli::default() };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> Result<&String, DoctorError> {
+            it.next().ok_or_else(|| DoctorError::msg(format!("{what} needs a value")))
+        };
+        match a.as_str() {
+            "--events" => cli.events = Some(PathBuf::from(value("--events")?)),
+            "--manifest" => cli.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--trace" => cli.trace = Some(PathBuf::from(value("--trace")?)),
+            "--baseline-events" => {
+                cli.baseline_events = Some(PathBuf::from(value("--baseline-events")?));
+            }
+            "--baseline-manifest" => {
+                cli.baseline_manifest = Some(PathBuf::from(value("--baseline-manifest")?));
+            }
+            "--json" => cli.json = Some(PathBuf::from(value("--json")?)),
+            "--perfetto" => cli.perfetto = Some(PathBuf::from(value("--perfetto")?)),
+            "--top" => {
+                let v = value("--top")?;
+                cli.top = v.parse().map_err(|_| {
+                    DoctorError::msg(format!("--top: expected an integer, got {v}"))
+                })?;
+            }
+            "--check" => cli.check = true,
+            "--help" | "-h" => return Err(DoctorError::msg(format!("usage: {USAGE}"))),
+            other => {
+                return Err(DoctorError::msg(format!("unknown argument {other}\nusage: {USAGE}")))
+            }
+        }
+    }
+    if cli.events.is_none() {
+        return Err(DoctorError::msg(format!("--events is required\nusage: {USAGE}")));
+    }
+    if cli.check && cli.manifest.is_none() {
+        return Err(DoctorError::msg("--check needs --manifest (the convergence verdict)"));
+    }
+    Ok(cli)
+}
+
+fn write_file(path: &PathBuf, text: &str) -> Result<(), DoctorError> {
+    std::fs::write(path, text)
+        .map_err(|e| DoctorError::msg(format!("cannot write {}: {e}", path.display())))
+}
+
+fn run(cli: &Cli) -> Result<bool, DoctorError> {
+    let events = cli.events.as_ref().expect("validated in parse_cli");
+    let artifacts = RunArtifacts::load(cli.manifest.as_deref(), events)?;
+    let diagnosis = analyze(&artifacts);
+
+    let diff = match &cli.baseline_events {
+        Some(base_events) => {
+            let baseline = RunArtifacts::load(cli.baseline_manifest.as_deref(), base_events)?;
+            Some(diff_runs(&artifacts, &baseline)?)
+        }
+        None => None,
+    };
+
+    print!("{}", render_text(&diagnosis, artifacts.manifest.as_ref(), diff.as_ref(), cli.top));
+
+    if let Some(path) = &cli.json {
+        write_file(
+            path,
+            &render_json(&diagnosis, artifacts.manifest.as_ref(), diff.as_ref(), cli.top),
+        )?;
+    }
+    if let Some(path) = &cli.perfetto {
+        // One Chrome trace over the span trace (if given) and the event
+        // stream: spans, convergence counters, anomaly instants.
+        let mut jsonl = String::new();
+        if let Some(trace) = &cli.trace {
+            jsonl = std::fs::read_to_string(trace)
+                .map_err(|e| DoctorError::msg(format!("cannot read {}: {e}", trace.display())))?;
+        }
+        jsonl.push_str(
+            &std::fs::read_to_string(events)
+                .map_err(|e| DoctorError::msg(format!("cannot read {}: {e}", events.display())))?,
+        );
+        let chrome = spectral_telemetry::chrome_trace(&jsonl)
+            .map_err(|e| DoctorError::msg(format!("cannot convert trace: {}", e.message)))?;
+        write_file(path, &chrome)?;
+    }
+
+    let healthy =
+        !(cli.check && artifacts.manifest.as_ref().is_some_and(exhausted_without_convergence));
+    Ok(healthy)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_cli(&argv).and_then(|cli| run(&cli)) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("spectral-doctor: check failed: library exhausted without convergence");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("spectral-doctor: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

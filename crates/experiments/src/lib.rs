@@ -22,10 +22,16 @@
 //! * `--windows N`, `--seeds S`, `--scale F` where meaningful
 //! * `--threads T` — worker threads for library creation and runs
 //!   (default: the host's available parallelism)
+//! * `--target PCT` — early-termination relative-error target in
+//!   percent, where the binary estimates one (default: the paper's 3)
 //! * `--metrics-out PATH` — write a JSON run manifest (with the full
 //!   metrics snapshot embedded) on exit
 //! * `--trace PATH` — append JSONL span events to PATH as the run
 //!   executes (also enabled by the `TELEMETRY` env var)
+//! * `--events PATH` — append JSONL sampling-health events (merge-stride
+//!   convergence progress, per-point anomalies) to PATH; also enabled by
+//!   the `TELEMETRY_EVENTS` env var. Feed the stream to
+//!   `spectral-doctor` afterwards.
 //! * `--report-out PATH` — copy the report (tables and lines) to a
 //!   text file
 //! * `--report-json PATH` — write the report as structured JSON
@@ -123,10 +129,14 @@ pub struct Args {
     /// Worker-thread count for creation and runs (`--threads`; default
     /// = available parallelism).
     pub threads: Option<usize>,
+    /// Relative-error target in percent (`--target`).
+    pub target: Option<f64>,
     /// Run-manifest output path (`--metrics-out`).
     pub metrics_out: Option<PathBuf>,
     /// JSONL span-trace output path (`--trace`).
     pub trace: Option<PathBuf>,
+    /// JSONL sampling-health event output path (`--events`).
+    pub events: Option<PathBuf>,
     /// Text report copy (`--report-out`).
     pub report_out: Option<PathBuf>,
     /// JSON report output (`--report-json`).
@@ -144,8 +154,10 @@ impl Args {
             scale: None,
             machine: None,
             threads: None,
+            target: None,
             metrics_out: None,
             trace: None,
+            events: None,
             report_out: None,
             report_json: None,
         }
@@ -157,7 +169,9 @@ impl Args {
     ///
     /// Returns a usage diagnostic on unknown flags, missing values, or
     /// malformed integers. Also installs the span-trace sink when
-    /// `--trace` (or the `TELEMETRY` env var) is present.
+    /// `--trace` (or the `TELEMETRY` env var) is present, and the
+    /// sampling-health event sink when `--events` (or the
+    /// `TELEMETRY_EVENTS` env var) is present.
     pub fn try_parse() -> Result<Args, ExpError> {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let args = Self::try_parse_from(&argv)?;
@@ -168,6 +182,17 @@ impl Args {
             None => {
                 spectral_telemetry::trace_from_env()
                     .map_err(|e| ExpError::msg(format!("cannot open TELEMETRY trace file: {e}")))?;
+            }
+        }
+        match &args.events {
+            Some(path) => {
+                spectral_telemetry::set_events_path(path)
+                    .context("cannot open events file", path)?;
+            }
+            None => {
+                spectral_telemetry::events_from_env().map_err(|e| {
+                    ExpError::msg(format!("cannot open TELEMETRY_EVENTS file: {e}"))
+                })?;
             }
         }
         Ok(args)
@@ -202,15 +227,26 @@ impl Args {
                 "--scale" => args.scale = Some(int("--scale", value("--scale")?)?),
                 "--machine" => args.machine = Some(value("--machine")?.clone()),
                 "--threads" => args.threads = Some(int("--threads", value("--threads")?)?),
+                "--target" => {
+                    let v = value("--target")?;
+                    let pct: f64 = v.parse().map_err(|_| {
+                        ExpError(format!("--target: expected a percentage, got '{v}'"))
+                    })?;
+                    if !(pct.is_finite() && pct > 0.0) {
+                        return Err(ExpError(format!("--target: must be positive, got '{v}'")));
+                    }
+                    args.target = Some(pct);
+                }
                 "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
                 "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
+                "--events" => args.events = Some(PathBuf::from(value("--events")?)),
                 "--report-out" => args.report_out = Some(PathBuf::from(value("--report-out")?)),
                 "--report-json" => args.report_json = Some(PathBuf::from(value("--report-json")?)),
                 other => {
                     return Err(ExpError(format!(
                         "unknown argument {other} (flags: --benchmarks --limit --quick \
-                         --windows --seeds --scale --machine --threads --metrics-out \
-                         --trace --report-out --report-json)"
+                         --windows --seeds --scale --machine --threads --target \
+                         --metrics-out --trace --events --report-out --report-json)"
                     )))
                 }
             }
@@ -234,6 +270,13 @@ impl Args {
     pub fn thread_count(&self) -> usize {
         self.threads
             .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    }
+
+    /// Effective relative-error target as a fraction: `--target`
+    /// (percent) when given, otherwise `default` (a fraction, e.g. the
+    /// paper's 0.03).
+    pub fn target_rel_err(&self, default: f64) -> f64 {
+        self.target.map_or(default, |pct| pct / 100.0)
     }
 }
 
@@ -277,7 +320,8 @@ impl Args {
     }
 
     /// Finish a run: embed the metrics snapshot and write the manifest
-    /// to `--metrics-out` (when given), and flush the span trace.
+    /// to `--metrics-out` (when given), and flush the span trace and
+    /// sampling-health event stream.
     ///
     /// # Errors
     ///
@@ -288,6 +332,7 @@ impl Args {
             manifest.write(path, Some(&snapshot)).context("cannot write manifest", path)?;
         }
         spectral_telemetry::flush_trace();
+        spectral_telemetry::flush_events();
         Ok(())
     }
 }
@@ -676,10 +721,14 @@ mod tests {
             "16",
             "--threads",
             "6",
+            "--target",
+            "10",
             "--metrics-out",
             "m.json",
             "--trace",
             "t.jsonl",
+            "--events",
+            "e.jsonl",
             "--report-out",
             "r.txt",
             "--report-json",
@@ -694,8 +743,11 @@ mod tests {
         assert_eq!(a.scale, Some(4));
         assert_eq!(a.machine.as_deref(), Some("16"));
         assert_eq!(a.threads, Some(6));
+        assert_eq!(a.target, Some(10.0));
+        assert!((a.target_rel_err(0.03) - 0.10).abs() < 1e-12);
         assert_eq!(a.metrics_out.as_deref(), Some(std::path::Path::new("m.json")));
         assert_eq!(a.trace.as_deref(), Some(std::path::Path::new("t.jsonl")));
+        assert_eq!(a.events.as_deref(), Some(std::path::Path::new("e.jsonl")));
         assert_eq!(a.report_out.as_deref(), Some(std::path::Path::new("r.txt")));
         assert_eq!(a.report_json.as_deref(), Some(std::path::Path::new("r.json")));
         assert!(a.machine_config().is_ok());
@@ -710,6 +762,9 @@ mod tests {
         assert!(e.to_string().contains("needs a value"), "{e}");
         let e = Args::try_parse_from(&argv(&["--bogus"])).unwrap_err();
         assert!(e.to_string().contains("unknown argument --bogus"), "{e}");
+        let e = Args::try_parse_from(&argv(&["--target", "-3"])).unwrap_err();
+        assert!(e.to_string().contains("--target"), "{e}");
+        assert!(Args::try_parse_from(&argv(&["--target", "nan"])).is_err());
         let mut a = Args::empty();
         a.machine = Some("32".into());
         assert!(a.machine_config().is_err());

@@ -15,7 +15,11 @@
 //!   random sampling as an alternative),
 //! * [`MatchedPair`] — matched-pair comparison on per-window deltas
 //!   (paper §6.2, after Ekman & Stenström), which shrinks required
-//!   sample sizes by large factors for comparative studies.
+//!   sample sizes by large factors for comparative studies,
+//! * [`StreamingCi`] / [`AnomalyDetector`] — sampling-health substrate
+//!   for the observability layer: termination-rule eligibility tracking
+//!   (including the ±ε@95% early-stop rule) and per-point kσ CPI /
+//!   latency-tail anomaly detection.
 //!
 //! ## Example: plan and evaluate a sample
 //!
@@ -37,11 +41,13 @@
 mod confidence;
 mod design;
 mod estimator;
+mod health;
 mod matched;
 mod strata;
 
 pub use confidence::{required_sample_size, Confidence, MIN_SAMPLE_SIZE};
 pub use design::{RandomDesign, SampleDesign, SystematicDesign, WindowSpec};
 pub use estimator::OnlineEstimator;
+pub use health::{AnomalyDetector, PointHealth, StreamingCi, ANOMALY_WARMUP};
 pub use matched::MatchedPair;
 pub use strata::StratifiedEstimator;

@@ -1,0 +1,357 @@
+//! Sampling-health event stream: structured JSONL records of a run's
+//! *statistical* health, complementing the mechanical span trace.
+//!
+//! Two record types share one sink:
+//!
+//! ```json
+//! {"type":"progress","seq":1,"run":"online","metric":"cpi","t_us":512,
+//!  "worker":0,"config":null,"n":40,"mean":1.372,"half_width":0.041,
+//!  "rel_half_width":0.0299,"target_rel_err":0.03,"eligible":true,
+//!  "rel_half_width_95":0.0195,"eligible_95":true,"shard_points":40}
+//! {"type":"anomaly","seq":1,"run":"online","t_us":498,"worker":0,"point":17,
+//!  "detail_start":123000,"measure_start":125000,"kinds":["cpi_outlier"],
+//!  "cpi":2.31,"mean":1.37,"std_dev":0.21,"sigmas":4.5,
+//!  "decode_ns":52000,"simulate_ns":410000}
+//! ```
+//!
+//! `seq` is a process-wide run ordinal (from [`next_run_seq`]): one
+//! binary often performs several runs back to back into the same sink,
+//! and the ordinal is what lets a consumer separate their record
+//! streams.
+//!
+//! * **progress** — emitted by the runners at every merge stride: the
+//!   running mean, CI half-width, relative error, early-termination
+//!   eligibility at the policy confidence *and* at the paper's ±ε@95%
+//!   rule, plus the emitting worker's own point count (`shard_points`,
+//!   the per-shard lag signal).
+//! * **anomaly** — one record per anomalous live-point: which tests
+//!   fired (`kinds`: `cpi_outlier`, `slow_decode`, `slow_simulate`),
+//!   the point's library index and window provenance, and the running
+//!   estimate it deviated from.
+//!
+//! The sink is installed by [`set_events_path`] (the experiment
+//! binaries' `--events` flag) or the `TELEMETRY_EVENTS` environment
+//! variable. When no sink is installed, [`events_on`] is a single
+//! relaxed atomic load and the emitters return immediately; when the
+//! crate is built without the `enabled` feature, everything here is an
+//! inlined no-op.
+
+/// One merge-stride progress record (see the module docs for the JSON
+/// shape). Plain data in both build modes; only
+/// [`emit`](ProgressEvent::emit) differs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressEvent<'a> {
+    /// Process-wide run ordinal (see [`next_run_seq`]).
+    pub seq: u64,
+    /// Run kind: `online`, `matched`, or `sweep`.
+    pub run: &'a str,
+    /// What the mean estimates: `cpi` or `delta_cpi`.
+    pub metric: &'a str,
+    /// Emitting worker ordinal (0 for serial runs).
+    pub worker: usize,
+    /// Sweep configuration index; `None` for single-config runs.
+    pub config: Option<usize>,
+    /// Points merged into the estimate so far.
+    pub n: u64,
+    /// Running mean.
+    pub mean: f64,
+    /// CI half-width at the policy confidence.
+    pub half_width: f64,
+    /// Relative error at the policy confidence (half-width over the
+    /// comparison mean — the base-machine mean for matched runs).
+    pub rel_half_width: f64,
+    /// The policy's relative-error target ε.
+    pub target_rel_err: f64,
+    /// Early-termination eligibility at the policy confidence.
+    pub eligible: bool,
+    /// Relative error at 95% confidence.
+    pub rel_half_width_95: f64,
+    /// The paper's ±ε@95% early-termination rule.
+    pub eligible_95: bool,
+    /// The emitting worker's own processed-point count (per-shard lag).
+    pub shard_points: u64,
+}
+
+impl ProgressEvent<'_> {
+    /// Append this record to the event sink (no-op when unsubscribed).
+    pub fn emit(&self) {
+        imp::emit_progress(self);
+    }
+}
+
+/// One anomalous live-point record (see the module docs for the JSON
+/// shape).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyEvent<'a> {
+    /// Process-wide run ordinal (see [`next_run_seq`]).
+    pub seq: u64,
+    /// Run kind: `online`, `matched`, or `sweep`.
+    pub run: &'a str,
+    /// Emitting worker ordinal (0 for serial runs).
+    pub worker: usize,
+    /// Library index of the live-point.
+    pub point: u64,
+    /// Window provenance: sequence number where detailed warming begins.
+    pub detail_start: u64,
+    /// Window provenance: sequence number where measurement begins.
+    pub measure_start: u64,
+    /// Which tests fired: `cpi_outlier`, `slow_decode`, `slow_simulate`.
+    pub kinds: &'a [&'a str],
+    /// The point's measured CPI.
+    pub cpi: f64,
+    /// Running CPI mean at observation time.
+    pub mean: f64,
+    /// Running CPI standard deviation at observation time.
+    pub std_dev: f64,
+    /// Deviation in standard deviations (0 when only a time test fired).
+    pub sigmas: f64,
+    /// Decode (decompress + DER) wall-clock for this point.
+    pub decode_ns: u64,
+    /// Detailed-simulation wall-clock for this point.
+    pub simulate_ns: u64,
+}
+
+impl AnomalyEvent<'_> {
+    /// Append this record to the event sink (no-op when unsubscribed).
+    pub fn emit(&self) {
+        imp::emit_anomaly(self);
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::fs::File;
+    use std::io::{BufWriter, Write};
+    use std::path::Path;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    use super::{AnomalyEvent, ProgressEvent};
+    use crate::json::number;
+
+    static EVENTS_ON: AtomicBool = AtomicBool::new(false);
+    static EVENTS_SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+    static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// Allocate the next process-wide run ordinal (1, 2, …). Runners
+    /// call this once per run and stamp every event they emit with it.
+    pub fn next_run_seq() -> u64 {
+        RUN_SEQ.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Whether a sampling-health event sink is installed.
+    #[inline]
+    pub fn events_on() -> bool {
+        EVENTS_ON.load(Ordering::Relaxed)
+    }
+
+    /// Install (or replace) the JSONL event sink at `path`.
+    pub fn set_events_path(path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        *EVENTS_SINK.lock().expect("event sink lock") = Some(BufWriter::new(file));
+        EVENTS_ON.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Install the event sink from the `TELEMETRY_EVENTS` environment
+    /// variable (a file path) if set; returns whether events are now on.
+    pub fn events_from_env() -> std::io::Result<bool> {
+        if events_on() {
+            return Ok(true);
+        }
+        match std::env::var_os("TELEMETRY_EVENTS") {
+            Some(path) if !path.is_empty() => {
+                set_events_path(path)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Flush buffered events to the sink.
+    pub fn flush_events() {
+        if let Some(w) = EVENTS_SINK.lock().expect("event sink lock").as_mut() {
+            let _ = w.flush();
+        }
+    }
+
+    fn write_line(line: &str) {
+        if let Some(w) = EVENTS_SINK.lock().expect("event sink lock").as_mut() {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
+    pub(super) fn emit_progress(e: &ProgressEvent<'_>) {
+        if !events_on() {
+            return;
+        }
+        let config = match e.config {
+            Some(c) => c.to_string(),
+            None => "null".to_owned(),
+        };
+        write_line(&format!(
+            "{{\"type\":\"progress\",\"seq\":{},\"run\":{},\"metric\":{},\"t_us\":{},\
+             \"worker\":{},\"config\":{config},\"n\":{},\"mean\":{},\"half_width\":{},\
+             \"rel_half_width\":{},\"target_rel_err\":{},\"eligible\":{},\
+             \"rel_half_width_95\":{},\"eligible_95\":{},\"shard_points\":{}}}",
+            e.seq,
+            crate::json::quote(e.run),
+            crate::json::quote(e.metric),
+            crate::span::now_us(),
+            e.worker,
+            e.n,
+            number(e.mean),
+            number(e.half_width),
+            number(e.rel_half_width),
+            number(e.target_rel_err),
+            e.eligible,
+            number(e.rel_half_width_95),
+            e.eligible_95,
+            e.shard_points,
+        ));
+    }
+
+    pub(super) fn emit_anomaly(e: &AnomalyEvent<'_>) {
+        if !events_on() {
+            return;
+        }
+        let kinds: Vec<String> = e.kinds.iter().map(|k| crate::json::quote(k)).collect();
+        write_line(&format!(
+            "{{\"type\":\"anomaly\",\"seq\":{},\"run\":{},\"t_us\":{},\"worker\":{},\
+             \"point\":{},\"detail_start\":{},\"measure_start\":{},\"kinds\":[{}],\"cpi\":{},\
+             \"mean\":{},\"std_dev\":{},\"sigmas\":{},\"decode_ns\":{},\"simulate_ns\":{}}}",
+            e.seq,
+            crate::json::quote(e.run),
+            crate::span::now_us(),
+            e.worker,
+            e.point,
+            e.detail_start,
+            e.measure_start,
+            kinds.join(","),
+            number(e.cpi),
+            number(e.mean),
+            number(e.std_dev),
+            number(e.sigmas),
+            e.decode_ns,
+            e.simulate_ns,
+        ));
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use std::path::Path;
+
+    use super::{AnomalyEvent, ProgressEvent};
+
+    /// Always false (telemetry compiled out).
+    #[inline(always)]
+    pub fn events_on() -> bool {
+        false
+    }
+
+    /// No-op (telemetry compiled out).
+    pub fn set_events_path(_path: impl AsRef<Path>) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Always `Ok(false)`.
+    pub fn events_from_env() -> std::io::Result<bool> {
+        Ok(false)
+    }
+
+    /// No-op.
+    pub fn flush_events() {}
+
+    /// Always 0 (telemetry compiled out; no events carry it anywhere).
+    #[inline(always)]
+    pub fn next_run_seq() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(super) fn emit_progress(_e: &ProgressEvent<'_>) {}
+
+    #[inline(always)]
+    pub(super) fn emit_anomaly(_e: &AnomalyEvent<'_>) {}
+}
+
+pub use imp::{events_from_env, events_on, flush_events, next_run_seq, set_events_path};
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn sample_progress<'a>() -> ProgressEvent<'a> {
+        ProgressEvent {
+            seq: 1,
+            run: "online",
+            metric: "cpi",
+            worker: 0,
+            config: None,
+            n: 40,
+            mean: 1.372,
+            half_width: 0.041,
+            rel_half_width: 0.0299,
+            target_rel_err: 0.03,
+            eligible: true,
+            rel_half_width_95: 0.0195,
+            eligible_95: true,
+            shard_points: 40,
+        }
+    }
+
+    #[test]
+    fn events_round_trip_as_json_lines() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("spectral_events_test_{}.jsonl", std::process::id()));
+        set_events_path(&path).expect("temp event sink");
+        assert!(events_on());
+
+        sample_progress().emit();
+        ProgressEvent { config: Some(2), metric: "delta_cpi", ..sample_progress() }.emit();
+        AnomalyEvent {
+            seq: 2,
+            run: "online",
+            worker: 3,
+            point: 17,
+            detail_start: 123_000,
+            measure_start: 125_000,
+            kinds: &["cpi_outlier", "slow_simulate"],
+            cpi: 2.31,
+            mean: 1.37,
+            std_dev: 0.21,
+            sigmas: 4.5,
+            decode_ns: 52_000,
+            simulate_ns: 410_000,
+        }
+        .emit();
+        // Non-finite CI fields must degrade to valid JSON numbers.
+        ProgressEvent { rel_half_width: f64::INFINITY, mean: f64::NAN, ..sample_progress() }.emit();
+        flush_events();
+
+        let text = std::fs::read_to_string(&path).expect("read events back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let docs: Vec<JsonValue> =
+            lines.iter().map(|l| JsonValue::parse(l).expect("valid JSON line")).collect();
+        assert_eq!(docs[0].get("type").and_then(JsonValue::as_str), Some("progress"));
+        assert_eq!(docs[0].get("seq").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(docs[0].get("n").and_then(JsonValue::as_u64), Some(40));
+        assert_eq!(docs[0].get("config"), Some(&JsonValue::Null));
+        assert_eq!(docs[1].get("config").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(docs[1].get("metric").and_then(JsonValue::as_str), Some("delta_cpi"));
+        assert_eq!(docs[2].get("type").and_then(JsonValue::as_str), Some("anomaly"));
+        assert_eq!(docs[2].get("seq").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(docs[2].get("point").and_then(JsonValue::as_u64), Some(17));
+        let kinds = docs[2].get("kinds").and_then(JsonValue::as_arr).expect("kinds array");
+        assert_eq!(kinds.len(), 2);
+        assert_eq!(kinds[0].as_str(), Some("cpi_outlier"));
+        // Guarded non-finite floats parse as 0.
+        assert_eq!(docs[3].get("rel_half_width").and_then(JsonValue::as_f64), Some(0.0));
+        assert_eq!(docs[3].get("mean").and_then(JsonValue::as_f64), Some(0.0));
+
+        let _ = std::fs::remove_file(&path);
+    }
+}

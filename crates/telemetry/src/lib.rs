@@ -21,6 +21,14 @@
 //!   seed, per-phase wall-clock, points processed, and the final
 //!   estimate ± half-width, serialized to JSON (with the full metrics
 //!   snapshot embedded) for `BENCH_*.json`-style comparison.
+//! * **Sampling-health events** ([`ProgressEvent`], [`AnomalyEvent`]) —
+//!   a JSONL stream of the run's *statistical* health: merge-stride
+//!   convergence records (running mean, CI half-width, early-termination
+//!   eligibility, per-shard lag) and per-point anomaly records. The sink
+//!   is installed by [`set_events_path`] (the `--events` flag) or the
+//!   `TELEMETRY_EVENTS` environment variable; `spectral-doctor` ingests
+//!   the stream. [`chrome_trace`] converts span/event JSONL into a
+//!   Chrome `trace_event` document for <https://ui.perfetto.dev>.
 //!
 //! ## Zero cost when disabled
 //!
@@ -41,17 +49,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod events;
 mod json;
 mod manifest;
 mod metrics;
+mod perfetto;
 mod span;
 
+pub use events::{
+    events_from_env, events_on, flush_events, next_run_seq, set_events_path, AnomalyEvent,
+    ProgressEvent,
+};
 pub use json::{number as json_number, quote as json_quote, JsonError, JsonValue};
 pub use manifest::{EstimateSummary, Phase, RunManifest};
 pub use metrics::{
     reset, snapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Stopwatch,
     HISTOGRAM_BUCKETS,
 };
+pub use perfetto::chrome_trace;
 pub use span::{flush_trace, set_trace_path, span, trace_from_env, tracing, Span};
 
 /// Whether telemetry was compiled in (the `enabled` feature).

@@ -82,9 +82,9 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile
-    /// (`0.0 ..= 1.0`) of the recorded distribution; `None` when empty.
-    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+    /// The bucket index and 1-based rank of the `q`-quantile
+    /// (`0.0 ..= 1.0`); `None` when empty.
+    fn quantile_bucket(&self, q: f64) -> Option<(usize, u64)> {
         if self.count == 0 {
             return None;
         }
@@ -93,10 +93,39 @@ impl HistogramSnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Some(Self::bucket_range(i).1);
+                return Some((i, rank));
             }
         }
-        Some(u64::MAX)
+        Some((HISTOGRAM_BUCKETS - 1, rank))
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`) of the recorded distribution; `None` when empty.
+    ///
+    /// Log₂ buckets are wide, so this bound can overstate the true
+    /// quantile by up to 2×; use [`quantile`](Self::quantile) for an
+    /// interpolated estimate.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        self.quantile_bucket(q).map(|(i, _)| Self::bucket_range(i).1)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), linearly interpolated within
+    /// its log₂ bucket by rank position; `None` when empty.
+    ///
+    /// With all observations in one bucket the estimate walks from the
+    /// bucket's lower edge to its upper edge as `q` goes to 1, instead
+    /// of pinning every quantile to the upper edge the way
+    /// [`quantile_bound`](Self::quantile_bound) does.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let (i, rank) = self.quantile_bucket(q)?;
+        let in_bucket = self.buckets[i];
+        let before: u64 = self.buckets[..i].iter().sum();
+        let (lo, hi) = Self::bucket_range(i);
+        if in_bucket == 0 {
+            return Some(hi as f64);
+        }
+        let position = (rank - before) as f64 / in_bucket as f64;
+        Some(lo as f64 + (hi - lo) as f64 * position)
     }
 }
 
@@ -125,8 +154,11 @@ impl MetricsSnapshot {
     }
 
     /// Serialize as a JSON object: `{"counters": {...}, "gauges": {...},
-    /// "histograms": {name: {count, sum, mean, p50, p99, buckets}},
-    /// "spans": {name: {count, total_ns}}}`. Histogram `buckets` is a
+    /// "histograms": {name: {count, sum, mean, p50, p99, p50_ub, p99_ub,
+    /// buckets}}, "spans": {name: {count, total_ns}}}`. `p50`/`p99` are
+    /// within-bucket interpolated quantiles ([`HistogramSnapshot::quantile`]);
+    /// `p50_ub`/`p99_ub` are the raw bucket upper bounds the pre-v2
+    /// `p50`/`p99` fields used to report. Histogram `buckets` is a
     /// sparse `{"<index>": count}` map of non-empty buckets.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{");
@@ -151,11 +183,14 @@ impl MetricsSnapshot {
             }
             let _ = write!(
                 s,
-                "{}:{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":{{",
+                "{}:{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p99\":{},\
+                 \"p50_ub\":{},\"p99_ub\":{},\"buckets\":{{",
                 crate::json::quote(name),
                 h.count,
                 h.sum,
                 crate::json::number(h.mean()),
+                crate::json::number(h.quantile(0.50).unwrap_or(0.0)),
+                crate::json::number(h.quantile(0.99).unwrap_or(0.0)),
                 h.quantile_bound(0.50).unwrap_or(0),
                 h.quantile_bound(0.99).unwrap_or(0),
             );
@@ -535,6 +570,67 @@ mod tests {
             assert_eq!(HistogramSnapshot::bucket_of(lo), i);
             assert_eq!(HistogramSnapshot::bucket_of(hi), i);
         }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        let mut h = HistogramSnapshot::new();
+        // 100 observations, all in bucket [512, 1023]: the raw bucket
+        // bound pins every quantile to 1023, overstating by up to 2x.
+        for _ in 0..100 {
+            h.record(700);
+        }
+        assert_eq!(h.quantile_bound(0.50), Some(1023));
+        let p50 = h.quantile(0.50).unwrap();
+        assert!((p50 - 767.5).abs() < 1e-9, "rank 50/100 sits mid-bucket, got {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 < p99 && p99 < 1023.0, "p99 {p99} interpolates below the bucket edge");
+        assert_eq!(h.quantile(1.0), Some(1023.0), "p100 is the bucket's upper edge");
+    }
+
+    #[test]
+    fn quantile_walks_buckets() {
+        let mut h = HistogramSnapshot::new();
+        for v in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            h.record(v);
+        }
+        // Ten singleton buckets: each decile exhausts its bucket, so the
+        // estimate is that bucket's upper edge, and deciles are strictly
+        // increasing across buckets.
+        assert_eq!(h.quantile(0.1), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(31.0), "rank 5 exhausts the [16,31] bucket");
+        assert_eq!(h.quantile(1.0), Some(1023.0));
+        let deciles: Vec<f64> = (1..=10).map(|d| h.quantile(d as f64 / 10.0).unwrap()).collect();
+        assert!(deciles.windows(2).all(|w| w[0] < w[1]), "monotonic deciles {deciles:?}");
+    }
+
+    #[test]
+    fn quantile_empty_and_zero() {
+        let h = HistogramSnapshot::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile_bound(0.5), None);
+        let mut h = HistogramSnapshot::new();
+        h.record(0);
+        assert_eq!(h.quantile(0.99), Some(0.0));
+        assert_eq!(h.quantile_bound(0.99), Some(0));
+    }
+
+    #[test]
+    fn snapshot_json_reports_both_quantile_forms() {
+        let mut h = HistogramSnapshot::new();
+        for _ in 0..10 {
+            h.record(700);
+        }
+        let snap = MetricsSnapshot {
+            histograms: vec![("test.hist".into(), h)],
+            ..MetricsSnapshot::default()
+        };
+        let doc = crate::json::JsonValue::parse(&snap.to_json()).expect("valid JSON");
+        let hist = doc.get("histograms").and_then(|o| o.get("test.hist")).expect("histogram");
+        let p50 = hist.get("p50").and_then(crate::json::JsonValue::as_f64).unwrap();
+        assert!(p50 < 1023.0, "p50 {p50} must be interpolated");
+        assert_eq!(hist.get("p50_ub").and_then(crate::json::JsonValue::as_u64), Some(1023));
+        assert_eq!(hist.get("p99_ub").and_then(crate::json::JsonValue::as_u64), Some(1023));
     }
 
     #[cfg(feature = "enabled")]

@@ -1,0 +1,178 @@
+//! Perfetto / Chrome `trace_event` export: convert the JSONL span trace
+//! (and, when interleaved, sampling-health events) into a JSON document
+//! that opens directly in <https://ui.perfetto.dev> or
+//! `chrome://tracing`.
+//!
+//! Mapping:
+//!
+//! * `span` records become complete events (`"ph":"X"`) with the span's
+//!   open offset and duration, one track per recorded thread ordinal;
+//! * `progress` records become counter events (`"ph":"C"`) charting the
+//!   relative CI half-width and merged point count over time;
+//! * `anomaly` records become instant events (`"ph":"i"`) on the
+//!   emitting worker's track, carrying the point id and fired tests.
+//!
+//! This module is a pure transformation over artifacts on disk, so it
+//! is compiled in both telemetry build modes (like the manifest and
+//! JSON layers, it is never hot).
+
+use std::fmt::Write as _;
+
+use crate::json::{quote, JsonError, JsonValue};
+
+/// Convert one JSONL trace/event stream into a Chrome `trace_event`
+/// JSON document (the `{"traceEvents": [...]}` object form).
+///
+/// Lines that are not JSON objects or carry an unknown `type` are
+/// skipped, so mixed or partially-written streams still convert; a line
+/// that fails to parse at all is an error carrying its line number.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] (offset = 1-based line number) when a
+/// non-empty line is not valid JSON.
+pub fn chrome_trace(jsonl: &str) -> Result<String, JsonError> {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for (lineno, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = JsonValue::parse(line).map_err(|e| JsonError {
+            offset: lineno + 1,
+            message: format!("line {}: {}", lineno + 1, e.message),
+        })?;
+        let event = match doc.get("type").and_then(JsonValue::as_str) {
+            Some("span") => span_event(&doc),
+            Some("progress") => progress_event(&doc),
+            Some("anomaly") => anomaly_event(&doc),
+            _ => None,
+        };
+        if let Some(event) = event {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&event);
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    Ok(out)
+}
+
+fn u64_field(doc: &JsonValue, key: &str) -> u64 {
+    doc.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+fn f64_field(doc: &JsonValue, key: &str) -> f64 {
+    doc.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0)
+}
+
+fn span_event(doc: &JsonValue) -> Option<String> {
+    let name = doc.get("name").and_then(JsonValue::as_str)?;
+    Some(format!(
+        "{{\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\
+         \"tid\":{},\"args\":{{\"depth\":{}}}}}",
+        quote(name),
+        u64_field(doc, "t_us"),
+        u64_field(doc, "dur_us"),
+        u64_field(doc, "tid"),
+        u64_field(doc, "depth"),
+    ))
+}
+
+fn progress_event(doc: &JsonValue) -> Option<String> {
+    let run = doc.get("run").and_then(JsonValue::as_str)?;
+    let config = doc.get("config").and_then(JsonValue::as_u64);
+    let mut series = format!("{run} rel_half_width");
+    if let Some(c) = config {
+        let _ = write!(series, " [config {c}]");
+    }
+    // Counter events chart the convergence trajectory on its own track.
+    Some(format!(
+        "{{\"name\":{},\"cat\":\"health\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+         \"args\":{{\"rel_half_width\":{},\"n\":{}}}}}",
+        quote(&series),
+        u64_field(doc, "t_us"),
+        crate::json::number(f64_field(doc, "rel_half_width")),
+        u64_field(doc, "n"),
+    ))
+}
+
+fn anomaly_event(doc: &JsonValue) -> Option<String> {
+    let run = doc.get("run").and_then(JsonValue::as_str)?;
+    let kinds: Vec<&str> = doc
+        .get("kinds")
+        .and_then(JsonValue::as_arr)
+        .map(|a| a.iter().filter_map(JsonValue::as_str).collect())
+        .unwrap_or_default();
+    Some(format!(
+        "{{\"name\":{},\"cat\":\"health\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\
+         \"tid\":{},\"args\":{{\"point\":{},\"cpi\":{},\"sigmas\":{}}}}}",
+        quote(&format!("{run} anomaly: {}", kinds.join("+"))),
+        u64_field(doc, "t_us"),
+        u64_field(doc, "worker"),
+        u64_field(doc, "point"),
+        crate::json::number(f64_field(doc, "cpi")),
+        crate::json::number(f64_field(doc, "sigmas")),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = concat!(
+        "{\"type\":\"span\",\"name\":\"run.online\",\"tid\":2,\"depth\":1,",
+        "\"t_us\":1234,\"dur_us\":56}\n",
+        "\n",
+        "{\"type\":\"progress\",\"run\":\"online\",\"metric\":\"cpi\",\"t_us\":1300,",
+        "\"worker\":0,\"config\":null,\"n\":40,\"mean\":1.3,\"half_width\":0.1,",
+        "\"rel_half_width\":0.07,\"target_rel_err\":0.03,\"eligible\":false,",
+        "\"rel_half_width_95\":0.05,\"eligible_95\":false,\"shard_points\":40}\n",
+        "{\"type\":\"anomaly\",\"run\":\"online\",\"t_us\":1400,\"worker\":1,",
+        "\"point\":17,\"detail_start\":1,\"measure_start\":2,",
+        "\"kinds\":[\"cpi_outlier\"],\"cpi\":2.3,\"mean\":1.3,\"std_dev\":0.2,",
+        "\"sigmas\":5.0,\"decode_ns\":100,\"simulate_ns\":200}\n",
+        "{\"type\":\"unknown_future_record\"}\n",
+    );
+
+    #[test]
+    fn converts_all_record_types() {
+        let chrome = chrome_trace(TRACE).expect("valid stream");
+        let doc = JsonValue::parse(&chrome).expect("output is valid JSON");
+        let events = doc.get("traceEvents").and_then(JsonValue::as_arr).expect("traceEvents");
+        assert_eq!(events.len(), 3, "unknown record types are skipped");
+        assert_eq!(events[0].get("ph").and_then(JsonValue::as_str), Some("X"));
+        assert_eq!(events[0].get("ts").and_then(JsonValue::as_u64), Some(1234));
+        assert_eq!(events[0].get("dur").and_then(JsonValue::as_u64), Some(56));
+        assert_eq!(events[1].get("ph").and_then(JsonValue::as_str), Some("C"));
+        assert_eq!(
+            events[1].get("args").and_then(|a| a.get("rel_half_width")).and_then(JsonValue::as_f64),
+            Some(0.07)
+        );
+        assert_eq!(events[2].get("ph").and_then(JsonValue::as_str), Some("i"));
+        assert_eq!(
+            events[2].get("name").and_then(JsonValue::as_str),
+            Some("online anomaly: cpi_outlier")
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_valid() {
+        let chrome = chrome_trace("").expect("empty stream");
+        let doc = JsonValue::parse(&chrome).expect("valid JSON");
+        assert!(doc.get("traceEvents").and_then(JsonValue::as_arr).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_line_reports_line_number() {
+        let e = chrome_trace(
+            "{\"type\":\"span\",\"name\":\"a\",\"t_us\":1,\"dur_us\":1,\
+                              \"tid\":0,\"depth\":0}\nnot json\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.offset, 2);
+        assert!(e.message.contains("line 2"), "{}", e.message);
+    }
+}

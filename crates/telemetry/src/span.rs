@@ -40,6 +40,13 @@ mod imp {
         *EPOCH.get_or_init(Instant::now)
     }
 
+    /// Microseconds since the first telemetry event in the process —
+    /// the shared timebase of the span trace and the sampling-health
+    /// event stream.
+    pub(crate) fn now_us() -> u64 {
+        u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
     /// Whether a JSONL trace sink is installed.
     #[inline]
     pub fn tracing() -> bool {
@@ -177,7 +184,7 @@ mod imp {
 pub use imp::{flush_trace, set_trace_path, span, trace_from_env, tracing, Span};
 
 #[cfg(feature = "enabled")]
-pub(crate) use imp::{aggregates, reset_aggregates};
+pub(crate) use imp::{aggregates, now_us, reset_aggregates};
 
 #[cfg(all(test, feature = "enabled"))]
 mod tests {

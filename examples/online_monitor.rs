@@ -10,6 +10,11 @@
 //! simulator bugs": after only ~100 live-points the interval is tight
 //! enough to spot gross performance regressions. To show that, the
 //! monitor also runs a deliberately mis-configured machine and flags it.
+//!
+//! The run also demonstrates the sampling-health event stream: it
+//! installs an `--events`-style sink, and afterwards replays the
+//! `progress` and `anomaly` records a live dashboard (or
+//! `spectral-doctor`) would consume.
 
 use std::error::Error;
 
@@ -26,6 +31,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("building library for {}…", bench.name());
     let config = CreationConfig::for_machine(&machine).with_sample_size(400);
     let library = LivePointLibrary::create(&program, &config)?;
+
+    // Install a sampling-health event sink: every merge stride appends
+    // a JSONL progress record, every outlier point an anomaly record.
+    let events_path = std::env::temp_dir().join("online_monitor_events.jsonl");
+    spectral::telemetry::set_events_path(&events_path)?;
 
     // Fine-grained trajectory = the "online monitor" feed.
     let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 25, ..RunPolicy::default() };
@@ -58,5 +68,21 @@ fn main() -> Result<(), Box<dyn Error>> {
             "no significant difference"
         }
     );
+
+    // Replay the event stream the runs just emitted — the same feed a
+    // live dashboard would tail, and what `spectral-doctor` diagnoses.
+    spectral::telemetry::flush_events();
+    let text = std::fs::read_to_string(&events_path)?;
+    let (progress, anomalies): (Vec<&str>, Vec<&str>) =
+        text.lines().filter(|l| !l.is_empty()).partition(|l| l.contains("\"type\":\"progress\""));
+    println!("\nsampling-health event stream ({}):", events_path.display());
+    println!("  {} progress records, {} anomaly records", progress.len(), anomalies.len());
+    for line in progress.iter().take(3) {
+        println!("  {line}");
+    }
+    if let Some(line) = anomalies.first() {
+        println!("  {line}");
+    }
+    println!("  diagnose with: spectral-doctor --events {}", events_path.display());
     Ok(())
 }
