@@ -1,0 +1,163 @@
+//! Scheduler benchmark: static striding vs the dynamic chunk-claiming
+//! scheduler on a deliberately cost-skewed workload.
+//!
+//! The fixture is a phased benchmark whose first half streams cheaply
+//! and whose second half pointer-chases — live-points drawn from the
+//! two phases differ sharply in simulation cost, which is exactly the
+//! skew static index striding cannot rebalance. Both scheduling modes
+//! run the identical exhaustive online estimate (the differential suite
+//! pins them bit-identical), so every wall-clock difference here is
+//! scheduling, not work.
+//!
+//! Writes `BENCH_sched.json` at the workspace root: per-mode throughput
+//! at each honest worker count plus the dynamic-vs-static speedup map
+//! the CI perf-smoke gate consumes. Worker counts beyond the host's
+//! cores are skipped and the record is flagged `"degraded": true` —
+//! single-core speedups measure interleaving, not scheduling, and the
+//! gate must not fail on them. Set `SPECTRAL_BENCH_QUICK=1` for the CI
+//! smoke run (fewer samples, smaller library).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use spectral_core::{CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy, SchedMode};
+use spectral_uarch::MachineConfig;
+use spectral_workloads::{Benchmark, Kernel, Schedule};
+
+// The 1-worker row measures pure scheduler overhead (no contention, no
+// stealing) and keeps degraded single-core hosts producing data; real
+// scheduling comparisons start at 2.
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn quick() -> bool {
+    std::env::var_os("SPECTRAL_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn points() -> u64 {
+    if quick() {
+        16
+    } else {
+        32
+    }
+}
+
+/// Phased cheap/expensive mix: streaming first half, pointer-chasing
+/// second half. Phased scheduling (not interleaved) is what makes the
+/// per-point cost distribution bimodal.
+fn skewed_benchmark() -> Benchmark {
+    Benchmark::new(
+        "sched-skew",
+        "phased cheap-stream / expensive-chase mix for scheduler benchmarks",
+        vec![Kernel::StreamSum { words: 256 }, Kernel::PointerChase { nodes: 1 << 16, hops: 800 }],
+        Schedule::Phased,
+        150_000,
+        3,
+    )
+}
+
+/// Worker counts the host can actually run concurrently (see the
+/// scaling bench for the rationale).
+fn honest_workers() -> Vec<usize> {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (run, skipped): (Vec<usize>, Vec<usize>) = WORKERS.iter().partition(|&&w| w <= host);
+    if !skipped.is_empty() {
+        eprintln!(
+            "warning: host exposes only {host} core(s); skipping oversubscribed worker counts \
+             {skipped:?} — sched numbers from this host are DEGRADED (the JSON output carries \
+             \"degraded\": true)"
+        );
+    }
+    run
+}
+
+fn policy(sched: SchedMode) -> RunPolicy {
+    RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, sched, ..RunPolicy::default() }
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let workers = honest_workers();
+    let program = skewed_benchmark().build();
+    let machine = MachineConfig::eight_way();
+    let cfg = CreationConfig::for_machine(&machine).with_sample_size(points());
+    let library = LivePointLibrary::create(&program, &cfg).expect("skewed library");
+    let n_points = library.len() as u64;
+    let runner = OnlineRunner::new(&library, machine);
+    let samples = if quick() { 5 } else { 10 };
+
+    for (name, sched) in
+        [("sched_static", SchedMode::StaticStride), ("sched_dynamic", SchedMode::DynamicChunk)]
+    {
+        let policy = policy(sched);
+        let mut group = c.benchmark_group(name);
+        group.sample_size(samples).throughput(Throughput::Elements(n_points));
+        for &threads in &workers {
+            group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+                b.iter(|| runner.run_parallel(&program, &policy, t).expect("run"));
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Render the result table plus the dynamic-vs-static speedup map the
+/// CI gate consumes.
+fn emit_json(c: &Criterion) -> String {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let skipped: Vec<usize> = WORKERS.iter().copied().filter(|&w| w > host).collect();
+    let medians: BTreeMap<&str, f64> =
+        c.results().iter().map(|r| (r.id.as_str(), r.median_s)).collect();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_parallelism\": {host},");
+    let _ = writeln!(json, "  \"degraded\": {},", !skipped.is_empty());
+    let _ = writeln!(
+        json,
+        "  \"workers_skipped_oversubscribed\": [{}],",
+        skipped.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(json, "  \"quick\": {},", quick());
+    let _ = writeln!(json, "  \"points\": {},", points());
+    json.push_str("  \"throughput_points_per_s\": {\n");
+    let mut first = true;
+    for r in c.results() {
+        let rate = match r.throughput {
+            Some(Throughput::Elements(n)) => n as f64 / r.median_s,
+            Some(Throughput::Bytes(n)) => n as f64 / r.median_s,
+            None => 1.0 / r.median_s,
+        };
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(json, "    \"{}\": {rate:.1}", r.id);
+    }
+    json.push_str("\n  },\n");
+    // speedup > 1 means the dynamic scheduler beat static striding.
+    json.push_str("  \"speedup_dynamic_vs_static\": {\n");
+    let mut first = true;
+    for &threads in WORKERS.iter().filter(|&&w| w <= host) {
+        let stat = medians.get(format!("sched_static/{threads}").as_str()).copied();
+        let dynm = medians.get(format!("sched_dynamic/{threads}").as_str()).copied();
+        if let (Some(s), Some(d)) = (stat, dynm) {
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(json, "    \"{threads}\": {:.4}", s / d);
+        }
+    }
+    json.push_str("\n  }\n}\n");
+    json
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_sched(&mut criterion);
+    let json = emit_json(&criterion);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

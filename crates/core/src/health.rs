@@ -45,6 +45,7 @@ pub(crate) struct HealthMonitor {
     worker: usize,
     detector: AnomalyDetector,
     points: u64,
+    busy_ns: u64,
 }
 
 impl HealthMonitor {
@@ -61,6 +62,7 @@ impl HealthMonitor {
             worker,
             detector: AnomalyDetector::new(policy.anomaly_sigma),
             points: 0,
+            busy_ns: 0,
         }
     }
 
@@ -71,6 +73,7 @@ impl HealthMonitor {
             return;
         }
         self.points += 1;
+        self.busy_ns += meta.decode_ns + meta.simulate_ns;
         // Snapshot the running estimate *before* the observation is
         // folded in — the record shows what the detector compared
         // against.
@@ -115,8 +118,10 @@ impl HealthMonitor {
     /// Emit one merge-stride progress record for the merged estimate
     /// `(n, mean, half_width, half_width_95)`. `comparison_mean` is the
     /// relative-error denominator — the mean itself for absolute
-    /// estimates, the base-machine mean for matched deltas. No-op
-    /// (single branch) when unsubscribed.
+    /// estimates, the base-machine mean for matched deltas. `overshoot`
+    /// is the exact count of points processed past the stop condition
+    /// (non-zero only on a run's closing record). No-op (single branch)
+    /// when unsubscribed.
     #[allow(clippy::too_many_arguments)]
     pub fn progress(
         &self,
@@ -128,6 +133,7 @@ impl HealthMonitor {
         half_width_95: f64,
         comparison_mean: f64,
         policy: &RunPolicy,
+        overshoot: u64,
     ) {
         if !self.on {
             return;
@@ -151,6 +157,8 @@ impl HealthMonitor {
             rel_half_width_95,
             eligible_95: floor && rel_half_width_95 <= policy.target_rel_err,
             shard_points: self.points,
+            shard_busy_ns: self.busy_ns,
+            overshoot,
         }
         .emit();
     }

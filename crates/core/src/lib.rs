@@ -27,7 +27,10 @@
 //!   comparable by construction,
 //! * parallel processing over [`std::thread::scope`]d workers with
 //!   sharded, low-contention accumulation — live-point independence
-//!   makes this embarrassingly parallel.
+//!   makes this embarrassingly parallel. Work is distributed by a
+//!   dynamic chunk-claiming scheduler with decode-ahead prefetch
+//!   ([`ChunkCursor`], [`SchedMode`]); exhaustive parallel runs replay
+//!   observations in index order and are bit-identical to serial runs.
 //!
 //! ## Example
 //!
@@ -65,6 +68,7 @@ mod livestate;
 mod matched;
 mod plan;
 mod runner;
+mod sched;
 mod stratified;
 mod sweep;
 
@@ -76,5 +80,6 @@ pub use livestate::{collect_live_state, LiveState, StateScope};
 pub use matched::{MatchedOutcome, MatchedRunner};
 pub use plan::{plan_library, LibraryPlan};
 pub use runner::{simulate_live_point, Estimate, OnlineRunner, RunPolicy};
+pub use sched::{ChunkCursor, SchedMode};
 pub use stratified::{StratifiedEstimate, StratifiedRunner};
 pub use sweep::{SweepOutcome, SweepRunner};

@@ -5,17 +5,22 @@ use std::sync::atomic::Ordering;
 
 use spectral_isa::Program;
 use spectral_stats::{Confidence, MatchedPair, MIN_SAMPLE_SIZE};
+use spectral_telemetry::Stopwatch;
 use spectral_uarch::MachineConfig;
 
 use crate::error::CoreError;
 use crate::health::{HealthMonitor, PointMeta};
 use crate::library::{DecodeScratch, LivePointLibrary};
-use crate::runner::{decode_point, note_early_stop, simulate_point, RunPolicy, ShardCoordinator};
+use crate::runner::{
+    decode_point, note_early_stop, overshoot_of, simulate_point, RunPolicy, ShardCoordinator,
+};
+use crate::sched::{ChunkLog, PrefetchRing, WorkQueue};
 
 /// Emit one matched-run progress record from the merged pair state
 /// (metric `delta_cpi`; relative error is the delta half-width over the
-/// base-machine mean, matching the §6.2 termination rule).
-fn emit_progress(monitor: &HealthMonitor, pair: &MatchedPair, policy: &RunPolicy) {
+/// base-machine mean, matching the §6.2 termination rule). `overshoot`
+/// is non-zero only on the run's closing record.
+fn emit_progress(monitor: &HealthMonitor, pair: &MatchedPair, policy: &RunPolicy, overshoot: u64) {
     monitor.progress(
         "delta_cpi",
         None,
@@ -25,6 +30,7 @@ fn emit_progress(monitor: &HealthMonitor, pair: &MatchedPair, policy: &RunPolicy
         pair.delta_half_width(Confidence::C95),
         pair.base().mean(),
         policy,
+        overshoot,
     );
 }
 
@@ -119,6 +125,7 @@ impl<'l> MatchedRunner<'l> {
         let limit = policy.max_points.unwrap_or(usize::MAX).min(self.library.len());
         let mut pair = MatchedPair::new();
         let mut reached = false;
+        let mut reached_at = 0u64;
         let mut processed = 0;
         let mut scratch = DecodeScratch::new();
         let mut monitor =
@@ -143,7 +150,7 @@ impl<'l> MatchedRunner<'l> {
             );
             processed += 1;
             if processed % progress_stride == 0 {
-                emit_progress(&monitor, &pair, policy);
+                emit_progress(&monitor, &pair, policy, 0);
             }
             let base_mean = pair.base().mean();
             if !reached
@@ -152,14 +159,16 @@ impl<'l> MatchedRunner<'l> {
                 && pair.delta_half_width(policy.confidence) <= policy.target_rel_err * base_mean
             {
                 reached = true;
-                note_early_stop(pair.count());
+                reached_at = pair.count();
+                note_early_stop(reached_at);
             }
             if reached && policy.stop_at_target {
                 break;
             }
         }
-        if processed % progress_stride != 0 {
-            emit_progress(&monitor, &pair, policy);
+        let overshoot = overshoot_of(reached, reached_at, processed as u64);
+        if processed % progress_stride != 0 || overshoot > 0 {
+            emit_progress(&monitor, &pair, policy, overshoot);
         }
         Ok(MatchedOutcome {
             pair,
@@ -169,15 +178,16 @@ impl<'l> MatchedRunner<'l> {
         })
     }
 
-    /// Parallel matched-pair run on the sharded machinery of
+    /// Parallel matched-pair run on the scheduling machinery of
     /// [`OnlineRunner::run_parallel`](crate::OnlineRunner::run_parallel):
-    /// worker `w` owns the index stride `w, w+T, …`, simulates each
-    /// live-point under both machines, accumulates into a thread-local
-    /// [`MatchedPair`], and merges into the shared state every
+    /// workers claim index chunks per [`RunPolicy::sched`], decode each
+    /// live-point once (up to [`RunPolicy::prefetch`] points ahead),
+    /// simulate it under both machines, and merge thread-local
+    /// [`MatchedPair`] batches into the shared state every
     /// [`RunPolicy::merge_stride`] pairs; the early-termination check
-    /// runs on the merged delta interval. The final outcome merges the
-    /// per-worker shards in worker order, so an exhaustive run is
-    /// deterministic run-to-run.
+    /// runs on the merged delta interval. Raw `(base, experiment)` CPI
+    /// pairs are logged per chunk and replayed in ascending index order
+    /// after the join, so an exhaustive run is bit-identical to serial.
     ///
     /// # Errors
     ///
@@ -197,6 +207,7 @@ impl<'l> MatchedRunner<'l> {
         let threads = threads.clamp(1, limit);
         let merge_stride = policy.merge_stride.max(1) as u64;
         let coord: ShardCoordinator<MatchedPair> = ShardCoordinator::new();
+        let cursor = policy.cursor(limit, threads);
 
         let flush = |batch: &mut MatchedPair, monitor: &HealthMonitor| {
             let snapshot = {
@@ -205,84 +216,113 @@ impl<'l> MatchedRunner<'l> {
                 *merged
             };
             *batch = MatchedPair::new();
-            emit_progress(monitor, &snapshot, policy);
+            emit_progress(monitor, &snapshot, policy, 0);
             let base_mean = snapshot.base().mean();
-            if snapshot.count() >= MIN_SAMPLE_SIZE
-                && base_mean > 0.0
-                && snapshot.delta_half_width(policy.confidence) <= policy.target_rel_err * base_mean
-            {
-                if !coord.reached.swap(true, Ordering::Relaxed) {
-                    note_early_stop(snapshot.count());
-                }
+            if base_mean > 0.0 {
+                let rel = snapshot.delta_half_width(policy.confidence) / base_mean;
                 if policy.stop_at_target {
-                    coord.stop.store(true, Ordering::Relaxed);
+                    if let Some(cursor) = &cursor {
+                        cursor.note_rel_error(rel, policy.target_rel_err);
+                    }
+                }
+                if snapshot.count() >= MIN_SAMPLE_SIZE && rel <= policy.target_rel_err {
+                    coord.note_reached(snapshot.count(), policy);
                 }
             }
         };
 
         let seq = spectral_telemetry::next_run_seq();
-        let shards: Vec<MatchedPair> = std::thread::scope(|scope| {
+        let logs: Vec<ChunkLog<(f64, f64)>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for worker in 0..threads {
                 let coord = &coord;
+                let cursor = cursor.as_ref();
                 let flush = &flush;
                 handles.push(scope.spawn(move || {
-                    let mut shard = MatchedPair::new();
+                    let wall = Stopwatch::start();
+                    let mut busy = 0u64;
+                    let mut log = ChunkLog::new();
                     let mut batch = MatchedPair::new();
                     let mut scratch = DecodeScratch::new();
+                    let mut ring = PrefetchRing::new(policy.prefetch);
                     let mut monitor = HealthMonitor::new(seq, "matched", worker, policy);
-                    let mut index = worker;
-                    while index < limit && !coord.stop.load(Ordering::Relaxed) {
-                        let outcome = decode_point(self.library, index, &mut scratch).and_then(
-                            |(lp, decode_ns)| {
-                                let (base, base_ns) = simulate_point(&lp, program, &self.base)?;
-                                let (exp, exp_ns) = simulate_point(&lp, program, &self.experiment)?;
-                                let meta = PointMeta {
-                                    decode_ns,
-                                    simulate_ns: base_ns + exp_ns,
-                                    detail_start: lp.window.detail_start,
-                                    measure_start: lp.window.measure_start,
-                                };
-                                Ok((base.cpi(), exp.cpi(), meta))
-                            },
-                        );
-                        match outcome {
-                            Ok((base, exp, meta)) => {
-                                shard.push(base, exp);
-                                batch.push(base, exp);
-                                monitor.observe(index as u64, base, &meta);
-                                if batch.count() >= merge_stride {
-                                    flush(&mut batch, &monitor);
-                                }
+                    let mut queue = match cursor {
+                        Some(c) => WorkQueue::chunked(c, worker),
+                        None => WorkQueue::stride(worker, threads, limit),
+                    };
+                    'chunks: while !coord.stop.load(Ordering::Relaxed) {
+                        let Some(chunk) = queue.next_chunk() else { break };
+                        log.begin(chunk.start, chunk.len());
+                        let mut pending = chunk.clone();
+                        for index in chunk {
+                            if coord.stop.load(Ordering::Relaxed) {
+                                ring.clear();
+                                break 'chunks;
                             }
-                            Err(e) => {
+                            if let Err(e) = ring.fill(self.library, &mut pending, &mut scratch) {
                                 coord.fail(e);
-                                break;
+                                break 'chunks;
+                            }
+                            let (lp, decode_ns) = ring.pop().expect("ring holds the current index");
+                            let outcome = simulate_point(&lp, program, &self.base).and_then(
+                                |(base, base_ns)| {
+                                    let (exp, exp_ns) =
+                                        simulate_point(&lp, program, &self.experiment)?;
+                                    Ok((base.cpi(), exp.cpi(), base_ns + exp_ns))
+                                },
+                            );
+                            let (base, exp, simulate_ns) = match outcome {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    coord.fail(e);
+                                    break 'chunks;
+                                }
+                            };
+                            log.push((base, exp));
+                            batch.push(base, exp);
+                            busy += decode_ns + simulate_ns;
+                            let meta = PointMeta {
+                                decode_ns,
+                                simulate_ns,
+                                detail_start: lp.window.detail_start,
+                                measure_start: lp.window.measure_start,
+                            };
+                            monitor.observe(index as u64, base, &meta);
+                            if batch.count() >= merge_stride {
+                                flush(&mut batch, &monitor);
                             }
                         }
-                        index += threads;
                     }
                     if batch.count() > 0 {
                         flush(&mut batch, &monitor);
                     }
-                    shard
+                    queue.finish();
+                    crate::sched::note_worker_time(busy, wall.ns());
+                    log
                 }));
             }
             handles.into_iter().map(|h| h.join().expect("worker threads do not panic")).collect()
         });
 
-        let (_, reached, fault) = coord.sorted_trajectory();
+        let (reached, stop_n, fault) = coord.finish();
         if let Some(e) = fault {
             return Err(e);
         }
+        // Deterministic reduction: replay pairs in ascending index
+        // order, exactly as the serial loop pushes them.
         let mut pair = MatchedPair::new();
-        for shard in &shards {
-            pair.merge(shard);
+        for (base, exp) in ChunkLog::into_ordered(logs) {
+            pair.push(base, exp);
         }
+        // Close the event stream with the replayed state and the exact
+        // overshoot past the stop point.
+        let monitor = HealthMonitor::new(seq, "matched", 0, policy);
+        emit_progress(&monitor, &pair, policy, overshoot_of(reached, stop_n, pair.count()));
+        let processed = pair.count() as usize;
         Ok(MatchedOutcome {
             pair,
             confidence: policy.confidence,
-            processed: pair.count() as usize,
+            processed,
             reached_target: reached,
         })
     }

@@ -1,7 +1,7 @@
 //! Live-point simulation: single points, and the random-order online
 //! runner (serial and parallel).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use spectral_isa::{Emulator, Program};
@@ -13,6 +13,7 @@ use crate::error::CoreError;
 use crate::health::{HealthMonitor, PointMeta};
 use crate::library::{DecodeScratch, LivePointLibrary};
 use crate::livepoint::LivePoint;
+use crate::sched::{ChunkCursor, ChunkLog, PrefetchRing, SchedMode, WorkQueue};
 
 // Runner metrics, shared by the online, matched-pair, and sweep
 // runners: where each processed point's time goes (record decode +
@@ -86,14 +87,17 @@ pub(crate) fn note_early_stop(count: u64) {
 }
 
 /// Cross-worker coordination for sharded parallel runs: the merged
-/// progress estimator (early termination + trajectory), the trajectory
-/// samples recorded at merge points, the stop/reached flags, and the
-/// first worker fault.
+/// progress estimator (early termination only — trajectories are
+/// regenerated from the deterministic index-ordered replay), the
+/// stop/reached flags, the merged count at the moment the target was
+/// first reached (for exact overshoot accounting), and the first
+/// worker fault.
 pub(crate) struct ShardCoordinator<P> {
     pub progress: Mutex<P>,
-    pub trajectory: Mutex<Vec<(u64, f64, f64)>>,
     pub stop: AtomicBool,
     pub reached: AtomicBool,
+    /// Merged point count when `reached` first flipped (0 = never).
+    pub stop_n: AtomicU64,
     pub fault: Mutex<Option<CoreError>>,
 }
 
@@ -107,9 +111,9 @@ impl<P> ShardCoordinator<P> {
     pub fn with_progress(progress: P) -> Self {
         ShardCoordinator {
             progress: Mutex::new(progress),
-            trajectory: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
             reached: AtomicBool::new(false),
+            stop_n: AtomicU64::new(0),
             fault: Mutex::new(None),
         }
     }
@@ -124,6 +128,18 @@ impl<P> ShardCoordinator<P> {
         guard
     }
 
+    /// Record that the confidence target was first met with `count`
+    /// points merged, and stop all shards if the policy says so.
+    pub fn note_reached(&self, count: u64, policy: &RunPolicy) {
+        if !self.reached.swap(true, Ordering::Relaxed) {
+            note_early_stop(count);
+            self.stop_n.store(count, Ordering::Relaxed);
+        }
+        if policy.stop_at_target {
+            self.stop.store(true, Ordering::Relaxed);
+        }
+    }
+
     /// Record a worker fault and halt all shards.
     pub fn fail(&self, e: CoreError) {
         let mut guard = self.fault.lock().expect("fault lock");
@@ -133,16 +149,24 @@ impl<P> ShardCoordinator<P> {
         self.stop.store(true, Ordering::Relaxed);
     }
 
-    /// Trajectory samples sorted by merged count, so the trajectory is
-    /// monotone in `n` regardless of worker completion order.
-    pub fn sorted_trajectory(self) -> (Vec<(u64, f64, f64)>, bool, Option<CoreError>) {
-        let mut trajectory = self.trajectory.into_inner().expect("trajectory lock");
-        trajectory.sort_by_key(|&(n, _, _)| n);
+    /// Tear down: `(reached, merged count at first eligibility, first
+    /// fault)`.
+    pub fn finish(self) -> (bool, u64, Option<CoreError>) {
         (
-            trajectory,
             self.reached.load(Ordering::Relaxed),
+            self.stop_n.load(Ordering::Relaxed),
             self.fault.into_inner().expect("fault lock"),
         )
+    }
+}
+
+/// Exact early-termination overshoot: points processed past the count
+/// at which the run first became eligible to stop.
+pub(crate) fn overshoot_of(reached: bool, stop_n: u64, total: u64) -> u64 {
+    if reached {
+        total.saturating_sub(stop_n)
+    } else {
+        0
     }
 }
 
@@ -190,9 +214,8 @@ pub struct RunPolicy {
     pub max_points: Option<usize>,
     /// Record a trajectory sample every this many points (for
     /// convergence plots; 0 disables the trajectory). Parallel runs
-    /// record the trajectory at shard-merge points instead (every
-    /// [`merge_stride`](Self::merge_stride) points per worker), keeping
-    /// it monotone in `n` without per-point synchronization.
+    /// regenerate the trajectory during the index-ordered replay after
+    /// the join, so it is identical to the serial trajectory.
     pub trajectory_stride: usize,
     /// Parallel-run merge cadence K: each worker accumulates this many
     /// points into a thread-local estimator before merging into the
@@ -210,6 +233,19 @@ pub struct RunPolicy {
     /// it first became eligible to stop — the doctor's
     /// wasted-points-past-convergence analysis needs that trajectory.
     pub stop_at_target: bool,
+    /// How parallel runs assign live-points to workers: dynamic chunk
+    /// claiming (the default) or the legacy static stride, retained for
+    /// A/B benchmarking. Results are bit-identical in both modes.
+    pub sched: SchedMode,
+    /// Base chunk size for dynamic claiming, in live-points (`0` =
+    /// auto: one [`merge_stride`](Self::merge_stride)). The scheduler
+    /// clamps it so every worker owns a non-empty first chunk, and
+    /// shrinks it adaptively as the run nears its confidence target.
+    pub chunk: usize,
+    /// Decode-ahead depth per worker, in live-points: how far LZSS
+    /// decompression + DER decode may run ahead of detailed simulation
+    /// within the current chunk (`0` = decode on demand).
+    pub prefetch: usize,
 }
 
 impl Default for RunPolicy {
@@ -222,7 +258,29 @@ impl Default for RunPolicy {
             merge_stride: 8,
             anomaly_sigma: 3.0,
             stop_at_target: true,
+            sched: SchedMode::DynamicChunk,
+            chunk: 0,
+            prefetch: 4,
         }
+    }
+}
+
+impl RunPolicy {
+    /// The dynamic scheduler's base chunk size: the explicit `chunk`
+    /// knob, or one merge stride when left on auto.
+    pub(crate) fn effective_chunk(&self) -> usize {
+        if self.chunk > 0 {
+            self.chunk
+        } else {
+            self.merge_stride.max(1)
+        }
+    }
+
+    /// The shared chunk cursor for a dynamic-mode parallel run, `None`
+    /// in static-stride mode.
+    pub(crate) fn cursor(&self, limit: usize, threads: usize) -> Option<ChunkCursor> {
+        (self.sched == SchedMode::DynamicChunk)
+            .then(|| ChunkCursor::new(limit, threads, self.effective_chunk()))
     }
 }
 
@@ -327,13 +385,14 @@ impl<'l> OnlineRunner<'l> {
         let mut estimator = OnlineEstimator::new();
         let mut trajectory = Vec::new();
         let mut reached = false;
+        let mut reached_at = 0u64;
         let limit = self.limit(policy);
-        let mut processed = 0;
+        let mut processed = 0usize;
         let mut scratch = DecodeScratch::new();
         let mut monitor =
             HealthMonitor::new(spectral_telemetry::next_run_seq(), "online", 0, policy);
         let progress_stride = policy.merge_stride.max(1);
-        let emit = |monitor: &HealthMonitor, est: &OnlineEstimator| {
+        let emit = |monitor: &HealthMonitor, est: &OnlineEstimator, overshoot: u64| {
             monitor.progress(
                 "cpi",
                 None,
@@ -343,6 +402,7 @@ impl<'l> OnlineRunner<'l> {
                 est.half_width(Confidence::C95),
                 est.mean(),
                 policy,
+                overshoot,
             );
         };
         for i in 0..limit {
@@ -352,31 +412,34 @@ impl<'l> OnlineRunner<'l> {
             estimator.push(cpi);
             monitor.observe(i as u64, cpi, &meta);
             processed += 1;
-            if policy.trajectory_stride > 0 && processed % policy.trajectory_stride == 0 {
+            if policy.trajectory_stride > 0 && processed.is_multiple_of(policy.trajectory_stride) {
                 trajectory.push((
                     processed as u64,
                     estimator.mean(),
                     estimator.half_width(policy.confidence),
                 ));
             }
-            if processed % progress_stride == 0 {
-                emit(&monitor, &estimator);
+            if processed.is_multiple_of(progress_stride) {
+                emit(&monitor, &estimator, 0);
             }
             if !reached
                 && estimator.count() >= MIN_SAMPLE_SIZE
                 && estimator.relative_half_width(policy.confidence) <= policy.target_rel_err
             {
                 reached = true;
-                note_early_stop(estimator.count());
+                reached_at = estimator.count();
+                note_early_stop(reached_at);
             }
             if reached && policy.stop_at_target {
                 break;
             }
         }
-        // Close the event stream on the final state when the run did not
-        // land exactly on a stride boundary.
-        if processed % progress_stride != 0 {
-            emit(&monitor, &estimator);
+        // Close the event stream on the final state: exact overshoot
+        // accounting, and a final record when the run did not land
+        // exactly on a stride boundary.
+        let overshoot = overshoot_of(reached, reached_at, processed as u64);
+        if !processed.is_multiple_of(progress_stride) || overshoot > 0 {
+            emit(&monitor, &estimator, overshoot);
         }
         Ok(Estimate {
             estimator,
@@ -391,15 +454,18 @@ impl<'l> OnlineRunner<'l> {
     /// makes this embarrassingly parallel; parallelism up to the sample
     /// size, §6).
     ///
-    /// Sharded, low-contention design: worker `w` owns the static index
-    /// stride `w, w+T, w+2T, …` and accumulates observations into a
-    /// thread-local [`OnlineEstimator`], merging into the shared
-    /// progress state only every [`RunPolicy::merge_stride`] points.
-    /// Half-width and trajectory computation happen *outside* the lock
-    /// on a copied snapshot; the early-termination check runs on the
-    /// merged state at each merge point. The final estimate merges the
-    /// per-worker shard estimators in worker order, so an exhaustive run
-    /// is deterministic run-to-run.
+    /// Scheduling follows [`RunPolicy::sched`]: by default workers
+    /// claim contiguous index chunks from a shared [`ChunkCursor`]
+    /// (work stealing with adaptive chunk sizing), decoding up to
+    /// [`RunPolicy::prefetch`] points ahead of detailed simulation.
+    /// Each worker accumulates observations into a thread-local batch,
+    /// merging into the shared progress state every
+    /// [`RunPolicy::merge_stride`] points; the early-termination check
+    /// runs on the merged state at each merge point. Raw observations
+    /// are logged per chunk and replayed in ascending index order into
+    /// a fresh estimator after the join, so an exhaustive parallel run
+    /// is **bit-identical** to the serial run — same mean, half-width,
+    /// and trajectory — in both scheduling modes.
     ///
     /// # Errors
     ///
@@ -419,83 +485,132 @@ impl<'l> OnlineRunner<'l> {
         let threads = threads.clamp(1, limit);
         let merge_stride = policy.merge_stride.max(1) as u64;
         let coord: ShardCoordinator<OnlineEstimator> = ShardCoordinator::new();
+        let cursor = policy.cursor(limit, threads);
         // One run ordinal for the whole parallel run: every worker's
         // events carry it so a consumer can group them.
         let seq = spectral_telemetry::next_run_seq();
 
-        let shards: Vec<OnlineEstimator> = std::thread::scope(|scope| {
+        let logs: Vec<ChunkLog<f64>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for worker in 0..threads {
                 let coord = &coord;
+                let cursor = cursor.as_ref();
                 handles.push(scope.spawn(move || {
-                    let mut shard = OnlineEstimator::new();
+                    let wall = Stopwatch::start();
+                    let mut busy = 0u64;
+                    let mut log = ChunkLog::new();
                     let mut batch = OnlineEstimator::new();
                     let mut scratch = DecodeScratch::new();
+                    let mut ring = PrefetchRing::new(policy.prefetch);
                     let mut monitor = HealthMonitor::new(seq, "online", worker, policy);
-                    let mut index = worker;
-                    while index < limit && !coord.stop.load(Ordering::Relaxed) {
-                        let outcome = process_point(
-                            self.library,
-                            index,
-                            program,
-                            &self.machine,
-                            &mut scratch,
-                        );
-                        match outcome {
-                            Ok((stats, meta)) => {
-                                let cpi = stats.cpi();
-                                shard.push(cpi);
-                                batch.push(cpi);
-                                monitor.observe(index as u64, cpi, &meta);
-                                if batch.count() >= merge_stride {
-                                    self.flush_batch(&mut batch, policy, coord, &monitor);
-                                }
+                    let mut queue = match cursor {
+                        Some(c) => WorkQueue::chunked(c, worker),
+                        None => WorkQueue::stride(worker, threads, limit),
+                    };
+                    'chunks: while !coord.stop.load(Ordering::Relaxed) {
+                        let Some(chunk) = queue.next_chunk() else { break };
+                        log.begin(chunk.start, chunk.len());
+                        let mut pending = chunk.clone();
+                        for index in chunk {
+                            if coord.stop.load(Ordering::Relaxed) {
+                                ring.clear();
+                                break 'chunks;
                             }
-                            Err(e) => {
+                            if let Err(e) = ring.fill(self.library, &mut pending, &mut scratch) {
                                 coord.fail(e);
-                                break;
+                                break 'chunks;
+                            }
+                            let (lp, decode_ns) = ring.pop().expect("ring holds the current index");
+                            let (stats, simulate_ns) =
+                                match simulate_point(&lp, program, &self.machine) {
+                                    Ok(r) => r,
+                                    Err(e) => {
+                                        coord.fail(e);
+                                        break 'chunks;
+                                    }
+                                };
+                            let cpi = stats.cpi();
+                            log.push(cpi);
+                            batch.push(cpi);
+                            busy += decode_ns + simulate_ns;
+                            let meta = PointMeta {
+                                decode_ns,
+                                simulate_ns,
+                                detail_start: lp.window.detail_start,
+                                measure_start: lp.window.measure_start,
+                            };
+                            monitor.observe(index as u64, cpi, &meta);
+                            if batch.count() >= merge_stride {
+                                self.flush_batch(&mut batch, policy, coord, &monitor, cursor);
                             }
                         }
-                        index += threads;
                     }
                     if batch.count() > 0 {
-                        self.flush_batch(&mut batch, policy, coord, &monitor);
+                        self.flush_batch(&mut batch, policy, coord, &monitor, cursor);
                     }
-                    shard
+                    queue.finish();
+                    crate::sched::note_worker_time(busy, wall.ns());
+                    log
                 }));
             }
             handles.into_iter().map(|h| h.join().expect("worker threads do not panic")).collect()
         });
 
-        let (trajectory, reached, fault) = coord.sorted_trajectory();
+        let (reached, stop_n, fault) = coord.finish();
         if let Some(e) = fault {
             return Err(e);
         }
-        // Deterministic final combine: worker order, not completion
-        // order.
+        // Deterministic reduction: replay every logged observation in
+        // ascending index order into a fresh estimator, regenerating
+        // the trajectory exactly as the serial loop would.
         let mut estimator = OnlineEstimator::new();
-        for shard in &shards {
-            estimator.merge(shard);
+        let mut trajectory = Vec::new();
+        let mut processed = 0usize;
+        for cpi in ChunkLog::into_ordered(logs) {
+            estimator.push(cpi);
+            processed += 1;
+            if policy.trajectory_stride > 0 && processed.is_multiple_of(policy.trajectory_stride) {
+                trajectory.push((
+                    processed as u64,
+                    estimator.mean(),
+                    estimator.half_width(policy.confidence),
+                ));
+            }
         }
+        // Close the event stream with the definitive replayed estimate
+        // and the exact overshoot past the stop point.
+        let monitor = HealthMonitor::new(seq, "online", 0, policy);
+        monitor.progress(
+            "cpi",
+            None,
+            estimator.count(),
+            estimator.mean(),
+            estimator.half_width(policy.confidence),
+            estimator.half_width(Confidence::C95),
+            estimator.mean(),
+            policy,
+            overshoot_of(reached, stop_n, processed as u64),
+        );
         Ok(Estimate {
             estimator,
             confidence: policy.confidence,
-            processed: estimator.count() as usize,
+            processed,
             reached_target: reached,
             trajectory,
         })
     }
 
     /// Merge a worker's local batch into the shared progress estimator,
-    /// record a trajectory sample, emit a progress event, and run the
-    /// early-termination check — everything but the merge itself on a
-    /// lock-free snapshot.
+    /// emit a progress event, feed the adaptive chunk sizer, and run
+    /// the early-termination check — everything but the merge itself on
+    /// a lock-free snapshot.
     fn flush_batch(
         &self,
         batch: &mut OnlineEstimator,
         policy: &RunPolicy,
         coord: &ShardCoordinator<OnlineEstimator>,
         monitor: &HealthMonitor,
+        cursor: Option<&ChunkCursor>,
     ) {
         let snapshot = {
             let mut merged = coord.lock_progress();
@@ -503,11 +618,6 @@ impl<'l> OnlineRunner<'l> {
             *merged
         };
         *batch = OnlineEstimator::new();
-        if policy.trajectory_stride > 0 {
-            let sample =
-                (snapshot.count(), snapshot.mean(), snapshot.half_width(policy.confidence));
-            coord.trajectory.lock().expect("trajectory lock").push(sample);
-        }
         monitor.progress(
             "cpi",
             None,
@@ -517,16 +627,16 @@ impl<'l> OnlineRunner<'l> {
             snapshot.half_width(Confidence::C95),
             snapshot.mean(),
             policy,
+            0,
         );
-        if snapshot.count() >= MIN_SAMPLE_SIZE
-            && snapshot.relative_half_width(policy.confidence) <= policy.target_rel_err
-        {
-            if !coord.reached.swap(true, Ordering::Relaxed) {
-                note_early_stop(snapshot.count());
+        let rel = snapshot.relative_half_width(policy.confidence);
+        if policy.stop_at_target {
+            if let Some(cursor) = cursor {
+                cursor.note_rel_error(rel, policy.target_rel_err);
             }
-            if policy.stop_at_target {
-                coord.stop.store(true, Ordering::Relaxed);
-            }
+        }
+        if snapshot.count() >= MIN_SAMPLE_SIZE && rel <= policy.target_rel_err {
+            coord.note_reached(snapshot.count(), policy);
         }
     }
 }
@@ -614,37 +724,27 @@ mod tests {
         let policy =
             RunPolicy { target_rel_err: 1e-9, trajectory_stride: 5, ..RunPolicy::default() };
         let serial = runner.run(&p, &policy).unwrap();
-        let parallel = runner.run_parallel(&p, &policy, 4).unwrap();
-        assert_eq!(serial.processed(), parallel.processed());
-        // Shard merging reorders the floating-point summation; means and
-        // variances agree up to that rounding, not bit-exactly.
-        assert!(
-            (serial.mean() - parallel.mean()).abs() / serial.mean() < 1e-9,
-            "serial {} vs parallel {}",
-            serial.mean(),
-            parallel.mean()
-        );
-        assert!(
-            (serial.estimator().variance() - parallel.estimator().variance()).abs()
-                / serial.estimator().variance().max(f64::MIN_POSITIVE)
-                < 1e-6,
-            "serial var {} vs parallel var {}",
-            serial.estimator().variance(),
-            parallel.estimator().variance()
-        );
-        // Trajectory samples are recorded at merge points and sorted, so
-        // `n` must be strictly increasing.
-        assert!(!parallel.trajectory().is_empty());
-        assert!(
-            parallel.trajectory().windows(2).all(|w| w[0].0 < w[1].0),
-            "trajectory must be monotone in n: {:?}",
-            parallel.trajectory()
-        );
-        // Static shards + ordered final merge: exhaustive parallel runs
-        // are deterministic run-to-run.
-        let again = runner.run_parallel(&p, &policy, 4).unwrap();
-        assert_eq!(parallel.mean(), again.mean());
-        assert_eq!(parallel.estimator().variance(), again.estimator().variance());
+        for sched in [SchedMode::DynamicChunk, SchedMode::StaticStride] {
+            let policy = RunPolicy { sched, ..policy };
+            let parallel = runner.run_parallel(&p, &policy, 4).unwrap();
+            assert_eq!(serial.processed(), parallel.processed());
+            // Index-ordered replay makes exhaustive parallel runs
+            // bit-identical to serial, not merely close.
+            assert_eq!(
+                serial.mean().to_bits(),
+                parallel.mean().to_bits(),
+                "{sched:?}: serial {} vs parallel {}",
+                serial.mean(),
+                parallel.mean()
+            );
+            assert_eq!(
+                serial.estimator().variance().to_bits(),
+                parallel.estimator().variance().to_bits(),
+                "{sched:?} variance"
+            );
+            assert_eq!(serial.trajectory(), parallel.trajectory(), "{sched:?} trajectory");
+            assert_eq!(serial.half_width().to_bits(), parallel.half_width().to_bits());
+        }
     }
 
     #[test]

@@ -15,18 +15,27 @@ use std::sync::atomic::Ordering;
 
 use spectral_isa::Program;
 use spectral_stats::{Confidence, MatchedPair, OnlineEstimator, MIN_SAMPLE_SIZE};
+use spectral_telemetry::Stopwatch;
 use spectral_uarch::MachineConfig;
 
 use crate::error::CoreError;
 use crate::health::{HealthMonitor, PointMeta};
 use crate::library::{DecodeScratch, LivePointLibrary};
 use crate::runner::{
-    decode_point, note_early_stop, simulate_point, Estimate, RunPolicy, ShardCoordinator,
+    decode_point, note_early_stop, overshoot_of, simulate_point, Estimate, RunPolicy,
+    ShardCoordinator,
 };
+use crate::sched::{ChunkLog, PrefetchRing, WorkQueue};
 
 /// Emit one sweep progress record per configuration from the merged
-/// estimators (metric `cpi`, `config: Some(j)`).
-fn emit_progress(monitor: &HealthMonitor, estimators: &[OnlineEstimator], policy: &RunPolicy) {
+/// estimators (metric `cpi`, `config: Some(j)`). `overshoot` is
+/// non-zero only on the run's closing records.
+fn emit_progress(
+    monitor: &HealthMonitor,
+    estimators: &[OnlineEstimator],
+    policy: &RunPolicy,
+    overshoot: u64,
+) {
     for (j, est) in estimators.iter().enumerate() {
         monitor.progress(
             "cpi",
@@ -37,6 +46,7 @@ fn emit_progress(monitor: &HealthMonitor, estimators: &[OnlineEstimator], policy
             est.half_width(Confidence::C95),
             est.mean(),
             policy,
+            overshoot,
         );
     }
 }
@@ -70,8 +80,8 @@ impl SweepProgress {
         }
     }
 
-    /// Merge another partial (parallel shards); trajectories are not
-    /// merged — the shared progress copy owns them.
+    /// Merge another partial (parallel merge batches); trajectories are
+    /// not merged — the index-ordered replay regenerates them.
     fn merge(&mut self, other: &SweepProgress) {
         for (est, o) in self.estimators.iter_mut().zip(&other.estimators) {
             est.merge(o);
@@ -247,6 +257,7 @@ impl<'l> SweepRunner<'l> {
         let limit = self.limit(policy);
         let mut progress = SweepProgress::new(self.machines.len());
         let mut reached = false;
+        let mut reached_at = 0u64;
         let mut scratch = DecodeScratch::new();
         let mut monitor =
             HealthMonitor::new(spectral_telemetry::next_run_seq(), "sweep", 0, policy);
@@ -263,31 +274,35 @@ impl<'l> SweepRunner<'l> {
                 progress.record_trajectory(policy);
             }
             if n.is_multiple_of(progress_stride) {
-                emit_progress(&monitor, &progress.estimators, policy);
+                emit_progress(&monitor, &progress.estimators, policy, 0);
             }
             if !reached && progress.all_reached(policy) {
                 reached = true;
+                reached_at = n;
                 note_early_stop(n);
             }
             if reached && policy.stop_at_target {
                 break;
             }
         }
-        if !n.is_multiple_of(progress_stride) {
-            emit_progress(&monitor, &progress.estimators, policy);
+        let overshoot = overshoot_of(reached, reached_at, n);
+        if !n.is_multiple_of(progress_stride) || overshoot > 0 {
+            emit_progress(&monitor, &progress.estimators, policy, overshoot);
         }
         Ok(self.outcome(progress, policy, reached))
     }
 
-    /// Sharded parallel sweep on the same machinery as
+    /// Parallel sweep on the scheduling machinery of
     /// [`OnlineRunner::run_parallel`](crate::OnlineRunner::run_parallel):
-    /// worker `w` owns the index stride `w, w+T, …`, decodes each of its
-    /// points once, simulates all configurations, and merges
-    /// thread-local partials into the shared state every
-    /// [`RunPolicy::merge_stride`] points; termination requires every
-    /// configuration to meet the target on the merged state. The final
-    /// outcome merges per-worker shards in worker order, so an
-    /// exhaustive run is deterministic run-to-run.
+    /// workers claim index chunks per [`RunPolicy::sched`], decode each
+    /// point once (up to [`RunPolicy::prefetch`] points ahead),
+    /// simulate all configurations, and merge thread-local partials
+    /// into the shared state every [`RunPolicy::merge_stride`] points;
+    /// termination requires every configuration to meet the target on
+    /// the merged state. Per-config CPI vectors are logged per chunk
+    /// and replayed in ascending index order after the join — including
+    /// trajectory regeneration — so an exhaustive run is bit-identical
+    /// to serial.
     ///
     /// # Errors
     ///
@@ -309,79 +324,130 @@ impl<'l> SweepRunner<'l> {
         let configs = self.machines.len();
         let coord: ShardCoordinator<SweepProgress> =
             ShardCoordinator::with_progress(SweepProgress::new(configs));
+        let cursor = policy.cursor(limit, threads);
 
         let flush = |batch: &mut SweepProgress, monitor: &HealthMonitor| {
             let mut merged = coord.lock_progress();
             merged.merge(batch);
-            if policy.trajectory_stride > 0 {
-                merged.record_trajectory(policy);
-            }
             let done = merged.all_reached(policy);
             let count = merged.estimators[0].count();
             let estimators = merged.estimators.clone();
             drop(merged);
             *batch = SweepProgress::new(configs);
-            emit_progress(monitor, &estimators, policy);
+            emit_progress(monitor, &estimators, policy, 0);
+            if policy.stop_at_target {
+                if let Some(cursor) = &cursor {
+                    // The sweep stops on its worst configuration: feed
+                    // the chunk sizer the largest relative half-width.
+                    let worst = estimators
+                        .iter()
+                        .map(|e| e.relative_half_width(policy.confidence))
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    cursor.note_rel_error(worst, policy.target_rel_err);
+                }
+            }
             if done {
-                if !coord.reached.swap(true, Ordering::Relaxed) {
-                    note_early_stop(count);
-                }
-                if policy.stop_at_target {
-                    coord.stop.store(true, Ordering::Relaxed);
-                }
+                coord.note_reached(count, policy);
             }
         };
 
         let seq = spectral_telemetry::next_run_seq();
-        let shards: Vec<SweepProgress> = std::thread::scope(|scope| {
+        let logs: Vec<ChunkLog<Vec<f64>>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for worker in 0..threads {
                 let coord = &coord;
+                let cursor = cursor.as_ref();
                 let flush = &flush;
                 handles.push(scope.spawn(move || {
-                    let mut shard = SweepProgress::new(configs);
+                    let wall = Stopwatch::start();
+                    let mut busy = 0u64;
+                    let mut log = ChunkLog::new();
                     let mut batch = SweepProgress::new(configs);
                     let mut scratch = DecodeScratch::new();
+                    let mut ring = PrefetchRing::new(policy.prefetch);
                     let mut monitor = HealthMonitor::new(seq, "sweep", worker, policy);
-                    let mut index = worker;
-                    while index < limit && !coord.stop.load(Ordering::Relaxed) {
-                        match self.measure_point(index, program, &mut scratch) {
-                            Ok((cpis, meta)) => {
-                                shard.push(&cpis);
-                                batch.push(&cpis);
-                                monitor.observe(index as u64, cpis[0], &meta);
-                                if batch.estimators[0].count() >= merge_stride {
-                                    flush(&mut batch, &monitor);
-                                }
+                    let mut queue = match cursor {
+                        Some(c) => WorkQueue::chunked(c, worker),
+                        None => WorkQueue::stride(worker, threads, limit),
+                    };
+                    'chunks: while !coord.stop.load(Ordering::Relaxed) {
+                        let Some(chunk) = queue.next_chunk() else { break };
+                        log.begin(chunk.start, chunk.len());
+                        let mut pending = chunk.clone();
+                        for index in chunk {
+                            if coord.stop.load(Ordering::Relaxed) {
+                                ring.clear();
+                                break 'chunks;
                             }
-                            Err(e) => {
+                            if let Err(e) = ring.fill(self.library, &mut pending, &mut scratch) {
                                 coord.fail(e);
-                                break;
+                                break 'chunks;
+                            }
+                            let (lp, decode_ns) = ring.pop().expect("ring holds the current index");
+                            let mut simulate_ns = 0u64;
+                            let cpis = self
+                                .machines
+                                .iter()
+                                .map(|m| {
+                                    simulate_point(&lp, program, m).map(|(stats, ns)| {
+                                        simulate_ns += ns;
+                                        stats.cpi()
+                                    })
+                                })
+                                .collect::<Result<Vec<f64>, CoreError>>();
+                            let cpis = match cpis {
+                                Ok(c) => c,
+                                Err(e) => {
+                                    coord.fail(e);
+                                    break 'chunks;
+                                }
+                            };
+                            batch.push(&cpis);
+                            busy += decode_ns + simulate_ns;
+                            let meta = PointMeta {
+                                decode_ns,
+                                simulate_ns,
+                                detail_start: lp.window.detail_start,
+                                measure_start: lp.window.measure_start,
+                            };
+                            monitor.observe(index as u64, cpis[0], &meta);
+                            log.push(cpis);
+                            if batch.estimators[0].count() >= merge_stride {
+                                flush(&mut batch, &monitor);
                             }
                         }
-                        index += threads;
                     }
                     if batch.estimators[0].count() > 0 {
                         flush(&mut batch, &monitor);
                     }
-                    shard
+                    queue.finish();
+                    crate::sched::note_worker_time(busy, wall.ns());
+                    log
                 }));
             }
             handles.into_iter().map(|h| h.join().expect("worker threads do not panic")).collect()
         });
 
-        let shared = coord.progress.lock().expect("progress lock").trajectories.clone();
-        let (_, reached, fault) = coord.sorted_trajectory();
+        let (reached, stop_n, fault) = coord.finish();
         if let Some(e) = fault {
             return Err(e);
         }
-        // Deterministic final combine: worker order, not completion
-        // order; trajectories come from the shared merge history.
+        // Deterministic reduction: replay each point's per-config CPIs
+        // in ascending index order, regenerating the trajectories
+        // exactly as the serial loop would.
         let mut progress = SweepProgress::new(configs);
-        for shard in &shards {
-            progress.merge(shard);
+        let mut n = 0;
+        for cpis in ChunkLog::into_ordered(logs) {
+            progress.push(&cpis);
+            n = progress.estimators[0].count();
+            if policy.trajectory_stride > 0 && n.is_multiple_of(policy.trajectory_stride as u64) {
+                progress.record_trajectory(policy);
+            }
         }
-        progress.trajectories = shared;
+        // Close the event stream with the replayed estimators and the
+        // exact overshoot past the stop point.
+        let monitor = HealthMonitor::new(seq, "sweep", 0, policy);
+        emit_progress(&monitor, &progress.estimators, policy, overshoot_of(reached, stop_n, n));
         Ok(self.outcome(progress, policy, reached))
     }
 }
@@ -449,21 +515,19 @@ mod tests {
         let serial = SweepRunner::new(&lib, machines.clone()).run(&p, &exhaustive()).unwrap();
         let parallel = SweepRunner::new(&lib, machines).run_parallel(&p, &exhaustive(), 4).unwrap();
         assert_eq!(serial.processed(), parallel.processed());
+        // Index-ordered replay: exhaustive parallel sweeps are
+        // bit-identical to serial, estimators and trajectories alike.
         for j in 0..serial.estimates().len() {
             let (s, q) = (serial.estimate(j), parallel.estimate(j));
-            assert!(
-                (s.mean() - q.mean()).abs() / s.mean() < 1e-9,
-                "config {j}: serial {} vs parallel {}",
-                s.mean(),
-                q.mean()
-            );
+            assert_eq!(s.estimator(), q.estimator(), "config {j}");
+            assert_eq!(s.trajectory(), q.trajectory(), "config {j} trajectory");
         }
         // Matched pairs see identical point sets in both modes.
         for j in 1..serial.estimates().len() {
             let (s, q) =
                 (serial.pair_vs_baseline(j).unwrap(), parallel.pair_vs_baseline(j).unwrap());
             assert_eq!(s.count(), q.count());
-            assert!((s.delta_mean() - q.delta_mean()).abs() < 1e-9);
+            assert_eq!(s.delta_mean().to_bits(), q.delta_mean().to_bits());
         }
     }
 

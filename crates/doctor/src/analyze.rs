@@ -45,8 +45,13 @@ pub struct SeriesDiagnosis {
     pub first_eligible_95: Option<usize>,
     /// Whether the final sample was eligible at the policy confidence.
     pub converged: bool,
-    /// Points processed after the series first became eligible.
+    /// Points processed after the series first became eligible. Exact
+    /// when the stream carries the runner's closing `overshoot` field;
+    /// otherwise approximated at trajectory-sample granularity.
     pub wasted_points: u64,
+    /// Whether [`wasted_points`](Self::wasted_points) came from the
+    /// runner's exact overshoot accounting rather than the trajectory.
+    pub wasted_exact: bool,
     /// Shard balance over this series' workers.
     pub shards: ShardReport,
 }
@@ -67,7 +72,7 @@ impl SeriesDiagnosis {
     }
 }
 
-/// Per-worker point counts from the progress stream.
+/// Per-worker point counts and busy time from the progress stream.
 #[derive(Debug, Clone, Default)]
 pub struct ShardReport {
     /// `(worker, points)` rows, sorted by worker ordinal. Each worker's
@@ -76,6 +81,14 @@ pub struct ShardReport {
     /// `(max − min) / max` over worker point counts (0 with fewer than
     /// two workers).
     pub imbalance: f64,
+    /// `(worker, busy_ns)` rows, sorted by worker ordinal. Each worker's
+    /// time is the maximum `shard_busy_ns` it reported. Empty for
+    /// streams that predate busy-time accounting.
+    pub busy: Vec<(usize, u64)>,
+    /// `(max − min) / max` over worker busy times (0 with fewer than
+    /// two busy workers). The scheduler-quality signal: point counts can
+    /// balance while busy time doesn't when point costs are skewed.
+    pub busy_imbalance: f64,
 }
 
 /// The full diagnosis of one event stream's artifacts.
@@ -104,20 +117,27 @@ impl Diagnosis {
 
 /// Shard balance over one group of progress records.
 fn shard_report(records: &[&crate::ProgressRecord]) -> ShardReport {
+    fn spread(rows: &[(usize, u64)]) -> f64 {
+        match (rows.iter().map(|&(_, n)| n).max(), rows.iter().map(|&(_, n)| n).min()) {
+            (Some(max), Some(min)) if rows.len() > 1 && max > 0 => (max - min) as f64 / max as f64,
+            _ => 0.0,
+        }
+    }
     let mut per_worker: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut per_worker_busy: BTreeMap<usize, u64> = BTreeMap::new();
     for p in records {
         let e = per_worker.entry(p.worker).or_default();
         *e = (*e).max(p.shard_points);
+        if p.shard_busy_ns > 0 {
+            let b = per_worker_busy.entry(p.worker).or_default();
+            *b = (*b).max(p.shard_busy_ns);
+        }
     }
     let workers: Vec<(usize, u64)> = per_worker.into_iter().collect();
-    let imbalance =
-        match (workers.iter().map(|&(_, n)| n).max(), workers.iter().map(|&(_, n)| n).min()) {
-            (Some(max), Some(min)) if workers.len() > 1 && max > 0 => {
-                (max - min) as f64 / max as f64
-            }
-            _ => 0.0,
-        };
-    ShardReport { workers, imbalance }
+    let busy: Vec<(usize, u64)> = per_worker_busy.into_iter().collect();
+    let imbalance = spread(&workers);
+    let busy_imbalance = spread(&busy);
+    ShardReport { workers, imbalance, busy, busy_imbalance }
 }
 
 /// Build a [`Diagnosis`] from a run's artifacts.
@@ -151,9 +171,19 @@ pub fn analyze(artifacts: &RunArtifacts) -> Diagnosis {
             let first_eligible = trajectory.iter().position(|t| t.eligible);
             let first_eligible_95 = trajectory.iter().position(|t| t.eligible_95);
             let converged = trajectory.last().is_some_and(|t| t.eligible);
-            let wasted_points = match (first_eligible, trajectory.last()) {
-                (Some(i), Some(last)) => last.n.saturating_sub(trajectory[i].n),
-                _ => 0,
+            // The runner's closing record carries the exact count of
+            // points processed past the stop condition; fall back to
+            // trajectory-sample granularity for streams without it.
+            let exact_overshoot = records.iter().filter_map(|r| r.overshoot).max();
+            let (wasted_points, wasted_exact) = match exact_overshoot {
+                Some(o) => (o, true),
+                None => (
+                    match (first_eligible, trajectory.last()) {
+                        (Some(i), Some(last)) => last.n.saturating_sub(trajectory[i].n),
+                        _ => 0,
+                    },
+                    false,
+                ),
             };
             SeriesDiagnosis {
                 seq,
@@ -166,6 +196,7 @@ pub fn analyze(artifacts: &RunArtifacts) -> Diagnosis {
                 first_eligible_95,
                 converged,
                 wasted_points,
+                wasted_exact,
                 shards,
             }
         })
@@ -273,6 +304,8 @@ mod tests {
             rel_half_width_95: rel * 0.65,
             eligible_95: n >= 30 && rel * 0.65 <= 0.1,
             shard_points,
+            shard_busy_ns: 0,
+            overshoot: None,
         }
     }
 
@@ -309,6 +342,38 @@ mod tests {
         assert!(!s.converged);
         assert_eq!(s.first_eligible, None);
         assert_eq!(s.wasted_points, 0);
+    }
+
+    #[test]
+    fn exact_overshoot_overrides_trajectory_waste() {
+        let mut closing = progress(0, 40, 0.06, 40);
+        closing.overshoot = Some(3);
+        let artifacts = RunArtifacts {
+            manifest: None,
+            progress: vec![progress(0, 8, 0.5, 8), progress(0, 32, 0.08, 32), closing],
+            anomalies: Vec::new(),
+        };
+        let s = analyze(&artifacts).series.remove(0);
+        assert!(s.wasted_exact, "closing overshoot makes the count exact");
+        assert_eq!(s.wasted_points, 3, "not the trajectory-granular 40-32");
+    }
+
+    #[test]
+    fn busy_time_spread_is_tracked_separately() {
+        let busy = |worker: usize, n: u64, shard_points: u64, busy_ns: u64| {
+            let mut p = progress(worker, n, 0.5, shard_points);
+            p.shard_busy_ns = busy_ns;
+            p
+        };
+        let artifacts = RunArtifacts {
+            manifest: None,
+            progress: vec![busy(0, 8, 8, 400), busy(0, 24, 12, 1_000), busy(1, 16, 12, 250)],
+            anomalies: Vec::new(),
+        };
+        let shards = analyze(&artifacts).series.remove(0).shards;
+        assert!((shards.imbalance - 0.0).abs() < 1e-12, "point counts balance (12/12)");
+        assert_eq!(shards.busy, vec![(0, 1_000), (1, 250)]);
+        assert!((shards.busy_imbalance - 0.75).abs() < 1e-12, "(1000-250)/1000");
     }
 
     #[test]

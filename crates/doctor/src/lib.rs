@@ -10,8 +10,10 @@
 //!   many points were processed past that moment (wasted work).
 //! * **Anomaly triage** — the top-N anomalous live-points by severity,
 //!   with library index and window provenance.
-//! * **Shard balance** — per-worker point counts from the progress
-//!   stream's `shard_points` field, and the resulting imbalance.
+//! * **Shard balance** — per-worker point counts and busy time from
+//!   the progress stream's `shard_points` / `shard_busy_ns` fields,
+//!   and the resulting imbalances (`--check --max-imbalance PCT` gates
+//!   on the busy-time spread).
 //! * **Cross-run regression** — a matched-pair-style diff of two runs'
 //!   final estimates: the mean delta against the combined half-width
 //!   `sqrt(hw₁² + hw₂²)`, plus point-count and wall-clock movement.
@@ -90,6 +92,12 @@ pub struct ProgressRecord {
     pub eligible_95: bool,
     /// The emitting worker's own processed-point count.
     pub shard_points: u64,
+    /// The emitting worker's cumulative decode + simulate wall-clock
+    /// (0 for pre-busy-time streams).
+    pub shard_busy_ns: u64,
+    /// Exact early-termination overshoot from the run's closing record
+    /// (`None` for streams that predate exact accounting).
+    pub overshoot: Option<u64>,
 }
 
 /// One parsed `anomaly` record from the event stream.
@@ -237,6 +245,8 @@ pub fn parse_events(text: &str) -> Result<(Vec<ProgressRecord>, Vec<AnomalyRecor
                 rel_half_width_95: f64_field(&doc, "rel_half_width_95"),
                 eligible_95: bool_field(&doc, "eligible_95"),
                 shard_points: u64_field(&doc, "shard_points"),
+                shard_busy_ns: u64_field(&doc, "shard_busy_ns"),
+                overshoot: doc.get("overshoot").and_then(JsonValue::as_u64),
             }),
             Some("anomaly") => anomalies.push(AnomalyRecord {
                 t_us: u64_field(&doc, "t_us"),

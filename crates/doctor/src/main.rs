@@ -6,7 +6,7 @@
 //!                 [--baseline-events old.events.jsonl]
 //!                 [--baseline-manifest old.json]
 //!                 [--json report.json] [--perfetto trace.chrome.json]
-//!                 [--top N] [--check]
+//!                 [--top N] [--check] [--max-imbalance PCT]
 //! ```
 //!
 //! Prints the text diagnosis to stdout. `--json` additionally writes
@@ -14,7 +14,10 @@
 //! event streams into a Chrome `trace_event` document for
 //! <https://ui.perfetto.dev>. `--check` exits non-zero when the run
 //! exhausted its library without reaching the confidence target (the
-//! CI gate); it requires `--manifest`.
+//! CI gate); it requires `--manifest`. `--max-imbalance PCT` extends
+//! the gate: it also fails when any series' worker busy-time spread
+//! (falling back to the point-count spread for streams without busy
+//! accounting) exceeds `PCT` percent.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,11 +38,12 @@ struct Cli {
     perfetto: Option<PathBuf>,
     top: usize,
     check: bool,
+    max_imbalance: Option<f64>,
 }
 
 const USAGE: &str = "spectral-doctor --events PATH [--manifest PATH] [--trace PATH] \
                      [--baseline-events PATH] [--baseline-manifest PATH] [--json PATH] \
-                     [--perfetto PATH] [--top N] [--check]";
+                     [--perfetto PATH] [--top N] [--check] [--max-imbalance PCT]";
 
 fn parse_cli(argv: &[String]) -> Result<Cli, DoctorError> {
     let mut cli = Cli { top: 3, ..Cli::default() };
@@ -67,6 +71,18 @@ fn parse_cli(argv: &[String]) -> Result<Cli, DoctorError> {
                 })?;
             }
             "--check" => cli.check = true,
+            "--max-imbalance" => {
+                let v = value("--max-imbalance")?;
+                let pct: f64 = v.parse().map_err(|_| {
+                    DoctorError::msg(format!("--max-imbalance: expected a percentage, got {v}"))
+                })?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err(DoctorError::msg(format!(
+                        "--max-imbalance: percentage must be in 0..=100, got {v}"
+                    )));
+                }
+                cli.max_imbalance = Some(pct);
+            }
             "--help" | "-h" => return Err(DoctorError::msg(format!("usage: {USAGE}"))),
             other => {
                 return Err(DoctorError::msg(format!("unknown argument {other}\nusage: {USAGE}")))
@@ -79,6 +95,9 @@ fn parse_cli(argv: &[String]) -> Result<Cli, DoctorError> {
     if cli.check && cli.manifest.is_none() {
         return Err(DoctorError::msg("--check needs --manifest (the convergence verdict)"));
     }
+    if cli.max_imbalance.is_some() && !cli.check {
+        return Err(DoctorError::msg("--max-imbalance only applies with --check"));
+    }
     Ok(cli)
 }
 
@@ -87,7 +106,7 @@ fn write_file(path: &PathBuf, text: &str) -> Result<(), DoctorError> {
         .map_err(|e| DoctorError::msg(format!("cannot write {}: {e}", path.display())))
 }
 
-fn run(cli: &Cli) -> Result<bool, DoctorError> {
+fn run(cli: &Cli) -> Result<Vec<String>, DoctorError> {
     let events = cli.events.as_ref().expect("validated in parse_cli");
     let artifacts = RunArtifacts::load(cli.manifest.as_deref(), events)?;
     let diagnosis = analyze(&artifacts);
@@ -125,17 +144,42 @@ fn run(cli: &Cli) -> Result<bool, DoctorError> {
         write_file(path, &chrome)?;
     }
 
-    let healthy =
-        !(cli.check && artifacts.manifest.as_ref().is_some_and(exhausted_without_convergence));
-    Ok(healthy)
+    let mut failures: Vec<String> = Vec::new();
+    if cli.check {
+        if artifacts.manifest.as_ref().is_some_and(exhausted_without_convergence) {
+            failures.push("library exhausted without convergence".to_owned());
+        }
+        if let Some(pct) = cli.max_imbalance {
+            // Busy time is the scheduler-quality signal; fall back to
+            // point counts for streams without busy accounting.
+            for s in &diagnosis.series {
+                let (spread, kind) = if s.shards.busy.len() > 1 {
+                    (s.shards.busy_imbalance, "busy-time")
+                } else {
+                    (s.shards.imbalance, "point-count")
+                };
+                if spread * 100.0 > pct {
+                    failures.push(format!(
+                        "{} {} worker {kind} imbalance {:.1}% exceeds --max-imbalance {pct}%",
+                        s.run,
+                        s.metric,
+                        spread * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    Ok(failures)
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match parse_cli(&argv).and_then(|cli| run(&cli)) {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => {
-            eprintln!("spectral-doctor: check failed: library exhausted without convergence");
+        Ok(failures) if failures.is_empty() => ExitCode::SUCCESS,
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("spectral-doctor: check failed: {f}");
+            }
             ExitCode::FAILURE
         }
         Err(e) => {

@@ -72,10 +72,11 @@ fn write_series_text(out: &mut String, s: &SeriesDiagnosis) {
             let last_n = s.last().map_or(0, |t| t.n);
             let _ = writeln!(
                 out,
-                "  wasted points past convergence: {} of {} ({:.1}%)",
+                "  wasted points past convergence: {} of {} ({:.1}%{})",
                 s.wasted_points,
                 last_n,
-                s.wasted_fraction() * 100.0
+                s.wasted_fraction() * 100.0,
+                if s.wasted_exact { ", exact" } else { ", trajectory-granular" }
             );
         }
         None => {
@@ -91,6 +92,16 @@ fn write_series_text(out: &mut String, s: &SeriesDiagnosis) {
             pts.join("/"),
             s.shards.imbalance * 100.0
         );
+        if s.shards.busy.len() > 1 {
+            let busy: Vec<String> =
+                s.shards.busy.iter().map(|&(_, ns)| format!("{}ms", ns / 1_000_000)).collect();
+            let _ = writeln!(
+                out,
+                "  busy time: {} — spread {:.1}%",
+                busy.join("/"),
+                s.shards.busy_imbalance * 100.0
+            );
+        }
     }
 }
 
@@ -194,11 +205,12 @@ fn render_series_json(s: &SeriesDiagnosis) -> String {
     let _ = write!(
         out,
         "\"converged\":{},\"first_eligible\":{},\"first_eligible_95\":{},\"wasted_points\":{},\
-         \"wasted_fraction\":{},",
+         \"wasted_exact\":{},\"wasted_fraction\":{},",
         s.converged,
         eligible_json(s, s.first_eligible),
         eligible_json(s, s.first_eligible_95),
         s.wasted_points,
+        s.wasted_exact,
         number(s.wasted_fraction()),
     );
     match s.last() {
@@ -235,11 +247,19 @@ fn render_series_json(s: &SeriesDiagnosis) -> String {
         .iter()
         .map(|&(w, n)| format!("{{\"worker\":{w},\"points\":{n}}}"))
         .collect();
+    let busy: Vec<String> = s
+        .shards
+        .busy
+        .iter()
+        .map(|&(w, ns)| format!("{{\"worker\":{w},\"busy_ns\":{ns}}}"))
+        .collect();
     let _ = write!(
         out,
-        "\"shards\":{{\"workers\":[{}],\"imbalance\":{}}}}}",
+        "\"shards\":{{\"workers\":[{}],\"imbalance\":{},\"busy\":[{}],\"busy_imbalance\":{}}}}}",
         workers.join(","),
-        number(s.shards.imbalance)
+        number(s.shards.imbalance),
+        busy.join(","),
+        number(s.shards.busy_imbalance)
     );
     out
 }

@@ -61,7 +61,11 @@ fn run(mut args: Args) -> Result<(), ExpError> {
 
     report.line("== Ablation 2: L2 record stream policy (checkpointed-warming bias) ==\n");
     let t = Timer::start();
-    let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
+    let policy = args.sched_policy(RunPolicy {
+        target_rel_err: 1e-12,
+        trajectory_stride: 0,
+        ..RunPolicy::default()
+    });
     let mut points = 0u64;
     let mut rows = Vec::new();
     for case in &cases {

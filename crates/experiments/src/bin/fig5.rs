@@ -36,7 +36,11 @@ fn run(args: Args) -> Result<(), ExpError> {
 
     // Exhaustive policy: process every live-point so the comparison is
     // matched (same windows, zero sampling noise).
-    let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
+    let policy = args.sched_policy(RunPolicy {
+        target_rel_err: 1e-12,
+        trajectory_stride: 0,
+        ..RunPolicy::default()
+    });
 
     let t = Timer::start();
     let mut points = 0u64;

@@ -51,7 +51,7 @@ fn run(mut args: Args) -> Result<(), ExpError> {
     report.line("== Matched-pair comparison (paper SS6.2): sample-size reduction ==");
     report.line(format!("benchmarks={} library cap={}\n", cases.len(), library_cap));
 
-    let policy = RunPolicy::default();
+    let policy = args.sched_policy(RunPolicy::default());
     let mut all_factors: Vec<f64> = Vec::new();
     let mut rows = Vec::new();
     let mut pairs_total = 0u64;

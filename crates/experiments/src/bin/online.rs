@@ -103,7 +103,11 @@ fn run(mut args: Args) -> Result<(), ExpError> {
         let t = Timer::start();
         let est = runner.run_parallel(
             &case.program,
-            &RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() },
+            &args.sched_policy(RunPolicy {
+                target_rel_err: 1e-12,
+                trajectory_stride: 0,
+                ..RunPolicy::default()
+            }),
             threads,
         )?;
         report.line(format!(

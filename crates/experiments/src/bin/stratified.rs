@@ -35,8 +35,11 @@ fn run(mut args: Args) -> Result<(), ExpError> {
     report.line("== Stratified vs uniform estimation (position-band strata) ==");
     report.line(format!("benchmarks={} library cap={}\n", cases.len(), library_cap));
 
-    let exhaustive =
-        RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
+    let exhaustive = args.sched_policy(RunPolicy {
+        target_rel_err: 1e-12,
+        trajectory_stride: 0,
+        ..RunPolicy::default()
+    });
     let t = Timer::start();
     let mut points = 0u64;
     let mut rows = Vec::new();
@@ -55,7 +58,7 @@ fn run(mut args: Args) -> Result<(), ExpError> {
             StratifiedRunner::new(&lib, machine.clone(), 4).run(&case.program, &exhaustive)?;
 
         // Early-termination comparison at the paper's ±3% target.
-        let target = RunPolicy::default();
+        let target = args.sched_policy(RunPolicy::default());
         let u_early = OnlineRunner::new(&lib, machine.clone()).run(&case.program, &target)?;
         let s_early =
             StratifiedRunner::new(&lib, machine.clone(), 4).run(&case.program, &target)?;

@@ -79,7 +79,11 @@ fn run(mut args: Args) -> Result<(), ExpError> {
         // 3. Live-point run to +-3% @ 99.7% (or library exhaustion).
         let runner = OnlineRunner::new(&library, machine.clone());
         let t = Timer::start();
-        let estimate = runner.run_parallel(&case.program, &RunPolicy::default(), threads)?;
+        let estimate = runner.run_parallel(
+            &case.program,
+            &args.sched_policy(RunPolicy::default()),
+            threads,
+        )?;
         let t_lp = t.secs();
         manifest.phase(format!("run_live_points.{}", case.name()), t_lp);
         points += estimate.processed() as u64;

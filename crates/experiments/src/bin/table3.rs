@@ -43,7 +43,11 @@ fn run(args: Args) -> Result<(), ExpError> {
     let mut lib_bytes = 0u64;
     let mut points = 0u64;
 
-    let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
+    let policy = args.sched_policy(RunPolicy {
+        target_rel_err: 1e-12,
+        trajectory_stride: 0,
+        ..RunPolicy::default()
+    });
 
     let t_all = Timer::start();
     for case in &cases {

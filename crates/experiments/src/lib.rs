@@ -22,6 +22,9 @@
 //! * `--windows N`, `--seeds S`, `--scale F` where meaningful
 //! * `--threads T` — worker threads for library creation and runs
 //!   (default: the host's available parallelism)
+//! * `--chunk N` — dynamic-scheduler chunk size for parallel runs
+//!   (0 = auto: the merge stride)
+//! * `--prefetch N` — decode-ahead prefetch-ring depth per worker
 //! * `--target PCT` — early-termination relative-error target in
 //!   percent, where the binary estimates one (default: the paper's 3)
 //! * `--metrics-out PATH` — write a JSON run manifest (with the full
@@ -129,6 +132,10 @@ pub struct Args {
     /// Worker-thread count for creation and runs (`--threads`; default
     /// = available parallelism).
     pub threads: Option<usize>,
+    /// Dynamic-scheduler chunk size (`--chunk`; 0 = auto).
+    pub chunk: Option<usize>,
+    /// Decode-ahead prefetch-ring depth (`--prefetch`).
+    pub prefetch: Option<usize>,
     /// Relative-error target in percent (`--target`).
     pub target: Option<f64>,
     /// Run-manifest output path (`--metrics-out`).
@@ -154,6 +161,8 @@ impl Args {
             scale: None,
             machine: None,
             threads: None,
+            chunk: None,
+            prefetch: None,
             target: None,
             metrics_out: None,
             trace: None,
@@ -227,6 +236,8 @@ impl Args {
                 "--scale" => args.scale = Some(int("--scale", value("--scale")?)?),
                 "--machine" => args.machine = Some(value("--machine")?.clone()),
                 "--threads" => args.threads = Some(int("--threads", value("--threads")?)?),
+                "--chunk" => args.chunk = Some(int("--chunk", value("--chunk")?)?),
+                "--prefetch" => args.prefetch = Some(int("--prefetch", value("--prefetch")?)?),
                 "--target" => {
                     let v = value("--target")?;
                     let pct: f64 = v.parse().map_err(|_| {
@@ -245,8 +256,8 @@ impl Args {
                 other => {
                     return Err(ExpError(format!(
                         "unknown argument {other} (flags: --benchmarks --limit --quick \
-                         --windows --seeds --scale --machine --threads --target \
-                         --metrics-out --trace --events --report-out --report-json)"
+                         --windows --seeds --scale --machine --threads --chunk --prefetch \
+                         --target --metrics-out --trace --events --report-out --report-json)"
                     )))
                 }
             }
@@ -277,6 +288,19 @@ impl Args {
     /// paper's 0.03).
     pub fn target_rel_err(&self, default: f64) -> f64 {
         self.target.map_or(default, |pct| pct / 100.0)
+    }
+
+    /// Apply the scheduler knobs (`--chunk`, `--prefetch`) to a run
+    /// policy, leaving the policy's defaults in place when the flags
+    /// were not given.
+    pub fn sched_policy(&self, mut policy: spectral_core::RunPolicy) -> spectral_core::RunPolicy {
+        if let Some(c) = self.chunk {
+            policy.chunk = c;
+        }
+        if let Some(p) = self.prefetch {
+            policy.prefetch = p;
+        }
+        policy
     }
 }
 
@@ -315,6 +339,12 @@ impl Args {
         }
         if let Some(s) = self.seeds {
             m.note("seeds", s.to_string());
+        }
+        if let Some(c) = self.chunk {
+            m.note("chunk", c.to_string());
+        }
+        if let Some(p) = self.prefetch {
+            m.note("prefetch", p.to_string());
         }
         m
     }
@@ -721,6 +751,10 @@ mod tests {
             "16",
             "--threads",
             "6",
+            "--chunk",
+            "16",
+            "--prefetch",
+            "8",
             "--target",
             "10",
             "--metrics-out",
@@ -743,6 +777,10 @@ mod tests {
         assert_eq!(a.scale, Some(4));
         assert_eq!(a.machine.as_deref(), Some("16"));
         assert_eq!(a.threads, Some(6));
+        assert_eq!(a.chunk, Some(16));
+        assert_eq!(a.prefetch, Some(8));
+        let p = a.sched_policy(spectral_core::RunPolicy::default());
+        assert_eq!((p.chunk, p.prefetch), (16, 8));
         assert_eq!(a.target, Some(10.0));
         assert!((a.target_rel_err(0.03) - 0.10).abs() < 1e-12);
         assert_eq!(a.metrics_out.as_deref(), Some(std::path::Path::new("m.json")));
@@ -760,6 +798,10 @@ mod tests {
         assert!(e.to_string().contains("abc"), "{e}");
         let e = Args::try_parse_from(&argv(&["--windows"])).unwrap_err();
         assert!(e.to_string().contains("needs a value"), "{e}");
+        let e = Args::try_parse_from(&argv(&["--chunk", "x"])).unwrap_err();
+        assert!(e.to_string().contains("--chunk"), "{e}");
+        let e = Args::try_parse_from(&argv(&["--prefetch", "-1"])).unwrap_err();
+        assert!(e.to_string().contains("--prefetch"), "{e}");
         let e = Args::try_parse_from(&argv(&["--bogus"])).unwrap_err();
         assert!(e.to_string().contains("unknown argument --bogus"), "{e}");
         let e = Args::try_parse_from(&argv(&["--target", "-3"])).unwrap_err();

@@ -7,7 +7,8 @@
 //! {"type":"progress","seq":1,"run":"online","metric":"cpi","t_us":512,
 //!  "worker":0,"config":null,"n":40,"mean":1.372,"half_width":0.041,
 //!  "rel_half_width":0.0299,"target_rel_err":0.03,"eligible":true,
-//!  "rel_half_width_95":0.0195,"eligible_95":true,"shard_points":40}
+//!  "rel_half_width_95":0.0195,"eligible_95":true,"shard_points":40,
+//!  "shard_busy_ns":81234567,"overshoot":0}
 //! {"type":"anomaly","seq":1,"run":"online","t_us":498,"worker":0,"point":17,
 //!  "detail_start":123000,"measure_start":125000,"kinds":["cpi_outlier"],
 //!  "cpi":2.31,"mean":1.37,"std_dev":0.21,"sigmas":4.5,
@@ -23,7 +24,10 @@
 //!   running mean, CI half-width, relative error, early-termination
 //!   eligibility at the policy confidence *and* at the paper's ±ε@95%
 //!   rule, plus the emitting worker's own point count (`shard_points`,
-//!   the per-shard lag signal).
+//!   the per-shard lag signal), its cumulative decode+simulate time
+//!   (`shard_busy_ns`, the per-shard load signal), and — on a run's
+//!   closing record — the exact early-termination overshoot
+//!   (`overshoot`).
 //! * **anomaly** — one record per anomalous live-point: which tests
 //!   fired (`kinds`: `cpi_outlier`, `slow_decode`, `slow_simulate`),
 //!   the point's library index and window provenance, and the running
@@ -70,6 +74,13 @@ pub struct ProgressEvent<'a> {
     pub eligible_95: bool,
     /// The emitting worker's own processed-point count (per-shard lag).
     pub shard_points: u64,
+    /// The emitting worker's cumulative decode + simulate wall-clock
+    /// (per-shard busy time, for imbalance analysis).
+    pub shard_busy_ns: u64,
+    /// Exact early-termination overshoot: points processed past the
+    /// count at which the run first became eligible to stop. Zero on
+    /// mid-run records; the run's closing record carries the total.
+    pub overshoot: u64,
 }
 
 impl ProgressEvent<'_> {
@@ -193,7 +204,8 @@ mod imp {
             "{{\"type\":\"progress\",\"seq\":{},\"run\":{},\"metric\":{},\"t_us\":{},\
              \"worker\":{},\"config\":{config},\"n\":{},\"mean\":{},\"half_width\":{},\
              \"rel_half_width\":{},\"target_rel_err\":{},\"eligible\":{},\
-             \"rel_half_width_95\":{},\"eligible_95\":{},\"shard_points\":{}}}",
+             \"rel_half_width_95\":{},\"eligible_95\":{},\"shard_points\":{},\
+             \"shard_busy_ns\":{},\"overshoot\":{}}}",
             e.seq,
             crate::json::quote(e.run),
             crate::json::quote(e.metric),
@@ -208,6 +220,8 @@ mod imp {
             number(e.rel_half_width_95),
             e.eligible_95,
             e.shard_points,
+            e.shard_busy_ns,
+            e.overshoot,
         ));
     }
 
@@ -299,6 +313,8 @@ mod tests {
             rel_half_width_95: 0.0195,
             eligible_95: true,
             shard_points: 40,
+            shard_busy_ns: 81_234_567,
+            overshoot: 0,
         }
     }
 
@@ -340,6 +356,8 @@ mod tests {
         assert_eq!(docs[0].get("seq").and_then(JsonValue::as_u64), Some(1));
         assert_eq!(docs[0].get("n").and_then(JsonValue::as_u64), Some(40));
         assert_eq!(docs[0].get("config"), Some(&JsonValue::Null));
+        assert_eq!(docs[0].get("shard_busy_ns").and_then(JsonValue::as_u64), Some(81_234_567));
+        assert_eq!(docs[0].get("overshoot").and_then(JsonValue::as_u64), Some(0));
         assert_eq!(docs[1].get("config").and_then(JsonValue::as_u64), Some(2));
         assert_eq!(docs[1].get("metric").and_then(JsonValue::as_str), Some("delta_cpi"));
         assert_eq!(docs[2].get("type").and_then(JsonValue::as_str), Some("anomaly"));

@@ -4,17 +4,21 @@
 //!
 //! ```text
 //! cargo run --release --example parallel_farm [benchmark-name] [--threads T]
-//!     [--metrics-out PATH] [--trace PATH]
+//!     [--chunk N] [--prefetch N] [--metrics-out PATH] [--trace PATH]
 //! ```
 //!
 //! The same shuffled library is processed serially and with 2–8 worker
-//! threads (plus `--threads T` when given); every run merges per-worker
-//! shards into one estimator, so the exhaustive estimates agree exactly
-//! while wall-clock drops on multi-core hosts. Library creation itself
-//! runs on the pipelined multi-core path and stays byte-identical to a
-//! serial build. `--metrics-out` writes a run manifest (phases, points,
-//! estimate, embedded metrics snapshot); `--trace` appends span events
-//! as JSONL.
+//! threads (plus `--threads T` when given); workers claim index chunks
+//! from the dynamic scheduler and the coordinator replays their
+//! observations in index order, so the exhaustive estimates are
+//! bit-identical to the serial pass while wall-clock drops on
+//! multi-core hosts. Library creation itself runs on the pipelined
+//! multi-core path and stays byte-identical to a serial build.
+//! `--chunk`/`--prefetch` tune the scheduler's chunk size and
+//! decode-ahead depth; `--metrics-out` writes a run manifest (phases,
+//! points, estimate, embedded metrics snapshot — including the
+//! `core.sched.*` steal/occupancy metrics); `--trace` appends span
+//! events as JSONL.
 
 use std::error::Error;
 use std::time::Instant;
@@ -27,12 +31,20 @@ use spectral::workloads::by_name;
 fn main() -> Result<(), Box<dyn Error>> {
     let mut name = "bzip2-like".to_owned();
     let mut threads: Option<usize> = None;
+    let mut chunk: Option<usize> = None;
+    let mut prefetch: Option<usize> = None;
     let mut metrics_out: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--threads" => {
                 threads = Some(it.next().ok_or("--threads needs a value")?.parse()?);
+            }
+            "--chunk" => {
+                chunk = Some(it.next().ok_or("--chunk needs a value")?.parse()?);
+            }
+            "--prefetch" => {
+                prefetch = Some(it.next().ok_or("--prefetch needs a value")?.parse()?);
             }
             "--metrics-out" => {
                 metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
@@ -65,7 +77,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("host exposes {cores} core(s) — wall-clock speedups need more than one.\n");
     let runner = OnlineRunner::new(&library, machine);
     // Exhaustive policy: identical work in every configuration.
-    let policy = RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
+    let mut policy =
+        RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
+    if let Some(c) = chunk {
+        policy.chunk = c;
+    }
+    if let Some(p) = prefetch {
+        policy.prefetch = p;
+    }
 
     let t = Instant::now();
     let serial = runner.run(&program, &policy)?;
@@ -97,17 +116,19 @@ fn main() -> Result<(), Box<dyn Error>> {
             t.elapsed(),
             t_serial / wall,
         );
-        // Workers merge observations in shard order, so the mean can
-        // differ from the serial pass by summation order only.
-        assert!(
-            (est.mean() - serial.mean()).abs() / serial.mean() < 1e-6,
-            "estimates must agree up to summation order"
+        // The coordinator replays worker observations in index order,
+        // so the parallel estimate is the serial push sequence exactly.
+        assert_eq!(
+            est.mean().to_bits(),
+            serial.mean().to_bits(),
+            "exhaustive parallel estimates are bit-identical to serial"
         );
+        assert_eq!(est.half_width().to_bits(), serial.half_width().to_bits());
     }
     manifest.phase("run_parallel_farm", t_farm.elapsed().as_secs_f64());
     manifest.points_processed = Some(serial.processed() as u64);
     manifest.set_estimate(serial.mean(), serial.half_width(), serial.reached_target());
-    println!("\nestimates agree to floating-point summation order — order independence");
+    println!("\nestimates are bit-identical to the serial pass — order independence");
     println!("is what lets a cluster split one library across hosts (paper §6.1).");
 
     if let Some(path) = metrics_out {

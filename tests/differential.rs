@@ -9,12 +9,18 @@
 //! them. Any behavioural drift in the kernel shows up as a digest
 //! mismatch here before it can silently bias an experiment.
 //!
+//! The parallel tests extend the same guard over the dynamic
+//! chunk-claiming scheduler: exhaustive parallel runs (online, matched,
+//! sweep) must reproduce the serial goldens bit-for-bit at every thread
+//! count, in both scheduling modes.
+//!
 //! To regenerate the goldens after an *intentional* behaviour change,
 //! run with `SPECTRAL_DIFF_PRINT=1 cargo test --release --test
 //! differential -- --nocapture` and paste the printed constants.
 
 use spectral_core::{
-    simulate_live_point, CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy, SweepRunner,
+    simulate_live_point, CreationConfig, LivePointLibrary, MatchedRunner, OnlineRunner, RunPolicy,
+    SchedMode, SweepRunner,
 };
 use spectral_uarch::{MachineConfig, WindowStats};
 use spectral_workloads::tiny;
@@ -136,6 +142,92 @@ fn online_estimate_is_bit_identical() {
     assert_eq!(est.processed(), GOLDEN_RUN_PROCESSED);
     assert_eq!(mean, GOLDEN_RUN_MEAN_BITS, "online mean changed");
     assert_eq!(var, GOLDEN_RUN_VARIANCE_BITS, "online variance changed");
+}
+
+#[test]
+fn parallel_online_is_bit_identical_at_any_thread_count() {
+    // The dynamic chunk-claiming scheduler replays observations in
+    // index order after the join, so an exhaustive parallel run must
+    // reproduce the serial goldens exactly — whatever the thread count
+    // or scheduling mode.
+    let (program, library) = setup();
+    let runner = OnlineRunner::new(&library, MachineConfig::eight_way());
+    for sched in [SchedMode::DynamicChunk, SchedMode::StaticStride] {
+        for threads in [1usize, 2, 4] {
+            let policy = RunPolicy { sched, ..exhaustive() };
+            let est = runner.run_parallel(&program, &policy, threads).expect("parallel run");
+            assert_eq!(est.processed(), GOLDEN_RUN_PROCESSED, "{sched:?} x{threads}");
+            assert_eq!(
+                est.mean().to_bits(),
+                GOLDEN_RUN_MEAN_BITS,
+                "{sched:?} x{threads}: parallel mean drifted from the serial golden"
+            );
+            assert_eq!(
+                est.estimator().variance().to_bits(),
+                GOLDEN_RUN_VARIANCE_BITS,
+                "{sched:?} x{threads}: parallel variance drifted from the serial golden"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_trajectory_matches_serial_exactly() {
+    let (program, library) = setup();
+    let runner = OnlineRunner::new(&library, MachineConfig::eight_way());
+    let policy = RunPolicy { trajectory_stride: 5, ..exhaustive() };
+    let serial = runner.run(&program, &policy).expect("serial run");
+    assert!(!serial.trajectory().is_empty(), "stride 5 over 24 points records samples");
+    for threads in [2usize, 4] {
+        let parallel = runner.run_parallel(&program, &policy, threads).expect("parallel run");
+        assert_eq!(
+            serial.trajectory(),
+            parallel.trajectory(),
+            "x{threads}: replayed trajectory must equal the serial one bit-for-bit"
+        );
+        assert_eq!(serial.half_width().to_bits(), parallel.half_width().to_bits());
+    }
+}
+
+#[test]
+fn parallel_matched_is_bit_identical() {
+    let (program, library) = setup();
+    let base = MachineConfig::eight_way();
+    let experiment = base.clone().with_mem_latency(200);
+    let runner = MatchedRunner::new(&library, base, experiment);
+    let serial = runner.run(&program, &exhaustive()).expect("serial matched run");
+    for threads in [2usize, 4] {
+        let parallel =
+            runner.run_parallel(&program, &exhaustive(), threads).expect("parallel matched run");
+        assert_eq!(parallel.processed(), serial.processed(), "x{threads}");
+        assert_eq!(
+            parallel.delta_mean().to_bits(),
+            serial.delta_mean().to_bits(),
+            "x{threads}: matched delta mean drifted"
+        );
+        assert_eq!(
+            parallel.delta_half_width().to_bits(),
+            serial.delta_half_width().to_bits(),
+            "x{threads}: matched delta half-width drifted"
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical() {
+    let (program, library) = setup();
+    let machine = MachineConfig::eight_way();
+    let machines = vec![
+        machine.clone(),
+        machine.clone().with_mem_latency(200),
+        machine.clone().with_queues(64, 32),
+    ];
+    let sweep = SweepRunner::new(&library, machines);
+    for threads in [2usize, 4] {
+        let out = sweep.run_parallel(&program, &exhaustive(), threads).expect("parallel sweep");
+        let means: Vec<u64> = out.estimates().iter().map(|e| e.mean().to_bits()).collect();
+        assert_eq!(means, GOLDEN_SWEEP_MEAN_BITS, "x{threads}: sweep means drifted");
+    }
 }
 
 #[test]

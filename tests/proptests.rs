@@ -149,6 +149,50 @@ proptest! {
         prop_assert_eq!(restored.snapshot(), snap);
     }
 
+    /// The dynamic chunk scheduler partitions the index space exactly:
+    /// every index in `0..limit` is claimed once and only once, for any
+    /// library size, worker count, chunk size, and any adaptive
+    /// shrinking the workers drive mid-run.
+    #[test]
+    fn chunk_cursor_tiles_indices_exactly_once(
+        limit in 1usize..700,
+        threads in 1usize..9,
+        chunk in 0usize..40,
+        shrink_seed in proptest::collection::vec(1.0f64..16.0, 1..12),
+    ) {
+        use spectral::core::ChunkCursor;
+        let cursor = ChunkCursor::new(limit, threads, chunk);
+        let claimed = std::sync::Mutex::new(vec![0u32; limit]);
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let (cursor, claimed, shrink_seed) = (&cursor, &claimed, &shrink_seed);
+                scope.spawn(move || {
+                    let mark = |range: std::ops::Range<usize>| {
+                        let mut c = claimed.lock().expect("claim lock");
+                        for i in range {
+                            c[i] += 1;
+                        }
+                    };
+                    mark(cursor.first(worker));
+                    let mut round = 0usize;
+                    while let Some(range) = cursor.claim() {
+                        mark(range);
+                        // Drive the adaptive shrink from the workers, as
+                        // flush_batch does from the live estimate.
+                        let ratio = shrink_seed[(worker + round) % shrink_seed.len()];
+                        cursor.note_rel_error(ratio * 0.03, 0.03);
+                        round += 1;
+                    }
+                });
+            }
+        });
+        let claimed = claimed.into_inner().expect("claim lock");
+        prop_assert!(
+            claimed.iter().all(|&c| c == 1),
+            "every index claimed exactly once: {claimed:?}"
+        );
+    }
+
     /// Merged estimators equal sequential estimators for any partition.
     #[test]
     fn estimator_merge_associative(
