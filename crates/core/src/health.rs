@@ -52,11 +52,14 @@ impl HealthMonitor {
     /// A monitor for one worker of a `run`-kind runner. `seq` is the
     /// run ordinal (one [`spectral_telemetry::next_run_seq`] allocation
     /// per run, shared by all of its workers so a consumer can separate
-    /// back-to-back runs in one sink). The event sink subscription is
-    /// sampled here, once.
+    /// back-to-back runs in one sink). Subscription is sampled here,
+    /// once: the monitor is live when either the JSONL event sink
+    /// ([`spectral_telemetry::events_on`]) or the in-process run-summary
+    /// tally ([`spectral_telemetry::run_summaries_on`], the registry's
+    /// convergence-summary feed) is on.
     pub fn new(seq: u64, run: &'static str, worker: usize, policy: &RunPolicy) -> Self {
         HealthMonitor {
-            on: spectral_telemetry::events_on(),
+            on: spectral_telemetry::events_on() || spectral_telemetry::run_summaries_on(),
             seq,
             run,
             worker,

@@ -244,7 +244,7 @@ impl<'l> MatchedRunner<'l> {
                     let mut log = ChunkLog::new();
                     let mut batch = MatchedPair::new();
                     let mut scratch = DecodeScratch::new();
-                    let mut ring = PrefetchRing::new(policy.prefetch);
+                    let mut ring = PrefetchRing::new(policy.prefetch, worker);
                     let mut monitor = HealthMonitor::new(seq, "matched", worker, policy);
                     let mut queue = match cursor {
                         Some(c) => WorkQueue::chunked(c, worker),

@@ -501,7 +501,7 @@ impl<'l> OnlineRunner<'l> {
                     let mut log = ChunkLog::new();
                     let mut batch = OnlineEstimator::new();
                     let mut scratch = DecodeScratch::new();
-                    let mut ring = PrefetchRing::new(policy.prefetch);
+                    let mut ring = PrefetchRing::new(policy.prefetch, worker);
                     let mut monitor = HealthMonitor::new(seq, "online", worker, policy);
                     let mut queue = match cursor {
                         Some(c) => WorkQueue::chunked(c, worker),

@@ -31,7 +31,11 @@
 //! Everything is instrumented: steal counts, chunk sizes, prefetch-ring
 //! occupancy, and per-worker busy/idle time land in the metrics
 //! registry (`core.sched.*`) and flow into run manifests via
-//! [`spectral_telemetry::snapshot`].
+//! [`spectral_telemetry::snapshot`]. When a trace sink is installed
+//! ([`spectral_telemetry::tracing`]), the same quantities are also
+//! sampled as per-worker `{"type":"sched"}` JSONL records, which the
+//! perfetto exporter renders as counter tracks next to the span
+//! timeline.
 
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -151,14 +155,14 @@ impl ChunkCursor {
 /// steal count for the per-worker telemetry histogram.
 pub(crate) enum WorkQueue<'a> {
     /// `next, next+step, …` below `limit`, one index per "chunk".
-    Stride { next: usize, step: usize, limit: usize },
+    Stride { worker: usize, next: usize, step: usize, limit: usize },
     /// Pre-assigned first chunk, then claims from the shared cursor.
     Chunked { cursor: &'a ChunkCursor, worker: usize, first: bool, steals: u64 },
 }
 
 impl<'a> WorkQueue<'a> {
     pub fn stride(worker: usize, threads: usize, limit: usize) -> Self {
-        WorkQueue::Stride { next: worker, step: threads, limit }
+        WorkQueue::Stride { worker, next: worker, step: threads, limit }
     }
 
     pub fn chunked(cursor: &'a ChunkCursor, worker: usize) -> Self {
@@ -168,14 +172,14 @@ impl<'a> WorkQueue<'a> {
     /// The next chunk of indices this worker owns, or `None` when its
     /// share of the library is exhausted.
     pub fn next_chunk(&mut self) -> Option<Range<usize>> {
-        let chunk = match self {
-            WorkQueue::Stride { next, step, limit } => {
+        let (chunk, worker, steals) = match self {
+            WorkQueue::Stride { worker, next, step, limit } => {
                 if *next >= *limit {
                     return None;
                 }
                 let start = *next;
                 *next += *step;
-                start..start + 1
+                (start..start + 1, *worker, None)
             }
             WorkQueue::Chunked { cursor, worker, first, steals } => {
                 let chunk = if *first {
@@ -190,11 +194,14 @@ impl<'a> WorkQueue<'a> {
                 if chunk.is_empty() {
                     return None;
                 }
-                chunk
+                (chunk, *worker, Some(*steals))
             }
         };
         TLM_CHUNKS.inc();
         TLM_CHUNK_POINTS.record(chunk.len() as u64);
+        if spectral_telemetry::tracing() {
+            spectral_telemetry::trace_sched(worker, Some(chunk.len() as u64), steals, None);
+        }
         Some(chunk)
     }
 
@@ -221,13 +228,22 @@ pub(crate) fn note_worker_time(busy_ns: u64, wall_ns: u64) {
 pub(crate) struct PrefetchRing {
     ring: VecDeque<(LivePoint, u64)>,
     depth: usize,
+    worker: usize,
+    /// Last occupancy sampled into the trace, so an idle steady state
+    /// doesn't flood the sink with identical counter records.
+    last_traced: Option<u64>,
 }
 
 impl PrefetchRing {
-    /// A ring decoding up to `depth` points ahead (`0` behaves as `1`:
-    /// decode-on-demand).
-    pub fn new(depth: usize) -> Self {
-        PrefetchRing { ring: VecDeque::with_capacity(depth.max(1)), depth: depth.max(1) }
+    /// Worker `worker`'s ring, decoding up to `depth` points ahead (`0`
+    /// behaves as `1`: decode-on-demand).
+    pub fn new(depth: usize, worker: usize) -> Self {
+        PrefetchRing {
+            ring: VecDeque::with_capacity(depth.max(1)),
+            depth: depth.max(1),
+            worker,
+            last_traced: None,
+        }
     }
 
     /// Top the ring up from the front of `pending` (the undecoded
@@ -244,7 +260,12 @@ impl PrefetchRing {
             let Some(index) = pending.next() else { break };
             self.ring.push_back(decode_point(library, index, scratch)?);
         }
-        TLM_PREFETCH_OCCUPANCY.record(self.ring.len() as u64);
+        let occupancy = self.ring.len() as u64;
+        TLM_PREFETCH_OCCUPANCY.record(occupancy);
+        if spectral_telemetry::tracing() && self.last_traced != Some(occupancy) {
+            self.last_traced = Some(occupancy);
+            spectral_telemetry::trace_sched(self.worker, None, None, Some(occupancy));
+        }
         Ok(())
     }
 

@@ -364,7 +364,7 @@ impl<'l> SweepRunner<'l> {
                     let mut log = ChunkLog::new();
                     let mut batch = SweepProgress::new(configs);
                     let mut scratch = DecodeScratch::new();
-                    let mut ring = PrefetchRing::new(policy.prefetch);
+                    let mut ring = PrefetchRing::new(policy.prefetch, worker);
                     let mut monitor = HealthMonitor::new(seq, "sweep", worker, policy);
                     let mut queue = match cursor {
                         Some(c) => WorkQueue::chunked(c, worker),

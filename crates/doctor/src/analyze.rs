@@ -20,13 +20,18 @@ pub struct TrajectoryPoint {
     pub eligible_95: bool,
 }
 
-/// Convergence diagnosis of one estimated series (one `(seq, run,
-/// metric, config)` group of progress records — binaries often perform
-/// several runs into one sink, and the `seq` ordinal keeps them apart).
+/// Convergence diagnosis of one estimated series (one `(seq, run_id,
+/// run, metric, config)` group of progress records — binaries often
+/// perform several runs into one sink, and the `seq` ordinal keeps them
+/// apart; the `run_id` additionally separates different *processes*
+/// appending to a shared sink, whose `seq` ordinals collide).
 #[derive(Debug, Clone)]
 pub struct SeriesDiagnosis {
     /// Process-wide run ordinal (0 for pre-`seq` streams).
     pub seq: u64,
+    /// Collision-resistant run identifier (empty for pre-`run_id`
+    /// streams).
+    pub run_id: String,
     /// Run kind the series came from.
     pub run: String,
     /// What the mean estimates.
@@ -142,14 +147,17 @@ fn shard_report(records: &[&crate::ProgressRecord]) -> ShardReport {
 
 /// Build a [`Diagnosis`] from a run's artifacts.
 pub fn analyze(artifacts: &RunArtifacts) -> Diagnosis {
-    type SeriesKey = (u64, String, String, Option<usize>);
+    type SeriesKey = (u64, String, String, String, Option<usize>);
     let mut groups: BTreeMap<SeriesKey, Vec<&crate::ProgressRecord>> = BTreeMap::new();
     for p in &artifacts.progress {
-        groups.entry((p.seq, p.run.clone(), p.metric.clone(), p.config)).or_default().push(p);
+        groups
+            .entry((p.seq, p.run_id.clone(), p.run.clone(), p.metric.clone(), p.config))
+            .or_default()
+            .push(p);
     }
     let series = groups
         .into_iter()
-        .map(|((seq, run, metric, config), records)| {
+        .map(|((seq, run_id, run, metric, config), records)| {
             let shards = shard_report(&records);
             let target_rel_err = records.last().map_or(0.0, |r| r.target_rel_err);
             // Collapse to one sample per n (parallel workers race to
@@ -187,6 +195,7 @@ pub fn analyze(artifacts: &RunArtifacts) -> Diagnosis {
             };
             SeriesDiagnosis {
                 seq,
+                run_id,
                 run,
                 metric,
                 config,
@@ -290,6 +299,7 @@ mod tests {
     fn progress(worker: usize, n: u64, rel: f64, shard_points: u64) -> ProgressRecord {
         ProgressRecord {
             t_us: n,
+            run_id: String::new(),
             seq: 1,
             run: "online".into(),
             metric: "cpi".into(),
@@ -412,9 +422,29 @@ mod tests {
     }
 
     #[test]
+    fn shared_sink_processes_split_by_run_id() {
+        // Two processes appending to one events file both start at seq
+        // 1; only the run_id keeps their streams apart.
+        let mut a = progress(0, 8, 0.5, 8);
+        a.run_id = "aaaa000000000001-1".into();
+        let mut a2 = progress(0, 40, 0.06, 40);
+        a2.run_id = "aaaa000000000001-1".into();
+        let mut b = progress(0, 16, 0.4, 16);
+        b.run_id = "bbbb000000000001-1".into();
+        let artifacts =
+            RunArtifacts { manifest: None, progress: vec![a, b, a2], anomalies: Vec::new() };
+        let d = analyze(&artifacts);
+        assert_eq!(d.series.len(), 2, "one series per run_id despite equal seq");
+        assert_eq!(d.series[0].run_id, "aaaa000000000001-1");
+        assert!(d.series[0].converged);
+        assert!(!d.series[1].converged);
+    }
+
+    #[test]
     fn anomalies_sorted_by_severity() {
         let a = |point: u64, sigmas: f64, ns: u64| crate::AnomalyRecord {
             t_us: 0,
+            run_id: String::new(),
             seq: 1,
             run: "online".into(),
             worker: 0,

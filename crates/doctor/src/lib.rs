@@ -22,12 +22,30 @@
 //! (with a sparkline convergence curve), as machine-readable JSON
 //! (`--json`), and can convert the trace + event streams into a Chrome
 //! `trace_event` document for <https://ui.perfetto.dev> (`--perfetto`).
+//!
+//! Beyond the per-run `analyze` diagnosis, the binary grew cross-run
+//! subcommands over the [`spectral-registry`](spectral_registry)
+//! run registry:
+//!
+//! * **`trend`** ([`trend`]) — per-benchmark/per-machine time series of
+//!   run rate, points-to-convergence, and CI half-width across
+//!   registry records, rendered as sparklines or JSON.
+//! * **`gate`** ([`gate`]) — a statistical regression verdict between a
+//!   baseline run-set and a candidate run-set, built on
+//!   [`spectral_stats::MatchedPair`]; designed as a CI gate (exit code
+//!   2 on regression).
+//! * **`watch`** ([`WatchFrame`]) — a live terminal dashboard over a
+//!   growing events file or registry directory, with an optional
+//!   Prometheus-style text exposition (`--prom`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analyze;
+mod gate;
 mod report;
+mod trend;
+mod watch;
 
 use std::fmt;
 use std::path::Path;
@@ -38,7 +56,10 @@ pub use analyze::{
     analyze, diff_runs, exhausted_without_convergence, Diagnosis, RunDiff, SeriesDiagnosis,
     ShardReport, TrajectoryPoint,
 };
+pub use gate::{gate, render_gate_json, render_gate_text, GateComparison, GateConfig, GateVerdict};
 pub use report::{render_json, render_text, sparkline};
+pub use trend::{render_trend_json, render_trend_text, trend, TrendPoint, TrendSeries};
+pub use watch::{SeriesState, WatchFrame};
 
 /// A doctor failure: a one-line diagnostic for stderr.
 #[derive(Debug)]
@@ -64,6 +85,9 @@ impl std::error::Error for DoctorError {}
 pub struct ProgressRecord {
     /// Microseconds since the run's first telemetry event.
     pub t_us: u64,
+    /// Collision-resistant run identifier (empty for pre-`run_id`
+    /// streams).
+    pub run_id: String,
     /// Process-wide run ordinal (0 for pre-`seq` streams).
     pub seq: u64,
     /// Run kind: `online`, `matched`, or `sweep`.
@@ -105,6 +129,9 @@ pub struct ProgressRecord {
 pub struct AnomalyRecord {
     /// Microseconds since the run's first telemetry event.
     pub t_us: u64,
+    /// Collision-resistant run identifier (empty for pre-`run_id`
+    /// streams).
+    pub run_id: String,
     /// Process-wide run ordinal (0 for pre-`seq` streams).
     pub seq: u64,
     /// Run kind.
@@ -231,6 +258,7 @@ pub fn parse_events(text: &str) -> Result<(Vec<ProgressRecord>, Vec<AnomalyRecor
         match doc.get("type").and_then(JsonValue::as_str) {
             Some("progress") => progress.push(ProgressRecord {
                 t_us: u64_field(&doc, "t_us"),
+                run_id: str_field(&doc, "run_id"),
                 seq: u64_field(&doc, "seq"),
                 run: str_field(&doc, "run"),
                 metric: str_field(&doc, "metric"),
@@ -250,6 +278,7 @@ pub fn parse_events(text: &str) -> Result<(Vec<ProgressRecord>, Vec<AnomalyRecor
             }),
             Some("anomaly") => anomalies.push(AnomalyRecord {
                 t_us: u64_field(&doc, "t_us"),
+                run_id: str_field(&doc, "run_id"),
                 seq: u64_field(&doc, "seq"),
                 run: str_field(&doc, "run"),
                 worker: u64_field(&doc, "worker") as usize,

@@ -1,34 +1,45 @@
-//! `spectral-doctor` — diagnose a run from its telemetry artifacts.
+//! `spectral-doctor` — sampling-health analysis and cross-run
+//! regression tracking.
 //!
 //! ```text
-//! spectral-doctor --events run.events.jsonl [--manifest run.json]
-//!                 [--trace run.trace.jsonl]
-//!                 [--baseline-events old.events.jsonl]
-//!                 [--baseline-manifest old.json]
-//!                 [--json report.json] [--perfetto trace.chrome.json]
-//!                 [--top N] [--check] [--max-imbalance PCT]
+//! spectral-doctor analyze --events run.events.jsonl [--manifest run.json]
+//!                         [--trace run.trace.jsonl]
+//!                         [--baseline-events old.events.jsonl]
+//!                         [--baseline-manifest old.json]
+//!                         [--json report.json] [--perfetto trace.chrome.json]
+//!                         [--top N] [--check] [--max-imbalance PCT]
+//! spectral-doctor trend   --registry DIR [--json PATH] [--binary NAME]
+//!                         [--benchmark NAME] [--machine NAME] [--last N]
+//! spectral-doctor gate    --registry DIR [--baseline LABEL] [--candidate LABEL]
+//!                         [--max-regress PCT] [--json PATH]
+//! spectral-doctor watch   (--events PATH | --registry DIR) [--prom FILE]
+//!                         [--interval MS] [--once | --frames N]
 //! ```
 //!
-//! Prints the text diagnosis to stdout. `--json` additionally writes
-//! the machine-readable report; `--perfetto` converts the trace and
-//! event streams into a Chrome `trace_event` document for
-//! <https://ui.perfetto.dev>. `--check` exits non-zero when the run
-//! exhausted its library without reaching the confidence target (the
-//! CI gate); it requires `--manifest`. `--max-imbalance PCT` extends
-//! the gate: it also fails when any series' worker busy-time spread
-//! (falling back to the point-count spread for streams without busy
-//! accounting) exceeds `PCT` percent.
+//! `analyze` prints the per-run text diagnosis to stdout (`--json` /
+//! `--perfetto` additionally write reports; `--check` exits non-zero on
+//! a run that exhausted its library without converging). Invoking the
+//! binary with bare flags and no subcommand is the pre-subcommand
+//! `analyze` spelling and keeps working.
+//!
+//! `trend` renders per-benchmark/per-machine sparkline time series over
+//! a run registry; `gate` compares a baseline run-set against a
+//! candidate run-set and exits 0 on pass, 2 on regression, 1 on error —
+//! the CI contract; `watch` tails a growing events file or registry
+//! directory, redrawing an in-place dashboard each `--interval` and
+//! optionally writing a Prometheus-style text exposition to `--prom`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use spectral_doctor::{
-    analyze, diff_runs, exhausted_without_convergence, render_json, render_text, DoctorError,
-    RunArtifacts,
+    analyze, diff_runs, exhausted_without_convergence, gate, render_gate_json, render_gate_text,
+    render_json, render_text, render_trend_json, render_trend_text, trend, DoctorError, GateConfig,
+    RunArtifacts, WatchFrame,
 };
 
 #[derive(Debug, Default)]
-struct Cli {
+struct AnalyzeCli {
     events: Option<PathBuf>,
     manifest: Option<PathBuf>,
     trace: Option<PathBuf>,
@@ -41,44 +52,63 @@ struct Cli {
     max_imbalance: Option<f64>,
 }
 
-const USAGE: &str = "spectral-doctor --events PATH [--manifest PATH] [--trace PATH] \
+const USAGE: &str = "spectral-doctor [analyze] --events PATH [--manifest PATH] [--trace PATH] \
                      [--baseline-events PATH] [--baseline-manifest PATH] [--json PATH] \
-                     [--perfetto PATH] [--top N] [--check] [--max-imbalance PCT]";
+                     [--perfetto PATH] [--top N] [--check] [--max-imbalance PCT]\n\
+                     spectral-doctor trend --registry DIR [--json PATH] [--binary NAME] \
+                     [--benchmark NAME] [--machine NAME] [--last N]\n\
+                     spectral-doctor gate --registry DIR [--baseline LABEL] \
+                     [--candidate LABEL] [--max-regress PCT] [--json PATH]\n\
+                     spectral-doctor watch (--events PATH | --registry DIR) [--prom FILE] \
+                     [--interval MS] [--once | --frames N]";
 
-fn parse_cli(argv: &[String]) -> Result<Cli, DoctorError> {
-    let mut cli = Cli { top: 3, ..Cli::default() };
-    let mut it = argv.iter();
-    while let Some(a) = it.next() {
-        let mut value = |what: &str| -> Result<&String, DoctorError> {
-            it.next().ok_or_else(|| DoctorError::msg(format!("{what} needs a value")))
-        };
+/// A flag-value iterator shared by every subcommand parser.
+struct Args<'a> {
+    it: std::slice::Iter<'a, String>,
+}
+
+impl<'a> Args<'a> {
+    fn new(argv: &'a [String]) -> Args<'a> {
+        Args { it: argv.iter() }
+    }
+
+    fn next(&mut self) -> Option<&'a String> {
+        self.it.next()
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a String, DoctorError> {
+        self.it.next().ok_or_else(|| DoctorError::msg(format!("{flag} needs a value")))
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str, what: &str) -> Result<T, DoctorError> {
+        let v = self.value(flag)?;
+        v.parse().map_err(|_| DoctorError::msg(format!("{flag}: expected {what}, got {v}")))
+    }
+}
+
+fn parse_analyze(argv: &[String]) -> Result<AnalyzeCli, DoctorError> {
+    let mut cli = AnalyzeCli { top: 3, ..AnalyzeCli::default() };
+    let mut args = Args::new(argv);
+    while let Some(a) = args.next() {
         match a.as_str() {
-            "--events" => cli.events = Some(PathBuf::from(value("--events")?)),
-            "--manifest" => cli.manifest = Some(PathBuf::from(value("--manifest")?)),
-            "--trace" => cli.trace = Some(PathBuf::from(value("--trace")?)),
+            "--events" => cli.events = Some(PathBuf::from(args.value("--events")?)),
+            "--manifest" => cli.manifest = Some(PathBuf::from(args.value("--manifest")?)),
+            "--trace" => cli.trace = Some(PathBuf::from(args.value("--trace")?)),
             "--baseline-events" => {
-                cli.baseline_events = Some(PathBuf::from(value("--baseline-events")?));
+                cli.baseline_events = Some(PathBuf::from(args.value("--baseline-events")?));
             }
             "--baseline-manifest" => {
-                cli.baseline_manifest = Some(PathBuf::from(value("--baseline-manifest")?));
+                cli.baseline_manifest = Some(PathBuf::from(args.value("--baseline-manifest")?));
             }
-            "--json" => cli.json = Some(PathBuf::from(value("--json")?)),
-            "--perfetto" => cli.perfetto = Some(PathBuf::from(value("--perfetto")?)),
-            "--top" => {
-                let v = value("--top")?;
-                cli.top = v.parse().map_err(|_| {
-                    DoctorError::msg(format!("--top: expected an integer, got {v}"))
-                })?;
-            }
+            "--json" => cli.json = Some(PathBuf::from(args.value("--json")?)),
+            "--perfetto" => cli.perfetto = Some(PathBuf::from(args.value("--perfetto")?)),
+            "--top" => cli.top = args.parsed("--top", "an integer")?,
             "--check" => cli.check = true,
             "--max-imbalance" => {
-                let v = value("--max-imbalance")?;
-                let pct: f64 = v.parse().map_err(|_| {
-                    DoctorError::msg(format!("--max-imbalance: expected a percentage, got {v}"))
-                })?;
+                let pct: f64 = args.parsed("--max-imbalance", "a percentage")?;
                 if !(0.0..=100.0).contains(&pct) {
                     return Err(DoctorError::msg(format!(
-                        "--max-imbalance: percentage must be in 0..=100, got {v}"
+                        "--max-imbalance: percentage must be in 0..=100, got {pct}"
                     )));
                 }
                 cli.max_imbalance = Some(pct);
@@ -106,8 +136,8 @@ fn write_file(path: &PathBuf, text: &str) -> Result<(), DoctorError> {
         .map_err(|e| DoctorError::msg(format!("cannot write {}: {e}", path.display())))
 }
 
-fn run(cli: &Cli) -> Result<Vec<String>, DoctorError> {
-    let events = cli.events.as_ref().expect("validated in parse_cli");
+fn run_analyze(cli: &AnalyzeCli) -> Result<Vec<String>, DoctorError> {
+    let events = cli.events.as_ref().expect("validated in parse_analyze");
     let artifacts = RunArtifacts::load(cli.manifest.as_deref(), events)?;
     let diagnosis = analyze(&artifacts);
 
@@ -172,9 +202,8 @@ fn run(cli: &Cli) -> Result<Vec<String>, DoctorError> {
     Ok(failures)
 }
 
-fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match parse_cli(&argv).and_then(|cli| run(&cli)) {
+fn analyze_main(argv: &[String]) -> ExitCode {
+    match parse_analyze(argv).and_then(|cli| run_analyze(&cli)) {
         Ok(failures) if failures.is_empty() => ExitCode::SUCCESS,
         Ok(failures) => {
             for f in &failures {
@@ -186,5 +215,183 @@ fn main() -> ExitCode {
             eprintln!("spectral-doctor: error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn load_registry(dir: Option<&PathBuf>) -> Result<Vec<spectral_registry::RunRecord>, DoctorError> {
+    let dir = dir.ok_or_else(|| DoctorError::msg(format!("--registry is required\n{USAGE}")))?;
+    spectral_registry::load_records(dir)
+        .map_err(|e| DoctorError::msg(format!("{}: {e}", dir.display())))
+}
+
+fn trend_main(argv: &[String]) -> ExitCode {
+    let run = || -> Result<(), DoctorError> {
+        let mut registry = None;
+        let mut json = None;
+        let (mut binary, mut benchmark, mut machine) = (None, None, None);
+        let mut last: Option<usize> = None;
+        let mut args = Args::new(argv);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--registry" => registry = Some(PathBuf::from(args.value("--registry")?)),
+                "--json" => json = Some(PathBuf::from(args.value("--json")?)),
+                "--binary" => binary = Some(args.value("--binary")?.clone()),
+                "--benchmark" => benchmark = Some(args.value("--benchmark")?.clone()),
+                "--machine" => machine = Some(args.value("--machine")?.clone()),
+                "--last" => last = Some(args.parsed("--last", "an integer")?),
+                other => {
+                    return Err(DoctorError::msg(format!("unknown argument {other}\n{USAGE}")))
+                }
+            }
+        }
+        let mut records = load_registry(registry.as_ref())?;
+        records.retain(|r| {
+            binary.as_ref().is_none_or(|b| &r.binary == b)
+                && benchmark.as_ref().is_none_or(|b| &r.benchmark == b)
+                && machine.as_ref().is_none_or(|m| &r.machine == m)
+        });
+        let mut series = trend(&records);
+        if let Some(n) = last {
+            for s in &mut series {
+                let drop = s.points.len().saturating_sub(n);
+                s.points.drain(..drop);
+            }
+        }
+        print!("{}", render_trend_text(&series));
+        if let Some(path) = &json {
+            write_file(path, &render_trend_json(&series))?;
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("spectral-doctor trend: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn gate_main(argv: &[String]) -> ExitCode {
+    let run = || -> Result<bool, DoctorError> {
+        let mut registry = None;
+        let mut json = None;
+        let mut cfg = GateConfig::default();
+        let mut args = Args::new(argv);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--registry" => registry = Some(PathBuf::from(args.value("--registry")?)),
+                "--baseline" => cfg.baseline = args.value("--baseline")?.clone(),
+                "--candidate" => cfg.candidate = args.value("--candidate")?.clone(),
+                "--max-regress" => {
+                    cfg.max_regress = args.parsed("--max-regress", "a percentage")?;
+                    if !(0.0..=100.0).contains(&cfg.max_regress) {
+                        return Err(DoctorError::msg(format!(
+                            "--max-regress: percentage must be in 0..=100, got {}",
+                            cfg.max_regress
+                        )));
+                    }
+                }
+                "--json" => json = Some(PathBuf::from(args.value("--json")?)),
+                other => {
+                    return Err(DoctorError::msg(format!("unknown argument {other}\n{USAGE}")))
+                }
+            }
+        }
+        let records = load_registry(registry.as_ref())?;
+        let verdict = gate(&records, &cfg)?;
+        print!("{}", render_gate_text(&verdict, &cfg));
+        if let Some(path) = &json {
+            write_file(path, &render_gate_json(&verdict, &cfg))?;
+        }
+        Ok(verdict.pass())
+    };
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        // Exit 2 distinguishes "a regression was detected" from
+        // "the gate itself failed to run" (exit 1) for CI pipelines.
+        Ok(false) => ExitCode::from(2),
+        Err(e) => {
+            eprintln!("spectral-doctor gate: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn watch_main(argv: &[String]) -> ExitCode {
+    let run = || -> Result<(), DoctorError> {
+        let mut events: Option<PathBuf> = None;
+        let mut registry: Option<PathBuf> = None;
+        let mut prom: Option<PathBuf> = None;
+        let mut interval_ms: u64 = 1_000;
+        let mut frames: Option<u64> = None;
+        let mut args = Args::new(argv);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--events" => events = Some(PathBuf::from(args.value("--events")?)),
+                "--registry" => registry = Some(PathBuf::from(args.value("--registry")?)),
+                "--prom" => prom = Some(PathBuf::from(args.value("--prom")?)),
+                "--interval" => interval_ms = args.parsed("--interval", "milliseconds")?,
+                "--once" => frames = Some(1),
+                "--frames" => frames = Some(args.parsed("--frames", "an integer")?),
+                other => {
+                    return Err(DoctorError::msg(format!("unknown argument {other}\n{USAGE}")))
+                }
+            }
+        }
+        if events.is_some() == registry.is_some() {
+            return Err(DoctorError::msg(
+                "watch needs exactly one of --events PATH or --registry DIR",
+            ));
+        }
+        let total = frames.unwrap_or(u64::MAX);
+        let in_place = total > 1;
+        for i in 0..total {
+            let frame = match (&events, &registry) {
+                (Some(path), None) => {
+                    // A sink that hasn't produced the file yet is an
+                    // empty frame, not an error — watch outlives writers.
+                    let text = std::fs::read_to_string(path).unwrap_or_default();
+                    WatchFrame::from_events_text(&text)
+                }
+                (None, Some(dir)) => {
+                    let records = spectral_registry::load_records(dir)
+                        .map_err(|e| DoctorError::msg(format!("{}: {e}", dir.display())))?;
+                    WatchFrame::from_records(records)
+                }
+                _ => unreachable!("validated above"),
+            };
+            if in_place {
+                // Clear + home, then redraw over the previous frame.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", frame.dashboard());
+            if let Some(path) = &prom {
+                write_file(path, &frame.prometheus())?;
+            }
+            if i + 1 < total {
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            }
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("spectral-doctor watch: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("analyze") => analyze_main(&argv[1..]),
+        Some("trend") => trend_main(&argv[1..]),
+        Some("gate") => gate_main(&argv[1..]),
+        Some("watch") => watch_main(&argv[1..]),
+        // Bare flags are the pre-subcommand `analyze` spelling.
+        _ => analyze_main(&argv),
     }
 }

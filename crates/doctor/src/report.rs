@@ -195,8 +195,9 @@ fn render_series_json(s: &SeriesDiagnosis) -> String {
     let mut out = String::from("{");
     let _ = write!(
         out,
-        "\"seq\":{},\"run\":{},\"metric\":{},\"config\":{},\"target_rel_err\":{},",
+        "\"seq\":{},\"run_id\":{},\"run\":{},\"metric\":{},\"config\":{},\"target_rel_err\":{},",
         s.seq,
+        quote(&s.run_id),
         quote(&s.run),
         quote(&s.metric),
         s.config.map_or("null".to_owned(), |c| c.to_string()),

@@ -1,0 +1,278 @@
+//! `doctor trend`: per-benchmark/per-machine time series over the run
+//! registry — the perf trajectory a single run's artifacts can't show.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use spectral_registry::RunRecord;
+use spectral_telemetry::{json_number as number, json_quote as quote};
+
+use crate::report::sparkline;
+
+/// One run's contribution to a trend series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// Append-time wall clock (the x-axis), ms since the Unix epoch.
+    pub unix_ms: u64,
+    /// The run's collision-resistant identifier.
+    pub run_id: String,
+    /// Code-version label the run was recorded under.
+    pub code_version: String,
+    /// Throughput, points per second of run-phase wall-clock.
+    pub run_rate: Option<f64>,
+    /// Points the primary series needed to first become eligible to
+    /// stop (from the distilled convergence summary; falls back to the
+    /// processed-point count for runs without one).
+    pub points_to_convergence: Option<u64>,
+    /// Final estimate CI half-width.
+    pub ci_half_width: Option<f64>,
+    /// Whether the run reached its confidence target.
+    pub converged: Option<bool>,
+}
+
+/// The trajectory of one `(binary, benchmark, machine, threads)` tuple
+/// across registry records, in append order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendSeries {
+    /// Emitting binary.
+    pub binary: String,
+    /// Benchmark / workload identifier.
+    pub benchmark: String,
+    /// Machine configuration label.
+    pub machine: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Record kind (`run` / `bench`).
+    pub kind: String,
+    /// Per-run samples, sorted by wall-clock (append order breaks ties).
+    pub points: Vec<TrendPoint>,
+}
+
+fn trend_point(r: &RunRecord) -> TrendPoint {
+    // The primary series is the first convergence summary (single-config
+    // runs have exactly one; sweeps put the baseline first).
+    let primary = r.convergence.first();
+    TrendPoint {
+        unix_ms: r.unix_ms,
+        run_id: r.run_id.clone(),
+        code_version: r.code_version.clone(),
+        run_rate: r.run_rate,
+        points_to_convergence: primary
+            .and_then(|s| s.first_eligible_n)
+            .or_else(|| primary.map(|s| s.n))
+            .or(r.points_processed),
+        ci_half_width: r.estimate.as_ref().map(|e| e.half_width),
+        converged: r.estimate.as_ref().map(|e| e.reached_target),
+    }
+}
+
+/// Group registry records into per-`(kind, binary, benchmark, machine,
+/// threads)` trend series. Records stay in append order within a series
+/// (then stable-sorted by wall clock, so backfilled registries still
+/// render chronologically).
+pub fn trend(records: &[RunRecord]) -> Vec<TrendSeries> {
+    type Key = (String, String, String, String, usize);
+    let mut groups: BTreeMap<Key, Vec<TrendPoint>> = BTreeMap::new();
+    for r in records {
+        groups
+            .entry((
+                r.kind.clone(),
+                r.binary.clone(),
+                r.benchmark.clone(),
+                r.machine.clone(),
+                r.threads,
+            ))
+            .or_default()
+            .push(trend_point(r));
+    }
+    groups
+        .into_iter()
+        .map(|((kind, binary, benchmark, machine, threads), mut points)| {
+            points.sort_by_key(|p| p.unix_ms);
+            TrendSeries { binary, benchmark, machine, threads, kind, points }
+        })
+        .collect()
+}
+
+fn metric_line(out: &mut String, label: &str, values: &[Option<f64>], unit: &str) {
+    let present: Vec<f64> = values.iter().filter_map(|v| *v).collect();
+    if present.is_empty() {
+        return;
+    }
+    let (first, last) = (present[0], present[present.len() - 1]);
+    let change = if first != 0.0 {
+        format!(" ({:+.1}%)", (last - first) / first * 100.0)
+    } else {
+        String::new()
+    };
+    let _ = writeln!(
+        out,
+        "  {label:<22} {}  {first:.4} → {last:.4}{unit}{change}",
+        sparkline(&present)
+    );
+}
+
+/// Render trend series as a text report with sparkline trajectories.
+pub fn render_trend_text(series: &[TrendSeries]) -> String {
+    let mut out = String::new();
+    if series.is_empty() {
+        let _ = writeln!(out, "trend: no matching records in the registry");
+        return out;
+    }
+    for s in series {
+        let _ = writeln!(
+            out,
+            "trend: {} {} / {} on {} with {} threads — {} run{}",
+            s.kind,
+            s.binary,
+            s.benchmark,
+            s.machine,
+            s.threads,
+            s.points.len(),
+            if s.points.len() == 1 { "" } else { "s" }
+        );
+        let rates: Vec<Option<f64>> = s.points.iter().map(|p| p.run_rate).collect();
+        let to_conv: Vec<Option<f64>> =
+            s.points.iter().map(|p| p.points_to_convergence.map(|n| n as f64)).collect();
+        let hws: Vec<Option<f64>> = s.points.iter().map(|p| p.ci_half_width).collect();
+        metric_line(&mut out, "run rate (pts/s)", &rates, "");
+        metric_line(&mut out, "points to converge", &to_conv, "");
+        metric_line(&mut out, "CI half-width", &hws, "");
+        let unconverged = s.points.iter().filter(|p| p.converged == Some(false)).count();
+        if unconverged > 0 {
+            let _ = writeln!(out, "  WARNING: {unconverged} run(s) missed the target");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render trend series as machine-readable JSON.
+pub fn render_trend_json(series: &[TrendSeries]) -> String {
+    let mut out = String::from("{\"version\":1,\"series\":[");
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"kind\":{},\"binary\":{},\"benchmark\":{},\"machine\":{},\"threads\":{},\
+             \"points\":[",
+            quote(&s.kind),
+            quote(&s.binary),
+            quote(&s.benchmark),
+            quote(&s.machine),
+            s.threads
+        );
+        for (j, p) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let opt_num = |v: Option<f64>| v.map_or("null".to_owned(), number);
+            let _ = write!(
+                out,
+                "{{\"unix_ms\":{},\"run_id\":{},\"code_version\":{},\"run_rate\":{},\
+                 \"points_to_convergence\":{},\"ci_half_width\":{},\"converged\":{}}}",
+                p.unix_ms,
+                quote(&p.run_id),
+                quote(&p.code_version),
+                opt_num(p.run_rate),
+                p.points_to_convergence.map_or("null".to_owned(), |n| n.to_string()),
+                opt_num(p.ci_half_width),
+                p.converged.map_or("null".to_owned(), |b| b.to_string()),
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectral_telemetry::EstimateSummary;
+
+    fn record(binary: &str, unix_ms: u64, rate: f64, hw: f64) -> RunRecord {
+        let mut r = RunRecord::new("run", binary, "gcc-like", "8-wide", 4);
+        r.run_id = format!("aaaa000000000001-{unix_ms}");
+        r.unix_ms = unix_ms;
+        r.points_processed = Some(500);
+        r.run_rate = Some(rate);
+        r.estimate = Some(EstimateSummary {
+            mean: 1.4,
+            half_width: hw,
+            relative_half_width: hw / 1.4,
+            reached_target: true,
+        });
+        r
+    }
+
+    #[test]
+    fn records_group_and_sort_chronologically() {
+        // Deliberately interleaved and out of wall-clock order.
+        let records = vec![
+            record("online", 2_000, 2_400.0, 0.02),
+            record("matched", 1_500, 900.0, 0.01),
+            record("online", 1_000, 1_200.0, 0.05),
+        ];
+        let series = trend(&records);
+        assert_eq!(series.len(), 2);
+        let online = series.iter().find(|s| s.binary == "online").expect("online series");
+        assert_eq!(online.points.len(), 2);
+        assert_eq!(online.points[0].unix_ms, 1_000, "sorted by wall clock");
+        assert_eq!(online.points[0].run_rate, Some(1_200.0));
+        assert_eq!(online.points[1].run_rate, Some(2_400.0));
+        let text = render_trend_text(&series);
+        assert!(text.contains("online / gcc-like"), "{text}");
+        assert!(text.contains("2 runs"), "{text}");
+        assert!(text.contains("run rate"), "{text}");
+        assert!(text.contains("(+100.0%)"), "rate doubled: {text}");
+    }
+
+    #[test]
+    fn convergence_cost_prefers_the_distilled_summary() {
+        let mut r = record("online", 1_000, 1_200.0, 0.05);
+        r.convergence = vec![spectral_telemetry::RunSummary {
+            run_id: r.run_id.clone(),
+            seq: 1,
+            run: "online".into(),
+            metric: "cpi".into(),
+            config: None,
+            n: 40,
+            mean: 1.4,
+            half_width: 0.05,
+            rel_half_width: 0.036,
+            target_rel_err: 0.05,
+            eligible: true,
+            first_eligible_n: Some(36),
+            overshoot: 4,
+            anomalies: 0,
+            workers: 4,
+            min_shard_points: 8,
+            max_shard_points: 12,
+            min_shard_busy_ns: 0,
+            max_shard_busy_ns: 0,
+        }];
+        let series = trend(&[r]);
+        assert_eq!(series[0].points[0].points_to_convergence, Some(36));
+        // Without a summary, fall back to processed points.
+        let bare = record("online", 1_000, 1_200.0, 0.05);
+        assert_eq!(trend(&[bare])[0].points[0].points_to_convergence, Some(500));
+    }
+
+    #[test]
+    fn json_rendering_is_parseable() {
+        use spectral_telemetry::JsonValue;
+        let series = trend(&[
+            record("online", 1_000, 1_200.0, 0.05),
+            record("online", 2_000, 2_400.0, 0.02),
+        ]);
+        let doc = JsonValue::parse(&render_trend_json(&series)).expect("valid JSON");
+        let arr = doc.get("series").and_then(JsonValue::as_arr).expect("series array");
+        assert_eq!(arr.len(), 1);
+        let points = arr[0].get("points").and_then(JsonValue::as_arr).expect("points array");
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].get("run_rate").and_then(JsonValue::as_f64), Some(2_400.0));
+    }
+}

@@ -1,0 +1,437 @@
+//! `doctor watch`: live run exposition — a rebuilt-per-frame snapshot
+//! of a growing events file or registry directory, rendered as an
+//! in-place terminal dashboard and/or a Prometheus-style text
+//! exposition.
+//!
+//! A frame is a pure function of the artifact's current contents: the
+//! watch loop re-reads the file each tick and rebuilds the frame, so
+//! there is no incremental state to corrupt when a writer restarts or
+//! truncates. Parsing is deliberately *tolerant* — a live writer's last
+//! line may be mid-append, and a dashboard that dies on a partial line
+//! is useless — unlike [`parse_events`](crate::parse_events), which
+//! reports malformed lines because it reads completed artifacts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use spectral_registry::RunRecord;
+use spectral_telemetry::{json_number as number, JsonValue, RunSummary};
+
+/// The live state of one estimated series, distilled from its latest
+/// progress records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesState {
+    /// Collision-resistant run identifier (empty for pre-`run_id`
+    /// streams).
+    pub run_id: String,
+    /// Process-wide run ordinal.
+    pub seq: u64,
+    /// Run kind: `online`, `matched`, or `sweep`.
+    pub run: String,
+    /// What the mean estimates.
+    pub metric: String,
+    /// Sweep configuration index, if any.
+    pub config: Option<usize>,
+    /// Points merged into the estimate so far.
+    pub n: u64,
+    /// Running mean.
+    pub mean: f64,
+    /// Relative CI half-width at the policy confidence.
+    pub rel_half_width: f64,
+    /// The policy's relative-error target ε.
+    pub target_rel_err: f64,
+    /// Early-termination eligibility at the policy confidence.
+    pub eligible: bool,
+    /// Workers that have reported progress.
+    pub workers: usize,
+    /// `(max − min) / max` over per-worker busy time (0 with fewer than
+    /// two busy workers).
+    pub busy_spread: f64,
+    /// Anomalies observed in this series' run so far.
+    pub anomalies: u64,
+}
+
+/// One snapshot of a watched artifact.
+#[derive(Debug, Clone, Default)]
+pub struct WatchFrame {
+    /// Live series, ordered by (seq, run_id, run, metric, config).
+    pub series: Vec<SeriesState>,
+    /// Registry records (empty when watching an events file).
+    pub runs: Vec<RunRecord>,
+}
+
+type SeriesKey = (u64, String, String, String, Option<usize>);
+
+#[derive(Default)]
+struct SeriesAccum {
+    latest: Option<SeriesState>,
+    latest_n: u64,
+    busy: BTreeMap<u64, u64>,
+    workers: BTreeMap<u64, ()>,
+}
+
+impl WatchFrame {
+    /// Build a frame from an events file's current contents. Malformed
+    /// lines (including a partial final line mid-append) are skipped.
+    pub fn from_events_text(text: &str) -> WatchFrame {
+        let mut accums: BTreeMap<SeriesKey, SeriesAccum> = BTreeMap::new();
+        let mut anomalies: BTreeMap<(String, u64, String), u64> = BTreeMap::new();
+        for line in text.lines() {
+            let Ok(doc) = JsonValue::parse(line) else { continue };
+            let str_of = |key: &str| -> String {
+                doc.get(key).and_then(JsonValue::as_str).unwrap_or("").to_owned()
+            };
+            let u64_of = |key: &str| doc.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+            let f64_of = |key: &str| doc.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+            match doc.get("type").and_then(JsonValue::as_str) {
+                Some("progress") => {
+                    let key = (
+                        u64_of("seq"),
+                        str_of("run_id"),
+                        str_of("run"),
+                        str_of("metric"),
+                        doc.get("config").and_then(JsonValue::as_u64).map(|c| c as usize),
+                    );
+                    let acc = accums.entry(key.clone()).or_default();
+                    let worker = u64_of("worker");
+                    acc.workers.insert(worker, ());
+                    let busy = u64_of("shard_busy_ns");
+                    if busy > 0 {
+                        let e = acc.busy.entry(worker).or_default();
+                        *e = (*e).max(busy);
+                    }
+                    let n = u64_of("n");
+                    if acc.latest.is_none() || n >= acc.latest_n {
+                        acc.latest_n = n;
+                        acc.latest = Some(SeriesState {
+                            run_id: key.1,
+                            seq: key.0,
+                            run: key.2,
+                            metric: key.3,
+                            config: key.4,
+                            n,
+                            mean: f64_of("mean"),
+                            rel_half_width: f64_of("rel_half_width"),
+                            target_rel_err: f64_of("target_rel_err"),
+                            eligible: doc
+                                .get("eligible")
+                                .and_then(JsonValue::as_bool)
+                                .unwrap_or(false),
+                            workers: 0,
+                            busy_spread: 0.0,
+                            anomalies: 0,
+                        });
+                    }
+                }
+                Some("anomaly") => {
+                    *anomalies
+                        .entry((str_of("run_id"), u64_of("seq"), str_of("run")))
+                        .or_default() += 1;
+                }
+                _ => {}
+            }
+        }
+        let series = accums
+            .into_values()
+            .filter_map(|acc| {
+                let mut s = acc.latest?;
+                s.workers = acc.workers.len();
+                s.busy_spread = match (acc.busy.values().max(), acc.busy.values().min()) {
+                    (Some(&max), Some(&min)) if acc.busy.len() > 1 && max > 0 => {
+                        (max - min) as f64 / max as f64
+                    }
+                    _ => 0.0,
+                };
+                s.anomalies =
+                    anomalies.get(&(s.run_id.clone(), s.seq, s.run.clone())).copied().unwrap_or(0);
+                Some(s)
+            })
+            .collect();
+        WatchFrame { series, runs: Vec::new() }
+    }
+
+    /// Build a frame from registry records: the run list verbatim, plus
+    /// series derived from the latest record per `(kind, binary,
+    /// benchmark, machine, threads)` tuple's convergence summaries.
+    pub fn from_records(runs: Vec<RunRecord>) -> WatchFrame {
+        type TupleKey = (String, String, String, String, usize);
+        let mut latest: BTreeMap<TupleKey, &RunRecord> = BTreeMap::new();
+        for r in &runs {
+            latest.insert(
+                (
+                    r.kind.clone(),
+                    r.binary.clone(),
+                    r.benchmark.clone(),
+                    r.machine.clone(),
+                    r.threads,
+                ),
+                r,
+            );
+        }
+        let series =
+            latest.values().flat_map(|r| r.convergence.iter().map(summary_state)).collect();
+        WatchFrame { series, runs }
+    }
+
+    /// Render the in-place dashboard body (no ANSI control codes — the
+    /// watch loop owns screen clearing).
+    pub fn dashboard(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "spectral-doctor watch — {} series, {} run record{}",
+            self.series.len(),
+            self.runs.len(),
+            if self.runs.len() == 1 { "" } else { "s" }
+        );
+        for s in &self.series {
+            let label = match s.config {
+                Some(c) => format!("{} {} [config {c}]", s.run, s.metric),
+                None => format!("{} {}", s.run, s.metric),
+            };
+            let _ = writeln!(
+                out,
+                "  [{label} #{seq}] n={n} mean={mean:.4} ±{rel:.2}% (target {tgt:.2}%) {state}  \
+                 workers={w} busy-spread={spread:.0}% anomalies={a}",
+                seq = s.seq,
+                n = s.n,
+                mean = s.mean,
+                rel = s.rel_half_width * 100.0,
+                tgt = s.target_rel_err * 100.0,
+                state = if s.eligible { "ELIGIBLE" } else { "running" },
+                w = s.workers,
+                spread = s.busy_spread * 100.0,
+                a = s.anomalies,
+            );
+        }
+        let tail = self.runs.len().saturating_sub(5);
+        if !self.runs.is_empty() {
+            let _ = writeln!(out, "recent runs:");
+        }
+        for r in &self.runs[tail..] {
+            let _ = writeln!(
+                out,
+                "  {} {}/{} on {} t{} [{}] rate={}",
+                r.kind,
+                r.binary,
+                r.benchmark,
+                r.machine,
+                r.threads,
+                r.code_version,
+                r.run_rate.map_or("n/a".to_owned(), |v| format!("{v:.0} pts/s")),
+            );
+        }
+        out
+    }
+
+    /// Render the frame as a Prometheus-style text exposition
+    /// (`# HELP` / `# TYPE` headers, one labeled sample per line).
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let series_labels = |s: &SeriesState| {
+            format!(
+                "run_id=\"{}\",run=\"{}\",metric=\"{}\",config=\"{}\",seq=\"{}\"",
+                escape_label(&s.run_id),
+                escape_label(&s.run),
+                escape_label(&s.metric),
+                s.config.map_or(String::new(), |c| c.to_string()),
+                s.seq
+            )
+        };
+        let mut gauge = |name: &str, help: &str, rows: Vec<(String, String)>| {
+            if rows.is_empty() {
+                return;
+            }
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for (labels, value) in rows {
+                let _ = writeln!(out, "{name}{{{labels}}} {value}");
+            }
+        };
+        let rows = |f: &dyn Fn(&SeriesState) -> String| -> Vec<(String, String)> {
+            self.series.iter().map(|s| (series_labels(s), f(s))).collect()
+        };
+        gauge(
+            "spectral_progress_points",
+            "Points merged into the running estimate.",
+            rows(&|s| s.n.to_string()),
+        );
+        gauge("spectral_progress_mean", "Running mean.", rows(&|s| number(s.mean)));
+        gauge(
+            "spectral_progress_rel_half_width",
+            "Relative CI half-width at the policy confidence.",
+            rows(&|s| number(s.rel_half_width)),
+        );
+        gauge(
+            "spectral_progress_target_rel_err",
+            "The policy's relative-error target.",
+            rows(&|s| number(s.target_rel_err)),
+        );
+        gauge(
+            "spectral_progress_eligible",
+            "Early-termination eligibility (1 = eligible).",
+            rows(&|s| if s.eligible { "1" } else { "0" }.to_owned()),
+        );
+        gauge(
+            "spectral_shard_busy_spread",
+            "(max-min)/max over per-worker busy time.",
+            rows(&|s| number(s.busy_spread)),
+        );
+        gauge(
+            "spectral_anomalies",
+            "Anomalous live-points observed in the series' run.",
+            rows(&|s| s.anomalies.to_string()),
+        );
+        let run_rows: Vec<(String, String)> = self
+            .runs
+            .iter()
+            .filter_map(|r| {
+                let rate = r.run_rate?;
+                Some((
+                    format!(
+                        "run_id=\"{}\",kind=\"{}\",binary=\"{}\",benchmark=\"{}\",\
+                         machine=\"{}\",threads=\"{}\",code_version=\"{}\"",
+                        escape_label(&r.run_id),
+                        escape_label(&r.kind),
+                        escape_label(&r.binary),
+                        escape_label(&r.benchmark),
+                        escape_label(&r.machine),
+                        r.threads,
+                        escape_label(&r.code_version),
+                    ),
+                    number(rate),
+                ))
+            })
+            .collect();
+        gauge("spectral_run_rate", "Run throughput in points per second.", run_rows);
+        if !self.runs.is_empty() {
+            let _ = writeln!(out, "# HELP spectral_runs_total Registry records seen.");
+            let _ = writeln!(out, "# TYPE spectral_runs_total gauge");
+            let _ = writeln!(out, "spectral_runs_total {}", self.runs.len());
+        }
+        out
+    }
+}
+
+fn summary_state(s: &RunSummary) -> SeriesState {
+    SeriesState {
+        run_id: s.run_id.clone(),
+        seq: s.seq,
+        run: s.run.clone(),
+        metric: s.metric.clone(),
+        config: s.config,
+        n: s.n,
+        mean: s.mean,
+        rel_half_width: s.rel_half_width,
+        target_rel_err: s.target_rel_err,
+        eligible: s.eligible,
+        workers: s.workers,
+        busy_spread: s.busy_spread(),
+        anomalies: s.anomalies,
+    }
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STREAM: &str = concat!(
+        "{\"type\":\"progress\",\"run_id\":\"aaaa000000000001-1\",\"seq\":1,\"run\":\"online\",\
+         \"metric\":\"cpi\",\"worker\":0,\"n\":8,\"mean\":1.52,\"rel_half_width\":0.4,\
+         \"target_rel_err\":0.1,\"eligible\":false,\"shard_points\":8,\"shard_busy_ns\":400}\n",
+        "{\"type\":\"span\",\"name\":\"decode\",\"t_us\":5,\"dur_us\":2}\n",
+        "{\"type\":\"progress\",\"run_id\":\"aaaa000000000001-1\",\"seq\":1,\"run\":\"online\",\
+         \"metric\":\"cpi\",\"worker\":1,\"n\":16,\"mean\":1.48,\"rel_half_width\":0.2,\
+         \"target_rel_err\":0.1,\"eligible\":false,\"shard_points\":8,\"shard_busy_ns\":1000}\n",
+        "{\"type\":\"anomaly\",\"run_id\":\"aaaa000000000001-1\",\"seq\":1,\"run\":\"online\",\
+         \"worker\":0,\"point\":3}\n",
+        "{\"type\":\"progress\",\"run_id\":\"aaaa000000000001-1\",\"seq\":1,\"run\":\"online\",\
+         \"metric\":\"cpi\",\"worker\":0,\"n\":40,\"mean\":1.372,\"rel_half_width\":0.08,\
+         \"target_rel_err\":0.1,\"eligible\":true,\"shard_points\":20,\"shard_busy_ns\":2000}\n",
+        // A partial line mid-append: tolerated, not fatal.
+        "{\"type\":\"progress\",\"run_id\":\"aaaa0000"
+    );
+
+    #[test]
+    fn frame_distills_the_latest_state_per_series() {
+        let frame = WatchFrame::from_events_text(STREAM);
+        assert_eq!(frame.series.len(), 1);
+        let s = &frame.series[0];
+        assert_eq!(s.run_id, "aaaa000000000001-1");
+        assert_eq!((s.n, s.eligible), (40, true));
+        assert!((s.mean - 1.372).abs() < 1e-12);
+        assert_eq!(s.workers, 2);
+        assert!((s.busy_spread - 0.5).abs() < 1e-12, "(2000-1000)/2000");
+        assert_eq!(s.anomalies, 1);
+        let dash = frame.dashboard();
+        assert!(dash.contains("ELIGIBLE"), "{dash}");
+        assert!(dash.contains("n=40"), "{dash}");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let frame = WatchFrame::from_events_text(STREAM);
+        let prom = frame.prometheus();
+        assert!(
+            prom.contains(
+                "spectral_progress_points{run_id=\"aaaa000000000001-1\",run=\"online\",\
+                 metric=\"cpi\",config=\"\",seq=\"1\"} 40"
+            ),
+            "{prom}"
+        );
+        assert!(prom.contains("# TYPE spectral_progress_eligible gauge"), "{prom}");
+        assert!(prom.contains("spectral_progress_eligible{") && prom.contains("} 1"), "{prom}");
+        // Every non-comment line is `name{labels} value` or `name value`
+        // with a parseable float value.
+        for line in prom.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable sample: {line}");
+            if let Some(open) = line.find('{') {
+                assert!(line[open..].contains('}'), "unterminated labels: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_frames_surface_runs_and_convergence() {
+        let mut r = RunRecord::new("run", "online", "gcc-like", "8-wide", 4);
+        r.run_id = "aaaa000000000001-1".into();
+        r.run_rate = Some(2_000.0);
+        r.convergence = vec![RunSummary {
+            run_id: r.run_id.clone(),
+            seq: 1,
+            run: "online".into(),
+            metric: "cpi".into(),
+            config: None,
+            n: 40,
+            mean: 1.372,
+            half_width: 0.041,
+            rel_half_width: 0.0299,
+            target_rel_err: 0.03,
+            eligible: true,
+            first_eligible_n: Some(36),
+            overshoot: 4,
+            anomalies: 2,
+            workers: 4,
+            min_shard_points: 8,
+            max_shard_points: 12,
+            min_shard_busy_ns: 600,
+            max_shard_busy_ns: 2_000,
+        }];
+        let frame = WatchFrame::from_records(vec![r]);
+        assert_eq!(frame.series.len(), 1);
+        assert_eq!(frame.series[0].workers, 4);
+        assert!((frame.series[0].busy_spread - 0.7).abs() < 1e-12);
+        let prom = frame.prometheus();
+        assert!(prom.contains("spectral_run_rate{"), "{prom}");
+        assert!(prom.contains("spectral_runs_total 1"), "{prom}");
+        let dash = frame.dashboard();
+        assert!(dash.contains("recent runs:"), "{dash}");
+        assert!(dash.contains("rate=2000 pts/s"), "{dash}");
+    }
+}

@@ -106,5 +106,5 @@ fn run(mut args: Args) -> Result<(), ExpError> {
     report.line("the simulated L1s equal the library maxima (DESIGN.md decision #6).");
 
     report.finish(&args)?;
-    args.finish_run(&manifest)
+    args.finish_run(&mut manifest)
 }

@@ -56,6 +56,7 @@ fn run(args: Args) -> Result<(), ExpError> {
         ]
     });
     manifest.phase("characterize_suite", t.secs());
+    manifest.points_processed = Some(cases.len() as u64 * n_windows);
     report.table(
         "",
         &[
@@ -77,5 +78,5 @@ fn run(args: Args) -> Result<(), ExpError> {
     report.line("spread (1 s … 12 min per benchmark) is exactly this variation.");
 
     report.finish(&args)?;
-    args.finish_run(&manifest)
+    args.finish_run(&mut manifest)
 }

@@ -93,6 +93,9 @@ fn run(args: Args) -> Result<(), ExpError> {
         }
     });
     manifest.phase("bias_sweep", t.secs());
+    // Five sampled runs per (case, seed): full warming plus the four
+    // adaptive variants, all over the same window set.
+    manifest.points_processed = Some(cases.len() as u64 * seeds * n_windows * 5);
 
     let mut rows: Vec<(String, f64, f64)> = Vec::new(); // (name, stitched@99.9, unstitched@99.9)
     let mut cheap_rows: Vec<f64> = Vec::new(); // stitched @ 95%
@@ -165,5 +168,5 @@ fn run(args: Args) -> Result<(), ExpError> {
     report.line("the accuracy-vs-warming Pareto: less warming -> more bias, as the paper argues.");
 
     report.finish(&args)?;
-    args.finish_run(&manifest)
+    args.finish_run(&mut manifest)
 }

@@ -106,5 +106,5 @@ fn run(args: Args) -> Result<(), ExpError> {
         .line(format!("summary (paper: 0.1% avg / 3.3% worst): avg {avg:.3}%  worst {worst:.3}%"));
 
     report.finish(&args)?;
-    args.finish_run(&manifest)
+    args.finish_run(&mut manifest)
 }

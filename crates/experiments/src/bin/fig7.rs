@@ -85,6 +85,7 @@ fn run(args: Args) -> Result<(), ExpError> {
         compressed_acc += lib.mean_point_bytes();
     }
     manifest.phase("size_breakdown", t.secs());
+    manifest.points_processed = Some(cases.len() as u64 * n_points);
 
     report.table(
         "",
@@ -131,5 +132,5 @@ fn run(args: Args) -> Result<(), ExpError> {
     ));
 
     report.finish(&args)?;
-    args.finish_run(&manifest)
+    args.finish_run(&mut manifest)
 }

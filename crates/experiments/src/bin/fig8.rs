@@ -138,6 +138,7 @@ fn run(args: Args) -> Result<(), ExpError> {
         ]);
     }
     manifest.phase("max_cache_sweep", t.secs());
+    manifest.points_processed = Some(sweep.len() as u64 * windows.len() as u64);
 
     report.table(
         "",
@@ -155,5 +156,5 @@ fn run(args: Args) -> Result<(), ExpError> {
     report.line("       LP load stays 1-2 orders of magnitude below AW per-window warming.");
 
     report.finish(&args)?;
-    args.finish_run(&manifest)
+    args.finish_run(&mut manifest)
 }

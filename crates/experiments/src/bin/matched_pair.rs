@@ -112,5 +112,5 @@ fn run(mut args: Args) -> Result<(), ExpError> {
     report.line("largest factors on no-effect changes, as the paper observes.");
 
     report.finish(&args)?;
-    args.finish_run(&manifest)
+    args.finish_run(&mut manifest)
 }

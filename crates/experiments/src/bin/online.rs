@@ -123,5 +123,5 @@ fn run(mut args: Args) -> Result<(), ExpError> {
     report.line("parallel runs return the same estimate faster (independence, SS6).");
 
     report.finish(&args)?;
-    args.finish_run(&manifest)
+    args.finish_run(&mut manifest)
 }

@@ -97,5 +97,5 @@ fn run(mut args: Args) -> Result<(), ExpError> {
     report.line("benchmarks — fewer live-points for the same confidence.");
 
     report.finish(&args)?;
-    args.finish_run(&manifest)
+    args.finish_run(&mut manifest)
 }

@@ -231,5 +231,5 @@ fn run(mut args: Args) -> Result<(), ExpError> {
     );
 
     report.finish(&args)?;
-    args.finish_run(&manifest)
+    args.finish_run(&mut manifest)
 }

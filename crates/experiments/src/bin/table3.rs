@@ -179,5 +179,5 @@ fn run(args: Args) -> Result<(), ExpError> {
         .line("live-points +0.0% — identical to full warming, the paper's central accuracy claim.");
 
     report.finish(&args)?;
-    args.finish_run(&manifest)
+    args.finish_run(&mut manifest)
 }

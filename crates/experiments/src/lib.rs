@@ -35,6 +35,11 @@
 //!   convergence progress, per-point anomalies) to PATH; also enabled by
 //!   the `TELEMETRY_EVENTS` env var. Feed the stream to
 //!   `spectral-doctor` afterwards.
+//! * `--registry DIR` — append one distilled run record (run id, code
+//!   version, throughput, final estimate, convergence summaries) to the
+//!   cross-run registry at DIR on exit; also enabled by the
+//!   `SPECTRAL_REGISTRY` env var. Query the registry with
+//!   `spectral-doctor trend` / `gate` / `watch`.
 //! * `--report-out PATH` — copy the report (tables and lines) to a
 //!   text file
 //! * `--report-json PATH` — write the report as structured JSON
@@ -144,6 +149,8 @@ pub struct Args {
     pub trace: Option<PathBuf>,
     /// JSONL sampling-health event output path (`--events`).
     pub events: Option<PathBuf>,
+    /// Cross-run registry directory (`--registry`).
+    pub registry: Option<PathBuf>,
     /// Text report copy (`--report-out`).
     pub report_out: Option<PathBuf>,
     /// JSON report output (`--report-json`).
@@ -167,6 +174,7 @@ impl Args {
             metrics_out: None,
             trace: None,
             events: None,
+            registry: None,
             report_out: None,
             report_json: None,
         }
@@ -178,12 +186,18 @@ impl Args {
     ///
     /// Returns a usage diagnostic on unknown flags, missing values, or
     /// malformed integers. Also installs the span-trace sink when
-    /// `--trace` (or the `TELEMETRY` env var) is present, and the
+    /// `--trace` (or the `TELEMETRY` env var) is present, the
     /// sampling-health event sink when `--events` (or the
-    /// `TELEMETRY_EVENTS` env var) is present.
+    /// `TELEMETRY_EVENTS` env var) is present, and the in-process
+    /// run-summary tally when `--registry` (or the `SPECTRAL_REGISTRY`
+    /// env var) is present — the registry record distills convergence
+    /// from the tally, which works without any JSONL sink.
     pub fn try_parse() -> Result<Args, ExpError> {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let args = Self::try_parse_from(&argv)?;
+        if args.registry_dir().is_some() {
+            spectral_telemetry::enable_run_summaries();
+        }
         match &args.trace {
             Some(path) => {
                 spectral_telemetry::set_trace_path(path).context("cannot open trace file", path)?;
@@ -251,13 +265,15 @@ impl Args {
                 "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
                 "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
                 "--events" => args.events = Some(PathBuf::from(value("--events")?)),
+                "--registry" => args.registry = Some(PathBuf::from(value("--registry")?)),
                 "--report-out" => args.report_out = Some(PathBuf::from(value("--report-out")?)),
                 "--report-json" => args.report_json = Some(PathBuf::from(value("--report-json")?)),
                 other => {
                     return Err(ExpError(format!(
                         "unknown argument {other} (flags: --benchmarks --limit --quick \
                          --windows --seeds --scale --machine --threads --chunk --prefetch \
-                         --target --metrics-out --trace --events --report-out --report-json)"
+                         --target --metrics-out --trace --events --registry --report-out \
+                         --report-json)"
                     )))
                 }
             }
@@ -349,17 +365,56 @@ impl Args {
         m
     }
 
-    /// Finish a run: embed the metrics snapshot and write the manifest
-    /// to `--metrics-out` (when given), and flush the span trace and
-    /// sampling-health event stream.
+    /// The effective registry directory: `--registry` when given, else
+    /// the `SPECTRAL_REGISTRY` environment variable (when non-empty).
+    pub fn registry_dir(&self) -> Option<PathBuf> {
+        self.registry.clone().or_else(|| {
+            std::env::var_os(spectral_registry::REGISTRY_ENV)
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from)
+        })
+    }
+
+    /// Finish a run: stamp a collision-resistant `run_id` into the
+    /// manifest, embed the metrics snapshot and write the manifest to
+    /// `--metrics-out` (when given), append a distilled record (with
+    /// the stored manifest artifact and the convergence summaries
+    /// drained from the in-process tally) to the cross-run registry
+    /// (when `--registry` / `SPECTRAL_REGISTRY` names one), and flush
+    /// the span trace and sampling-health event stream.
     ///
     /// # Errors
     ///
-    /// Returns a diagnostic when the manifest cannot be written.
-    pub fn finish_run(&self, manifest: &RunManifest) -> Result<(), ExpError> {
-        if let Some(path) = &self.metrics_out {
+    /// Returns a diagnostic when the manifest cannot be written or the
+    /// registry cannot be appended to.
+    pub fn finish_run(&self, manifest: &mut RunManifest) -> Result<(), ExpError> {
+        if manifest.run_id.is_none() {
+            // Seeded from the manifest content so two binaries started
+            // in the same instant still derive distinct ids; the seq
+            // ordinal separates identical manifests within a process.
+            manifest.run_id = Some(spectral_telemetry::derive_run_id(
+                &manifest.to_json(),
+                spectral_telemetry::next_run_seq(),
+            ));
+        }
+        let registry_dir = self.registry_dir();
+        if self.metrics_out.is_some() || registry_dir.is_some() {
             let snapshot = spectral_telemetry::snapshot();
-            manifest.write(path, Some(&snapshot)).context("cannot write manifest", path)?;
+            if let Some(path) = &self.metrics_out {
+                manifest.write(path, Some(&snapshot)).context("cannot write manifest", path)?;
+            }
+            if let Some(dir) = registry_dir {
+                let registry = spectral_registry::Registry::open(&dir)
+                    .context("cannot open registry", &dir)?;
+                let summaries = spectral_telemetry::take_run_summaries();
+                let mut record = spectral_registry::RunRecord::from_manifest(manifest, summaries);
+                record.manifest_path = Some(
+                    registry
+                        .store_artifact("json", manifest.to_json_with_metrics(&snapshot).as_bytes())
+                        .context("cannot store manifest artifact in", &dir)?,
+                );
+                registry.append(&record).context("cannot append to registry", &dir)?;
+            }
         }
         spectral_telemetry::flush_trace();
         spectral_telemetry::flush_events();
@@ -767,6 +822,8 @@ mod tests {
             "r.txt",
             "--report-json",
             "r.json",
+            "--registry",
+            "reg-dir",
         ]))
         .expect("valid argv");
         assert_eq!(a.benchmarks.as_deref(), Some(&["gcc-like".to_owned(), "mcf-like".into()][..]));
@@ -788,6 +845,7 @@ mod tests {
         assert_eq!(a.events.as_deref(), Some(std::path::Path::new("e.jsonl")));
         assert_eq!(a.report_out.as_deref(), Some(std::path::Path::new("r.txt")));
         assert_eq!(a.report_json.as_deref(), Some(std::path::Path::new("r.json")));
+        assert_eq!(a.registry.as_deref(), Some(std::path::Path::new("reg-dir")));
         assert!(a.machine_config().is_ok());
     }
 

@@ -1,0 +1,74 @@
+//! End-to-end registry population: two real seeded `online` invocations
+//! with `--registry` append two queryable records, and `doctor trend`
+//! machinery renders a two-point trajectory from them. This is the
+//! acceptance path for cross-run perf tracking; the deterministic
+//! exit-code tests live in `crates/doctor/tests/registry_cli.rs`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use spectral_registry::{Registry, CODE_VERSION_ENV};
+use spectral_telemetry::JsonValue;
+
+fn temp_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("spectral_exp_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn two_online_invocations_build_a_queryable_trend() {
+    let dir = temp_dir("registry");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Same seeded quick configuration twice, labeled baseline/candidate
+    // the way CI's registry-gate job stamps run-sets.
+    for version in ["baseline", "candidate"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_online"))
+            .args(["--quick", "--windows", "40", "--target", "10", "--registry"])
+            .arg(&dir)
+            .env(CODE_VERSION_ENV, version)
+            .output()
+            .expect("run online");
+        assert!(
+            out.status.success(),
+            "online --registry failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let registry = Registry::open(&dir).expect("open registry");
+    let records = registry.load().expect("load registry");
+    assert_eq!(records.len(), 2, "one record per invocation");
+    assert_ne!(records[0].run_id, records[1].run_id, "run ids are collision-resistant");
+    for (r, version) in records.iter().zip(["baseline", "candidate"]) {
+        assert_eq!((r.kind.as_str(), r.binary.as_str()), ("run", "online"));
+        assert_eq!(r.code_version, version, "SPECTRAL_CODE_VERSION labels the run-set");
+        assert!(r.run_rate.is_some_and(|rate| rate > 0.0), "run phases yield a throughput");
+        assert_eq!(r.points_processed, Some(40), "early-termination pass processed the cap");
+        assert!(!r.convergence.is_empty(), "in-process tally distilled the health stream");
+        assert!(r.estimate.is_some());
+
+        // The stored manifest artifact is readable JSON carrying the
+        // same run id the index line does.
+        let rel = r.manifest_path.as_ref().expect("manifest artifact stored");
+        let bytes = registry.read_artifact(rel).expect("artifact readable");
+        let doc = JsonValue::parse(std::str::from_utf8(&bytes).expect("utf-8"))
+            .expect("manifest artifact parses");
+        assert_eq!(
+            doc.get("run_id").and_then(JsonValue::as_str),
+            Some(r.run_id.as_str()),
+            "artifact and index agree on the run id"
+        );
+        assert!(doc.get("metrics").is_some(), "artifact embeds the metrics snapshot");
+    }
+
+    // The two invocations form one two-point trend series.
+    let series = spectral_doctor::trend(&records);
+    assert_eq!(series.len(), 1, "same binary/benchmark/machine/threads tuple");
+    assert_eq!(series[0].points.len(), 2, "two invocations, two trajectory points");
+    assert!(series[0].points.iter().all(|p| p.run_rate.is_some()));
+    let text = spectral_doctor::render_trend_text(&series);
+    assert!(text.contains("run rate"), "{text}");
+    assert!(text.contains("2 runs"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,214 @@
+//! # spectral-registry — the cross-run telemetry registry
+//!
+//! Every other observability artifact in this workspace is *per-run*:
+//! a manifest, an events file, a `BENCH_*.json`. Nothing connects runs
+//! across invocations, so there is no perf trajectory and no way to ask
+//! "did this commit make `online` slower?". This crate is that
+//! connective tissue: an **append-only, on-disk run registry** that
+//! experiment binaries (and the benches) append one record to at the
+//! end of every run.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <registry dir>/
+//!   index.jsonl          # one RunRecord JSON object per line, append-only
+//!   objects/
+//!     3f/
+//!       3fa9c1d2e4b57a86.json   # content-addressed artifacts (manifests)
+//! ```
+//!
+//! * **`index.jsonl`** — the registry proper. Appends go through a
+//!   single `O_APPEND` write of one newline-terminated line, so
+//!   concurrent processes appending to a shared registry interleave
+//!   whole records rather than corrupting each other. Records are never
+//!   rewritten; consumers ([`Registry::load`]) see history in append
+//!   order.
+//! * **`objects/`** — a content-addressed store for bulky artifacts
+//!   (full manifests with embedded metrics snapshots). The address is
+//!   the FNV-1a 64 hash of the content, so identical artifacts
+//!   deduplicate for free and records can reference them by relative
+//!   path without coupling the index to their size.
+//!
+//! ## What a record carries
+//!
+//! A [`RunRecord`] distills one run for cross-run queries: the
+//! collision-resistant `run_id` (see
+//! [`spectral_telemetry::derive_run_id`]), a `code_version` label (the
+//! `SPECTRAL_CODE_VERSION` environment variable — CI stamps commit ids
+//! or `baseline`/`candidate` into it), what ran where (binary,
+//! benchmark, machine, threads, seed), throughput (points processed,
+//! run-phase seconds, the derived run rate), the final estimate, and
+//! the convergence summaries distilled from the sampling-health stream
+//! by the in-process tally ([`spectral_telemetry::take_run_summaries`]).
+//!
+//! `spectral-doctor trend` renders per-benchmark/per-machine time
+//! series over these records, `doctor gate` turns a baseline set and a
+//! candidate set into a statistical regression verdict, and
+//! `doctor watch` tails a registry directory live.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod record;
+
+pub use record::{RunRecord, RECORD_VERSION};
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming the registry directory; when set, the
+/// experiment harness appends to it even without `--registry`.
+pub const REGISTRY_ENV: &str = "SPECTRAL_REGISTRY";
+
+/// Environment variable labeling the running code version
+/// (`code_version()` falls back to `"dev"` when unset).
+pub const CODE_VERSION_ENV: &str = "SPECTRAL_CODE_VERSION";
+
+/// The code-version label for new records: `SPECTRAL_CODE_VERSION`, or
+/// `"dev"` when unset/empty. CI stamps `baseline` / `candidate` /
+/// commit ids into the variable to make run-sets selectable by
+/// `doctor gate`.
+pub fn code_version() -> String {
+    match std::env::var(CODE_VERSION_ENV) {
+        Ok(v) if !v.is_empty() => v,
+        _ => "dev".to_owned(),
+    }
+}
+
+/// Registry failure: an I/O problem or a corrupt index line.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// `index.jsonl` line `line` (1-based) failed to parse.
+    Parse {
+        /// 1-based line number in `index.jsonl`.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry i/o error: {e}"),
+            RegistryError::Parse { line, message } => {
+                write!(f, "registry index line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+/// Handle to one on-disk registry directory (see the module docs for
+/// the layout). Cheap to construct; every operation re-opens the files
+/// it touches, so handles can be held across long runs and shared
+/// between processes.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    dir: PathBuf,
+}
+
+impl Registry {
+    /// Open (creating if necessary) the registry at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Registry> {
+        let dir = dir.into();
+        fs::create_dir_all(dir.join("objects"))?;
+        Ok(Registry { dir })
+    }
+
+    /// Open the registry named by `SPECTRAL_REGISTRY`, if the variable
+    /// is set and non-empty.
+    pub fn from_env() -> std::io::Result<Option<Registry>> {
+        match std::env::var_os(REGISTRY_ENV) {
+            Some(dir) if !dir.is_empty() => Ok(Some(Registry::open(PathBuf::from(dir))?)),
+            _ => Ok(None),
+        }
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the append-only index.
+    pub fn index_path(&self) -> PathBuf {
+        self.dir.join("index.jsonl")
+    }
+
+    /// Append one record to the index. The write is a single
+    /// `O_APPEND` line, so concurrent appenders interleave whole
+    /// records.
+    pub fn append(&self, record: &RunRecord) -> std::io::Result<()> {
+        let mut line = record.to_json_line();
+        line.push('\n');
+        let mut f = OpenOptions::new().create(true).append(true).open(self.index_path())?;
+        f.write_all(line.as_bytes())
+    }
+
+    /// Store `bytes` in the content-addressed object store and return
+    /// its registry-relative path (`objects/3f/3fa9c1….<ext>`).
+    /// Identical content always maps to the same path; re-storing it is
+    /// a no-op.
+    pub fn store_artifact(&self, ext: &str, bytes: &[u8]) -> std::io::Result<String> {
+        let hash = spectral_telemetry::fnv1a64(bytes);
+        let name = format!("{hash:016x}");
+        let rel = format!("objects/{}/{name}.{ext}", &name[..2]);
+        let path = self.dir.join(&rel);
+        if !path.exists() {
+            fs::create_dir_all(path.parent().expect("object path has a parent"))?;
+            // Write-then-rename so a concurrent reader never sees a
+            // half-written artifact at its final address.
+            let tmp = path.with_extension(format!("{ext}.tmp{}", std::process::id()));
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp, &path)?;
+        }
+        Ok(rel)
+    }
+
+    /// Read an artifact previously stored via
+    /// [`store_artifact`](Registry::store_artifact) by its
+    /// registry-relative path.
+    pub fn read_artifact(&self, rel: &str) -> std::io::Result<Vec<u8>> {
+        fs::read(self.dir.join(rel))
+    }
+
+    /// Load every record in the index, in append order. An empty or
+    /// absent index is an empty registry, not an error; a malformed
+    /// line is a [`RegistryError::Parse`] naming its line number.
+    pub fn load(&self) -> Result<Vec<RunRecord>, RegistryError> {
+        let text = match fs::read_to_string(self.index_path()) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record = RunRecord::from_json(line)
+                .map_err(|message| RegistryError::Parse { line: i + 1, message })?;
+            records.push(record);
+        }
+        Ok(records)
+    }
+}
+
+/// Convenience: load all records from a registry directory.
+pub fn load_records(dir: impl Into<PathBuf>) -> Result<Vec<RunRecord>, RegistryError> {
+    Registry::open(dir)?.load()
+}

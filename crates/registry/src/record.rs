@@ -1,0 +1,426 @@
+//! The registry's record type: one JSON line per completed run.
+
+use spectral_telemetry::{
+    json_number as number, json_quote as quote, EstimateSummary, JsonValue, RunManifest, RunSummary,
+};
+
+/// Schema version stamped into every record line.
+pub const RECORD_VERSION: u32 = 1;
+
+/// One completed run (or bench result), distilled for cross-run
+/// queries. Serialized as a single JSON line in `index.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Collision-resistant run identifier
+    /// ([`spectral_telemetry::derive_run_id`]).
+    pub run_id: String,
+    /// Code-version label ([`code_version`](crate::code_version)).
+    pub code_version: String,
+    /// Record kind: `"run"` for experiment runs, `"bench"` for
+    /// benchmark results.
+    pub kind: String,
+    /// Emitting binary (e.g. `online`).
+    pub binary: String,
+    /// Benchmark / workload identifier.
+    pub benchmark: String,
+    /// Machine configuration label.
+    pub machine: String,
+    /// Worker thread count (0 = sequential path).
+    pub threads: usize,
+    /// RNG seed, if one applies.
+    pub seed: Option<u64>,
+    /// Wall-clock at append time, milliseconds since the Unix epoch
+    /// (the trend x-axis).
+    pub unix_ms: u64,
+    /// Live-points actually processed.
+    pub points_processed: Option<u64>,
+    /// Seconds spent in run phases (phases whose name starts with
+    /// `run`; all phases when none do).
+    pub run_secs: Option<f64>,
+    /// Throughput: `points_processed / run_secs` (points per second).
+    pub run_rate: Option<f64>,
+    /// Final estimate ± half-width, when the run produced one.
+    pub estimate: Option<EstimateSummary>,
+    /// Convergence summaries distilled from the sampling-health stream
+    /// (one per `(seq, run, metric, config)` series).
+    pub convergence: Vec<RunSummary>,
+    /// Registry-relative path of the stored manifest artifact, if any.
+    pub manifest_path: Option<String>,
+    /// Free-form key/value annotations (carried over from the
+    /// manifest's notes).
+    pub notes: Vec<(String, String)>,
+}
+
+impl RunRecord {
+    /// A minimal record; callers fill in the optional fields.
+    pub fn new(
+        kind: impl Into<String>,
+        binary: impl Into<String>,
+        benchmark: impl Into<String>,
+        machine: impl Into<String>,
+        threads: usize,
+    ) -> Self {
+        RunRecord {
+            run_id: String::new(),
+            code_version: crate::code_version(),
+            kind: kind.into(),
+            binary: binary.into(),
+            benchmark: benchmark.into(),
+            machine: machine.into(),
+            threads,
+            seed: None,
+            unix_ms: now_unix_ms(),
+            points_processed: None,
+            run_secs: None,
+            run_rate: None,
+            estimate: None,
+            convergence: Vec::new(),
+            manifest_path: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Distill a completed run's manifest (plus the convergence
+    /// summaries drained from the in-process tally) into a record. The
+    /// run rate divides points processed by the seconds spent in phases
+    /// whose name starts with `run` (falling back to total phase time),
+    /// so library-creation cost doesn't pollute the throughput
+    /// trajectory.
+    pub fn from_manifest(manifest: &RunManifest, convergence: Vec<RunSummary>) -> Self {
+        let mut r = RunRecord::new(
+            "run",
+            manifest.binary.clone(),
+            manifest.benchmark.clone(),
+            manifest.machine.clone(),
+            manifest.threads,
+        );
+        r.run_id = manifest.run_id.clone().unwrap_or_default();
+        r.seed = manifest.seed;
+        r.points_processed = manifest.points_processed;
+        let run_secs: f64 =
+            manifest.phases.iter().filter(|p| p.name.starts_with("run")).map(|p| p.secs).sum();
+        let total_secs: f64 = manifest.phases.iter().map(|p| p.secs).sum();
+        let secs = if run_secs > 0.0 { run_secs } else { total_secs };
+        if secs > 0.0 {
+            r.run_secs = Some(secs);
+            if let Some(points) = manifest.points_processed {
+                r.run_rate = Some(points as f64 / secs);
+            }
+        }
+        r.estimate = manifest.estimate.clone();
+        r.convergence = convergence;
+        r.notes = manifest.notes.clone();
+        r
+    }
+
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        push_field(&mut s, "version", RECORD_VERSION.to_string());
+        push_field(&mut s, "run_id", quote(&self.run_id));
+        push_field(&mut s, "code_version", quote(&self.code_version));
+        push_field(&mut s, "kind", quote(&self.kind));
+        push_field(&mut s, "binary", quote(&self.binary));
+        push_field(&mut s, "benchmark", quote(&self.benchmark));
+        push_field(&mut s, "machine", quote(&self.machine));
+        push_field(&mut s, "threads", self.threads.to_string());
+        push_field(&mut s, "seed", opt_u64(self.seed));
+        push_field(&mut s, "unix_ms", self.unix_ms.to_string());
+        push_field(&mut s, "points_processed", opt_u64(self.points_processed));
+        push_field(&mut s, "run_secs", opt_num(self.run_secs));
+        push_field(&mut s, "run_rate", opt_num(self.run_rate));
+        let estimate = match &self.estimate {
+            Some(e) => format!(
+                "{{\"mean\":{},\"half_width\":{},\"relative_half_width\":{},\
+                 \"reached_target\":{}}}",
+                number(e.mean),
+                number(e.half_width),
+                number(e.relative_half_width),
+                e.reached_target
+            ),
+            None => "null".to_owned(),
+        };
+        push_field(&mut s, "estimate", estimate);
+        let convergence: Vec<String> = self.convergence.iter().map(summary_json).collect();
+        push_field(&mut s, "convergence", format!("[{}]", convergence.join(",")));
+        let manifest_path = match &self.manifest_path {
+            Some(p) => quote(p),
+            None => "null".to_owned(),
+        };
+        push_field(&mut s, "manifest_path", manifest_path);
+        let notes: Vec<String> =
+            self.notes.iter().map(|(k, v)| format!("{}:{}", quote(k), quote(v))).collect();
+        s.push_str(&format!("\"notes\":{{{}}}", notes.join(",")));
+        s.push('}');
+        s
+    }
+
+    /// Parse a record back from one index line.
+    pub fn from_json(line: &str) -> Result<RunRecord, String> {
+        let doc = JsonValue::parse(line).map_err(|e| e.to_string())?;
+        let str_field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let mut r = RunRecord::new(
+            str_field("kind")?,
+            str_field("binary")?,
+            str_field("benchmark")?,
+            str_field("machine")?,
+            doc.get("threads").and_then(JsonValue::as_u64).ok_or("missing 'threads'")? as usize,
+        );
+        r.run_id = str_field("run_id")?;
+        r.code_version = str_field("code_version")?;
+        r.seed = doc.get("seed").and_then(JsonValue::as_u64);
+        r.unix_ms = doc.get("unix_ms").and_then(JsonValue::as_u64).ok_or("missing 'unix_ms'")?;
+        r.points_processed = doc.get("points_processed").and_then(JsonValue::as_u64);
+        r.run_secs = doc.get("run_secs").and_then(JsonValue::as_f64);
+        r.run_rate = doc.get("run_rate").and_then(JsonValue::as_f64);
+        if let Some(e) = doc.get("estimate") {
+            if let (Some(mean), Some(half_width)) = (
+                e.get("mean").and_then(JsonValue::as_f64),
+                e.get("half_width").and_then(JsonValue::as_f64),
+            ) {
+                r.estimate = Some(EstimateSummary {
+                    mean,
+                    half_width,
+                    relative_half_width: e
+                        .get("relative_half_width")
+                        .and_then(JsonValue::as_f64)
+                        .unwrap_or(0.0),
+                    reached_target: e
+                        .get("reached_target")
+                        .and_then(JsonValue::as_bool)
+                        .unwrap_or(false),
+                });
+            }
+        }
+        if let Some(items) = doc.get("convergence").and_then(JsonValue::as_arr) {
+            for item in items {
+                r.convergence.push(summary_from_json(item)?);
+            }
+        }
+        r.manifest_path = doc.get("manifest_path").and_then(JsonValue::as_str).map(str::to_owned);
+        if let Some(notes) = doc.get("notes").and_then(JsonValue::as_obj) {
+            for (k, v) in notes {
+                if let Some(s) = v.as_str() {
+                    r.notes.push((k.clone(), s.to_owned()));
+                }
+            }
+        }
+        Ok(r)
+    }
+}
+
+fn push_field(s: &mut String, key: &str, value: String) {
+    s.push_str(&format!("{}:{value},", quote(key)));
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_owned(),
+    }
+}
+
+fn opt_num(v: Option<f64>) -> String {
+    match v {
+        Some(n) => number(n),
+        None => "null".to_owned(),
+    }
+}
+
+fn summary_json(s: &RunSummary) -> String {
+    let config = match s.config {
+        Some(c) => c.to_string(),
+        None => "null".to_owned(),
+    };
+    let first_eligible = opt_u64(s.first_eligible_n);
+    format!(
+        "{{\"run_id\":{},\"seq\":{},\"run\":{},\"metric\":{},\"config\":{config},\"n\":{},\
+         \"mean\":{},\"half_width\":{},\"rel_half_width\":{},\"target_rel_err\":{},\
+         \"eligible\":{},\"first_eligible_n\":{first_eligible},\"overshoot\":{},\
+         \"anomalies\":{},\"workers\":{},\"min_shard_points\":{},\"max_shard_points\":{},\
+         \"min_shard_busy_ns\":{},\"max_shard_busy_ns\":{}}}",
+        quote(&s.run_id),
+        s.seq,
+        quote(&s.run),
+        quote(&s.metric),
+        s.n,
+        number(s.mean),
+        number(s.half_width),
+        number(s.rel_half_width),
+        number(s.target_rel_err),
+        s.eligible,
+        s.overshoot,
+        s.anomalies,
+        s.workers,
+        s.min_shard_points,
+        s.max_shard_points,
+        s.min_shard_busy_ns,
+        s.max_shard_busy_ns,
+    )
+}
+
+fn summary_from_json(doc: &JsonValue) -> Result<RunSummary, String> {
+    let str_of = |key: &str| -> String {
+        doc.get(key).and_then(JsonValue::as_str).unwrap_or_default().to_owned()
+    };
+    let u64_of = |key: &str| doc.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+    let f64_of = |key: &str| doc.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+    if doc.get("metric").and_then(JsonValue::as_str).is_none() {
+        return Err("convergence entry missing 'metric'".to_owned());
+    }
+    Ok(RunSummary {
+        run_id: str_of("run_id"),
+        seq: u64_of("seq"),
+        run: str_of("run"),
+        metric: str_of("metric"),
+        config: doc.get("config").and_then(JsonValue::as_u64).map(|c| c as usize),
+        n: u64_of("n"),
+        mean: f64_of("mean"),
+        half_width: f64_of("half_width"),
+        rel_half_width: f64_of("rel_half_width"),
+        target_rel_err: f64_of("target_rel_err"),
+        eligible: doc.get("eligible").and_then(JsonValue::as_bool).unwrap_or(false),
+        first_eligible_n: doc.get("first_eligible_n").and_then(JsonValue::as_u64),
+        overshoot: u64_of("overshoot"),
+        anomalies: u64_of("anomalies"),
+        workers: u64_of("workers") as usize,
+        min_shard_points: u64_of("min_shard_points"),
+        max_shard_points: u64_of("max_shard_points"),
+        min_shard_busy_ns: u64_of("min_shard_busy_ns"),
+        max_shard_busy_ns: u64_of("max_shard_busy_ns"),
+    })
+}
+
+fn now_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary() -> RunSummary {
+        RunSummary {
+            run_id: "00decafc0ffee123-1".into(),
+            seq: 1,
+            run: "online".into(),
+            metric: "cpi".into(),
+            config: None,
+            n: 40,
+            mean: 1.372,
+            half_width: 0.041,
+            rel_half_width: 0.0299,
+            target_rel_err: 0.03,
+            eligible: true,
+            first_eligible_n: Some(36),
+            overshoot: 4,
+            anomalies: 2,
+            workers: 4,
+            min_shard_points: 8,
+            max_shard_points: 12,
+            min_shard_busy_ns: 600,
+            max_shard_busy_ns: 2_000,
+        }
+    }
+
+    fn sample_record() -> RunRecord {
+        let mut r = RunRecord::new("run", "online", "gcc-like", "8-wide", 4);
+        r.run_id = "00decafc0ffee123-1".into();
+        r.code_version = "v1".into();
+        r.seed = Some(42);
+        r.unix_ms = 1_700_000_000_000;
+        r.points_processed = Some(640);
+        r.run_secs = Some(0.31);
+        r.run_rate = Some(640.0 / 0.31);
+        r.estimate = Some(EstimateSummary {
+            mean: 1.372,
+            half_width: 0.041,
+            relative_half_width: 0.0299,
+            reached_target: true,
+        });
+        r.convergence = vec![
+            sample_summary(),
+            RunSummary {
+                config: Some(2),
+                metric: "delta_cpi".into(),
+                first_eligible_n: None,
+                ..sample_summary()
+            },
+        ];
+        r.manifest_path = Some("objects/3f/3fa9c1d2e4b57a86.json".into());
+        r.notes = vec![("quick".into(), "true".into())];
+        r
+    }
+
+    #[test]
+    fn record_round_trips_as_one_json_line() {
+        let r = sample_record();
+        let line = r.to_json_line();
+        assert!(!line.contains('\n'), "index records must be single lines");
+        let back = RunRecord::from_json(&line).expect("parse back");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn minimal_record_round_trips() {
+        let r = RunRecord::new("bench", "scaling", "synthetic", "host", 0);
+        let back = RunRecord::from_json(&r.to_json_line()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.estimate, None);
+        assert!(back.convergence.is_empty());
+    }
+
+    #[test]
+    fn non_finite_rates_cannot_corrupt_the_index() {
+        // A NaN CI half-width (or Inf run rate) must still produce a
+        // parseable line: the JSON writer pins non-finite floats to 0.
+        let mut r = sample_record();
+        r.run_rate = Some(f64::INFINITY);
+        r.estimate = Some(EstimateSummary {
+            mean: 1.0,
+            half_width: f64::NAN,
+            relative_half_width: f64::NAN,
+            reached_target: false,
+        });
+        r.convergence[0].rel_half_width = f64::NEG_INFINITY;
+        let line = r.to_json_line();
+        let back = RunRecord::from_json(&line).expect("still parses");
+        assert_eq!(back.run_rate, Some(0.0));
+        assert_eq!(back.estimate.as_ref().unwrap().half_width, 0.0);
+        assert_eq!(back.convergence[0].rel_half_width, 0.0);
+    }
+
+    #[test]
+    fn from_manifest_prefers_run_phases_for_the_rate() {
+        let mut m = RunManifest::new("online", "gcc-like", "8-wide", 4);
+        m.run_id = Some("feed5eed00000001-3".into());
+        m.seed = Some(7);
+        m.points_processed = Some(1000);
+        m.phase("create_library", 9.0).phase("run_exhaustive", 2.0).phase("run_early", 0.5);
+        m.set_estimate(1.4, 0.05, true);
+        m.note("quick", "true");
+        let r = RunRecord::from_manifest(&m, vec![sample_summary()]);
+        assert_eq!(r.run_id, "feed5eed00000001-3");
+        assert_eq!(r.run_secs, Some(2.5));
+        assert_eq!(r.run_rate, Some(400.0));
+        assert_eq!(r.convergence.len(), 1);
+        assert_eq!(r.notes, vec![("quick".to_owned(), "true".to_owned())]);
+
+        // No run-prefixed phases: total time is the denominator.
+        let mut m2 = RunManifest::new("characterize", "gcc-like", "8-wide", 1);
+        m2.points_processed = Some(100);
+        m2.phase("analyze", 4.0);
+        let r2 = RunRecord::from_manifest(&m2, Vec::new());
+        assert_eq!(r2.run_secs, Some(4.0));
+        assert_eq!(r2.run_rate, Some(25.0));
+    }
+}

@@ -1,0 +1,99 @@
+//! On-disk behavior of the registry: append-only index semantics,
+//! content-addressed artifact dedup, multi-handle interleaving, and
+//! parse-error reporting.
+
+use std::path::PathBuf;
+
+use spectral_registry::{load_records, Registry, RegistryError, RunRecord};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("spectral_registry_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn record(binary: &str, run_id: &str) -> RunRecord {
+    let mut r = RunRecord::new("run", binary, "gcc-like", "8-wide", 4);
+    r.run_id = run_id.into();
+    r.points_processed = Some(500);
+    r.run_secs = Some(0.25);
+    r.run_rate = Some(2000.0);
+    r
+}
+
+#[test]
+fn append_then_load_preserves_order_and_content() {
+    let dir = temp_dir("order");
+    let reg = Registry::open(&dir).unwrap();
+    assert!(reg.load().unwrap().is_empty(), "fresh registry is empty, not an error");
+
+    let a = record("online", "aaaa000000000001-1");
+    let b = record("matched", "bbbb000000000001-1");
+    reg.append(&a).unwrap();
+    reg.append(&b).unwrap();
+
+    let loaded = reg.load().unwrap();
+    assert_eq!(loaded, vec![a, b]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifacts_are_content_addressed_and_dedup() {
+    let dir = temp_dir("objects");
+    let reg = Registry::open(&dir).unwrap();
+    let p1 = reg.store_artifact("json", b"{\"x\":1}").unwrap();
+    let p2 = reg.store_artifact("json", b"{\"x\":1}").unwrap();
+    let p3 = reg.store_artifact("json", b"{\"x\":2}").unwrap();
+    assert_eq!(p1, p2, "identical content shares an address");
+    assert_ne!(p1, p3);
+    assert!(p1.starts_with("objects/"));
+    assert_eq!(reg.read_artifact(&p1).unwrap(), b"{\"x\":1}");
+    assert_eq!(reg.read_artifact(&p3).unwrap(), b"{\"x\":2}");
+    // Exactly two object files on disk (no dup, no leftover temp file).
+    let mut count = 0;
+    for shard in std::fs::read_dir(dir.join("objects")).unwrap() {
+        for f in std::fs::read_dir(shard.unwrap().path()).unwrap() {
+            let name = f.unwrap().file_name();
+            assert!(name.to_string_lossy().ends_with(".json"), "unexpected object file {name:?}");
+            count += 1;
+        }
+    }
+    assert_eq!(count, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_handles_appending_interleave_whole_records() {
+    // Simulates two processes sharing one registry directory: every
+    // append is a single O_APPEND line write, so all records survive.
+    let dir = temp_dir("interleave");
+    let h1 = Registry::open(&dir).unwrap();
+    let h2 = Registry::open(&dir).unwrap();
+    for i in 0..10 {
+        h1.append(&record("online", &format!("aaaa000000000001-{i}"))).unwrap();
+        h2.append(&record("sweep", &format!("bbbb000000000001-{i}"))).unwrap();
+    }
+    let loaded = load_records(&dir).unwrap();
+    assert_eq!(loaded.len(), 20);
+    assert_eq!(loaded.iter().filter(|r| r.binary == "online").count(), 10);
+    assert_eq!(loaded.iter().filter(|r| r.binary == "sweep").count(), 10);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_index_line_reports_its_number() {
+    let dir = temp_dir("malformed");
+    let reg = Registry::open(&dir).unwrap();
+    reg.append(&record("online", "aaaa000000000001-1")).unwrap();
+    std::fs::write(
+        reg.index_path(),
+        format!("{}\n\nnot json at all\n", record("online", "aaaa000000000001-1").to_json_line()),
+    )
+    .unwrap();
+    match reg.load() {
+        Err(RegistryError::Parse { line, .. }) => assert_eq!(line, 3, "blank lines still count"),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

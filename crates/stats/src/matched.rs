@@ -80,6 +80,27 @@ impl MatchedPair {
         }
     }
 
+    /// The delta's confidence interval `(lo, hi)` at `confidence`
+    /// (`delta_mean ± delta_half_width`).
+    pub fn delta_interval(&self, confidence: Confidence) -> (f64, f64) {
+        let hw = self.delta_half_width(confidence);
+        (self.delta_mean() - hw, self.delta_mean() + hw)
+    }
+
+    /// The relative change's confidence interval `(lo, hi)` at
+    /// `confidence`: the delta interval scaled by the base mean. Used by
+    /// `spectral-doctor gate` to report how bad a regression *could* be,
+    /// not just its point estimate; `(0.0, 0.0)` when the base mean is
+    /// zero.
+    pub fn relative_change_interval(&self, confidence: Confidence) -> (f64, f64) {
+        if self.base.mean() == 0.0 {
+            return (0.0, 0.0);
+        }
+        let (lo, hi) = self.delta_interval(confidence);
+        let (a, b) = (lo / self.base.mean(), hi / self.base.mean());
+        (a.min(b), a.max(b))
+    }
+
     /// Whether the delta is statistically distinguishable from zero at
     /// `confidence` (its confidence interval excludes zero).
     pub fn significant(&self, confidence: Confidence) -> bool {
@@ -163,6 +184,24 @@ mod tests {
         assert!(mp.significant(Confidence::C99_7));
         assert!((mp.delta_mean() - 0.3).abs() < 1e-9);
         assert!((mp.relative_change() - 0.3 / mp.base().mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intervals_bracket_the_point_estimates() {
+        let mut mp = MatchedPair::new();
+        for i in 0..200 {
+            let base = 1.5 + noise(i);
+            mp.push(base, base + 0.3 + noise(i + 7_000) * 0.01);
+        }
+        let (lo, hi) = mp.delta_interval(Confidence::C95);
+        assert!(lo < mp.delta_mean() && mp.delta_mean() < hi);
+        assert!((hi - lo) - 2.0 * mp.delta_half_width(Confidence::C95) < 1e-12);
+        let (rlo, rhi) = mp.relative_change_interval(Confidence::C95);
+        assert!(rlo <= mp.relative_change() && mp.relative_change() <= rhi);
+        assert!(rlo <= rhi, "interval is ordered even for negative base means");
+        // Degenerate base: well-defined zeros, not NaN.
+        let empty = MatchedPair::new();
+        assert_eq!(empty.relative_change_interval(Confidence::C95), (0.0, 0.0));
     }
 
     #[test]

@@ -4,21 +4,31 @@
 //! Two record types share one sink:
 //!
 //! ```json
-//! {"type":"progress","seq":1,"run":"online","metric":"cpi","t_us":512,
-//!  "worker":0,"config":null,"n":40,"mean":1.372,"half_width":0.041,
-//!  "rel_half_width":0.0299,"target_rel_err":0.03,"eligible":true,
-//!  "rel_half_width_95":0.0195,"eligible_95":true,"shard_points":40,
-//!  "shard_busy_ns":81234567,"overshoot":0}
-//! {"type":"anomaly","seq":1,"run":"online","t_us":498,"worker":0,"point":17,
-//!  "detail_start":123000,"measure_start":125000,"kinds":["cpi_outlier"],
-//!  "cpi":2.31,"mean":1.37,"std_dev":0.21,"sigmas":4.5,
-//!  "decode_ns":52000,"simulate_ns":410000}
+//! {"type":"progress","run_id":"9f2a41c07d3be581-1","seq":1,"run":"online",
+//!  "metric":"cpi","t_us":512,"worker":0,"config":null,"n":40,"mean":1.372,
+//!  "half_width":0.041,"rel_half_width":0.0299,"target_rel_err":0.03,
+//!  "eligible":true,"rel_half_width_95":0.0195,"eligible_95":true,
+//!  "shard_points":40,"shard_busy_ns":81234567,"overshoot":0}
+//! {"type":"anomaly","run_id":"9f2a41c07d3be581-1","seq":1,"run":"online",
+//!  "t_us":498,"worker":0,"point":17,"detail_start":123000,
+//!  "measure_start":125000,"kinds":["cpi_outlier"],"cpi":2.31,"mean":1.37,
+//!  "std_dev":0.21,"sigmas":4.5,"decode_ns":52000,"simulate_ns":410000}
 //! ```
+//!
+//! ## Run identity
 //!
 //! `seq` is a process-wide run ordinal (from [`next_run_seq`]): one
 //! binary often performs several runs back to back into the same sink,
 //! and the ordinal is what lets a consumer separate their record
-//! streams.
+//! streams. The ordinal alone is **not** collision-resistant — two
+//! separate processes both start at `seq = 1`, so merged logs (or a
+//! shared registry) would conflate their runs. Every record therefore
+//! also carries a `run_id`: a per-process random-ish 64-bit token
+//! (hashed from argv, the pid, and the wall clock — see
+//! [`process_token`]) joined with the ordinal as
+//! `"{token:016x}-{seq}"`. [`derive_run_id`] additionally folds in a
+//! caller-supplied seed text (the experiment binaries hash the rendered
+//! `RunManifest`, tying the id to the run's configuration content).
 //!
 //! * **progress** — emitted by the runners at every merge stride: the
 //!   running mean, CI half-width, relative error, early-termination
@@ -39,6 +49,63 @@
 //! relaxed atomic load and the emitters return immediately; when the
 //! crate is built without the `enabled` feature, everything here is an
 //! inlined no-op.
+//!
+//! ## In-process run summaries
+//!
+//! Independent of the JSONL sink, [`enable_run_summaries`] turns on an
+//! in-process tally that distills the progress/anomaly stream into one
+//! [`RunSummary`] per `(seq, run, metric, config)` series — final n /
+//! mean / CI, the first point count at which the run became eligible to
+//! stop, the exact overshoot, anomaly count, and per-shard spread.
+//! `spectral-registry` uses this to persist a convergence summary
+//! without requiring an events file on disk.
+
+/// FNV-1a 64-bit hash — the repo's standard cheap content hash for
+/// identifiers (collision resistance adequate for run labeling, not
+/// cryptography).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The process-wide run-identity token: FNV-1a over argv, the pid, and
+/// the wall clock at first use. Stable for the life of the process,
+/// collision-resistant across processes (unlike the `seq` ordinal).
+pub fn process_token() -> u64 {
+    use std::sync::OnceLock;
+    static TOKEN: OnceLock<u64> = OnceLock::new();
+    *TOKEN.get_or_init(|| {
+        let mut buf: Vec<u8> = Vec::new();
+        for arg in std::env::args_os() {
+            buf.extend_from_slice(arg.to_string_lossy().as_bytes());
+            buf.push(0);
+        }
+        buf.extend_from_slice(&std::process::id().to_le_bytes());
+        if let Ok(d) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+            buf.extend_from_slice(&d.as_secs().to_le_bytes());
+            buf.extend_from_slice(&d.subsec_nanos().to_le_bytes());
+        }
+        fnv1a64(&buf)
+    })
+}
+
+/// The collision-resistant run id for the run with ordinal `seq`:
+/// `"{process_token:016x}-{seq}"`. Every emitted event record carries
+/// this; doctor splits merged logs on it.
+pub fn run_id(seq: u64) -> String {
+    format!("{:016x}-{seq}", process_token())
+}
+
+/// A run id additionally seeded from caller content (the experiment
+/// binaries pass the rendered `RunManifest`, so the id is tied to the
+/// run's configuration): `"{token ^ fnv1a64(seed_text):016x}-{seq}"`.
+pub fn derive_run_id(seed_text: &str, seq: u64) -> String {
+    format!("{:016x}-{seq}", process_token() ^ fnv1a64(seed_text.as_bytes()))
+}
 
 /// One merge-stride progress record (see the module docs for the JSON
 /// shape). Plain data in both build modes; only
@@ -129,20 +196,90 @@ impl AnomalyEvent<'_> {
     }
 }
 
+/// The distilled convergence summary of one run series, produced by the
+/// in-process tally (see [`enable_run_summaries`] /
+/// [`take_run_summaries`]). Plain data in both build modes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunSummary {
+    /// Collision-resistant run id (`"{token:016x}-{seq}"`).
+    pub run_id: String,
+    /// Process-wide run ordinal.
+    pub seq: u64,
+    /// Run kind: `online`, `matched`, or `sweep`.
+    pub run: String,
+    /// Estimated metric: `cpi` or `delta_cpi`.
+    pub metric: String,
+    /// Sweep configuration index; `None` for single-config runs.
+    pub config: Option<usize>,
+    /// Points merged at the final observed stride.
+    pub n: u64,
+    /// Final running mean.
+    pub mean: f64,
+    /// Final CI half-width at the policy confidence.
+    pub half_width: f64,
+    /// Final relative error at the policy confidence.
+    pub rel_half_width: f64,
+    /// The policy's relative-error target ε.
+    pub target_rel_err: f64,
+    /// Whether the final stride met the early-termination rule.
+    pub eligible: bool,
+    /// Point count at which the run first became eligible to stop.
+    pub first_eligible_n: Option<u64>,
+    /// Exact early-termination overshoot reported on the closing record.
+    pub overshoot: u64,
+    /// Number of anomaly records attributed to this run.
+    pub anomalies: u64,
+    /// Distinct workers that reported progress.
+    pub workers: usize,
+    /// Smallest per-shard point count at the final stride.
+    pub min_shard_points: u64,
+    /// Largest per-shard point count at the final stride.
+    pub max_shard_points: u64,
+    /// Smallest per-shard cumulative busy time (ns).
+    pub min_shard_busy_ns: u64,
+    /// Largest per-shard cumulative busy time (ns).
+    pub max_shard_busy_ns: u64,
+}
+
+impl RunSummary {
+    /// Busy-time spread across shards: `(max - min) / max`, the same
+    /// imbalance figure `spectral-doctor` reports. Zero for serial runs.
+    pub fn busy_spread(&self) -> f64 {
+        if self.max_shard_busy_ns == 0 {
+            return 0.0;
+        }
+        (self.max_shard_busy_ns - self.min_shard_busy_ns) as f64 / self.max_shard_busy_ns as f64
+    }
+}
+
 #[cfg(feature = "enabled")]
 mod imp {
+    use std::collections::BTreeMap;
     use std::fs::File;
     use std::io::{BufWriter, Write};
     use std::path::Path;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Mutex;
 
-    use super::{AnomalyEvent, ProgressEvent};
+    use super::{AnomalyEvent, ProgressEvent, RunSummary};
     use crate::json::number;
 
     static EVENTS_ON: AtomicBool = AtomicBool::new(false);
     static EVENTS_SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
     static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+    static TALLY_ON: AtomicBool = AtomicBool::new(false);
+
+    type TallyKey = (u64, String, String, Option<usize>);
+    #[derive(Default)]
+    struct Tally {
+        series: BTreeMap<TallyKey, SeriesTally>,
+        anomalies: BTreeMap<(u64, String), u64>,
+    }
+    struct SeriesTally {
+        last: RunSummary,
+        shards: BTreeMap<usize, (u64, u64)>,
+    }
+    static TALLY: Mutex<Option<Tally>> = Mutex::new(None);
 
     /// Allocate the next process-wide run ordinal (1, 2, …). Runners
     /// call this once per run and stamp every event they emit with it.
@@ -186,6 +323,96 @@ mod imp {
         }
     }
 
+    /// Turn on the in-process run-summary tally. Runners check this (in
+    /// addition to [`events_on`]) when deciding whether to observe
+    /// sampling health, so summaries work without a JSONL sink.
+    pub fn enable_run_summaries() {
+        let mut guard = TALLY.lock().expect("tally lock");
+        if guard.is_none() {
+            *guard = Some(Tally::default());
+        }
+        TALLY_ON.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the in-process run-summary tally is on.
+    #[inline]
+    pub fn run_summaries_on() -> bool {
+        TALLY_ON.load(Ordering::Relaxed)
+    }
+
+    /// Drain the tally: one [`RunSummary`] per observed
+    /// `(seq, run, metric, config)` series, ordered by that key. The
+    /// tally restarts empty (summaries are per-drain, so back-to-back
+    /// runs in one process don't bleed into each other's records).
+    pub fn take_run_summaries() -> Vec<RunSummary> {
+        let mut guard = TALLY.lock().expect("tally lock");
+        let Some(tally) = guard.as_mut() else {
+            return Vec::new();
+        };
+        let series = std::mem::take(&mut tally.series);
+        let anomalies = std::mem::take(&mut tally.anomalies);
+        series
+            .into_values()
+            .map(|s| {
+                let mut out = s.last;
+                out.workers = s.shards.len();
+                out.min_shard_points = s.shards.values().map(|v| v.0).min().unwrap_or(0);
+                out.max_shard_points = s.shards.values().map(|v| v.0).max().unwrap_or(0);
+                out.min_shard_busy_ns = s.shards.values().map(|v| v.1).min().unwrap_or(0);
+                out.max_shard_busy_ns = s.shards.values().map(|v| v.1).max().unwrap_or(0);
+                out.anomalies = anomalies.get(&(out.seq, out.run.clone())).copied().unwrap_or(0);
+                out
+            })
+            .collect()
+    }
+
+    fn tally_progress(e: &ProgressEvent<'_>) {
+        let mut guard = TALLY.lock().expect("tally lock");
+        let Some(tally) = guard.as_mut() else {
+            return;
+        };
+        let key = (e.seq, e.run.to_owned(), e.metric.to_owned(), e.config);
+        let entry = tally.series.entry(key).or_insert_with(|| SeriesTally {
+            last: RunSummary {
+                run_id: super::run_id(e.seq),
+                seq: e.seq,
+                run: e.run.to_owned(),
+                metric: e.metric.to_owned(),
+                config: e.config,
+                ..RunSummary::default()
+            },
+            shards: BTreeMap::new(),
+        });
+        // Records race in from all workers; the one with the largest
+        // merged count is the freshest view of the global estimate.
+        if e.n >= entry.last.n {
+            entry.last.n = e.n;
+            entry.last.mean = e.mean;
+            entry.last.half_width = e.half_width;
+            entry.last.rel_half_width = e.rel_half_width;
+            entry.last.target_rel_err = e.target_rel_err;
+            entry.last.eligible = e.eligible;
+        }
+        if e.eligible {
+            match entry.last.first_eligible_n {
+                Some(n) if n <= e.n => {}
+                _ => entry.last.first_eligible_n = Some(e.n),
+            }
+        }
+        entry.last.overshoot = entry.last.overshoot.max(e.overshoot);
+        let shard = entry.shards.entry(e.worker).or_insert((0, 0));
+        shard.0 = shard.0.max(e.shard_points);
+        shard.1 = shard.1.max(e.shard_busy_ns);
+    }
+
+    fn tally_anomaly(e: &AnomalyEvent<'_>) {
+        let mut guard = TALLY.lock().expect("tally lock");
+        let Some(tally) = guard.as_mut() else {
+            return;
+        };
+        *tally.anomalies.entry((e.seq, e.run.to_owned())).or_insert(0) += 1;
+    }
+
     fn write_line(line: &str) {
         if let Some(w) = EVENTS_SINK.lock().expect("event sink lock").as_mut() {
             let _ = writeln!(w, "{line}");
@@ -193,6 +420,9 @@ mod imp {
     }
 
     pub(super) fn emit_progress(e: &ProgressEvent<'_>) {
+        if run_summaries_on() {
+            tally_progress(e);
+        }
         if !events_on() {
             return;
         }
@@ -201,11 +431,12 @@ mod imp {
             None => "null".to_owned(),
         };
         write_line(&format!(
-            "{{\"type\":\"progress\",\"seq\":{},\"run\":{},\"metric\":{},\"t_us\":{},\
-             \"worker\":{},\"config\":{config},\"n\":{},\"mean\":{},\"half_width\":{},\
-             \"rel_half_width\":{},\"target_rel_err\":{},\"eligible\":{},\
+            "{{\"type\":\"progress\",\"run_id\":{},\"seq\":{},\"run\":{},\"metric\":{},\
+             \"t_us\":{},\"worker\":{},\"config\":{config},\"n\":{},\"mean\":{},\
+             \"half_width\":{},\"rel_half_width\":{},\"target_rel_err\":{},\"eligible\":{},\
              \"rel_half_width_95\":{},\"eligible_95\":{},\"shard_points\":{},\
              \"shard_busy_ns\":{},\"overshoot\":{}}}",
+            crate::json::quote(&super::run_id(e.seq)),
             e.seq,
             crate::json::quote(e.run),
             crate::json::quote(e.metric),
@@ -226,14 +457,19 @@ mod imp {
     }
 
     pub(super) fn emit_anomaly(e: &AnomalyEvent<'_>) {
+        if run_summaries_on() {
+            tally_anomaly(e);
+        }
         if !events_on() {
             return;
         }
         let kinds: Vec<String> = e.kinds.iter().map(|k| crate::json::quote(k)).collect();
         write_line(&format!(
-            "{{\"type\":\"anomaly\",\"seq\":{},\"run\":{},\"t_us\":{},\"worker\":{},\
-             \"point\":{},\"detail_start\":{},\"measure_start\":{},\"kinds\":[{}],\"cpi\":{},\
-             \"mean\":{},\"std_dev\":{},\"sigmas\":{},\"decode_ns\":{},\"simulate_ns\":{}}}",
+            "{{\"type\":\"anomaly\",\"run_id\":{},\"seq\":{},\"run\":{},\"t_us\":{},\
+             \"worker\":{},\"point\":{},\"detail_start\":{},\"measure_start\":{},\
+             \"kinds\":[{}],\"cpi\":{},\"mean\":{},\"std_dev\":{},\"sigmas\":{},\
+             \"decode_ns\":{},\"simulate_ns\":{}}}",
+            crate::json::quote(&super::run_id(e.seq)),
             e.seq,
             crate::json::quote(e.run),
             crate::span::now_us(),
@@ -256,7 +492,7 @@ mod imp {
 mod imp {
     use std::path::Path;
 
-    use super::{AnomalyEvent, ProgressEvent};
+    use super::{AnomalyEvent, ProgressEvent, RunSummary};
 
     /// Always false (telemetry compiled out).
     #[inline(always)]
@@ -283,6 +519,20 @@ mod imp {
         0
     }
 
+    /// No-op (telemetry compiled out).
+    pub fn enable_run_summaries() {}
+
+    /// Always false (telemetry compiled out).
+    #[inline(always)]
+    pub fn run_summaries_on() -> bool {
+        false
+    }
+
+    /// Always empty (telemetry compiled out).
+    pub fn take_run_summaries() -> Vec<RunSummary> {
+        Vec::new()
+    }
+
     #[inline(always)]
     pub(super) fn emit_progress(_e: &ProgressEvent<'_>) {}
 
@@ -290,7 +540,10 @@ mod imp {
     pub(super) fn emit_anomaly(_e: &AnomalyEvent<'_>) {}
 }
 
-pub use imp::{events_from_env, events_on, flush_events, next_run_seq, set_events_path};
+pub use imp::{
+    enable_run_summaries, events_from_env, events_on, flush_events, next_run_seq, run_summaries_on,
+    set_events_path, take_run_summaries,
+};
 
 #[cfg(all(test, feature = "enabled"))]
 mod tests {
@@ -354,6 +607,7 @@ mod tests {
             lines.iter().map(|l| JsonValue::parse(l).expect("valid JSON line")).collect();
         assert_eq!(docs[0].get("type").and_then(JsonValue::as_str), Some("progress"));
         assert_eq!(docs[0].get("seq").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(docs[0].get("run_id").and_then(JsonValue::as_str), Some(run_id(1).as_str()));
         assert_eq!(docs[0].get("n").and_then(JsonValue::as_u64), Some(40));
         assert_eq!(docs[0].get("config"), Some(&JsonValue::Null));
         assert_eq!(docs[0].get("shard_busy_ns").and_then(JsonValue::as_u64), Some(81_234_567));
@@ -362,6 +616,7 @@ mod tests {
         assert_eq!(docs[1].get("metric").and_then(JsonValue::as_str), Some("delta_cpi"));
         assert_eq!(docs[2].get("type").and_then(JsonValue::as_str), Some("anomaly"));
         assert_eq!(docs[2].get("seq").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(docs[2].get("run_id").and_then(JsonValue::as_str), Some(run_id(2).as_str()));
         assert_eq!(docs[2].get("point").and_then(JsonValue::as_u64), Some(17));
         let kinds = docs[2].get("kinds").and_then(JsonValue::as_arr).expect("kinds array");
         assert_eq!(kinds.len(), 2);
@@ -371,5 +626,102 @@ mod tests {
         assert_eq!(docs[3].get("mean").and_then(JsonValue::as_f64), Some(0.0));
 
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_ids_are_stable_within_a_process_and_embed_seq() {
+        assert_eq!(run_id(3), run_id(3));
+        assert_ne!(run_id(3), run_id(4));
+        assert!(run_id(7).ends_with("-7"));
+        // A derived id folds the seed text into the token half.
+        let a = derive_run_id("config-a", 1);
+        let b = derive_run_id("config-b", 1);
+        assert_ne!(a, b);
+        assert!(a.ends_with("-1") && b.ends_with("-1"));
+    }
+
+    #[test]
+    fn run_summary_tally_distills_the_progress_stream() {
+        enable_run_summaries();
+        assert!(run_summaries_on());
+        let _ = take_run_summaries(); // start from a clean tally
+
+        // Two workers of seq 91 interleave; worker 1 lags.
+        ProgressEvent {
+            seq: 91,
+            worker: 0,
+            n: 8,
+            eligible: false,
+            shard_points: 8,
+            shard_busy_ns: 1_000,
+            ..sample_progress()
+        }
+        .emit();
+        ProgressEvent {
+            seq: 91,
+            worker: 1,
+            n: 12,
+            eligible: false,
+            shard_points: 4,
+            shard_busy_ns: 600,
+            ..sample_progress()
+        }
+        .emit();
+        ProgressEvent {
+            seq: 91,
+            worker: 0,
+            n: 20,
+            mean: 1.5,
+            eligible: true,
+            shard_points: 14,
+            shard_busy_ns: 2_000,
+            overshoot: 6,
+            ..sample_progress()
+        }
+        .emit();
+        // A second series (different config) and one anomaly.
+        ProgressEvent { seq: 91, config: Some(1), n: 5, ..sample_progress() }.emit();
+        AnomalyEvent {
+            seq: 91,
+            run: "online",
+            worker: 0,
+            point: 3,
+            detail_start: 0,
+            measure_start: 0,
+            kinds: &["cpi_outlier"],
+            cpi: 9.0,
+            mean: 1.5,
+            std_dev: 0.1,
+            sigmas: 75.0,
+            decode_ns: 1,
+            simulate_ns: 1,
+        }
+        .emit();
+
+        let summaries = take_run_summaries();
+        assert_eq!(summaries.len(), 2);
+        let s = &summaries[0];
+        assert_eq!((s.seq, s.config), (91, None));
+        assert_eq!(s.run_id, run_id(91));
+        assert_eq!(s.n, 20);
+        assert_eq!(s.mean, 1.5);
+        assert_eq!(s.first_eligible_n, Some(20));
+        assert_eq!(s.overshoot, 6);
+        assert_eq!(s.workers, 2);
+        assert_eq!((s.min_shard_points, s.max_shard_points), (4, 14));
+        assert_eq!((s.min_shard_busy_ns, s.max_shard_busy_ns), (600, 2_000));
+        assert!((s.busy_spread() - 0.7).abs() < 1e-12);
+        assert_eq!(s.anomalies, 1);
+        assert_eq!(summaries[1].config, Some(1));
+        // Drained: the next take sees nothing.
+        assert!(take_run_summaries().is_empty());
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 }

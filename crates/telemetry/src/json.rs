@@ -350,6 +350,30 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_numbers_are_pinned_to_zero_and_round_trip() {
+        // The writer's `is_finite` gate is a deliberate contract, not an
+        // accident: JSON has no NaN/Inf tokens, and a registry record
+        // with a NaN CI half-width must still parse everywhere. Pin the
+        // full family and the round-trip.
+        for v in [f64::NAN, -f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let token = number(v);
+            assert_eq!(token, "0", "{v} must serialize as 0");
+            assert_eq!(JsonValue::parse(&token).unwrap().as_f64(), Some(0.0));
+        }
+        // Finite extremes survive untouched (no accidental clamping).
+        for v in [f64::MAX, f64::MIN, f64::MIN_POSITIVE, -0.0] {
+            let token = number(v);
+            let back = JsonValue::parse(&token).unwrap().as_f64().unwrap();
+            assert_eq!(back, v, "finite {v} must round-trip exactly");
+        }
+        // Embedded in a document: the object still parses and the field
+        // reads back as a plain zero.
+        let doc = format!("{{\"half_width\":{}}}", number(f64::NAN));
+        let v = JsonValue::parse(&doc).unwrap();
+        assert_eq!(v.get("half_width").and_then(JsonValue::as_f64), Some(0.0));
+    }
+
+    #[test]
     fn parse_round_trip() {
         let doc = r#"{"a": [1, 2.5, -3e2], "b": {"s": "hi\n", "t": true, "n": null}}"#;
         let v = JsonValue::parse(doc).unwrap();

@@ -57,8 +57,9 @@ mod perfetto;
 mod span;
 
 pub use events::{
-    events_from_env, events_on, flush_events, next_run_seq, set_events_path, AnomalyEvent,
-    ProgressEvent,
+    derive_run_id, enable_run_summaries, events_from_env, events_on, flush_events, fnv1a64,
+    next_run_seq, process_token, run_id, run_summaries_on, set_events_path, take_run_summaries,
+    AnomalyEvent, ProgressEvent, RunSummary,
 };
 pub use json::{number as json_number, quote as json_quote, JsonError, JsonValue};
 pub use manifest::{EstimateSummary, Phase, RunManifest};
@@ -67,7 +68,7 @@ pub use metrics::{
     HISTOGRAM_BUCKETS,
 };
 pub use perfetto::chrome_trace;
-pub use span::{flush_trace, set_trace_path, span, trace_from_env, tracing, Span};
+pub use span::{flush_trace, set_trace_path, span, trace_from_env, trace_sched, tracing, Span};
 
 /// Whether telemetry was compiled in (the `enabled` feature).
 pub const fn compiled_in() -> bool {

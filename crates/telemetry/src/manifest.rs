@@ -45,6 +45,10 @@ pub struct EstimateSummary {
 /// [`write`]: RunManifest::write
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
+    /// Collision-resistant run identifier (see
+    /// [`derive_run_id`](crate::derive_run_id)); `None` until stamped by
+    /// the harness. Pre-PR-7 manifests parse with `None`.
+    pub run_id: Option<String>,
     /// Name of the experiment binary (e.g. `online`).
     pub binary: String,
     /// Benchmark / workload identifier.
@@ -79,6 +83,7 @@ impl RunManifest {
         threads: usize,
     ) -> Self {
         RunManifest {
+            run_id: None,
             binary: binary.into(),
             benchmark: benchmark.into(),
             machine: machine.into(),
@@ -127,6 +132,10 @@ impl RunManifest {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
         out.push_str(&format!("  \"version\": {MANIFEST_VERSION},\n"));
+        match &self.run_id {
+            Some(id) => out.push_str(&format!("  \"run_id\": {},\n", json::quote(id))),
+            None => out.push_str("  \"run_id\": null,\n"),
+        }
         out.push_str(&format!("  \"binary\": {},\n", json::quote(&self.binary)));
         out.push_str(&format!("  \"benchmark\": {},\n", json::quote(&self.benchmark)));
         out.push_str(&format!("  \"machine\": {},\n", json::quote(&self.machine)));
@@ -214,6 +223,7 @@ impl RunManifest {
                 .and_then(JsonValue::as_u64)
                 .ok_or_else(|| err("missing 'threads'"))? as usize,
         );
+        m.run_id = doc.get("run_id").and_then(JsonValue::as_str).map(str::to_owned);
         m.seed = doc.get("seed").and_then(JsonValue::as_u64);
         m.library_id = doc.get("library_id").and_then(JsonValue::as_str).map(str::to_owned);
         m.library_points = doc.get("library_points").and_then(JsonValue::as_u64);
@@ -268,6 +278,7 @@ mod tests {
 
     fn sample() -> RunManifest {
         let mut m = RunManifest::new("online", "gcc", "mach0", 8);
+        m.run_id = Some("00decafc0ffee123-1".into());
         m.seed = Some(42);
         m.library_id = Some("crc32:deadbeef".into());
         m.library_points = Some(1000);
@@ -297,6 +308,36 @@ mod tests {
         // Manifest fields survive even with metrics embedded.
         let back = RunManifest::from_json(&text).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_without_run_id_parses_as_none() {
+        // Pre-registry manifests have no run_id key at all.
+        let mut m = sample();
+        m.run_id = None;
+        let text = m.to_json().replace("  \"run_id\": null,\n", "");
+        let back = RunManifest::from_json(&text).unwrap();
+        assert_eq!(back.run_id, None);
+        assert_eq!(back.benchmark, m.benchmark);
+    }
+
+    #[test]
+    fn non_finite_estimate_fields_round_trip_as_zero() {
+        // A NaN/Inf half-width must not corrupt the JSON artifact: the
+        // writer pins non-finite numbers to 0 and the parser reads them
+        // back as plain zeros.
+        let mut m = RunManifest::new("x", "y", "z", 1);
+        m.set_estimate(f64::NAN, f64::INFINITY, false);
+        m.phase("run", f64::NEG_INFINITY);
+        let text = m.to_json();
+        let doc = JsonValue::parse(&text).expect("writer never emits invalid JSON");
+        let e = doc.get("estimate").unwrap();
+        assert_eq!(e.get("mean").and_then(JsonValue::as_f64), Some(0.0));
+        assert_eq!(e.get("half_width").and_then(JsonValue::as_f64), Some(0.0));
+        let back = RunManifest::from_json(&text).unwrap();
+        let est = back.estimate.unwrap();
+        assert_eq!((est.mean, est.half_width), (0.0, 0.0));
+        assert_eq!(back.phases[0].secs, 0.0);
     }
 
     #[test]

@@ -153,6 +153,51 @@ impl MetricsSnapshot {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
+    /// Merge `other` into `self`, by metric name. The per-kind contract:
+    ///
+    /// * **counters** — totals add (commutative and associative, like
+    ///   shard aggregation).
+    /// * **gauges** — *last-write-wins*: when both snapshots define a
+    ///   gauge, `other`'s value replaces `self`'s. A gauge is a level,
+    ///   not a flow — summing two observations of the same level would
+    ///   double it. This makes gauge merge associative but **not**
+    ///   commutative: `a ⊕ b ⊕ c` keeps the right-most observation,
+    ///   whatever the grouping, so merge in chronological order.
+    /// * **histograms** — element-wise bucket addition
+    ///   ([`HistogramSnapshot::merge`]).
+    /// * **spans** — close counts and total nanoseconds add.
+    ///
+    /// The result is deterministic: entries are re-sorted by name, so
+    /// the output order never depends on which side a name came from.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        fn merge_by_name<V: Clone>(
+            dst: &mut Vec<(String, V)>,
+            src: &[(String, V)],
+            mut combine: impl FnMut(&mut V, &V),
+        ) {
+            for (name, v) in src {
+                match dst.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, existing)) => combine(existing, v),
+                    None => dst.push((name.clone(), v.clone())),
+                }
+            }
+            dst.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        merge_by_name(&mut self.counters, &other.counters, |a, b| *a += b);
+        merge_by_name(&mut self.gauges, &other.gauges, |a, b| *a = *b);
+        merge_by_name(&mut self.histograms, &other.histograms, |a, b| a.merge(b));
+        let spans: Vec<(String, (u64, u64))> =
+            self.spans.iter().map(|(n, c, t)| (n.clone(), (*c, *t))).collect();
+        let other_spans: Vec<(String, (u64, u64))> =
+            other.spans.iter().map(|(n, c, t)| (n.clone(), (*c, *t))).collect();
+        let mut merged = spans;
+        merge_by_name(&mut merged, &other_spans, |a, b| {
+            a.0 += b.0;
+            a.1 += b.1;
+        });
+        self.spans = merged.into_iter().map(|(n, (c, t))| (n, c, t)).collect();
+    }
+
     /// Serialize as a JSON object: `{"counters": {...}, "gauges": {...},
     /// "histograms": {name: {count, sum, mean, p50, p99, p50_ub, p99_ub,
     /// buckets}}, "spans": {name: {count, total_ns}}}`. `p50`/`p99` are

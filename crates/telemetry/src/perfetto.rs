@@ -10,7 +10,12 @@
 //! * `progress` records become counter events (`"ph":"C"`) charting the
 //!   relative CI half-width and merged point count over time;
 //! * `anomaly` records become instant events (`"ph":"i"`) on the
-//!   emitting worker's track, carrying the point id and fired tests.
+//!   emitting worker's track, carrying the point id and fired tests;
+//! * `sched` records (the `core.sched.*` samples: claimed chunk size,
+//!   cumulative steals, prefetch-ring occupancy) become per-worker
+//!   counter tracks (`"ph":"C"`, one track per quantity per worker), so
+//!   the dynamic scheduler's adaptive chunk shrinking and steal traffic
+//!   are visible alongside the spans they explain.
 //!
 //! This module is a pure transformation over artifacts on disk, so it
 //! is compiled in both telemetry build modes (like the manifest and
@@ -42,13 +47,14 @@ pub fn chrome_trace(jsonl: &str) -> Result<String, JsonError> {
             offset: lineno + 1,
             message: format!("line {}: {}", lineno + 1, e.message),
         })?;
-        let event = match doc.get("type").and_then(JsonValue::as_str) {
-            Some("span") => span_event(&doc),
-            Some("progress") => progress_event(&doc),
-            Some("anomaly") => anomaly_event(&doc),
-            _ => None,
+        let events = match doc.get("type").and_then(JsonValue::as_str) {
+            Some("span") => span_event(&doc).into_iter().collect(),
+            Some("progress") => progress_event(&doc).into_iter().collect(),
+            Some("anomaly") => anomaly_event(&doc).into_iter().collect(),
+            Some("sched") => sched_events(&doc),
+            _ => Vec::new(),
         };
-        if let Some(event) = event {
+        for event in events {
             if !first {
                 out.push_str(",\n");
             }
@@ -118,6 +124,26 @@ fn anomaly_event(doc: &JsonValue) -> Option<String> {
     ))
 }
 
+/// One counter event per quantity carried by the sched record, each on
+/// its own per-worker track (`"sched chunk_points w3"`), so Perfetto
+/// charts them as separate series.
+fn sched_events(doc: &JsonValue) -> Vec<String> {
+    let worker = u64_field(doc, "worker");
+    let ts = u64_field(doc, "t_us");
+    ["chunk_points", "steals", "prefetch_occupancy"]
+        .iter()
+        .filter_map(|key| {
+            let v = doc.get(key).and_then(JsonValue::as_u64)?;
+            Some(format!(
+                "{{\"name\":{},\"cat\":\"sched\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\
+                 \"args\":{{{}:{v}}}}}",
+                quote(&format!("sched {key} w{worker}")),
+                quote(key),
+            ))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +161,8 @@ mod tests {
         "\"kinds\":[\"cpi_outlier\"],\"cpi\":2.3,\"mean\":1.3,\"std_dev\":0.2,",
         "\"sigmas\":5.0,\"decode_ns\":100,\"simulate_ns\":200}\n",
         "{\"type\":\"unknown_future_record\"}\n",
+        "{\"type\":\"sched\",\"t_us\":1500,\"worker\":3,\"chunk_points\":16,\"steals\":2}\n",
+        "{\"type\":\"sched\",\"t_us\":1600,\"worker\":0,\"prefetch_occupancy\":5}\n",
     );
 
     #[test]
@@ -142,7 +170,7 @@ mod tests {
         let chrome = chrome_trace(TRACE).expect("valid stream");
         let doc = JsonValue::parse(&chrome).expect("output is valid JSON");
         let events = doc.get("traceEvents").and_then(JsonValue::as_arr).expect("traceEvents");
-        assert_eq!(events.len(), 3, "unknown record types are skipped");
+        assert_eq!(events.len(), 6, "unknown record types are skipped");
         assert_eq!(events[0].get("ph").and_then(JsonValue::as_str), Some("X"));
         assert_eq!(events[0].get("ts").and_then(JsonValue::as_u64), Some(1234));
         assert_eq!(events[0].get("dur").and_then(JsonValue::as_u64), Some(56));
@@ -155,6 +183,29 @@ mod tests {
         assert_eq!(
             events[2].get("name").and_then(JsonValue::as_str),
             Some("online anomaly: cpi_outlier")
+        );
+        // Sched samples fan out into one counter event per quantity,
+        // tracked per worker.
+        assert_eq!(events[3].get("ph").and_then(JsonValue::as_str), Some("C"));
+        assert_eq!(
+            events[3].get("name").and_then(JsonValue::as_str),
+            Some("sched chunk_points w3")
+        );
+        assert_eq!(
+            events[3].get("args").and_then(|a| a.get("chunk_points")).and_then(JsonValue::as_u64),
+            Some(16)
+        );
+        assert_eq!(events[4].get("name").and_then(JsonValue::as_str), Some("sched steals w3"));
+        assert_eq!(
+            events[5].get("name").and_then(JsonValue::as_str),
+            Some("sched prefetch_occupancy w0")
+        );
+        assert_eq!(
+            events[5]
+                .get("args")
+                .and_then(|a| a.get("prefetch_occupancy"))
+                .and_then(JsonValue::as_u64),
+            Some(5)
         );
     }
 

@@ -132,6 +132,41 @@ mod imp {
         }
     }
 
+    /// Append one scheduler sample to the trace sink:
+    ///
+    /// ```json
+    /// {"type":"sched","t_us":1234,"worker":3,"chunk_points":16,"steals":2}
+    /// ```
+    ///
+    /// Only the `Some` quantities are written. No-op (a single relaxed
+    /// load) when no trace sink is installed — call sites may also gate
+    /// on [`tracing`] to skip argument construction. The perfetto
+    /// exporter turns these into per-worker counter tracks.
+    pub fn trace_sched(
+        worker: usize,
+        chunk_points: Option<u64>,
+        steals: Option<u64>,
+        prefetch_occupancy: Option<u64>,
+    ) {
+        if !tracing() {
+            return;
+        }
+        let mut line = format!("{{\"type\":\"sched\",\"t_us\":{},\"worker\":{worker}", now_us());
+        if let Some(v) = chunk_points {
+            line.push_str(&format!(",\"chunk_points\":{v}"));
+        }
+        if let Some(v) = steals {
+            line.push_str(&format!(",\"steals\":{v}"));
+        }
+        if let Some(v) = prefetch_occupancy {
+            line.push_str(&format!(",\"prefetch_occupancy\":{v}"));
+        }
+        line.push('}');
+        if let Some(w) = TRACE_SINK.lock().expect("trace sink lock").as_mut() {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
     /// Span aggregates as `(name, count, total_ns)` rows.
     pub(crate) fn aggregates() -> Vec<(String, u64, u64)> {
         AGGREGATES
@@ -179,9 +214,19 @@ mod imp {
 
     /// No-op.
     pub fn flush_trace() {}
+
+    /// No-op (telemetry compiled out).
+    #[inline(always)]
+    pub fn trace_sched(
+        _worker: usize,
+        _chunk_points: Option<u64>,
+        _steals: Option<u64>,
+        _prefetch_occupancy: Option<u64>,
+    ) {
+    }
 }
 
-pub use imp::{flush_trace, set_trace_path, span, trace_from_env, tracing, Span};
+pub use imp::{flush_trace, set_trace_path, span, trace_from_env, trace_sched, tracing, Span};
 
 #[cfg(feature = "enabled")]
 pub(crate) use imp::{aggregates, now_us, reset_aggregates};

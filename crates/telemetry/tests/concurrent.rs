@@ -6,7 +6,7 @@
 
 use std::thread;
 
-use spectral_telemetry::{snapshot, Counter, Histogram, HistogramSnapshot};
+use spectral_telemetry::{snapshot, Counter, Histogram, HistogramSnapshot, MetricsSnapshot};
 
 static HAMMERED: Counter = Counter::new("test.concurrent.hammered");
 static DIST: Histogram = Histogram::new("test.concurrent.dist");
@@ -83,6 +83,66 @@ fn merge_is_associative_and_commutative() {
     assert_eq!(left.buckets, right.buckets);
     assert_eq!(left.buckets, swapped.buckets);
     assert_eq!(left.count, 13);
+}
+
+#[test]
+fn snapshot_merge_is_associative_and_name_sorted() {
+    fn hist(values: &[u64]) -> HistogramSnapshot {
+        let mut h = HistogramSnapshot::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+    let a = MetricsSnapshot {
+        counters: vec![("x.count".into(), 10), ("z.count".into(), 1)],
+        gauges: vec![("x.level".into(), 5)],
+        histograms: vec![("x.dist".into(), hist(&[1, 2, 3]))],
+        spans: vec![("x.span".into(), 2, 100)],
+    };
+    let b = MetricsSnapshot {
+        counters: vec![("a.count".into(), 7), ("x.count".into(), 5)],
+        gauges: vec![("x.level".into(), 9), ("y.level".into(), -2)],
+        histograms: vec![("x.dist".into(), hist(&[100])), ("y.dist".into(), hist(&[7]))],
+        spans: vec![("x.span".into(), 1, 50)],
+    };
+    let c = MetricsSnapshot {
+        counters: vec![("x.count".into(), 1)],
+        gauges: vec![("x.level".into(), -3)],
+        histograms: vec![("x.dist".into(), hist(&[9]))],
+        spans: vec![("y.span".into(), 4, 400)],
+    };
+
+    // (a ⊕ b) ⊕ c
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    // a ⊕ (b ⊕ c)
+    let mut inner = b.clone();
+    inner.merge(&c);
+    let mut right = a.clone();
+    right.merge(&inner);
+
+    assert_eq!(left.counters, right.counters);
+    assert_eq!(left.gauges, right.gauges);
+    assert_eq!(left.histograms, right.histograms);
+    assert_eq!(left.spans, right.spans);
+
+    // Counters add; gauges keep the right-most (chronologically last)
+    // observation — the documented last-write-wins contract.
+    assert_eq!(
+        left.counters,
+        vec![("a.count".into(), 7), ("x.count".into(), 16), ("z.count".into(), 1)]
+    );
+    assert_eq!(left.gauges, vec![("x.level".into(), -3), ("y.level".into(), -2)]);
+    // Output is name-sorted regardless of input interleaving.
+    let names: Vec<&str> = left.counters.iter().map(|(n, _)| n.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+    // Histograms merged element-wise, spans summed.
+    assert_eq!(left.histograms[0].1.count, 5);
+    assert_eq!(left.spans, vec![("x.span".into(), 3, 150), ("y.span".into(), 4, 400)]);
 }
 
 #[test]

@@ -83,6 +83,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     if let Some(line) = anomalies.first() {
         println!("  {line}");
     }
-    println!("  diagnose with: spectral-doctor --events {}", events_path.display());
+    println!("  diagnose with: spectral-doctor analyze --events {}", events_path.display());
+    println!("  watch live   : spectral-doctor watch --events {} --once", events_path.display());
     Ok(())
 }

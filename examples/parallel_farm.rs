@@ -56,6 +56,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     }
     telemetry::trace_from_env()?;
+    // When SPECTRAL_REGISTRY names a registry, tally convergence
+    // summaries in-process so the appended record carries them.
+    let registry = spectral::registry::Registry::from_env()?;
+    if registry.is_some() {
+        telemetry::enable_run_summaries();
+    }
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let threads = threads.unwrap_or(cores);
 
@@ -131,9 +137,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\nestimates are bit-identical to the serial pass — order independence");
     println!("is what lets a cluster split one library across hosts (paper §6.1).");
 
+    manifest.run_id =
+        Some(telemetry::derive_run_id(&manifest.to_json(), telemetry::next_run_seq()));
     if let Some(path) = metrics_out {
         manifest.write(&path, Some(&telemetry::snapshot()))?;
         println!("run manifest written to {path}");
+    }
+    if let Some(registry) = registry {
+        let summaries = telemetry::take_run_summaries();
+        let record = spectral::registry::RunRecord::from_manifest(&manifest, summaries);
+        registry.append(&record)?;
+        println!("run record appended to {}", registry.dir().display());
     }
     telemetry::flush_trace();
     Ok(())

@@ -18,6 +18,7 @@
 //! * [`warming`] — full (SMARTS), detailed, and adaptive (MRRL) warming
 //! * [`core`] — live-points: creation, libraries, runners, matched pairs
 //! * [`telemetry`] — metrics, span tracing, and run manifests
+//! * [`registry`] — append-only cross-run registry for perf trajectories
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use spectral_cache as cache;
 pub use spectral_codec as codec;
 pub use spectral_core as core;
 pub use spectral_isa as isa;
+pub use spectral_registry as registry;
 pub use spectral_stats as stats;
 pub use spectral_telemetry as telemetry;
 pub use spectral_uarch as uarch;
