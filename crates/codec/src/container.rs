@@ -19,8 +19,61 @@ use crate::crc32;
 use crate::error::CodecError;
 use crate::lzss;
 
-const MAGIC: &[u8; 4] = b"SPLP";
+pub(crate) const MAGIC: &[u8; 4] = b"SPLP";
 const VERSION: u16 = 1;
+
+/// Length of the fixed v1 container header (magic + version + count).
+pub const V1_HEADER_LEN: usize = 10;
+
+/// Length of a per-record frame header (compressed length + CRC32).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Read the shared container magic and format version from a file
+/// prefix without committing to a layout — the version-dispatch point
+/// between the monolithic v1 container and the paged v2 container
+/// ([`crate::paged`]).
+///
+/// # Errors
+///
+/// Returns [`CodecError::Truncated`] when fewer than 6 bytes are given
+/// and [`CodecError::BadContainer`] on a bad magic.
+pub fn sniff_version(prefix: &[u8]) -> Result<u16, CodecError> {
+    if prefix.len() < 6 {
+        return Err(CodecError::Truncated);
+    }
+    if &prefix[..4] != MAGIC {
+        return Err(CodecError::BadContainer);
+    }
+    Ok(u16::from_le_bytes([prefix[4], prefix[5]]))
+}
+
+/// Parse a full v1 header, returning the record count (which counts the
+/// meta record, when the caller stored one).
+///
+/// # Errors
+///
+/// Returns [`CodecError::Truncated`] on a short prefix,
+/// [`CodecError::BadContainer`] on a bad magic, and
+/// [`CodecError::UnsupportedVersion`] when the version is not 1.
+pub fn parse_v1_header(prefix: &[u8]) -> Result<u32, CodecError> {
+    if prefix.len() < V1_HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let version = sniff_version(prefix)?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion { found: version });
+    }
+    Ok(u32::from_le_bytes([prefix[6], prefix[7], prefix[8], prefix[9]]))
+}
+
+/// Parse one record frame header: `(compressed_len, crc32)`. Used by
+/// metadata-only opens that walk frames by seeking instead of reading
+/// record bodies.
+pub fn frame_header(bytes: &[u8; FRAME_HEADER_LEN]) -> (u32, u32) {
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let crc = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    (len, crc)
+}
 
 /// Build a container in memory, one record at a time.
 ///

@@ -30,6 +30,15 @@ pub enum CodecError {
     },
     /// The container magic/version was not recognized.
     BadContainer,
+    /// The container carried a version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// A paged container's footer or trailer was structurally invalid
+    /// (bad trailer magic, out-of-bounds offsets, inconsistent counts,
+    /// or a footer CRC mismatch).
+    BadFooter,
 }
 
 impl fmt::Display for CodecError {
@@ -49,6 +58,12 @@ impl fmt::Display for CodecError {
                 write!(f, "container frame {frame} failed its crc check")
             }
             CodecError::BadContainer => write!(f, "unrecognized container magic or version"),
+            CodecError::UnsupportedVersion { found } => {
+                write!(f, "unsupported container version {found}")
+            }
+            CodecError::BadFooter => {
+                write!(f, "paged container footer/trailer is structurally invalid")
+            }
         }
     }
 }
@@ -70,6 +85,8 @@ mod tests {
             CodecError::BadBackReference,
             CodecError::CrcMismatch { frame: 3 },
             CodecError::BadContainer,
+            CodecError::UnsupportedVersion { found: 9 },
+            CodecError::BadFooter,
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -15,7 +15,10 @@
 //! * [`crc32`] — IEEE CRC-32 integrity checks for container frames,
 //! * [`Container`] — the shuffled single-stream live-point library file
 //!   format recommended in §6.1 ("stored in a single compressed file to
-//!   maximize I/O performance").
+//!   maximize I/O performance"),
+//! * [`paged`] — library format v2: a footer-indexed paged container
+//!   with O(1) positioned record reads and block-shared LZSS
+//!   dictionaries ([`sniff_version`] dispatches between v1 and v2).
 //!
 //! ## Example: encode, compress, round-trip
 //!
@@ -45,8 +48,12 @@ pub mod crc32;
 mod der;
 mod error;
 pub mod lzss;
+pub mod paged;
 pub mod varint;
 
-pub use container::{Container, ContainerReader, ContainerWriter};
+pub use container::{
+    frame_header, parse_v1_header, sniff_version, Container, ContainerReader, ContainerWriter,
+    FRAME_HEADER_LEN, V1_HEADER_LEN,
+};
 pub use der::{DerReader, DerWriter};
 pub use error::CodecError;

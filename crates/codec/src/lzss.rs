@@ -48,6 +48,7 @@ fn hash3(data: &[u8], i: usize) -> usize {
 pub struct CompressScratch {
     head: Vec<usize>,
     prev: Vec<usize>,
+    concat: Vec<u8>,
 }
 
 impl CompressScratch {
@@ -166,6 +167,120 @@ pub fn compress_with(scratch: &mut CompressScratch, data: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Compress `data` against a shared dictionary: the match window is
+/// primed with `dict` before any `data` byte is coded, so back-references
+/// may reach into the dictionary. The output carries tokens for `data`
+/// only (the `u64` length header is `data.len()`); decode it with
+/// [`decompress_into_with_dict`] and the *same* dictionary bytes.
+///
+/// With an empty dictionary the output is byte-identical to
+/// [`compress_with`].
+pub fn compress_with_dict(scratch: &mut CompressScratch, dict: &[u8], data: &[u8]) -> Vec<u8> {
+    if dict.is_empty() {
+        return compress_with(scratch, data);
+    }
+    let sw = Stopwatch::start();
+    // Conceptually compress `dict ++ data`, emitting tokens only for the
+    // `data` suffix. Dictionary positions are indexed into the match
+    // chains up front; the decoder seeds its output window with the same
+    // dictionary bytes, so offsets resolve identically on both sides.
+    let mut concat = std::mem::take(&mut scratch.concat);
+    concat.clear();
+    concat.reserve(dict.len() + data.len());
+    concat.extend_from_slice(dict);
+    concat.extend_from_slice(data);
+
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+
+    scratch.reset(concat.len());
+    let (head, prev) = (&mut scratch.head, &mut scratch.prev);
+    let dict_index_end = dict.len().min(concat.len().saturating_sub(MIN_MATCH - 1));
+    for (j, chain) in prev.iter_mut().enumerate().take(dict_index_end) {
+        let h = hash3(&concat, j);
+        *chain = head[h];
+        head[h] = j;
+    }
+
+    let mut i = dict.len();
+    let mut flag_pos = usize::MAX;
+    let mut flag_bit = 8;
+
+    macro_rules! begin_token {
+        ($is_match:expr) => {
+            if flag_bit == 8 {
+                flag_pos = out.len();
+                out.push(0);
+                flag_bit = 0;
+            }
+            if $is_match {
+                out[flag_pos] |= 1 << flag_bit;
+            }
+            flag_bit += 1;
+        };
+    }
+
+    while i < concat.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= concat.len() {
+            let h = hash3(&concat, i);
+            let mut cand = head[h];
+            let mut depth = 0;
+            while cand != usize::MAX && depth < CHAIN_DEPTH {
+                if i - cand > WINDOW {
+                    break;
+                }
+                let max = (concat.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < max && concat[cand + l] == concat[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_off = i - cand;
+                    if l == max {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                depth += 1;
+            }
+            prev[i] = head[h];
+            head[h] = i;
+        }
+
+        if best_len >= MIN_MATCH {
+            begin_token!(true);
+            let off = (best_off - 1) as u16;
+            out.extend_from_slice(&off.to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            let end = i + best_len;
+            let mut j = i + 1;
+            while j < end && j + MIN_MATCH <= concat.len() {
+                let h = hash3(&concat, j);
+                prev[j] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i = end;
+        } else {
+            begin_token!(false);
+            out.push(concat[i]);
+            i += 1;
+        }
+    }
+    scratch.concat = concat;
+    COMPRESS_CALLS.inc();
+    COMPRESS_IN_BYTES.add(data.len() as u64);
+    COMPRESS_OUT_BYTES.add(out.len() as u64);
+    COMPRESS_NS.add(sw.ns());
+    if !out.is_empty() {
+        RATIO_PCT.record((data.len() as u64 * 100) / out.len() as u64);
+    }
+    out
+}
+
 /// Decompress data produced by [`compress`].
 ///
 /// # Errors
@@ -191,6 +306,46 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
 pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
     let sw = Stopwatch::start();
     out.clear();
+    decode_tokens(data, out, 0)?;
+    DECOMPRESS_CALLS.inc();
+    DECOMPRESS_OUT_BYTES.add(out.len() as u64);
+    DECOMPRESS_NS.add(sw.ns());
+    Ok(())
+}
+
+/// Decompress data produced by [`compress_with_dict`] with the same
+/// dictionary. `out` is cleared first and receives the decoded payload
+/// only (never the dictionary); on error its contents are unspecified
+/// (but valid).
+///
+/// # Errors
+///
+/// Same conditions as [`decompress`]; a stream whose back-references
+/// assume a longer dictionary than supplied fails with
+/// [`CodecError::BadBackReference`].
+pub fn decompress_into_with_dict(
+    dict: &[u8],
+    data: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
+    if dict.is_empty() {
+        return decompress_into(data, out);
+    }
+    let sw = Stopwatch::start();
+    out.clear();
+    out.extend_from_slice(dict);
+    decode_tokens(data, out, dict.len())?;
+    out.drain(..dict.len());
+    DECOMPRESS_CALLS.inc();
+    DECOMPRESS_OUT_BYTES.add(out.len() as u64);
+    DECOMPRESS_NS.add(sw.ns());
+    Ok(())
+}
+
+/// Shared token decoder: `out` arrives pre-seeded with `base` window
+/// bytes (the dictionary; 0 for plain streams) and is extended with
+/// exactly the declared payload length.
+fn decode_tokens(data: &[u8], out: &mut Vec<u8>, base: usize) -> Result<(), CodecError> {
     if data.len() < 8 {
         return Err(CodecError::Truncated);
     }
@@ -200,16 +355,17 @@ pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError>
     if expect > (data.len() - 8).saturating_mul(MAX_MATCH) {
         return Err(CodecError::BadLength);
     }
+    let target = base + expect;
     out.reserve(expect);
     let mut i = 8;
-    while out.len() < expect {
+    while out.len() < target {
         if i >= data.len() {
             return Err(CodecError::Truncated);
         }
         let flags = data[i];
         i += 1;
         for bit in 0..8 {
-            if out.len() >= expect {
+            if out.len() >= target {
                 break;
             }
             if flags & (1 << bit) != 0 {
@@ -236,12 +392,9 @@ pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError>
             }
         }
     }
-    if out.len() != expect {
+    if out.len() != target {
         return Err(CodecError::BadLength);
     }
-    DECOMPRESS_CALLS.inc();
-    DECOMPRESS_OUT_BYTES.add(out.len() as u64);
-    DECOMPRESS_NS.add(sw.ns());
     Ok(())
 }
 
@@ -320,6 +473,89 @@ mod tests {
         stream.extend_from_slice(&0u16.to_le_bytes()); // offset-1 = 0 → off 1
         stream.push(1); // len 4
         assert!(matches!(decompress(&stream), Err(CodecError::BadBackReference)));
+    }
+
+    #[test]
+    fn dict_roundtrip_and_ratio() {
+        // Records of a live-point library share structure: bytes that are
+        // incompressible on their own collapse almost entirely when a
+        // sibling record primes the window.
+        let mut x = 0xC0FFEE11u64;
+        let data: Vec<u8> = (0..3000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let dict = data.clone();
+        let mut scratch = CompressScratch::new();
+        let plain = compress_with(&mut scratch, &data);
+        let primed = compress_with_dict(&mut scratch, &dict, &data);
+        assert!(
+            primed.len() * 4 < plain.len(),
+            "dictionary-identical input should collapse: {} vs plain {}",
+            primed.len(),
+            plain.len()
+        );
+        let mut out = Vec::new();
+        decompress_into_with_dict(&dict, &primed, &mut out).unwrap();
+        assert_eq!(out, data);
+        // The primed stream is not decodable without its dictionary.
+        assert!(decompress(&primed).is_err() || decompress(&primed).unwrap() != data);
+    }
+
+    #[test]
+    fn empty_dict_is_byte_identical_to_plain() {
+        let data = b"hello world hello world hello world".to_vec();
+        let mut scratch = CompressScratch::new();
+        let plain = compress_with(&mut scratch, &data);
+        let primed = compress_with_dict(&mut scratch, &[], &data);
+        assert_eq!(plain, primed);
+        let mut out = Vec::new();
+        decompress_into_with_dict(&[], &plain, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn dict_roundtrip_edge_cases() {
+        let mut scratch = CompressScratch::new();
+        let mut out = Vec::new();
+        for dict in [&b""[..], b"ab", b"abcabcabc"] {
+            for data in [&b""[..], b"a", b"abcabcabcabcabc", b"zzzzzzzzzzzzzzzz"] {
+                let c = compress_with_dict(&mut scratch, dict, data);
+                decompress_into_with_dict(dict, &c, &mut out).unwrap();
+                assert_eq!(out, data, "dict={dict:?} data={data:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dict_stream_with_wrong_dict_is_rejected_or_wrong() {
+        // A stream whose back-references reach into the dictionary must
+        // fail typed (or decode to different bytes) under a shorter
+        // dictionary — never panic.
+        let mut x = 0xDEAD_BEEFu64;
+        let dict: Vec<u8> = (0..2048)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let data: Vec<u8> = dict.iter().copied().take(1500).collect();
+        let mut scratch = CompressScratch::new();
+        let c = compress_with_dict(&mut scratch, &dict, &data);
+        let mut out = Vec::new();
+        match decompress_into_with_dict(&dict[..4], &c, &mut out) {
+            Ok(()) => assert_ne!(out, data),
+            Err(e) => assert!(matches!(
+                e,
+                CodecError::BadBackReference | CodecError::Truncated | CodecError::BadLength
+            )),
+        }
     }
 
     #[test]

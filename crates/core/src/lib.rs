@@ -12,8 +12,12 @@
 //!   by a user-selected maximum geometry, and one branch-predictor
 //!   snapshot per selected predictor configuration,
 //! * [`LivePointLibrary`] — creation (one functional pass per
-//!   benchmark), shuffling, and the single-compressed-stream container
-//!   the paper recommends (§6.1),
+//!   benchmark, optionally streamed straight to disk), shuffling, and
+//!   two container formats: the single-compressed-stream v1 file the
+//!   paper recommends (§6.1) and the paged v2 file whose open reads
+//!   only a footer index and whose point reads are O(1) positioned
+//!   reads, with block-shared LZSS dictionaries and index-level merge
+//!   ([`LivePointLibrary::merge_files`]),
 //! * [`OnlineRunner`] — random-order processing with online confidence:
 //!   results and their confidence are available *while the simulation
 //!   runs*, and the run stops as soon as the target confidence is met
@@ -67,6 +71,7 @@ mod livepoint;
 mod livestate;
 mod matched;
 mod plan;
+mod pointcache;
 mod runner;
 mod sched;
 mod stratified;
@@ -74,11 +79,12 @@ mod sweep;
 
 pub use creation::{benchmark_length, CreationConfig, L2StreamPolicy};
 pub use error::CoreError;
-pub use library::{DecodeScratch, LivePointLibrary};
+pub use library::{DecodeScratch, LibraryHeader, LivePointLibrary, V2WriteOptions};
 pub use livepoint::{LivePoint, SizeBreakdown, WarmPayload};
 pub use livestate::{collect_live_state, LiveState, StateScope};
 pub use matched::{MatchedOutcome, MatchedRunner};
 pub use plan::{plan_library, LibraryPlan};
+pub use pointcache::{clear_decode_cache, decode_cache_capacity, set_decode_cache_capacity};
 pub use runner::{simulate_live_point, Estimate, OnlineRunner, RunPolicy};
 pub use sched::{ChunkCursor, SchedMode};
 pub use stratified::{StratifiedEstimate, StratifiedRunner};

@@ -1,0 +1,219 @@
+//! Sharded LRU cache of decoded live-points.
+//!
+//! Decoding a live-point (positioned read + LZSS + DER) dominates
+//! checkpoint processing time (Fig 8). Matched-pair and sweep runs
+//! re-visit the same points — [`MatchedRunner`](crate::MatchedRunner)
+//! decodes each point for both machine configurations when run twice,
+//! and successive sweeps over one library decode everything again — so
+//! the runners route every decode through this cache, keyed by
+//! `(library content hash, point index)`. The content hash keys the
+//! *bytes*, not the file, so two opens of the same library (or a v1
+//! load and a dictionary-less v2 open of the same data) share entries.
+//!
+//! The cache holds `Arc<LivePoint>`s in 8 shards, each guarded by its
+//! own mutex so parallel runner threads rarely contend. Eviction is
+//! per-shard LRU by a monotonic touch tick. Capacity is global
+//! (entries, not bytes), set by [`set_decode_cache_capacity`] or the
+//! `SPECTRAL_DECODE_CACHE` environment variable; 0 disables caching
+//! entirely.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use spectral_telemetry::Counter;
+
+use crate::livepoint::LivePoint;
+
+static TLM_HITS: Counter = Counter::new("core.lib.cache_hits");
+static TLM_MISSES: Counter = Counter::new("core.lib.cache_misses");
+static TLM_EVICTIONS: Counter = Counter::new("core.lib.cache_evictions");
+
+const SHARDS: usize = 8;
+
+/// Default capacity (decoded points) when `SPECTRAL_DECODE_CACHE` is
+/// unset.
+pub(crate) const DEFAULT_CAPACITY: usize = 256;
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, (Arc<LivePoint>, u64)>,
+    tick: u64,
+}
+
+/// A sharded LRU of decoded points. The process-wide instance lives
+/// behind [`global`]; tests construct their own to stay isolated from
+/// concurrently running runner tests.
+#[derive(Debug)]
+pub(crate) struct DecodeCache {
+    shards: [Mutex<Shard>; SHARDS],
+    capacity: AtomicUsize,
+}
+
+impl DecodeCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        DecodeCache {
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+            capacity: AtomicUsize::new(capacity),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        if capacity == 0 {
+            self.clear();
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard").map.clear();
+        }
+    }
+
+    /// Fetch `key`, refreshing its LRU tick on a hit.
+    pub(crate) fn lookup(&self, key: u64) -> Option<Arc<LivePoint>> {
+        if self.capacity() == 0 {
+            return None;
+        }
+        let mut shard = self.shards[(key as usize) % SHARDS].lock().expect("cache shard");
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key) {
+            Some((lp, touched)) => {
+                *touched = tick;
+                TLM_HITS.inc();
+                Some(lp.clone())
+            }
+            None => {
+                TLM_MISSES.inc();
+                None
+            }
+        }
+    }
+
+    /// Insert `key`, evicting the shard's least-recently-touched entry
+    /// when the shard is at capacity.
+    pub(crate) fn insert(&self, key: u64, lp: Arc<LivePoint>) {
+        let capacity = self.capacity();
+        if capacity == 0 {
+            return;
+        }
+        let per_shard = (capacity / SHARDS).max(1);
+        let mut shard = self.shards[(key as usize) % SHARDS].lock().expect("cache shard");
+        if shard.map.len() >= per_shard && !shard.map.contains_key(&key) {
+            if let Some((&victim, _)) = shard.map.iter().min_by_key(|(_, (_, touched))| *touched) {
+                shard.map.remove(&victim);
+                TLM_EVICTIONS.inc();
+            }
+        }
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.insert(key, (lp, tick));
+    }
+}
+
+/// Cache key for point `index` of the library identified by
+/// `content_hash`.
+pub(crate) fn cache_key(content_hash: u32, index: usize) -> u64 {
+    (u64::from(content_hash) << 32) | (index as u64 & 0xFFFF_FFFF)
+}
+
+/// The process-wide decode cache, sized from `SPECTRAL_DECODE_CACHE`
+/// (entries; 0 disables) or [`DEFAULT_CAPACITY`].
+pub(crate) fn global() -> &'static DecodeCache {
+    static CACHE: OnceLock<DecodeCache> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let capacity = std::env::var("SPECTRAL_DECODE_CACHE")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_CAPACITY);
+        DecodeCache::new(capacity)
+    })
+}
+
+/// Resize the process-wide decoded-point cache (entries; 0 disables and
+/// drops all cached points). The runners consult the cache on every
+/// decode, so this takes effect immediately.
+pub fn set_decode_cache_capacity(capacity: usize) {
+    global().set_capacity(capacity);
+}
+
+/// Current capacity of the process-wide decoded-point cache.
+pub fn decode_cache_capacity() -> usize {
+    global().capacity()
+}
+
+/// Drop every cached decoded point (capacity is unchanged).
+pub fn clear_decode_cache() {
+    global().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::creation::CreationConfig;
+    use crate::library::LivePointLibrary;
+    use spectral_uarch::MachineConfig;
+    use spectral_workloads::tiny;
+
+    fn point() -> Arc<LivePoint> {
+        let p = tiny().build();
+        let cfg = CreationConfig::for_machine(&MachineConfig::eight_way()).with_sample_size(12);
+        let lib = LivePointLibrary::create(&p, &cfg).unwrap();
+        Arc::new(lib.get(0).unwrap())
+    }
+
+    #[test]
+    fn lookup_insert_and_evict() {
+        let cache = DecodeCache::new(SHARDS); // one entry per shard
+        let lp = point();
+        let a = cache_key(0xABCD_0123, 0);
+        // Same shard as `a`: differ by a multiple of SHARDS.
+        let b = a + SHARDS as u64;
+        assert!(cache.lookup(a).is_none());
+        cache.insert(a, lp.clone());
+        assert!(cache.lookup(a).is_some());
+        // Inserting a second key into a full shard evicts the LRU one.
+        cache.insert(b, lp.clone());
+        assert!(cache.lookup(b).is_some());
+        assert!(cache.lookup(a).is_none(), "LRU entry should have been evicted");
+    }
+
+    #[test]
+    fn lru_refresh_protects_hot_entries() {
+        let cache = DecodeCache::new(2 * SHARDS); // two entries per shard
+        let lp = point();
+        let a = cache_key(1, 0);
+        let b = a + SHARDS as u64;
+        let c = b + SHARDS as u64;
+        cache.insert(a, lp.clone());
+        cache.insert(b, lp.clone());
+        assert!(cache.lookup(a).is_some()); // refresh a → b is now LRU
+        cache.insert(c, lp.clone());
+        assert!(cache.lookup(a).is_some());
+        assert!(cache.lookup(b).is_none(), "stale entry should be the victim");
+        assert!(cache.lookup(c).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = DecodeCache::new(0);
+        let lp = point();
+        cache.insert(7, lp);
+        assert!(cache.lookup(7).is_none());
+        cache.set_capacity(4);
+        assert_eq!(cache.capacity(), 4);
+    }
+
+    #[test]
+    fn cache_key_separates_libraries_and_indices() {
+        assert_ne!(cache_key(1, 0), cache_key(2, 0));
+        assert_ne!(cache_key(1, 0), cache_key(1, 1));
+        assert_eq!(cache_key(3, 9), cache_key(3, 9));
+    }
+}

@@ -2,7 +2,7 @@
 //! runner (serial and parallel).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use spectral_isa::{Emulator, Program};
 use spectral_stats::{Confidence, OnlineEstimator, MIN_SAMPLE_SIZE};
@@ -13,6 +13,7 @@ use crate::error::CoreError;
 use crate::health::{HealthMonitor, PointMeta};
 use crate::library::{DecodeScratch, LivePointLibrary};
 use crate::livepoint::LivePoint;
+use crate::pointcache;
 use crate::sched::{ChunkCursor, ChunkLog, PrefetchRing, SchedMode, WorkQueue};
 
 // Runner metrics, shared by the online, matched-pair, and sweep
@@ -30,13 +31,27 @@ static TLM_EARLY_STOP_POINT: Gauge = Gauge::new("core.run.early_stop_point");
 /// Decode live-point `index` through per-thread scratch buffers,
 /// feeding the decode-time counter; also returns the decode wall-clock
 /// for per-point health accounting.
+///
+/// Decodes go through the process-wide [`pointcache`]: matched-pair
+/// and repeated-sweep workloads re-visit indices, and a hit skips the
+/// read + LZSS + DER work entirely. The key is the library *content*
+/// hash, so any handle onto the same bytes (v1 load, v2 open, a second
+/// open of the same file) shares entries.
 pub(crate) fn decode_point(
     library: &LivePointLibrary,
     index: usize,
     scratch: &mut DecodeScratch,
-) -> Result<(LivePoint, u64), CoreError> {
+) -> Result<(Arc<LivePoint>, u64), CoreError> {
     let sw = Stopwatch::start();
-    let lp = library.get_with(scratch, index)?;
+    let cache = pointcache::global();
+    let key = pointcache::cache_key(library.content_hash(), index);
+    if let Some(lp) = cache.lookup(key) {
+        let ns = sw.ns();
+        TLM_DECODE_NS.add(ns);
+        return Ok((lp, ns));
+    }
+    let lp = Arc::new(library.get_with(scratch, index)?);
+    cache.insert(key, lp.clone());
     let ns = sw.ns();
     TLM_DECODE_NS.add(ns);
     Ok((lp, ns))

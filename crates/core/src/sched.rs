@@ -40,6 +40,7 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use spectral_telemetry::{Counter, Histogram};
 
@@ -226,7 +227,7 @@ pub(crate) fn note_worker_time(busy_ns: u64, wall_ns: u64) {
 /// chunk, so decompression works in batches against warm scratch
 /// buffers instead of strictly alternating with simulation.
 pub(crate) struct PrefetchRing {
-    ring: VecDeque<(LivePoint, u64)>,
+    ring: VecDeque<(Arc<LivePoint>, u64)>,
     depth: usize,
     worker: usize,
     /// Last occupancy sampled into the trace, so an idle steady state
@@ -270,7 +271,7 @@ impl PrefetchRing {
     }
 
     /// The oldest pre-decoded point `(live-point, decode_ns)`.
-    pub fn pop(&mut self) -> Option<(LivePoint, u64)> {
+    pub fn pop(&mut self) -> Option<(Arc<LivePoint>, u64)> {
         self.ring.pop_front()
     }
 

@@ -123,6 +123,16 @@ fn run(args: Args) -> Result<(), ExpError> {
         };
         let lib =
             LivePointLibrary::create_with_windows_parallel(&case.program, &cfg, &windows, threads)?;
+        // Paged container with block-shared dictionaries: the v2
+        // bytes/point at this stored maximum.
+        let v2_path = std::env::temp_dir().join(format!(
+            "spectral_fig8_{}_{}mb.splp",
+            std::process::id(),
+            l2_mb
+        ));
+        let summary = lib.save_v2(&v2_path, &args.v2_options())?;
+        std::fs::remove_file(&v2_path).ok();
+        let dict_bytes = summary.record_bytes / u64::from(summary.count.max(1));
         // Load (decompress + decode) time per point.
         let t = Timer::start();
         for i in 0..lib.len() {
@@ -132,6 +142,7 @@ fn run(args: Args) -> Result<(), ExpError> {
         rows.push(vec![
             format!("{l2_mb}MB L2 / {}K bpred", bp_entries / 1024),
             fmt_bytes(lib.mean_point_bytes()),
+            fmt_bytes(dict_bytes),
             fmt_bytes(aw_bytes),
             format!("{lp_ms:.2} ms"),
             format!("{aw_ms:.2} ms"),
@@ -142,7 +153,14 @@ fn run(args: Args) -> Result<(), ExpError> {
 
     report.table(
         "",
-        &["max config", "live-point (compressed)", "AW-MRRL ckpt", "LP load time", "AW warm time"],
+        &[
+            "max config",
+            "live-point (compressed)",
+            "v2+dict",
+            "AW-MRRL ckpt",
+            "LP load time",
+            "AW warm time",
+        ],
         rows,
     );
     report.blank();

@@ -5,7 +5,9 @@
 //! processing (window independence).
 
 use spectral_core::{CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy};
-use spectral_experiments::{fmt_secs, load_cases, run_main, Args, ExpError, Report, Timer};
+use spectral_experiments::{
+    fmt_secs, load_cases, run_main, stamp_library, Args, ExpError, IoContext, Report, Timer,
+};
 use spectral_uarch::MachineConfig;
 use spectral_warming::complete_detailed;
 
@@ -29,11 +31,52 @@ fn run(mut args: Args) -> Result<(), ExpError> {
     report.line(format!("benchmark={} library cap={}\n", case.name(), library_cap));
 
     let t = Timer::start();
-    let cfg = CreationConfig::for_machine(&machine).with_sample_size(library_cap);
-    let library = LivePointLibrary::create_parallel(&case.program, &cfg, args.thread_count())?;
-    manifest.phase("create_library", t.secs());
-    manifest.library_id = Some(format!("crc32:{:08x}", library.content_hash()));
-    manifest.library_points = Some(library.len() as u64);
+    let library = match &args.library {
+        Some(path) => {
+            // Metadata-only peek first: the header tells us what we are
+            // about to run without touching a single record.
+            let header =
+                LivePointLibrary::open_header(path).context("cannot read library header", path)?;
+            report.line(format!(
+                "library {}: v{} {} ({:?}), {} points in {} blocks",
+                path.display(),
+                header.format_version,
+                header.benchmark,
+                header.scope,
+                header.points,
+                header.blocks,
+            ));
+            let library = LivePointLibrary::open(path).context("cannot open library", path)?;
+            if library.benchmark() != case.name() {
+                return Err(ExpError::msg(format!(
+                    "library {} was built for benchmark '{}', not '{}'",
+                    path.display(),
+                    library.benchmark(),
+                    case.name()
+                )));
+            }
+            manifest.phase("open_library", t.secs());
+            library
+        }
+        None => {
+            let cfg = CreationConfig::for_machine(&machine).with_sample_size(library_cap);
+            let library =
+                LivePointLibrary::create_parallel(&case.program, &cfg, args.thread_count())?;
+            manifest.phase("create_library", t.secs());
+            library
+        }
+    };
+    if let Some(path) = &args.save_library {
+        let t = Timer::start();
+        args.write_library(&library, path)?;
+        manifest.phase("save_library", t.secs());
+        report.line(format!(
+            "library saved to {} (format v{})",
+            path.display(),
+            args.lib_format.unwrap_or(2)
+        ));
+    }
+    stamp_library(&mut manifest, &library);
     let runner = OnlineRunner::new(&library, machine.clone());
 
     // Exhaustive run with a fine trajectory: the convergence picture.

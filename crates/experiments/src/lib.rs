@@ -22,6 +22,16 @@
 //! * `--windows N`, `--seeds S`, `--scale F` where meaningful
 //! * `--threads T` — worker threads for library creation and runs
 //!   (default: the host's available parallelism)
+//! * `--library PATH` — open an existing on-disk library (either
+//!   format) instead of re-creating one, where the binary supports it
+//! * `--save-library PATH` — persist the library the binary used
+//! * `--lib-format N` — container format for `--save-library`: 1 =
+//!   monolithic v1 stream, 2 = paged (default)
+//! * `--block N` — records per shared-dictionary block when writing v2
+//! * `--dict on|off` — enable/disable block-shared LZSS dictionaries
+//!   when writing v2 (default on)
+//! * `--decode-cache N` — decoded-point LRU cache capacity in points
+//!   (0 disables; default 256, also via `SPECTRAL_DECODE_CACHE`)
 //! * `--chunk N` — dynamic-scheduler chunk size for parallel runs
 //!   (0 = auto: the merge stride)
 //! * `--prefetch N` — decode-ahead prefetch-ring depth per worker
@@ -137,6 +147,21 @@ pub struct Args {
     /// Worker-thread count for creation and runs (`--threads`; default
     /// = available parallelism).
     pub threads: Option<usize>,
+    /// Existing on-disk library to open instead of creating
+    /// (`--library`).
+    pub library: Option<PathBuf>,
+    /// Where to persist the library the binary used (`--save-library`).
+    pub save_library: Option<PathBuf>,
+    /// Container format for `--save-library`: 1 or 2 (`--lib-format`;
+    /// default 2).
+    pub lib_format: Option<u16>,
+    /// Records per shared-dictionary block when writing v2 (`--block`).
+    pub block: Option<usize>,
+    /// Block-shared LZSS dictionaries when writing v2 (`--dict on|off`;
+    /// default on).
+    pub dict: Option<bool>,
+    /// Decoded-point LRU cache capacity (`--decode-cache`; 0 disables).
+    pub decode_cache: Option<usize>,
     /// Dynamic-scheduler chunk size (`--chunk`; 0 = auto).
     pub chunk: Option<usize>,
     /// Decode-ahead prefetch-ring depth (`--prefetch`).
@@ -168,6 +193,12 @@ impl Args {
             scale: None,
             machine: None,
             threads: None,
+            library: None,
+            save_library: None,
+            lib_format: None,
+            block: None,
+            dict: None,
+            decode_cache: None,
             chunk: None,
             prefetch: None,
             target: None,
@@ -195,6 +226,9 @@ impl Args {
     pub fn try_parse() -> Result<Args, ExpError> {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let args = Self::try_parse_from(&argv)?;
+        if let Some(capacity) = args.decode_cache {
+            spectral_core::set_decode_cache_capacity(capacity);
+        }
         if args.registry_dir().is_some() {
             spectral_telemetry::enable_run_summaries();
         }
@@ -250,6 +284,38 @@ impl Args {
                 "--scale" => args.scale = Some(int("--scale", value("--scale")?)?),
                 "--machine" => args.machine = Some(value("--machine")?.clone()),
                 "--threads" => args.threads = Some(int("--threads", value("--threads")?)?),
+                "--library" => args.library = Some(PathBuf::from(value("--library")?)),
+                "--save-library" => {
+                    args.save_library = Some(PathBuf::from(value("--save-library")?))
+                }
+                "--lib-format" => {
+                    let v: u16 = int("--lib-format", value("--lib-format")?)?;
+                    if !(v == 1 || v == 2) {
+                        return Err(ExpError(format!("--lib-format: expected 1 or 2, got '{v}'")));
+                    }
+                    args.lib_format = Some(v);
+                }
+                "--block" => {
+                    let v: usize = int("--block", value("--block")?)?;
+                    if v == 0 {
+                        return Err(ExpError("--block: must be at least 1".into()));
+                    }
+                    args.block = Some(v);
+                }
+                "--dict" => {
+                    args.dict = Some(match value("--dict")?.as_str() {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(ExpError(format!(
+                                "--dict: expected on or off, got '{other}'"
+                            )))
+                        }
+                    })
+                }
+                "--decode-cache" => {
+                    args.decode_cache = Some(int("--decode-cache", value("--decode-cache")?)?)
+                }
                 "--chunk" => args.chunk = Some(int("--chunk", value("--chunk")?)?),
                 "--prefetch" => args.prefetch = Some(int("--prefetch", value("--prefetch")?)?),
                 "--target" => {
@@ -271,9 +337,10 @@ impl Args {
                 other => {
                     return Err(ExpError(format!(
                         "unknown argument {other} (flags: --benchmarks --limit --quick \
-                         --windows --seeds --scale --machine --threads --chunk --prefetch \
-                         --target --metrics-out --trace --events --registry --report-out \
-                         --report-json)"
+                         --windows --seeds --scale --machine --threads --library \
+                         --save-library --lib-format --block --dict --decode-cache \
+                         --chunk --prefetch --target --metrics-out --trace --events \
+                         --registry --report-out --report-json)"
                     )))
                 }
             }
@@ -339,6 +406,43 @@ impl Args {
         self.machine.as_deref().unwrap_or("8")
     }
 
+    /// The paged-container write options selected by `--block` /
+    /// `--dict` (defaults: 64-record blocks, dictionaries on).
+    pub fn v2_options(&self) -> spectral_core::V2WriteOptions {
+        let mut opts = spectral_core::V2WriteOptions::default();
+        if let Some(points) = self.block {
+            opts.block_points = points;
+        }
+        if let Some(dict) = self.dict {
+            opts.dict = dict;
+        }
+        opts
+    }
+
+    /// Persist `library` to `path` in the `--lib-format` container
+    /// (paged v2 unless `--lib-format 1` asked for the monolithic
+    /// stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the unwritable path.
+    pub fn write_library(
+        &self,
+        library: &spectral_core::LivePointLibrary,
+        path: &std::path::Path,
+    ) -> Result<(), ExpError> {
+        match self.lib_format.unwrap_or(2) {
+            1 => library.save(path).context("cannot save library", path)?,
+            _ => {
+                library
+                    .save_v2(path, &self.v2_options())
+                    .context("cannot save library", path)
+                    .map(drop)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Start a run manifest for `binary` under these arguments,
     /// pre-filled with the machine label, thread count, and the quick /
     /// scale / windows / seeds settings as notes.
@@ -361,6 +465,12 @@ impl Args {
         }
         if let Some(p) = self.prefetch {
             m.note("prefetch", p.to_string());
+        }
+        if let Some(f) = self.lib_format {
+            m.note("lib_format", f.to_string());
+        }
+        if let Some(c) = self.decode_cache {
+            m.note("decode_cache", c.to_string());
         }
         m
     }
@@ -420,6 +530,15 @@ impl Args {
         spectral_telemetry::flush_events();
         Ok(())
     }
+}
+
+/// Record a library's identity in a run manifest: content hash,
+/// container format version, and point count — what the registry
+/// distills into `library_id` / `library_format`.
+pub fn stamp_library(manifest: &mut RunManifest, library: &spectral_core::LivePointLibrary) {
+    manifest.library_id = Some(format!("crc32:{:08x}", library.content_hash()));
+    manifest.library_format = Some(u64::from(library.format_version()));
+    manifest.library_points = Some(library.len() as u64);
 }
 
 /// A benchmark with its built program and measured dynamic length.
@@ -806,6 +925,18 @@ mod tests {
             "16",
             "--threads",
             "6",
+            "--library",
+            "lib.splp",
+            "--save-library",
+            "out.splp",
+            "--lib-format",
+            "2",
+            "--block",
+            "32",
+            "--dict",
+            "off",
+            "--decode-cache",
+            "512",
             "--chunk",
             "16",
             "--prefetch",
@@ -834,6 +965,15 @@ mod tests {
         assert_eq!(a.scale, Some(4));
         assert_eq!(a.machine.as_deref(), Some("16"));
         assert_eq!(a.threads, Some(6));
+        assert_eq!(a.library.as_deref(), Some(std::path::Path::new("lib.splp")));
+        assert_eq!(a.save_library.as_deref(), Some(std::path::Path::new("out.splp")));
+        assert_eq!(a.lib_format, Some(2));
+        assert_eq!(a.block, Some(32));
+        assert_eq!(a.dict, Some(false));
+        assert_eq!(a.decode_cache, Some(512));
+        let opts = a.v2_options();
+        assert_eq!(opts.block_points, 32);
+        assert!(!opts.dict);
         assert_eq!(a.chunk, Some(16));
         assert_eq!(a.prefetch, Some(8));
         let p = a.sched_policy(spectral_core::RunPolicy::default());
@@ -862,6 +1002,14 @@ mod tests {
         assert!(e.to_string().contains("--prefetch"), "{e}");
         let e = Args::try_parse_from(&argv(&["--bogus"])).unwrap_err();
         assert!(e.to_string().contains("unknown argument --bogus"), "{e}");
+        let e = Args::try_parse_from(&argv(&["--lib-format", "3"])).unwrap_err();
+        assert!(e.to_string().contains("--lib-format"), "{e}");
+        let e = Args::try_parse_from(&argv(&["--dict", "maybe"])).unwrap_err();
+        assert!(e.to_string().contains("--dict"), "{e}");
+        let e = Args::try_parse_from(&argv(&["--block", "0"])).unwrap_err();
+        assert!(e.to_string().contains("--block"), "{e}");
+        let e = Args::try_parse_from(&argv(&["--decode-cache", "x"])).unwrap_err();
+        assert!(e.to_string().contains("--decode-cache"), "{e}");
         let e = Args::try_parse_from(&argv(&["--target", "-3"])).unwrap_err();
         assert!(e.to_string().contains("--target"), "{e}");
         assert!(Args::try_parse_from(&argv(&["--target", "nan"])).is_err());

@@ -29,6 +29,11 @@ pub struct RunRecord {
     pub threads: usize,
     /// RNG seed, if one applies.
     pub seed: Option<u64>,
+    /// Content hash of the live-point library processed, if known.
+    pub library_id: Option<String>,
+    /// Container format version of that library (1 = monolithic v1
+    /// stream, 2 = paged), if known.
+    pub library_format: Option<u64>,
     /// Wall-clock at append time, milliseconds since the Unix epoch
     /// (the trend x-axis).
     pub unix_ms: u64,
@@ -69,6 +74,8 @@ impl RunRecord {
             machine: machine.into(),
             threads,
             seed: None,
+            library_id: None,
+            library_format: None,
             unix_ms: now_unix_ms(),
             points_processed: None,
             run_secs: None,
@@ -96,6 +103,8 @@ impl RunRecord {
         );
         r.run_id = manifest.run_id.clone().unwrap_or_default();
         r.seed = manifest.seed;
+        r.library_id = manifest.library_id.clone();
+        r.library_format = manifest.library_format;
         r.points_processed = manifest.points_processed;
         let run_secs: f64 =
             manifest.phases.iter().filter(|p| p.name.starts_with("run")).map(|p| p.secs).sum();
@@ -126,6 +135,12 @@ impl RunRecord {
         push_field(&mut s, "machine", quote(&self.machine));
         push_field(&mut s, "threads", self.threads.to_string());
         push_field(&mut s, "seed", opt_u64(self.seed));
+        let library_id = match &self.library_id {
+            Some(id) => quote(id),
+            None => "null".to_owned(),
+        };
+        push_field(&mut s, "library_id", library_id);
+        push_field(&mut s, "library_format", opt_u64(self.library_format));
         push_field(&mut s, "unix_ms", self.unix_ms.to_string());
         push_field(&mut s, "points_processed", opt_u64(self.points_processed));
         push_field(&mut s, "run_secs", opt_num(self.run_secs));
@@ -175,6 +190,8 @@ impl RunRecord {
         r.run_id = str_field("run_id")?;
         r.code_version = str_field("code_version")?;
         r.seed = doc.get("seed").and_then(JsonValue::as_u64);
+        r.library_id = doc.get("library_id").and_then(JsonValue::as_str).map(str::to_owned);
+        r.library_format = doc.get("library_format").and_then(JsonValue::as_u64);
         r.unix_ms = doc.get("unix_ms").and_then(JsonValue::as_u64).ok_or("missing 'unix_ms'")?;
         r.points_processed = doc.get("points_processed").and_then(JsonValue::as_u64);
         r.run_secs = doc.get("run_secs").and_then(JsonValue::as_f64);
@@ -337,6 +354,8 @@ mod tests {
         r.run_id = "00decafc0ffee123-1".into();
         r.code_version = "v1".into();
         r.seed = Some(42);
+        r.library_id = Some("crc32:deadbeef".into());
+        r.library_format = Some(2);
         r.unix_ms = 1_700_000_000_000;
         r.points_processed = Some(640);
         r.run_secs = Some(0.31);

@@ -61,6 +61,9 @@ pub struct RunManifest {
     pub seed: Option<u64>,
     /// Content hash of the live-point library (CRC32 of records), if known.
     pub library_id: Option<String>,
+    /// Container format version of the library (1 = monolithic stream,
+    /// 2 = paged), if known.
+    pub library_format: Option<u64>,
     /// Number of live-points in the library, if known.
     pub library_points: Option<u64>,
     /// Live-points actually processed before termination.
@@ -90,6 +93,7 @@ impl RunManifest {
             threads,
             seed: None,
             library_id: None,
+            library_format: None,
             library_points: None,
             points_processed: None,
             phases: Vec::new(),
@@ -148,6 +152,10 @@ impl RunManifest {
         match &self.library_id {
             Some(id) => out.push_str(&format!("  \"library_id\": {},\n", json::quote(id))),
             None => out.push_str("  \"library_id\": null,\n"),
+        }
+        match self.library_format {
+            Some(v) => out.push_str(&format!("  \"library_format\": {v},\n")),
+            None => out.push_str("  \"library_format\": null,\n"),
         }
         match self.library_points {
             Some(n) => out.push_str(&format!("  \"library_points\": {n},\n")),
@@ -226,6 +234,7 @@ impl RunManifest {
         m.run_id = doc.get("run_id").and_then(JsonValue::as_str).map(str::to_owned);
         m.seed = doc.get("seed").and_then(JsonValue::as_u64);
         m.library_id = doc.get("library_id").and_then(JsonValue::as_str).map(str::to_owned);
+        m.library_format = doc.get("library_format").and_then(JsonValue::as_u64);
         m.library_points = doc.get("library_points").and_then(JsonValue::as_u64);
         m.points_processed = doc.get("points_processed").and_then(JsonValue::as_u64);
         if let Some(phases) = doc.get("phases").and_then(JsonValue::as_arr) {
@@ -281,6 +290,7 @@ mod tests {
         m.run_id = Some("00decafc0ffee123-1".into());
         m.seed = Some(42);
         m.library_id = Some("crc32:deadbeef".into());
+        m.library_format = Some(2);
         m.library_points = Some(1000);
         m.points_processed = Some(640);
         m.phase("create_library", 1.25).phase("run", 0.5);

@@ -58,6 +58,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let library = LivePointLibrary::create_parallel(&program, &config, threads)?;
     manifest.phase("create_library", t.elapsed().as_secs_f64());
     manifest.library_id = Some(format!("crc32:{:08x}", library.content_hash()));
+    manifest.library_format = Some(u64::from(library.format_version()));
     manifest.library_points = Some(library.len() as u64);
     println!("library: {} live-points\n", library.len());
 

@@ -20,7 +20,7 @@
 
 use spectral_core::{
     simulate_live_point, CreationConfig, LivePointLibrary, MatchedRunner, OnlineRunner, RunPolicy,
-    SchedMode, SweepRunner,
+    SchedMode, SweepRunner, V2WriteOptions,
 };
 use spectral_uarch::{MachineConfig, WindowStats};
 use spectral_workloads::tiny;
@@ -228,6 +228,67 @@ fn parallel_sweep_is_bit_identical() {
         let means: Vec<u64> = out.estimates().iter().map(|e| e.mean().to_bits()).collect();
         assert_eq!(means, GOLDEN_SWEEP_MEAN_BITS, "x{threads}: sweep means drifted");
     }
+}
+
+#[test]
+fn v2_container_preserves_the_content_hash_golden() {
+    // A dictionary-less v2 save re-frames the exact v1 record bodies,
+    // so the stored content hash — and the hash recomputed by the
+    // re-opened paged library — must equal the v1 golden.
+    let (_, library) = setup();
+    let path = std::env::temp_dir().join(format!("spectral_diff_v2_{}.splp", std::process::id()));
+    let opts = V2WriteOptions { dict: false, ..V2WriteOptions::default() };
+    let summary = library.save_v2(&path, &opts).expect("save v2");
+    assert_eq!(summary.content_hash, GOLDEN_CONTENT_HASH, "v2 stored hash drifted");
+    let paged = LivePointLibrary::open(&path).expect("open v2");
+    assert_eq!(paged.format_version(), 2);
+    assert_eq!(paged.content_hash(), GOLDEN_CONTENT_HASH, "v2 reopened hash drifted");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v2_decoded_points_reproduce_the_run_goldens() {
+    // Points decoded through the paged backing (dictionary compression
+    // included) must drive the online runner to the exact serial and
+    // parallel goldens — format v2 cannot perturb any simulated result.
+    let (program, library) = setup();
+    let path = std::env::temp_dir().join(format!("spectral_diff_v2d_{}.splp", std::process::id()));
+    library.save_v2(&path, &V2WriteOptions::default()).expect("save v2 dict");
+    let paged = LivePointLibrary::open(&path).expect("open v2");
+    let runner = OnlineRunner::new(&paged, MachineConfig::eight_way());
+    let est = runner.run(&program, &exhaustive()).expect("serial run on v2");
+    assert_eq!(est.processed(), GOLDEN_RUN_PROCESSED);
+    assert_eq!(est.mean().to_bits(), GOLDEN_RUN_MEAN_BITS, "v2 serial mean drifted");
+    assert_eq!(
+        est.estimator().variance().to_bits(),
+        GOLDEN_RUN_VARIANCE_BITS,
+        "v2 serial variance drifted"
+    );
+    for threads in [2usize, 4] {
+        let est = runner.run_parallel(&program, &exhaustive(), threads).expect("parallel on v2");
+        assert_eq!(est.processed(), GOLDEN_RUN_PROCESSED, "x{threads}");
+        assert_eq!(est.mean().to_bits(), GOLDEN_RUN_MEAN_BITS, "x{threads}: v2 mean drifted");
+        assert_eq!(
+            est.estimator().variance().to_bits(),
+            GOLDEN_RUN_VARIANCE_BITS,
+            "x{threads}: v2 variance drifted"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v1_v2_v1_round_trip_is_byte_identical() {
+    // Converting to v2 with shared dictionaries and back must restore
+    // the exact v1 byte stream (dictionary records decompress and
+    // deterministically recompress to their original plain streams).
+    let (_, library) = setup();
+    let v1 = library.to_bytes().expect("v1 bytes");
+    let path = std::env::temp_dir().join(format!("spectral_diff_v2r_{}.splp", std::process::id()));
+    library.save_v2(&path, &V2WriteOptions::default()).expect("save v2 dict");
+    let paged = LivePointLibrary::open(&path).expect("open v2");
+    assert_eq!(paged.to_bytes().expect("back to v1"), v1, "v1→v2→v1 bytes drifted");
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

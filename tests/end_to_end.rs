@@ -141,7 +141,7 @@ fn persistence_does_not_change_results() {
     let before =
         OnlineRunner::new(&library, MachineConfig::eight_way()).run(&program, &policy).unwrap();
 
-    let bytes = library.to_bytes();
+    let bytes = library.to_bytes().unwrap();
     let reloaded = LivePointLibrary::from_bytes(&bytes).unwrap();
     let after =
         OnlineRunner::new(&reloaded, MachineConfig::eight_way()).run(&program, &policy).unwrap();
