@@ -13,17 +13,27 @@
 //! throughput table wrapped with the full telemetry metrics snapshot
 //! accumulated over the benchmark runs (decode vs simulate time,
 //! compression ratios, merge lock waits, …) — empty when built with
-//! telemetry disabled, which is itself the no-overhead check.
+//! telemetry disabled, which is itself the no-overhead check. The
+//! telemetry document also carries a `"profiler"` section: a paired
+//! profiled/unprofiled measurement of the worker-timeline profiler's
+//! wall-clock cost on the 2-worker online stage, plus the phase
+//! attribution parsed back out of the stream it produced. Set
+//! `SPECTRAL_BENCH_QUICK=1` for the CI smoke run.
 
 use std::fmt::Write as _;
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use spectral_bench::fixture_benchmark;
 use spectral_core::{CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy, SweepRunner};
+use spectral_telemetry::JsonValue;
 use spectral_uarch::MachineConfig;
 
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
 const POINTS: u64 = 24;
+
+fn quick() -> bool {
+    std::env::var_os("SPECTRAL_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
 
 /// Worker counts the host can actually run concurrently. Benchmarking
 /// more workers than cores only measures scheduler interleaving, so
@@ -122,13 +132,109 @@ fn emit_json(c: &Criterion) -> String {
     json
 }
 
+/// Middle element of the sorted sample — robust against the odd slow
+/// outlier the way a mean is not.
+fn median_secs(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Paired profiled/unprofiled measurement of the worker-timeline
+/// profiler: time the same 2-worker online run with and without a
+/// profile sink installed, then parse the stream the profiled runs
+/// produced for interval counts and phase attribution. Installing a
+/// sink is one-way for the process lifetime, so this must run *after*
+/// the criterion groups — the scaling numbers above are never
+/// profiled.
+fn profiler_overhead_json() -> String {
+    if !spectral_telemetry::compiled_in() {
+        return String::from("{ \"enabled\": false }");
+    }
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = 2.min(host);
+    let reps = if quick() { 3 } else { 7 };
+    let program = fixture_benchmark().build();
+    let machine = MachineConfig::eight_way();
+    let cfg = CreationConfig::for_machine(&machine).with_sample_size(POINTS);
+    let library = LivePointLibrary::create(&program, &cfg).expect("fixture library");
+    let exhaustive =
+        RunPolicy { target_rel_err: 1e-12, trajectory_stride: 0, ..RunPolicy::default() };
+    let runner = OnlineRunner::new(&library, machine);
+    let time_reps = || {
+        let mut secs = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            runner.run_parallel(&program, &exhaustive, threads).expect("run");
+            secs.push(t0.elapsed().as_secs_f64());
+        }
+        median_secs(secs)
+    };
+    // Warm-up run so first-touch effects (page faults, decode cache
+    // fill) don't land inside the unprofiled arm only.
+    runner.run_parallel(&program, &exhaustive, threads).expect("run");
+    let unprofiled_s = time_reps();
+    let profile_path =
+        std::env::temp_dir().join(format!("spectral_scaling_profile_{}.jsonl", std::process::id()));
+    if let Err(e) = spectral_telemetry::set_profile_path(&profile_path) {
+        eprintln!("could not install profile sink at {}: {e}", profile_path.display());
+        return String::from("{ \"enabled\": false }");
+    }
+    let profiled_s = time_reps();
+    spectral_telemetry::flush_profile();
+    let text = std::fs::read_to_string(&profile_path).unwrap_or_default();
+    let _ = std::fs::remove_file(&profile_path);
+
+    // Attribution from the stream the profiled arm just produced: total
+    // intervals recorded and per-phase share of recorded busy time.
+    let mut intervals = 0u64;
+    let mut phase_ns: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(doc) = JsonValue::parse(line) else { continue };
+        if doc.get("type").and_then(JsonValue::as_str) != Some("profile_worker") {
+            continue;
+        }
+        intervals += doc.get("recorded").and_then(JsonValue::as_u64).unwrap_or(0);
+        let Some(phases) = doc.get("phases").and_then(JsonValue::as_obj) else { continue };
+        for (phase, totals) in phases {
+            let ns = totals.get("ns").and_then(JsonValue::as_u64).unwrap_or(0);
+            *phase_ns.entry(phase.clone()).or_insert(0) += ns;
+        }
+    }
+    let busy_ns: u64 = phase_ns.values().sum();
+    let overhead_pct =
+        if unprofiled_s > 0.0 { (profiled_s - unprofiled_s) / unprofiled_s * 100.0 } else { 0.0 };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "    \"enabled\": true,");
+    let _ = writeln!(json, "    \"threads\": {threads},");
+    let _ = writeln!(json, "    \"reps\": {reps},");
+    let _ = writeln!(json, "    \"unprofiled_s\": {unprofiled_s:.6},");
+    let _ = writeln!(json, "    \"profiled_s\": {profiled_s:.6},");
+    let _ = writeln!(json, "    \"overhead_pct\": {overhead_pct:.2},");
+    let _ = writeln!(json, "    \"intervals_recorded\": {intervals},");
+    json.push_str("    \"attribution_pct\": { ");
+    let mut first = true;
+    for (phase, ns) in &phase_ns {
+        if !first {
+            json.push_str(", ");
+        }
+        first = false;
+        let pct = if busy_ns > 0 { *ns as f64 / busy_ns as f64 * 100.0 } else { 0.0 };
+        let _ = write!(json, "\"{phase}\": {pct:.1}");
+    }
+    json.push_str(" }\n  }");
+    json
+}
+
 /// Wrap the throughput table with the telemetry snapshot accumulated
-/// over the runs: where the benchmarked wall-clock actually went.
-fn emit_telemetry_json(throughput: &str) -> String {
+/// over the runs — where the benchmarked wall-clock actually went —
+/// plus the paired profiler-overhead measurement.
+fn emit_telemetry_json(throughput: &str, profiler: &str) -> String {
     let snap = spectral_telemetry::snapshot();
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"telemetry_compiled_in\": {},", spectral_telemetry::compiled_in());
     let _ = writeln!(json, "  \"throughput\": {},", throughput.trim_end());
+    let _ = writeln!(json, "  \"profiler\": {},", profiler.trim_end());
     let _ = writeln!(json, "  \"metrics\": {}", snap.to_json());
     json.push_str("}\n");
     json
@@ -187,7 +293,8 @@ fn main() {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\ncould not write {path}: {e}"),
     }
-    let tlm = emit_telemetry_json(&json);
+    let profiler = profiler_overhead_json();
+    let tlm = emit_telemetry_json(&json, &profiler);
     let tlm_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
     match std::fs::write(tlm_path, &tlm) {
         Ok(()) => println!("wrote {tlm_path}"),

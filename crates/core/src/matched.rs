@@ -5,7 +5,7 @@ use std::sync::atomic::Ordering;
 
 use spectral_isa::Program;
 use spectral_stats::{Confidence, MatchedPair, MIN_SAMPLE_SIZE};
-use spectral_telemetry::Stopwatch;
+use spectral_telemetry::{ProfilePhase, Stopwatch, WorkerTimeline};
 use spectral_uarch::MachineConfig;
 
 use crate::error::CoreError;
@@ -122,19 +122,23 @@ impl<'l> MatchedRunner<'l> {
             return Err(CoreError::EmptyLibrary);
         }
         let _span = spectral_telemetry::span("run.matched");
+        let seq = spectral_telemetry::next_run_seq();
+        let _profile = spectral_telemetry::run_scope(seq, "matched", 1);
+        let mut tl = WorkerTimeline::new(seq, "matched", 0);
         let limit = policy.max_points.unwrap_or(usize::MAX).min(self.library.len());
         let mut pair = MatchedPair::new();
         let mut reached = false;
         let mut reached_at = 0u64;
         let mut processed = 0;
         let mut scratch = DecodeScratch::new();
-        let mut monitor =
-            HealthMonitor::new(spectral_telemetry::next_run_seq(), "matched", 0, policy);
+        let mut monitor = HealthMonitor::new(seq, "matched", 0, policy);
         let progress_stride = policy.merge_stride.max(1);
         for i in 0..limit {
             let (lp, decode_ns) = decode_point(self.library, i, &mut scratch)?;
             let (base, base_ns) = simulate_point(&lp, program, &self.base)?;
             let (exp, exp_ns) = simulate_point(&lp, program, &self.experiment)?;
+            tl.note(ProfilePhase::Decode, decode_ns);
+            tl.note(ProfilePhase::Simulate, base_ns + exp_ns);
             pair.push(base.cpi(), exp.cpi());
             // The anomaly stream watches the base-machine CPI; the
             // point's simulate cost covers both machines.
@@ -209,9 +213,11 @@ impl<'l> MatchedRunner<'l> {
         let coord: ShardCoordinator<MatchedPair> = ShardCoordinator::new();
         let cursor = policy.cursor(limit, threads);
 
-        let flush = |batch: &mut MatchedPair, monitor: &HealthMonitor| {
+        let flush = |batch: &mut MatchedPair, monitor: &HealthMonitor, tl: &mut WorkerTimeline| {
             let snapshot = {
+                let mut guard = tl.enter(ProfilePhase::MergeWait);
                 let mut merged = coord.lock_progress();
+                guard.switch(ProfilePhase::Merge);
                 merged.merge(batch);
                 *merged
             };
@@ -232,6 +238,7 @@ impl<'l> MatchedRunner<'l> {
         };
 
         let seq = spectral_telemetry::next_run_seq();
+        let _profile = spectral_telemetry::run_scope(seq, "matched", threads);
         let logs: Vec<ChunkLog<(f64, f64)>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for worker in 0..threads {
@@ -246,12 +253,13 @@ impl<'l> MatchedRunner<'l> {
                     let mut scratch = DecodeScratch::new();
                     let mut ring = PrefetchRing::new(policy.prefetch, worker);
                     let mut monitor = HealthMonitor::new(seq, "matched", worker, policy);
+                    let mut tl = WorkerTimeline::new(seq, "matched", worker);
                     let mut queue = match cursor {
                         Some(c) => WorkQueue::chunked(c, worker),
                         None => WorkQueue::stride(worker, threads, limit),
                     };
                     'chunks: while !coord.stop.load(Ordering::Relaxed) {
-                        let Some(chunk) = queue.next_chunk() else { break };
+                        let Some(chunk) = queue.next_chunk(&mut tl) else { break };
                         log.begin(chunk.start, chunk.len());
                         let mut pending = chunk.clone();
                         for index in chunk {
@@ -259,7 +267,9 @@ impl<'l> MatchedRunner<'l> {
                                 ring.clear();
                                 break 'chunks;
                             }
-                            if let Err(e) = ring.fill(self.library, &mut pending, &mut scratch) {
+                            if let Err(e) =
+                                ring.fill(self.library, &mut pending, &mut scratch, &mut tl)
+                            {
                                 coord.fail(e);
                                 break 'chunks;
                             }
@@ -278,6 +288,7 @@ impl<'l> MatchedRunner<'l> {
                                     break 'chunks;
                                 }
                             };
+                            tl.note(ProfilePhase::Simulate, simulate_ns);
                             log.push((base, exp));
                             batch.push(base, exp);
                             busy += decode_ns + simulate_ns;
@@ -289,12 +300,12 @@ impl<'l> MatchedRunner<'l> {
                             };
                             monitor.observe(index as u64, base, &meta);
                             if batch.count() >= merge_stride {
-                                flush(&mut batch, &monitor);
+                                flush(&mut batch, &monitor, &mut tl);
                             }
                         }
                     }
                     if batch.count() > 0 {
-                        flush(&mut batch, &monitor);
+                        flush(&mut batch, &monitor, &mut tl);
                     }
                     queue.finish();
                     crate::sched::note_worker_time(busy, wall.ns());

@@ -6,7 +6,7 @@ use std::sync::{Arc, Mutex};
 
 use spectral_isa::{Emulator, Program};
 use spectral_stats::{Confidence, OnlineEstimator, MIN_SAMPLE_SIZE};
-use spectral_telemetry::{Counter, Gauge, Stopwatch};
+use spectral_telemetry::{Counter, Gauge, ProfilePhase, Stopwatch, WorkerTimeline};
 use spectral_uarch::{DetailedSim, MachineConfig, WindowStats};
 
 use crate::error::CoreError;
@@ -397,6 +397,9 @@ impl<'l> OnlineRunner<'l> {
             return Err(CoreError::EmptyLibrary);
         }
         let _span = spectral_telemetry::span("run.online");
+        let seq = spectral_telemetry::next_run_seq();
+        let _profile = spectral_telemetry::run_scope(seq, "online", 1);
+        let mut tl = WorkerTimeline::new(seq, "online", 0);
         let mut estimator = OnlineEstimator::new();
         let mut trajectory = Vec::new();
         let mut reached = false;
@@ -404,8 +407,7 @@ impl<'l> OnlineRunner<'l> {
         let limit = self.limit(policy);
         let mut processed = 0usize;
         let mut scratch = DecodeScratch::new();
-        let mut monitor =
-            HealthMonitor::new(spectral_telemetry::next_run_seq(), "online", 0, policy);
+        let mut monitor = HealthMonitor::new(seq, "online", 0, policy);
         let progress_stride = policy.merge_stride.max(1);
         let emit = |monitor: &HealthMonitor, est: &OnlineEstimator, overshoot: u64| {
             monitor.progress(
@@ -423,6 +425,8 @@ impl<'l> OnlineRunner<'l> {
         for i in 0..limit {
             let (stats, meta) =
                 process_point(self.library, i, program, &self.machine, &mut scratch)?;
+            tl.note(ProfilePhase::Decode, meta.decode_ns);
+            tl.note(ProfilePhase::Simulate, meta.simulate_ns);
             let cpi = stats.cpi();
             estimator.push(cpi);
             monitor.observe(i as u64, cpi, &meta);
@@ -504,6 +508,7 @@ impl<'l> OnlineRunner<'l> {
         // One run ordinal for the whole parallel run: every worker's
         // events carry it so a consumer can group them.
         let seq = spectral_telemetry::next_run_seq();
+        let _profile = spectral_telemetry::run_scope(seq, "online", threads);
 
         let logs: Vec<ChunkLog<f64>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
@@ -518,12 +523,13 @@ impl<'l> OnlineRunner<'l> {
                     let mut scratch = DecodeScratch::new();
                     let mut ring = PrefetchRing::new(policy.prefetch, worker);
                     let mut monitor = HealthMonitor::new(seq, "online", worker, policy);
+                    let mut tl = WorkerTimeline::new(seq, "online", worker);
                     let mut queue = match cursor {
                         Some(c) => WorkQueue::chunked(c, worker),
                         None => WorkQueue::stride(worker, threads, limit),
                     };
                     'chunks: while !coord.stop.load(Ordering::Relaxed) {
-                        let Some(chunk) = queue.next_chunk() else { break };
+                        let Some(chunk) = queue.next_chunk(&mut tl) else { break };
                         log.begin(chunk.start, chunk.len());
                         let mut pending = chunk.clone();
                         for index in chunk {
@@ -531,7 +537,9 @@ impl<'l> OnlineRunner<'l> {
                                 ring.clear();
                                 break 'chunks;
                             }
-                            if let Err(e) = ring.fill(self.library, &mut pending, &mut scratch) {
+                            if let Err(e) =
+                                ring.fill(self.library, &mut pending, &mut scratch, &mut tl)
+                            {
                                 coord.fail(e);
                                 break 'chunks;
                             }
@@ -544,6 +552,7 @@ impl<'l> OnlineRunner<'l> {
                                         break 'chunks;
                                     }
                                 };
+                            tl.note(ProfilePhase::Simulate, simulate_ns);
                             let cpi = stats.cpi();
                             log.push(cpi);
                             batch.push(cpi);
@@ -556,12 +565,14 @@ impl<'l> OnlineRunner<'l> {
                             };
                             monitor.observe(index as u64, cpi, &meta);
                             if batch.count() >= merge_stride {
-                                self.flush_batch(&mut batch, policy, coord, &monitor, cursor);
+                                self.flush_batch(
+                                    &mut batch, policy, coord, &monitor, cursor, &mut tl,
+                                );
                             }
                         }
                     }
                     if batch.count() > 0 {
-                        self.flush_batch(&mut batch, policy, coord, &monitor, cursor);
+                        self.flush_batch(&mut batch, policy, coord, &monitor, cursor, &mut tl);
                     }
                     queue.finish();
                     crate::sched::note_worker_time(busy, wall.ns());
@@ -619,6 +630,7 @@ impl<'l> OnlineRunner<'l> {
     /// emit a progress event, feed the adaptive chunk sizer, and run
     /// the early-termination check — everything but the merge itself on
     /// a lock-free snapshot.
+    #[allow(clippy::too_many_arguments)]
     fn flush_batch(
         &self,
         batch: &mut OnlineEstimator,
@@ -626,9 +638,12 @@ impl<'l> OnlineRunner<'l> {
         coord: &ShardCoordinator<OnlineEstimator>,
         monitor: &HealthMonitor,
         cursor: Option<&ChunkCursor>,
+        tl: &mut WorkerTimeline,
     ) {
         let snapshot = {
+            let mut guard = tl.enter(ProfilePhase::MergeWait);
             let mut merged = coord.lock_progress();
+            guard.switch(ProfilePhase::Merge);
             merged.merge(batch);
             *merged
         };

@@ -42,7 +42,7 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use spectral_telemetry::{Counter, Histogram};
+use spectral_telemetry::{Counter, Histogram, ProfilePhase, WorkerTimeline};
 
 use crate::error::CoreError;
 use crate::library::{DecodeScratch, LivePointLibrary};
@@ -171,8 +171,11 @@ impl<'a> WorkQueue<'a> {
     }
 
     /// The next chunk of indices this worker owns, or `None` when its
-    /// share of the library is exhausted.
-    pub fn next_chunk(&mut self) -> Option<Range<usize>> {
+    /// share of the library is exhausted. The claim (stride math or
+    /// shared-cursor atomics) is attributed to the worker timeline's
+    /// `claim` phase.
+    pub fn next_chunk(&mut self, tl: &mut WorkerTimeline) -> Option<Range<usize>> {
+        let _claim = tl.enter(ProfilePhase::Claim);
         let (chunk, worker, steals) = match self {
             WorkQueue::Stride { worker, next, step, limit } => {
                 if *next >= *limit {
@@ -251,15 +254,27 @@ impl PrefetchRing {
     /// remainder of the current chunk), recording the resulting
     /// occupancy. Decode order is index order, so consumption order is
     /// deterministic.
+    ///
+    /// Timeline attribution: when the ring is empty on entry the
+    /// simulator is stalled on the first decode (`prefetch_wait`);
+    /// decodes past the first are decode-ahead work (`decode`). Both
+    /// reuse the decode duration the cache layer already measured, so
+    /// profiling adds no clock read here.
     pub fn fill(
         &mut self,
         library: &LivePointLibrary,
         pending: &mut Range<usize>,
         scratch: &mut DecodeScratch,
+        tl: &mut WorkerTimeline,
     ) -> Result<(), CoreError> {
+        let mut stalled = self.ring.is_empty();
         while self.ring.len() < self.depth {
             let Some(index) = pending.next() else { break };
-            self.ring.push_back(decode_point(library, index, scratch)?);
+            let decoded = decode_point(library, index, scratch)?;
+            let phase = if stalled { ProfilePhase::PrefetchWait } else { ProfilePhase::Decode };
+            tl.note(phase, decoded.1);
+            stalled = false;
+            self.ring.push_back(decoded);
         }
         let occupancy = self.ring.len() as u64;
         TLM_PREFETCH_OCCUPANCY.record(occupancy);
@@ -377,8 +392,9 @@ mod tests {
     #[test]
     fn stride_queue_matches_static_assignment() {
         let mut q = WorkQueue::stride(1, 3, 10);
+        let mut tl = WorkerTimeline::disabled();
         let mut seen = Vec::new();
-        while let Some(c) = q.next_chunk() {
+        while let Some(c) = q.next_chunk(&mut tl) {
             assert_eq!(c.len(), 1);
             seen.push(c.start);
         }

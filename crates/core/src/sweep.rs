@@ -15,7 +15,7 @@ use std::sync::atomic::Ordering;
 
 use spectral_isa::Program;
 use spectral_stats::{Confidence, MatchedPair, OnlineEstimator, MIN_SAMPLE_SIZE};
-use spectral_telemetry::Stopwatch;
+use spectral_telemetry::{ProfilePhase, Stopwatch, WorkerTimeline};
 use spectral_uarch::MachineConfig;
 
 use crate::error::CoreError;
@@ -254,19 +254,23 @@ impl<'l> SweepRunner<'l> {
             return Err(CoreError::EmptyLibrary);
         }
         let _span = spectral_telemetry::span("run.sweep");
+        let seq = spectral_telemetry::next_run_seq();
+        let _profile = spectral_telemetry::run_scope(seq, "sweep", 1);
+        let mut tl = WorkerTimeline::new(seq, "sweep", 0);
         let limit = self.limit(policy);
         let mut progress = SweepProgress::new(self.machines.len());
         let mut reached = false;
         let mut reached_at = 0u64;
         let mut scratch = DecodeScratch::new();
-        let mut monitor =
-            HealthMonitor::new(spectral_telemetry::next_run_seq(), "sweep", 0, policy);
+        let mut monitor = HealthMonitor::new(seq, "sweep", 0, policy);
         let progress_stride = policy.merge_stride.max(1) as u64;
         let mut n = 0;
         for i in 0..limit {
             // The anomaly stream watches the baseline configuration's
             // CPI; the point's simulate cost covers every configuration.
             let (cpis, meta) = self.measure_point(i, program, &mut scratch)?;
+            tl.note(ProfilePhase::Decode, meta.decode_ns);
+            tl.note(ProfilePhase::Simulate, meta.simulate_ns);
             progress.push(&cpis);
             monitor.observe(i as u64, cpis[0], &meta);
             n = progress.estimators[0].count();
@@ -326,32 +330,37 @@ impl<'l> SweepRunner<'l> {
             ShardCoordinator::with_progress(SweepProgress::new(configs));
         let cursor = policy.cursor(limit, threads);
 
-        let flush = |batch: &mut SweepProgress, monitor: &HealthMonitor| {
-            let mut merged = coord.lock_progress();
-            merged.merge(batch);
-            let done = merged.all_reached(policy);
-            let count = merged.estimators[0].count();
-            let estimators = merged.estimators.clone();
-            drop(merged);
-            *batch = SweepProgress::new(configs);
-            emit_progress(monitor, &estimators, policy, 0);
-            if policy.stop_at_target {
-                if let Some(cursor) = &cursor {
-                    // The sweep stops on its worst configuration: feed
-                    // the chunk sizer the largest relative half-width.
-                    let worst = estimators
-                        .iter()
-                        .map(|e| e.relative_half_width(policy.confidence))
-                        .fold(f64::NEG_INFINITY, f64::max);
-                    cursor.note_rel_error(worst, policy.target_rel_err);
+        let flush =
+            |batch: &mut SweepProgress, monitor: &HealthMonitor, tl: &mut WorkerTimeline| {
+                let mut guard = tl.enter(ProfilePhase::MergeWait);
+                let mut merged = coord.lock_progress();
+                guard.switch(ProfilePhase::Merge);
+                merged.merge(batch);
+                let done = merged.all_reached(policy);
+                let count = merged.estimators[0].count();
+                let estimators = merged.estimators.clone();
+                drop(merged);
+                drop(guard);
+                *batch = SweepProgress::new(configs);
+                emit_progress(monitor, &estimators, policy, 0);
+                if policy.stop_at_target {
+                    if let Some(cursor) = &cursor {
+                        // The sweep stops on its worst configuration: feed
+                        // the chunk sizer the largest relative half-width.
+                        let worst = estimators
+                            .iter()
+                            .map(|e| e.relative_half_width(policy.confidence))
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        cursor.note_rel_error(worst, policy.target_rel_err);
+                    }
                 }
-            }
-            if done {
-                coord.note_reached(count, policy);
-            }
-        };
+                if done {
+                    coord.note_reached(count, policy);
+                }
+            };
 
         let seq = spectral_telemetry::next_run_seq();
+        let _profile = spectral_telemetry::run_scope(seq, "sweep", threads);
         let logs: Vec<ChunkLog<Vec<f64>>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for worker in 0..threads {
@@ -366,12 +375,13 @@ impl<'l> SweepRunner<'l> {
                     let mut scratch = DecodeScratch::new();
                     let mut ring = PrefetchRing::new(policy.prefetch, worker);
                     let mut monitor = HealthMonitor::new(seq, "sweep", worker, policy);
+                    let mut tl = WorkerTimeline::new(seq, "sweep", worker);
                     let mut queue = match cursor {
                         Some(c) => WorkQueue::chunked(c, worker),
                         None => WorkQueue::stride(worker, threads, limit),
                     };
                     'chunks: while !coord.stop.load(Ordering::Relaxed) {
-                        let Some(chunk) = queue.next_chunk() else { break };
+                        let Some(chunk) = queue.next_chunk(&mut tl) else { break };
                         log.begin(chunk.start, chunk.len());
                         let mut pending = chunk.clone();
                         for index in chunk {
@@ -379,7 +389,9 @@ impl<'l> SweepRunner<'l> {
                                 ring.clear();
                                 break 'chunks;
                             }
-                            if let Err(e) = ring.fill(self.library, &mut pending, &mut scratch) {
+                            if let Err(e) =
+                                ring.fill(self.library, &mut pending, &mut scratch, &mut tl)
+                            {
                                 coord.fail(e);
                                 break 'chunks;
                             }
@@ -402,6 +414,7 @@ impl<'l> SweepRunner<'l> {
                                     break 'chunks;
                                 }
                             };
+                            tl.note(ProfilePhase::Simulate, simulate_ns);
                             batch.push(&cpis);
                             busy += decode_ns + simulate_ns;
                             let meta = PointMeta {
@@ -413,12 +426,12 @@ impl<'l> SweepRunner<'l> {
                             monitor.observe(index as u64, cpis[0], &meta);
                             log.push(cpis);
                             if batch.estimators[0].count() >= merge_stride {
-                                flush(&mut batch, &monitor);
+                                flush(&mut batch, &monitor, &mut tl);
                             }
                         }
                     }
                     if batch.estimators[0].count() > 0 {
-                        flush(&mut batch, &monitor);
+                        flush(&mut batch, &monitor, &mut tl);
                     }
                     queue.finish();
                     crate::sched::note_worker_time(busy, wall.ns());

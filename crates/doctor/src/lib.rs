@@ -37,12 +37,19 @@
 //! * **`watch`** ([`WatchFrame`]) — a live terminal dashboard over a
 //!   growing events file or registry directory, with an optional
 //!   Prometheus-style text exposition (`--prom`).
+//! * **`profile`** ([`parse_profile`], [`analyze_profile`]) —
+//!   wall-clock attribution over the worker-timeline profile stream
+//!   (the binaries' `--profile` sink): per-worker phase shares with an
+//!   explicit idle remainder, merge-lock wait distribution, prefetch
+//!   stall vs decode-ahead, straggler/barrier waste, a critical-path
+//!   estimate, and the profiler's own overhead.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analyze;
 mod gate;
+mod profile;
 mod report;
 mod trend;
 mod watch;
@@ -57,9 +64,14 @@ pub use analyze::{
     ShardReport, TrajectoryPoint,
 };
 pub use gate::{gate, render_gate_json, render_gate_text, GateComparison, GateConfig, GateVerdict};
+pub use profile::{
+    analyze_profile, measure_record_cost_ns, parse_profile, render_profile_json,
+    render_profile_text, OverheadEstimate, PhaseAttribution, PhaseTotal, ProfileInterval,
+    ProfileReport, ProfileRun, WaitStats, WorkerProfile, WorkerReport,
+};
 pub use report::{render_json, render_text, sparkline};
 pub use trend::{render_trend_json, render_trend_text, trend, TrendPoint, TrendSeries};
-pub use watch::{SeriesState, WatchFrame};
+pub use watch::{EventsTail, SeriesState, WatchFrame};
 
 /// A doctor failure: a one-line diagnostic for stderr.
 #[derive(Debug)]

@@ -14,6 +14,8 @@
 //!                         [--max-regress PCT] [--json PATH]
 //! spectral-doctor watch   (--events PATH | --registry DIR) [--prom FILE]
 //!                         [--interval MS] [--once | --frames N]
+//! spectral-doctor profile --profile PATH [--json PATH] [--perfetto PATH]
+//!                         [--record-cost-ns N]
 //! ```
 //!
 //! `analyze` prints the per-run text diagnosis to stdout (`--json` /
@@ -27,15 +29,21 @@
 //! candidate run-set and exits 0 on pass, 2 on regression, 1 on error —
 //! the CI contract; `watch` tails a growing events file or registry
 //! directory, redrawing an in-place dashboard each `--interval` and
-//! optionally writing a Prometheus-style text exposition to `--prom`.
+//! optionally writing a Prometheus-style text exposition to `--prom`;
+//! `profile` attributes each worker's wall-clock to scheduler/decode/
+//! simulate/merge phases from a `--profile` stream, reporting
+//! contention, stragglers, a critical-path estimate, and the profiler's
+//! own overhead (priced at a clock-probe-measured per-record cost, or
+//! `--record-cost-ns` for reproducible output).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use spectral_doctor::{
-    analyze, diff_runs, exhausted_without_convergence, gate, render_gate_json, render_gate_text,
-    render_json, render_text, render_trend_json, render_trend_text, trend, DoctorError, GateConfig,
-    RunArtifacts, WatchFrame,
+    analyze, analyze_profile, diff_runs, exhausted_without_convergence, gate,
+    measure_record_cost_ns, parse_profile, render_gate_json, render_gate_text, render_json,
+    render_profile_json, render_profile_text, render_text, render_trend_json, render_trend_text,
+    trend, DoctorError, GateConfig, RunArtifacts, WatchFrame,
 };
 
 #[derive(Debug, Default)]
@@ -60,7 +68,9 @@ const USAGE: &str = "spectral-doctor [analyze] --events PATH [--manifest PATH] [
                      spectral-doctor gate --registry DIR [--baseline LABEL] \
                      [--candidate LABEL] [--max-regress PCT] [--json PATH]\n\
                      spectral-doctor watch (--events PATH | --registry DIR) [--prom FILE] \
-                     [--interval MS] [--once | --frames N]";
+                     [--interval MS] [--once | --frames N]\n\
+                     spectral-doctor profile --profile PATH [--json PATH] [--perfetto PATH] \
+                     [--record-cost-ns N]";
 
 /// A flag-value iterator shared by every subcommand parser.
 struct Args<'a> {
@@ -346,14 +356,14 @@ fn watch_main(argv: &[String]) -> ExitCode {
         }
         let total = frames.unwrap_or(u64::MAX);
         let in_place = total > 1;
+        // Incremental tail: each frame reads only appended bytes, and a
+        // truncated or rotated file re-seeks instead of erroring — a
+        // sink that hasn't produced the file yet is an empty frame,
+        // because watch outlives writers.
+        let mut tail = events.as_ref().map(spectral_doctor::EventsTail::new);
         for i in 0..total {
-            let frame = match (&events, &registry) {
-                (Some(path), None) => {
-                    // A sink that hasn't produced the file yet is an
-                    // empty frame, not an error — watch outlives writers.
-                    let text = std::fs::read_to_string(path).unwrap_or_default();
-                    WatchFrame::from_events_text(&text)
-                }
+            let frame = match (&mut tail, &registry) {
+                (Some(tail), None) => WatchFrame::from_events_text(tail.poll()),
                 (None, Some(dir)) => {
                     let records = spectral_registry::load_records(dir)
                         .map_err(|e| DoctorError::msg(format!("{}: {e}", dir.display())))?;
@@ -384,6 +394,62 @@ fn watch_main(argv: &[String]) -> ExitCode {
     }
 }
 
+fn profile_main(argv: &[String]) -> ExitCode {
+    let run = || -> Result<(), DoctorError> {
+        let mut profile: Option<PathBuf> = None;
+        let mut json: Option<PathBuf> = None;
+        let mut perfetto: Option<PathBuf> = None;
+        let mut record_cost_ns: Option<u64> = None;
+        let mut args = Args::new(argv);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--profile" => profile = Some(PathBuf::from(args.value("--profile")?)),
+                "--json" => json = Some(PathBuf::from(args.value("--json")?)),
+                "--perfetto" => perfetto = Some(PathBuf::from(args.value("--perfetto")?)),
+                "--record-cost-ns" => {
+                    record_cost_ns = Some(args.parsed("--record-cost-ns", "nanoseconds")?);
+                }
+                other => {
+                    return Err(DoctorError::msg(format!("unknown argument {other}\n{USAGE}")))
+                }
+            }
+        }
+        let path =
+            profile.ok_or_else(|| DoctorError::msg(format!("--profile is required\n{USAGE}")))?;
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| DoctorError::msg(format!("cannot read {}: {e}", path.display())))?;
+        let runs = parse_profile(&text)
+            .map_err(|e| DoctorError::msg(format!("{}: {e}", path.display())))?;
+        if runs.is_empty() {
+            return Err(DoctorError::msg(format!(
+                "{}: no profile records (was the run started with --profile?)",
+                path.display()
+            )));
+        }
+        let cost = record_cost_ns.unwrap_or_else(measure_record_cost_ns);
+        let reports: Vec<_> = runs.iter().map(|r| analyze_profile(r, cost)).collect();
+        for (run, report) in runs.iter().zip(&reports) {
+            print!("{}", render_profile_text(run, report));
+        }
+        if let Some(path) = &json {
+            write_file(path, &render_profile_json(&reports))?;
+        }
+        if let Some(out) = &perfetto {
+            let chrome = spectral_telemetry::chrome_trace(&text)
+                .map_err(|e| DoctorError::msg(format!("cannot convert trace: {}", e.message)))?;
+            write_file(out, &chrome)?;
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("spectral-doctor profile: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -391,6 +457,7 @@ fn main() -> ExitCode {
         Some("trend") => trend_main(&argv[1..]),
         Some("gate") => gate_main(&argv[1..]),
         Some("watch") => watch_main(&argv[1..]),
+        Some("profile") => profile_main(&argv[1..]),
         // Bare flags are the pre-subcommand `analyze` spelling.
         _ => analyze_main(&argv),
     }

@@ -1,0 +1,815 @@
+//! `doctor profile`: wall-clock attribution over a worker-timeline
+//! profile stream (the experiment binaries' `--profile` sink).
+//!
+//! The stream carries three record types per run: one `profile_run`
+//! bracket (the run's own wall-clock), one `profile_worker` record per
+//! worker (exact per-phase `(count, ns)` aggregates over *every*
+//! recorded interval), and up to `PROFILE_RING_CAPACITY` retained
+//! `profile_phase` intervals per worker for fine-grained timelines.
+//!
+//! The analysis answers the questions the paper's speedup claim hangs
+//! on:
+//!
+//! * **Attribution** — what fraction of each worker's wall-clock went
+//!   to claim / prefetch-wait / decode / simulate / merge-wait / merge,
+//!   with *idle* as the explicit remainder, so per-worker percentages
+//!   always sum to the worker's wall.
+//! * **Contention** — the merge-lock wait distribution (count, mean,
+//!   p50/p95/max over retained intervals).
+//! * **Prefetch health** — decode the simulator stalled on
+//!   (`prefetch_wait`) versus decode-ahead that was hidden (`decode`).
+//! * **Stragglers** — per-worker end gap against the run bracket and
+//!   the summed barrier waste.
+//! * **Critical path** — run wall minus the work that could have
+//!   overlapped (total busy minus the busiest worker), a lower bound on
+//!   the serial residue.
+//! * **Profiler overhead** — `recorded × per-record cost`, with the
+//!   per-record cost measured by a clock probe at analysis time (or
+//!   pinned via `--record-cost-ns` for reproducible reports).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use spectral_telemetry::{json_number, json_quote, JsonValue, ProfilePhase};
+
+use crate::{str_field, u64_field, DoctorError};
+
+/// Exact aggregate for one phase of one worker: every recorded interval
+/// counts here, even after the retained ring wraps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// Recorded intervals of this phase.
+    pub count: u64,
+    /// Total duration of this phase in nanoseconds.
+    pub ns: u64,
+}
+
+/// One retained fine-grained interval from a worker's ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileInterval {
+    /// Wire phase name (`claim`, `prefetch_wait`, …).
+    pub phase: String,
+    /// Interval start, microseconds since the run's telemetry epoch.
+    pub t_us: u64,
+    /// Interval duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// One worker's parsed timeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerProfile {
+    /// Worker ordinal.
+    pub worker: usize,
+    /// Timeline start, microseconds since the run's telemetry epoch.
+    pub t_us: u64,
+    /// Worker wall-clock in microseconds (timeline construction to
+    /// drop).
+    pub dur_us: u64,
+    /// Intervals recorded in total (aggregates cover all of them).
+    pub recorded: u64,
+    /// Intervals retained in the ring (≤ `recorded`).
+    pub kept: u64,
+    /// Exact per-phase aggregates, keyed by wire phase name.
+    pub phases: BTreeMap<String, PhaseTotal>,
+    /// Retained intervals, in stream order.
+    pub intervals: Vec<ProfileInterval>,
+}
+
+impl WorkerProfile {
+    /// Total nanoseconds attributed to recorded phases.
+    pub fn busy_ns(&self) -> u64 {
+        self.phases.values().map(|p| p.ns).sum()
+    }
+}
+
+/// One run's parsed profile: the run bracket plus every worker that
+/// reported.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileRun {
+    /// Collision-resistant run identifier.
+    pub run_id: String,
+    /// Process-wide run ordinal.
+    pub seq: u64,
+    /// Run kind: `online`, `matched`, or `sweep`.
+    pub run: String,
+    /// Worker count declared by the run bracket (0 when the bracket is
+    /// missing from a truncated stream).
+    pub declared_workers: usize,
+    /// Run bracket start, microseconds since the telemetry epoch.
+    pub t_us: u64,
+    /// Run wall-clock in microseconds. Synthesized from the workers'
+    /// envelope when the `profile_run` record is missing.
+    pub dur_us: u64,
+    /// Per-worker timelines, ordered by worker ordinal.
+    pub workers: Vec<WorkerProfile>,
+}
+
+/// Parse a profile JSONL stream into per-run structures, grouped by
+/// `(run_id, seq)` in first-seen order. Unknown record types are
+/// skipped (the stream may share a file with other sinks); a run whose
+/// `profile_run` bracket is missing (truncated stream) gets a window
+/// synthesized from its workers' envelope.
+///
+/// # Errors
+///
+/// Returns a diagnostic (with its 1-based line number) when a non-empty
+/// line is not valid JSON.
+pub fn parse_profile(text: &str) -> Result<Vec<ProfileRun>, DoctorError> {
+    let mut order: Vec<(String, u64)> = Vec::new();
+    let mut runs: BTreeMap<(String, u64), ProfileRun> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = JsonValue::parse(line)
+            .map_err(|e| DoctorError::msg(format!("line {}: {}", lineno + 1, e.message)))?;
+        let ty = doc.get("type").and_then(JsonValue::as_str);
+        if !matches!(ty, Some("profile_run" | "profile_worker" | "profile_phase")) {
+            continue;
+        }
+        let key = (str_field(&doc, "run_id"), u64_field(&doc, "seq"));
+        if !runs.contains_key(&key) {
+            order.push(key.clone());
+        }
+        let entry = runs.entry(key.clone()).or_insert_with(|| ProfileRun {
+            run_id: key.0.clone(),
+            seq: key.1,
+            run: str_field(&doc, "run"),
+            ..ProfileRun::default()
+        });
+        match ty {
+            Some("profile_run") => {
+                entry.declared_workers = u64_field(&doc, "workers") as usize;
+                entry.t_us = u64_field(&doc, "t_us");
+                entry.dur_us = u64_field(&doc, "dur_us");
+            }
+            Some("profile_worker") => {
+                let worker = worker_entry(entry, u64_field(&doc, "worker") as usize);
+                worker.t_us = u64_field(&doc, "t_us");
+                worker.dur_us = u64_field(&doc, "dur_us");
+                worker.recorded = u64_field(&doc, "recorded");
+                worker.kept = u64_field(&doc, "kept");
+                if let Some(phases) = doc.get("phases").and_then(JsonValue::as_obj) {
+                    for (name, agg) in phases {
+                        worker.phases.insert(
+                            name.clone(),
+                            PhaseTotal {
+                                count: agg.get("count").and_then(JsonValue::as_u64).unwrap_or(0),
+                                ns: agg.get("ns").and_then(JsonValue::as_u64).unwrap_or(0),
+                            },
+                        );
+                    }
+                }
+            }
+            Some("profile_phase") => {
+                let interval = ProfileInterval {
+                    phase: str_field(&doc, "phase"),
+                    t_us: u64_field(&doc, "t_us"),
+                    dur_us: u64_field(&doc, "dur_us"),
+                };
+                worker_entry(entry, u64_field(&doc, "worker") as usize).intervals.push(interval);
+            }
+            _ => unreachable!("filtered above"),
+        }
+    }
+    let mut out: Vec<ProfileRun> = Vec::with_capacity(order.len());
+    for key in order {
+        let mut run = runs.remove(&key).expect("keyed by first-seen order");
+        run.workers.sort_by_key(|w| w.worker);
+        if run.dur_us == 0 && !run.workers.is_empty() {
+            // Truncated stream: no run bracket. Use the workers'
+            // envelope so attribution still has a denominator.
+            run.t_us = run.workers.iter().map(|w| w.t_us).min().unwrap_or(0);
+            let end = run.workers.iter().map(|w| w.t_us + w.dur_us).max().unwrap_or(0);
+            run.dur_us = end.saturating_sub(run.t_us);
+            run.declared_workers = run.declared_workers.max(run.workers.len());
+        }
+        out.push(run);
+    }
+    Ok(out)
+}
+
+fn worker_entry(run: &mut ProfileRun, worker: usize) -> &mut WorkerProfile {
+    if let Some(i) = run.workers.iter().position(|w| w.worker == worker) {
+        &mut run.workers[i]
+    } else {
+        run.workers.push(WorkerProfile { worker, ..WorkerProfile::default() });
+        run.workers.last_mut().expect("just pushed")
+    }
+}
+
+/// One phase's share of a wall-clock budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseAttribution {
+    /// Wire phase name (`idle` for the computed remainder).
+    pub phase: String,
+    /// Recorded intervals (0 for `idle`).
+    pub count: u64,
+    /// Attributed nanoseconds.
+    pub ns: u64,
+    /// Percentage of the budget (worker wall for per-worker rows,
+    /// summed worker wall for the aggregate).
+    pub pct: f64,
+}
+
+/// Merge-lock wait distribution: counts and totals from the exact
+/// aggregates, percentiles from the retained intervals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WaitStats {
+    /// Waits recorded (exact).
+    pub count: u64,
+    /// Total wait nanoseconds (exact).
+    pub total_ns: u64,
+    /// Mean wait nanoseconds (exact).
+    pub mean_ns: f64,
+    /// Median retained wait, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile retained wait, microseconds.
+    pub p95_us: u64,
+    /// Longest retained wait, microseconds.
+    pub max_us: u64,
+}
+
+/// The profiler's own cost estimate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OverheadEstimate {
+    /// Intervals recorded across all workers.
+    pub recorded: u64,
+    /// Per-record cost in nanoseconds (clock probe or
+    /// `--record-cost-ns`).
+    pub record_cost_ns: u64,
+    /// Total overhead across all workers, nanoseconds.
+    pub total_ns: u64,
+    /// Worst single worker's overhead, nanoseconds — the wall-clock
+    /// impact bound, since workers record concurrently.
+    pub max_worker_ns: u64,
+    /// `max_worker_ns` as a percentage of the run wall.
+    pub pct_of_wall: f64,
+}
+
+/// Per-worker attribution report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerReport {
+    /// Worker ordinal.
+    pub worker: usize,
+    /// Worker wall-clock, microseconds.
+    pub wall_us: u64,
+    /// Nanoseconds attributed to recorded phases.
+    pub busy_ns: u64,
+    /// Wall-clock remainder (idle at the barrier, spawn/join skew).
+    pub idle_ns: u64,
+    /// End gap against the run bracket, microseconds (straggler /
+    /// barrier waste).
+    pub end_gap_us: u64,
+    /// Phase shares of this worker's wall, `idle` last.
+    pub attribution: Vec<PhaseAttribution>,
+}
+
+/// The full analysis of one profiled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Collision-resistant run identifier.
+    pub run_id: String,
+    /// Process-wide run ordinal.
+    pub seq: u64,
+    /// Run kind.
+    pub run: String,
+    /// Workers declared by the run bracket.
+    pub workers: usize,
+    /// Run wall-clock, microseconds.
+    pub run_wall_us: u64,
+    /// Σ (run end − worker start) / (workers × run wall), percent —
+    /// how much of the run's wall-clock budget the per-worker
+    /// attributions cover. A worker's share spans from its first
+    /// instant to the run bracket closing: the tail after the worker
+    /// exits is explicitly attributed as straggler/barrier waste, so
+    /// only the spawn latency before the worker exists is
+    /// unattributed.
+    pub attributed_pct: f64,
+    /// Phase shares of the summed worker wall, `idle` last.
+    pub aggregate: Vec<PhaseAttribution>,
+    /// Per-worker reports, ordered by worker ordinal.
+    pub worker_reports: Vec<WorkerReport>,
+    /// Merge-lock contention.
+    pub merge_wait: WaitStats,
+    /// Decode the simulator stalled on, nanoseconds.
+    pub prefetch_stall_ns: u64,
+    /// Decode-ahead that was hidden behind simulation, nanoseconds.
+    pub decode_ahead_ns: u64,
+    /// Σ per-worker end gaps, microseconds.
+    pub straggler_us: u64,
+    /// Run wall minus overlappable work (total busy minus the busiest
+    /// worker), microseconds, clamped at zero.
+    pub critical_path_us: u64,
+    /// The profiler's own cost.
+    pub overhead: OverheadEstimate,
+}
+
+/// Measure the per-record cost of the profiler's hot path with a clock
+/// probe: a recorded interval costs about two monotonic clock reads
+/// plus a ring push, so the probe times a batch of `Instant::now`
+/// calls and doubles the per-call cost.
+pub fn measure_record_cost_ns() -> u64 {
+    const PROBES: u32 = 10_000;
+    let started = std::time::Instant::now();
+    for _ in 0..PROBES {
+        std::hint::black_box(std::time::Instant::now());
+    }
+    let per_call = started.elapsed().as_nanos() / u128::from(PROBES);
+    u64::try_from(per_call * 2).unwrap_or(u64::MAX).max(1)
+}
+
+/// Analyze one parsed run. `record_cost_ns` prices the profiler's own
+/// overhead (see [`measure_record_cost_ns`]).
+pub fn analyze_profile(run: &ProfileRun, record_cost_ns: u64) -> ProfileReport {
+    let run_wall_ns = run.dur_us.saturating_mul(1_000);
+    let run_end_us = run.t_us + run.dur_us;
+    let mut worker_reports = Vec::with_capacity(run.workers.len());
+    let mut aggregate: BTreeMap<&str, PhaseTotal> = BTreeMap::new();
+    let mut summed_wall_ns: u64 = 0;
+    let mut covered_wall_us: u64 = 0;
+    let (mut total_busy_ns, mut max_busy_ns) = (0u64, 0u64);
+    let (mut recorded_total, mut recorded_max) = (0u64, 0u64);
+    let mut wait_intervals_us: Vec<u64> = Vec::new();
+    let mut merge_wait = WaitStats::default();
+    let (mut stall_ns, mut ahead_ns) = (0u64, 0u64);
+    let mut straggler_us = 0u64;
+
+    for w in &run.workers {
+        let wall_ns = w.dur_us.saturating_mul(1_000);
+        let busy_ns = w.busy_ns();
+        let idle_ns = wall_ns.saturating_sub(busy_ns);
+        summed_wall_ns += wall_ns;
+        // Coverage runs from the worker's first instant to the run
+        // bracket closing: the worker-exit-to-run-end tail is reported
+        // as straggler/barrier waste (an attribution in its own
+        // right), so only pre-spawn latency stays unattributed.
+        covered_wall_us += run_end_us.saturating_sub(w.t_us).min(run.dur_us);
+        total_busy_ns += busy_ns;
+        max_busy_ns = max_busy_ns.max(busy_ns);
+        recorded_total += w.recorded;
+        recorded_max = recorded_max.max(w.recorded);
+        let end_gap_us = run_end_us.saturating_sub(w.t_us + w.dur_us).min(run.dur_us);
+        straggler_us += end_gap_us;
+
+        let mut attribution = Vec::new();
+        for phase in ProfilePhase::ALL {
+            let name = phase.name();
+            let total = match phase {
+                ProfilePhase::Idle => PhaseTotal { count: 0, ns: idle_ns },
+                _ => w.phases.get(name).copied().unwrap_or_default(),
+            };
+            if total.count == 0 && total.ns == 0 && phase != ProfilePhase::Idle {
+                continue;
+            }
+            let agg = aggregate.entry(name).or_default();
+            agg.count += total.count;
+            agg.ns += total.ns;
+            attribution.push(PhaseAttribution {
+                phase: name.to_owned(),
+                count: total.count,
+                ns: total.ns,
+                pct: pct(total.ns, wall_ns),
+            });
+            match phase {
+                ProfilePhase::PrefetchWait => stall_ns += total.ns,
+                ProfilePhase::Decode => ahead_ns += total.ns,
+                ProfilePhase::MergeWait => {
+                    merge_wait.count += total.count;
+                    merge_wait.total_ns += total.ns;
+                }
+                _ => {}
+            }
+        }
+        wait_intervals_us
+            .extend(w.intervals.iter().filter(|i| i.phase == "merge_wait").map(|i| i.dur_us));
+        worker_reports.push(WorkerReport {
+            worker: w.worker,
+            wall_us: w.dur_us,
+            busy_ns,
+            idle_ns,
+            end_gap_us,
+            attribution,
+        });
+    }
+
+    if merge_wait.count > 0 {
+        merge_wait.mean_ns = merge_wait.total_ns as f64 / merge_wait.count as f64;
+    }
+    wait_intervals_us.sort_unstable();
+    merge_wait.p50_us = percentile(&wait_intervals_us, 50);
+    merge_wait.p95_us = percentile(&wait_intervals_us, 95);
+    merge_wait.max_us = wait_intervals_us.last().copied().unwrap_or(0);
+
+    let aggregate = ProfilePhase::ALL
+        .iter()
+        .filter_map(|p| {
+            let total = aggregate.get(p.name()).copied()?;
+            Some(PhaseAttribution {
+                phase: p.name().to_owned(),
+                count: total.count,
+                ns: total.ns,
+                pct: pct(total.ns, summed_wall_ns),
+            })
+        })
+        .collect();
+
+    let overlappable_us = total_busy_ns.saturating_sub(max_busy_ns) / 1_000;
+    let max_worker_overhead_ns = recorded_max.saturating_mul(record_cost_ns);
+    ProfileReport {
+        run_id: run.run_id.clone(),
+        seq: run.seq,
+        run: run.run.clone(),
+        workers: run.declared_workers.max(run.workers.len()),
+        run_wall_us: run.dur_us,
+        attributed_pct: pct(
+            covered_wall_us,
+            run.dur_us.saturating_mul(run.workers.len().max(1) as u64),
+        ),
+        aggregate,
+        worker_reports,
+        merge_wait,
+        prefetch_stall_ns: stall_ns,
+        decode_ahead_ns: ahead_ns,
+        straggler_us,
+        critical_path_us: run.dur_us.saturating_sub(overlappable_us),
+        overhead: OverheadEstimate {
+            recorded: recorded_total,
+            record_cost_ns,
+            total_ns: recorded_total.saturating_mul(record_cost_ns),
+            max_worker_ns: max_worker_overhead_ns,
+            pct_of_wall: pct(max_worker_overhead_ns, run_wall_ns),
+        },
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice (0 when empty).
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * p).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+const TIMELINE_COLS: usize = 60;
+
+fn phase_glyph(phase: &str) -> char {
+    match phase {
+        "claim" => 'c',
+        "prefetch_wait" => 'P',
+        "decode" => 'd',
+        "simulate" => '#',
+        "merge_wait" => 'W',
+        "merge" => 'm',
+        _ => '?',
+    }
+}
+
+/// Render one worker's retained intervals as a fixed-width timeline bar
+/// over the run window: each column shows the dominant phase, `.` for
+/// in-span wall with no retained interval (idle or aggregated-out), and
+/// a space outside the worker's span.
+fn timeline_bar(run: &ProfileRun, w: &WorkerProfile) -> String {
+    let mut bar = String::with_capacity(TIMELINE_COLS);
+    let span_us = run.dur_us.max(1);
+    for col in 0..TIMELINE_COLS {
+        let col_start = run.t_us + span_us * col as u64 / TIMELINE_COLS as u64;
+        let col_end = run.t_us + span_us * (col as u64 + 1) / TIMELINE_COLS as u64;
+        let mut best: Option<(&str, u64)> = None;
+        let mut weights: BTreeMap<&str, u64> = BTreeMap::new();
+        for i in &w.intervals {
+            let overlap =
+                (i.t_us + i.dur_us.max(1)).min(col_end).saturating_sub(i.t_us.max(col_start));
+            if overlap > 0 {
+                let e = weights.entry(i.phase.as_str()).or_default();
+                *e += overlap;
+                if best.is_none_or(|(_, b)| *e > b) {
+                    best = Some((i.phase.as_str(), *e));
+                }
+            }
+        }
+        bar.push(match best {
+            Some((phase, _)) => phase_glyph(phase),
+            None if col_start >= w.t_us && col_end <= w.t_us + w.dur_us => '.',
+            None => ' ',
+        });
+    }
+    bar
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3} s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.3} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} µs")
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000 {
+        fmt_us(ns / 1_000)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Render a profiled run as the text report.
+pub fn render_profile_text(run: &ProfileRun, report: &ProfileReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile {} {} #{} — {} worker{}, wall {} ({:.1}% attributed)",
+        report.run_id,
+        report.run,
+        report.seq,
+        report.workers,
+        if report.workers == 1 { "" } else { "s" },
+        fmt_us(report.run_wall_us),
+        report.attributed_pct,
+    );
+    let _ = writeln!(out, "  aggregate attribution (of summed worker wall):");
+    for a in &report.aggregate {
+        let _ = writeln!(
+            out,
+            "    {:<13} {:>6} × {:>12}  {:>5.1}%",
+            a.phase,
+            a.count,
+            fmt_ns(a.ns),
+            a.pct
+        );
+    }
+    for (w, wp) in report.worker_reports.iter().zip(&run.workers) {
+        let _ = writeln!(
+            out,
+            "  worker {:<2} wall {} busy {} idle {} end-gap {}",
+            w.worker,
+            fmt_us(w.wall_us),
+            fmt_ns(w.busy_ns),
+            fmt_ns(w.idle_ns),
+            fmt_us(w.end_gap_us),
+        );
+        let _ = writeln!(out, "    [{}]", timeline_bar(run, wp));
+    }
+    let _ = writeln!(
+        out,
+        "  legend: c=claim P=prefetch-wait d=decode #=simulate W=merge-wait m=merge \
+         .=idle/unretained"
+    );
+    let mw = &report.merge_wait;
+    let _ = writeln!(
+        out,
+        "  merge-lock wait: {} waits, total {}, mean {}, p50 {}, p95 {}, max {}",
+        mw.count,
+        fmt_ns(mw.total_ns),
+        fmt_ns(mw.mean_ns as u64),
+        fmt_us(mw.p50_us),
+        fmt_us(mw.p95_us),
+        fmt_us(mw.max_us),
+    );
+    let stall_share =
+        pct(report.prefetch_stall_ns, report.prefetch_stall_ns + report.decode_ahead_ns);
+    let _ = writeln!(
+        out,
+        "  prefetch: stalled {} vs decode-ahead {} ({:.1}% stalled)",
+        fmt_ns(report.prefetch_stall_ns),
+        fmt_ns(report.decode_ahead_ns),
+        stall_share,
+    );
+    let _ = writeln!(
+        out,
+        "  stragglers: {} barrier waste ({:.2}% of worker wall budget)",
+        fmt_us(report.straggler_us),
+        pct(report.straggler_us, report.run_wall_us * report.workers.max(1) as u64),
+    );
+    let _ = writeln!(
+        out,
+        "  critical path ≥ {} (run wall minus overlappable work)",
+        fmt_us(report.critical_path_us)
+    );
+    let o = &report.overhead;
+    let _ = writeln!(
+        out,
+        "  profiler overhead: {} intervals × {} ns ≈ {} total, {:.3}% of run wall",
+        o.recorded,
+        o.record_cost_ns,
+        fmt_ns(o.total_ns),
+        o.pct_of_wall,
+    );
+    out
+}
+
+fn attribution_json(rows: &[PhaseAttribution]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"phase\":{},\"count\":{},\"ns\":{},\"pct\":{}}}",
+                json_quote(&a.phase),
+                a.count,
+                a.ns,
+                json_number(a.pct)
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+/// Render the analyses of every profiled run as one JSON document.
+pub fn render_profile_json(reports: &[ProfileReport]) -> String {
+    let runs: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let workers: Vec<String> = r
+                .worker_reports
+                .iter()
+                .map(|w| {
+                    format!(
+                        "{{\"worker\":{},\"wall_us\":{},\"busy_ns\":{},\"idle_ns\":{},\
+                         \"end_gap_us\":{},\"attribution\":{}}}",
+                        w.worker,
+                        w.wall_us,
+                        w.busy_ns,
+                        w.idle_ns,
+                        w.end_gap_us,
+                        attribution_json(&w.attribution)
+                    )
+                })
+                .collect();
+            let mw = &r.merge_wait;
+            let o = &r.overhead;
+            format!(
+                "{{\"run_id\":{},\"seq\":{},\"run\":{},\"workers\":{},\"run_wall_us\":{},\
+                 \"attributed_pct\":{},\"aggregate\":{},\"worker_reports\":[{}],\
+                 \"merge_wait\":{{\"count\":{},\"total_ns\":{},\"mean_ns\":{},\"p50_us\":{},\
+                 \"p95_us\":{},\"max_us\":{}}},\
+                 \"prefetch\":{{\"stall_ns\":{},\"decode_ahead_ns\":{}}},\
+                 \"straggler_us\":{},\"critical_path_us\":{},\
+                 \"overhead\":{{\"recorded\":{},\"record_cost_ns\":{},\"total_ns\":{},\
+                 \"max_worker_ns\":{},\"pct_of_wall\":{}}}}}",
+                json_quote(&r.run_id),
+                r.seq,
+                json_quote(&r.run),
+                r.workers,
+                r.run_wall_us,
+                json_number(r.attributed_pct),
+                attribution_json(&r.aggregate),
+                workers.join(","),
+                mw.count,
+                mw.total_ns,
+                json_number(mw.mean_ns),
+                mw.p50_us,
+                mw.p95_us,
+                mw.max_us,
+                r.prefetch_stall_ns,
+                r.decode_ahead_ns,
+                r.straggler_us,
+                r.critical_path_us,
+                o.recorded,
+                o.record_cost_ns,
+                o.total_ns,
+                o.max_worker_ns,
+                json_number(o.pct_of_wall),
+            )
+        })
+        .collect();
+    format!("{{\"runs\":[{}]}}\n", runs.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STREAM: &str = concat!(
+        "{\"type\":\"profile_run\",\"run_id\":\"aaaa000000000001-1\",\"seq\":1,\
+         \"run\":\"online\",\"workers\":2,\"t_us\":100,\"dur_us\":10000}\n",
+        "{\"type\":\"profile_worker\",\"run_id\":\"aaaa000000000001-1\",\"seq\":1,\
+         \"run\":\"online\",\"worker\":0,\"t_us\":120,\"dur_us\":9800,\"recorded\":7,\
+         \"kept\":4,\"phases\":{\"claim\":{\"count\":2,\"ns\":100000},\
+         \"decode\":{\"count\":2,\"ns\":2000000},\"simulate\":{\"count\":1,\"ns\":6000000},\
+         \"merge_wait\":{\"count\":1,\"ns\":500000},\"merge\":{\"count\":1,\"ns\":200000}}}\n",
+        "{\"type\":\"profile_phase\",\"run_id\":\"aaaa000000000001-1\",\"seq\":1,\
+         \"run\":\"online\",\"worker\":0,\"phase\":\"simulate\",\"t_us\":200,\"dur_us\":6000}\n",
+        "{\"type\":\"profile_phase\",\"run_id\":\"aaaa000000000001-1\",\"seq\":1,\
+         \"run\":\"online\",\"worker\":0,\"phase\":\"merge_wait\",\"t_us\":6200,\
+         \"dur_us\":500}\n",
+        "{\"type\":\"profile_worker\",\"run_id\":\"aaaa000000000001-1\",\"seq\":1,\
+         \"run\":\"online\",\"worker\":1,\"t_us\":130,\"dur_us\":9900,\"recorded\":5,\
+         \"kept\":5,\"phases\":{\"prefetch_wait\":{\"count\":1,\"ns\":1000000},\
+         \"decode\":{\"count\":1,\"ns\":1000000},\"simulate\":{\"count\":1,\"ns\":7000000},\
+         \"merge_wait\":{\"count\":1,\"ns\":300000},\"merge\":{\"count\":1,\"ns\":100000}}}\n",
+        "{\"type\":\"profile_phase\",\"run_id\":\"aaaa000000000001-1\",\"seq\":1,\
+         \"run\":\"online\",\"worker\":1,\"phase\":\"merge_wait\",\"t_us\":7000,\
+         \"dur_us\":300}\n",
+        // Other sinks may share the file: skipped, not fatal.
+        "{\"type\":\"span\",\"name\":\"decode\",\"t_us\":5,\"dur_us\":2}\n",
+    );
+
+    #[test]
+    fn parses_runs_workers_and_intervals() {
+        let runs = parse_profile(STREAM).expect("valid stream");
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!((run.seq, run.declared_workers, run.dur_us), (1, 2, 10_000));
+        assert_eq!(run.workers.len(), 2);
+        assert_eq!(run.workers[0].recorded, 7);
+        assert_eq!(run.workers[0].phases["decode"], PhaseTotal { count: 2, ns: 2_000_000 });
+        assert_eq!(run.workers[0].intervals.len(), 2);
+        assert_eq!(run.workers[1].busy_ns(), 9_400_000);
+    }
+
+    #[test]
+    fn attribution_covers_the_run_wall() {
+        let runs = parse_profile(STREAM).expect("valid stream");
+        let report = analyze_profile(&runs[0], 50);
+        // Σ (run end − worker start): (10100−120) + (10100−130) over
+        // 2 × 10000 run wall — only the spawn latency is unattributed.
+        assert!((report.attributed_pct - 99.75).abs() < 1e-9, "{}", report.attributed_pct);
+        assert!(report.attributed_pct >= 95.0);
+        // Per-worker shares (explicit phases + idle) sum to worker wall.
+        for w in &report.worker_reports {
+            let total: f64 = w.attribution.iter().map(|a| a.pct).sum();
+            assert!((total - 100.0).abs() < 0.1, "worker {} sums to {total}", w.worker);
+            assert_eq!(w.attribution.last().map(|a| a.phase.as_str()), Some("idle"));
+        }
+        assert_eq!(report.worker_reports[0].idle_ns, 1_000_000);
+        assert_eq!(report.worker_reports[0].end_gap_us, 10_100 - 9_920);
+    }
+
+    #[test]
+    fn contention_stragglers_and_critical_path() {
+        let runs = parse_profile(STREAM).expect("valid stream");
+        let report = analyze_profile(&runs[0], 50);
+        let mw = &report.merge_wait;
+        assert_eq!((mw.count, mw.total_ns), (2, 800_000));
+        assert!((mw.mean_ns - 400_000.0).abs() < 1e-9);
+        assert_eq!((mw.p50_us, mw.p95_us, mw.max_us), (300, 500, 500));
+        assert_eq!(report.prefetch_stall_ns, 1_000_000);
+        assert_eq!(report.decode_ahead_ns, 3_000_000);
+        assert_eq!(report.straggler_us, 180 + 70);
+        // Overlappable work: 18.2 ms busy − 9.4 ms busiest = 8.8 ms;
+        // 10 ms run wall − 8.8 ms = 1.2 ms of unhidden serial residue.
+        assert_eq!(report.critical_path_us, 1_200);
+        let o = &report.overhead;
+        assert_eq!((o.recorded, o.total_ns, o.max_worker_ns), (12, 600, 350));
+        assert!(o.pct_of_wall < 0.01);
+    }
+
+    #[test]
+    fn truncated_stream_synthesizes_the_run_window() {
+        // Drop the profile_run bracket: the workers' envelope stands in.
+        let body: String =
+            STREAM.lines().filter(|l| !l.contains("profile_run")).collect::<Vec<_>>().join("\n");
+        let runs = parse_profile(&body).expect("valid stream");
+        let run = &runs[0];
+        assert_eq!(run.t_us, 120);
+        assert_eq!(run.dur_us, (130 + 9_900) - 120);
+        assert_eq!(run.declared_workers, 2);
+        let report = analyze_profile(run, 50);
+        assert!(report.attributed_pct > 90.0);
+    }
+
+    #[test]
+    fn renders_text_and_json() {
+        let runs = parse_profile(STREAM).expect("valid stream");
+        let report = analyze_profile(&runs[0], 50);
+        let text = render_profile_text(&runs[0], &report);
+        assert!(text.contains("profile aaaa000000000001-1 online #1"), "{text}");
+        assert!(text.contains("worker 0"), "{text}");
+        assert!(text.contains("merge-lock wait: 2 waits"), "{text}");
+        assert!(text.contains("critical path ≥ 1.200 ms"), "{text}");
+        assert!(text.contains("profiler overhead: 12 intervals × 50 ns"), "{text}");
+        // The timeline bar shows simulate as the dominant early phase.
+        assert!(text.contains('#'), "{text}");
+        let json = render_profile_json(&[report]);
+        let doc = JsonValue::parse(json.trim()).expect("valid JSON");
+        let run0 = &doc.get("runs").and_then(JsonValue::as_arr).expect("runs array")[0];
+        assert_eq!(run0.get("run_wall_us").and_then(JsonValue::as_u64), Some(10_000));
+        assert!(run0.get("attributed_pct").and_then(JsonValue::as_f64).unwrap() >= 95.0);
+        assert_eq!(
+            run0.get("overhead").and_then(|o| o.get("recorded")).and_then(JsonValue::as_u64),
+            Some(12)
+        );
+        assert_eq!(
+            run0.get("merge_wait").and_then(|m| m.get("p95_us")).and_then(JsonValue::as_u64),
+            Some(500)
+        );
+    }
+
+    #[test]
+    fn record_cost_probe_is_sane() {
+        let cost = measure_record_cost_ns();
+        assert!(cost >= 1, "cost is clamped positive");
+        assert!(cost < 1_000_000, "a clock read is not a millisecond: {cost}");
+    }
+}

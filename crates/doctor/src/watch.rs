@@ -4,18 +4,74 @@
 //! exposition.
 //!
 //! A frame is a pure function of the artifact's current contents: the
-//! watch loop re-reads the file each tick and rebuilds the frame, so
-//! there is no incremental state to corrupt when a writer restarts or
-//! truncates. Parsing is deliberately *tolerant* — a live writer's last
-//! line may be mid-append, and a dashboard that dies on a partial line
-//! is useless — unlike [`parse_events`](crate::parse_events), which
-//! reports malformed lines because it reads completed artifacts.
+//! watch loop polls an [`EventsTail`] each tick — reading only the
+//! bytes appended since the last frame, and re-seeking to the start
+//! when the file shrank (truncated in place or rotated) — and rebuilds
+//! the frame from the accumulated text. Parsing is deliberately
+//! *tolerant* — a live writer's last line may be mid-append, and a
+//! dashboard that dies on a partial line is useless — unlike
+//! [`parse_events`](crate::parse_events), which reports malformed
+//! lines because it reads completed artifacts.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io::{Read as _, Seek as _, SeekFrom};
+use std::path::PathBuf;
 
 use spectral_registry::RunRecord;
 use spectral_telemetry::{json_number as number, JsonValue, RunSummary};
+
+/// An incremental tail over a growing events file: each [`poll`] reads
+/// only the bytes appended since the last one and returns the
+/// accumulated contents, so a long watch doesn't re-read the whole
+/// file every frame.
+///
+/// The tail must outlive its writers: a file that doesn't exist yet (or
+/// vanished mid-rotation) is an empty frame, and a file that *shrank*
+/// (truncated in place, or rotated and recreated) re-seeks to offset 0
+/// and rebuilds from the new contents instead of erroring or serving a
+/// stale blend of old and new bytes.
+///
+/// [`poll`]: EventsTail::poll
+#[derive(Debug)]
+pub struct EventsTail {
+    path: PathBuf,
+    offset: u64,
+    text: String,
+}
+
+impl EventsTail {
+    /// Start a tail over `path` (which need not exist yet).
+    pub fn new(path: impl Into<PathBuf>) -> EventsTail {
+        EventsTail { path: path.into(), offset: 0, text: String::new() }
+    }
+
+    /// Read any appended bytes and return the accumulated file
+    /// contents. Never errors: missing files reset to an empty frame,
+    /// shrunken files reset to offset 0 and re-read from the start.
+    pub fn poll(&mut self) -> &str {
+        let Ok(mut f) = std::fs::File::open(&self.path) else {
+            self.offset = 0;
+            self.text.clear();
+            return &self.text;
+        };
+        let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+        if len < self.offset {
+            // Truncated or rotated: what we accumulated no longer
+            // reflects the file. Start over from the new contents.
+            self.offset = 0;
+            self.text.clear();
+        }
+        if len > self.offset && f.seek(SeekFrom::Start(self.offset)).is_ok() {
+            let mut buf = Vec::with_capacity((len - self.offset) as usize);
+            if f.take(len - self.offset).read_to_end(&mut buf).is_ok() {
+                self.offset += buf.len() as u64;
+                self.text.push_str(&String::from_utf8_lossy(&buf));
+            }
+        }
+        &self.text
+    }
+}
 
 /// The live state of one estimated series, distilled from its latest
 /// progress records.
@@ -209,9 +265,20 @@ impl WatchFrame {
             let _ = writeln!(out, "recent runs:");
         }
         for r in &self.runs[tail..] {
+            // Decode-cache effectiveness, when the run sampled it.
+            let cache = match (r.cache_hits, r.cache_misses) {
+                (Some(h), Some(m)) if h + m > 0 => {
+                    format!(
+                        " cache={:.0}% hit ({h}h/{m}m/{}e)",
+                        h as f64 * 100.0 / (h + m) as f64,
+                        r.cache_evictions.unwrap_or(0)
+                    )
+                }
+                _ => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "  {} {}/{} on {} t{} [{}] rate={}",
+                "  {} {}/{} on {} t{} [{}] rate={}{cache}",
                 r.kind,
                 r.binary,
                 r.benchmark,
@@ -282,28 +349,50 @@ impl WatchFrame {
             "Anomalous live-points observed in the series' run.",
             rows(&|s| s.anomalies.to_string()),
         );
-        let run_rows: Vec<(String, String)> = self
-            .runs
-            .iter()
-            .filter_map(|r| {
-                let rate = r.run_rate?;
-                Some((
-                    format!(
-                        "run_id=\"{}\",kind=\"{}\",binary=\"{}\",benchmark=\"{}\",\
-                         machine=\"{}\",threads=\"{}\",code_version=\"{}\"",
-                        escape_label(&r.run_id),
-                        escape_label(&r.kind),
-                        escape_label(&r.binary),
-                        escape_label(&r.benchmark),
-                        escape_label(&r.machine),
-                        r.threads,
-                        escape_label(&r.code_version),
-                    ),
-                    number(rate),
-                ))
-            })
-            .collect();
-        gauge("spectral_run_rate", "Run throughput in points per second.", run_rows);
+        let run_labels = |r: &RunRecord| {
+            format!(
+                "run_id=\"{}\",kind=\"{}\",binary=\"{}\",benchmark=\"{}\",\
+                 machine=\"{}\",threads=\"{}\",code_version=\"{}\"",
+                escape_label(&r.run_id),
+                escape_label(&r.kind),
+                escape_label(&r.binary),
+                escape_label(&r.benchmark),
+                escape_label(&r.machine),
+                r.threads,
+                escape_label(&r.code_version),
+            )
+        };
+        let run_rows = |f: &dyn Fn(&RunRecord) -> Option<String>| -> Vec<(String, String)> {
+            self.runs.iter().filter_map(|r| Some((run_labels(r), f(r)?))).collect()
+        };
+        gauge(
+            "spectral_run_rate",
+            "Run throughput in points per second.",
+            run_rows(&|r| r.run_rate.map(number)),
+        );
+        gauge(
+            "spectral_cache_hits",
+            "Decoded-point cache hits over the run (core.lib.cache_hits).",
+            run_rows(&|r| r.cache_hits.map(|v| v.to_string())),
+        );
+        gauge(
+            "spectral_cache_misses",
+            "Decoded-point cache misses over the run (core.lib.cache_misses).",
+            run_rows(&|r| r.cache_misses.map(|v| v.to_string())),
+        );
+        gauge(
+            "spectral_cache_evictions",
+            "Decoded-point cache evictions over the run (core.lib.cache_evictions).",
+            run_rows(&|r| r.cache_evictions.map(|v| v.to_string())),
+        );
+        gauge(
+            "spectral_cache_hit_ratio",
+            "Decoded-point cache hits over hits plus misses.",
+            run_rows(&|r| match (r.cache_hits?, r.cache_misses?) {
+                (0, 0) => None,
+                (h, m) => Some(number(h as f64 / (h + m) as f64)),
+            }),
+        );
         if !self.runs.is_empty() {
             let _ = writeln!(out, "# HELP spectral_runs_total Registry records seen.");
             let _ = writeln!(out, "# TYPE spectral_runs_total gauge");
@@ -398,10 +487,39 @@ mod tests {
     }
 
     #[test]
+    fn tail_survives_truncation_and_rotation() {
+        let path =
+            std::env::temp_dir().join(format!("spectral_watch_tail_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut tail = EventsTail::new(&path);
+        // Missing file: empty frame, not an error.
+        assert_eq!(tail.poll(), "");
+        // Appends accumulate incrementally.
+        std::fs::write(&path, "line-1\n").unwrap();
+        assert_eq!(tail.poll(), "line-1\n");
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        std::io::Write::write_all(&mut f, b"line-2\n").unwrap();
+        drop(f);
+        assert_eq!(tail.poll(), "line-1\nline-2\n");
+        // Truncation mid-tail: shorter file ⇒ re-seek to 0, no stale mix.
+        std::fs::write(&path, "new-1\n").unwrap();
+        assert_eq!(tail.poll(), "new-1\n");
+        // Rotation: the file vanishes, then a new one appears.
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(tail.poll(), "");
+        std::fs::write(&path, "rotated-1\n").unwrap();
+        assert_eq!(tail.poll(), "rotated-1\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn registry_frames_surface_runs_and_convergence() {
         let mut r = RunRecord::new("run", "online", "gcc-like", "8-wide", 4);
         r.run_id = "aaaa000000000001-1".into();
         r.run_rate = Some(2_000.0);
+        r.cache_hits = Some(750);
+        r.cache_misses = Some(250);
+        r.cache_evictions = Some(10);
         r.convergence = vec![RunSummary {
             run_id: r.run_id.clone(),
             seq: 1,
@@ -430,8 +548,21 @@ mod tests {
         let prom = frame.prometheus();
         assert!(prom.contains("spectral_run_rate{"), "{prom}");
         assert!(prom.contains("spectral_runs_total 1"), "{prom}");
+        // Decode-cache effectiveness is exported with HELP/TYPE headers.
+        assert!(prom.contains("# HELP spectral_cache_hits "), "{prom}");
+        assert!(prom.contains("# TYPE spectral_cache_hits gauge"), "{prom}");
+        assert!(prom.contains("spectral_cache_hits{") && prom.contains("} 750"), "{prom}");
+        assert!(prom.contains("# TYPE spectral_cache_hit_ratio gauge"), "{prom}");
+        assert!(prom.contains("} 0.75"), "{prom}");
+        // Every exported sample family carries HELP and TYPE lines.
+        for line in prom.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().expect("sample name");
+            assert!(prom.contains(&format!("# HELP {name} ")), "no HELP for {name}: {prom}");
+            assert!(prom.contains(&format!("# TYPE {name} gauge")), "no TYPE for {name}: {prom}");
+        }
         let dash = frame.dashboard();
         assert!(dash.contains("recent runs:"), "{dash}");
         assert!(dash.contains("rate=2000 pts/s"), "{dash}");
+        assert!(dash.contains("cache=75% hit (750h/250m/10e)"), "{dash}");
     }
 }

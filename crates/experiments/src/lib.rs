@@ -45,6 +45,10 @@
 //!   convergence progress, per-point anomalies) to PATH; also enabled by
 //!   the `TELEMETRY_EVENTS` env var. Feed the stream to
 //!   `spectral-doctor` afterwards.
+//! * `--profile PATH` — write JSONL worker-timeline profile records
+//!   (per-worker phase intervals and aggregates, plus a run bracket)
+//!   to PATH; also enabled by the `SPECTRAL_PROFILE` env var. Feed the
+//!   stream to `spectral-doctor profile` for wall-clock attribution.
 //! * `--registry DIR` — append one distilled run record (run id, code
 //!   version, throughput, final estimate, convergence summaries) to the
 //!   cross-run registry at DIR on exit; also enabled by the
@@ -174,6 +178,8 @@ pub struct Args {
     pub trace: Option<PathBuf>,
     /// JSONL sampling-health event output path (`--events`).
     pub events: Option<PathBuf>,
+    /// JSONL worker-timeline profile output path (`--profile`).
+    pub profile: Option<PathBuf>,
     /// Cross-run registry directory (`--registry`).
     pub registry: Option<PathBuf>,
     /// Text report copy (`--report-out`).
@@ -205,6 +211,7 @@ impl Args {
             metrics_out: None,
             trace: None,
             events: None,
+            profile: None,
             registry: None,
             report_out: None,
             report_json: None,
@@ -219,7 +226,9 @@ impl Args {
     /// malformed integers. Also installs the span-trace sink when
     /// `--trace` (or the `TELEMETRY` env var) is present, the
     /// sampling-health event sink when `--events` (or the
-    /// `TELEMETRY_EVENTS` env var) is present, and the in-process
+    /// `TELEMETRY_EVENTS` env var) is present, the worker-timeline
+    /// profile sink when `--profile` (or the `SPECTRAL_PROFILE` env
+    /// var) is present, and the in-process
     /// run-summary tally when `--registry` (or the `SPECTRAL_REGISTRY`
     /// env var) is present — the registry record distills convergence
     /// from the tally, which works without any JSONL sink.
@@ -249,6 +258,17 @@ impl Args {
             None => {
                 spectral_telemetry::events_from_env().map_err(|e| {
                     ExpError::msg(format!("cannot open TELEMETRY_EVENTS file: {e}"))
+                })?;
+            }
+        }
+        match &args.profile {
+            Some(path) => {
+                spectral_telemetry::set_profile_path(path)
+                    .context("cannot open profile file", path)?;
+            }
+            None => {
+                spectral_telemetry::profile_from_env().map_err(|e| {
+                    ExpError::msg(format!("cannot open SPECTRAL_PROFILE file: {e}"))
                 })?;
             }
         }
@@ -331,6 +351,7 @@ impl Args {
                 "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
                 "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
                 "--events" => args.events = Some(PathBuf::from(value("--events")?)),
+                "--profile" => args.profile = Some(PathBuf::from(value("--profile")?)),
                 "--registry" => args.registry = Some(PathBuf::from(value("--registry")?)),
                 "--report-out" => args.report_out = Some(PathBuf::from(value("--report-out")?)),
                 "--report-json" => args.report_json = Some(PathBuf::from(value("--report-json")?)),
@@ -340,7 +361,7 @@ impl Args {
                          --windows --seeds --scale --machine --threads --library \
                          --save-library --lib-format --block --dict --decode-cache \
                          --chunk --prefetch --target --metrics-out --trace --events \
-                         --registry --report-out --report-json)"
+                         --profile --registry --report-out --report-json)"
                     )))
                 }
             }
@@ -491,7 +512,8 @@ impl Args {
     /// the stored manifest artifact and the convergence summaries
     /// drained from the in-process tally) to the cross-run registry
     /// (when `--registry` / `SPECTRAL_REGISTRY` names one), and flush
-    /// the span trace and sampling-health event stream.
+    /// the span trace, sampling-health event stream, and worker-timeline
+    /// profile stream.
     ///
     /// # Errors
     ///
@@ -518,6 +540,9 @@ impl Args {
                     .context("cannot open registry", &dir)?;
                 let summaries = spectral_telemetry::take_run_summaries();
                 let mut record = spectral_registry::RunRecord::from_manifest(manifest, summaries);
+                record.cache_hits = snapshot.counter("core.lib.cache_hits");
+                record.cache_misses = snapshot.counter("core.lib.cache_misses");
+                record.cache_evictions = snapshot.counter("core.lib.cache_evictions");
                 record.manifest_path = Some(
                     registry
                         .store_artifact("json", manifest.to_json_with_metrics(&snapshot).as_bytes())
@@ -528,6 +553,7 @@ impl Args {
         }
         spectral_telemetry::flush_trace();
         spectral_telemetry::flush_events();
+        spectral_telemetry::flush_profile();
         Ok(())
     }
 }
@@ -949,6 +975,8 @@ mod tests {
             "t.jsonl",
             "--events",
             "e.jsonl",
+            "--profile",
+            "p.jsonl",
             "--report-out",
             "r.txt",
             "--report-json",
@@ -983,6 +1011,7 @@ mod tests {
         assert_eq!(a.metrics_out.as_deref(), Some(std::path::Path::new("m.json")));
         assert_eq!(a.trace.as_deref(), Some(std::path::Path::new("t.jsonl")));
         assert_eq!(a.events.as_deref(), Some(std::path::Path::new("e.jsonl")));
+        assert_eq!(a.profile.as_deref(), Some(std::path::Path::new("p.jsonl")));
         assert_eq!(a.report_out.as_deref(), Some(std::path::Path::new("r.txt")));
         assert_eq!(a.report_json.as_deref(), Some(std::path::Path::new("r.json")));
         assert_eq!(a.registry.as_deref(), Some(std::path::Path::new("reg-dir")));

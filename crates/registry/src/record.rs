@@ -11,6 +11,10 @@ pub const RECORD_VERSION: u32 = 1;
 /// queries. Serialized as a single JSON line in `index.jsonl`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
+    /// Record schema version: [`RECORD_VERSION`] for records written by
+    /// this build. Readers are tolerant — index lines that predate the
+    /// field parse with version 1.
+    pub schema_version: u32,
     /// Collision-resistant run identifier
     /// ([`spectral_telemetry::derive_run_id`]).
     pub run_id: String,
@@ -39,6 +43,13 @@ pub struct RunRecord {
     pub unix_ms: u64,
     /// Live-points actually processed.
     pub points_processed: Option<u64>,
+    /// Decoded-point cache hits over the run (`core.lib.cache_hits`),
+    /// when the emitting process sampled its metrics.
+    pub cache_hits: Option<u64>,
+    /// Decoded-point cache misses (`core.lib.cache_misses`).
+    pub cache_misses: Option<u64>,
+    /// Decoded-point cache evictions (`core.lib.cache_evictions`).
+    pub cache_evictions: Option<u64>,
     /// Seconds spent in run phases (phases whose name starts with
     /// `run`; all phases when none do).
     pub run_secs: Option<f64>,
@@ -66,6 +77,7 @@ impl RunRecord {
         threads: usize,
     ) -> Self {
         RunRecord {
+            schema_version: RECORD_VERSION,
             run_id: String::new(),
             code_version: crate::code_version(),
             kind: kind.into(),
@@ -78,6 +90,9 @@ impl RunRecord {
             library_format: None,
             unix_ms: now_unix_ms(),
             points_processed: None,
+            cache_hits: None,
+            cache_misses: None,
+            cache_evictions: None,
             run_secs: None,
             run_rate: None,
             estimate: None,
@@ -127,6 +142,7 @@ impl RunRecord {
         let mut s = String::with_capacity(512);
         s.push('{');
         push_field(&mut s, "version", RECORD_VERSION.to_string());
+        push_field(&mut s, "schema_version", self.schema_version.to_string());
         push_field(&mut s, "run_id", quote(&self.run_id));
         push_field(&mut s, "code_version", quote(&self.code_version));
         push_field(&mut s, "kind", quote(&self.kind));
@@ -143,6 +159,9 @@ impl RunRecord {
         push_field(&mut s, "library_format", opt_u64(self.library_format));
         push_field(&mut s, "unix_ms", self.unix_ms.to_string());
         push_field(&mut s, "points_processed", opt_u64(self.points_processed));
+        push_field(&mut s, "cache_hits", opt_u64(self.cache_hits));
+        push_field(&mut s, "cache_misses", opt_u64(self.cache_misses));
+        push_field(&mut s, "cache_evictions", opt_u64(self.cache_evictions));
         push_field(&mut s, "run_secs", opt_num(self.run_secs));
         push_field(&mut s, "run_rate", opt_num(self.run_rate));
         let estimate = match &self.estimate {
@@ -187,6 +206,13 @@ impl RunRecord {
             str_field("machine")?,
             doc.get("threads").and_then(JsonValue::as_u64).ok_or("missing 'threads'")? as usize,
         );
+        // Tolerant reader: lines that predate `schema_version` fall
+        // back to the legacy `version` stamp, then to 1.
+        r.schema_version = doc
+            .get("schema_version")
+            .or_else(|| doc.get("version"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(1) as u32;
         r.run_id = str_field("run_id")?;
         r.code_version = str_field("code_version")?;
         r.seed = doc.get("seed").and_then(JsonValue::as_u64);
@@ -194,6 +220,9 @@ impl RunRecord {
         r.library_format = doc.get("library_format").and_then(JsonValue::as_u64);
         r.unix_ms = doc.get("unix_ms").and_then(JsonValue::as_u64).ok_or("missing 'unix_ms'")?;
         r.points_processed = doc.get("points_processed").and_then(JsonValue::as_u64);
+        r.cache_hits = doc.get("cache_hits").and_then(JsonValue::as_u64);
+        r.cache_misses = doc.get("cache_misses").and_then(JsonValue::as_u64);
+        r.cache_evictions = doc.get("cache_evictions").and_then(JsonValue::as_u64);
         r.run_secs = doc.get("run_secs").and_then(JsonValue::as_f64);
         r.run_rate = doc.get("run_rate").and_then(JsonValue::as_f64);
         if let Some(e) = doc.get("estimate") {
@@ -358,6 +387,9 @@ mod tests {
         r.library_format = Some(2);
         r.unix_ms = 1_700_000_000_000;
         r.points_processed = Some(640);
+        r.cache_hits = Some(500);
+        r.cache_misses = Some(140);
+        r.cache_evictions = Some(20);
         r.run_secs = Some(0.31);
         r.run_rate = Some(640.0 / 0.31);
         r.estimate = Some(EstimateSummary {
@@ -396,6 +428,22 @@ mod tests {
         assert_eq!(back, r);
         assert_eq!(back.estimate, None);
         assert!(back.convergence.is_empty());
+    }
+
+    #[test]
+    fn record_without_schema_version_parses_tolerantly() {
+        // Index lines appended by older builds carry no
+        // `schema_version` (the earliest not even `version`): both
+        // still parse, defaulting to 1.
+        let r = sample_record();
+        let line = r.to_json_line();
+        let without_schema = line.replace("\"schema_version\":1,", "");
+        let back = RunRecord::from_json(&without_schema).expect("tolerant reader");
+        assert_eq!(back.schema_version, RECORD_VERSION, "falls back to legacy 'version'");
+        let without_both = without_schema.replace("\"version\":1,", "");
+        let back = RunRecord::from_json(&without_both).expect("tolerant reader");
+        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.run_id, r.run_id);
     }
 
     #[test]

@@ -29,6 +29,13 @@
 //!   `TELEMETRY_EVENTS` environment variable; `spectral-doctor` ingests
 //!   the stream. [`chrome_trace`] converts span/event JSONL into a
 //!   Chrome `trace_event` document for <https://ui.perfetto.dev>.
+//! * **Worker-timeline profiles** ([`WorkerTimeline`], [`run_scope`]) —
+//!   per-worker rings of phase intervals (claim / prefetch-wait /
+//!   decode / simulate / merge-wait / merge / idle) attributing every
+//!   worker's wall-clock. The sink is installed by [`set_profile_path`]
+//!   (the `--profile` flag) or the `SPECTRAL_PROFILE` environment
+//!   variable; `spectral-doctor profile` computes the attribution,
+//!   contention, and straggler analyses.
 //!
 //! ## Zero cost when disabled
 //!
@@ -54,6 +61,7 @@ mod json;
 mod manifest;
 mod metrics;
 mod perfetto;
+mod profile;
 mod span;
 
 pub use events::{
@@ -68,6 +76,10 @@ pub use metrics::{
     HISTOGRAM_BUCKETS,
 };
 pub use perfetto::chrome_trace;
+pub use profile::{
+    flush_profile, profile_from_env, profiling, run_scope, set_profile_path, PhaseGuard,
+    ProfilePhase, RunScope, WorkerTimeline, PROFILE_RING_CAPACITY,
+};
 pub use span::{flush_trace, set_trace_path, span, trace_from_env, trace_sched, tracing, Span};
 
 /// Whether telemetry was compiled in (the `enabled` feature).

@@ -45,6 +45,10 @@ pub struct EstimateSummary {
 /// [`write`]: RunManifest::write
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
+    /// Manifest schema version: [`MANIFEST_VERSION`] for manifests
+    /// written by this build. Readers are tolerant — manifests that
+    /// predate the field parse with version 1.
+    pub schema_version: u32,
     /// Collision-resistant run identifier (see
     /// [`derive_run_id`](crate::derive_run_id)); `None` until stamped by
     /// the harness. Pre-PR-7 manifests parse with `None`.
@@ -86,6 +90,7 @@ impl RunManifest {
         threads: usize,
     ) -> Self {
         RunManifest {
+            schema_version: MANIFEST_VERSION,
             run_id: None,
             binary: binary.into(),
             benchmark: benchmark.into(),
@@ -136,6 +141,7 @@ impl RunManifest {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
         out.push_str(&format!("  \"version\": {MANIFEST_VERSION},\n"));
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
         match &self.run_id {
             Some(id) => out.push_str(&format!("  \"run_id\": {},\n", json::quote(id))),
             None => out.push_str("  \"run_id\": null,\n"),
@@ -231,6 +237,13 @@ impl RunManifest {
                 .and_then(JsonValue::as_u64)
                 .ok_or_else(|| err("missing 'threads'"))? as usize,
         );
+        // Tolerant reader: manifests that predate `schema_version` fall
+        // back to the legacy `version` stamp, then to 1.
+        m.schema_version = doc
+            .get("schema_version")
+            .or_else(|| doc.get("version"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(1) as u32;
         m.run_id = doc.get("run_id").and_then(JsonValue::as_str).map(str::to_owned);
         m.seed = doc.get("seed").and_then(JsonValue::as_u64);
         m.library_id = doc.get("library_id").and_then(JsonValue::as_str).map(str::to_owned);
@@ -318,6 +331,23 @@ mod tests {
         // Manifest fields survive even with metrics embedded.
         let back = RunManifest::from_json(&text).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_without_schema_version_parses_tolerantly() {
+        // Old manifests carry neither `schema_version` nor (earliest
+        // ones) a usable `version`: both still parse, defaulting to 1.
+        let m = sample();
+        let text = m
+            .to_json()
+            .replace("  \"schema_version\": 1,\n", "")
+            .replace("  \"version\": 1,\n", "");
+        let back = RunManifest::from_json(&text).expect("tolerant reader");
+        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.benchmark, m.benchmark);
+        // With only the legacy `version` stamp, that value is adopted.
+        let text = m.to_json().replace("  \"schema_version\": 1,\n", "");
+        assert_eq!(RunManifest::from_json(&text).unwrap().schema_version, MANIFEST_VERSION);
     }
 
     #[test]
