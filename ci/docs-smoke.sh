@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Extract every ```bash fence from README.md and run it, so the
+# snippets users copy-paste are verified by CI instead of rotting.
+#
+# A block whose nearest preceding non-blank line is the marker
+#   <!-- docs-smoke: skip -->
+# is extracted but not executed (full experiment sweeps, placeholder
+# paths). Everything else must exit 0. Snippets run sequentially in a
+# shared scratch directory inside the workspace, so later snippets may
+# consume files earlier ones produced, and `cargo run` resolves the
+# workspace normally while artifacts stay out of the repo root.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+work="$root/target/docs-smoke"
+rm -rf "$work"
+mkdir -p "$work"
+
+awk -v out="$work" '
+  /^```bash$/ {
+    n += 1
+    file = sprintf("%s/snippet-%02d.sh", out, n)
+    print "#!/usr/bin/env bash" > file
+    print "set -euo pipefail" >> file
+    if (prev == "<!-- docs-smoke: skip -->") print "# docs-smoke: skip" >> file
+    collecting = 1
+    next
+  }
+  /^```$/ { if (collecting) { close(file); collecting = 0 }; next }
+  collecting { print >> file; next }
+  NF { prev = $0 }
+' "$root/README.md"
+
+status=0
+ran=0
+skipped=0
+for snippet in "$work"/snippet-*.sh; do
+  name="$(basename "$snippet")"
+  if grep -q '^# docs-smoke: skip' "$snippet"; then
+    skipped=$((skipped + 1))
+    echo "--- skip $name"
+    continue
+  fi
+  echo "--- run $name"
+  tail -n +3 "$snippet"
+  if (cd "$work" && bash "$snippet"); then
+    ran=$((ran + 1))
+  else
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+done
+
+echo "docs-smoke: $ran snippet(s) ran, $skipped skipped"
+if [ "$ran" -eq 0 ]; then
+  echo "docs-smoke: no runnable snippets found in README.md" >&2
+  exit 1
+fi
+exit $status

@@ -37,6 +37,24 @@ pub enum CoreError {
     },
     /// The library holds no live-points.
     EmptyLibrary,
+    /// A run checkpoint could not be read, failed verification, or
+    /// does not match the run being resumed. The display is always a
+    /// single line naming the file and the fault — a corrupt
+    /// checkpoint diagnoses, it never panics or silently restarts the
+    /// run from zero.
+    Checkpoint {
+        /// The checkpoint sidecar file.
+        path: std::path::PathBuf,
+        /// One-line description of the fault.
+        reason: String,
+    },
+    /// The run was deliberately interrupted by a recovery drill
+    /// ([`Recovery::abort_after`](crate::Recovery::abort_after)) after
+    /// flushing its checkpoint.
+    Interrupted {
+        /// Freshly simulated points recorded before the interruption.
+        processed: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -58,6 +76,12 @@ impl fmt::Display for CoreError {
                 write!(f, "live-point index {index} out of range (library holds {len})")
             }
             CoreError::EmptyLibrary => write!(f, "live-point library is empty"),
+            CoreError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint {}: {reason}", path.display())
+            }
+            CoreError::Interrupted { processed } => {
+                write!(f, "run interrupted after {processed} points (checkpoint flushed)")
+            }
         }
     }
 }

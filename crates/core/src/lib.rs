@@ -72,6 +72,7 @@ mod livestate;
 mod matched;
 mod plan;
 mod pointcache;
+mod resume;
 mod runner;
 mod sched;
 mod stratified;
@@ -85,6 +86,10 @@ pub use livestate::{collect_live_state, LiveState, StateScope};
 pub use matched::{MatchedOutcome, MatchedRunner};
 pub use plan::{plan_library, LibraryPlan};
 pub use pointcache::{clear_decode_cache, decode_cache_capacity, set_decode_cache_capacity};
+pub use resume::{
+    config_fingerprint, policy_fingerprint, CheckpointSpec, Recovery, RunCheckpoint, RunKind,
+    CHECKPOINT_MAGIC,
+};
 pub use runner::{simulate_live_point, Estimate, OnlineRunner, RunPolicy};
 pub use sched::{ChunkCursor, SchedMode};
 pub use stratified::{StratifiedEstimate, StratifiedRunner};

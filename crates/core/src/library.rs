@@ -802,13 +802,39 @@ impl LivePointLibrary {
         Ok(Self::from_records(benchmark, scope, max_hierarchy, records))
     }
 
-    /// Save to a file in v1 format.
+    /// Save to a file in v1 format. The write is atomic — temp file +
+    /// fsync + rename (fault site `library.save`) — so a crash leaves
+    /// the previous container or the new one, never a torn file.
+    ///
+    /// # Example
+    ///
+    /// Build a small library, save it, and reopen it:
+    ///
+    /// ```
+    /// use spectral_core::{CreationConfig, LivePointLibrary};
+    /// use spectral_uarch::MachineConfig;
+    ///
+    /// let program = spectral_workloads::tiny().build();
+    /// let cfg = CreationConfig::for_machine(&MachineConfig::eight_way()).with_sample_size(4);
+    /// let library = LivePointLibrary::create(&program, &cfg)?;
+    ///
+    /// let path = std::env::temp_dir().join(format!("doc-save-{}.slp", std::process::id()));
+    /// library.save(&path)?;
+    /// let reopened = LivePointLibrary::open(&path)?;
+    /// assert_eq!(reopened.len(), library.len());
+    /// assert_eq!(reopened.benchmark(), library.benchmark());
+    /// std::fs::remove_file(&path).ok();
+    /// # Ok::<(), spectral_core::CoreError>(())
+    /// ```
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
-        std::fs::write(path, self.to_bytes()?)?;
+        let bytes = self.to_bytes()?;
+        spectral_faultd::retry("library.save", || {
+            spectral_faultd::write_atomic("library.save", path.as_ref(), &bytes)
+        })?;
         Ok(())
     }
 
@@ -819,12 +845,39 @@ impl LivePointLibrary {
     /// [`V2WriteOptions::block_points`] records is recompressed against
     /// a dictionary sampled from the block's own records.
     ///
+    /// The container streams into a temp sibling and is fsynced and
+    /// renamed into place only after a complete, CRC-consistent write
+    /// (fault site `library.v2.save`), so a crash mid-save never leaves
+    /// a torn container at `path`.
+    ///
     /// # Errors
     ///
     /// Propagates I/O and codec faults.
     pub fn save_v2(
         &self,
         path: impl AsRef<Path>,
+        opts: &V2WriteOptions,
+    ) -> Result<paged::V2Summary, CoreError> {
+        let path = path.as_ref();
+        spectral_faultd::probe("library.v2.save")?;
+        let tmp = tmp_sibling(path);
+        match self.save_v2_into(&tmp, opts) {
+            Ok(summary) => {
+                commit_tmp("library.v2.save", &tmp, path)?;
+                Ok(summary)
+            }
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                Err(e)
+            }
+        }
+    }
+
+    /// The streaming body of [`save_v2`](Self::save_v2), writing the
+    /// container to its (non-atomic) destination.
+    fn save_v2_into(
+        &self,
+        path: &Path,
         opts: &V2WriteOptions,
     ) -> Result<paged::V2Summary, CoreError> {
         let file = File::create(path)?;
@@ -1167,7 +1220,25 @@ impl LivePointLibrary {
                 });
             }
         }
-        let file = File::create(out.as_ref())?;
+        let out = out.as_ref();
+        spectral_faultd::probe("library.merge.save")?;
+        let tmp = tmp_sibling(out);
+        match Self::merge_files_into(&libs, &tmp, shuffle_seed) {
+            Ok(()) => {
+                commit_tmp("library.merge.save", &tmp, out)?;
+            }
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                return Err(e);
+            }
+        }
+        Self::open(out)
+    }
+
+    /// The streaming body of [`merge_files`](Self::merge_files),
+    /// writing the merged container to its (non-atomic) destination.
+    fn merge_files_into(libs: &[Self], out: &Path, shuffle_seed: u64) -> Result<(), CoreError> {
+        let file = File::create(out)?;
         let mut w = paged::PagedWriter::new(BufWriter::new(file), &libs[0].meta_der())?;
 
         // Write every input's dictionaries up front; records then point
@@ -1175,7 +1246,7 @@ impl LivePointLibrary {
         let mut block_base = Vec::with_capacity(libs.len());
         let mut written_blocks = 0u32;
         let mut buf = Vec::new();
-        for lib in &libs {
+        for lib in libs {
             block_base.push(written_blocks);
             match &lib.backing {
                 Backing::Memory(_) => {
@@ -1220,7 +1291,7 @@ impl LivePointLibrary {
             }
         }
         w.finish()?;
-        Self::open(out)
+        Ok(())
     }
 
     /// Create one library per program, spreading `threads` workers
@@ -1270,6 +1341,35 @@ impl LivePointLibrary {
 }
 
 /// DER-encode the library metadata payload.
+/// The temp sibling a streaming save writes to before its atomic
+/// rename: `<file>.tmp.<pid>`, in the same directory so the rename
+/// stays within one filesystem.
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(format!(".tmp.{}", std::process::id()));
+    std::path::PathBuf::from(name)
+}
+
+/// Durably publish a fully written temp file at its final path:
+/// fsync the temp, rename it over `path`, then fsync the parent
+/// directory (best-effort) so the rename itself survives a crash.
+/// `{site}.rename` is a fault kill-point between fsync and rename —
+/// a SIGKILL there leaves the old file (or nothing) plus a temp
+/// sibling, never a torn container.
+fn commit_tmp(site: &str, tmp: &Path, path: &Path) -> std::io::Result<()> {
+    let f = File::open(tmp)?;
+    f.sync_all()?;
+    drop(f);
+    spectral_faultd::kill_point(&format!("{site}.rename"));
+    std::fs::rename(tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
 fn encode_meta_der(benchmark: &str, scope: StateScope, h: &HierarchyConfig) -> Vec<u8> {
     let mut meta = DerWriter::new();
     meta.seq(|w| {

@@ -11,6 +11,9 @@ use spectral_uarch::MachineConfig;
 use crate::error::CoreError;
 use crate::health::{HealthMonitor, PointMeta};
 use crate::library::{DecodeScratch, LivePointLibrary};
+use crate::resume::{
+    config_fingerprint, policy_fingerprint, CheckpointSpec, Recovery, RecoverySession, RunKind,
+};
 use crate::runner::{
     decode_point, note_early_stop, overshoot_of, simulate_point, RunPolicy, ShardCoordinator,
 };
@@ -118,9 +121,43 @@ impl<'l> MatchedRunner<'l> {
     /// Propagates decode/simulation faults; an empty library is
     /// [`CoreError::EmptyLibrary`].
     pub fn run(&self, program: &Program, policy: &RunPolicy) -> Result<MatchedOutcome, CoreError> {
+        self.run_recoverable(program, policy, &Recovery::none())
+    }
+
+    /// The checkpoint identity for this runner's pairs: two `f64`s per
+    /// live-point (base CPI, experiment CPI).
+    fn spec(&self, program: &Program, policy: &RunPolicy) -> CheckpointSpec {
+        CheckpointSpec {
+            kind: RunKind::Matched,
+            benchmark: program.name().to_owned(),
+            library_hash: self.library.content_hash(),
+            policy_fp: policy_fingerprint(policy)
+                ^ config_fingerprint(&(&self.base, &self.experiment)),
+            arity: 2,
+        }
+    }
+
+    /// Serial matched-pair run with crash recovery (see [`Recovery`]
+    /// and
+    /// [`OnlineRunner::run_recoverable`](crate::OnlineRunner::run_recoverable)
+    /// for the bit-identity argument — checkpoints store raw
+    /// `(base, experiment)` CPI pairs and resume replays the exact
+    /// push sequence).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::run`] raises, plus [`CoreError::Checkpoint`]
+    /// and [`CoreError::Interrupted`].
+    pub fn run_recoverable(
+        &self,
+        program: &Program,
+        policy: &RunPolicy,
+        recovery: &Recovery,
+    ) -> Result<MatchedOutcome, CoreError> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
+        let session = RecoverySession::start(recovery, self.spec(program, policy))?;
         let _span = spectral_telemetry::span("run.matched");
         let seq = spectral_telemetry::next_run_seq();
         let _profile = spectral_telemetry::run_scope(seq, "matched", 1);
@@ -134,24 +171,31 @@ impl<'l> MatchedRunner<'l> {
         let mut monitor = HealthMonitor::new(seq, "matched", 0, policy);
         let progress_stride = policy.merge_stride.max(1);
         for i in 0..limit {
-            let (lp, decode_ns) = decode_point(self.library, i, &mut scratch)?;
-            let (base, base_ns) = simulate_point(&lp, program, &self.base)?;
-            let (exp, exp_ns) = simulate_point(&lp, program, &self.experiment)?;
-            tl.note(ProfilePhase::Decode, decode_ns);
-            tl.note(ProfilePhase::Simulate, base_ns + exp_ns);
-            pair.push(base.cpi(), exp.cpi());
-            // The anomaly stream watches the base-machine CPI; the
-            // point's simulate cost covers both machines.
-            monitor.observe(
-                i as u64,
-                base.cpi(),
-                &PointMeta {
-                    decode_ns,
-                    simulate_ns: base_ns + exp_ns,
-                    detail_start: lp.window.detail_start,
-                    measure_start: lp.window.measure_start,
-                },
-            );
+            let (base_cpi, exp_cpi) = match session.restored(i) {
+                Some(row) => (row[0], row[1]),
+                None => {
+                    let (lp, decode_ns) = decode_point(self.library, i, &mut scratch)?;
+                    let (base, base_ns) = simulate_point(&lp, program, &self.base)?;
+                    let (exp, exp_ns) = simulate_point(&lp, program, &self.experiment)?;
+                    tl.note(ProfilePhase::Decode, decode_ns);
+                    tl.note(ProfilePhase::Simulate, base_ns + exp_ns);
+                    // The anomaly stream watches the base-machine CPI;
+                    // the point's simulate cost covers both machines.
+                    monitor.observe(
+                        i as u64,
+                        base.cpi(),
+                        &PointMeta {
+                            decode_ns,
+                            simulate_ns: base_ns + exp_ns,
+                            detail_start: lp.window.detail_start,
+                            measure_start: lp.window.measure_start,
+                        },
+                    );
+                    session.record(i, &[base.cpi(), exp.cpi()])?;
+                    (base.cpi(), exp.cpi())
+                }
+            };
+            pair.push(base_cpi, exp_cpi);
             processed += 1;
             if processed % progress_stride == 0 {
                 emit_progress(&monitor, &pair, policy, 0);
@@ -174,6 +218,7 @@ impl<'l> MatchedRunner<'l> {
         if processed % progress_stride != 0 || overshoot > 0 {
             emit_progress(&monitor, &pair, policy, overshoot);
         }
+        session.finish()?;
         Ok(MatchedOutcome {
             pair,
             confidence: policy.confidence,
@@ -203,9 +248,28 @@ impl<'l> MatchedRunner<'l> {
         policy: &RunPolicy,
         threads: usize,
     ) -> Result<MatchedOutcome, CoreError> {
+        self.run_parallel_recoverable(program, policy, threads, &Recovery::none())
+    }
+
+    /// Parallel matched-pair run with crash recovery (see [`Recovery`]
+    /// and
+    /// [`OnlineRunner::run_parallel_recoverable`](crate::OnlineRunner::run_parallel_recoverable)).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::run_parallel`] raises, plus
+    /// [`CoreError::Checkpoint`] and [`CoreError::Interrupted`].
+    pub fn run_parallel_recoverable(
+        &self,
+        program: &Program,
+        policy: &RunPolicy,
+        threads: usize,
+        recovery: &Recovery,
+    ) -> Result<MatchedOutcome, CoreError> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
+        let session = RecoverySession::start(recovery, self.spec(program, policy))?;
         let _span = spectral_telemetry::span("run.matched_parallel");
         let limit = policy.max_points.unwrap_or(usize::MAX).min(self.library.len());
         let threads = threads.clamp(1, limit);
@@ -245,6 +309,7 @@ impl<'l> MatchedRunner<'l> {
                 let coord = &coord;
                 let cursor = cursor.as_ref();
                 let flush = &flush;
+                let session = &session;
                 handles.push(scope.spawn(move || {
                     let wall = Stopwatch::start();
                     let mut busy = 0u64;
@@ -261,44 +326,56 @@ impl<'l> MatchedRunner<'l> {
                     'chunks: while !coord.stop.load(Ordering::Relaxed) {
                         let Some(chunk) = queue.next_chunk(&mut tl) else { break };
                         log.begin(chunk.start, chunk.len());
-                        let mut pending = chunk.clone();
+                        // Restored indices never re-decode; the
+                        // prefetch ring sees only the fresh remainder.
+                        let mut pending = chunk.clone().filter(|&i| !session.knows(i));
                         for index in chunk {
                             if coord.stop.load(Ordering::Relaxed) {
                                 ring.clear();
                                 break 'chunks;
                             }
-                            if let Err(e) =
-                                ring.fill(self.library, &mut pending, &mut scratch, &mut tl)
-                            {
-                                coord.fail(e);
-                                break 'chunks;
-                            }
-                            let (lp, decode_ns) = ring.pop().expect("ring holds the current index");
-                            let outcome = simulate_point(&lp, program, &self.base).and_then(
-                                |(base, base_ns)| {
-                                    let (exp, exp_ns) =
-                                        simulate_point(&lp, program, &self.experiment)?;
-                                    Ok((base.cpi(), exp.cpi(), base_ns + exp_ns))
-                                },
-                            );
-                            let (base, exp, simulate_ns) = match outcome {
-                                Ok(r) => r,
-                                Err(e) => {
+                            let (base, exp) = if let Some(row) = session.restored(index) {
+                                (row[0], row[1])
+                            } else {
+                                if let Err(e) =
+                                    ring.fill(self.library, &mut pending, &mut scratch, &mut tl)
+                                {
                                     coord.fail(e);
                                     break 'chunks;
                                 }
+                                let (lp, decode_ns) =
+                                    ring.pop().expect("ring holds the current index");
+                                let outcome = simulate_point(&lp, program, &self.base).and_then(
+                                    |(base, base_ns)| {
+                                        let (exp, exp_ns) =
+                                            simulate_point(&lp, program, &self.experiment)?;
+                                        Ok((base.cpi(), exp.cpi(), base_ns + exp_ns))
+                                    },
+                                );
+                                let (base, exp, simulate_ns) = match outcome {
+                                    Ok(r) => r,
+                                    Err(e) => {
+                                        coord.fail(e);
+                                        break 'chunks;
+                                    }
+                                };
+                                tl.note(ProfilePhase::Simulate, simulate_ns);
+                                busy += decode_ns + simulate_ns;
+                                let meta = PointMeta {
+                                    decode_ns,
+                                    simulate_ns,
+                                    detail_start: lp.window.detail_start,
+                                    measure_start: lp.window.measure_start,
+                                };
+                                monitor.observe(index as u64, base, &meta);
+                                if let Err(e) = session.record(index, &[base, exp]) {
+                                    coord.fail(e);
+                                    break 'chunks;
+                                }
+                                (base, exp)
                             };
-                            tl.note(ProfilePhase::Simulate, simulate_ns);
                             log.push((base, exp));
                             batch.push(base, exp);
-                            busy += decode_ns + simulate_ns;
-                            let meta = PointMeta {
-                                decode_ns,
-                                simulate_ns,
-                                detail_start: lp.window.detail_start,
-                                measure_start: lp.window.measure_start,
-                            };
-                            monitor.observe(index as u64, base, &meta);
                             if batch.count() >= merge_stride {
                                 flush(&mut batch, &monitor, &mut tl);
                             }
@@ -319,6 +396,7 @@ impl<'l> MatchedRunner<'l> {
         if let Some(e) = fault {
             return Err(e);
         }
+        session.finish()?;
         // Deterministic reduction: replay pairs in ascending index
         // order, exactly as the serial loop pushes them.
         let mut pair = MatchedPair::new();

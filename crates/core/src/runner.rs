@@ -14,6 +14,9 @@ use crate::health::{HealthMonitor, PointMeta};
 use crate::library::{DecodeScratch, LivePointLibrary};
 use crate::livepoint::LivePoint;
 use crate::pointcache;
+use crate::resume::{
+    config_fingerprint, policy_fingerprint, CheckpointSpec, Recovery, RecoverySession, RunKind,
+};
 use crate::sched::{ChunkCursor, ChunkLog, PrefetchRing, SchedMode, WorkQueue};
 
 // Runner metrics, shared by the online, matched-pair, and sweep
@@ -42,6 +45,9 @@ pub(crate) fn decode_point(
     index: usize,
     scratch: &mut DecodeScratch,
 ) -> Result<(Arc<LivePoint>, u64), CoreError> {
+    // Fault site `core.decode.point`: lets the harness inject decode
+    // failures (and process death) into any runner's decode path.
+    spectral_faultd::probe("core.decode.point")?;
     let sw = Stopwatch::start();
     let cache = pointcache::global();
     let key = pointcache::cache_key(library.content_hash(), index);
@@ -66,6 +72,10 @@ pub(crate) fn simulate_point(
     program: &Program,
     machine: &MachineConfig,
 ) -> Result<(WindowStats, u64), CoreError> {
+    // Fault site `core.sim.point`: simulation faults and worker death
+    // (each parallel worker funnels through here, so an armed kill at
+    // this site dies inside worker code mid-run).
+    spectral_faultd::probe("core.sim.point")?;
     let sw = Stopwatch::start();
     let stats = simulate_live_point(lp, program, machine)?;
     let ns = sw.ns();
@@ -388,14 +398,70 @@ impl<'l> OnlineRunner<'l> {
 
     /// Serial run.
     ///
+    /// # Example
+    ///
+    /// Estimate a benchmark's CPI from a freshly built library:
+    ///
+    /// ```
+    /// use spectral_core::{CreationConfig, LivePointLibrary, OnlineRunner, RunPolicy};
+    /// use spectral_uarch::MachineConfig;
+    ///
+    /// let program = spectral_workloads::tiny().build();
+    /// let machine = MachineConfig::eight_way();
+    /// let cfg = CreationConfig::for_machine(&machine).with_sample_size(6);
+    /// let library = LivePointLibrary::create(&program, &cfg)?;
+    ///
+    /// let runner = OnlineRunner::new(&library, machine);
+    /// let estimate = runner.run(&program, &RunPolicy::default())?;
+    /// assert!(estimate.mean() > 0.0, "CPI is positive");
+    /// assert!(estimate.processed() > 0);
+    /// # Ok::<(), spectral_core::CoreError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Propagates decode and simulation faults; an empty library is
     /// [`CoreError::EmptyLibrary`].
     pub fn run(&self, program: &Program, policy: &RunPolicy) -> Result<Estimate, CoreError> {
+        self.run_recoverable(program, policy, &Recovery::none())
+    }
+
+    /// Serial run with crash recovery: checkpoint on a cadence, resume
+    /// from a prior checkpoint, or both (see [`Recovery`]).
+    ///
+    /// Restored observations are replayed through the exact estimator
+    /// push sequence an uninterrupted run would execute, so the
+    /// resulting [`Estimate`] — mean, half-width, variance, trajectory
+    /// — is **bit-identical** to an uninterrupted run under the same
+    /// policy. Restored points skip decode/simulation (and therefore
+    /// per-point health timing observations); progress events and
+    /// early-termination checks see the same counts either way.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::run`] raises, plus [`CoreError::Checkpoint`]
+    /// for an unreadable/corrupt/mismatched resume file and
+    /// [`CoreError::Interrupted`] when a
+    /// [`Recovery::abort_after`] drill fires.
+    pub fn run_recoverable(
+        &self,
+        program: &Program,
+        policy: &RunPolicy,
+        recovery: &Recovery,
+    ) -> Result<Estimate, CoreError> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
+        let session = RecoverySession::start(
+            recovery,
+            CheckpointSpec {
+                kind: RunKind::Online,
+                benchmark: program.name().to_owned(),
+                library_hash: self.library.content_hash(),
+                policy_fp: policy_fingerprint(policy) ^ config_fingerprint(&self.machine),
+                arity: 1,
+            },
+        )?;
         let _span = spectral_telemetry::span("run.online");
         let seq = spectral_telemetry::next_run_seq();
         let _profile = spectral_telemetry::run_scope(seq, "online", 1);
@@ -423,13 +489,21 @@ impl<'l> OnlineRunner<'l> {
             );
         };
         for i in 0..limit {
-            let (stats, meta) =
-                process_point(self.library, i, program, &self.machine, &mut scratch)?;
-            tl.note(ProfilePhase::Decode, meta.decode_ns);
-            tl.note(ProfilePhase::Simulate, meta.simulate_ns);
-            let cpi = stats.cpi();
+            let (cpi, fresh) = match session.restored(i) {
+                Some(row) => (row[0], None),
+                None => {
+                    let (stats, meta) =
+                        process_point(self.library, i, program, &self.machine, &mut scratch)?;
+                    tl.note(ProfilePhase::Decode, meta.decode_ns);
+                    tl.note(ProfilePhase::Simulate, meta.simulate_ns);
+                    (stats.cpi(), Some(meta))
+                }
+            };
             estimator.push(cpi);
-            monitor.observe(i as u64, cpi, &meta);
+            if let Some(meta) = &fresh {
+                monitor.observe(i as u64, cpi, meta);
+                session.record(i, &[cpi])?;
+            }
             processed += 1;
             if policy.trajectory_stride > 0 && processed.is_multiple_of(policy.trajectory_stride) {
                 trajectory.push((
@@ -460,6 +534,7 @@ impl<'l> OnlineRunner<'l> {
         if !processed.is_multiple_of(progress_stride) || overshoot > 0 {
             emit(&monitor, &estimator, overshoot);
         }
+        session.finish()?;
         Ok(Estimate {
             estimator,
             confidence: policy.confidence,
@@ -496,9 +571,46 @@ impl<'l> OnlineRunner<'l> {
         policy: &RunPolicy,
         threads: usize,
     ) -> Result<Estimate, CoreError> {
+        self.run_parallel_recoverable(program, policy, threads, &Recovery::none())
+    }
+
+    /// Parallel run with crash recovery (see [`Recovery`] and
+    /// [`Self::run_recoverable`]).
+    ///
+    /// Restored indices are replayed into each worker's chunk log
+    /// without decode or simulation; the index-ordered replay after
+    /// the join then reduces restored and fresh observations exactly
+    /// as an uninterrupted run would, so exhaustive resumed runs stay
+    /// bit-identical to serial in both scheduling modes. (As with
+    /// uninterrupted runs, *early-terminating* parallel runs stop at a
+    /// scheduling-dependent point; the bit-identity guarantee is for
+    /// the estimate over the same processed set.)
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::run_parallel`] raises, plus
+    /// [`CoreError::Checkpoint`] and [`CoreError::Interrupted`] as for
+    /// [`Self::run_recoverable`].
+    pub fn run_parallel_recoverable(
+        &self,
+        program: &Program,
+        policy: &RunPolicy,
+        threads: usize,
+        recovery: &Recovery,
+    ) -> Result<Estimate, CoreError> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
+        let session = RecoverySession::start(
+            recovery,
+            CheckpointSpec {
+                kind: RunKind::Online,
+                benchmark: program.name().to_owned(),
+                library_hash: self.library.content_hash(),
+                policy_fp: policy_fingerprint(policy) ^ config_fingerprint(&self.machine),
+                arity: 1,
+            },
+        )?;
         let _span = spectral_telemetry::span("run.online_parallel");
         let limit = self.limit(policy);
         let threads = threads.clamp(1, limit);
@@ -515,6 +627,7 @@ impl<'l> OnlineRunner<'l> {
             for worker in 0..threads {
                 let coord = &coord;
                 let cursor = cursor.as_ref();
+                let session = &session;
                 handles.push(scope.spawn(move || {
                     let wall = Stopwatch::start();
                     let mut busy = 0u64;
@@ -531,39 +644,52 @@ impl<'l> OnlineRunner<'l> {
                     'chunks: while !coord.stop.load(Ordering::Relaxed) {
                         let Some(chunk) = queue.next_chunk(&mut tl) else { break };
                         log.begin(chunk.start, chunk.len());
-                        let mut pending = chunk.clone();
+                        // Resumed runs never re-decode restored
+                        // indices: the prefetch ring only sees the
+                        // chunk's fresh remainder.
+                        let mut pending = chunk.clone().filter(|&i| !session.knows(i));
                         for index in chunk {
                             if coord.stop.load(Ordering::Relaxed) {
                                 ring.clear();
                                 break 'chunks;
                             }
-                            if let Err(e) =
-                                ring.fill(self.library, &mut pending, &mut scratch, &mut tl)
-                            {
-                                coord.fail(e);
-                                break 'chunks;
-                            }
-                            let (lp, decode_ns) = ring.pop().expect("ring holds the current index");
-                            let (stats, simulate_ns) =
-                                match simulate_point(&lp, program, &self.machine) {
-                                    Ok(r) => r,
-                                    Err(e) => {
-                                        coord.fail(e);
-                                        break 'chunks;
-                                    }
+                            let cpi = if let Some(row) = session.restored(index) {
+                                row[0]
+                            } else {
+                                if let Err(e) =
+                                    ring.fill(self.library, &mut pending, &mut scratch, &mut tl)
+                                {
+                                    coord.fail(e);
+                                    break 'chunks;
+                                }
+                                let (lp, decode_ns) =
+                                    ring.pop().expect("ring holds the current index");
+                                let (stats, simulate_ns) =
+                                    match simulate_point(&lp, program, &self.machine) {
+                                        Ok(r) => r,
+                                        Err(e) => {
+                                            coord.fail(e);
+                                            break 'chunks;
+                                        }
+                                    };
+                                tl.note(ProfilePhase::Simulate, simulate_ns);
+                                let cpi = stats.cpi();
+                                busy += decode_ns + simulate_ns;
+                                let meta = PointMeta {
+                                    decode_ns,
+                                    simulate_ns,
+                                    detail_start: lp.window.detail_start,
+                                    measure_start: lp.window.measure_start,
                                 };
-                            tl.note(ProfilePhase::Simulate, simulate_ns);
-                            let cpi = stats.cpi();
+                                monitor.observe(index as u64, cpi, &meta);
+                                if let Err(e) = session.record(index, &[cpi]) {
+                                    coord.fail(e);
+                                    break 'chunks;
+                                }
+                                cpi
+                            };
                             log.push(cpi);
                             batch.push(cpi);
-                            busy += decode_ns + simulate_ns;
-                            let meta = PointMeta {
-                                decode_ns,
-                                simulate_ns,
-                                detail_start: lp.window.detail_start,
-                                measure_start: lp.window.measure_start,
-                            };
-                            monitor.observe(index as u64, cpi, &meta);
                             if batch.count() >= merge_stride {
                                 self.flush_batch(
                                     &mut batch, policy, coord, &monitor, cursor, &mut tl,
@@ -586,6 +712,7 @@ impl<'l> OnlineRunner<'l> {
         if let Some(e) = fault {
             return Err(e);
         }
+        session.finish()?;
         // Deterministic reduction: replay every logged observation in
         // ascending index order into a fresh estimator, regenerating
         // the trajectory exactly as the serial loop would.

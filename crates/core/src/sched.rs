@@ -251,9 +251,10 @@ impl PrefetchRing {
     }
 
     /// Top the ring up from the front of `pending` (the undecoded
-    /// remainder of the current chunk), recording the resulting
-    /// occupancy. Decode order is index order, so consumption order is
-    /// deterministic.
+    /// remainder of the current chunk — resumed runs pass the chunk
+    /// range with already-restored indices filtered out), recording
+    /// the resulting occupancy. Decode order is index order, so
+    /// consumption order is deterministic.
     ///
     /// Timeline attribution: when the ring is empty on entry the
     /// simulator is stalled on the first decode (`prefetch_wait`);
@@ -263,7 +264,7 @@ impl PrefetchRing {
     pub fn fill(
         &mut self,
         library: &LivePointLibrary,
-        pending: &mut Range<usize>,
+        pending: &mut impl Iterator<Item = usize>,
         scratch: &mut DecodeScratch,
         tl: &mut WorkerTimeline,
     ) -> Result<(), CoreError> {

@@ -21,6 +21,9 @@ use spectral_uarch::MachineConfig;
 use crate::error::CoreError;
 use crate::health::{HealthMonitor, PointMeta};
 use crate::library::{DecodeScratch, LivePointLibrary};
+use crate::resume::{
+    config_fingerprint, policy_fingerprint, CheckpointSpec, Recovery, RecoverySession, RunKind,
+};
 use crate::runner::{
     decode_point, note_early_stop, overshoot_of, simulate_point, Estimate, RunPolicy,
     ShardCoordinator,
@@ -250,9 +253,40 @@ impl<'l> SweepRunner<'l> {
     /// Propagates decode and simulation faults; an empty library is
     /// [`CoreError::EmptyLibrary`].
     pub fn run(&self, program: &Program, policy: &RunPolicy) -> Result<SweepOutcome, CoreError> {
+        self.run_recoverable(program, policy, &Recovery::none())
+    }
+
+    /// The checkpoint identity for this runner: one CPI per candidate
+    /// machine per live-point.
+    fn spec(&self, program: &Program, policy: &RunPolicy) -> CheckpointSpec {
+        CheckpointSpec {
+            kind: RunKind::Sweep,
+            benchmark: program.name().to_owned(),
+            library_hash: self.library.content_hash(),
+            policy_fp: policy_fingerprint(policy) ^ config_fingerprint(&self.machines),
+            arity: self.machines.len(),
+        }
+    }
+
+    /// Serial sweep with crash recovery (see [`Recovery`] and
+    /// [`OnlineRunner::run_recoverable`](crate::OnlineRunner::run_recoverable)
+    /// — checkpoints store each point's per-configuration CPI row and
+    /// resume replays the exact push sequence).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::run`] raises, plus [`CoreError::Checkpoint`]
+    /// and [`CoreError::Interrupted`].
+    pub fn run_recoverable(
+        &self,
+        program: &Program,
+        policy: &RunPolicy,
+        recovery: &Recovery,
+    ) -> Result<SweepOutcome, CoreError> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
+        let session = RecoverySession::start(recovery, self.spec(program, policy))?;
         let _span = spectral_telemetry::span("run.sweep");
         let seq = spectral_telemetry::next_run_seq();
         let _profile = spectral_telemetry::run_scope(seq, "sweep", 1);
@@ -266,13 +300,20 @@ impl<'l> SweepRunner<'l> {
         let progress_stride = policy.merge_stride.max(1) as u64;
         let mut n = 0;
         for i in 0..limit {
-            // The anomaly stream watches the baseline configuration's
-            // CPI; the point's simulate cost covers every configuration.
-            let (cpis, meta) = self.measure_point(i, program, &mut scratch)?;
-            tl.note(ProfilePhase::Decode, meta.decode_ns);
-            tl.note(ProfilePhase::Simulate, meta.simulate_ns);
-            progress.push(&cpis);
-            monitor.observe(i as u64, cpis[0], &meta);
+            match session.restored(i) {
+                Some(row) => progress.push(row),
+                None => {
+                    // The anomaly stream watches the baseline
+                    // configuration's CPI; the point's simulate cost
+                    // covers every configuration.
+                    let (cpis, meta) = self.measure_point(i, program, &mut scratch)?;
+                    tl.note(ProfilePhase::Decode, meta.decode_ns);
+                    tl.note(ProfilePhase::Simulate, meta.simulate_ns);
+                    progress.push(&cpis);
+                    monitor.observe(i as u64, cpis[0], &meta);
+                    session.record(i, &cpis)?;
+                }
+            }
             n = progress.estimators[0].count();
             if policy.trajectory_stride > 0 && n.is_multiple_of(policy.trajectory_stride as u64) {
                 progress.record_trajectory(policy);
@@ -293,6 +334,7 @@ impl<'l> SweepRunner<'l> {
         if !n.is_multiple_of(progress_stride) || overshoot > 0 {
             emit_progress(&monitor, &progress.estimators, policy, overshoot);
         }
+        session.finish()?;
         Ok(self.outcome(progress, policy, reached))
     }
 
@@ -318,9 +360,27 @@ impl<'l> SweepRunner<'l> {
         policy: &RunPolicy,
         threads: usize,
     ) -> Result<SweepOutcome, CoreError> {
+        self.run_parallel_recoverable(program, policy, threads, &Recovery::none())
+    }
+
+    /// Parallel sweep with crash recovery (see [`Recovery`] and
+    /// [`OnlineRunner::run_parallel_recoverable`](crate::OnlineRunner::run_parallel_recoverable)).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::run_parallel`] raises, plus
+    /// [`CoreError::Checkpoint`] and [`CoreError::Interrupted`].
+    pub fn run_parallel_recoverable(
+        &self,
+        program: &Program,
+        policy: &RunPolicy,
+        threads: usize,
+        recovery: &Recovery,
+    ) -> Result<SweepOutcome, CoreError> {
         if self.library.is_empty() {
             return Err(CoreError::EmptyLibrary);
         }
+        let session = RecoverySession::start(recovery, self.spec(program, policy))?;
         let _span = spectral_telemetry::span("run.sweep_parallel");
         let limit = self.limit(policy);
         let threads = threads.clamp(1, limit);
@@ -367,6 +427,7 @@ impl<'l> SweepRunner<'l> {
                 let coord = &coord;
                 let cursor = cursor.as_ref();
                 let flush = &flush;
+                let session = &session;
                 handles.push(scope.spawn(move || {
                     let wall = Stopwatch::start();
                     let mut busy = 0u64;
@@ -383,47 +444,59 @@ impl<'l> SweepRunner<'l> {
                     'chunks: while !coord.stop.load(Ordering::Relaxed) {
                         let Some(chunk) = queue.next_chunk(&mut tl) else { break };
                         log.begin(chunk.start, chunk.len());
-                        let mut pending = chunk.clone();
+                        // Restored indices never re-decode; the
+                        // prefetch ring sees only the fresh remainder.
+                        let mut pending = chunk.clone().filter(|&i| !session.knows(i));
                         for index in chunk {
                             if coord.stop.load(Ordering::Relaxed) {
                                 ring.clear();
                                 break 'chunks;
                             }
-                            if let Err(e) =
-                                ring.fill(self.library, &mut pending, &mut scratch, &mut tl)
-                            {
-                                coord.fail(e);
-                                break 'chunks;
-                            }
-                            let (lp, decode_ns) = ring.pop().expect("ring holds the current index");
-                            let mut simulate_ns = 0u64;
-                            let cpis = self
-                                .machines
-                                .iter()
-                                .map(|m| {
-                                    simulate_point(&lp, program, m).map(|(stats, ns)| {
-                                        simulate_ns += ns;
-                                        stats.cpi()
-                                    })
-                                })
-                                .collect::<Result<Vec<f64>, CoreError>>();
-                            let cpis = match cpis {
-                                Ok(c) => c,
-                                Err(e) => {
+                            let cpis = if let Some(row) = session.restored(index) {
+                                row.to_vec()
+                            } else {
+                                if let Err(e) =
+                                    ring.fill(self.library, &mut pending, &mut scratch, &mut tl)
+                                {
                                     coord.fail(e);
                                     break 'chunks;
                                 }
+                                let (lp, decode_ns) =
+                                    ring.pop().expect("ring holds the current index");
+                                let mut simulate_ns = 0u64;
+                                let cpis = self
+                                    .machines
+                                    .iter()
+                                    .map(|m| {
+                                        simulate_point(&lp, program, m).map(|(stats, ns)| {
+                                            simulate_ns += ns;
+                                            stats.cpi()
+                                        })
+                                    })
+                                    .collect::<Result<Vec<f64>, CoreError>>();
+                                let cpis = match cpis {
+                                    Ok(c) => c,
+                                    Err(e) => {
+                                        coord.fail(e);
+                                        break 'chunks;
+                                    }
+                                };
+                                tl.note(ProfilePhase::Simulate, simulate_ns);
+                                busy += decode_ns + simulate_ns;
+                                let meta = PointMeta {
+                                    decode_ns,
+                                    simulate_ns,
+                                    detail_start: lp.window.detail_start,
+                                    measure_start: lp.window.measure_start,
+                                };
+                                monitor.observe(index as u64, cpis[0], &meta);
+                                if let Err(e) = session.record(index, &cpis) {
+                                    coord.fail(e);
+                                    break 'chunks;
+                                }
+                                cpis
                             };
-                            tl.note(ProfilePhase::Simulate, simulate_ns);
                             batch.push(&cpis);
-                            busy += decode_ns + simulate_ns;
-                            let meta = PointMeta {
-                                decode_ns,
-                                simulate_ns,
-                                detail_start: lp.window.detail_start,
-                                measure_start: lp.window.measure_start,
-                            };
-                            monitor.observe(index as u64, cpis[0], &meta);
                             log.push(cpis);
                             if batch.estimators[0].count() >= merge_stride {
                                 flush(&mut batch, &monitor, &mut tl);
@@ -445,6 +518,7 @@ impl<'l> SweepRunner<'l> {
         if let Some(e) = fault {
             return Err(e);
         }
+        session.finish()?;
         // Deterministic reduction: replay each point's per-config CPIs
         // in ascending index order, regenerating the trajectories
         // exactly as the serial loop would.

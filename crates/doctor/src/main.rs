@@ -30,6 +30,10 @@
 //! the CI contract; `watch` tails a growing events file or registry
 //! directory, redrawing an in-place dashboard each `--interval` and
 //! optionally writing a Prometheus-style text exposition to `--prom`;
+//! for all three, `--registry` falls back to the `SPECTRAL_REGISTRY`
+//! environment variable when the flag is omitted — the same contract
+//! the experiment binaries use for appending. `--help` / `-h` prints
+//! the usage summary and exits 0 for every subcommand;
 //! `profile` attributes each worker's wall-clock to scheduler/decode/
 //! simulate/merge phases from a `--profile` stream, reporting
 //! contention, stragglers, a critical-path estimate, and the profiler's
@@ -228,9 +232,22 @@ fn analyze_main(argv: &[String]) -> ExitCode {
     }
 }
 
-fn load_registry(dir: Option<&PathBuf>) -> Result<Vec<spectral_registry::RunRecord>, DoctorError> {
-    let dir = dir.ok_or_else(|| DoctorError::msg(format!("--registry is required\n{USAGE}")))?;
-    spectral_registry::load_records(dir)
+/// The effective registry directory: `--registry` when given, else the
+/// `SPECTRAL_REGISTRY` environment variable (when non-empty) — the same
+/// fallback the experiment binaries use when appending.
+fn registry_dir(cli: Option<&PathBuf>) -> Option<PathBuf> {
+    cli.cloned().or_else(|| {
+        std::env::var_os(spectral_registry::REGISTRY_ENV)
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    })
+}
+
+fn load_registry(cli: Option<&PathBuf>) -> Result<Vec<spectral_registry::RunRecord>, DoctorError> {
+    let dir = registry_dir(cli).ok_or_else(|| {
+        DoctorError::msg(format!("--registry is required (or set SPECTRAL_REGISTRY)\n{USAGE}"))
+    })?;
+    spectral_registry::load_records(&dir)
         .map_err(|e| DoctorError::msg(format!("{}: {e}", dir.display())))
 }
 
@@ -349,9 +366,14 @@ fn watch_main(argv: &[String]) -> ExitCode {
                 }
             }
         }
+        // With neither source flag given, fall back to the
+        // SPECTRAL_REGISTRY environment variable like trend/gate do.
+        let registry =
+            if events.is_none() && registry.is_none() { registry_dir(None) } else { registry };
         if events.is_some() == registry.is_some() {
             return Err(DoctorError::msg(
-                "watch needs exactly one of --events PATH or --registry DIR",
+                "watch needs exactly one of --events PATH or --registry DIR \
+                 (or the SPECTRAL_REGISTRY environment variable)",
             ));
         }
         let total = frames.unwrap_or(u64::MAX);
@@ -452,6 +474,12 @@ fn profile_main(argv: &[String]) -> ExitCode {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `--help` / `-h` works uniformly on every subcommand (and bare):
+    // print the usage summary to stdout and exit 0.
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: {USAGE}");
+        return ExitCode::SUCCESS;
+    }
     match argv.first().map(String::as_str) {
         Some("analyze") => analyze_main(&argv[1..]),
         Some("trend") => trend_main(&argv[1..]),

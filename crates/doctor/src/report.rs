@@ -152,6 +152,9 @@ pub fn render_text(
         if let (Some(p), Some(l)) = (m.points_processed, m.library_points) {
             let _ = writeln!(out, "points: {p} processed of {l} in the library");
         }
+        if let Some((_, ckpt)) = m.notes.iter().find(|(k, _)| k == "resumed_from") {
+            let _ = writeln!(out, "lineage: resumed from checkpoint {ckpt}");
+        }
         if exhausted_without_convergence(m) {
             let _ =
                 writeln!(out, "WARNING: library exhausted without reaching the confidence target");

@@ -253,3 +253,74 @@ fn watch_once_emits_parseable_prometheus_exposition() {
     let _ = std::fs::remove_file(&prom);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn help_works_on_every_subcommand() {
+    for sub in [
+        &["--help"][..],
+        &["analyze", "--help"],
+        &["trend", "-h"],
+        &["gate", "--help"],
+        &["watch", "--help"],
+        &["profile", "-h"],
+    ] {
+        let out = doctor().args(sub).output().expect("run --help");
+        assert_eq!(out.status.code(), Some(0), "{sub:?} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage:"), "{sub:?}: {stdout}");
+        assert!(stdout.contains("spectral-doctor watch"), "usage covers watch: {stdout}");
+    }
+}
+
+#[test]
+fn registry_env_var_substitutes_for_the_flag() {
+    let dir = temp_path("env_registry");
+    build_registry(&dir, &[record("v1", 1, 2000.0, 1_000), record("v2", 2, 2100.0, 2_000)]);
+
+    let out =
+        doctor().arg("trend").env("SPECTRAL_REGISTRY", &dir).output().expect("run trend via env");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("run rate"));
+
+    let out = doctor()
+        .args(["watch", "--once"])
+        .env("SPECTRAL_REGISTRY", &dir)
+        .output()
+        .expect("run watch via env");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Without the flag or the variable, the error says how to fix it.
+    let out = doctor().arg("trend").env_remove("SPECTRAL_REGISTRY").output().expect("run trend");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("SPECTRAL_REGISTRY"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyze_surfaces_resume_lineage() {
+    // A manifest carrying a `resumed_from` note renders a lineage line.
+    let manifest = temp_path("lineage.json");
+    let events = temp_path("lineage_events.jsonl");
+    let mut m = spectral_telemetry::RunManifest::new("online", "gcc-like", "8", 1);
+    m.note("resumed_from", "out/online.ckpt");
+    m.write(&manifest, None).expect("write manifest");
+    std::fs::write(&events, "").expect("write empty events");
+
+    let out = doctor()
+        .args(["analyze", "--events"])
+        .arg(&events)
+        .arg("--manifest")
+        .arg(&manifest)
+        .output()
+        .expect("run analyze");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("resumed from checkpoint out/online.ckpt"),
+        "lineage line expected: {stdout}"
+    );
+
+    let _ = std::fs::remove_file(&manifest);
+    let _ = std::fs::remove_file(&events);
+}

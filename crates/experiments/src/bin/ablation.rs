@@ -19,6 +19,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run(mut args: Args) -> Result<(), ExpError> {
+    args.reject_recovery_flags("ablation")?;
     if args.benchmarks.is_none() && args.limit.is_none() && !args.quick {
         args.benchmarks = Some(vec![
             "gcc-like".into(),

@@ -23,6 +23,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run(args: Args) -> Result<(), ExpError> {
+    args.reject_recovery_flags("convert")?;
     let Some(input) = &args.library else {
         return Err(ExpError::msg("convert needs --library PATH (and optionally --save-library)"));
     };

@@ -20,6 +20,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run(args: Args) -> Result<(), ExpError> {
+    args.reject_recovery_flags("fig7")?;
     let machine = MachineConfig::eight_way();
     let design = SystematicDesign::paper_8way();
     let n_points = args.window_count(16);

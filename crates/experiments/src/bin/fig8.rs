@@ -22,6 +22,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run(args: Args) -> Result<(), ExpError> {
+    args.reject_recovery_flags("fig8")?;
     let n_points = args.window_count(12);
     let threads = args.thread_count();
     // The sweep needs a footprint larger than the largest stored cache

@@ -23,9 +23,11 @@ fn run(mut args: Args) -> Result<(), ExpError> {
     let case = &cases[0];
     let machine = MachineConfig::eight_way();
     let library_cap = args.window_count(400);
+    let recovery = args.recovery();
     let mut report = Report::new("online");
     let mut manifest = args.manifest("online", case.name());
     manifest.seed = Some(CreationConfig::for_machine(&machine).seed);
+    args.stamp_recovery(&mut manifest);
 
     report.line("== Online results (paper SS6.1): random-order convergence ==");
     report.line(format!("benchmark={} library cap={}\n", case.name(), library_cap));
@@ -83,6 +85,9 @@ fn run(mut args: Args) -> Result<(), ExpError> {
     // Keeping the real ±3% target (but not stopping at it) means the
     // sampling-health event stream records when the run *became*
     // eligible, so spectral-doctor can report wasted points past that.
+    // This is the run that checkpoints / resumes: its processing order
+    // is deterministic, so a resumed run replays the identical
+    // estimator push sequence and lands on bit-identical estimates.
     let t = Timer::start();
     let target = args.target_rel_err(RunPolicy::default().target_rel_err);
     let policy = RunPolicy {
@@ -91,7 +96,17 @@ fn run(mut args: Args) -> Result<(), ExpError> {
         trajectory_stride: 20,
         ..RunPolicy::default()
     };
-    let estimate = runner.run(&case.program, &policy)?;
+    let threads = args.thread_count();
+    let estimate = if threads > 1 && recovery.is_active() {
+        runner.run_parallel_recoverable(
+            &case.program,
+            &args.sched_policy(policy),
+            threads,
+            &recovery,
+        )?
+    } else {
+        runner.run_recoverable(&case.program, &policy, &recovery)?
+    };
     manifest.phase("run_exhaustive", t.secs());
     let reference = complete_detailed(&machine, &case.program);
 

@@ -14,6 +14,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run(mut args: Args) -> Result<(), ExpError> {
+    args.reject_recovery_flags("stratified")?;
     if args.benchmarks.is_none() && args.limit.is_none() && !args.quick {
         // Phased benchmarks, where position tracks phase.
         args.benchmarks = Some(vec![

@@ -23,6 +23,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run(mut args: Args) -> Result<(), ExpError> {
+    args.reject_recovery_flags("table2")?;
     if args.scale.is_none() {
         args.scale = Some(if args.quick { 2 } else { 6 });
     }

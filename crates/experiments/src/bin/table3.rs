@@ -21,6 +21,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run(args: Args) -> Result<(), ExpError> {
+    args.reject_recovery_flags("table3")?;
     let machine = MachineConfig::eight_way();
     let design = SystematicDesign::paper_8way();
     let n_windows = args.window_count(150);

@@ -37,6 +37,14 @@
 //! * `--prefetch N` — decode-ahead prefetch-ring depth per worker
 //! * `--target PCT` — early-termination relative-error target in
 //!   percent, where the binary estimates one (default: the paper's 3)
+//! * `--checkpoint PATH` — periodically write a crash-safe run
+//!   checkpoint (temp + fsync + atomic rename) to PATH;
+//!   `--checkpoint-every N` sets the flush cadence in fresh points
+//!   (default 64)
+//! * `--resume PATH` — restart an interrupted run from a checkpoint
+//!   written by `--checkpoint`; resumed estimates are bit-identical to
+//!   an uninterrupted run. Binaries without a resumable run loop
+//!   reject the recovery flags instead of silently restarting.
 //! * `--metrics-out PATH` — write a JSON run manifest (with the full
 //!   metrics snapshot embedded) on exit
 //! * `--trace PATH` — append JSONL span events to PATH as the run
@@ -172,6 +180,13 @@ pub struct Args {
     pub prefetch: Option<usize>,
     /// Relative-error target in percent (`--target`).
     pub target: Option<f64>,
+    /// Checkpoint sidecar path for crash-safe runs (`--checkpoint`).
+    pub checkpoint: Option<PathBuf>,
+    /// Fresh points between checkpoint flushes (`--checkpoint-every`;
+    /// default 64).
+    pub checkpoint_every: Option<u64>,
+    /// Checkpoint file to resume an interrupted run from (`--resume`).
+    pub resume: Option<PathBuf>,
     /// Run-manifest output path (`--metrics-out`).
     pub metrics_out: Option<PathBuf>,
     /// JSONL span-trace output path (`--trace`).
@@ -208,6 +223,9 @@ impl Args {
             chunk: None,
             prefetch: None,
             target: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
             metrics_out: None,
             trace: None,
             events: None,
@@ -348,6 +366,15 @@ impl Args {
                     }
                     args.target = Some(pct);
                 }
+                "--checkpoint" => args.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+                "--checkpoint-every" => {
+                    let v: u64 = int("--checkpoint-every", value("--checkpoint-every")?)?;
+                    if v == 0 {
+                        return Err(ExpError("--checkpoint-every: must be at least 1".into()));
+                    }
+                    args.checkpoint_every = Some(v);
+                }
+                "--resume" => args.resume = Some(PathBuf::from(value("--resume")?)),
                 "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
                 "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
                 "--events" => args.events = Some(PathBuf::from(value("--events")?)),
@@ -360,7 +387,8 @@ impl Args {
                         "unknown argument {other} (flags: --benchmarks --limit --quick \
                          --windows --seeds --scale --machine --threads --library \
                          --save-library --lib-format --block --dict --decode-cache \
-                         --chunk --prefetch --target --metrics-out --trace --events \
+                         --chunk --prefetch --target --checkpoint --checkpoint-every \
+                         --resume --metrics-out --trace --events \
                          --profile --registry --report-out --report-json)"
                     )))
                 }
@@ -392,6 +420,49 @@ impl Args {
     /// paper's 0.03).
     pub fn target_rel_err(&self, default: f64) -> f64 {
         self.target.map_or(default, |pct| pct / 100.0)
+    }
+
+    /// The crash-recovery configuration selected by `--checkpoint`,
+    /// `--checkpoint-every`, and `--resume` (default flush cadence: 64
+    /// fresh points). [`Recovery::none`](spectral_core::Recovery::none)
+    /// when no recovery flag was given.
+    pub fn recovery(&self) -> spectral_core::Recovery {
+        let mut r = spectral_core::Recovery::none();
+        if let Some(path) = &self.checkpoint {
+            r = r.checkpoint_to(path.clone(), self.checkpoint_every.unwrap_or(64) as usize);
+        }
+        if let Some(path) = &self.resume {
+            r = r.resume_from(path.clone());
+        }
+        r
+    }
+
+    /// Stamp resume lineage into a run manifest: when `--resume` named
+    /// a checkpoint, a `resumed_from` note records it so the manifest,
+    /// the registry record, and `doctor analyze` can distinguish
+    /// resumed runs from uninterrupted ones.
+    pub fn stamp_recovery(&self, manifest: &mut RunManifest) {
+        if let Some(ckpt) = &self.resume {
+            manifest.note("resumed_from", ckpt.display().to_string());
+        }
+    }
+
+    /// Reject `--checkpoint` / `--checkpoint-every` / `--resume` in a
+    /// binary whose run loop is not resumable, instead of silently
+    /// ignoring the flags and restarting from zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the binary whenever any recovery
+    /// flag is present.
+    pub fn reject_recovery_flags(&self, binary: &str) -> Result<(), ExpError> {
+        if self.checkpoint.is_some() || self.checkpoint_every.is_some() || self.resume.is_some() {
+            return Err(ExpError(format!(
+                "{binary} does not support --checkpoint/--checkpoint-every/--resume \
+                 (resumable binaries: online, matched_pair)"
+            )));
+        }
+        Ok(())
     }
 
     /// Apply the scheduler knobs (`--chunk`, `--prefetch`) to a run
@@ -969,6 +1040,12 @@ mod tests {
             "8",
             "--target",
             "10",
+            "--checkpoint",
+            "c.ckpt",
+            "--checkpoint-every",
+            "32",
+            "--resume",
+            "r.ckpt",
             "--metrics-out",
             "m.json",
             "--trace",
@@ -1008,6 +1085,12 @@ mod tests {
         assert_eq!((p.chunk, p.prefetch), (16, 8));
         assert_eq!(a.target, Some(10.0));
         assert!((a.target_rel_err(0.03) - 0.10).abs() < 1e-12);
+        assert_eq!(a.checkpoint.as_deref(), Some(std::path::Path::new("c.ckpt")));
+        assert_eq!(a.checkpoint_every, Some(32));
+        assert_eq!(a.resume.as_deref(), Some(std::path::Path::new("r.ckpt")));
+        let recovery = a.recovery();
+        assert!(recovery.is_active());
+        assert!(a.reject_recovery_flags("fig4").is_err());
         assert_eq!(a.metrics_out.as_deref(), Some(std::path::Path::new("m.json")));
         assert_eq!(a.trace.as_deref(), Some(std::path::Path::new("t.jsonl")));
         assert_eq!(a.events.as_deref(), Some(std::path::Path::new("e.jsonl")));
@@ -1041,6 +1124,11 @@ mod tests {
         assert!(e.to_string().contains("--decode-cache"), "{e}");
         let e = Args::try_parse_from(&argv(&["--target", "-3"])).unwrap_err();
         assert!(e.to_string().contains("--target"), "{e}");
+        let e = Args::try_parse_from(&argv(&["--checkpoint-every", "0"])).unwrap_err();
+        assert!(e.to_string().contains("--checkpoint-every"), "{e}");
+        let e = Args::try_parse_from(&argv(&["--resume"])).unwrap_err();
+        assert!(e.to_string().contains("needs a value"), "{e}");
+        assert!(Args::empty().reject_recovery_flags("fig4").is_ok());
         assert!(Args::try_parse_from(&argv(&["--target", "nan"])).is_err());
         let mut a = Args::empty();
         a.machine = Some("32".into());

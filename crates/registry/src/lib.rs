@@ -55,8 +55,7 @@ mod record;
 pub use record::{RunRecord, RECORD_VERSION};
 
 use std::fmt;
-use std::fs::{self, File, OpenOptions};
-use std::io::Write as _;
+use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Environment variable naming the registry directory; when set, the
@@ -148,13 +147,38 @@ impl Registry {
     }
 
     /// Append one record to the index. The write is a single
-    /// `O_APPEND` line, so concurrent appenders interleave whole
-    /// records.
+    /// `O_APPEND` line followed by an fsync (fault site
+    /// `registry.append`, retried with backoff on transient errors), so
+    /// concurrent appenders interleave whole records and a crash after
+    /// return cannot lose the record. A crash *during* the append can
+    /// at worst leave one torn trailing line, which
+    /// [`Registry::load`] recovers from.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spectral_registry::{Registry, RunRecord};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("doc-registry-{}", std::process::id()));
+    /// let registry = Registry::open(&dir)?;
+    /// let mut record = RunRecord::new("run", "online", "gcc-like", "8-way", 4);
+    /// record.points_processed = Some(400);
+    /// registry.append(&record)?;
+    ///
+    /// let records = registry.load().expect("index parses");
+    /// assert_eq!(records.len(), 1);
+    /// assert_eq!(records[0].binary, "online");
+    /// std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     pub fn append(&self, record: &RunRecord) -> std::io::Result<()> {
         let mut line = record.to_json_line();
         line.push('\n');
-        let mut f = OpenOptions::new().create(true).append(true).open(self.index_path())?;
-        f.write_all(line.as_bytes())
+        let path = self.index_path();
+        repair_torn_tail(&path)?;
+        spectral_faultd::retry("registry.append", || {
+            spectral_faultd::append_durable("registry.append", &path, line.as_bytes())
+        })
     }
 
     /// Store `bytes` in the content-addressed object store and return
@@ -168,13 +192,12 @@ impl Registry {
         let path = self.dir.join(&rel);
         if !path.exists() {
             fs::create_dir_all(path.parent().expect("object path has a parent"))?;
-            // Write-then-rename so a concurrent reader never sees a
-            // half-written artifact at its final address.
-            let tmp = path.with_extension(format!("{ext}.tmp{}", std::process::id()));
-            let mut f = File::create(&tmp)?;
-            f.write_all(bytes)?;
-            f.sync_all()?;
-            fs::rename(&tmp, &path)?;
+            // Temp + fsync + rename (fault site `registry.artifact`) so
+            // a concurrent reader never sees a half-written artifact at
+            // its final address and a crash leaves no torn object.
+            spectral_faultd::retry("registry.artifact", || {
+                spectral_faultd::write_atomic("registry.artifact", &path, bytes)
+            })?;
         }
         Ok(rel)
     }
@@ -189,23 +212,56 @@ impl Registry {
     /// Load every record in the index, in append order. An empty or
     /// absent index is an empty registry, not an error; a malformed
     /// line is a [`RegistryError::Parse`] naming its line number.
+    ///
+    /// **Torn-tail recovery:** a process killed mid-append can leave
+    /// one partial final line with no trailing newline. That line is
+    /// silently dropped — it was never durably committed — so a crashed
+    /// appender can never wedge every future `doctor` invocation.
+    /// A malformed line *inside* the index (newline-terminated) is
+    /// still a hard parse error: that is corruption, not a torn append.
     pub fn load(&self) -> Result<Vec<RunRecord>, RegistryError> {
         let text = match fs::read_to_string(self.index_path()) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e.into()),
         };
+        let torn_tail = !text.is_empty() && !text.ends_with('\n');
+        let last = text.lines().count();
         let mut records = Vec::new();
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let record = RunRecord::from_json(line)
-                .map_err(|message| RegistryError::Parse { line: i + 1, message })?;
-            records.push(record);
+            match RunRecord::from_json(line) {
+                Ok(record) => records.push(record),
+                Err(_) if torn_tail && i + 1 == last => break,
+                Err(message) => {
+                    return Err(RegistryError::Parse { line: i + 1, message });
+                }
+            }
         }
         Ok(records)
     }
+}
+
+/// Truncate an unterminated final line left by a crashed appender, so
+/// the next append never merges a new record into the torn fragment.
+/// A well-formed (newline-terminated) index is left untouched. Only a
+/// crash can produce a torn tail, so there is no live appender racing
+/// the truncation.
+fn repair_torn_tail(path: &Path) -> std::io::Result<()> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return Ok(());
+    }
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep as u64)?;
+    f.sync_all()
 }
 
 /// Convenience: load all records from a registry directory.

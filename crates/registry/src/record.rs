@@ -62,6 +62,10 @@ pub struct RunRecord {
     pub convergence: Vec<RunSummary>,
     /// Registry-relative path of the stored manifest artifact, if any.
     pub manifest_path: Option<String>,
+    /// Checkpoint file this run resumed from (`--resume <ckpt>`), when
+    /// the run restarted an interrupted one. `doctor analyze` surfaces
+    /// this lineage so resumed runs are distinguishable in trends.
+    pub resumed_from: Option<String>,
     /// Free-form key/value annotations (carried over from the
     /// manifest's notes).
     pub notes: Vec<(String, String)>,
@@ -98,6 +102,7 @@ impl RunRecord {
             estimate: None,
             convergence: Vec::new(),
             manifest_path: None,
+            resumed_from: None,
             notes: Vec::new(),
         }
     }
@@ -134,6 +139,10 @@ impl RunRecord {
         r.estimate = manifest.estimate.clone();
         r.convergence = convergence;
         r.notes = manifest.notes.clone();
+        // Resume lineage travels as a manifest note; lift it into the
+        // dedicated field so cross-run queries don't grep notes.
+        r.resumed_from =
+            manifest.notes.iter().find(|(k, _)| k == "resumed_from").map(|(_, v)| v.clone());
         r
     }
 
@@ -183,6 +192,11 @@ impl RunRecord {
             None => "null".to_owned(),
         };
         push_field(&mut s, "manifest_path", manifest_path);
+        let resumed_from = match &self.resumed_from {
+            Some(p) => quote(p),
+            None => "null".to_owned(),
+        };
+        push_field(&mut s, "resumed_from", resumed_from);
         let notes: Vec<String> =
             self.notes.iter().map(|(k, v)| format!("{}:{}", quote(k), quote(v))).collect();
         s.push_str(&format!("\"notes\":{{{}}}", notes.join(",")));
@@ -250,6 +264,7 @@ impl RunRecord {
             }
         }
         r.manifest_path = doc.get("manifest_path").and_then(JsonValue::as_str).map(str::to_owned);
+        r.resumed_from = doc.get("resumed_from").and_then(JsonValue::as_str).map(str::to_owned);
         if let Some(notes) = doc.get("notes").and_then(JsonValue::as_obj) {
             for (k, v) in notes {
                 if let Some(s) = v.as_str() {
@@ -408,6 +423,7 @@ mod tests {
             },
         ];
         r.manifest_path = Some("objects/3f/3fa9c1d2e4b57a86.json".into());
+        r.resumed_from = Some("out/online.ckpt".into());
         r.notes = vec![("quick".into(), "true".into())];
         r
     }
@@ -475,12 +491,20 @@ mod tests {
         m.phase("create_library", 9.0).phase("run_exhaustive", 2.0).phase("run_early", 0.5);
         m.set_estimate(1.4, 0.05, true);
         m.note("quick", "true");
+        m.note("resumed_from", "out/online.ckpt");
         let r = RunRecord::from_manifest(&m, vec![sample_summary()]);
         assert_eq!(r.run_id, "feed5eed00000001-3");
+        assert_eq!(r.resumed_from.as_deref(), Some("out/online.ckpt"));
         assert_eq!(r.run_secs, Some(2.5));
         assert_eq!(r.run_rate, Some(400.0));
         assert_eq!(r.convergence.len(), 1);
-        assert_eq!(r.notes, vec![("quick".to_owned(), "true".to_owned())]);
+        assert_eq!(
+            r.notes,
+            vec![
+                ("quick".to_owned(), "true".to_owned()),
+                ("resumed_from".to_owned(), "out/online.ckpt".to_owned()),
+            ]
+        );
 
         // No run-prefixed phases: total time is the denominator.
         let mut m2 = RunManifest::new("characterize", "gcc-like", "8-wide", 1);

@@ -97,3 +97,41 @@ fn malformed_index_line_reports_its_number() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn torn_trailing_line_is_dropped_not_fatal() {
+    // A process killed mid-append leaves a partial final line with no
+    // trailing newline. That uncommitted tail must be dropped, while
+    // every durably committed record still loads.
+    let dir = temp_dir("torn");
+    let reg = Registry::open(&dir).unwrap();
+    let a = record("online", "aaaa000000000001-1");
+    let b = record("matched", "bbbb000000000001-1");
+    reg.append(&a).unwrap();
+    reg.append(&b).unwrap();
+
+    let full = std::fs::read_to_string(reg.index_path()).unwrap();
+    let half = record("sweep", "cccc000000000001-1").to_json_line();
+    let torn = &half[..half.len() / 2]; // mid-line crash: no trailing '\n'
+    std::fs::write(reg.index_path(), format!("{full}{torn}")).unwrap();
+
+    let loaded = reg.load().expect("torn tail recovers");
+    assert_eq!(loaded, vec![a.clone(), b.clone()]);
+
+    // A *newline-terminated* garbage line is corruption, not a torn
+    // append: still a hard error naming the line.
+    std::fs::write(reg.index_path(), format!("{full}{torn}\n")).unwrap();
+    match reg.load() {
+        Err(RegistryError::Parse { line, .. }) => assert_eq!(line, 3),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+
+    // Appending after a crash repairs the torn tail first: the
+    // fragment is truncated away, so the new record cannot merge into
+    // it and the index is fully well-formed again.
+    std::fs::write(reg.index_path(), format!("{full}{torn}")).unwrap();
+    let c = record("sweep", "cccc000000000001-2");
+    reg.append(&c).unwrap();
+    assert_eq!(reg.load().expect("repaired index parses"), vec![a, b, c]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -196,6 +196,24 @@ impl AnomalyEvent<'_> {
     }
 }
 
+/// One checkpoint-written record: a run flushed its crash-recovery
+/// sidecar. Plain data in both build modes; only
+/// [`emit`](CheckpointEvent::emit) differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointEvent<'a> {
+    /// The checkpoint sidecar file that was atomically replaced.
+    pub path: &'a str,
+    /// Live-points recorded in the checkpoint at flush time.
+    pub points: u64,
+}
+
+impl CheckpointEvent<'_> {
+    /// Append this record to the event sink (no-op when unsubscribed).
+    pub fn emit(&self) {
+        imp::emit_checkpoint(self);
+    }
+}
+
 /// The distilled convergence summary of one run series, produced by the
 /// in-process tally (see [`enable_run_summaries`] /
 /// [`take_run_summaries`]). Plain data in both build modes.
@@ -486,6 +504,18 @@ mod imp {
             e.simulate_ns,
         ));
     }
+
+    pub(super) fn emit_checkpoint(e: &super::CheckpointEvent<'_>) {
+        if !events_on() {
+            return;
+        }
+        write_line(&format!(
+            "{{\"type\":\"checkpoint\",\"t_us\":{},\"path\":{},\"points\":{}}}",
+            crate::span::now_us(),
+            crate::json::quote(e.path),
+            e.points,
+        ));
+    }
 }
 
 #[cfg(not(feature = "enabled"))]
@@ -538,6 +568,9 @@ mod imp {
 
     #[inline(always)]
     pub(super) fn emit_anomaly(_e: &AnomalyEvent<'_>) {}
+
+    #[inline(always)]
+    pub(super) fn emit_checkpoint(_e: &super::CheckpointEvent<'_>) {}
 }
 
 pub use imp::{

@@ -67,10 +67,10 @@ mod span;
 pub use events::{
     derive_run_id, enable_run_summaries, events_from_env, events_on, flush_events, fnv1a64,
     next_run_seq, process_token, run_id, run_summaries_on, set_events_path, take_run_summaries,
-    AnomalyEvent, ProgressEvent, RunSummary,
+    AnomalyEvent, CheckpointEvent, ProgressEvent, RunSummary,
 };
 pub use json::{number as json_number, quote as json_quote, JsonError, JsonValue};
-pub use manifest::{EstimateSummary, Phase, RunManifest};
+pub use manifest::{EstimateSummary, Phase, RunManifest, MANIFEST_VERSION};
 pub use metrics::{
     reset, snapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Stopwatch,
     HISTOGRAM_BUCKETS,

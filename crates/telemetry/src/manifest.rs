@@ -8,7 +8,6 @@
 //! auditable artifact (`--metrics-out`) that diffs cleanly against
 //! `BENCH_*.json` baselines.
 
-use std::io::Write as _;
 use std::path::Path;
 
 use crate::json::{self, JsonValue};
@@ -282,15 +281,20 @@ impl RunManifest {
         Ok(m)
     }
 
-    /// Write the manifest (with `metrics` embedded when `Some`) to `path`.
+    /// Write the manifest (with `metrics` embedded when `Some`) to
+    /// `path` atomically: temp file + fsync + rename (fault site
+    /// `telemetry.manifest.write`), so a crash mid-write leaves the
+    /// previous manifest or the new one, never a torn JSON document.
     pub fn write(
         &self,
         path: impl AsRef<Path>,
         metrics: Option<&MetricsSnapshot>,
     ) -> std::io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(self.render(metrics).as_bytes())?;
-        f.write_all(b"\n")
+        let mut bytes = self.render(metrics).into_bytes();
+        bytes.push(b'\n');
+        spectral_faultd::retry("telemetry.manifest.write", || {
+            spectral_faultd::write_atomic("telemetry.manifest.write", path.as_ref(), &bytes)
+        })
     }
 }
 
